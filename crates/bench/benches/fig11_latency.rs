@@ -1,0 +1,21 @@
+//! Figure 11 bench: single-op D2D latency measurement per design.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcs_bench::fig11::{measure, DESIGNS};
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_latency");
+    group.sample_size(10);
+    for with_processing in [false, true] {
+        for d in DESIGNS {
+            let name = format!("{}{}", d.label(), if with_processing { "+md5" } else { "" });
+            group.bench_with_input(BenchmarkId::from_parameter(name), &d, |b, &d| {
+                b.iter(|| std::hint::black_box(measure(d, 4096, with_processing).total()))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

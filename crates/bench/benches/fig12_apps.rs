@@ -1,0 +1,35 @@
+//! Figure 12 bench: short Swift / HDFS workload windows per design.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcs_sim::time;
+use dcs_workloads::{run_hdfs, run_swift, DesignUnderTest, HdfsConfig, SwiftConfig};
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_apps");
+    group.sample_size(10);
+    for d in DesignUnderTest::FIG12 {
+        group.bench_with_input(BenchmarkId::new("swift", d.label()), &d, |b, &d| {
+            let cfg = SwiftConfig {
+                duration_ns: time::ms(8),
+                warmup_ns: time::ms(2),
+                offered_gbps: 4.0,
+                ..SwiftConfig::default()
+            };
+            b.iter(|| std::hint::black_box(run_swift(d, &cfg).requests))
+        });
+        group.bench_with_input(BenchmarkId::new("hdfs", d.label()), &d, |b, &d| {
+            let cfg = HdfsConfig {
+                duration_ns: time::ms(8),
+                warmup_ns: time::ms(2),
+                offered_gbps: 4.0,
+                block_size: 256 * 1024,
+                ..HdfsConfig::default()
+            };
+            b.iter(|| std::hint::black_box(run_hdfs(d, &cfg).0.requests))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

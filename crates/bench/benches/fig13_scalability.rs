@@ -1,0 +1,24 @@
+//! Figure 13 bench: projection arithmetic over measured operating points.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcs_workloads::{project, ProjectionInput};
+
+fn bench_fig13(c: &mut Criterion) {
+    c.bench_function("fig13_projection", |b| {
+        b.iter(|| {
+            let r = project(
+                ProjectionInput {
+                    measured_gbps: std::hint::black_box(8.7),
+                    measured_util: 0.42,
+                    cores: 6,
+                },
+                40.0,
+                6.0,
+            );
+            std::hint::black_box(r.max_gbps_within_budget)
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig13);
+criterion_main!(benches);

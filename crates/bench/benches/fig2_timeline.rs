@@ -1,0 +1,16 @@
+//! Figure 2 bench: timeline assembly from a measured SW-ctrl-P2P op.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcs_bench::fig2;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_timeline");
+    group.sample_size(10);
+    group.bench_function("swp2p_timeline", |b| {
+        b.iter(|| std::hint::black_box(fig2::render(4096).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

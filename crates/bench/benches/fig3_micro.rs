@@ -1,0 +1,18 @@
+//! Figure 3 bench: the SSD->GPU->NIC microbenchmark per design.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcs_bench::fig3::{latency, Fig3Design};
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_micro");
+    group.sample_size(10);
+    for d in Fig3Design::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(d.label()), &d, |b, &d| {
+            b.iter(|| std::hint::black_box(latency(d, 16 * 1024).total()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Figure 8 bench: streaming kernel-utilization measurement per design.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcs_bench::fig8::{kernel_utilization, DESIGNS};
+use dcs_sim::time;
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_kernel_util");
+    group.sample_size(10);
+    for d in DESIGNS {
+        group.bench_with_input(BenchmarkId::from_parameter(d.label()), &d, |b, &d| {
+            b.iter(|| {
+                let m = kernel_utilization(d, 64 * 1024, 3.0, time::ms(4));
+                std::hint::black_box(m.values().sum::<f64>())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! DES kernel bench: raw event throughput of the simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dcs_sim::{time, Component, Ctx, Msg, Simulator};
+
+struct PingPong {
+    peer_delay: u64,
+    remaining: u64,
+}
+
+#[derive(Debug)]
+struct Ball;
+
+impl Component for PingPong {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        msg.downcast::<Ball>().expect("balls only");
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.send_self_in(self.peer_delay, Ball);
+        }
+    }
+}
+
+fn bench_events(c: &mut Criterion) {
+    let events = 100_000u64;
+    let mut group = c.benchmark_group("sim_kernel");
+    group.throughput(Throughput::Elements(events));
+    group.sample_size(10);
+    group.bench_function("self_ping_100k", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(0);
+            let p = sim.add("p", PingPong { peer_delay: time::ns(100), remaining: events });
+            sim.kickoff(p, Ball);
+            sim.run();
+            std::hint::black_box(sim.delivered_events())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_events);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Table III bench: throughput of each NDP algorithm implementation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dcs_ndp::NdpFunction;
+
+fn bench_ndp(c: &mut Criterion) {
+    let len = 256 * 1024;
+    let data: Vec<u8> = (0..len).map(|i| (i * 2654435761usize % 256) as u8).collect();
+    let mut aux_aes = vec![7u8; 32];
+    aux_aes.extend([9u8; 16]);
+    let mut group = c.benchmark_group("table3_ndp");
+    group.throughput(Throughput::Bytes(len as u64));
+    group.sample_size(10);
+    for f in NdpFunction::ALL {
+        let aux: &[u8] = match f {
+            NdpFunction::Aes256Encrypt | NdpFunction::Aes256Decrypt => &aux_aes,
+            _ => &[],
+        };
+        let input: Vec<u8> = if f == NdpFunction::GzipDecompress {
+            dcs_ndp::deflate::gzip_compress(&data)
+        } else {
+            data.clone()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(f.name()), &input, |b, input| {
+            b.iter(|| f.apply(std::hint::black_box(input), aux).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ndp);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Table IV bench: resource-report derivation across target rates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcs_bench::table4;
+use dcs_sim::Bandwidth;
+
+fn bench_resources(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_resources");
+    for gbps in [10.0, 40.0, 100.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(gbps as u64), &gbps, |b, &g| {
+            b.iter(|| {
+                let r = table4::run(Bandwidth::gbps(g));
+                std::hint::black_box((r.total_luts(), r.fits()))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_resources);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! `repro` — regenerate every table and figure of the DCS-ctrl paper.
+//!
+//! ```text
+//! repro [--quick] [all|fig2|fig3|fig8|fig11|fig12|fig13|table3|table4|ablation]...
+//! ```
+//!
+//! With no experiment arguments, runs everything. `--quick` shortens the
+//! workload windows (useful for smoke runs; EXPERIMENTS.md numbers come
+//! from the full runs).
+
+use std::env;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut wanted: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    if wanted.is_empty() || wanted.contains(&"all") {
+        wanted = vec!["table3", "table4", "fig2", "fig3", "fig8", "fig11", "fig12", "fig13", "ablation"];
+    }
+    println!("DCS-ctrl reproduction harness (quick={quick})");
+    println!("==============================================\n");
+    for w in wanted {
+        let out = match w {
+            "fig2" => dcs_bench::fig2::render(4096),
+            "fig3" => dcs_bench::fig3::render(16 * 1024, quick),
+            "fig8" => dcs_bench::fig8::render(quick),
+            "fig11" => dcs_bench::fig11::render(4096),
+            "fig12" => dcs_bench::fig12::render(quick),
+            "fig13" => dcs_bench::fig13::render(quick),
+            "table3" => dcs_bench::table3::render(if quick { 1 << 19 } else { 4 << 20 }),
+            "table4" => dcs_bench::table4::render(),
+            "ablation" => dcs_bench::ablation::render(quick),
+            other => {
+                eprintln!("unknown experiment: {other}");
+                std::process::exit(2);
+            }
+        };
+        println!("{out}");
+        println!("----------------------------------------------\n");
+    }
+}

@@ -1,0 +1,108 @@
+//! Figure 12 — CPU-utilization breakdown of the scale-out storage
+//! applications at matched throughput.
+//!
+//! (a) OpenStack Swift (PUT/GET with MD5 integrity); (b) the HDFS
+//! balancer (sender / receiver, CRC32 on receive). Headline: DCS-ctrl
+//! cuts server CPU utilization by ≈52% vs software-controlled P2P.
+
+use dcs_sim::time;
+use dcs_workloads::{
+    run_hdfs, run_swift, DesignUnderTest, HdfsConfig, SwiftConfig, WorkloadReport,
+};
+
+/// Swift configuration used by the figure (shortened in quick mode).
+pub fn swift_cfg(quick: bool) -> SwiftConfig {
+    SwiftConfig {
+        duration_ns: if quick { time::ms(60) } else { time::ms(160) },
+        warmup_ns: if quick { time::ms(15) } else { time::ms(40) },
+        ..SwiftConfig::default()
+    }
+}
+
+/// HDFS configuration used by the figure.
+pub fn hdfs_cfg(quick: bool) -> HdfsConfig {
+    HdfsConfig {
+        duration_ns: if quick { time::ms(40) } else { time::ms(120) },
+        warmup_ns: if quick { time::ms(10) } else { time::ms(30) },
+        ..HdfsConfig::default()
+    }
+}
+
+/// Runs sub-figure (a): Swift server reports per design.
+pub fn run_swift_rows(quick: bool) -> Vec<(DesignUnderTest, WorkloadReport)> {
+    DesignUnderTest::FIG12
+        .iter()
+        .map(|&d| (d, run_swift(d, &swift_cfg(quick))))
+        .collect()
+}
+
+/// Runs sub-figure (b): HDFS `(sender, receiver)` reports per design.
+pub fn run_hdfs_rows(quick: bool) -> Vec<(DesignUnderTest, WorkloadReport, WorkloadReport)> {
+    DesignUnderTest::FIG12
+        .iter()
+        .map(|&d| {
+            let (s, r) = run_hdfs(d, &hdfs_cfg(quick));
+            (d, s, r)
+        })
+        .collect()
+}
+
+/// CPU-utilization reduction of DCS-ctrl vs SW-ctrl P2P at equal
+/// throughput (utilization normalized per Gbps to compare fairly).
+pub fn cpu_reduction(rows: &[(DesignUnderTest, WorkloadReport)]) -> f64 {
+    let norm = |d: DesignUnderTest| {
+        let r = &rows.iter().find(|(x, _)| *x == d).expect("design measured").1;
+        r.cpu_utilization() / r.throughput_gbps().max(1e-9)
+    };
+    1.0 - norm(DesignUnderTest::DcsCtrl) / norm(DesignUnderTest::SwP2p)
+}
+
+/// Renders both sub-figures with the headline reduction.
+pub fn render(quick: bool) -> String {
+    let mut out = String::from("Figure 12 — CPU utilization of scale-out storage applications\n");
+    out.push_str("\n(a) OpenStack Swift (PUT/GET, MD5 integrity)\n");
+    let swift = run_swift_rows(quick);
+    for (d, r) in &swift {
+        out.push_str(&r.render(d.label()));
+    }
+    out.push_str(&format!(
+        "  CPU reduction (per Gbps), DCS-ctrl vs SW-ctrl P2P: {:.0}%  (paper headline: 52%)\n",
+        cpu_reduction(&swift) * 100.0
+    ));
+    out.push_str("\n(b) HDFS balancer (CRC32 on receive)\n");
+    for (d, snd, rcv) in &run_hdfs_rows(quick) {
+        out.push_str(&snd.render(&format!("{} sender", d.label())));
+        out.push_str(&rcv.render(&format!("{} receiver", d.label())));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swift_cpu_reduction_is_substantial() {
+        let rows = run_swift_rows(true);
+        for (d, r) in &rows {
+            assert!(r.requests > 5, "{d}: {r:?}");
+            assert_eq!(r.failures, 0, "{d}");
+        }
+        let red = cpu_reduction(&rows);
+        assert!(red > 0.35, "reduction {red:.2} must approach the paper's 52%");
+        assert!(red < 0.95, "reduction {red:.2} must stay plausible");
+    }
+
+    #[test]
+    fn hdfs_receiver_benefits_most() {
+        let rows = run_hdfs_rows(true);
+        let get = |d: DesignUnderTest| {
+            rows.iter().find(|(x, _, _)| *x == d).map(|(_, s, r)| (s.clone(), r.clone())).unwrap()
+        };
+        let (_, rcv_p2p) = get(DesignUnderTest::SwP2p);
+        let (_, rcv_dcs) = get(DesignUnderTest::DcsCtrl);
+        let norm_p2p = rcv_p2p.cpu_utilization() / rcv_p2p.throughput_gbps().max(1e-9);
+        let norm_dcs = rcv_dcs.cpu_utilization() / rcv_dcs.throughput_gbps().max(1e-9);
+        assert!(norm_dcs < norm_p2p * 0.5, "receiver: dcs {norm_dcs:.4} vs p2p {norm_p2p:.4}");
+    }
+}

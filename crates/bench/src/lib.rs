@@ -1,0 +1,39 @@
+//! # dcs-bench — the experiment harness
+//!
+//! One module per table/figure of the paper's evaluation (§V), each
+//! exposing a typed `run(...)` the Criterion benches drive and a
+//! `render(...)` the [`repro`](../repro/index.html) binary prints.
+//! EXPERIMENTS.md records these outputs against the paper's reported
+//! numbers.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`fig2`] | Figure 2 — software device-control timeline |
+//! | [`fig3`] | Figure 3 — microbenchmark latency + CPU breakdowns |
+//! | [`fig8`] | Figure 8 — kernel-side CPU utilization, Linux vs DCS-ctrl |
+//! | [`fig11`] | Figure 11 — inter-device communication latency |
+//! | [`fig12`] | Figure 12 — Swift / HDFS CPU-utilization breakdowns |
+//! | [`fig13`] | Figure 13 — scalability projection |
+//! | [`table3`] | Table III — NDP unit resources and throughput |
+//! | [`table4`] | Table IV — HDC Engine resource utilization |
+//! | [`ablation`] | Extension: design-choice sweeps beyond the paper |
+
+pub mod ablation;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig2;
+pub mod fig3;
+pub mod fig8;
+pub mod probe;
+pub mod table3;
+pub mod table4;
+
+/// Formats a latency breakdown as an aligned table block.
+pub fn render_breakdown(label: &str, b: &dcs_sim::Breakdown) -> String {
+    let mut out = format!("  {label:<20} total {:>10.2} us\n", b.total() as f64 / 1000.0);
+    for (cat, ns) in b.entries() {
+        out.push_str(&format!("      {:<20} {:>10.2} us\n", cat.label(), ns as f64 / 1000.0));
+    }
+    out
+}

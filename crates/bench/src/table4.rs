@@ -1,0 +1,74 @@
+//! Table IV — HDC Engine resource utilization on the Virtex-7, plus the
+//! derived headroom check for adding NDP units (§IV-C: "the FPGA has
+//! enough remaining resources to add NDP units").
+
+use dcs_core::resources::{ResourceReport, TABLE4_ENGINE, VIRTEX7_VC707};
+use dcs_ndp::NdpFunction;
+use dcs_sim::Bandwidth;
+
+/// Builds the engine+NDP resource report at a target per-function rate.
+pub fn run(target: Bandwidth) -> ResourceReport {
+    ResourceReport::for_functions(
+        &[
+            NdpFunction::Md5,
+            NdpFunction::Sha1,
+            NdpFunction::Sha256,
+            NdpFunction::Crc32,
+            NdpFunction::Aes256Encrypt,
+            NdpFunction::GzipCompress,
+        ],
+        target,
+    )
+}
+
+/// Renders the table and the headroom derivation.
+pub fn render() -> String {
+    let mut out = String::from("Table IV — HDC Engine Virtex-7 resource utilization (modeled)\n");
+    out.push_str(&format!(
+        "  LUTs      {:>7} / {:>7} ({:.0}%)\n",
+        TABLE4_ENGINE.luts,
+        VIRTEX7_VC707.luts,
+        TABLE4_ENGINE.luts as f64 * 100.0 / VIRTEX7_VC707.luts as f64
+    ));
+    out.push_str(&format!(
+        "  Registers {:>7} / {:>7} ({:.0}%)\n",
+        TABLE4_ENGINE.registers,
+        VIRTEX7_VC707.registers,
+        TABLE4_ENGINE.registers as f64 * 100.0 / VIRTEX7_VC707.registers as f64
+    ));
+    out.push_str(&format!(
+        "  BRAMs     {:>7} / {:>7} ({:.0}%)\n",
+        TABLE4_ENGINE.brams,
+        VIRTEX7_VC707.brams,
+        TABLE4_ENGINE.brams as f64 * 100.0 / VIRTEX7_VC707.brams as f64
+    ));
+    out.push_str(&format!("  Power     {:>7.2} W\n", TABLE4_ENGINE.power_watts));
+    let report = run(Bandwidth::gbps(10.0));
+    out.push_str(&format!(
+        "  + full NDP bank at 10 Gbps/function: {} LUTs total ({:.0}% of device) — fits: {}\n",
+        report.total_luts(),
+        report.lut_utilization() * 100.0,
+        report.fits()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_plus_full_ndp_bank_fits() {
+        let report = run(Bandwidth::gbps(10.0));
+        assert!(report.fits());
+        assert!(report.lut_utilization() > 0.38, "engine baseline alone is 38%");
+        assert!(report.lut_utilization() < 0.70);
+    }
+
+    #[test]
+    fn forty_gbps_bank_grows_but_may_still_fit() {
+        let r10 = run(Bandwidth::gbps(10.0));
+        let r40 = run(Bandwidth::gbps(40.0));
+        assert!(r40.total_luts() > r10.total_luts());
+    }
+}

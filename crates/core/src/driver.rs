@@ -1,0 +1,377 @@
+//! The HDC Driver (§IV-B): the thin kernel module between applications
+//! and the HDC Engine.
+//!
+//! Per D2D command the driver does exactly three things on the CPU —
+//! an ioctl entry, metadata retrieval (block addresses from the VFS,
+//! connection info from the TCP stack; including the page-cache
+//! consistency check §IV-B describes), and a completion interrupt — and
+//! everything else happens in hardware. That short list *is* DCS-ctrl's
+//! performance story: compare with the per-operation submit/complete costs
+//! in [`dcs_host::nvme_driver`] and [`dcs_host::nic_driver`].
+//!
+//! The driver accepts the same [`D2dJob`]s as the baseline executors, so
+//! workloads and benchmarks swap designs by choosing which component they
+//! submit to.
+
+use std::collections::HashMap;
+
+use dcs_host::costs::KernelCosts;
+use dcs_host::cpu::{CpuJob, CpuJobDone};
+use dcs_host::job::{D2dDone, D2dJob, D2dOp};
+use dcs_nic::TcpFlow;
+use dcs_pcie::{DmaComplete, DmaRequest, MmioWrite, MsiDelivery, PhysAddr, PhysMemory};
+use dcs_sim::{Breakdown, Category, Component, ComponentId, Ctx, Msg, SimTime};
+
+use crate::command::{CompletionRecord, D2dCommand, DevOpCode};
+use crate::engine::{EngineBreakdown, EngineInit, RegisterConnection};
+
+/// Where the driver's host-side structures live.
+#[derive(Debug, Clone, Copy)]
+pub struct DriverLayout {
+    /// Completion ring base (host DRAM, 64-byte records).
+    pub completion_ring: PhysAddr,
+    /// Ring depth.
+    pub completion_depth: u16,
+    /// The driver's MSI target (claimed for the driver component).
+    pub msi_addr: PhysAddr,
+    /// Host-side staging for aux data before the DMA to the engine.
+    pub aux_staging: PhysAddr,
+}
+
+struct JobCtx {
+    job: D2dJob,
+    /// Driver CPU time charged to this job (DeviceControl category).
+    driver_ns: u64,
+    /// Engine-side split (arrives as out-of-band instrumentation).
+    engine_bd: Option<Breakdown>,
+    /// The DMA'd completion record.
+    record: Option<CompletionRecord>,
+    /// Completion-path CPU time, added when the interrupt is handled.
+    completion_ns: u64,
+    submitted_at: SimTime,
+}
+
+enum CpuPhase {
+    /// Ioctl + metadata done: stage aux / write the command.
+    Submit { id: u64, cmd: D2dCommand, aux: Option<Vec<u8>> },
+    /// Interrupt handled: drain the completion ring.
+    Complete,
+}
+
+/// The HDC Driver component.
+pub struct HdcDriver {
+    cpu: ComponentId,
+    fabric: ComponentId,
+    engine: ComponentId,
+    cmd_queue: PhysAddr,
+    engine_aux_base: PhysAddr,
+    layout: DriverLayout,
+    costs: KernelCosts,
+    jobs: HashMap<u64, JobCtx>,
+    /// Registered connections (flow → engine conn id).
+    conns: HashMap<TcpFlow, u16>,
+    next_conn: u16,
+    /// Completion ring consumer state.
+    comp_head: u16,
+    comp_phase: bool,
+    cpu_phases: HashMap<u64, CpuPhase>,
+    next_token: u64,
+    /// Rotating aux slot cursor (64-byte slots).
+    aux_slot: u64,
+}
+
+impl HdcDriver {
+    /// Creates the driver and the [`EngineInit`] the caller must deliver
+    /// to the engine.
+    pub fn new(
+        cpu: ComponentId,
+        fabric: ComponentId,
+        engine: ComponentId,
+        cmd_queue: PhysAddr,
+        engine_aux_base: PhysAddr,
+        layout: DriverLayout,
+        costs: KernelCosts,
+    ) -> (Self, EngineInit) {
+        let init = EngineInit {
+            completion_ring: layout.completion_ring,
+            completion_depth: layout.completion_depth,
+            msi_addr: layout.msi_addr,
+            msi_vector: 0x80,
+        };
+        let driver = HdcDriver {
+            cpu,
+            fabric,
+            engine,
+            cmd_queue,
+            engine_aux_base,
+            layout,
+            costs,
+            jobs: HashMap::new(),
+            conns: HashMap::new(),
+            next_conn: 1,
+            comp_head: 0,
+            comp_phase: true,
+            cpu_phases: HashMap::new(),
+            next_token: 1,
+            aux_slot: 0,
+        };
+        (driver, init)
+    }
+
+    fn cpu_job(&mut self, ctx: &mut Ctx<'_>, cost: u64, tag: &'static str, phase: CpuPhase) {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.cpu_phases.insert(token, phase);
+        let cpu = self.cpu;
+        ctx.send_now(cpu, CpuJob { token, cost_ns: cost, tag, reply_to: ctx.self_id() });
+    }
+
+    /// Resolves (registering on first use) the engine connection id for a
+    /// flow.
+    fn conn_for(&mut self, ctx: &mut Ctx<'_>, flow: TcpFlow, seq: u32) -> u16 {
+        if let Some(&c) = self.conns.get(&flow) {
+            return c;
+        }
+        let c = self.next_conn;
+        self.next_conn += 1;
+        self.conns.insert(flow, c);
+        let engine = self.engine;
+        ctx.send_now(engine, RegisterConnection { conn: c, flow, seq });
+        c
+    }
+
+    fn on_job(&mut self, ctx: &mut Ctx<'_>, job: D2dJob) {
+        assert!(
+            job.ops.len() <= D2dCommand::MAX_OPS,
+            "a D2D command carries at most {} ops",
+            D2dCommand::MAX_OPS
+        );
+        // Translate the design-independent job into the wire command.
+        let mut aux_blob: Option<Vec<u8>> = None;
+        let aux_off = (self.aux_slot % 16_384) * 64;
+        let mut ops = Vec::with_capacity(job.ops.len());
+        let mut metadata_lookups = 0u64;
+        for op in &job.ops {
+            let code = match op {
+                D2dOp::SsdRead { ssd, lba, len } => {
+                    metadata_lookups += 1; // VFS block mapping
+                    DevOpCode::SsdRead { ssd: *ssd as u8, lba: *lba, len: *len as u32 }
+                }
+                D2dOp::SsdWrite { ssd, lba } => {
+                    metadata_lookups += 1;
+                    DevOpCode::SsdWrite { ssd: *ssd as u8, lba: *lba }
+                }
+                D2dOp::Process { function, aux } => {
+                    let off = if aux.is_empty() {
+                        0
+                    } else {
+                        assert!(aux.len() <= 64, "aux block exceeds one slot");
+                        aux_blob = Some(aux.clone());
+                        self.aux_slot += 1;
+                        aux_off as u32
+                    };
+                    DevOpCode::Process {
+                        function: *function,
+                        aux_off: off,
+                        aux_len: aux.len() as u16,
+                    }
+                }
+                D2dOp::NicSend { flow, seq } => {
+                    metadata_lookups += 1; // TCP connection lookup
+                    let conn = self.conn_for(ctx, *flow, *seq);
+                    DevOpCode::NicSend { conn, seq: *seq }
+                }
+                D2dOp::NicRecv { flow, len } => {
+                    metadata_lookups += 1;
+                    let conn = self.conn_for(ctx, *flow, 0);
+                    DevOpCode::NicRecv { conn, len: *len as u32 }
+                }
+            };
+            ops.push(code);
+        }
+        let id = job.id;
+        let cmd = D2dCommand { id, ops };
+        let cost = self.costs.hdc_ioctl_ns + self.costs.hdc_metadata_ns * metadata_lookups.max(1);
+        let tag = job.tag;
+        self.jobs.insert(
+            id,
+            JobCtx {
+                job,
+                driver_ns: cost,
+                engine_bd: None,
+                record: None,
+                completion_ns: 0,
+                submitted_at: ctx.now(),
+            },
+        );
+        self.cpu_job(ctx, cost, tag, CpuPhase::Submit { id, cmd, aux: aux_blob });
+    }
+
+    fn submit(&mut self, ctx: &mut Ctx<'_>, id: u64, cmd: D2dCommand, aux: Option<Vec<u8>>) {
+        self.jobs.get_mut(&id).expect("live job").submitted_at = ctx.now();
+        match aux {
+            Some(blob) => {
+                // Stage aux in host DRAM, DMA it into the engine's aux
+                // buffer, and write the command once the DMA lands.
+                let aux_off = match cmd.ops.iter().find_map(|o| match o {
+                    DevOpCode::Process { aux_off, aux_len, .. } if *aux_len > 0 => Some(*aux_off),
+                    _ => None,
+                }) {
+                    Some(off) => off,
+                    None => unreachable!("aux blob without a Process op"),
+                };
+                let staging = self.layout.aux_staging + (id % 64) * 64;
+                ctx.world().expect_mut::<PhysMemory>().write(staging, &blob);
+                let token = self.next_token;
+                self.next_token += 1;
+                self.cpu_phases
+                    .insert(token, CpuPhase::Submit { id, cmd, aux: None });
+                // Reuse the CpuPhase slot as a DMA continuation: the token
+                // comes back via DmaComplete instead of CpuJobDone.
+                let fabric = self.fabric;
+                ctx.send_now(
+                    fabric,
+                    DmaRequest {
+                        id: token,
+                        src: staging,
+                        dst: self.engine_aux_base + aux_off as u64,
+                        len: blob.len(),
+                        reply_to: ctx.self_id(),
+                    },
+                );
+            }
+            None => {
+                let fabric = self.fabric;
+                ctx.send_now(
+                    fabric,
+                    MmioWrite { addr: self.cmd_queue, data: cmd.to_bytes().to_vec() },
+                );
+            }
+        }
+    }
+
+    fn drain_completions(&mut self, ctx: &mut Ctx<'_>) {
+        loop {
+            let slot = self.layout.completion_ring
+                + self.comp_head as u64 * CompletionRecord::SIZE as u64;
+            let record = {
+                let mem = ctx.world_ref().expect::<PhysMemory>();
+                let raw: [u8; CompletionRecord::SIZE] = mem
+                    .read(slot, CompletionRecord::SIZE)
+                    .try_into()
+                    .expect("64 bytes");
+                CompletionRecord::from_bytes(&raw, self.comp_phase)
+            };
+            let Some(record) = record else { break };
+            ctx.world().stats.counter("hdc.driver_records").add(1);
+            // Clear the slot so a stale same-phase record is never re-read.
+            ctx.world()
+                .expect_mut::<PhysMemory>()
+                .write(slot, &[0u8; CompletionRecord::SIZE]);
+            self.comp_head += 1;
+            if self.comp_head == self.layout.completion_depth {
+                self.comp_head = 0;
+                self.comp_phase = !self.comp_phase;
+            }
+            let id = record.id;
+            if let Some(j) = self.jobs.get_mut(&id) {
+                j.completion_ns = self.costs.hdc_completion_ns;
+                j.record = Some(record);
+            }
+            self.try_finish(ctx, id);
+        }
+    }
+
+    fn try_finish(&mut self, ctx: &mut Ctx<'_>, id: u64) {
+        let ready = self
+            .jobs
+            .get(&id)
+            .is_some_and(|j| j.record.is_some() && j.engine_bd.is_some());
+        if !ready {
+            return;
+        }
+        let j = self.jobs.remove(&id).expect("checked");
+        let record = j.record.expect("checked");
+        let mut breakdown = j.engine_bd.expect("checked");
+        breakdown.add(Category::DeviceControl, j.driver_ns);
+        breakdown.add(Category::RequestCompletion, j.completion_ns);
+        ctx.world().stats.counter("hdc.jobs_done").add(1);
+        ctx.send_now(
+            j.job.reply_to,
+            D2dDone {
+                id,
+                ok: record.ok,
+                breakdown,
+                digest: (!record.digest.is_empty()).then_some(record.digest),
+                payload_len: record.payload_len as usize,
+            },
+        );
+    }
+}
+
+impl Component for HdcDriver {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        let msg = match msg.downcast::<D2dJob>() {
+            Ok(job) => {
+                self.on_job(ctx, job);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<CpuJobDone>() {
+            Ok(done) => {
+                match self.cpu_phases.remove(&done.token).expect("live cpu phase") {
+                    CpuPhase::Submit { id, cmd, aux } => self.submit(ctx, id, cmd, aux),
+                    CpuPhase::Complete => self.drain_completions(ctx),
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<DmaComplete>() {
+            Ok(done) => {
+                // Aux staging DMA finished: now write the command.
+                match self.cpu_phases.remove(&done.id).expect("live aux dma") {
+                    CpuPhase::Submit { id: _, cmd, aux: None } => {
+                        let fabric = self.fabric;
+                        ctx.send_now(
+                            fabric,
+                            MmioWrite { addr: self.cmd_queue, data: cmd.to_bytes().to_vec() },
+                        );
+                    }
+                    _ => panic!("unexpected continuation for aux DMA"),
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<EngineBreakdown>() {
+            Ok(eb) => {
+                ctx.world().stats.counter("hdc.driver_engine_bd").add(1);
+                if let Some(j) = self.jobs.get_mut(&eb.id) {
+                    j.engine_bd = Some(eb.breakdown);
+                }
+                let id = eb.id;
+                self.try_finish(ctx, id);
+                return;
+            }
+            Err(m) => m,
+        };
+        match msg.downcast::<MsiDelivery>() {
+            Ok(d) => {
+                assert_eq!(d.vector, 0x80, "driver handles only engine completions");
+                // Interrupt + completion handling on the CPU, then drain.
+                let cost = self.costs.irq_entry_ns + self.costs.hdc_completion_ns;
+                // Tag under the oldest outstanding job's tag.
+                let tag = self
+                    .jobs
+                    .values()
+                    .min_by_key(|j| j.submitted_at)
+                    .map(|j| j.job.tag)
+                    .unwrap_or("hdc-driver");
+                self.cpu_job(ctx, cost, tag, CpuPhase::Complete);
+            }
+            Err(other) => panic!("HdcDriver received unexpected message: {other:?}"),
+        }
+    }
+}

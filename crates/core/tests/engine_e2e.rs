@@ -1,0 +1,345 @@
+//! End-to-end DCS-ctrl tests: two nodes, HDC Engines orchestrating
+//! off-the-shelf SSD and NIC models, data verified byte-for-byte.
+
+use dcs_core::{build_dcs_pair, DcsNodeBuilder, FileDesc, HdcLibrary, SocketDesc};
+use dcs_core::lib_api::Permissions;
+use dcs_host::job::{D2dDone, D2dJob, D2dOp};
+use dcs_ndp::{md5::md5, NdpFunction};
+use dcs_nic::{TcpFlow, WireConfig};
+use dcs_pcie::PhysMemory;
+use dcs_sim::{time, Category, Component, ComponentId, Ctx, Msg, Simulator};
+
+/// World-resident mailbox the tests read results from.
+#[derive(Default, Debug)]
+struct Inbox(Vec<D2dDone>);
+
+/// Collects D2dDone results into world stats + the [`Inbox`].
+struct App;
+
+#[derive(Debug)]
+struct Submit {
+    to: ComponentId,
+    job: D2dJob,
+}
+
+impl Component for App {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        let msg = match msg.downcast::<Submit>() {
+            Ok(Submit { to, job }) => {
+                ctx.send_now(to, job);
+                return;
+            }
+            Err(m) => m,
+        };
+        let done = msg.downcast::<D2dDone>().expect("app receives job completions");
+        ctx.world().stats.counter("app.done").add(1);
+        if done.ok {
+            ctx.world().stats.counter("app.ok").add(1);
+        }
+        if ctx.world().get::<Inbox>().is_none() {
+            ctx.world().insert(Inbox::default());
+        }
+        ctx.world().expect_mut::<Inbox>().0.push(done);
+    }
+}
+
+struct Rig {
+    sim: Simulator,
+    a: dcs_core::DcsNode,
+    b: dcs_core::DcsNode,
+    app: ComponentId,
+}
+
+fn setup() -> Rig {
+    let mut sim = Simulator::new(42);
+    let (a, b) = build_dcs_pair(
+        &mut sim,
+        &DcsNodeBuilder::new("alpha"),
+        &DcsNodeBuilder::new("beta"),
+        WireConfig::default(),
+    );
+    let app = sim.add("app", App);
+    // Let initialization settle.
+    sim.run();
+    Rig { sim, a, b, app }
+}
+
+#[test]
+fn ssd_to_nic_d2d_transfers_real_bytes() {
+    let mut rig = setup();
+    let len = 64 * 1024;
+    let payload: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+    rig.sim
+        .world_mut()
+        .expect_mut::<PhysMemory>()
+        .write(rig.a.ssds[0].lba_addr(500), &payload);
+
+    let flow = TcpFlow::example(1, 2, 40_000, 9000);
+    // Sender job on A: SSD read -> NIC send.
+    let send_job = D2dJob {
+        id: 1,
+        ops: vec![
+            D2dOp::SsdRead { ssd: 0, lba: 500, len },
+            D2dOp::NicSend { flow, seq: 1000 },
+        ],
+        reply_to: rig.app,
+        tag: "send",
+    };
+    // Receiver job on B: NIC recv -> MD5 digest (verifies payload).
+    let recv_flow = flow.reversed();
+    let recv_job = D2dJob {
+        id: 2,
+        ops: vec![
+            D2dOp::NicRecv { flow: recv_flow, len },
+            D2dOp::Process { function: NdpFunction::Md5, aux: vec![] },
+        ],
+        reply_to: rig.app,
+        tag: "recv",
+    };
+    rig.sim.kickoff(rig.app, Submit { to: rig.b.driver, job: recv_job });
+    rig.sim.kickoff(rig.app, Submit { to: rig.a.driver, job: send_job });
+    rig.sim.run();
+
+    assert_eq!(rig.sim.world().stats.counter_value("app.ok"), 2);
+    assert_eq!(rig.sim.world().stats.counter_value("hdc.cmd_parse_errors"), 0);
+    // The wire really carried the bytes: no drops, frames counted.
+    assert_eq!(rig.sim.world().stats.counter_value("nic.rx_dropped_no_buffer"), 0);
+    assert!(rig.sim.world().stats.counter_value("wire.frames") >= (len / 1448) as u64);
+}
+
+#[test]
+fn digest_travels_back_in_the_completion_record() {
+    let mut rig = setup();
+    let len = 16 * 1024;
+    let payload: Vec<u8> = (0..len).map(|i| (i * 7 % 253) as u8).collect();
+    let expected = md5(&payload);
+    rig.sim
+        .world_mut()
+        .expect_mut::<PhysMemory>()
+        .write(rig.a.ssds[0].lba_addr(0), &payload);
+
+    let flow = TcpFlow::example(1, 2, 40_001, 9001);
+    // A computes MD5 via NDP while sending.
+    let job = D2dJob {
+        id: 7,
+        ops: vec![
+            D2dOp::SsdRead { ssd: 0, lba: 0, len },
+            D2dOp::Process { function: NdpFunction::Md5, aux: vec![] },
+            D2dOp::NicSend { flow, seq: 0 },
+        ],
+        reply_to: rig.app,
+        tag: "send-md5",
+    };
+    // B receives and digests independently.
+    let recv = D2dJob {
+        id: 8,
+        ops: vec![
+            D2dOp::NicRecv { flow: flow.reversed(), len },
+            D2dOp::Process { function: NdpFunction::Md5, aux: vec![] },
+        ],
+        reply_to: rig.app,
+        tag: "recv-md5",
+    };
+    rig.sim.kickoff(rig.app, Submit { to: rig.b.driver, job: recv });
+    rig.sim.kickoff(rig.app, Submit { to: rig.a.driver, job });
+    rig.sim.run();
+    assert_eq!(rig.sim.world().stats.counter_value("app.ok"), 2);
+    assert_eq!(rig.sim.world().stats.counter_value("hdc.ndp_errors"), 0);
+    // Both completion records carry the digest of the exact bytes that
+    // crossed the fabric — sender-side and receiver-side must agree.
+    let inbox = rig.sim.world().expect::<Inbox>();
+    let digests: Vec<&Vec<u8>> = inbox.0.iter().filter_map(|d| d.digest.as_ref()).collect();
+    assert_eq!(digests.len(), 2, "both jobs hash");
+    for d in &digests {
+        assert_eq!(d.as_slice(), expected.as_slice(), "digest matches payload MD5");
+    }
+}
+
+#[test]
+fn recvfile_persists_received_data_to_remote_flash() {
+    let mut rig = setup();
+    let len = 32 * 1024;
+    let payload: Vec<u8> = (0..len).map(|i| (i % 239) as u8).collect();
+    rig.sim
+        .world_mut()
+        .expect_mut::<PhysMemory>()
+        .write(rig.a.ssds[0].lba_addr(100), &payload);
+
+    let mut lib = HdcLibrary::new();
+    let flow = TcpFlow::example(1, 2, 50_000, 9002);
+    let src_file = FileDesc { ssd: 0, base_lba: 100, len: len as u64, perms: Permissions::RO };
+    let sock_a = SocketDesc { flow, seq: 0, perms: Permissions::RW };
+    let send = lib.sendfile(&src_file, &sock_a, 0, len, rig.app, "balancer-send").unwrap();
+
+    let dst_file = FileDesc { ssd: 0, base_lba: 900, len: len as u64, perms: Permissions::RW };
+    let sock_b = SocketDesc { flow: flow.reversed(), seq: 0, perms: Permissions::RW };
+    let recv = lib
+        .recvfile_processed(
+            &sock_b,
+            &dst_file,
+            0,
+            len,
+            Some((NdpFunction::Crc32, vec![])),
+            rig.app,
+            "balancer-recv",
+        )
+        .unwrap();
+
+    rig.sim.kickoff(rig.app, Submit { to: rig.b.driver, job: recv });
+    rig.sim.kickoff(rig.app, Submit { to: rig.a.driver, job: send });
+    rig.sim.run();
+
+    assert_eq!(rig.sim.world().stats.counter_value("app.ok"), 2);
+    // The HDFS-balancer flow: data left A's flash, crossed the wire, was
+    // CRC-checked by B's NDP unit, and landed on B's flash.
+    let on_b = rig.sim.world().expect::<PhysMemory>().read(rig.b.ssds[0].lba_addr(900), len);
+    assert_eq!(on_b, payload);
+}
+
+#[test]
+fn aes_encrypted_transfer_decrypts_on_the_other_side() {
+    let mut rig = setup();
+    let len = 8 * 1024;
+    let payload: Vec<u8> = (0..len).map(|i| (i * 13 % 251) as u8).collect();
+    rig.sim
+        .world_mut()
+        .expect_mut::<PhysMemory>()
+        .write(rig.a.ssds[0].lba_addr(0), &payload);
+    let mut aux = vec![0x42u8; 32];
+    aux.extend([0x17u8; 16]);
+
+    let flow = TcpFlow::example(1, 2, 50_001, 9003);
+    let send = D2dJob {
+        id: 11,
+        ops: vec![
+            D2dOp::SsdRead { ssd: 0, lba: 0, len },
+            D2dOp::Process { function: NdpFunction::Aes256Encrypt, aux: aux.clone() },
+            D2dOp::NicSend { flow, seq: 0 },
+        ],
+        reply_to: rig.app,
+        tag: "secure-send",
+    };
+    let recv = D2dJob {
+        id: 12,
+        ops: vec![
+            D2dOp::NicRecv { flow: flow.reversed(), len },
+            D2dOp::Process { function: NdpFunction::Aes256Decrypt, aux },
+            D2dOp::SsdWrite { ssd: 0, lba: 700 },
+        ],
+        reply_to: rig.app,
+        tag: "secure-recv",
+    };
+    rig.sim.kickoff(rig.app, Submit { to: rig.b.driver, job: recv });
+    rig.sim.kickoff(rig.app, Submit { to: rig.a.driver, job: send });
+    rig.sim.run();
+    assert_eq!(rig.sim.world().stats.counter_value("app.ok"), 2);
+    let on_b = rig.sim.world().expect::<PhysMemory>().read(rig.b.ssds[0].lba_addr(700), len);
+    assert_eq!(on_b, payload, "decrypt(encrypt(x)) must land as x");
+}
+
+#[test]
+fn invalid_lba_fails_cleanly_through_the_whole_stack() {
+    let mut rig = setup();
+    let job = D2dJob {
+        id: 21,
+        ops: vec![
+            D2dOp::SsdRead { ssd: 0, lba: u64::MAX / 8192, len: 4096 },
+            D2dOp::NicSend { flow: TcpFlow::example(1, 2, 3, 4), seq: 0 },
+        ],
+        reply_to: rig.app,
+        tag: "bad",
+    };
+    rig.sim.kickoff(rig.app, Submit { to: rig.a.driver, job });
+    rig.sim.run();
+    assert_eq!(rig.sim.world().stats.counter_value("app.done"), 1);
+    assert_eq!(rig.sim.world().stats.counter_value("app.ok"), 0);
+}
+
+#[test]
+fn dcs_latency_beats_typical_software_budget() {
+    // A 4 KiB SSD->NIC op completes within tens of microseconds: flash
+    // latency dominates and software contributes almost nothing.
+    let mut rig = setup();
+    let len = 4096;
+    rig.sim
+        .world_mut()
+        .expect_mut::<PhysMemory>()
+        .write(rig.a.ssds[0].lba_addr(0), &vec![1u8; len]);
+    let t0 = rig.sim.now();
+    let job = D2dJob {
+        id: 31,
+        ops: vec![
+            D2dOp::SsdRead { ssd: 0, lba: 0, len },
+            D2dOp::NicSend { flow: TcpFlow::example(1, 2, 5, 6), seq: 0 },
+        ],
+        reply_to: rig.app,
+        tag: "latency",
+    };
+    rig.sim.kickoff(rig.app, Submit { to: rig.a.driver, job });
+    rig.sim.run();
+    let elapsed = rig.sim.now() - t0;
+    assert_eq!(rig.sim.world().stats.counter_value("app.ok"), 1);
+    assert!(elapsed > time::us(14), "must include flash latency: {elapsed}");
+    assert!(elapsed < time::us(40), "DCS path should be lean: {elapsed}");
+}
+
+#[test]
+fn many_pipelined_commands_complete_in_order() {
+    let mut rig = setup();
+    let len = 16 * 1024;
+    for i in 0..40u64 {
+        rig.sim
+            .world_mut()
+            .expect_mut::<PhysMemory>()
+            .write(rig.a.ssds[0].lba_addr(i * 8), &vec![i as u8; len]);
+    }
+    let flow = TcpFlow::example(1, 2, 60_000, 9100);
+    for i in 0..40u64 {
+        let job = D2dJob {
+            id: 100 + i,
+            ops: vec![
+                D2dOp::SsdRead { ssd: 0, lba: i * 8, len },
+                D2dOp::Process { function: NdpFunction::Crc32, aux: vec![] },
+                D2dOp::NicSend { flow, seq: (i * len as u64) as u32 },
+            ],
+            reply_to: rig.app,
+            tag: "stream",
+        };
+        rig.sim.kickoff(rig.app, Submit { to: rig.a.driver, job });
+    }
+    rig.sim.run();
+    assert_eq!(rig.sim.world().stats.counter_value("app.ok"), 40);
+    // Aggregate throughput bound: 40 * 16 KiB over the 10 Gbps wire.
+    let floor = dcs_sim::Bandwidth::gbps(10.0).transfer_time(40 * len);
+    assert!(rig.sim.now().as_nanos() >= floor);
+}
+
+#[test]
+fn engine_reports_scoreboard_overhead_in_breakdowns() {
+    // The Scoreboard category must be present and small (Figure 11's
+    // "minimal scoreboard overhead").
+    let mut rig = setup();
+    rig.sim
+        .world_mut()
+        .expect_mut::<PhysMemory>()
+        .write(rig.a.ssds[0].lba_addr(0), &vec![9u8; 4096]);
+    let job = D2dJob {
+        id: 41,
+        ops: vec![
+            D2dOp::SsdRead { ssd: 0, lba: 0, len: 4096 },
+            D2dOp::NicSend { flow: TcpFlow::example(1, 2, 7, 8), seq: 0 },
+        ],
+        reply_to: rig.app,
+        tag: "breakdown",
+    };
+    rig.sim.kickoff(rig.app, Submit { to: rig.a.driver, job });
+    rig.sim.run();
+    assert_eq!(rig.sim.world().stats.counter_value("app.ok"), 1);
+    let inbox = rig.sim.world().expect::<Inbox>();
+    let bd = &inbox.0.last().expect("one result").breakdown;
+    let scoreboard = bd.get(Category::Scoreboard);
+    assert!(scoreboard > 0, "scoreboard overhead must be visible");
+    assert!(scoreboard < time::us(2), "and minimal: {scoreboard}ns");
+    assert!(bd.get(Category::Read) > time::us(10), "flash time dominates");
+    assert!(bd.get(Category::DeviceControl) < time::us(10), "driver software is thin");
+}

@@ -1,0 +1,270 @@
+//! An idealized consolidated device — the *device integration* reference
+//! point of Figure 3 and Table I.
+//!
+//! QuickSAN/BlueDBM-style devices fuse storage, network, and processing
+//! behind one internal interconnect: data never crosses the PCIe switch
+//! and control never leaves the device. This executor models that upper
+//! bound analytically: per-op device service times (flash, processing,
+//! wire) plus a tiny internal control overhead, with a single syscall of
+//! host software per job. It really moves and processes the bytes (so
+//! digests remain comparable), but intentionally skips fabric contention —
+//! it exists to show how close DCS-ctrl gets to a fused design while
+//! keeping off-the-shelf devices.
+
+use std::collections::HashMap;
+
+use dcs_nvme::{NvmeConfig, LBA_SIZE};
+use dcs_pcie::{AddrRange, PhysMemory};
+use dcs_sim::{time, Bandwidth, Breakdown, Category, Component, ComponentId, Ctx, Msg};
+
+use crate::costs::KernelCosts;
+use crate::cpu::{CpuJob, CpuJobDone};
+use crate::job::{D2dDone, D2dJob, D2dOp};
+
+/// Timing parameters of the consolidated device.
+#[derive(Clone, Debug)]
+pub struct IntegrationConfig {
+    /// Flash timing (same silicon as the discrete SSD).
+    pub nvme: NvmeConfig,
+    /// Internal interconnect bandwidth between the fused engines.
+    pub internal_bandwidth: Bandwidth,
+    /// Hardware control overhead per device operation.
+    pub control_ns: u64,
+    /// Processing throughput of the integrated accelerator.
+    pub processing: Bandwidth,
+    /// Network line rate of the integrated NIC.
+    pub wire: Bandwidth,
+    /// One-way network propagation.
+    pub propagation_ns: u64,
+}
+
+impl Default for IntegrationConfig {
+    fn default() -> Self {
+        IntegrationConfig {
+            nvme: NvmeConfig::default(),
+            internal_bandwidth: Bandwidth::gbps(64.0),
+            control_ns: 300,
+            processing: Bandwidth::gbps(40.0),
+            wire: Bandwidth::gbps(10.0),
+            propagation_ns: time::us(2),
+        }
+    }
+}
+
+/// The idealized integrated-device executor.
+///
+/// Accepts the same [`D2dJob`]s as every other executor. Storage reads
+/// take their data from the given flash region so end-to-end digests match
+/// the discrete designs.
+pub struct IntegratedExecutor {
+    config: IntegrationConfig,
+    costs: KernelCosts,
+    cpu: ComponentId,
+    /// Flash backing region (shared layout with the discrete SSD model).
+    flash: AddrRange,
+    pending: HashMap<u64, D2dJob>,
+    next_token: u64,
+    tokens: HashMap<u64, u64>,
+}
+
+/// Internal: all device work for a job has elapsed.
+#[derive(Debug)]
+struct DeviceDone {
+    job_id: u64,
+    breakdown: Breakdown,
+    digest: Option<Vec<u8>>,
+    ok: bool,
+    payload_len: usize,
+}
+
+impl IntegratedExecutor {
+    /// Creates the executor over a flash region.
+    pub fn new(
+        config: IntegrationConfig,
+        costs: KernelCosts,
+        cpu: ComponentId,
+        flash: AddrRange,
+    ) -> Self {
+        IntegratedExecutor {
+            config,
+            costs,
+            cpu,
+            flash,
+            pending: HashMap::new(),
+            next_token: 1,
+            tokens: HashMap::new(),
+        }
+    }
+
+    /// Computes device time and runs the real data path for `job`.
+    fn execute(&self, ctx: &mut Ctx<'_>, job: &D2dJob) -> DeviceDone {
+        let mut breakdown = Breakdown::new();
+        let mut payload: Vec<u8> = Vec::new();
+        let mut digest = None;
+        let mut ok = true;
+        for op in &job.ops {
+            breakdown.add(Category::DeviceControl, self.config.control_ns);
+            match op {
+                D2dOp::SsdRead { lba, len, .. } => {
+                    let t = self.config.nvme.read_latency_ns
+                        + self.config.nvme.read_bandwidth.transfer_time(*len)
+                        + self.config.internal_bandwidth.transfer_time(*len);
+                    breakdown.add(Category::Read, t);
+                    payload = ctx
+                        .world_ref()
+                        .expect::<PhysMemory>()
+                        .read(self.flash.start + *lba * LBA_SIZE, *len);
+                }
+                D2dOp::SsdWrite { lba, .. } => {
+                    let t = self.config.nvme.write_latency_ns
+                        + self.config.nvme.write_bandwidth.transfer_time(payload.len())
+                        + self.config.internal_bandwidth.transfer_time(payload.len());
+                    breakdown.add(Category::Write, t);
+                    ctx.world()
+                        .expect_mut::<PhysMemory>()
+                        .write(self.flash.start + *lba * LBA_SIZE, &payload);
+                }
+                D2dOp::Process { function, aux } => {
+                    let t = self.config.processing.transfer_time(payload.len());
+                    breakdown.add(Category::Hash, t);
+                    match function.apply(&payload, aux) {
+                        Ok(out) => {
+                            if let Some(d) = out.digest {
+                                digest = Some(d);
+                            }
+                            if let Some(data) = out.data {
+                                payload = data;
+                            }
+                        }
+                        Err(_) => ok = false,
+                    }
+                }
+                D2dOp::NicSend { .. } => {
+                    let t = self.config.wire.transfer_time(payload.len())
+                        + self.config.propagation_ns;
+                    breakdown.add(Category::Wire, t);
+                }
+                D2dOp::NicRecv { len, .. } => {
+                    let t = self.config.wire.transfer_time(*len) + self.config.propagation_ns;
+                    breakdown.add(Category::Wire, t);
+                    // Integrated receive synthesizes the payload locally
+                    // (the fused device has no discrete peer in this
+                    // reference model).
+                    payload = vec![0u8; *len];
+                }
+            }
+        }
+        DeviceDone { job_id: job.id, breakdown, digest, ok, payload_len: payload.len() }
+    }
+}
+
+impl Component for IntegratedExecutor {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        let msg = match msg.downcast::<D2dJob>() {
+            Ok(job) => {
+                // One syscall of host software per job.
+                let token = self.next_token;
+                self.next_token += 1;
+                self.tokens.insert(token, job.id);
+                let cpu = self.cpu;
+                let tag = job.tag;
+                self.pending.insert(job.id, job);
+                let cost = self.costs.syscall_ns + self.costs.vfs_lookup_ns;
+                ctx.send_now(cpu, CpuJob { token, cost_ns: cost, tag, reply_to: ctx.self_id() });
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<CpuJobDone>() {
+            Ok(done) => {
+                let job_id = self.tokens.remove(&done.token).expect("token routed");
+                let job = self.pending.get(&job_id).expect("live job").clone();
+                let mut result = self.execute(ctx, &job);
+                result
+                    .breakdown
+                    .add(Category::DeviceControl, self.costs.syscall_ns + self.costs.vfs_lookup_ns);
+                let delay = result.breakdown.total();
+                ctx.send_self_in(delay, result);
+                return;
+            }
+            Err(m) => m,
+        };
+        match msg.downcast::<DeviceDone>() {
+            Ok(done) => {
+                let job = self.pending.remove(&done.job_id).expect("live job");
+                ctx.send_now(
+                    job.reply_to,
+                    D2dDone {
+                        id: done.job_id,
+                        ok: done.ok,
+                        breakdown: done.breakdown,
+                        digest: done.digest,
+                        payload_len: done.payload_len,
+                    },
+                );
+            }
+            Err(other) => panic!("IntegratedExecutor received unexpected message: {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::CpuPool;
+    use dcs_ndp::NdpFunction;
+    use dcs_pcie::PortId;
+    use dcs_sim::Simulator;
+
+    struct Sink;
+    impl Component for Sink {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+            let d = msg.downcast::<D2dDone>().expect("sink gets job completions");
+            ctx.world().stats.counter("sink.done").add(1);
+            if let Some(digest) = d.digest {
+                assert_eq!(
+                    dcs_ndp::to_hex(&digest),
+                    dcs_ndp::to_hex(&dcs_ndp::md5::md5(&vec![0x11u8; 8192]))
+                );
+                ctx.world().stats.counter("sink.digest_ok").add(1);
+            }
+        }
+    }
+
+    #[test]
+    fn integrated_read_hash_send_is_fast_and_correct() {
+        let mut sim = Simulator::new(4);
+        sim.world_mut().insert(PhysMemory::new());
+        let flash = sim
+            .world_mut()
+            .expect_mut::<PhysMemory>()
+            .alloc_region("fused-flash", 1 << 30, PortId(1));
+        sim.world_mut()
+            .expect_mut::<PhysMemory>()
+            .write(flash.start, &vec![0x11u8; 8192]);
+        let cpu = sim.add("cpu", CpuPool::new("node0", 6));
+        let exec = sim.add(
+            "integrated",
+            IntegratedExecutor::new(IntegrationConfig::default(), KernelCosts::default(), cpu, flash),
+        );
+        let sink = sim.add("sink", Sink);
+        sim.kickoff(
+            exec,
+            D2dJob {
+                id: 1,
+                ops: vec![
+                    D2dOp::SsdRead { ssd: 0, lba: 0, len: 8192 },
+                    D2dOp::Process { function: NdpFunction::Md5, aux: vec![] },
+                    D2dOp::NicSend { flow: dcs_nic::TcpFlow::example(1, 2, 3, 4), seq: 0 },
+                ],
+                reply_to: sink,
+                tag: "fused",
+            },
+        );
+        sim.run();
+        assert_eq!(sim.world().stats.counter_value("sink.done"), 1);
+        assert_eq!(sim.world().stats.counter_value("sink.digest_ok"), 1);
+        // The fused device should complete well under 50us for 8 KiB.
+        assert!(sim.now().as_nanos() < time::us(50), "{}", sim.now());
+    }
+}

@@ -1,0 +1,498 @@
+//! The host NIC driver and TCP/IP stack model.
+//!
+//! Transmit: per-operation socket/TCP setup plus per-packet work on the
+//! CPU, then a descriptor + doorbell to the NIC (LSO pushes segmentation
+//! into hardware, as the optimized baselines of the paper assume).
+//!
+//! Receive: the NIC lands whole frames in driver-posted buffers; the
+//! driver's interrupt path charges per-packet TCP processing and then
+//! *gathers* payload bytes into the consumer's contiguous buffer with CPU
+//! copies — the "data gathering problem" (§V-C2) that costs the software
+//! designs so dearly on receive-heavy workloads and that the HDC Engine
+//! solves with packet-gathering hardware.
+
+use std::collections::{HashMap, VecDeque};
+
+use dcs_nic::headers::{build_template, parse_frame};
+use dcs_nic::{
+    ConfigureNic, NicHandle, RecvDescriptor, RecvWriteback, RingWriter, SendDescriptor, TcpFlow,
+};
+use dcs_pcie::{AddrRange, MmioWrite, MsiDelivery, PhysAddr, PhysMemory};
+use dcs_sim::{Breakdown, Category, Component, ComponentId, Ctx, Msg, SimTime};
+
+use crate::costs::{KernelCosts, KernelMode};
+use crate::cpu::{CpuJob, CpuJobDone};
+
+/// Driver-local layout and tuning.
+#[derive(Clone, Debug)]
+pub struct NicDriverConfig {
+    /// Kernel mode (vanilla pays socket-buffer and extra copy costs).
+    pub mode: KernelMode,
+    /// Number of 2 KiB receive buffers kept posted.
+    pub recv_buffers: u16,
+    /// MSS assumed for LSO descriptors.
+    pub mss: u16,
+}
+
+impl Default for NicDriverConfig {
+    fn default() -> Self {
+        NicDriverConfig { mode: KernelMode::Optimized, recv_buffers: 512, mss: 1448 }
+    }
+}
+
+/// Transmit `len` payload bytes at `payload_addr` on `flow`.
+#[derive(Debug, Clone)]
+pub struct SendRequest {
+    /// Requester-chosen identifier echoed in [`SendDone`].
+    pub id: u64,
+    /// Established connection to transmit on.
+    pub flow: TcpFlow,
+    /// Starting sequence number.
+    pub seq: u32,
+    /// Contiguous payload location (host memory, or device memory in P2P
+    /// designs — the NIC gathers from wherever the descriptor points).
+    pub payload_addr: PhysAddr,
+    /// Payload length in bytes.
+    pub len: usize,
+    /// CPU-utilization tag.
+    pub tag: &'static str,
+    /// Component notified on completion.
+    pub reply_to: ComponentId,
+}
+
+/// Completion of a [`SendRequest`].
+#[derive(Debug, Clone)]
+pub struct SendDone {
+    /// Identifier from the originating request.
+    pub id: u64,
+    /// Latency breakdown (network-stack CPU, device control, wire).
+    pub breakdown: Breakdown,
+}
+
+/// Ask the driver to accumulate `len` received payload bytes of `flow`
+/// into `into` (contiguous).
+#[derive(Debug, Clone)]
+pub struct RecvExpect {
+    /// Requester-chosen identifier echoed in [`RecvDone`].
+    pub id: u64,
+    /// Connection to receive on (matched by source port of arriving
+    /// frames).
+    pub flow: TcpFlow,
+    /// Payload bytes to accumulate.
+    pub len: usize,
+    /// Destination buffer for the gathered payload.
+    pub into: PhysAddr,
+    /// CPU-utilization tag.
+    pub tag: &'static str,
+    /// Component notified when `len` bytes have been gathered.
+    pub reply_to: ComponentId,
+}
+
+/// Completion of a [`RecvExpect`].
+#[derive(Debug, Clone)]
+pub struct RecvDone {
+    /// Identifier from the originating expectation.
+    pub id: u64,
+    /// Latency breakdown (per-packet network stack time, gather copies).
+    pub breakdown: Breakdown,
+}
+
+struct PendingSend {
+    req: SendRequest,
+    stack_ns: u64,
+    submitted_at: SimTime,
+    /// Transmit descriptors still outstanding (large sends split at the
+    /// LSO limit).
+    descs_remaining: usize,
+}
+
+struct Expectation {
+    req: RecvExpect,
+    received: usize,
+    stack_ns: u64,
+    copy_ns: u64,
+    started_at: SimTime,
+}
+
+enum CpuPhase {
+    TxSubmit,
+    RxBatch { frames: Vec<(TcpFlow, Vec<u8>)>, copy_ns: u64, stack_ns: u64 },
+    TxComplete,
+}
+
+/// The driver component. One instance drives one NIC.
+pub struct HostNicDriver {
+    cpu: ComponentId,
+    fabric: ComponentId,
+    nic: NicHandle,
+    costs: KernelCosts,
+    config: NicDriverConfig,
+    send_ring: RingWriter,
+    recv_ring: RingWriter,
+    wb_base: PhysAddr,
+    /// Receive frame buffers (2 KiB each), reposted cyclically.
+    recv_bufs: PhysAddr,
+    /// Header template staging, one 64-byte slot per in-flight send.
+    hdr_area: PhysAddr,
+    /// Next write-back slot to scan.
+    wb_next: u16,
+    /// In-flight sends, completed in FIFO order by the NIC's tx MSIs.
+    tx_queue: VecDeque<u64>,
+    tx_submit_queue: VecDeque<u64>,
+    sends: HashMap<u64, PendingSend>,
+    /// Active receive expectations, served in arrival order per flow.
+    expectations: Vec<Expectation>,
+    /// Payload bytes that arrived before any matching expectation.
+    early: HashMap<(u16, u16), VecDeque<u8>>,
+    cpu_phases: HashMap<u64, CpuPhase>,
+    next_cpu_token: u64,
+    hdr_slot: u64,
+    /// Frames consumed since the last buffer repost.
+    consumed_since_repost: u16,
+}
+
+impl HostNicDriver {
+    /// Ring depths used by the driver.
+    pub const SEND_DEPTH: u16 = 2048;
+
+    /// Creates the driver and the NIC configuration message the caller
+    /// must deliver to the device. `area` must provide ≳4 MiB of host
+    /// memory; `msi_addr` (16 bytes) must be claimed for this component.
+    pub fn new(
+        cpu: ComponentId,
+        fabric: ComponentId,
+        nic: NicHandle,
+        costs: KernelCosts,
+        config: NicDriverConfig,
+        area: AddrRange,
+        msi_addr: PhysAddr,
+    ) -> (Self, ConfigureNic) {
+        let send_base = area.start;
+        let recv_base = area.start + 0x10000;
+        let wb_base = area.start + 0x20000;
+        let hdr_area = area.start + 0x30000;
+        let recv_bufs = area.start + 0x100000;
+        let recv_depth = config.recv_buffers + 1;
+        let configure = ConfigureNic {
+            send_ring_base: send_base,
+            send_ring_depth: Self::SEND_DEPTH,
+            recv_ring_base: recv_base,
+            recv_ring_depth: recv_depth,
+            wb_ring_base: wb_base,
+            tx_msi_addr: msi_addr,
+            tx_msi_vector: 0x20,
+            rx_msi_addr: msi_addr + 8,
+            rx_msi_vector: 0x21,
+        };
+        let driver = HostNicDriver {
+            cpu,
+            fabric,
+            nic,
+            costs,
+            config,
+            send_ring: RingWriter::new(send_base, SendDescriptor::SIZE, Self::SEND_DEPTH),
+            recv_ring: RingWriter::new(recv_base, RecvDescriptor::SIZE, recv_depth),
+            wb_base,
+            recv_bufs,
+            hdr_area,
+            wb_next: 0,
+            tx_queue: VecDeque::new(),
+            tx_submit_queue: VecDeque::new(),
+            sends: HashMap::new(),
+            expectations: Vec::new(),
+            early: HashMap::new(),
+            cpu_phases: HashMap::new(),
+            next_cpu_token: 1,
+            hdr_slot: 0,
+            consumed_since_repost: 0,
+        };
+        (driver, configure)
+    }
+
+    /// Posts the initial receive buffers; call once after the NIC has been
+    /// configured (the driver does it lazily on first message otherwise).
+    fn post_recv_buffers(&mut self, ctx: &mut Ctx<'_>, count: u16) {
+        {
+            let mem = ctx.world().expect_mut::<PhysMemory>();
+            for _ in 0..count {
+                let idx = self.recv_ring.tail();
+                let buf = self.recv_bufs + idx as u64 * 2048;
+                let d = RecvDescriptor { buf_addr: buf, buf_len: 2048 };
+                self.recv_ring.push(mem, &d.to_bytes());
+            }
+        }
+        let tail = self.recv_ring.tail();
+        let db = self.nic.rx_doorbell();
+        let fabric = self.fabric;
+        ctx.send_now(fabric, MmioWrite { addr: db, data: (tail as u32).to_le_bytes().to_vec() });
+    }
+
+    fn cpu_job(&mut self, ctx: &mut Ctx<'_>, cost: u64, tag: &'static str, phase: CpuPhase) {
+        let token = self.next_cpu_token;
+        self.next_cpu_token += 1;
+        self.cpu_phases.insert(token, phase);
+        let cpu = self.cpu;
+        ctx.send_now(cpu, CpuJob { token, cost_ns: cost, tag, reply_to: ctx.self_id() });
+    }
+
+    fn on_send(&mut self, ctx: &mut Ctx<'_>, req: SendRequest) {
+        let packets = req.len.div_ceil(self.config.mss as usize).max(1);
+        let mut stack_ns = self.costs.net_tx_cost(self.config.mode, packets);
+        if self.config.mode == KernelMode::Vanilla {
+            // Stock kernel copies user data into socket buffers.
+            stack_ns += self.costs.copy_cost(req.len);
+        }
+        let id = req.id;
+        let tag = req.tag;
+        self.sends.insert(
+            id,
+            PendingSend { req, stack_ns, submitted_at: ctx.now(), descs_remaining: 0 },
+        );
+        self.tx_submit_queue.push_back(id);
+        self.cpu_job(ctx, stack_ns, tag, CpuPhase::TxSubmit);
+    }
+
+    fn submit_send(&mut self, ctx: &mut Ctx<'_>) {
+        let id = self.tx_submit_queue.pop_front().expect("a send awaited this CPU job");
+        // Sends larger than the LSO limit split into multiple descriptors
+        // (as real TSO does, one skb per 64 KiB), completing when the last
+        // one leaves the adapter.
+        const LSO_MAX: usize = 64 * 1024;
+        let (flow, seq0, payload_addr, len) = {
+            let s = self.sends.get_mut(&id).expect("live send");
+            s.submitted_at = ctx.now();
+            (s.req.flow, s.req.seq, s.req.payload_addr, s.req.len)
+        };
+        let chunks: Vec<(u64, usize)> = if len == 0 {
+            vec![(0, 0)]
+        } else {
+            (0..len)
+                .step_by(LSO_MAX)
+                .map(|off| (off as u64, LSO_MAX.min(len - off)))
+                .collect()
+        };
+        self.sends.get_mut(&id).expect("live send").descs_remaining = chunks.len();
+        for (off, chunk_len) in chunks {
+            let template = build_template(&flow, seq0.wrapping_add(off as u32), 0);
+            let hdr_addr = self.hdr_area + (self.hdr_slot % 2048) * 64;
+            self.hdr_slot += 1;
+            let desc = SendDescriptor {
+                header_addr: hdr_addr,
+                header_len: template.len() as u16,
+                payload_addr: payload_addr + off,
+                payload_len: chunk_len as u32,
+                mss: self.config.mss,
+                cookie: id as u32,
+            };
+            let mem = ctx.world().expect_mut::<PhysMemory>();
+            mem.write(hdr_addr, &template);
+            self.send_ring.push(mem, &desc.to_bytes());
+            self.tx_queue.push_back(id);
+        }
+        let tail = self.send_ring.tail();
+        let db = self.nic.tx_doorbell();
+        let fabric = self.fabric;
+        ctx.send_now(fabric, MmioWrite { addr: db, data: (tail as u32).to_le_bytes().to_vec() });
+    }
+
+    fn on_tx_msi(&mut self, ctx: &mut Ctx<'_>) {
+        // NIC completes sends in submission order.
+        let id = self.tx_queue.front().copied().expect("tx MSI with no in-flight send");
+        let tag = self.sends[&id].req.tag;
+        let cost = self.costs.irq_entry_ns + self.costs.completion_path_ns;
+        self.cpu_job(ctx, cost, tag, CpuPhase::TxComplete);
+    }
+
+    fn finish_send(&mut self, ctx: &mut Ctx<'_>) {
+        let id = self.tx_queue.pop_front().expect("live send");
+        {
+            let s = self.sends.get_mut(&id).expect("live send");
+            s.descs_remaining -= 1;
+            if s.descs_remaining > 0 {
+                return;
+            }
+        }
+        let s = self.sends.remove(&id).expect("live send");
+        let mut breakdown = Breakdown::new();
+        breakdown.add(Category::NetworkStack, s.stack_ns);
+        // Wire/device time: doorbell to MSI, minus the completion path we
+        // just charged.
+        let wire_time = (ctx.now() - s.submitted_at)
+            .saturating_sub(self.costs.irq_entry_ns + self.costs.completion_path_ns);
+        breakdown.add(Category::Wire, wire_time);
+        breakdown.add(
+            Category::RequestCompletion,
+            self.costs.irq_entry_ns + self.costs.completion_path_ns,
+        );
+        ctx.send_now(s.req.reply_to, SendDone { id, breakdown });
+    }
+
+    fn on_rx_msi(&mut self, ctx: &mut Ctx<'_>) {
+        // Scan write-backs for newly landed frames.
+        let mut frames: Vec<(TcpFlow, Vec<u8>)> = Vec::new();
+        {
+            let depth = self.recv_ring_depth();
+            loop {
+                let wb_addr = self.wb_base + self.wb_next as u64 * RecvWriteback::SIZE as u64;
+                let (_wb, frame) = {
+                    let mem = ctx.world_ref().expect::<PhysMemory>();
+                    let raw: [u8; RecvWriteback::SIZE] =
+                        mem.read(wb_addr, RecvWriteback::SIZE).try_into().expect("8 bytes");
+                    let wb = RecvWriteback::from_bytes(&raw);
+                    if !wb.valid {
+                        break;
+                    }
+                    let buf = self.recv_bufs + self.wb_next as u64 * 2048;
+                    (wb, mem.read(buf, wb.frame_len as usize))
+                };
+                // Clear the write-back so the slot can be reused.
+                ctx.world().expect_mut::<PhysMemory>().write(wb_addr, &[0u8; 8]);
+                let parsed = parse_frame(&frame)
+                    .unwrap_or_else(|e| panic!("NIC delivered an invalid frame: {e}"));
+                let payload =
+                    frame[parsed.payload_offset..parsed.payload_offset + parsed.payload_len].to_vec();
+                frames.push((parsed.flow, payload));
+                self.wb_next = (self.wb_next + 1) % depth;
+                self.consumed_since_repost += 1;
+            }
+        }
+        if frames.is_empty() {
+            return;
+        }
+        // Repost consumed buffers in batches.
+        if self.consumed_since_repost >= self.config.recv_buffers / 2 {
+            let n = self.consumed_since_repost;
+            self.consumed_since_repost = 0;
+            self.post_recv_buffers(ctx, n);
+        }
+        let packets = frames.len();
+        let payload_bytes: usize = frames.iter().map(|(_, p)| p.len()).sum();
+        let stack_ns = self.costs.net_rx_cost(self.config.mode, packets);
+        // Gather copy: payload bytes moved from frame buffers into the
+        // consumer's contiguous buffer (and in vanilla mode, again to user
+        // space).
+        let mut copy_ns = self.costs.copy_cost(payload_bytes);
+        if self.config.mode == KernelMode::Vanilla {
+            copy_ns *= 2;
+        }
+        let tag = self
+            .expectations
+            .first()
+            .map(|e| e.req.tag)
+            .unwrap_or("net-rx");
+        self.cpu_job(ctx, stack_ns + copy_ns, tag, CpuPhase::RxBatch { frames, copy_ns, stack_ns });
+    }
+
+    fn recv_ring_depth(&self) -> u16 {
+        self.config.recv_buffers + 1
+    }
+
+    fn deliver_frames(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        frames: Vec<(TcpFlow, Vec<u8>)>,
+        copy_ns: u64,
+        stack_ns: u64,
+    ) {
+        // Amortize the batch's CPU time across delivered bytes when
+        // attributing to expectations.
+        let total_bytes: usize = frames.iter().map(|(_, p)| p.len()).sum::<usize>().max(1);
+        for (flow, payload) in frames {
+            let key = (flow.src_port, flow.dst_port);
+            self.early.entry(key).or_default().extend(payload);
+        }
+        // Satisfy expectations greedily, in registration order. An
+        // expectation names the connection by the *local* flow (the
+        // direction this node transmits on); arriving frames carry the
+        // peer's direction, so the lookup key is reversed.
+        let mut done = Vec::new();
+        for (i, e) in self.expectations.iter_mut().enumerate() {
+            let key = (e.req.flow.dst_port, e.req.flow.src_port);
+            let Some(buf) = self.early.get_mut(&key) else { continue };
+            if buf.is_empty() {
+                continue;
+            }
+            let want = e.req.len - e.received;
+            let take = want.min(buf.len());
+            let bytes: Vec<u8> = buf.drain(..take).collect();
+            {
+                let mem = ctx.world().expect_mut::<PhysMemory>();
+                mem.write(e.req.into + e.received as u64, &bytes);
+            }
+            e.received += take;
+            e.stack_ns += stack_ns * take as u64 / total_bytes as u64;
+            e.copy_ns += copy_ns * take as u64 / total_bytes as u64;
+            if e.received == e.req.len {
+                done.push(i);
+            }
+        }
+        for i in done.into_iter().rev() {
+            let e = self.expectations.remove(i);
+            let mut breakdown = Breakdown::new();
+            breakdown.add(Category::NetworkStack, e.stack_ns);
+            breakdown.add(Category::DataCopy, e.copy_ns);
+            breakdown.add(Category::Wire, (ctx.now() - e.started_at).saturating_sub(e.stack_ns + e.copy_ns));
+            ctx.send_now(e.req.reply_to, RecvDone { id: e.req.id, breakdown });
+        }
+    }
+}
+
+/// One-time driver start: post receive buffers.
+#[derive(Debug, Clone, Copy)]
+pub struct StartNicDriver;
+
+impl Component for HostNicDriver {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        let msg = match msg.downcast::<StartNicDriver>() {
+            Ok(StartNicDriver) => {
+                let n = self.config.recv_buffers;
+                self.post_recv_buffers(ctx, n);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<SendRequest>() {
+            Ok(req) => {
+                self.on_send(ctx, req);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<RecvExpect>() {
+            Ok(req) => {
+                self.expectations.push(Expectation {
+                    req,
+                    received: 0,
+                    stack_ns: 0,
+                    copy_ns: 0,
+                    started_at: ctx.now(),
+                });
+                // Data may already be waiting.
+                self.deliver_frames(ctx, vec![], 0, 0);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<CpuJobDone>() {
+            Ok(done) => {
+                match self.cpu_phases.remove(&done.token).expect("live cpu phase") {
+                    CpuPhase::TxSubmit => self.submit_send(ctx),
+                    CpuPhase::TxComplete => self.finish_send(ctx),
+                    CpuPhase::RxBatch { frames, copy_ns, stack_ns } => {
+                        self.deliver_frames(ctx, frames, copy_ns, stack_ns)
+                    }
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        match msg.downcast::<MsiDelivery>() {
+            Ok(d) => match d.vector {
+                0x20 => self.on_tx_msi(ctx),
+                0x21 => self.on_rx_msi(ctx),
+                v => panic!("unexpected MSI vector {v:#x}"),
+            },
+            Err(other) => panic!("HostNicDriver received unexpected message: {other:?}"),
+        }
+    }
+}

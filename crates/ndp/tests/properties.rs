@@ -1,0 +1,104 @@
+//! Property-based tests of the data-processing algorithms.
+
+use dcs_ndp::aes::Aes256;
+use dcs_ndp::crc32::{crc32, crc32_update, Crc32};
+use dcs_ndp::deflate::{deflate_compress, deflate_decompress, gzip_compress, gzip_decompress};
+use dcs_ndp::md5::{md5, Md5};
+use dcs_ndp::sha1::{sha1, Sha1};
+use dcs_ndp::sha256::{sha256, Sha256};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// DEFLATE decompression inverts compression on arbitrary inputs.
+    #[test]
+    fn deflate_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..20_000)) {
+        let compressed = deflate_compress(&data);
+        prop_assert_eq!(deflate_decompress(&compressed).unwrap(), data);
+    }
+
+    /// GZIP framing (with CRC + length trailer) round-trips too.
+    #[test]
+    fn gzip_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..10_000)) {
+        prop_assert_eq!(gzip_decompress(&gzip_compress(&data)).unwrap(), data);
+    }
+
+    /// Truncating a gzip stream never yields the original data.
+    #[test]
+    fn gzip_truncation_detected(
+        data in proptest::collection::vec(any::<u8>(), 1..4_000),
+        cut_fraction in 0.0f64..0.999,
+    ) {
+        let gz = gzip_compress(&data);
+        let cut = ((gz.len() as f64) * cut_fraction) as usize;
+        let r = gzip_decompress(&gz[..cut]);
+        prop_assert!(r.is_err(), "truncated stream must not validate");
+    }
+
+    /// AES-256-CTR is its own inverse for any key, nonce, and length.
+    #[test]
+    fn aes_ctr_inverse(
+        key in proptest::array::uniform32(any::<u8>()),
+        nonce in proptest::array::uniform16(any::<u8>()),
+        data in proptest::collection::vec(any::<u8>(), 0..5_000),
+    ) {
+        let aes = Aes256::new(&key);
+        let ct = aes.ctr_crypt(&nonce, &data);
+        prop_assert_eq!(aes.ctr_crypt(&nonce, &ct), data);
+    }
+
+    /// Block decrypt inverts block encrypt for any key and block.
+    #[test]
+    fn aes_block_inverse(
+        key in proptest::array::uniform32(any::<u8>()),
+        block in proptest::array::uniform16(any::<u8>()),
+    ) {
+        let aes = Aes256::new(&key);
+        prop_assert_eq!(aes.decrypt_block(&aes.encrypt_block(&block)), block);
+    }
+
+    /// Incremental hashing over arbitrary chunkings equals one-shot.
+    #[test]
+    fn hashes_chunking_invariant(
+        data in proptest::collection::vec(any::<u8>(), 0..8_000),
+        chunk in 1usize..512,
+    ) {
+        let mut m = Md5::new();
+        let mut s1 = Sha1::new();
+        let mut s2 = Sha256::new();
+        let mut c = Crc32::new();
+        for part in data.chunks(chunk) {
+            m.update(part);
+            s1.update(part);
+            s2.update(part);
+            c.update(part);
+        }
+        prop_assert_eq!(m.finalize(), md5(&data));
+        prop_assert_eq!(s1.finalize(), sha1(&data));
+        prop_assert_eq!(s2.finalize(), sha256(&data));
+        prop_assert_eq!(c.finalize(), crc32(&data));
+    }
+
+    /// CRC chaining across any split equals the one-shot CRC.
+    #[test]
+    fn crc_chaining(data in proptest::collection::vec(any::<u8>(), 0..4_000), split in 0usize..4_000) {
+        let split = split.min(data.len());
+        let first = crc32(&data[..split]);
+        prop_assert_eq!(crc32_update(first, &data[split..]), crc32(&data));
+    }
+
+    /// Distinct single-byte flips change the MD5 (no trivial collisions on
+    /// the tested sizes).
+    #[test]
+    fn md5_sensitivity(
+        mut data in proptest::collection::vec(any::<u8>(), 1..2_000),
+        idx in 0usize..2_000,
+        flip in 1u8..=255,
+    ) {
+        let idx = idx % data.len();
+        let original = md5(&data);
+        data[idx] ^= flip;
+        prop_assert_ne!(md5(&data), original);
+    }
+}

@@ -1,0 +1,472 @@
+//! The NIC device component.
+//!
+//! Transmit: doorbell → batched descriptor fetch (DMA) → header-template
+//! and payload gather (DMA) → LSO segmentation with per-segment header
+//! fix-up (real sequence numbers and checksums) → frames serialized on the
+//! wire → per-descriptor completion MSI when the last segment leaves the
+//! adapter.
+//!
+//! Receive: frames arrive from the wire → next posted buffer descriptor →
+//! frame DMA into the buffer → write-back record → interrupt-coalesced MSI.
+//! A frame arriving with no posted buffer is dropped and counted, as real
+//! adapters do.
+
+use std::collections::{HashMap, VecDeque};
+
+use dcs_pcie::{
+    AddrRange, DmaComplete, DmaRequest, MmioWrite, Msi, PhysAddr, PhysMemory, PortId,
+};
+use dcs_sim::{time, Component, ComponentId, Ctx, Msg, Simulator};
+
+use crate::headers::{build_frame, parse_template};
+use crate::ring::{RecvDescriptor, RecvWriteback, SendDescriptor};
+use crate::wire::{FrameDelivery, TransmitDone, TransmitFrame};
+
+/// NIC timing and protocol parameters.
+#[derive(Clone, Debug)]
+pub struct NicConfig {
+    /// TCP maximum segment size used by LSO segmentation.
+    pub mss: usize,
+    /// Largest payload a single send descriptor may carry.
+    pub max_lso: usize,
+    /// Device-side handling cost folded into each descriptor fetch, in ns.
+    pub descriptor_overhead_ns: u64,
+    /// Receive interrupt coalescing window, in ns.
+    pub irq_coalesce_ns: u64,
+}
+
+impl Default for NicConfig {
+    fn default() -> Self {
+        NicConfig {
+            mss: 1448,
+            max_lso: 64 * 1024,
+            descriptor_overhead_ns: 300,
+            irq_coalesce_ns: time::us(4),
+        }
+    }
+}
+
+/// One-time ring/interrupt configuration, sent by the initiator before
+/// first use (condenses the driver's probe-time register programming).
+#[derive(Debug, Clone, Copy)]
+pub struct ConfigureNic {
+    /// Send descriptor ring base (initiator memory).
+    pub send_ring_base: PhysAddr,
+    /// Send ring depth in entries.
+    pub send_ring_depth: u16,
+    /// Receive descriptor ring base.
+    pub recv_ring_base: PhysAddr,
+    /// Receive ring depth in entries.
+    pub recv_ring_depth: u16,
+    /// Write-back ring base (parallel to the receive ring, 8-byte entries).
+    pub wb_ring_base: PhysAddr,
+    /// MSI target for transmit completions.
+    pub tx_msi_addr: PhysAddr,
+    /// MSI vector for transmit completions.
+    pub tx_msi_vector: u32,
+    /// MSI target for receive notifications.
+    pub rx_msi_addr: PhysAddr,
+    /// MSI vector for receive notifications.
+    pub rx_msi_vector: u32,
+}
+
+/// Handle returned by [`install_nic`].
+#[derive(Debug, Clone)]
+pub struct NicHandle {
+    /// The NIC component.
+    pub device: ComponentId,
+    /// Register BAR (doorbells).
+    pub bar: AddrRange,
+    /// Device-internal staging memory (tests may inspect it).
+    pub staging: AddrRange,
+    /// PCIe port the NIC occupies.
+    pub port: PortId,
+}
+
+impl NicHandle {
+    /// Transmit doorbell register (write the new send-ring producer index).
+    pub fn tx_doorbell(&self) -> PhysAddr {
+        self.bar.start + 0x100
+    }
+
+    /// Receive doorbell register (write the new recv-ring producer index).
+    pub fn rx_doorbell(&self) -> PhysAddr {
+        self.bar.start + 0x104
+    }
+}
+
+/// Internal: raise the coalesced receive interrupt.
+#[derive(Debug)]
+struct RaiseRxIrq;
+
+enum DmaPurpose {
+    /// A batch of `count` send descriptors landing at `staging`.
+    TxDescBatch { start_idx: u16, count: u16, staging: PhysAddr },
+    /// Header/payload gather for a descriptor; both must land before
+    /// segmentation.
+    TxGather { op: u64 },
+    /// A batch of `count` receive descriptors landing at `staging`.
+    RxDescBatch { count: u16, staging: PhysAddr },
+    /// A received frame being copied into a posted buffer.
+    RxDeliver { ring_idx: u16, frame_len: usize },
+}
+
+struct TxOp {
+    desc: SendDescriptor,
+    hdr_staging: PhysAddr,
+    pay_staging: PhysAddr,
+    gathers_left: u8,
+    segments_left: usize,
+}
+
+/// The NIC component.
+pub struct NicDevice {
+    config: NicConfig,
+    fabric: ComponentId,
+    wire: ComponentId,
+    bar: AddrRange,
+    staging: AddrRange,
+    staging_off: u64,
+    rings: Option<ConfigureNic>,
+    /// Device-side consumer indices.
+    tx_cons: u16,
+    rx_cons: u16,
+    /// In-flight DMA bookkeeping.
+    dmas: HashMap<u64, DmaPurpose>,
+    tx_ops: HashMap<u64, TxOp>,
+    /// Wire-transmit token → (tx op, last segment?).
+    frames: HashMap<u64, (u64, bool)>,
+    /// Posted receive buffers in ring order.
+    posted: VecDeque<(u16, RecvDescriptor)>,
+    /// Ring index of the next posted buffer / write-back slot.
+    rx_wb_next: u16,
+    next_token: u64,
+    irq_pending: bool,
+}
+
+impl NicDevice {
+    /// Creates the NIC.
+    pub fn new(
+        config: NicConfig,
+        fabric: ComponentId,
+        wire: ComponentId,
+        bar: AddrRange,
+        staging: AddrRange,
+    ) -> Self {
+        NicDevice {
+            config,
+            fabric,
+            wire,
+            bar,
+            staging,
+            staging_off: 0,
+            rings: None,
+            tx_cons: 0,
+            rx_cons: 0,
+            dmas: HashMap::new(),
+            tx_ops: HashMap::new(),
+            frames: HashMap::new(),
+            posted: VecDeque::new(),
+            rx_wb_next: 0,
+            next_token: 1,
+            irq_pending: false,
+        }
+    }
+
+    fn token(&mut self) -> u64 {
+        let t = self.next_token;
+        self.next_token += 1;
+        t
+    }
+
+    /// Bump-allocates `len` bytes of staging memory (recycled ring-style;
+    /// staging is large relative to in-flight data).
+    fn stage(&mut self, len: usize) -> PhysAddr {
+        let len = (len as u64).div_ceil(64) * 64;
+        if self.staging_off + len > self.staging.len {
+            self.staging_off = 0;
+        }
+        let addr = self.staging.start + self.staging_off;
+        self.staging_off += len;
+        addr
+    }
+
+    fn rings(&self) -> &ConfigureNic {
+        self.rings.as_ref().expect("NIC used before ConfigureNic")
+    }
+
+    fn dma(&mut self, ctx: &mut Ctx<'_>, src: PhysAddr, dst: PhysAddr, len: usize, purpose: DmaPurpose) {
+        let token = self.token();
+        self.dmas.insert(token, purpose);
+        let req = DmaRequest { id: token, src, dst, len, reply_to: ctx.self_id() };
+        let fabric = self.fabric;
+        ctx.send_now(fabric, req);
+    }
+
+    fn on_doorbell(&mut self, ctx: &mut Ctx<'_>, write: &MmioWrite) {
+        let off = write.addr - self.bar.start;
+        let value = u32::from_le_bytes(
+            write.data.as_slice().try_into().expect("doorbell writes are 4 bytes"),
+        ) as u16;
+        match off {
+            0x100 => self.fetch_descriptors(ctx, value, true),
+            0x104 => self.fetch_descriptors(ctx, value, false),
+            _ => panic!("write to unmodeled NIC register {off:#x}"),
+        }
+    }
+
+    /// Fetches ring entries `[cons, prod)` in at most two contiguous DMAs
+    /// (two when the range wraps).
+    fn fetch_descriptors(&mut self, ctx: &mut Ctx<'_>, prod: u16, is_tx: bool) {
+        let rings = *self.rings();
+        let (base, depth, entry, cons) = if is_tx {
+            (rings.send_ring_base, rings.send_ring_depth, SendDescriptor::SIZE, self.tx_cons)
+        } else {
+            (rings.recv_ring_base, rings.recv_ring_depth, RecvDescriptor::SIZE, self.rx_cons)
+        };
+        let prod = prod % depth;
+        let mut idx = cons;
+        while idx != prod {
+            let run_end = if prod > idx { prod } else { depth };
+            let count = run_end - idx;
+            let staging = self.stage(count as usize * entry);
+            let src = base + idx as u64 * entry as u64;
+            let purpose = if is_tx {
+                DmaPurpose::TxDescBatch { start_idx: idx, count, staging }
+            } else {
+                DmaPurpose::RxDescBatch { count, staging }
+            };
+            self.dma(ctx, src, staging, count as usize * entry, purpose);
+            idx = run_end % depth;
+        }
+        if is_tx {
+            self.tx_cons = prod;
+        } else {
+            self.rx_cons = prod;
+        }
+    }
+
+    fn on_tx_descs(&mut self, ctx: &mut Ctx<'_>, start_idx: u16, count: u16, staging: PhysAddr) {
+        let _ = start_idx;
+        for i in 0..count {
+            let raw: [u8; SendDescriptor::SIZE] = ctx
+                .world_ref()
+                .expect::<PhysMemory>()
+                .read(staging + i as u64 * SendDescriptor::SIZE as u64, SendDescriptor::SIZE)
+                .try_into()
+                .expect("descriptor bytes");
+            let desc = SendDescriptor::from_bytes(&raw);
+            assert!(
+                desc.payload_len as usize <= self.config.max_lso,
+                "send of {} bytes exceeds the {}-byte LSO limit",
+                desc.payload_len,
+                self.config.max_lso
+            );
+            let op = self.token();
+            let hdr_staging = self.stage(desc.header_len as usize);
+            let pay_staging = self.stage(desc.payload_len as usize);
+            self.tx_ops.insert(
+                op,
+                TxOp { desc, hdr_staging, pay_staging, gathers_left: 2, segments_left: 0 },
+            );
+            self.dma(ctx, desc.header_addr, hdr_staging, desc.header_len as usize, DmaPurpose::TxGather { op });
+            self.dma(ctx, desc.payload_addr, pay_staging, desc.payload_len as usize, DmaPurpose::TxGather { op });
+        }
+    }
+
+    fn on_tx_gather_done(&mut self, ctx: &mut Ctx<'_>, op: u64) {
+        let ready = {
+            let txop = self.tx_ops.get_mut(&op).expect("gather for live tx op");
+            txop.gathers_left -= 1;
+            txop.gathers_left == 0
+        };
+        if !ready {
+            return;
+        }
+        // Both header template and payload are staged: segment and send.
+        let (template, payload, mss) = {
+            let txop = &self.tx_ops[&op];
+            let mem = ctx.world_ref().expect::<PhysMemory>();
+            let template = mem.read(txop.hdr_staging, txop.desc.header_len as usize);
+            let payload = mem.read(txop.pay_staging, txop.desc.payload_len as usize);
+            let mss = if txop.desc.mss == 0 { self.config.mss } else { txop.desc.mss as usize };
+            (template, payload, mss)
+        };
+        let (flow, seq0, ack) = parse_template(&template)
+            .unwrap_or_else(|e| panic!("initiator staged a malformed header template: {e}"));
+        let chunks: Vec<&[u8]> = if payload.is_empty() {
+            vec![&[][..]]
+        } else {
+            payload.chunks(mss).collect()
+        };
+        self.tx_ops.get_mut(&op).expect("live").segments_left = chunks.len();
+        let mut offset = 0u32;
+        let n = chunks.len();
+        for (i, chunk) in chunks.into_iter().enumerate() {
+            let frame = build_frame(&flow, seq0.wrapping_add(offset), ack, chunk);
+            offset += chunk.len() as u32;
+            let ftoken = self.token();
+            self.frames.insert(ftoken, (op, i == n - 1));
+            let wire = self.wire;
+            let overhead = self.config.descriptor_overhead_ns;
+            ctx.send_in(overhead, wire, TransmitFrame { id: ftoken, frame });
+            ctx.world().stats.counter("nic.tx_frames").add(1);
+        }
+    }
+
+    fn on_transmit_done(&mut self, ctx: &mut Ctx<'_>, id: u64) {
+        let (op, last) = self.frames.remove(&id).expect("transmit done for live frame");
+        if !last {
+            return;
+        }
+        let txop = self.tx_ops.remove(&op).expect("live tx op");
+        let _ = txop;
+        let rings = *self.rings();
+        let fabric = self.fabric;
+        ctx.send_now(fabric, Msi { addr: rings.tx_msi_addr, vector: rings.tx_msi_vector });
+        ctx.world().stats.counter("nic.tx_completions").add(1);
+    }
+
+    fn on_rx_descs(&mut self, ctx: &mut Ctx<'_>, count: u16, staging: PhysAddr) {
+        for i in 0..count {
+            let raw: [u8; RecvDescriptor::SIZE] = ctx
+                .world_ref()
+                .expect::<PhysMemory>()
+                .read(staging + i as u64 * RecvDescriptor::SIZE as u64, RecvDescriptor::SIZE)
+                .try_into()
+                .expect("descriptor bytes");
+            let desc = RecvDescriptor::from_bytes(&raw);
+            let ring_idx = self.next_posted_idx();
+            self.posted.push_back((ring_idx, desc));
+        }
+    }
+
+    /// Ring index of the next posted buffer (sequential in ring order).
+    fn next_posted_idx(&mut self) -> u16 {
+        let rings = self.rings();
+        let idx = self.rx_wb_next;
+        self.rx_wb_next = (self.rx_wb_next + 1) % rings.recv_ring_depth;
+        idx
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, frame: Vec<u8>) {
+        ctx.world().stats.counter("nic.rx_frames").add(1);
+        let Some((ring_idx, desc)) = self.posted.pop_front() else {
+            ctx.world().stats.counter("nic.rx_dropped_no_buffer").add(1);
+            return;
+        };
+        if frame.len() > desc.buf_len as usize {
+            ctx.world().stats.counter("nic.rx_dropped_too_large").add(1);
+            return;
+        }
+        let staging = self.stage(frame.len());
+        ctx.world().expect_mut::<PhysMemory>().write(staging, &frame);
+        self.dma(
+            ctx,
+            staging,
+            desc.buf_addr,
+            frame.len(),
+            DmaPurpose::RxDeliver { ring_idx, frame_len: frame.len() },
+        );
+    }
+
+    fn on_rx_delivered(&mut self, ctx: &mut Ctx<'_>, ring_idx: u16, frame_len: usize) {
+        let rings = *self.rings();
+        let wb = RecvWriteback { frame_len: frame_len as u32, valid: true };
+        let wb_addr = rings.wb_ring_base + ring_idx as u64 * RecvWriteback::SIZE as u64;
+        // Posted 8-byte write; its fabric cost is negligible next to the
+        // frame DMA that just completed.
+        ctx.world().expect_mut::<PhysMemory>().write(wb_addr, &wb.to_bytes());
+        ctx.world().stats.counter("nic.rx_delivered").add(1);
+        if !self.irq_pending {
+            self.irq_pending = true;
+            let window = self.config.irq_coalesce_ns;
+            ctx.send_self_in(window, RaiseRxIrq);
+        }
+    }
+}
+
+impl Component for NicDevice {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        if let Some(write) = msg.get::<MmioWrite>() {
+            let write = write.clone();
+            self.on_doorbell(ctx, &write);
+            return;
+        }
+        let msg = match msg.downcast::<ConfigureNic>() {
+            Ok(cfg) => {
+                assert!(self.rings.is_none(), "NIC configured twice");
+                self.rings = Some(cfg);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<FrameDelivery>() {
+            Ok(f) => {
+                self.on_frame(ctx, f.frame);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<TransmitDone>() {
+            Ok(t) => {
+                self.on_transmit_done(ctx, t.id);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<RaiseRxIrq>() {
+            Ok(RaiseRxIrq) => {
+                self.irq_pending = false;
+                let rings = *self.rings();
+                let fabric = self.fabric;
+                ctx.send_now(fabric, Msi { addr: rings.rx_msi_addr, vector: rings.rx_msi_vector });
+                return;
+            }
+            Err(m) => m,
+        };
+        match msg.downcast::<DmaComplete>() {
+            Ok(done) => {
+                let purpose = self.dmas.remove(&done.id).expect("dma completion for live op");
+                match purpose {
+                    DmaPurpose::TxDescBatch { start_idx, count, staging } => {
+                        self.on_tx_descs(ctx, start_idx, count, staging)
+                    }
+                    DmaPurpose::TxGather { op } => self.on_tx_gather_done(ctx, op),
+                    DmaPurpose::RxDescBatch { count, staging } => {
+                        self.on_rx_descs(ctx, count, staging)
+                    }
+                    DmaPurpose::RxDeliver { ring_idx, frame_len } => {
+                        self.on_rx_delivered(ctx, ring_idx, frame_len)
+                    }
+                }
+            }
+            Err(other) => panic!("NicDevice received unexpected message: {other:?}"),
+        }
+    }
+}
+
+/// Allocates regions, claims the BAR, and installs a NIC with a
+/// pre-reserved component id (NICs and the wire reference each other, so
+/// ids are reserved first).
+pub fn install_nic(
+    sim: &mut Simulator,
+    id: ComponentId,
+    fabric: ComponentId,
+    wire: ComponentId,
+    config: NicConfig,
+    name: &str,
+    port: PortId,
+) -> NicHandle {
+    let (bar, staging) = {
+        let mem = sim.world_mut().expect_mut::<PhysMemory>();
+        let bar = mem.alloc_region(&format!("{name}-bar"), 1 << 16, port);
+        let staging = mem.alloc_region(&format!("{name}-staging"), 32 << 20, port);
+        (bar, staging)
+    };
+    sim.install(id, NicDevice::new(config, fabric, wire, bar, staging));
+    sim.world_mut()
+        .expect_mut::<dcs_pcie::MmioRouting>()
+        .claim(AddrRange::new(bar.start, 0x1000), id);
+    NicHandle { device: id, bar, staging, port }
+}

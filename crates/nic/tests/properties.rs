@@ -1,0 +1,106 @@
+//! Property-based tests of the TCP/IP framing and descriptor formats.
+
+use dcs_nic::headers::{build_frame, build_template, parse_frame, parse_template};
+use dcs_nic::{RecvDescriptor, RecvWriteback, SendDescriptor, TcpFlow};
+use dcs_pcie::PhysAddr;
+use proptest::prelude::*;
+
+fn arb_flow() -> impl Strategy<Value = TcpFlow> {
+    (
+        proptest::array::uniform6(any::<u8>()),
+        proptest::array::uniform6(any::<u8>()),
+        proptest::array::uniform4(any::<u8>()),
+        proptest::array::uniform4(any::<u8>()),
+        any::<u16>(),
+        any::<u16>(),
+    )
+        .prop_map(|(src_mac, dst_mac, src_ip, dst_ip, src_port, dst_port)| TcpFlow {
+            src_mac,
+            dst_mac,
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Frames round-trip: any flow, seq/ack, and payload up to one MSS.
+    #[test]
+    fn frame_roundtrip(
+        flow in arb_flow(),
+        seq in any::<u32>(),
+        ack in any::<u32>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..1448),
+    ) {
+        let frame = build_frame(&flow, seq, ack, &payload);
+        let parsed = parse_frame(&frame).unwrap();
+        prop_assert_eq!(parsed.flow, flow);
+        prop_assert_eq!(parsed.seq, seq);
+        prop_assert_eq!(parsed.ack, ack);
+        prop_assert_eq!(
+            &frame[parsed.payload_offset..parsed.payload_offset + parsed.payload_len],
+            payload.as_slice()
+        );
+    }
+
+    /// Any single-byte corruption of a frame is detected.
+    #[test]
+    fn corruption_detected(
+        flow in arb_flow(),
+        payload in proptest::collection::vec(any::<u8>(), 1..512),
+        idx in any::<usize>(),
+        flip in 1u8..=255,
+    ) {
+        let mut frame = build_frame(&flow, 1, 2, &payload);
+        let idx = idx % frame.len();
+        frame[idx] ^= flip;
+        // Either the parse fails, or (for corrupted MAC bytes, which carry
+        // no checksum — as on real Ethernet, where the FCS the model folds
+        // into the wire covers them) the decoded flow differs.
+        match parse_frame(&frame) {
+            Err(_) => {}
+            Ok(parsed) => prop_assert_ne!(parsed.flow, flow, "corruption at {} unnoticed", idx),
+        }
+    }
+
+    /// Header templates round-trip.
+    #[test]
+    fn template_roundtrip(flow in arb_flow(), seq in any::<u32>(), ack in any::<u32>()) {
+        let t = build_template(&flow, seq, ack);
+        let (f2, s2, a2) = parse_template(&t).unwrap();
+        prop_assert_eq!(f2, flow);
+        prop_assert_eq!(s2, seq);
+        prop_assert_eq!(a2, ack);
+    }
+
+    /// Descriptor wire formats round-trip.
+    #[test]
+    fn descriptors_roundtrip(
+        header_addr in any::<u64>(),
+        header_len in any::<u16>(),
+        payload_addr in any::<u64>(),
+        payload_len in any::<u32>(),
+        mss in any::<u16>(),
+        cookie in any::<u32>(),
+        buf_len in any::<u32>(),
+        frame_len in any::<u32>(),
+        valid in any::<bool>(),
+    ) {
+        let d = SendDescriptor {
+            header_addr: PhysAddr(header_addr),
+            header_len,
+            payload_addr: PhysAddr(payload_addr),
+            payload_len,
+            mss,
+            cookie,
+        };
+        prop_assert_eq!(SendDescriptor::from_bytes(&d.to_bytes()), d);
+        let r = RecvDescriptor { buf_addr: PhysAddr(payload_addr), buf_len };
+        prop_assert_eq!(RecvDescriptor::from_bytes(&r.to_bytes()), r);
+        let w = RecvWriteback { frame_len, valid };
+        prop_assert_eq!(RecvWriteback::from_bytes(&w.to_bytes()), w);
+    }
+}

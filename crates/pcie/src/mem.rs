@@ -1,0 +1,331 @@
+//! The global physical memory map: sparsely-backed regions that DMA moves
+//! real bytes between.
+//!
+//! Regions can be huge (the SSD flash region is hundreds of gigabytes) but
+//! only touched pages are materialized, so scenarios stay cheap. Each
+//! region is tagged with the PCIe [`PortId`] it sits behind so the fabric
+//! can charge transfers to the right links.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::addr::{AddrRange, PhysAddr};
+
+/// Identifies a PCIe port (switch slot or the root port toward the host).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PortId(pub u16);
+
+impl PortId {
+    /// The root port: host DRAM and everything reached through the root
+    /// complex sits behind this port.
+    pub const ROOT: PortId = PortId(0);
+}
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "port{}", self.0)
+    }
+}
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Byte storage materialized page-by-page on first write.
+#[derive(Default)]
+struct SparseBytes {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl SparseBytes {
+    fn read_into(&self, offset: u64, out: &mut [u8]) {
+        let mut off = offset;
+        let mut done = 0;
+        while done < out.len() {
+            let page = off >> PAGE_SHIFT;
+            let in_page = (off as usize) & (PAGE_SIZE - 1);
+            let n = (PAGE_SIZE - in_page).min(out.len() - done);
+            match self.pages.get(&page) {
+                Some(p) => out[done..done + n].copy_from_slice(&p[in_page..in_page + n]),
+                None => out[done..done + n].fill(0),
+            }
+            off += n as u64;
+            done += n;
+        }
+    }
+
+    fn write_from(&mut self, offset: u64, data: &[u8]) {
+        let mut off = offset;
+        let mut done = 0;
+        while done < data.len() {
+            let page = off >> PAGE_SHIFT;
+            let in_page = (off as usize) & (PAGE_SIZE - 1);
+            let n = (PAGE_SIZE - in_page).min(data.len() - done);
+            let p = self
+                .pages
+                .entry(page)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            p[in_page..in_page + n].copy_from_slice(&data[done..done + n]);
+            off += n as u64;
+            done += n;
+        }
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.pages.len() * PAGE_SIZE
+    }
+}
+
+/// Metadata describing a registered region.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegionInfo {
+    /// Human-readable name (`"host-dram"`, `"ssd0-flash"`, …).
+    pub name: String,
+    /// The address range the region occupies.
+    pub range: AddrRange,
+    /// The PCIe port the region's owner sits behind.
+    pub port: PortId,
+}
+
+struct Region {
+    info: RegionInfo,
+    bytes: SparseBytes,
+}
+
+/// The system-wide physical memory map.
+///
+/// Lives in the simulator [`World`](dcs_sim::World); components read and
+/// write it directly (memory accuracy is byte-level, timing is modeled by
+/// the fabric and device components).
+#[derive(Default)]
+pub struct PhysMemory {
+    regions: Vec<Region>,
+    next_free: u64,
+}
+
+/// Alignment for allocated regions: 4 GiB keeps region bases readable in
+/// traces and leaves room to grow.
+const REGION_ALIGN: u64 = 1 << 32;
+
+impl PhysMemory {
+    /// An empty memory map.
+    pub fn new() -> Self {
+        PhysMemory { regions: Vec::new(), next_free: REGION_ALIGN }
+    }
+
+    /// Allocates a fresh region of `len` bytes behind `port`, placed at the
+    /// next free aligned address, and returns its range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn alloc_region(&mut self, name: &str, len: u64, port: PortId) -> AddrRange {
+        assert!(len > 0, "cannot allocate an empty region");
+        let start = PhysAddr(self.next_free);
+        let range = AddrRange::new(start, len);
+        self.next_free = (start.0 + len).div_ceil(REGION_ALIGN) * REGION_ALIGN;
+        self.regions.push(Region {
+            info: RegionInfo { name: name.to_string(), range, port },
+            bytes: SparseBytes::default(),
+        });
+        range
+    }
+
+    /// Registers a region at a fixed range (used by tests and for MMIO
+    /// windows that must not collide with allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range overlaps an existing region.
+    pub fn add_region_at(&mut self, name: &str, range: AddrRange, port: PortId) {
+        for r in &self.regions {
+            assert!(
+                !r.info.range.overlaps(range),
+                "region {name} at {range} overlaps {} at {}",
+                r.info.name,
+                r.info.range
+            );
+        }
+        self.next_free = self.next_free.max((range.end().as_u64()).div_ceil(REGION_ALIGN) * REGION_ALIGN);
+        self.regions.push(Region {
+            info: RegionInfo { name: name.to_string(), range, port },
+            bytes: SparseBytes::default(),
+        });
+    }
+
+    fn region_index_of(&self, addr: PhysAddr, len: usize) -> usize {
+        self.regions
+            .iter()
+            .position(|r| r.info.range.contains_span(addr, len))
+            .unwrap_or_else(|| {
+                panic!("access [{addr} +{len}) hits no single region; registered: {:?}",
+                    self.regions.iter().map(|r| (&r.info.name, r.info.range)).collect::<Vec<_>>())
+            })
+    }
+
+    /// Region metadata for the region containing `[addr, addr+len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span is not fully contained in one region.
+    pub fn region_of(&self, addr: PhysAddr, len: usize) -> &RegionInfo {
+        &self.regions[self.region_index_of(addr, len)].info
+    }
+
+    /// Looks up a region by name.
+    pub fn region_named(&self, name: &str) -> Option<&RegionInfo> {
+        self.regions.iter().map(|r| &r.info).find(|i| i.name == name)
+    }
+
+    /// Reads `len` bytes starting at `addr`. Untouched memory reads as zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span is not fully contained in one region.
+    pub fn read(&self, addr: PhysAddr, len: usize) -> Vec<u8> {
+        let idx = self.region_index_of(addr, len);
+        let r = &self.regions[idx];
+        let mut out = vec![0u8; len];
+        r.bytes.read_into(addr - r.info.range.start, &mut out);
+        out
+    }
+
+    /// Reads into a caller-provided buffer (avoids allocation in hot paths).
+    pub fn read_into(&self, addr: PhysAddr, out: &mut [u8]) {
+        let idx = self.region_index_of(addr, out.len());
+        let r = &self.regions[idx];
+        r.bytes.read_into(addr - r.info.range.start, out);
+    }
+
+    /// Writes `data` starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span is not fully contained in one region.
+    pub fn write(&mut self, addr: PhysAddr, data: &[u8]) {
+        let idx = self.region_index_of(addr, data.len());
+        let r = &mut self.regions[idx];
+        let off = addr - r.info.range.start;
+        r.bytes.write_from(off, data);
+    }
+
+    /// Copies `len` bytes from `src` to `dst` (the data movement behind a
+    /// completed DMA). Source and destination may be in different regions;
+    /// overlapping self-copies behave like `memmove`.
+    pub fn copy(&mut self, src: PhysAddr, dst: PhysAddr, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let data = self.read(src, len);
+        self.write(dst, &data);
+    }
+
+    /// Total bytes of materialized backing store (for memory-pressure
+    /// assertions in tests).
+    pub fn resident_bytes(&self) -> usize {
+        self.regions.iter().map(|r| r.bytes.resident_bytes()).sum()
+    }
+
+    /// Iterates over registered region metadata.
+    pub fn regions(&self) -> impl Iterator<Item = &RegionInfo> + '_ {
+        self.regions.iter().map(|r| &r.info)
+    }
+}
+
+impl fmt::Debug for PhysMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PhysMemory")
+            .field("regions", &self.regions.iter().map(|r| &r.info).collect::<Vec<_>>())
+            .field("resident_bytes", &self.resident_bytes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_regions_do_not_overlap_and_are_aligned() {
+        let mut m = PhysMemory::new();
+        let a = m.alloc_region("a", 10, PortId::ROOT);
+        let b = m.alloc_region("b", 1 << 33, PortId(1));
+        let c = m.alloc_region("c", 1, PortId(2));
+        assert!(!a.overlaps(b) && !b.overlaps(c) && !a.overlaps(c));
+        assert_eq!(a.start.as_u64() % REGION_ALIGN, 0);
+        assert_eq!(b.start.as_u64() % REGION_ALIGN, 0);
+        assert_eq!(c.start.as_u64() % REGION_ALIGN, 0);
+    }
+
+    #[test]
+    fn read_write_roundtrip_across_pages() {
+        let mut m = PhysMemory::new();
+        let r = m.alloc_region("dram", 1 << 20, PortId::ROOT);
+        // Span two pages.
+        let addr = r.start + (PAGE_SIZE as u64 - 3);
+        let data: Vec<u8> = (0..10u8).collect();
+        m.write(addr, &data);
+        assert_eq!(m.read(addr, 10), data);
+        // Untouched bytes read back as zero.
+        assert_eq!(m.read(r.start, 4), vec![0; 4]);
+    }
+
+    #[test]
+    fn sparse_backing_stays_small() {
+        let mut m = PhysMemory::new();
+        let r = m.alloc_region("flash", 400 << 30, PortId(1)); // 400 GiB
+        m.write(r.start + (300u64 << 30), b"x");
+        assert!(m.resident_bytes() <= 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn copy_moves_bytes_between_regions() {
+        let mut m = PhysMemory::new();
+        let a = m.alloc_region("a", 1 << 16, PortId::ROOT);
+        let b = m.alloc_region("b", 1 << 16, PortId(1));
+        m.write(a.start, b"dcs-ctrl");
+        m.copy(a.start, b.start + 100, 8);
+        assert_eq!(m.read(b.start + 100, 8), b"dcs-ctrl");
+    }
+
+    #[test]
+    fn region_lookup_and_port_tagging() {
+        let mut m = PhysMemory::new();
+        let r = m.alloc_region("gpu-bar", 1 << 20, PortId(3));
+        let info = m.region_of(r.start + 5, 10);
+        assert_eq!(info.name, "gpu-bar");
+        assert_eq!(info.port, PortId(3));
+        assert_eq!(m.region_named("gpu-bar").unwrap().range, r);
+        assert!(m.region_named("nope").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "no single region")]
+    fn access_outside_regions_panics() {
+        let m = PhysMemory::new();
+        let _ = m.read(PhysAddr(0x10), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "no single region")]
+    fn access_spanning_region_end_panics() {
+        let mut m = PhysMemory::new();
+        let r = m.alloc_region("small", 8, PortId::ROOT);
+        let _ = m.read(r.start + 4, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn fixed_region_overlap_is_rejected() {
+        let mut m = PhysMemory::new();
+        m.add_region_at("x", AddrRange::new(PhysAddr(0x1000), 0x1000), PortId::ROOT);
+        m.add_region_at("y", AddrRange::new(PhysAddr(0x1800), 0x1000), PortId::ROOT);
+    }
+
+    #[test]
+    fn zero_length_copy_is_noop() {
+        let mut m = PhysMemory::new();
+        let a = m.alloc_region("a", 16, PortId::ROOT);
+        m.copy(a.start, a.start + 8, 0);
+        assert_eq!(m.resident_bytes(), 0);
+    }
+}

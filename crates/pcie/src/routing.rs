@@ -1,0 +1,82 @@
+//! MMIO ownership: which component's registers live at which addresses.
+//!
+//! Device models claim their register windows (NVMe doorbells, NIC mailbox
+//! registers, the HDC Engine's host-interface command queue, MSI target
+//! addresses) before the simulation starts; the fabric consults this table
+//! to route posted writes and interrupts. The table lives in the simulator
+//! [`World`](dcs_sim::World).
+
+use dcs_sim::ComponentId;
+
+use crate::addr::{AddrRange, PhysAddr};
+
+/// The MMIO routing table.
+#[derive(Debug, Default)]
+pub struct MmioRouting {
+    claims: Vec<(AddrRange, ComponentId)>,
+}
+
+impl MmioRouting {
+    /// An empty table.
+    pub fn new() -> Self {
+        MmioRouting::default()
+    }
+
+    /// Claims `range` for `owner`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range overlaps an existing claim.
+    pub fn claim(&mut self, range: AddrRange, owner: ComponentId) {
+        for (existing, other) in &self.claims {
+            assert!(
+                !existing.overlaps(range),
+                "MMIO claim {range} overlaps {existing} owned by {other}"
+            );
+        }
+        self.claims.push((range, owner));
+    }
+
+    /// The component owning `addr`, if any.
+    pub fn owner_of(&self, addr: PhysAddr) -> Option<ComponentId> {
+        self.claims
+            .iter()
+            .find(|(r, _)| r.contains(addr))
+            .map(|(_, owner)| *owner)
+    }
+
+    /// Number of registered claims.
+    pub fn len(&self) -> usize {
+        self.claims.len()
+    }
+
+    /// Whether no claims exist.
+    pub fn is_empty(&self) -> bool {
+        self.claims.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_route_by_address() {
+        let mut r = MmioRouting::new();
+        let a = ComponentId::INVALID;
+        r.claim(AddrRange::new(PhysAddr(0x1000), 0x100), a);
+        assert_eq!(r.owner_of(PhysAddr(0x1000)), Some(a));
+        assert_eq!(r.owner_of(PhysAddr(0x10ff)), Some(a));
+        assert_eq!(r.owner_of(PhysAddr(0x1100)), None);
+        assert_eq!(r.len(), 1);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlapping_claims_rejected() {
+        let mut r = MmioRouting::new();
+        r.claim(AddrRange::new(PhysAddr(0), 16), ComponentId::INVALID);
+        r.claim(AddrRange::new(PhysAddr(8), 16), ComponentId::INVALID);
+    }
+}

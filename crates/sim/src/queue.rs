@@ -1,0 +1,195 @@
+//! A FIFO service-time helper for modeling serializing resources (PCIe
+//! links, flash channels, NDP units, network wires).
+//!
+//! Instead of simulating per-flit occupancy, a [`FifoServer`] computes, for
+//! each offered unit of work, when that work would *complete* if the
+//! resource serves strictly in arrival order — the standard
+//! `completion = max(now, busy_until) + service` recurrence. Components
+//! embed one and schedule the completion message at the returned time. The
+//! server also accounts busy time so link/unit utilization can be reported.
+
+use crate::time::SimTime;
+
+/// A work-conserving, strictly-FIFO single server.
+///
+/// ```
+/// use dcs_sim::{FifoServer, SimTime};
+/// let mut link = FifoServer::new();
+/// // Two back-to-back 1us transfers offered at t=0 finish at 1us and 2us.
+/// let a = link.offer(SimTime::ZERO, 1_000);
+/// let b = link.offer(SimTime::ZERO, 1_000);
+/// assert_eq!(a, SimTime::from_us(1));
+/// assert_eq!(b, SimTime::from_us(2));
+/// assert_eq!(link.busy_time(), 2_000);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FifoServer {
+    busy_until: SimTime,
+    busy_time: u64,
+    completed: u64,
+}
+
+impl FifoServer {
+    /// An idle server.
+    pub fn new() -> Self {
+        FifoServer::default()
+    }
+
+    /// Offers one unit of work needing `service_ns` of service at time
+    /// `now`; returns the completion instant.
+    pub fn offer(&mut self, now: SimTime, service_ns: u64) -> SimTime {
+        let start = self.busy_until.max(now);
+        let done = start + service_ns;
+        self.busy_until = done;
+        self.busy_time += service_ns;
+        self.completed += 1;
+        done
+    }
+
+    /// Like [`FifoServer::offer`] but also returns the start instant — useful
+    /// for breakdown accounting that distinguishes queueing from service.
+    pub fn offer_with_start(&mut self, now: SimTime, service_ns: u64) -> (SimTime, SimTime) {
+        let start = self.busy_until.max(now);
+        let done = start + service_ns;
+        self.busy_until = done;
+        self.busy_time += service_ns;
+        self.completed += 1;
+        (start, done)
+    }
+
+    /// The instant the server next becomes free.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Whether the server is idle at `now`.
+    pub fn is_idle_at(&self, now: SimTime) -> bool {
+        self.busy_until <= now
+    }
+
+    /// Total accumulated service time, in nanoseconds.
+    pub fn busy_time(&self) -> u64 {
+        self.busy_time
+    }
+
+    /// Number of completed work units.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Fraction of a `[0, span_ns]` window the server spent busy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span_ns` is zero.
+    pub fn utilization(&self, span_ns: u64) -> f64 {
+        assert!(span_ns > 0, "utilization over an empty span");
+        self.busy_time as f64 / span_ns as f64
+    }
+}
+
+/// A bank of identical FIFO servers dispatching each offered unit of work to
+/// the server that can finish it earliest (models an n-unit NDP bank or a
+/// multi-lane link).
+#[derive(Clone, Debug)]
+pub struct ServerBank {
+    servers: Vec<FifoServer>,
+}
+
+impl ServerBank {
+    /// A bank of `n` idle servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a server bank needs at least one server");
+        ServerBank { servers: vec![FifoServer::new(); n] }
+    }
+
+    /// Number of servers in the bank.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Whether the bank is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// Offers one unit of work, routed to the earliest-available server;
+    /// returns its completion instant.
+    pub fn offer(&mut self, now: SimTime, service_ns: u64) -> SimTime {
+        let best = self
+            .servers
+            .iter_mut()
+            .min_by_key(|s| s.busy_until())
+            .expect("bank is non-empty");
+        best.offer(now, service_ns)
+    }
+
+    /// Total busy time summed across servers.
+    pub fn busy_time(&self) -> u64 {
+        self.servers.iter().map(|s| s.busy_time()).sum()
+    }
+
+    /// Aggregate utilization of the bank over a window.
+    pub fn utilization(&self, span_ns: u64) -> f64 {
+        assert!(span_ns > 0, "utilization over an empty span");
+        self.busy_time() as f64 / (span_ns as f64 * self.servers.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_serializes_overlapping_offers() {
+        let mut s = FifoServer::new();
+        assert_eq!(s.offer(SimTime::from_nanos(10), 5), SimTime::from_nanos(15));
+        // Offered "in the past" relative to busy_until: queues behind.
+        assert_eq!(s.offer(SimTime::from_nanos(12), 5), SimTime::from_nanos(20));
+        // Offered after an idle gap: starts immediately.
+        assert_eq!(s.offer(SimTime::from_nanos(100), 5), SimTime::from_nanos(105));
+        assert_eq!(s.busy_time(), 15);
+        assert_eq!(s.completed(), 3);
+    }
+
+    #[test]
+    fn offer_with_start_separates_queueing_from_service() {
+        let mut s = FifoServer::new();
+        s.offer(SimTime::ZERO, 100);
+        let (start, done) = s.offer_with_start(SimTime::from_nanos(10), 50);
+        assert_eq!(start, SimTime::from_nanos(100));
+        assert_eq!(done, SimTime::from_nanos(150));
+    }
+
+    #[test]
+    fn idle_checks_and_utilization() {
+        let mut s = FifoServer::new();
+        assert!(s.is_idle_at(SimTime::ZERO));
+        s.offer(SimTime::ZERO, 400);
+        assert!(!s.is_idle_at(SimTime::from_nanos(399)));
+        assert!(s.is_idle_at(SimTime::from_nanos(400)));
+        assert!((s.utilization(1_000) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bank_spreads_load_across_servers() {
+        let mut bank = ServerBank::new(2);
+        // Four 10ns jobs at t=0 on 2 servers -> completions 10,10,20,20.
+        let mut completions: Vec<u64> =
+            (0..4).map(|_| bank.offer(SimTime::ZERO, 10).as_nanos()).collect();
+        completions.sort_unstable();
+        assert_eq!(completions, vec![10, 10, 20, 20]);
+        assert_eq!(bank.busy_time(), 40);
+        assert!((bank.utilization(20) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_bank_rejected() {
+        let _ = ServerBank::new(0);
+    }
+}

@@ -1,0 +1,325 @@
+//! Measurement primitives: named counters, busy-time trackers for
+//! utilization accounting, and latency histograms.
+//!
+//! The paper's evaluation reports two kinds of numbers — latency breakdowns
+//! (Figures 3a, 11) and CPU-utilization breakdowns (Figures 3b, 8, 12, 13).
+//! [`Histogram`] and [`BusyTracker`] are the primitives behind both.
+
+use std::collections::BTreeMap;
+
+
+/// A monotonically increasing named counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+}
+
+/// Global named statistics kept in the [`World`](crate::World).
+#[derive(Debug, Default)]
+pub struct Stats {
+    counters: BTreeMap<&'static str, Counter>,
+}
+
+impl Stats {
+    /// Empty statistics.
+    pub fn new() -> Self {
+        Stats::default()
+    }
+
+    /// The counter registered under `name`, creating it at zero on first use.
+    pub fn counter(&mut self, name: &'static str) -> &mut Counter {
+        self.counters.entry(name).or_default()
+    }
+
+    /// Reads a counter without creating it (zero if absent).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.get(name).map(|c| c.value()).unwrap_or(0)
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, v.value()))
+    }
+}
+
+/// Tracks how much of a resource's time is spent busy, broken down by a
+/// caller-supplied tag — the mechanism behind every CPU-utilization figure.
+///
+/// `record(tag, busy_ns)` attributes `busy_ns` nanoseconds of busy time to
+/// `tag`; `utilization(span, capacity)` divides total busy time by
+/// `capacity × span`.
+///
+/// ```
+/// use dcs_sim::{BusyTracker, SimTime};
+/// let mut cpu = BusyTracker::new();
+/// cpu.record("kernel", 500_000);
+/// cpu.record("driver", 250_000);
+/// let util = cpu.utilization(1_000_000, 1.0);
+/// assert!((util - 0.75).abs() < 1e-9);
+/// assert_eq!(cpu.busy_for("kernel"), 500_000);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct BusyTracker {
+    by_tag: BTreeMap<String, u64>,
+    total: u64,
+}
+
+impl BusyTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        BusyTracker::default()
+    }
+
+    /// Attributes `busy_ns` of busy time to `tag`.
+    pub fn record(&mut self, tag: &str, busy_ns: u64) {
+        *self.by_tag.entry(tag.to_string()).or_insert(0) += busy_ns;
+        self.total += busy_ns;
+    }
+
+    /// Total busy time across all tags, in nanoseconds.
+    pub fn total_busy(&self) -> u64 {
+        self.total
+    }
+
+    /// Busy time attributed to `tag` (zero if never recorded).
+    pub fn busy_for(&self, tag: &str) -> u64 {
+        self.by_tag.get(tag).copied().unwrap_or(0)
+    }
+
+    /// Fraction of `capacity` servers kept busy over a span of `span_ns`:
+    /// `total_busy / (span_ns * capacity)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span_ns` is zero or `capacity` is not positive.
+    pub fn utilization(&self, span_ns: u64, capacity: f64) -> f64 {
+        assert!(span_ns > 0, "utilization over an empty span");
+        assert!(capacity > 0.0, "capacity must be positive");
+        self.total as f64 / (span_ns as f64 * capacity)
+    }
+
+    /// Per-tag utilization fractions over a span (same denominator as
+    /// [`BusyTracker::utilization`]), in tag order.
+    pub fn utilization_breakdown(&self, span_ns: u64, capacity: f64) -> Vec<(String, f64)> {
+        assert!(span_ns > 0, "utilization over an empty span");
+        assert!(capacity > 0.0, "capacity must be positive");
+        let denom = span_ns as f64 * capacity;
+        self.by_tag
+            .iter()
+            .map(|(tag, busy)| (tag.clone(), *busy as f64 / denom))
+            .collect()
+    }
+
+    /// Iterates `(tag, busy_ns)` in tag order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.by_tag.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Merges another tracker into this one (used to aggregate per-node
+    /// trackers in two-node experiments).
+    pub fn merge(&mut self, other: &BusyTracker) {
+        for (tag, busy) in other.iter() {
+            self.record(tag, busy);
+        }
+    }
+
+    /// Resets all recorded time (used to discard warm-up phases).
+    pub fn reset(&mut self) {
+        self.by_tag.clear();
+        self.total = 0;
+    }
+}
+
+/// A latency histogram with power-of-two buckets plus exact min/max/mean.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+    /// `buckets[i]` counts samples with `floor(log2(v)) == i` (v=0 goes to
+    /// bucket 0).
+    buckets: [u64; 64],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram { count: 0, sum: 0, min: u64::MAX, max: 0, buckets: [0; 64] }
+    }
+
+    /// Records one sample (e.g. a request latency in nanoseconds).
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        let bucket = if value == 0 { 0 } else { 63 - value.leading_zeros() as usize };
+        self.buckets[bucket] += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the samples, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Approximate quantile (bucket upper bound containing the q-quantile).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((self.count as f64 * q).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                // Upper bound of bucket i, clamped to the observed max.
+                let ub = if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
+                return Some(ub.min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_read_back() {
+        let mut s = Stats::new();
+        s.counter("x").add(2);
+        s.counter("x").add(3);
+        assert_eq!(s.counter_value("x"), 5);
+        assert_eq!(s.counter_value("absent"), 0);
+        let all: Vec<_> = s.iter().collect();
+        assert_eq!(all, vec![("x", 5)]);
+    }
+
+    #[test]
+    fn busy_tracker_breakdown_sums_to_total() {
+        let mut t = BusyTracker::new();
+        t.record("a", 100);
+        t.record("b", 300);
+        t.record("a", 100);
+        assert_eq!(t.total_busy(), 500);
+        assert_eq!(t.busy_for("a"), 200);
+        let breakdown = t.utilization_breakdown(1000, 1.0);
+        let sum: f64 = breakdown.iter().map(|(_, f)| f).sum();
+        assert!((sum - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn busy_tracker_merge_and_reset() {
+        let mut a = BusyTracker::new();
+        a.record("k", 10);
+        let mut b = BusyTracker::new();
+        b.record("k", 5);
+        b.record("u", 1);
+        a.merge(&b);
+        assert_eq!(a.busy_for("k"), 15);
+        assert_eq!(a.total_busy(), 16);
+        a.reset();
+        assert_eq!(a.total_busy(), 0);
+    }
+
+    #[test]
+    fn multi_core_utilization_denominator() {
+        let mut t = BusyTracker::new();
+        t.record("app", 6_000);
+        // 6000ns busy over a 1000ns span on 12 cores => 50%.
+        assert!((t.utilization(1_000, 12.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_summary_statistics() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 4, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(100));
+        assert!((h.mean().unwrap() - 22.0).abs() < 1e-9);
+        assert!(h.quantile(0.5).unwrap() <= 100);
+        assert_eq!(h.quantile(1.0), Some(100));
+    }
+
+    #[test]
+    fn histogram_empty_returns_none() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_zero_sample() {
+        let mut h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.quantile(0.5), Some(0));
+    }
+
+    /// `utilization` is also exercised with `SimTime`-derived spans.
+    #[test]
+    fn utilization_from_simtime_span() {
+        use crate::time::SimTime;
+        let start = SimTime::ZERO;
+        let end = SimTime::from_us(10);
+        let mut t = BusyTracker::new();
+        t.record("io", 5_000);
+        assert!((t.utilization(end - start, 1.0) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests of the simulation kernel's invariants.
+
+use dcs_sim::{time, Breakdown, Category, Component, Ctx, FifoServer, Msg, Rng, SimTime, Simulator};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// FIFO servers never travel back in time, conserve total service, and
+    /// serve work-conservingly.
+    #[test]
+    fn fifo_server_monotone(offers in proptest::collection::vec((0u64..1_000_000, 1u64..10_000), 1..200)) {
+        let mut server = FifoServer::new();
+        let mut offers = offers;
+        offers.sort_by_key(|(t, _)| *t);
+        let mut last_done = SimTime::ZERO;
+        let mut total = 0;
+        for (t, service) in offers {
+            let done = server.offer(SimTime::from_nanos(t), service);
+            prop_assert!(done >= last_done, "completions are FIFO-ordered");
+            prop_assert!(done.as_nanos() >= t + service);
+            last_done = done;
+            total += service;
+        }
+        prop_assert_eq!(server.busy_time(), total);
+    }
+
+    /// The RNG's range sampling stays in bounds and the exponential stays
+    /// positive.
+    #[test]
+    fn rng_bounds(seed in any::<u64>(), lo in 0u64..1_000, span in 1u64..1_000) {
+        let mut rng = Rng::new(seed);
+        for _ in 0..100 {
+            let v = rng.gen_range(lo..lo + span);
+            prop_assert!((lo..lo + span).contains(&v));
+            prop_assert!(rng.gen_exp(50.0) > 0.0);
+            let f = rng.gen_f64();
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    /// Breakdown merging is commutative and totals add.
+    #[test]
+    fn breakdown_merge(values in proptest::collection::vec((0usize..13, 0u64..1_000_000), 0..40)) {
+        let cats = Category::ALL;
+        let mut a = Breakdown::new();
+        let mut b = Breakdown::new();
+        for (i, (c, v)) in values.iter().enumerate() {
+            if i % 2 == 0 { a.add(cats[*c], *v) } else { b.add(cats[*c], *v) };
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.total(), a.total() + b.total());
+    }
+
+    /// Event delivery is globally ordered by (time, schedule order): a
+    /// component observing its own inbox never sees time regress.
+    #[test]
+    fn event_ordering(delays in proptest::collection::vec(0u64..10_000, 1..100)) {
+        struct Watcher {
+            last: SimTime,
+        }
+        #[derive(Debug)]
+        struct Tick;
+        impl Component for Watcher {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+                msg.downcast::<Tick>().expect("ticks only");
+                assert!(ctx.now() >= self.last, "time regressed");
+                self.last = ctx.now();
+                ctx.world().stats.counter("ticks").add(1);
+            }
+        }
+        let mut sim = Simulator::new(1);
+        let w = sim.add("w", Watcher { last: SimTime::ZERO });
+        for d in &delays {
+            sim.schedule_at(SimTime::from_nanos(*d), w, Tick);
+        }
+        sim.run();
+        prop_assert_eq!(sim.world().stats.counter_value("ticks"), delays.len() as u64);
+        let max = delays.iter().max().copied().unwrap_or(0);
+        prop_assert_eq!(sim.now(), SimTime::ZERO + time::ns(max));
+    }
+}

@@ -1,0 +1,128 @@
+//! Request generation: Poisson arrivals and the Dropbox-like object-size
+//! distribution.
+//!
+//! §V-C1: "To model a realistic user behavior, we generate user requests
+//! with the parameters (e.g., PUT/GET ratio, file size distribution) in
+//! [42] obtained from the real-world data-serving service. We also use
+//! the Poisson process to model request arrivals."
+
+use dcs_sim::Rng;
+
+/// Poisson arrival process: exponential inter-arrival times.
+#[derive(Debug)]
+pub struct PoissonArrivals {
+    mean_interarrival_ns: f64,
+    rng: Rng,
+}
+
+impl PoissonArrivals {
+    /// Arrivals with the given mean inter-arrival time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_interarrival_ns` is not positive.
+    pub fn new(mean_interarrival_ns: f64, rng: Rng) -> Self {
+        assert!(mean_interarrival_ns > 0.0, "inter-arrival time must be positive");
+        PoissonArrivals { mean_interarrival_ns, rng }
+    }
+
+    /// Arrivals tuned to offer `target_gbps` of load at `mean_size` bytes
+    /// per request.
+    pub fn for_throughput(target_gbps: f64, mean_size: f64, rng: Rng) -> Self {
+        assert!(target_gbps > 0.0 && mean_size > 0.0);
+        // requests/s = target bits/s / bits per request.
+        let rate = target_gbps * 1e9 / (mean_size * 8.0);
+        PoissonArrivals::new(1e9 / rate, rng)
+    }
+
+    /// Next inter-arrival gap in nanoseconds (≥ 1).
+    pub fn next_gap(&mut self) -> u64 {
+        (self.rng.gen_exp(self.mean_interarrival_ns) as u64).max(1)
+    }
+
+    /// The configured mean inter-arrival time.
+    pub fn mean_interarrival_ns(&self) -> f64 {
+        self.mean_interarrival_ns
+    }
+}
+
+/// Object-size distribution.
+///
+/// Drago et al. observe personal-cloud objects dominated by small files
+/// with a heavy tail of multi-megabyte ones; we model that as a lognormal
+/// body clamped to a block-aligned range (the clamp also keeps simulated
+/// memory bounded).
+#[derive(Clone, Debug)]
+pub struct SizeDistribution {
+    /// Mean of the underlying normal (ln bytes).
+    pub mu: f64,
+    /// Std-dev of the underlying normal.
+    pub sigma: f64,
+    /// Smallest object (block-aligned).
+    pub min: usize,
+    /// Largest object (block-aligned).
+    pub max: usize,
+}
+
+impl Default for SizeDistribution {
+    fn default() -> Self {
+        // Median ≈ e^11.8 ≈ 130 KiB; tail to 1 MiB (clamped).
+        SizeDistribution { mu: 11.8, sigma: 1.1, min: 4096, max: 1 << 20 }
+    }
+}
+
+impl SizeDistribution {
+    /// Draws a block-aligned object size.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let raw = rng.gen_lognormal(self.mu, self.sigma);
+        let clamped = raw.clamp(self.min as f64, self.max as f64) as usize;
+        clamped.div_ceil(4096) * 4096
+    }
+
+    /// Analytic-ish mean of the *clamped, block-aligned* distribution,
+    /// estimated by sampling (deterministic seed), for rate planning.
+    pub fn mean_estimate(&self) -> f64 {
+        let mut rng = Rng::new(0xD15C);
+        let n = 20_000;
+        (0..n).map(|_| self.sample(&mut rng)).sum::<usize>() as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_gap_mean_is_close() {
+        let mut p = PoissonArrivals::new(10_000.0, Rng::new(1));
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| p.next_gap() as f64).sum::<f64>() / n as f64;
+        assert!((mean - 10_000.0).abs() < 300.0, "{mean}");
+    }
+
+    #[test]
+    fn throughput_tuning_matches_rate() {
+        let p = PoissonArrivals::for_throughput(9.0, 128.0 * 1024.0, Rng::new(2));
+        // 9 Gbps at 128 KiB/request ≈ 8583 req/s → ≈116.5 us gaps.
+        assert!((p.mean_interarrival_ns() - 116_508.0).abs() < 1_000.0);
+    }
+
+    #[test]
+    fn sizes_are_block_aligned_and_clamped() {
+        let d = SizeDistribution::default();
+        let mut rng = Rng::new(3);
+        for _ in 0..10_000 {
+            let s = d.sample(&mut rng);
+            assert_eq!(s % 4096, 0);
+            assert!(s >= d.min && s <= d.max.div_ceil(4096) * 4096, "{s}");
+        }
+    }
+
+    #[test]
+    fn mean_estimate_is_stable_and_sane() {
+        let d = SizeDistribution::default();
+        let m = d.mean_estimate();
+        assert!(m > 100_000.0 && m < 400_000.0, "{m}");
+        assert_eq!(m, d.mean_estimate(), "deterministic");
+    }
+}

@@ -1,0 +1,175 @@
+//! The HDFS-balancer workload (§V-C2).
+//!
+//! "HDFS balancer distributes skewed data across nodes … a sender reads
+//! data from an NVMe SSD and sends it to a receiver without the integrity
+//! check. On the opposite side, the receiver receives the data and
+//! computes a CRC32 checksum … After the receiver checks the checksum, it
+//! stores the data into an NVMe SSD."
+//!
+//! Both node's CPU breakdowns are reported (Figure 12b shows sender and
+//! receiver).
+
+use dcs_host::job::{D2dJob, D2dOp};
+use dcs_ndp::NdpFunction;
+use dcs_nic::TcpFlow;
+use dcs_sim::time;
+
+use crate::report::WorkloadReport;
+use crate::scenario::{
+    start_scenario_with_app, DesignUnderTest, Request, ScenarioConfig, ScenarioOutcome, Testbed,
+    TestbedConfig,
+};
+
+/// HDFS balancer parameters.
+#[derive(Clone, Debug)]
+pub struct HdfsConfig {
+    /// Transfer unit (a balancer moves data block by block; 1 MiB keeps
+    /// event counts tractable while well past the LSO size).
+    pub block_size: usize,
+    /// Offered load in Gbps.
+    pub offered_gbps: f64,
+    /// Run length.
+    pub duration_ns: u64,
+    /// Warm-up trimmed from measurements.
+    pub warmup_ns: u64,
+    /// Concurrent block transfers (the balancer's mover threads).
+    pub slots: usize,
+    /// Testbed configuration.
+    pub testbed: TestbedConfig,
+}
+
+impl Default for HdfsConfig {
+    fn default() -> Self {
+        HdfsConfig {
+            block_size: 1 << 20,
+            offered_gbps: 8.5,
+            duration_ns: time::ms(60),
+            warmup_ns: time::ms(10),
+            slots: 16,
+            testbed: TestbedConfig::default(),
+        }
+    }
+}
+
+/// Runs the balancer over `design`; returns `(sender, receiver)` reports.
+pub fn run_hdfs(design: DesignUnderTest, cfg: &HdfsConfig) -> (WorkloadReport, WorkloadReport) {
+    let mut tb = Testbed::new(design, &cfg.testbed);
+    tb.sim.run();
+
+    let sender = tb.server.clone();
+    let receiver = tb.client.clone();
+    let block = cfg.block_size;
+    let mean_interarrival_ns = block as f64 * 8.0 / cfg.offered_gbps;
+
+    let mut src_lba = 0u64;
+    let mut dst_lba = 0u64;
+    let lba_window = (8u64 << 30) / 4096;
+    let blocks = (block / 4096) as u64;
+
+    let make = Box::new(
+        move |_rng: &mut dcs_sim::Rng, slot: usize, reply_to, next_id: &mut u64| {
+            let mut id = || {
+                let i = *next_id;
+                *next_id += 1;
+                i
+            };
+            let flow = TcpFlow::example(1, 2, 42_000 + slot as u16, 8_020 + slot as u16);
+            let lba = src_lba;
+            src_lba = (src_lba + blocks) % lba_window;
+            let to = dst_lba;
+            dst_lba = (dst_lba + blocks) % lba_window;
+            // Sender: plain read + send, no integrity work.
+            let send_job = D2dJob {
+                id: id(),
+                ops: vec![
+                    D2dOp::SsdRead { ssd: 0, lba, len: block },
+                    D2dOp::NicSend { flow, seq: 0 },
+                ],
+                reply_to,
+                tag: "kernel-send",
+            };
+            // Receiver: gather + CRC32 + store.
+            let recv_job = D2dJob {
+                id: id(),
+                ops: vec![
+                    D2dOp::NicRecv { flow: flow.reversed(), len: block },
+                    D2dOp::Process { function: NdpFunction::Crc32, aux: vec![] },
+                    D2dOp::SsdWrite { ssd: 0, lba: to },
+                ],
+                reply_to,
+                tag: "kernel-recv",
+            };
+            Request {
+                jobs: vec![
+                    (receiver.submit_to, recv_job),
+                    (sender.submit_to, send_job),
+                ],
+                bytes: block,
+                app_cost_ns: 30_000 + (block / 40) as u64,
+                app_tag: "app",
+            }
+        },
+    );
+
+    let scenario = ScenarioConfig {
+        duration_ns: cfg.duration_ns,
+        warmup_ns: cfg.warmup_ns,
+        mean_interarrival_ns,
+        slots: cfg.slots,
+    };
+    let sender_key = tb.server.cpu_key.clone();
+    let receiver_key = tb.client.cpu_key.clone();
+    start_scenario_with_app(
+        &mut tb.sim,
+        scenario,
+        make,
+        vec![
+            (sender_key.clone(), tb.server.cores),
+            (receiver_key.clone(), tb.client.cores),
+        ],
+        Some(tb.server.cpu),
+    );
+    tb.sim.run();
+    let outcome = tb.sim.world().expect::<ScenarioOutcome>();
+    (outcome.reports[&sender_key].clone(), outcome.reports[&receiver_key].clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> HdfsConfig {
+        HdfsConfig {
+            duration_ns: time::ms(12),
+            warmup_ns: time::ms(2),
+            offered_gbps: 5.0,
+            block_size: 512 * 1024,
+            slots: 8,
+            ..HdfsConfig::default()
+        }
+    }
+
+    #[test]
+    fn hdfs_runs_on_swopt() {
+        let (snd, rcv) = run_hdfs(DesignUnderTest::SwOpt, &quick_cfg());
+        assert!(snd.requests > 5, "{snd:?}");
+        assert_eq!(snd.failures, 0);
+        assert!(snd.throughput_gbps() > 0.5);
+        // The receiver pays the gather + CRC costs; its CPU exceeds the
+        // sender's.
+        assert!(rcv.cpu_utilization() > snd.cpu_utilization(), "{rcv:?} vs {snd:?}");
+    }
+
+    #[test]
+    fn hdfs_on_dcs_cuts_receiver_cpu() {
+        let (_, rcv_sw) = run_hdfs(DesignUnderTest::SwOpt, &quick_cfg());
+        let (_, rcv_dcs) = run_hdfs(DesignUnderTest::DcsCtrl, &quick_cfg());
+        assert_eq!(rcv_dcs.failures, 0);
+        let sw_norm = rcv_sw.cpu_utilization() / rcv_sw.throughput_gbps();
+        let dcs_norm = rcv_dcs.cpu_utilization() / rcv_dcs.throughput_gbps();
+        assert!(
+            dcs_norm < sw_norm * 0.5,
+            "receiver CPU/Gbps must drop sharply: sw {sw_norm:.4} dcs {dcs_norm:.4}"
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! The Figure 13 scalability projection.
+//!
+//! §V-C3: "We measure the throughput and CPU utilization using a 10 Gbps
+//! NIC … and calculate the required number of cores based on the measured
+//! result. For the estimation, we assume a 40-Gbps NIC, six NVMe SSDs,
+//! and a single 6-core Intel Xeon CPU."
+//!
+//! The projection is linear in throughput (CPU work per byte is constant
+//! for a fixed design), capped by the core budget: a design that needs
+//! more than the budget at 40 Gbps tops out at the throughput the budget
+//! affords.
+
+/// A measured operating point to project from.
+#[derive(Clone, Copy, Debug)]
+pub struct ProjectionInput {
+    /// Measured throughput, Gbps.
+    pub measured_gbps: f64,
+    /// Measured CPU utilization as a fraction of `cores`.
+    pub measured_util: f64,
+    /// Cores in the measured system.
+    pub cores: usize,
+}
+
+/// One point on the projected curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProjectionPoint {
+    /// Target throughput, Gbps.
+    pub gbps: f64,
+    /// Cores required to sustain it.
+    pub cores_required: f64,
+}
+
+/// The projected curve plus the budget-capped maximum.
+#[derive(Clone, Debug)]
+pub struct ProjectionResult {
+    /// Cores-vs-throughput series up to the target NIC rate.
+    pub curve: Vec<ProjectionPoint>,
+    /// Cores needed at the full target rate.
+    pub cores_at_target: f64,
+    /// Maximum throughput achievable within the core budget (≤ target).
+    pub max_gbps_within_budget: f64,
+}
+
+/// Projects a measured point onto `(target_gbps, core_budget)` hardware.
+///
+/// # Panics
+///
+/// Panics if the measured throughput or utilization is not positive.
+pub fn project(input: ProjectionInput, target_gbps: f64, core_budget: f64) -> ProjectionResult {
+    assert!(input.measured_gbps > 0.0, "measured throughput must be positive");
+    assert!(input.measured_util > 0.0, "measured utilization must be positive");
+    // Cores of work per Gbps is the design's fingerprint.
+    let cores_per_gbps = input.measured_util * input.cores as f64 / input.measured_gbps;
+    let steps = 16;
+    let curve = (1..=steps)
+        .map(|i| {
+            let gbps = target_gbps * i as f64 / steps as f64;
+            ProjectionPoint { gbps, cores_required: cores_per_gbps * gbps }
+        })
+        .collect();
+    let cores_at_target = cores_per_gbps * target_gbps;
+    let max_gbps_within_budget = (core_budget / cores_per_gbps).min(target_gbps);
+    ProjectionResult { curve, cores_at_target, max_gbps_within_budget }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_projection_and_cap() {
+        // 50% of 6 cores at 9 Gbps → 3 cores per 9 Gbps → 13.3 at 40.
+        let input = ProjectionInput { measured_gbps: 9.0, measured_util: 0.5, cores: 6 };
+        let r = project(input, 40.0, 6.0);
+        assert!((r.cores_at_target - 40.0 / 3.0).abs() < 1e-9);
+        // Budget-capped: 6 cores / (1/3 core per Gbps) = 18 Gbps.
+        assert!((r.max_gbps_within_budget - 18.0).abs() < 1e-9);
+        assert_eq!(r.curve.len(), 16);
+        assert!((r.curve[15].gbps - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cheap_design_reaches_the_target() {
+        // 10% of 6 cores at 9 Gbps → 0.6/9 cores per Gbps → 2.67 at 40.
+        let input = ProjectionInput { measured_gbps: 9.0, measured_util: 0.1, cores: 6 };
+        let r = project(input, 40.0, 6.0);
+        assert!(r.cores_at_target < 3.0);
+        assert!((r.max_gbps_within_budget - 40.0).abs() < 1e-9, "hits the NIC limit");
+    }
+
+    #[test]
+    fn throughput_ratio_between_designs() {
+        // The paper's 1.95x style comparison: capped throughputs ratio.
+        let sw = project(
+            ProjectionInput { measured_gbps: 9.0, measured_util: 0.55, cores: 6 },
+            40.0,
+            6.0,
+        );
+        let dcs = project(
+            ProjectionInput { measured_gbps: 9.0, measured_util: 0.22, cores: 6 },
+            40.0,
+            6.0,
+        );
+        let ratio = dcs.max_gbps_within_budget / sw.max_gbps_within_budget;
+        assert!(ratio > 1.5 && ratio < 2.6, "{ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_measurement_rejected() {
+        project(ProjectionInput { measured_gbps: 0.0, measured_util: 0.5, cores: 6 }, 40.0, 6.0);
+    }
+}

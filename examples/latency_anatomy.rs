@@ -1,0 +1,49 @@
+//! The anatomy of one D2D operation under each design.
+//!
+//! Prints the Figure-2-style timeline of a single `SSD -> MD5 -> NIC`
+//! operation for every design the paper compares, showing exactly which
+//! microseconds DCS-ctrl removes.
+//!
+//! ```text
+//! cargo run --example latency_anatomy
+//! ```
+
+use dcs_bench::fig11::{measure, software_latency};
+use dcs_ctrl::sim::Category;
+use dcs_ctrl::workloads::scenario::DesignUnderTest;
+
+const ORDER: [Category; 10] = [
+    Category::DeviceControl,
+    Category::FileSystem,
+    Category::Read,
+    Category::RequestCompletion,
+    Category::GpuCopy,
+    Category::GpuControl,
+    Category::Hash,
+    Category::NetworkStack,
+    Category::Scoreboard,
+    Category::Wire,
+];
+
+fn main() {
+    let len = 4096;
+    println!("Anatomy of one SSD -> MD5 -> NIC operation ({} KiB)\n", len / 1024);
+    for design in [DesignUnderTest::Linux, DesignUnderTest::SwOpt, DesignUnderTest::SwP2p, DesignUnderTest::DcsCtrl] {
+        let b = measure(design, len, true);
+        let total = b.total() as f64 / 1000.0;
+        println!("{} — total {:.1} us, software {:.1} us", design.label(), total, software_latency(&b) as f64 / 1000.0);
+        let mut t = 0.0;
+        for cat in ORDER {
+            let dur = b.get(cat) as f64 / 1000.0;
+            if dur == 0.0 {
+                continue;
+            }
+            let bar = "#".repeat(((dur / total) * 50.0).ceil() as usize);
+            println!("  {:>7.1}..{:<7.1}us {:<18} {bar}", t, t + dur, cat.label());
+            t += dur;
+        }
+        println!();
+    }
+    println!("Every '#' of Device Control / GPU Control / Network Stack is host");
+    println!("software the HDC Engine replaces with the thin Scoreboard slice.");
+}

@@ -1,0 +1,115 @@
+//! Chained near-device processing on the HDC Engine.
+//!
+//! Demonstrates a multi-stage NDP pipeline: a compressible log file is
+//! read from the SSD, GZIP-compressed, AES-256-encrypted, and transmitted
+//! — all inside the engine — then decrypted and decompressed on the
+//! receiving node. Shows the payload shrinking mid-pipeline (the
+//! scoreboard's length propagation) and verifies the round trip.
+//!
+//! ```text
+//! cargo run --example ndp_pipeline
+//! ```
+
+use dcs_ctrl::core::{build_dcs_pair, DcsNodeBuilder};
+use dcs_ctrl::host::job::{D2dDone, D2dJob, D2dOp};
+use dcs_ctrl::ndp::NdpFunction;
+use dcs_ctrl::nic::{TcpFlow, WireConfig};
+use dcs_ctrl::pcie::PhysMemory;
+use dcs_ctrl::sim::{Component, ComponentId, Ctx, Msg, Simulator};
+
+struct App;
+
+#[derive(Debug)]
+struct Submit {
+    to: ComponentId,
+    job: D2dJob,
+}
+
+impl Component for App {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        let msg = match msg.downcast::<Submit>() {
+            Ok(Submit { to, job }) => {
+                ctx.send_now(to, job);
+                return;
+            }
+            Err(m) => m,
+        };
+        let done = msg.downcast::<D2dDone>().expect("completions");
+        println!(
+            "  job {}: ok={} exit-payload={} bytes, t={}",
+            done.id,
+            done.ok,
+            done.payload_len,
+            ctx.now()
+        );
+    }
+}
+
+fn aes_aux() -> Vec<u8> {
+    let mut aux = vec![0x2Au8; 32];
+    aux.extend([0x3Cu8; 16]);
+    aux
+}
+
+fn main() {
+    println!("NDP pipeline: SSD -> gzip -> aes256 -> NIC ... NIC -> aes256 -> gunzip -> SSD\n");
+    let mut sim = Simulator::new(99);
+    let (a, b) = build_dcs_pair(
+        &mut sim,
+        &DcsNodeBuilder::new("alpha"),
+        &DcsNodeBuilder::new("beta"),
+        WireConfig::default(),
+    );
+    let app = sim.add("app", App);
+    sim.run();
+
+    // A compressible "log file".
+    let line = b"2026-07-06T12:00:00Z INFO object-server: GET /v1/acct/cont/obj 200 -\n";
+    let log: Vec<u8> = line.iter().cycle().take(256 * 1024).copied().collect();
+    sim.world_mut().expect_mut::<PhysMemory>().write(a.ssds[0].lba_addr(0), &log);
+    println!("log file: {} bytes (highly compressible)", log.len());
+
+    let flow = TcpFlow::example(1, 2, 50_500, 9_500);
+    // The compressed+encrypted size isn't known up front; receive jobs need
+    // an exact length. Stage 1: compress+encrypt+send on A, and observe the
+    // exit payload length from the completion...
+    let send = D2dJob {
+        id: 1,
+        ops: vec![
+            D2dOp::SsdRead { ssd: 0, lba: 0, len: log.len() },
+            D2dOp::Process { function: NdpFunction::GzipCompress, aux: vec![] },
+            D2dOp::Process { function: NdpFunction::Aes256Encrypt, aux: aes_aux() },
+            D2dOp::NicSend { flow, seq: 0 },
+        ],
+        reply_to: app,
+        tag: "pipeline",
+    };
+    // ...which in a real deployment travels in the object metadata. Here we
+    // precompute it the same way the engine will (bit-exact algorithms).
+    let compressed_len = dcs_ctrl::ndp::deflate::gzip_compress(&log).len();
+    println!("compressed+encrypted payload: {compressed_len} bytes\n");
+    let recv = D2dJob {
+        id: 2,
+        ops: vec![
+            D2dOp::NicRecv { flow: flow.reversed(), len: compressed_len },
+            D2dOp::Process { function: NdpFunction::Aes256Decrypt, aux: aes_aux() },
+            D2dOp::Process { function: NdpFunction::GzipDecompress, aux: vec![] },
+            D2dOp::SsdWrite { ssd: 0, lba: 9000 },
+        ],
+        reply_to: app,
+        tag: "pipeline",
+    };
+    sim.kickoff(app, Submit { to: b.driver, job: recv });
+    sim.kickoff(app, Submit { to: a.driver, job: send });
+    sim.run();
+
+    let landed = sim.world().expect::<PhysMemory>().read(b.ssds[0].lba_addr(9000), log.len());
+    assert_eq!(landed, log, "round trip must reproduce the log");
+    println!("\nround trip verified: decrypt(gunzip(...)) on beta == the log on alpha ✓");
+    println!(
+        "wire bytes {} vs payload bytes {} — compression cut the transfer by {:.0}%",
+        sim.world().stats.counter_value("wire.bytes"),
+        log.len(),
+        (1.0 - compressed_len as f64 / log.len() as f64) * 100.0
+    );
+}
