@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the DCS-ctrl paper.
 //!
 //! ```text
-//! repro [--quick] [all|fig2|fig3|fig8|fig11|fig12|fig13|table3|table4|ablation]...
+//! repro [--quick] [all|fig2|fig3|fig8|fig11|fig12|fig13|table3|table4|ablation|faults]...
 //! ```
 //!
 //! With no experiment arguments, runs everything. `--quick` shortens the
@@ -15,7 +15,10 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let mut wanted: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
     if wanted.is_empty() || wanted.contains(&"all") {
-        wanted = vec!["table3", "table4", "fig2", "fig3", "fig8", "fig11", "fig12", "fig13", "ablation"];
+        wanted = vec![
+            "table3", "table4", "fig2", "fig3", "fig8", "fig11", "fig12", "fig13", "ablation",
+            "faults",
+        ];
     }
     println!("DCS-ctrl reproduction harness (quick={quick})");
     println!("==============================================\n");
@@ -30,6 +33,7 @@ fn main() {
             "table3" => dcs_bench::table3::render(if quick { 1 << 19 } else { 4 << 20 }),
             "table4" => dcs_bench::table4::render(),
             "ablation" => dcs_bench::ablation::render(quick),
+            "faults" => dcs_bench::faults::render(quick),
             other => {
                 eprintln!("unknown experiment: {other}");
                 std::process::exit(2);

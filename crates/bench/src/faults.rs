@@ -1,0 +1,177 @@
+//! Extension experiment: fault-injection sweep.
+//!
+//! Drives paired 16 KiB SSD→wire→MD5 transfers through each design while
+//! `dcs_sim::fault` storms every injection site at increasing rates, and
+//! reports transfer goodput plus the recovery tallies. This is the
+//! benchmark-side view of the robustness machinery `tests/chaos.rs`
+//! asserts on: the interesting outputs are how many faults each design's
+//! retry/timeout/watchdog paths absorb and what survives to an error
+//! completion.
+
+use dcs_host::job::D2dOp;
+use dcs_ndp::NdpFunction;
+use dcs_nic::TcpFlow;
+use dcs_pcie::PhysMemory;
+use dcs_sim::FaultPlan;
+use dcs_workloads::scenario::{DesignUnderTest, Testbed, TestbedConfig};
+
+use crate::probe::FaultReport;
+
+/// Transfer size per round; small enough that whole-send retransmission
+/// stays effective at percent-level frame-drop rates.
+const LEN: usize = 16 * 1024;
+
+/// Outcome of one (design, rate) cell of the sweep.
+pub struct FaultRow {
+    /// Design under test.
+    pub design: DesignUnderTest,
+    /// Per-site fault probability.
+    pub rate: f64,
+    /// Transfer rounds attempted.
+    pub rounds: usize,
+    /// Rounds where both the send and the receive job succeeded.
+    pub ok_rounds: usize,
+    /// Simulated wall time of each successful round, ns (sorted).
+    pub ok_lat_ns: Vec<u64>,
+    /// Global fault/recovery tallies at the end of the run.
+    pub report: FaultReport,
+}
+
+impl FaultRow {
+    /// Mean latency of successful rounds, µs.
+    pub fn mean_us(&self) -> f64 {
+        if self.ok_lat_ns.is_empty() {
+            return 0.0;
+        }
+        self.ok_lat_ns.iter().sum::<u64>() as f64 / self.ok_lat_ns.len() as f64 / 1000.0
+    }
+
+    /// p99 latency of successful rounds, µs (the worst round at these
+    /// sample counts).
+    pub fn p99_us(&self) -> f64 {
+        match self.ok_lat_ns.len() {
+            0 => 0.0,
+            n => self.ok_lat_ns[(n * 99).div_ceil(100) - 1] as f64 / 1000.0,
+        }
+    }
+}
+
+/// Runs `rounds` paired transfers on `design` with every fault site
+/// firing at `rate` (0 disables injection entirely).
+pub fn run(design: DesignUnderTest, rate: f64, rounds: usize) -> FaultRow {
+    let mut tb = Testbed::new(design, &TestbedConfig { seed: 0xFA17, ..Default::default() });
+    tb.sim.run();
+    let pat: Vec<u8> = (0..LEN).map(|i| (i * 31 % 251) as u8).collect();
+    let addr = tb.server.ssds[0].lba_addr(0);
+    tb.sim.world_mut().expect_mut::<PhysMemory>().write(addr, &pat);
+    if rate > 0.0 {
+        tb.install_faults(|rng| FaultPlan::uniform(rate, rng));
+    }
+    let mut ok_rounds = 0;
+    let mut ok_lat_ns = Vec::new();
+    for round in 0..rounds {
+        let flow = TcpFlow::example(1, 2, 43_000 + round as u16, 7_000 + round as u16);
+        let server = tb.server.submit_to;
+        let client = tb.client.submit_to;
+        let done = tb.run_job_batch(vec![
+            (
+                server,
+                vec![D2dOp::SsdRead { ssd: 0, lba: 0, len: LEN }, D2dOp::NicSend { flow, seq: 0 }],
+                "fault-send",
+            ),
+            (
+                client,
+                vec![
+                    D2dOp::NicRecv { flow: flow.reversed(), len: LEN },
+                    D2dOp::Process { function: NdpFunction::Md5, aux: vec![] },
+                ],
+                "fault-recv",
+            ),
+        ]);
+        if done.iter().all(|d| d.ok) {
+            ok_rounds += 1;
+            // Round latency = the slower of the paired jobs (the drain
+            // afterwards also retires recovery timers, which are not
+            // part of the transfer).
+            ok_lat_ns.push(done.iter().map(|d| d.breakdown.total()).max().unwrap_or(0));
+        }
+    }
+    ok_lat_ns.sort_unstable();
+    FaultRow {
+        design,
+        rate,
+        rounds,
+        ok_rounds,
+        ok_lat_ns,
+        report: FaultReport::capture(tb.sim.world()),
+    }
+}
+
+/// Renders the sweep: goodput and recovery tallies per design and rate,
+/// plus a per-site breakdown for DCS-ctrl at the highest rate.
+pub fn render(quick: bool) -> String {
+    let rounds = if quick { 4 } else { 12 };
+    let rates = [0.0, 0.001, 0.005, 0.01];
+    let designs =
+        [DesignUnderTest::SwOpt, DesignUnderTest::SwP2p, DesignUnderTest::DcsCtrl];
+    let mut out = format!(
+        "Fault sweep — paired {} KiB SSD→NIC→NIC→MD5 transfers, all sites firing\n",
+        LEN / 1024
+    );
+    out.push_str(&format!(
+        "  {:<12} {:>6} {:>7} {:>10} {:>10} {:>9} {:>10} {:>10} {:>8}\n",
+        "design", "rate", "ok", "mean us", "p99 us", "injected", "recovered", "exhausted", "retries"
+    ));
+    for design in designs {
+        for rate in rates {
+            let row = run(design, rate, rounds);
+            out.push_str(&format!(
+                "  {:<12} {:>5.1}% {:>4}/{:<2} {:>10.1} {:>10.1} {:>9} {:>10} {:>10} {:>8}\n",
+                row.design.to_string(),
+                rate * 100.0,
+                row.ok_rounds,
+                row.rounds,
+                row.mean_us(),
+                row.p99_us(),
+                row.report.injected,
+                row.report.recovered,
+                row.report.exhausted,
+                row.report.retries,
+            ));
+        }
+    }
+    out.push_str("\n  Per-site tallies, dcs-ctrl @ 1.0% (injected/recovered/exhausted):\n");
+    let mut tb =
+        Testbed::new(DesignUnderTest::DcsCtrl, &TestbedConfig { seed: 0xFA17, ..Default::default() });
+    tb.sim.run();
+    let pat: Vec<u8> = (0..LEN).map(|i| (i * 31 % 251) as u8).collect();
+    let addr = tb.server.ssds[0].lba_addr(0);
+    tb.sim.world_mut().expect_mut::<PhysMemory>().write(addr, &pat);
+    tb.install_faults(|rng| FaultPlan::uniform(0.01, rng));
+    for round in 0..rounds {
+        let flow = TcpFlow::example(1, 2, 45_000 + round as u16, 6_000 + round as u16);
+        let server = tb.server.submit_to;
+        let client = tb.client.submit_to;
+        let _ = tb.run_job_batch(vec![
+            (
+                server,
+                vec![D2dOp::SsdRead { ssd: 0, lba: 0, len: LEN }, D2dOp::NicSend { flow, seq: 0 }],
+                "site-send",
+            ),
+            (
+                client,
+                vec![D2dOp::NicRecv { flow: flow.reversed(), len: LEN }],
+                "site-recv",
+            ),
+        ]);
+    }
+    let mut sites: Vec<_> = tb.sim.world().expect::<FaultPlan>().tallies().collect();
+    sites.sort_unstable_by_key(|(site, _)| *site);
+    for (site, s) in sites {
+        out.push_str(&format!(
+            "      {:<14} {:>4} / {:>4} / {:>4}\n",
+            site, s.injected, s.recovered, s.exhausted
+        ));
+    }
+    out
+}

@@ -17,8 +17,10 @@
 //! | [`table3`] | Table III — NDP unit resources and throughput |
 //! | [`table4`] | Table IV — HDC Engine resource utilization |
 //! | [`ablation`] | Extension: design-choice sweeps beyond the paper |
+//! | [`faults`] | Extension: fault-injection sweep (robustness, §7 of DESIGN.md) |
 
 pub mod ablation;
+pub mod faults;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;

@@ -3,12 +3,39 @@
 
 use dcs_host::job::{D2dDone, D2dJob, D2dOp};
 use dcs_pcie::PhysMemory;
-use dcs_sim::{Component, ComponentId, Ctx, Msg};
+use dcs_sim::{Component, ComponentId, Ctx, Msg, World};
 use dcs_workloads::scenario::{DesignUnderTest, Testbed, TestbedConfig};
 
 /// World-resident mailbox of collected completions.
 #[derive(Default, Debug)]
 pub struct Inbox(pub Vec<D2dDone>);
+
+/// Snapshot of the global fault/recovery counters maintained by
+/// [`dcs_sim::fault`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Faults fired across all sites (`fault.injected`).
+    pub injected: u64,
+    /// Faults whose effects a retry path absorbed (`fault.recovered`).
+    pub recovered: u64,
+    /// Faults that exhausted their retry budget (`fault.exhausted`).
+    pub exhausted: u64,
+    /// Individual retry attempts (`retry.count`).
+    pub retries: u64,
+}
+
+impl FaultReport {
+    /// Reads the counters out of `world`.
+    pub fn capture(world: &World) -> FaultReport {
+        let c = |k: &str| world.stats.counter_value(k);
+        FaultReport {
+            injected: c("fault.injected"),
+            recovered: c("fault.recovered"),
+            exhausted: c("fault.exhausted"),
+            retries: c("retry.count"),
+        }
+    }
+}
 
 /// Submit-and-collect component.
 pub struct Probe;

@@ -100,7 +100,7 @@ impl ChunkAllocator {
             "range {range} outside the managed region"
         );
         let start_off = range.start - self.region.start;
-        assert!(start_off % CHUNK_SIZE == 0 && range.len % CHUNK_SIZE == 0, "not chunk-aligned");
+        assert!(start_off.is_multiple_of(CHUNK_SIZE) && range.len.is_multiple_of(CHUNK_SIZE), "not chunk-aligned");
         let first = (start_off / CHUNK_SIZE) as usize;
         let count = (range.len / CHUNK_SIZE) as usize;
         for i in first..first + count {
@@ -187,7 +187,7 @@ mod tests {
             seed ^= seed << 13;
             seed ^= seed >> 7;
             seed ^= seed << 17;
-            if seed % 3 == 0 && !live.is_empty() {
+            if seed.is_multiple_of(3) && !live.is_empty() {
                 let idx = (seed as usize / 7) % live.len();
                 a.free(live.swap_remove(idx));
             } else if let Some(r) = a.alloc(((seed % 3 + 1) * CHUNK_SIZE) as usize) {

@@ -308,7 +308,7 @@ mod tests {
         let cmd = D2dCommand {
             id: 0xDEAD_BEEF_CAFE,
             ops: vec![
-                DevOpCode::SsdRead { ssd: 1, lba: 0x1234_5678_9A, len: 65536 },
+                DevOpCode::SsdRead { ssd: 1, lba: 0x12_3456_789A, len: 65536 },
                 DevOpCode::Process {
                     function: NdpFunction::Aes256Encrypt,
                     aux_off: 4096,

@@ -20,7 +20,7 @@ use dcs_host::cpu::{CpuJob, CpuJobDone};
 use dcs_host::job::{D2dDone, D2dJob, D2dOp};
 use dcs_nic::TcpFlow;
 use dcs_pcie::{DmaComplete, DmaRequest, MmioWrite, MsiDelivery, PhysAddr, PhysMemory};
-use dcs_sim::{Breakdown, Category, Component, ComponentId, Ctx, Msg, SimTime};
+use dcs_sim::{fault, Breakdown, Category, Component, ComponentId, Ctx, Msg, SimTime};
 
 use crate::command::{CompletionRecord, D2dCommand, DevOpCode};
 use crate::engine::{EngineBreakdown, EngineInit, RegisterConnection};
@@ -58,6 +58,11 @@ enum CpuPhase {
     Complete,
 }
 
+/// Fault mode: periodic completion-ring poll, the fallback for a
+/// completion whose MSI the fabric dropped.
+#[derive(Debug)]
+struct RingPoll;
+
 /// The HDC Driver component.
 pub struct HdcDriver {
     cpu: ComponentId,
@@ -78,6 +83,8 @@ pub struct HdcDriver {
     next_token: u64,
     /// Rotating aux slot cursor (64-byte slots).
     aux_slot: u64,
+    /// A `RingPoll` is scheduled.
+    poll_armed: bool,
 }
 
 impl HdcDriver {
@@ -114,6 +121,7 @@ impl HdcDriver {
             cpu_phases: HashMap::new(),
             next_token: 1,
             aux_slot: 0,
+            poll_armed: false,
         };
         (driver, init)
     }
@@ -205,6 +213,32 @@ impl HdcDriver {
             },
         );
         self.cpu_job(ctx, cost, tag, CpuPhase::Submit { id, cmd, aux: aux_blob });
+        self.arm_poll(ctx);
+    }
+
+    /// Schedules the next ring poll if fault injection is active and no
+    /// poll is pending. Fault-free runs never poll: the MSI is reliable.
+    fn arm_poll(&mut self, ctx: &mut Ctx<'_>) {
+        if self.poll_armed {
+            return;
+        }
+        let Some(rc) = fault::recovery(ctx.world_ref()) else { return };
+        self.poll_armed = true;
+        ctx.send_self_in(rc.poll_period_ns, RingPoll);
+    }
+
+    fn on_poll(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(rc) = fault::recovery(ctx.world_ref()) else {
+            self.poll_armed = false;
+            return;
+        };
+        ctx.world().stats.counter("hdc.drv_polls").add(1);
+        self.drain_completions(ctx);
+        if self.jobs.is_empty() {
+            self.poll_armed = false;
+        } else {
+            ctx.send_self_in(rc.poll_period_ns, RingPoll);
+        }
     }
 
     fn submit(&mut self, ctx: &mut Ctx<'_>, id: u64, cmd: D2dCommand, aux: Option<Vec<u8>>) {
@@ -353,6 +387,13 @@ impl Component for HdcDriver {
                 }
                 let id = eb.id;
                 self.try_finish(ctx, id);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<RingPoll>() {
+            Ok(RingPoll) => {
+                self.on_poll(ctx);
                 return;
             }
             Err(m) => m,

@@ -27,9 +27,10 @@
 use std::collections::{HashMap, VecDeque};
 
 use dcs_ndp::NdpFunction;
-use dcs_nic::headers::{build_template, parse_frame};
+use dcs_nic::headers::{build_frame, build_template, parse_frame, ACK_MAGIC};
 use dcs_nic::{
-    ConfigureNic, NicHandle, RecvDescriptor, RecvWriteback, RingWriter, SendDescriptor, TcpFlow,
+    ConfigureNic, ControlFrame, NicHandle, RecvDescriptor, RecvWriteback, RingWriter,
+    SendDescriptor, TcpFlow,
 };
 use dcs_nvme::{
     AttachQueuePair, CompletionQueueReader, NvmeCommand, NvmeHandle, NvmeOpcode, PrpList,
@@ -37,7 +38,7 @@ use dcs_nvme::{
 };
 use dcs_pcie::{AddrRange, DmaComplete, DmaRequest, MmioWrite, Msi, MsiDelivery, PhysAddr, PhysMemory};
 use dcs_sim::{
-    Bandwidth, Breakdown, Category, Component, ComponentId, Ctx, FifoServer, Msg, SimTime,
+    fault, Bandwidth, Breakdown, Category, Component, ComponentId, Ctx, FifoServer, Msg, SimTime,
 };
 
 use crate::buffers::{ChunkAllocator, CHUNK_SIZE};
@@ -144,6 +145,9 @@ struct NdpDone {
 struct GatherDone {
     frames: Vec<(u16, Vec<u8>)>,
 }
+/// Fault-recovery sweep timer (armed only while a `FaultPlan` is active).
+#[derive(Debug)]
+struct WatchdogTick;
 
 /// Per-command context.
 struct CmdCtx {
@@ -157,13 +161,29 @@ struct CmdCtx {
     scoreboard_ns: u64,
 }
 
+/// One outstanding NVMe sub-command (an MDTS chunk), with enough geometry
+/// to resubmit it after a retryable media error.
+#[derive(Clone, Copy)]
+struct NvmeOp {
+    at: SlotRef,
+    issued_at: SimTime,
+    is_write: bool,
+    /// Absolute starting LBA of this chunk.
+    lba: u64,
+    /// Chunk length in bytes.
+    len: usize,
+    /// Chunk buffer address in DDR3.
+    buf: PhysAddr,
+    attempts: u32,
+}
+
 /// Engine-side NVMe controller state for one SSD.
 struct EngineNvme {
     handle: NvmeHandle,
     sq: SubmissionQueueWriter,
     cq: CompletionQueueReader,
     prp_scratch: PhysAddr,
-    outstanding: HashMap<u16, (SlotRef, SimTime, bool)>,
+    outstanding: HashMap<u16, NvmeOp>,
     next_cid: u16,
     inflight: usize,
 }
@@ -193,6 +213,27 @@ struct RecvExpectation {
     buf: PhysAddr,
     received: usize,
     issued_at: SimTime,
+    /// Last time bytes landed (fault watchdog abandons stalled receives).
+    last_progress: SimTime,
+}
+
+/// A transmit tracked by the fault-recovery reliability protocol: the
+/// scoreboard entry completes only once the peer acknowledged the bytes
+/// (go-back-N with cumulative stream-offset acks, mirroring the host NIC
+/// driver's protocol so the two interoperate).
+struct EngineSend {
+    conn: u16,
+    seq: u32,
+    buf: PhysAddr,
+    len: usize,
+    /// Absolute per-connection stream offset of this send's first byte.
+    start_off: u64,
+    attempts: u32,
+    last_attempt: SimTime,
+    /// All transmit descriptors completed (last-descriptor tx interrupt).
+    descs_done: bool,
+    /// The peer's cumulative ack covers this send.
+    acked: bool,
 }
 
 /// The HDC Engine component.
@@ -219,6 +260,16 @@ pub struct HdcEngine {
     connections: HashMap<u16, (TcpFlow, u32)>,
     expectations: Vec<RecvExpectation>,
     early: HashMap<u16, VecDeque<u8>>,
+    /// Fault mode: sends awaiting peer acknowledgement, by scoreboard entry.
+    nic_sends: HashMap<SlotRef, EngineSend>,
+    /// Fault mode: next transmit stream offset per connection.
+    tx_offset: HashMap<u16, u64>,
+    /// Fault mode: highest cumulative ack received per connection.
+    snd_acked: HashMap<u16, u64>,
+    /// Fault mode: cumulative in-order bytes accepted per connection.
+    rcv_count: HashMap<u16, u64>,
+    /// A `WatchdogTick` is scheduled.
+    watchdog_armed: bool,
     gather_unit: FifoServer,
     init: Option<EngineInit>,
     /// Completion ring cursor + phase.
@@ -256,7 +307,7 @@ impl HdcEngine {
                 off += 128 * NvmeCommand::SIZE as u64;
                 let cq_base = bar.start + off;
                 off += 128 * 16;
-                let prp_scratch = bar.start + (off + 4095) / 4096 * 4096;
+                let prp_scratch = bar.start + off.div_ceil(4096) * 4096;
                 off = (prp_scratch - bar.start) + 128 * 4096;
                 EngineNvme {
                     handle,
@@ -285,7 +336,7 @@ impl HdcEngine {
         let aux_base = ddr.start;
         let recv_bufs = ddr.start + (1 << 20);
         let pool_start = recv_bufs + config.recv_buffers as u64 * 2048;
-        let pool_start = PhysAddr((pool_start.as_u64() + CHUNK_SIZE - 1) / CHUNK_SIZE * CHUNK_SIZE);
+        let pool_start = PhysAddr(pool_start.as_u64().div_ceil(CHUNK_SIZE) * CHUNK_SIZE);
         let pool = AddrRange::new(pool_start, ddr.end() - pool_start);
 
         let nic_ctrl = EngineNic {
@@ -323,6 +374,11 @@ impl HdcEngine {
             connections: HashMap::new(),
             expectations: Vec::new(),
             early: HashMap::new(),
+            nic_sends: HashMap::new(),
+            tx_offset: HashMap::new(),
+            snd_acked: HashMap::new(),
+            rcv_count: HashMap::new(),
+            watchdog_armed: false,
             gather_unit: FifoServer::new(),
             init: None,
             comp_tail: 0,
@@ -446,6 +502,7 @@ impl HdcEngine {
     }
 
     fn try_admit(&mut self, ctx: &mut Ctx<'_>, cmd: D2dCommand) {
+        self.arm_watchdog(ctx);
         if !self.scoreboard.has_room() {
             self.pending_admit.push_back(cmd);
             return;
@@ -575,6 +632,7 @@ impl HdcEngine {
                         buf,
                         received: 0,
                         issued_at: ctx.now(),
+                        last_progress: ctx.now(),
                     });
                     self.drain_early(ctx);
                 }
@@ -582,6 +640,7 @@ impl HdcEngine {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn issue_nvme(
         &mut self,
         ctx: &mut Ctx<'_>,
@@ -606,7 +665,18 @@ impl HdcEngine {
             for (off, chunk_len) in &chunks {
                 let cid = ctrl.next_cid;
                 ctrl.next_cid = ctrl.next_cid.wrapping_add(1);
-                ctrl.outstanding.insert(cid, (at, ctx.now(), is_write));
+                ctrl.outstanding.insert(
+                    cid,
+                    NvmeOp {
+                        at,
+                        issued_at: ctx.now(),
+                        is_write,
+                        lba: lba + off / LBA_SIZE,
+                        len: *chunk_len,
+                        buf: buf + *off,
+                        attempts: 0,
+                    },
+                );
                 let list_page = ctrl.prp_scratch + (cid as u64 % 128) * 4096;
                 let prps = PrpList::for_contiguous(buf + *off, *chunk_len, list_page);
                 let cmd = NvmeCommand {
@@ -646,6 +716,54 @@ impl HdcEngine {
         buf: PhysAddr,
         len: usize,
     ) {
+        let faulty = fault::active(ctx.world_ref());
+        let start_off = if faulty {
+            let off = self.tx_offset.entry(conn).or_insert(0);
+            let s = *off;
+            *off += len as u64;
+            s
+        } else {
+            0
+        };
+        if faulty {
+            // Under fault injection the entry completes only once the peer
+            // acknowledged the bytes; zero-length sends have nothing to ack.
+            self.nic_sends.insert(
+                at,
+                EngineSend {
+                    conn,
+                    seq,
+                    buf,
+                    len,
+                    start_off,
+                    attempts: 0,
+                    last_attempt: ctx.now(),
+                    descs_done: false,
+                    acked: len == 0,
+                },
+            );
+        }
+        self.nic.inflight_tx += 1;
+        self.push_send_descs(ctx, at, conn, seq, buf, len, start_off, faulty);
+    }
+
+    /// Writes the LSO descriptor chain for one send and rings the transmit
+    /// doorbell. `start_off` seeds the TCP `ack` field with the send's
+    /// absolute stream offset (the reliability protocol's per-segment
+    /// cursor); fault-free sends keep the seed at zero, byte-identical to
+    /// the non-recovering engine. Also the retransmission path.
+    #[allow(clippy::too_many_arguments)]
+    fn push_send_descs(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        at: SlotRef,
+        conn: u16,
+        seq: u32,
+        buf: PhysAddr,
+        len: usize,
+        start_off: u64,
+        faulty: bool,
+    ) {
         let (flow, _) = *self.connections.get(&conn).expect("validated at admit");
         // Split at the NIC's LSO limit; the entry completes with its last
         // descriptor.
@@ -660,7 +778,8 @@ impl HdcEngine {
         };
         let n = chunks.len();
         for (i, (off, chunk_len)) in chunks.into_iter().enumerate() {
-            let template = build_template(&flow, seq.wrapping_add(off as u32), 0);
+            let ack = if faulty { (start_off as u32).wrapping_add(off as u32) } else { 0 };
+            let template = build_template(&flow, seq.wrapping_add(off as u32), ack);
             let hdr_addr = self.nic.hdr_area + (self.nic.hdr_slot % 2048) * 64;
             self.nic.hdr_slot += 1;
             let desc = SendDescriptor {
@@ -676,7 +795,6 @@ impl HdcEngine {
             self.nic.send_ring.push(mem, &desc.to_bytes());
             self.nic.tx_fifo.push_back((at, ctx.now(), i == n - 1));
         }
-        self.nic.inflight_tx += 1;
         let tail = self.nic.send_ring.tail();
         let db = self.nic.handle.tx_doorbell();
         let fabric = self.fabric;
@@ -692,20 +810,23 @@ impl HdcEngine {
     // ------------------------------------------------------------------
 
     fn on_ssd_msi(&mut self, ctx: &mut Ctx<'_>, ssd: usize) {
-        let mut done = Vec::new();
+        self.drain_ssd_cq(ctx, ssd);
+    }
+
+    /// Pops every pending CQ entry for one SSD. Called from the CQ MSI
+    /// and from the fault watchdog (which thereby recovers completions
+    /// whose interrupt was lost).
+    fn drain_ssd_cq(&mut self, ctx: &mut Ctx<'_>, ssd: usize) {
+        let mut entries = Vec::new();
         {
             let ctrl = &mut self.nvme[ssd];
             let mem = ctx.world_ref().expect::<PhysMemory>();
             while let Some(entry) = ctrl.cq.pop(mem) {
                 ctrl.sq.update_head(entry.sq_head);
-                let (at, issued_at, is_write) = ctrl
-                    .outstanding
-                    .remove(&entry.cid)
-                    .expect("completion for live cid");
-                done.push((at, issued_at, is_write, entry.status.is_ok()));
+                entries.push(entry);
             }
         }
-        if done.is_empty() {
+        if entries.is_empty() {
             return;
         }
         // Ring the CQ head doorbell.
@@ -713,37 +834,115 @@ impl HdcEngine {
         let db = self.nvme[ssd].handle.cq_doorbell(2);
         let fabric = self.fabric;
         ctx.send_now(fabric, MmioWrite { addr: db, data: (head as u32).to_le_bytes().to_vec() });
-        for (at, issued_at, is_write, ok) in done {
-            let entry = self.nvme_subops.get_mut(&at).expect("sub-op tracked");
-            entry.0 -= 1;
-            entry.1 |= !ok;
-            if entry.0 > 0 {
+        for entry in entries {
+            let Some(op) = self.nvme[ssd].outstanding.remove(&entry.cid) else {
+                // Straggler for a sub-command the watchdog already timed
+                // out — its scoreboard entry is long settled.
+                ctx.world().stats.counter("hdc.stale_cqe").add(1);
+                continue;
+            };
+            if entry.status.is_retryable() {
+                if let Some(rc) = fault::recovery(ctx.world_ref()) {
+                    if op.attempts < rc.nvme_retries {
+                        fault::retried(ctx.world(), fault::NVME_MEDIA);
+                        self.resubmit_nvme(ctx, ssd, op);
+                        continue;
+                    }
+                }
+                fault::exhausted(ctx.world(), fault::NVME_MEDIA);
+                self.nvme_subop_done(ctx, ssd, &op, false);
                 continue;
             }
-            let (_, any_failed) = self.nvme_subops.remove(&at).expect("present");
-            self.nvme[ssd].inflight -= 1;
-            let id = self.scoreboard.id_of(at.slot);
-            let cat = if is_write { Category::Write } else { Category::Read };
-            let dur = ctx.now() - issued_at;
-            if let Some(c) = self.contexts.get_mut(&id) {
-                c.breakdown.add(cat, dur);
-                c.scoreboard_ns += self.config.scoreboard_step_ns;
+            if entry.status.is_ok() && op.attempts > 0 {
+                fault::recovered(ctx.world(), fault::NVME_MEDIA);
             }
-            if !any_failed {
-                let len = self.scoreboard.op(at).len();
-                self.scoreboard.mark_done(at, len);
-            } else {
-                self.scoreboard.mark_failed(at);
-            }
+            self.nvme_subop_done(ctx, ssd, &op, entry.status.is_ok());
         }
         self.after_progress(ctx);
     }
 
+    /// Reissues a media-errored chunk under a fresh cid, budget permitting.
+    fn resubmit_nvme(&mut self, ctx: &mut Ctx<'_>, ssd: usize, op: NvmeOp) {
+        let (doorbell, tail) = {
+            let ctrl = &mut self.nvme[ssd];
+            let cid = ctrl.next_cid;
+            ctrl.next_cid = ctrl.next_cid.wrapping_add(1);
+            ctrl.outstanding.insert(cid, NvmeOp { attempts: op.attempts + 1, ..op });
+            let list_page = ctrl.prp_scratch + (cid as u64 % 128) * 4096;
+            let prps = PrpList::for_contiguous(op.buf, op.len, list_page);
+            let cmd = NvmeCommand {
+                opcode: if op.is_write { NvmeOpcode::Write } else { NvmeOpcode::Read },
+                cid,
+                nsid: 1,
+                prp1: prps.prp1,
+                prp2: prps.prp2,
+                slba: op.lba,
+                nlb: (op.len / LBA_SIZE as usize - 1) as u16,
+            };
+            let mem = ctx.world().expect_mut::<PhysMemory>();
+            if !prps.list_entries.is_empty() {
+                mem.write(list_page, &prps.list_bytes());
+            }
+            ctrl.sq.push(mem, &cmd);
+            (ctrl.handle.sq_doorbell(2), ctrl.sq.tail())
+        };
+        let fabric = self.fabric;
+        ctx.send_in(
+            self.config.scoreboard_step_ns,
+            fabric,
+            MmioWrite { addr: doorbell, data: (tail as u32).to_le_bytes().to_vec() },
+        );
+    }
+
+    /// Settles one NVMe sub-command (successful, errored, or timed out);
+    /// the scoreboard entry resolves when its last sub-command settles.
+    fn nvme_subop_done(&mut self, ctx: &mut Ctx<'_>, ssd: usize, op: &NvmeOp, ok: bool) {
+        let Some(entry) = self.nvme_subops.get_mut(&op.at) else {
+            ctx.world().stats.counter("hdc.stale_subop").add(1);
+            return;
+        };
+        entry.0 -= 1;
+        entry.1 |= !ok;
+        if entry.0 > 0 {
+            return;
+        }
+        let (_, any_failed) = self.nvme_subops.remove(&op.at).expect("present");
+        self.nvme[ssd].inflight -= 1;
+        let id = self.scoreboard.id_of(op.at.slot);
+        let cat = if op.is_write { Category::Write } else { Category::Read };
+        let dur = ctx.now() - op.issued_at;
+        if let Some(c) = self.contexts.get_mut(&id) {
+            c.breakdown.add(cat, dur);
+            c.scoreboard_ns += self.config.scoreboard_step_ns;
+        }
+        if !any_failed {
+            let len = self.scoreboard.op(op.at).len();
+            self.scoreboard.mark_done(op.at, len);
+        } else {
+            self.scoreboard.mark_failed(op.at);
+        }
+    }
+
     fn on_ndp_done(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         let (at, issued_at) = self.ndp_pending.remove(&token).expect("live ndp op");
+        if !self.scoreboard.is_issued(at) {
+            // The entry was settled by other means (fault recovery timed
+            // the command out); a stale unit completion must not touch
+            // whatever occupies the slot now.
+            ctx.world().stats.counter("hdc.stale_ndp_done").add(1);
+            return;
+        }
         let (function, aux, buf, len) = match self.scoreboard.op(at) {
             DevCmd::Ndp { function, aux, buf, len } => (*function, aux.clone(), *buf, *len),
-            other => panic!("NdpDone on non-NDP entry: {other:?}"),
+            _ => {
+                // A unit completion pointing at a non-NDP entry is device
+                // misbehavior; fail the entry instead of crashing the
+                // engine (satellite: no panics on device-originated state).
+                ctx.world().stats.counter("hdc.ndp_errors").add(1);
+                self.scoreboard.mark_failed(at);
+                self.after_progress(ctx);
+                return;
+            }
         };
         let input = ctx.world_ref().expect::<PhysMemory>().read(buf, len);
         let id = self.scoreboard.id_of(at.slot);
@@ -798,9 +997,34 @@ impl HdcEngine {
     }
 
     fn on_nic_tx_msi(&mut self, ctx: &mut Ctx<'_>) {
-        let (at, issued_at, last) =
-            self.nic.tx_fifo.pop_front().expect("tx completion with no in-flight send");
+        let Some((at, issued_at, last)) = self.nic.tx_fifo.pop_front() else {
+            // A duplicate or late interrupt for a send the fault watchdog
+            // already reclaimed.
+            ctx.world().stats.counter("hdc.stale_tx_msi").add(1);
+            return;
+        };
         if !last {
+            return;
+        }
+        if let Some(send) = self.nic_sends.get_mut(&at) {
+            // Fault mode: completion additionally requires the peer's ack.
+            if send.descs_done {
+                return; // duplicate last-descriptor interrupt (retransmit)
+            }
+            send.descs_done = true;
+            let id = self.scoreboard.id_of(at.slot);
+            if let Some(c) = self.contexts.get_mut(&id) {
+                c.breakdown.add(Category::Wire, ctx.now() - issued_at);
+                c.scoreboard_ns += self.config.scoreboard_step_ns;
+            }
+            self.try_complete_nic_send(ctx, at);
+            self.after_progress(ctx);
+            return;
+        }
+        if fault::active(ctx.world_ref()) {
+            // The send already completed or failed; never touch the slot
+            // (it may have been reassigned).
+            ctx.world().stats.counter("hdc.stale_tx_msi").add(1);
             return;
         }
         self.nic.inflight_tx -= 1;
@@ -814,11 +1038,61 @@ impl HdcEngine {
         self.after_progress(ctx);
     }
 
+    /// Completes a tracked send once both its descriptors finished and the
+    /// peer's cumulative ack covers its bytes.
+    fn try_complete_nic_send(&mut self, ctx: &mut Ctx<'_>, at: SlotRef) {
+        let ready = self.nic_sends.get(&at).is_some_and(|s| s.descs_done && s.acked);
+        if !ready {
+            return;
+        }
+        let send = self.nic_sends.remove(&at).expect("checked above");
+        if send.attempts > 0 {
+            fault::recovered(ctx.world(), fault::WIRE_DROP);
+        }
+        self.nic.inflight_tx -= 1;
+        self.nic.tx_fifo.retain(|e| e.0 != at);
+        let len = self.scoreboard.op(at).len();
+        self.scoreboard.mark_done(at, len);
+    }
+
+    /// Abandons a tracked send after its retransmission budget ran out.
+    fn fail_nic_send(&mut self, ctx: &mut Ctx<'_>, at: SlotRef) {
+        self.nic_sends.remove(&at).expect("tracked send");
+        ctx.world().stats.counter("hdc.send_failures").add(1);
+        self.nic.inflight_tx -= 1;
+        self.nic.tx_fifo.retain(|e| e.0 != at);
+        self.scoreboard.mark_failed(at);
+    }
+
+    /// Applies a peer's cumulative ack for one connection, completing every
+    /// tracked send it covers.
+    fn on_peer_ack(&mut self, ctx: &mut Ctx<'_>, conn: u16, ack: u32) {
+        let acked = self.snd_acked.entry(conn).or_insert(0);
+        *acked = (*acked).max(ack as u64);
+        let acked = *acked;
+        let mut covered: Vec<SlotRef> = self
+            .nic_sends
+            .iter_mut()
+            .filter(|(_, s)| s.conn == conn && !s.acked && s.start_off + s.len as u64 <= acked)
+            .map(|(at, s)| {
+                s.acked = true;
+                *at
+            })
+            .collect();
+        covered.sort_unstable_by_key(|at| (at.slot, at.op));
+        for at in covered {
+            self.try_complete_nic_send(ctx, at);
+        }
+    }
+
     fn on_nic_rx_msi(&mut self, ctx: &mut Ctx<'_>) {
         // Packet-gathering hardware (§IV-C): scan write-backs, parse
         // headers, and queue the payload bytes for the gather copy.
+        let faulty = fault::active(ctx.world_ref());
         let mut frames: Vec<(u16, Vec<u8>)> = Vec::new();
         let mut bytes = 0usize;
+        let mut acks_in: Vec<(u16, u32)> = Vec::new();
+        let mut ack_out: HashMap<u16, TcpFlow> = HashMap::new();
         {
             let depth = self.config.recv_buffers + 1;
             loop {
@@ -836,33 +1110,80 @@ impl HdcEngine {
                     mem.read(buf, wb.frame_len as usize)
                 };
                 ctx.world().expect_mut::<PhysMemory>().write(wb_addr, &[0u8; 8]);
-                let parsed = parse_frame(&frame)
-                    .unwrap_or_else(|e| panic!("NIC delivered an invalid frame: {e}"));
+                self.nic.wb_next = (self.nic.wb_next + 1) % depth;
+                self.nic.consumed_since_repost += 1;
+                let parsed = match parse_frame(&frame) {
+                    Ok(p) => p,
+                    Err(_) => {
+                        // Checksum or framing failure (fault injection
+                        // corrupts bits on the wire): drop the frame; the
+                        // sender's retransmission recovers the bytes.
+                        ctx.world().stats.counter("hdc.rx_bad_frames").add(1);
+                        continue;
+                    }
+                };
                 // Identify the registered connection this frame belongs to
                 // (engine receives on the *destination* side of flows).
                 let conn = self
                     .connections
                     .iter()
-                    .find(|(_, (f, _))| f.reversed() == parsed.flow || *f == parsed.flow)
-                    .map(|(c, _)| *c);
-                if let Some(conn) = conn {
-                    bytes += parsed.payload_len;
-                    frames.push((
-                        conn,
-                        frame[parsed.payload_offset..parsed.payload_offset + parsed.payload_len]
-                            .to_vec(),
-                    ));
-                } else {
+                    .filter(|(_, (f, _))| f.reversed() == parsed.flow || *f == parsed.flow)
+                    .map(|(c, _)| *c)
+                    .min();
+                let Some(conn) = conn else {
                     ctx.world().stats.counter("hdc.rx_unknown_flow").add(1);
+                    continue;
+                };
+                if faulty && parsed.payload_len == 0 && parsed.seq == ACK_MAGIC {
+                    acks_in.push((conn, parsed.ack));
+                    continue;
                 }
-                self.nic.wb_next = (self.nic.wb_next + 1) % depth;
-                self.nic.consumed_since_repost += 1;
+                if faulty {
+                    // Go-back-N acceptance: the frame's ack field carries
+                    // the sender's absolute stream offset for these bytes.
+                    let count = self.rcv_count.entry(conn).or_insert(0);
+                    ack_out.insert(conn, parsed.flow.reversed());
+                    if parsed.ack as u64 != *count {
+                        let c = if (parsed.ack as u64) < *count {
+                            "hdc.rx_duplicate_frames"
+                        } else {
+                            "hdc.rx_out_of_order"
+                        };
+                        ctx.world().stats.counter(c).add(1);
+                        continue;
+                    }
+                    *count += parsed.payload_len as u64;
+                }
+                bytes += parsed.payload_len;
+                frames.push((
+                    conn,
+                    frame[parsed.payload_offset..parsed.payload_offset + parsed.payload_len]
+                        .to_vec(),
+                ));
             }
         }
         if self.nic.consumed_since_repost >= self.config.recv_buffers / 2 {
             let n = self.nic.consumed_since_repost;
             self.nic.consumed_since_repost = 0;
             self.post_recv_buffers(ctx, n);
+        }
+        // Acknowledge the batch: one coalesced cumulative ack per flow that
+        // delivered data (accepted or not — duplicates are re-acked so a
+        // sender whose ack got lost stops retransmitting). Sorted: hash-map
+        // order must not reach the event sequence.
+        let mut ack_out: Vec<(u16, TcpFlow)> = ack_out.into_iter().collect();
+        ack_out.sort_unstable_by_key(|(c, _)| *c);
+        for (conn, rflow) in ack_out {
+            let count = self.rcv_count.get(&conn).copied().unwrap_or(0);
+            let ack_frame = build_frame(&rflow, ACK_MAGIC, count as u32, &[]);
+            let nic = self.nic.handle.device;
+            ctx.send_now(nic, ControlFrame { frame: ack_frame });
+        }
+        if !acks_in.is_empty() {
+            for (conn, ack) in acks_in {
+                self.on_peer_ack(ctx, conn, ack);
+            }
+            self.after_progress(ctx);
         }
         if frames.is_empty() {
             return;
@@ -898,6 +1219,7 @@ impl HdcEngine {
                 .expect_mut::<PhysMemory>()
                 .write(e.buf + e.received as u64, &bytes);
             e.received += take;
+            e.last_progress = ctx.now();
             if e.received == e.len {
                 completed.push(i);
             }
@@ -910,6 +1232,134 @@ impl HdcEngine {
                 c.scoreboard_ns += self.config.scoreboard_step_ns;
             }
             self.scoreboard.mark_done(e.at, e.len);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault-recovery watchdog.
+    // ------------------------------------------------------------------
+
+    /// Schedules the next watchdog sweep if fault injection is active and
+    /// no sweep is pending. The watchdog is the engine's whole-device
+    /// recovery net: it polls completion paths whose interrupts may have
+    /// been lost, retransmits unacknowledged sends, and converts sub-ops
+    /// hung past the op deadline into clean error completions.
+    fn arm_watchdog(&mut self, ctx: &mut Ctx<'_>) {
+        if self.watchdog_armed {
+            return;
+        }
+        let Some(rc) = fault::recovery(ctx.world_ref()) else { return };
+        self.watchdog_armed = true;
+        ctx.send_self_in(rc.watchdog_period_ns, WatchdogTick);
+    }
+
+    fn on_watchdog(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(rc) = fault::recovery(ctx.world_ref()) else {
+            self.watchdog_armed = false;
+            return;
+        };
+        let now = ctx.now();
+        // Poll every completion path directly: recovers SSD CQ entries and
+        // NIC write-backs whose MSI was dropped by the fabric.
+        for i in 0..self.nvme.len() {
+            self.drain_ssd_cq(ctx, i);
+        }
+        self.on_nic_rx_msi(ctx);
+        // NVMe sub-commands silent past the op deadline become errors.
+        // Sweeps sort what they collect from hash maps: iteration order
+        // must never leak into the event sequence (seed reproducibility).
+        let mut timed_out: Vec<(usize, u16)> = Vec::new();
+        for (i, ctrl) in self.nvme.iter().enumerate() {
+            for (&cid, op) in &ctrl.outstanding {
+                if now - op.issued_at > rc.op_timeout_ns {
+                    timed_out.push((i, cid));
+                }
+            }
+        }
+        timed_out.sort_unstable();
+        for (ssd, cid) in timed_out {
+            let op = self.nvme[ssd].outstanding.remove(&cid).expect("swept above");
+            fault::exhausted(ctx.world(), fault::MSI_LOSS);
+            ctx.world().stats.counter("hdc.nvme_timeouts").add(1);
+            self.nvme_subop_done(ctx, ssd, &op, false);
+        }
+        // Tracked sends: force-complete acked sends whose last transmit
+        // interrupt vanished; retransmit unacked sends past their RTO;
+        // fail them once the budget runs out.
+        let mut force = Vec::new();
+        let mut retry = Vec::new();
+        let mut fail = Vec::new();
+        for (&at, s) in &self.nic_sends {
+            if s.acked {
+                if !s.descs_done && now - s.last_attempt > rc.nic_rto_ns {
+                    force.push(at);
+                }
+                continue;
+            }
+            let rto = rc.nic_rto_ns << s.attempts.min(10);
+            if now - s.last_attempt <= rto {
+                continue;
+            }
+            if s.attempts < rc.nic_retries {
+                retry.push(at);
+            } else {
+                fail.push(at);
+            }
+        }
+        force.sort_unstable_by_key(|at| (at.slot, at.op));
+        retry.sort_unstable_by_key(|at| (at.slot, at.op));
+        fail.sort_unstable_by_key(|at| (at.slot, at.op));
+        for at in force {
+            let send = self.nic_sends.get_mut(&at).expect("swept above");
+            send.descs_done = true;
+            fault::recovered(ctx.world(), fault::MSI_LOSS);
+            self.try_complete_nic_send(ctx, at);
+        }
+        for at in retry {
+            let (conn, seq, buf, len, start_off) = {
+                let s = self.nic_sends.get_mut(&at).expect("swept above");
+                s.attempts += 1;
+                s.last_attempt = now;
+                (s.conn, s.seq, s.buf, s.len, s.start_off)
+            };
+            fault::retried(ctx.world(), fault::WIRE_DROP);
+            ctx.world().stats.counter("hdc.retransmits").add(1);
+            self.push_send_descs(ctx, at, conn, seq, buf, len, start_off, true);
+        }
+        for at in fail {
+            fault::exhausted(ctx.world(), fault::WIRE_DROP);
+            self.fail_nic_send(ctx, at);
+        }
+        // Receive expectations with no progress for a full deadline: the
+        // sender gave up (or never existed); fail them cleanly.
+        let stale: Vec<usize> = self
+            .expectations
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| now - e.last_progress.max(e.issued_at) > rc.op_timeout_ns)
+            .map(|(i, _)| i)
+            .collect();
+        for i in stale.into_iter().rev() {
+            let e = self.expectations.remove(i);
+            fault::exhausted(ctx.world(), fault::WIRE_DROP);
+            ctx.world().stats.counter("hdc.recv_timeouts").add(1);
+            self.scoreboard.mark_failed(e.at);
+        }
+        // Transmit-FIFO entries whose interrupts were lost long ago would
+        // otherwise skew attribution forever; drop them.
+        while let Some(&(_, t, _)) = self.nic.tx_fifo.front() {
+            if now - t > rc.op_timeout_ns {
+                self.nic.tx_fifo.pop_front();
+                ctx.world().stats.counter("hdc.stale_tx_entries").add(1);
+            } else {
+                break;
+            }
+        }
+        self.after_progress(ctx);
+        if !self.contexts.is_empty() || !self.pending_admit.is_empty() {
+            ctx.send_self_in(rc.watchdog_period_ns, WatchdogTick);
+        } else {
+            self.watchdog_armed = false;
         }
     }
 
@@ -1049,6 +1499,13 @@ impl Component for HdcEngine {
             }
             Err(m) => m,
         };
+        let msg = match msg.downcast::<WatchdogTick>() {
+            Ok(WatchdogTick) => {
+                self.on_watchdog(ctx);
+                return;
+            }
+            Err(m) => m,
+        };
         let msg = match msg.downcast::<MsiDelivery>() {
             Ok(d) => {
                 match d.vector {
@@ -1057,7 +1514,11 @@ impl Component for HdcEngine {
                     }
                     Self::MSI_NIC_TX => self.on_nic_tx_msi(ctx),
                     Self::MSI_NIC_RX => self.on_nic_rx_msi(ctx),
-                    v => panic!("unexpected MSI vector {v:#x}"),
+                    _ => {
+                        // A misrouted interrupt is device misbehavior, not
+                        // an engine invariant; count it and move on.
+                        ctx.world().stats.counter("hdc.unexpected_msi").add(1);
+                    }
                 }
                 return;
             }

@@ -53,7 +53,7 @@ impl FileDesc {
     ///
     /// Panics if `offset` is not block-aligned (direct I/O requires it).
     pub fn lba_at(&self, offset: u64) -> u64 {
-        assert!(offset % LBA_SIZE == 0, "direct I/O offsets must be 4 KiB-aligned");
+        assert!(offset.is_multiple_of(LBA_SIZE), "direct I/O offsets must be 4 KiB-aligned");
         self.base_lba + offset / LBA_SIZE
     }
 }
@@ -159,7 +159,7 @@ impl HdcLibrary {
         if offset + len as u64 > file.len.div_ceil(LBA_SIZE) * LBA_SIZE {
             return Err(ApiError::OutOfRange);
         }
-        if len % LBA_SIZE as usize != 0 {
+        if !len.is_multiple_of(LBA_SIZE as usize) {
             return Err(ApiError::Unaligned);
         }
         let mut ops = vec![D2dOp::SsdRead { ssd: file.ssd, lba: file.lba_at(offset), len }];

@@ -107,6 +107,11 @@ impl DevCmd {
         }
     }
 
+    /// True when the command carries no payload.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Sets the data length (payload propagation between pipeline stages).
     pub fn set_len(&mut self, new_len: usize) {
         match self {
@@ -316,6 +321,16 @@ impl Scoreboard {
                 | DevCmd::NicRecv { buf, .. } => *buf = new_buf,
             }
         }
+    }
+
+    /// Whether `at` refers to a live, currently-issued entry. Stale
+    /// references — a straggler completion for an op the fault watchdog
+    /// already failed, or a duplicate device interrupt — return `false`
+    /// instead of panicking downstream.
+    pub fn is_issued(&self, at: SlotRef) -> bool {
+        self.slots[at.slot]
+            .as_ref()
+            .is_some_and(|e| e.ops.get(at.op).is_some_and(|o| o.state == CmdState::Issued))
     }
 
     /// Immutable view of an entry's command.

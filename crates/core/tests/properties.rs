@@ -1,112 +1,140 @@
-//! Property-based tests of the HDC Engine's pure logic: scoreboard
+//! Randomized property tests of the HDC Engine's pure logic: scoreboard
 //! scheduling invariants, the chunk allocator, and the wire formats.
+//! Driven by the deterministic in-repo [`Rng`] (the container builds
+//! offline, so no external property-testing framework is available).
 
 use dcs_core::buffers::{ChunkAllocator, CHUNK_SIZE};
 use dcs_core::command::{CompletionRecord, D2dCommand, DevOpCode};
 use dcs_core::scoreboard::{DevCmd, Scoreboard};
 use dcs_ndp::NdpFunction;
 use dcs_pcie::{AddrRange, PhysAddr};
-use proptest::prelude::*;
+use dcs_sim::Rng;
 
-fn arb_function() -> impl Strategy<Value = NdpFunction> {
-    prop_oneof![
-        Just(NdpFunction::Md5),
-        Just(NdpFunction::Sha1),
-        Just(NdpFunction::Sha256),
-        Just(NdpFunction::Crc32),
-        Just(NdpFunction::Aes256Encrypt),
-        Just(NdpFunction::Aes256Decrypt),
-        Just(NdpFunction::GzipCompress),
-        Just(NdpFunction::GzipDecompress),
-    ]
+fn random_function(rng: &mut Rng) -> NdpFunction {
+    const ALL: [NdpFunction; 8] = [
+        NdpFunction::Md5,
+        NdpFunction::Sha1,
+        NdpFunction::Sha256,
+        NdpFunction::Crc32,
+        NdpFunction::Aes256Encrypt,
+        NdpFunction::Aes256Decrypt,
+        NdpFunction::GzipCompress,
+        NdpFunction::GzipDecompress,
+    ];
+    ALL[rng.gen_range(0..ALL.len() as u64) as usize]
 }
 
-fn arb_op() -> impl Strategy<Value = DevOpCode> {
-    prop_oneof![
-        (any::<u8>(), 0u64..(1 << 48), 1u32..(1 << 20))
-            .prop_map(|(ssd, lba, len)| DevOpCode::SsdRead { ssd, lba, len }),
-        (any::<u8>(), 0u64..(1 << 48)).prop_map(|(ssd, lba)| DevOpCode::SsdWrite { ssd, lba }),
-        (arb_function(), any::<u32>(), any::<u16>()).prop_map(|(function, aux_off, aux_len)| {
-            DevOpCode::Process { function, aux_off, aux_len }
-        }),
-        (any::<u16>(), any::<u32>()).prop_map(|(conn, seq)| DevOpCode::NicSend { conn, seq }),
-        (any::<u16>(), 1u32..(1 << 20)).prop_map(|(conn, len)| DevOpCode::NicRecv { conn, len }),
-    ]
+fn random_op(rng: &mut Rng) -> DevOpCode {
+    match rng.gen_range(0..5) {
+        0 => DevOpCode::SsdRead {
+            ssd: rng.next_u64() as u8,
+            lba: rng.gen_range(0..1 << 48),
+            len: rng.gen_range(1..1 << 20) as u32,
+        },
+        1 => DevOpCode::SsdWrite { ssd: rng.next_u64() as u8, lba: rng.gen_range(0..1 << 48) },
+        2 => DevOpCode::Process {
+            function: random_function(rng),
+            aux_off: rng.next_u64() as u32,
+            aux_len: rng.next_u64() as u16,
+        },
+        3 => DevOpCode::NicSend { conn: rng.next_u64() as u16, seq: rng.next_u64() as u32 },
+        _ => DevOpCode::NicRecv {
+            conn: rng.next_u64() as u16,
+            len: rng.gen_range(1..1 << 20) as u32,
+        },
+    }
 }
 
-fn arb_command() -> impl Strategy<Value = D2dCommand> {
-    (
-        any::<u64>(),
-        prop_oneof![
-            (any::<u8>(), 0u64..(1 << 48), 1u32..(1 << 20))
-                .prop_map(|(ssd, lba, len)| DevOpCode::SsdRead { ssd, lba, len }),
-            (any::<u16>(), 1u32..(1 << 20)).prop_map(|(conn, len)| DevOpCode::NicRecv { conn, len }),
-        ],
-        proptest::collection::vec(arb_op(), 0..3),
-    )
-        .prop_map(|(id, first, rest)| {
-            let mut ops = vec![first];
-            ops.extend(rest);
-            D2dCommand { id, ops }
-        })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// D2D commands round-trip through their 64-byte encoding.
-    #[test]
-    fn command_roundtrip(cmd in arb_command()) {
+/// D2D commands round-trip through their 64-byte encoding.
+#[test]
+fn command_roundtrip() {
+    let mut rng = Rng::new(0xC0_44A4D);
+    for _ in 0..128 {
+        // The first op must carry data in (a read or a receive).
+        let first = if rng.gen_bool(0.5) {
+            DevOpCode::SsdRead {
+                ssd: rng.next_u64() as u8,
+                lba: rng.gen_range(0..1 << 48),
+                len: rng.gen_range(1..1 << 20) as u32,
+            }
+        } else {
+            DevOpCode::NicRecv {
+                conn: rng.next_u64() as u16,
+                len: rng.gen_range(1..1 << 20) as u32,
+            }
+        };
+        let mut ops = vec![first];
+        for _ in 0..rng.gen_range(0..3) {
+            ops.push(random_op(&mut rng));
+        }
+        let cmd = D2dCommand { id: rng.next_u64(), ops };
         let decoded = D2dCommand::from_bytes(&cmd.to_bytes()).unwrap();
-        prop_assert_eq!(decoded, cmd);
+        assert_eq!(decoded, cmd);
     }
+}
 
-    /// Completion records round-trip (digest ≤ 32 bytes) and are invisible
-    /// under the wrong phase.
-    #[test]
-    fn completion_roundtrip(
-        id in any::<u64>(),
-        ok in any::<bool>(),
-        phase in any::<bool>(),
-        payload_len in any::<u32>(),
-        digest in proptest::collection::vec(any::<u8>(), 0..=32),
-    ) {
-        let rec = CompletionRecord { id, ok, phase, payload_len, digest };
+/// Completion records round-trip (digest ≤ 32 bytes) and are invisible
+/// under the wrong phase.
+#[test]
+fn completion_roundtrip() {
+    let mut rng = Rng::new(0xC0_4713);
+    for _ in 0..128 {
+        let digest = {
+            let len = rng.gen_range(0..33) as usize;
+            let mut v = vec![0u8; len];
+            rng.fill_bytes(&mut v);
+            v
+        };
+        let phase = rng.gen_bool(0.5);
+        let rec = CompletionRecord {
+            id: rng.next_u64(),
+            ok: rng.gen_bool(0.5),
+            phase,
+            payload_len: rng.next_u64() as u32,
+            digest,
+        };
         let bytes = rec.to_bytes();
-        prop_assert_eq!(CompletionRecord::from_bytes(&bytes, phase), Some(rec));
-        prop_assert_eq!(CompletionRecord::from_bytes(&bytes, !phase), None);
+        assert_eq!(CompletionRecord::from_bytes(&bytes, phase), Some(rec));
+        assert_eq!(CompletionRecord::from_bytes(&bytes, !phase), None);
     }
+}
 
-    /// The chunk allocator never hands out overlapping live ranges and
-    /// frees restore capacity exactly.
-    #[test]
-    fn allocator_no_overlap(ops in proptest::collection::vec((any::<bool>(), 1usize..5), 1..200)) {
+/// The chunk allocator never hands out overlapping live ranges and
+/// frees restore capacity exactly.
+#[test]
+fn allocator_no_overlap() {
+    let mut rng = Rng::new(0xA110C);
+    for _ in 0..64 {
         let region = AddrRange::new(PhysAddr(0x4000_0000), 32 * CHUNK_SIZE);
         let mut alloc = ChunkAllocator::new(region);
         let mut live: Vec<AddrRange> = Vec::new();
-        for (do_free, n) in ops {
+        for _ in 0..rng.gen_range(1..200) {
+            let do_free = rng.gen_bool(0.5);
+            let n = rng.gen_range(1..5) as usize;
             if do_free && !live.is_empty() {
                 let r = live.remove(n % live.len());
                 alloc.free(r);
             } else if let Some(r) = alloc.alloc(n * CHUNK_SIZE as usize) {
                 for l in &live {
-                    prop_assert!(!l.overlaps(r), "{} overlaps {}", l, r);
+                    assert!(!l.overlaps(r), "{l} overlaps {r}");
                 }
-                prop_assert!(r.start >= region.start && r.end().as_u64() <= region.end().as_u64());
+                assert!(r.start >= region.start && r.end().as_u64() <= region.end().as_u64());
                 live.push(r);
             }
             let live_chunks: u64 = live.iter().map(|r| r.len / CHUNK_SIZE).sum();
-            prop_assert_eq!(alloc.allocated() as u64, live_chunks);
+            assert_eq!(alloc.allocated() as u64, live_chunks);
         }
     }
+}
 
-    /// Scoreboard invariants under arbitrary completion interleavings:
-    /// dependencies respected, completions delivered in admission order.
-    #[test]
-    fn scoreboard_ordering(
-        pipeline_lens in proptest::collection::vec(1usize..4, 1..20),
-        completion_order in proptest::collection::vec(any::<u16>(), 0..200),
-    ) {
+/// Scoreboard invariants under arbitrary completion interleavings:
+/// dependencies respected, completions delivered in admission order.
+#[test]
+fn scoreboard_ordering() {
+    let mut rng = Rng::new(0x5C02E);
+    for _ in 0..64 {
+        let pipeline_lens: Vec<usize> =
+            (0..rng.gen_range(1..20)).map(|_| rng.gen_range(1..4) as usize).collect();
         let mut sb = Scoreboard::new(64);
         let total: usize = pipeline_lens.len();
         for (i, n) in pipeline_lens.iter().enumerate() {
@@ -115,39 +143,24 @@ proptest! {
                 .collect();
             sb.admit(i as u64, ops).expect("capacity suffices");
         }
-        // Track what is issued; complete in a pseudo-random order driven by
-        // `completion_order`.
+        // Track what is issued; complete in a random order.
         let mut inflight = Vec::new();
         let mut delivered = Vec::new();
-        let mut pending_issue = true;
-        let mut cursor = 0usize;
         while delivered.len() < total {
-            if pending_issue {
-                while let Some((slot, _)) = sb.issue_next(|_| true) {
-                    inflight.push(slot);
-                }
-                pending_issue = false;
+            while let Some((slot, _)) = sb.issue_next(|_| true) {
+                inflight.push(slot);
             }
-            if inflight.is_empty() {
-                prop_assert!(false, "no progress possible");
-            }
-            let pick = if completion_order.is_empty() {
-                0
-            } else {
-                let v = completion_order[cursor % completion_order.len()] as usize;
-                cursor += 1;
-                v % inflight.len()
-            };
+            assert!(!inflight.is_empty(), "no progress possible");
+            let pick = rng.gen_range(0..inflight.len() as u64) as usize;
             let slot = inflight.swap_remove(pick);
             sb.mark_done(slot, 1);
-            pending_issue = true;
             for (id, ok, _) in sb.pop_deliverable() {
-                prop_assert!(ok);
+                assert!(ok);
                 delivered.push(id);
             }
         }
         // Admission order is delivery order.
         let expect: Vec<u64> = (0..total as u64).collect();
-        prop_assert_eq!(delivered, expect);
+        assert_eq!(delivered, expect);
     }
 }

@@ -441,6 +441,7 @@ impl Component for SwExecutor {
                 let id = self.tokens.remove(&done.id).expect("token routed");
                 let state = self.jobs.get_mut(&id).expect("live job");
                 state.breakdown.merge(&done.breakdown);
+                state.ok &= done.ok;
                 self.step_done(ctx, id);
                 return;
             }
@@ -451,6 +452,7 @@ impl Component for SwExecutor {
                 let id = self.tokens.remove(&done.id).expect("token routed");
                 let state = self.jobs.get_mut(&id).expect("live job");
                 state.breakdown.merge(&done.breakdown);
+                state.ok &= done.ok;
                 self.step_done(ctx, id);
                 return;
             }

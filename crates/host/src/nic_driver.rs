@@ -10,15 +10,27 @@
 //! copies — the "data gathering problem" (§V-C2) that costs the software
 //! designs so dearly on receive-heavy workloads and that the HDC Engine
 //! solves with packet-gathering hardware.
+//!
+//! While a [`dcs_sim::FaultPlan`] is installed the driver additionally
+//! runs a go-back-N reliability protocol over the (then lossy) wire: the
+//! TCP `ack` field of data frames carries the absolute per-flow stream
+//! offset (both ends count from zero), receivers accept only the next
+//! in-order frame and answer with coalesced pure-ACK frames (zero
+//! payload, `seq == ACK_MAGIC`), and senders hold completions until
+//! acknowledged, retransmitting on an exponential-backoff timeout within
+//! a bounded budget. Frames that fail checksum validation are dropped
+//! and counted rather than panicking. Without a plan none of this runs
+//! and the event stream is identical to the fault-free simulator.
 
 use std::collections::{HashMap, VecDeque};
 
-use dcs_nic::headers::{build_template, parse_frame};
+use dcs_nic::headers::{build_frame, build_template, parse_frame, ACK_MAGIC};
 use dcs_nic::{
-    ConfigureNic, NicHandle, RecvDescriptor, RecvWriteback, RingWriter, SendDescriptor, TcpFlow,
+    ConfigureNic, ControlFrame, NicHandle, RecvDescriptor, RecvWriteback, RingWriter,
+    SendDescriptor, TcpFlow,
 };
 use dcs_pcie::{AddrRange, MmioWrite, MsiDelivery, PhysAddr, PhysMemory};
-use dcs_sim::{Breakdown, Category, Component, ComponentId, Ctx, Msg, SimTime};
+use dcs_sim::{fault, Breakdown, Category, Component, ComponentId, Ctx, Msg, SimTime};
 
 use crate::costs::{KernelCosts, KernelMode};
 use crate::cpu::{CpuJob, CpuJobDone};
@@ -65,6 +77,9 @@ pub struct SendRequest {
 pub struct SendDone {
     /// Identifier from the originating request.
     pub id: u64,
+    /// False when the fault-recovery retransmission budget ran out
+    /// before the peer acknowledged the data (always true fault-free).
+    pub ok: bool,
     /// Latency breakdown (network-stack CPU, device control, wire).
     pub breakdown: Breakdown,
 }
@@ -93,6 +108,9 @@ pub struct RecvExpect {
 pub struct RecvDone {
     /// Identifier from the originating expectation.
     pub id: u64,
+    /// False when the expectation made no progress for a full fault
+    /// timeout and was abandoned (always true fault-free).
+    pub ok: bool,
     /// Latency breakdown (per-packet network stack time, gather copies).
     pub breakdown: Breakdown,
 }
@@ -104,6 +122,16 @@ struct PendingSend {
     /// Transmit descriptors still outstanding (large sends split at the
     /// LSO limit).
     descs_remaining: usize,
+    /// Absolute per-flow stream offset of this send's first byte
+    /// (fault mode; zero otherwise).
+    start_off: u64,
+    /// Retransmission attempts so far.
+    attempts: u32,
+    /// All transmit-completion MSIs observed.
+    descs_done: bool,
+    /// Peer acknowledged the full payload (initialized true outside
+    /// fault mode and for zero-length sends).
+    acked: bool,
 }
 
 struct Expectation {
@@ -116,8 +144,22 @@ struct Expectation {
 
 enum CpuPhase {
     TxSubmit,
-    RxBatch { frames: Vec<(TcpFlow, Vec<u8>)>, copy_ns: u64, stack_ns: u64 },
+    RxBatch { frames: Vec<(TcpFlow, u32, Vec<u8>)>, copy_ns: u64, stack_ns: u64 },
     TxComplete,
+}
+
+/// Internal: retransmission-timeout check for one send (fault mode only).
+#[derive(Debug)]
+struct TxCheck {
+    id: u64,
+}
+
+/// Internal: progress check for one receive expectation (fault mode
+/// only).
+#[derive(Debug)]
+struct RxCheck {
+    id: u64,
+    last_received: usize,
 }
 
 /// The driver component. One instance drives one NIC.
@@ -149,6 +191,17 @@ pub struct HostNicDriver {
     hdr_slot: u64,
     /// Frames consumed since the last buffer repost.
     consumed_since_repost: u16,
+    /// Fault mode: cumulative payload bytes submitted per transmit flow
+    /// key `(src_port, dst_port)`.
+    tx_offset: HashMap<(u16, u16), u64>,
+    /// Fault mode: highest cumulative ack received per transmit flow key.
+    snd_acked: HashMap<(u16, u16), u64>,
+    /// Fault mode: cumulative payload bytes accepted in order per
+    /// receive key (the peer's transmit direction).
+    rcv_count: HashMap<(u16, u16), u64>,
+    /// Fault mode: unacknowledged send ids per transmit flow key,
+    /// oldest first.
+    unacked: HashMap<(u16, u16), VecDeque<u64>>,
 }
 
 impl HostNicDriver {
@@ -205,6 +258,10 @@ impl HostNicDriver {
             next_cpu_token: 1,
             hdr_slot: 0,
             consumed_since_repost: 0,
+            tx_offset: HashMap::new(),
+            snd_acked: HashMap::new(),
+            rcv_count: HashMap::new(),
+            unacked: HashMap::new(),
         };
         (driver, configure)
     }
@@ -242,11 +299,36 @@ impl HostNicDriver {
             // Stock kernel copies user data into socket buffers.
             stack_ns += self.costs.copy_cost(req.len);
         }
+        let faulty = fault::active(ctx.world_ref());
+        let key = (req.flow.src_port, req.flow.dst_port);
+        let start_off = if faulty {
+            let off = self.tx_offset.entry(key).or_insert(0);
+            let s = *off;
+            *off += req.len as u64;
+            s
+        } else {
+            0
+        };
         let id = req.id;
         let tag = req.tag;
+        // Zero-length sends carry no stream bytes to acknowledge; they
+        // complete on transmit like in the fault-free path.
+        let acked = !faulty || req.len == 0;
+        if faulty && req.len > 0 {
+            self.unacked.entry(key).or_default().push_back(id);
+        }
         self.sends.insert(
             id,
-            PendingSend { req, stack_ns, submitted_at: ctx.now(), descs_remaining: 0 },
+            PendingSend {
+                req,
+                stack_ns,
+                submitted_at: ctx.now(),
+                descs_remaining: 0,
+                start_off,
+                attempts: 0,
+                descs_done: false,
+                acked,
+            },
         );
         self.tx_submit_queue.push_back(id);
         self.cpu_job(ctx, stack_ns, tag, CpuPhase::TxSubmit);
@@ -254,14 +336,23 @@ impl HostNicDriver {
 
     fn submit_send(&mut self, ctx: &mut Ctx<'_>) {
         let id = self.tx_submit_queue.pop_front().expect("a send awaited this CPU job");
-        // Sends larger than the LSO limit split into multiple descriptors
-        // (as real TSO does, one skb per 64 KiB), completing when the last
-        // one leaves the adapter.
+        self.sends.get_mut(&id).expect("live send").submitted_at = ctx.now();
+        self.push_send_descs(ctx, id);
+        if let Some(rc) = fault::recovery(ctx.world_ref()) {
+            ctx.send_self_in(rc.nic_rto_ns, TxCheck { id });
+        }
+    }
+
+    /// Stages the send's descriptors (splitting at the LSO limit, as real
+    /// TSO does — one skb per 64 KiB) and rings the transmit doorbell.
+    /// Also the retransmission path: re-pushing the same descriptors
+    /// replays the same frames, which the receiver deduplicates by
+    /// stream offset.
+    fn push_send_descs(&mut self, ctx: &mut Ctx<'_>, id: u64) {
         const LSO_MAX: usize = 64 * 1024;
-        let (flow, seq0, payload_addr, len) = {
-            let s = self.sends.get_mut(&id).expect("live send");
-            s.submitted_at = ctx.now();
-            (s.req.flow, s.req.seq, s.req.payload_addr, s.req.len)
+        let (flow, seq0, ack0, payload_addr, len) = {
+            let s = &self.sends[&id];
+            (s.req.flow, s.req.seq, s.start_off as u32, s.req.payload_addr, s.req.len)
         };
         let chunks: Vec<(u64, usize)> = if len == 0 {
             vec![(0, 0)]
@@ -271,9 +362,15 @@ impl HostNicDriver {
                 .map(|off| (off as u64, LSO_MAX.min(len - off)))
                 .collect()
         };
-        self.sends.get_mut(&id).expect("live send").descs_remaining = chunks.len();
+        self.sends.get_mut(&id).expect("live send").descs_remaining += chunks.len();
         for (off, chunk_len) in chunks {
-            let template = build_template(&flow, seq0.wrapping_add(off as u32), 0);
+            // The `ack` field carries the absolute stream offset; the NIC
+            // advances it per LSO segment alongside the sequence number.
+            let template = build_template(
+                &flow,
+                seq0.wrapping_add(off as u32),
+                ack0.wrapping_add(off as u32),
+            );
             let hdr_addr = self.hdr_area + (self.hdr_slot % 2048) * 64;
             self.hdr_slot += 1;
             let desc = SendDescriptor {
@@ -296,23 +393,41 @@ impl HostNicDriver {
     }
 
     fn on_tx_msi(&mut self, ctx: &mut Ctx<'_>) {
-        // NIC completes sends in submission order.
-        let id = self.tx_queue.front().copied().expect("tx MSI with no in-flight send");
-        let tag = self.sends[&id].req.tag;
+        // NIC completes sends in submission order. A stale MSI (its send
+        // already force-completed or failed by the fault machinery) is
+        // ignored.
+        let Some(&id) = self.tx_queue.front() else { return };
+        let tag = self.sends.get(&id).map(|s| s.req.tag).unwrap_or("net-rx");
         let cost = self.costs.irq_entry_ns + self.costs.completion_path_ns;
         self.cpu_job(ctx, cost, tag, CpuPhase::TxComplete);
     }
 
     fn finish_send(&mut self, ctx: &mut Ctx<'_>) {
-        let id = self.tx_queue.pop_front().expect("live send");
-        {
-            let s = self.sends.get_mut(&id).expect("live send");
-            s.descs_remaining -= 1;
-            if s.descs_remaining > 0 {
-                return;
-            }
+        let Some(id) = self.tx_queue.pop_front() else { return };
+        let Some(s) = self.sends.get_mut(&id) else { return };
+        s.descs_remaining -= 1;
+        if s.descs_remaining > 0 {
+            return;
+        }
+        s.descs_done = true;
+        self.try_complete_send(ctx, id);
+    }
+
+    /// Completes a send once both its descriptors have left the adapter
+    /// and (in fault mode) the peer has acknowledged the payload.
+    fn try_complete_send(&mut self, ctx: &mut Ctx<'_>, id: u64) {
+        let ready = {
+            let s = &self.sends[&id];
+            s.descs_done && s.acked
+        };
+        if !ready {
+            return;
         }
         let s = self.sends.remove(&id).expect("live send");
+        let key = (s.req.flow.src_port, s.req.flow.dst_port);
+        if let Some(q) = self.unacked.get_mut(&key) {
+            q.retain(|&u| u != id);
+        }
         let mut breakdown = Breakdown::new();
         breakdown.add(Category::NetworkStack, s.stack_ns);
         // Wire/device time: doorbell to MSI, minus the completion path we
@@ -324,49 +439,144 @@ impl HostNicDriver {
             Category::RequestCompletion,
             self.costs.irq_entry_ns + self.costs.completion_path_ns,
         );
-        ctx.send_now(s.req.reply_to, SendDone { id, breakdown });
+        ctx.send_now(s.req.reply_to, SendDone { id, ok: true, breakdown });
+    }
+
+    /// A cumulative ack for the transmit direction keyed by the frame's
+    /// reversed ports arrived: complete newly covered sends in order.
+    fn on_ack(&mut self, ctx: &mut Ctx<'_>, flow: &TcpFlow, ack: u32) {
+        let key = (flow.dst_port, flow.src_port);
+        let acked = self.snd_acked.entry(key).or_insert(0);
+        // Stream offsets in this model stay far below 4 GiB per flow, so
+        // the 32-bit ack is treated as absolute.
+        *acked = (*acked).max(ack as u64);
+        let acked = *acked;
+        while let Some(&id) = self.unacked.get(&key).and_then(|q| q.front()) {
+            match self.sends.get_mut(&id) {
+                None => {
+                    self.unacked.get_mut(&key).expect("queue exists").pop_front();
+                }
+                Some(s) if s.start_off + s.req.len as u64 <= acked => {
+                    if s.attempts > 0 {
+                        fault::recovered(ctx.world(), fault::WIRE_DROP);
+                    }
+                    s.acked = true;
+                    self.unacked.get_mut(&key).expect("queue exists").pop_front();
+                    self.try_complete_send(ctx, id);
+                }
+                Some(_) => break,
+            }
+        }
+    }
+
+    /// Retransmission-timeout check: retransmit the send's descriptors
+    /// with exponential backoff until acknowledged or the budget runs
+    /// out; also force-completes an acknowledged send whose transmit
+    /// MSI was lost.
+    fn on_tx_check(&mut self, ctx: &mut Ctx<'_>, id: u64) {
+        let Some(rc) = fault::recovery(ctx.world_ref()) else { return };
+        let retry = match self.sends.get_mut(&id) {
+            None => return, // completed or failed
+            Some(s) if s.acked => {
+                if !s.descs_done {
+                    // Data acknowledged but a transmit-completion MSI
+                    // never arrived: resynchronize and complete.
+                    s.descs_done = true;
+                    s.descs_remaining = 0;
+                    self.tx_queue.retain(|&q| q != id);
+                    fault::recovered(ctx.world(), fault::MSI_LOSS);
+                    self.try_complete_send(ctx, id);
+                }
+                return;
+            }
+            Some(s) if s.attempts < rc.nic_retries => {
+                s.attempts += 1;
+                true
+            }
+            Some(_) => false,
+        };
+        if retry {
+            fault::retried(ctx.world(), fault::WIRE_DROP);
+            ctx.world().stats.counter("nic.retransmits").add(1);
+            self.push_send_descs(ctx, id);
+            let attempts = self.sends[&id].attempts;
+            let backoff = rc.nic_rto_ns << attempts.min(10);
+            ctx.send_self_in(backoff, TxCheck { id });
+        } else {
+            fault::exhausted(ctx.world(), fault::WIRE_DROP);
+            self.fail_send(ctx, id);
+        }
+    }
+
+    fn fail_send(&mut self, ctx: &mut Ctx<'_>, id: u64) {
+        let s = self.sends.remove(&id).expect("live send");
+        let key = (s.req.flow.src_port, s.req.flow.dst_port);
+        if let Some(q) = self.unacked.get_mut(&key) {
+            q.retain(|&u| u != id);
+        }
+        let mut breakdown = Breakdown::new();
+        breakdown.add(Category::NetworkStack, s.stack_ns);
+        breakdown.add(Category::Wire, ctx.now() - s.submitted_at);
+        ctx.send_now(s.req.reply_to, SendDone { id, ok: false, breakdown });
     }
 
     fn on_rx_msi(&mut self, ctx: &mut Ctx<'_>) {
         // Scan write-backs for newly landed frames.
-        let mut frames: Vec<(TcpFlow, Vec<u8>)> = Vec::new();
-        {
-            let depth = self.recv_ring_depth();
-            loop {
-                let wb_addr = self.wb_base + self.wb_next as u64 * RecvWriteback::SIZE as u64;
-                let (_wb, frame) = {
-                    let mem = ctx.world_ref().expect::<PhysMemory>();
-                    let raw: [u8; RecvWriteback::SIZE] =
-                        mem.read(wb_addr, RecvWriteback::SIZE).try_into().expect("8 bytes");
-                    let wb = RecvWriteback::from_bytes(&raw);
-                    if !wb.valid {
-                        break;
+        let faulty = fault::active(ctx.world_ref());
+        let mut frames: Vec<(TcpFlow, u32, Vec<u8>)> = Vec::new();
+        let depth = self.recv_ring_depth();
+        loop {
+            let wb_addr = self.wb_base + self.wb_next as u64 * RecvWriteback::SIZE as u64;
+            let frame = {
+                let mem = ctx.world_ref().expect::<PhysMemory>();
+                let raw: [u8; RecvWriteback::SIZE] =
+                    mem.read(wb_addr, RecvWriteback::SIZE).try_into().expect("8 bytes");
+                let wb = RecvWriteback::from_bytes(&raw);
+                if !wb.valid {
+                    break;
+                }
+                let buf = self.recv_bufs + self.wb_next as u64 * 2048;
+                mem.read(buf, wb.frame_len as usize)
+            };
+            // Clear the write-back so the slot can be reused.
+            ctx.world().expect_mut::<PhysMemory>().write(wb_addr, &[0u8; 8]);
+            self.wb_next = (self.wb_next + 1) % depth;
+            self.consumed_since_repost += 1;
+            match parse_frame(&frame) {
+                Ok(parsed) => {
+                    if faulty && parsed.payload_len == 0 && parsed.seq == ACK_MAGIC {
+                        // Pure protocol ACK: cheap driver work, handled
+                        // outside the per-batch CPU charge.
+                        let flow = parsed.flow;
+                        let ack = parsed.ack;
+                        self.on_ack(ctx, &flow, ack);
+                        continue;
                     }
-                    let buf = self.recv_bufs + self.wb_next as u64 * 2048;
-                    (wb, mem.read(buf, wb.frame_len as usize))
-                };
-                // Clear the write-back so the slot can be reused.
-                ctx.world().expect_mut::<PhysMemory>().write(wb_addr, &[0u8; 8]);
-                let parsed = parse_frame(&frame)
-                    .unwrap_or_else(|e| panic!("NIC delivered an invalid frame: {e}"));
-                let payload =
-                    frame[parsed.payload_offset..parsed.payload_offset + parsed.payload_len].to_vec();
-                frames.push((parsed.flow, payload));
-                self.wb_next = (self.wb_next + 1) % depth;
-                self.consumed_since_repost += 1;
+                    let payload = frame
+                        [parsed.payload_offset..parsed.payload_offset + parsed.payload_len]
+                        .to_vec();
+                    frames.push((parsed.flow, parsed.ack, payload));
+                }
+                Err(_) => {
+                    // Checksum or framing failure (wire corruption): the
+                    // stack drops the frame; the sender's retransmission
+                    // timer recovers the data.
+                    ctx.world().stats.counter("nic.rx_bad_frames").add(1);
+                }
             }
         }
-        if frames.is_empty() {
-            return;
-        }
-        // Repost consumed buffers in batches.
+        // Repost consumed buffers in batches (ACK-only and corrupt
+        // frames consume posted buffers too).
         if self.consumed_since_repost >= self.config.recv_buffers / 2 {
             let n = self.consumed_since_repost;
             self.consumed_since_repost = 0;
             self.post_recv_buffers(ctx, n);
         }
+        if frames.is_empty() {
+            return;
+        }
         let packets = frames.len();
-        let payload_bytes: usize = frames.iter().map(|(_, p)| p.len()).sum();
+        let payload_bytes: usize = frames.iter().map(|(_, _, p)| p.len()).sum();
         let stack_ns = self.costs.net_rx_cost(self.config.mode, packets);
         // Gather copy: payload bytes moved from frame buffers into the
         // consumer's contiguous buffer (and in vanilla mode, again to user
@@ -390,16 +600,46 @@ impl HostNicDriver {
     fn deliver_frames(
         &mut self,
         ctx: &mut Ctx<'_>,
-        frames: Vec<(TcpFlow, Vec<u8>)>,
+        frames: Vec<(TcpFlow, u32, Vec<u8>)>,
         copy_ns: u64,
         stack_ns: u64,
     ) {
         // Amortize the batch's CPU time across delivered bytes when
         // attributing to expectations.
-        let total_bytes: usize = frames.iter().map(|(_, p)| p.len()).sum::<usize>().max(1);
-        for (flow, payload) in frames {
+        let faulty = fault::active(ctx.world_ref());
+        let total_bytes: usize = frames.iter().map(|(_, _, p)| p.len()).sum::<usize>().max(1);
+        // Flows that need a (coalesced) ack after this batch.
+        let mut ack_flows: HashMap<(u16, u16), TcpFlow> = HashMap::new();
+        for (flow, ack, payload) in frames {
             let key = (flow.src_port, flow.dst_port);
+            if faulty {
+                ack_flows.insert(key, flow);
+                let count = self.rcv_count.entry(key).or_insert(0);
+                if ack as u64 != *count {
+                    // A duplicate (already accepted, the ack got lost) or
+                    // a gap (an earlier frame dropped): discard and
+                    // re-ack; the sender's go-back-N replay fills gaps.
+                    let c = if (ack as u64) < *count {
+                        "nic.rx_duplicate_frames"
+                    } else {
+                        "nic.rx_out_of_order"
+                    };
+                    ctx.world().stats.counter(c).add(1);
+                    continue;
+                }
+                *count += payload.len() as u64;
+            }
             self.early.entry(key).or_default().extend(payload);
+        }
+        // Sorted: hash-map iteration order must never reach the event
+        // sequence (seed reproducibility).
+        let mut ack_flows: Vec<((u16, u16), TcpFlow)> = ack_flows.into_iter().collect();
+        ack_flows.sort_unstable_by_key(|(k, _)| *k);
+        for (key, flow) in ack_flows {
+            let count = self.rcv_count.get(&key).copied().unwrap_or(0);
+            let ack_frame = build_frame(&flow.reversed(), ACK_MAGIC, count as u32, &[]);
+            let nic = self.nic.device;
+            ctx.send_now(nic, ControlFrame { frame: ack_frame });
         }
         // Satisfy expectations greedily, in registration order. An
         // expectation names the connection by the *local* flow (the
@@ -432,8 +672,30 @@ impl HostNicDriver {
             breakdown.add(Category::NetworkStack, e.stack_ns);
             breakdown.add(Category::DataCopy, e.copy_ns);
             breakdown.add(Category::Wire, (ctx.now() - e.started_at).saturating_sub(e.stack_ns + e.copy_ns));
-            ctx.send_now(e.req.reply_to, RecvDone { id: e.req.id, breakdown });
+            ctx.send_now(e.req.reply_to, RecvDone { id: e.req.id, ok: true, breakdown });
         }
+    }
+
+    /// Progress check for a receive expectation: re-arms while bytes are
+    /// still arriving, abandons the expectation after a full timeout
+    /// with no progress (the peer's retry budget ran out).
+    fn on_rx_check(&mut self, ctx: &mut Ctx<'_>, id: u64, last_received: usize) {
+        let Some(rc) = fault::recovery(ctx.world_ref()) else { return };
+        let Some(pos) = self.expectations.iter().position(|e| e.req.id == id) else { return };
+        let received = self.expectations[pos].received;
+        if received > last_received {
+            ctx.send_self_in(rc.op_timeout_ns, RxCheck { id, last_received: received });
+            return;
+        }
+        let e = self.expectations.remove(pos);
+        fault::exhausted(ctx.world(), fault::WIRE_DROP);
+        ctx.world().stats.counter("nic.rx_expect_timeouts").add(1);
+        let mut breakdown = Breakdown::new();
+        breakdown.add(Category::NetworkStack, e.stack_ns);
+        breakdown.add(Category::DataCopy, e.copy_ns);
+        breakdown
+            .add(Category::Wire, (ctx.now() - e.started_at).saturating_sub(e.stack_ns + e.copy_ns));
+        ctx.send_now(e.req.reply_to, RecvDone { id: e.req.id, ok: false, breakdown });
     }
 }
 
@@ -460,6 +722,7 @@ impl Component for HostNicDriver {
         };
         let msg = match msg.downcast::<RecvExpect>() {
             Ok(req) => {
+                let id = req.id;
                 self.expectations.push(Expectation {
                     req,
                     received: 0,
@@ -467,6 +730,9 @@ impl Component for HostNicDriver {
                     copy_ns: 0,
                     started_at: ctx.now(),
                 });
+                if let Some(rc) = fault::recovery(ctx.world_ref()) {
+                    ctx.send_self_in(rc.op_timeout_ns, RxCheck { id, last_received: 0 });
+                }
                 // Data may already be waiting.
                 self.deliver_frames(ctx, vec![], 0, 0);
                 return;
@@ -482,6 +748,20 @@ impl Component for HostNicDriver {
                         self.deliver_frames(ctx, frames, copy_ns, stack_ns)
                     }
                 }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<TxCheck>() {
+            Ok(check) => {
+                self.on_tx_check(ctx, check.id);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<RxCheck>() {
+            Ok(check) => {
+                self.on_rx_check(ctx, check.id, check.last_received);
                 return;
             }
             Err(m) => m,

@@ -6,15 +6,23 @@
 //! completion path when the drive raises its MSI. Completion reports carry
 //! a per-category latency breakdown so Figure 11-style plots can be
 //! assembled from real measurements.
+//!
+//! While a [`dcs_sim::FaultPlan`] is installed the driver also runs the
+//! kernel's error path: a retryable completion status (media error)
+//! resubmits just that MDTS chunk under a fresh CID within a bounded
+//! budget, and a per-request timeout polls the completion queue directly
+//! — recovering lost MSIs — before surfacing a clean error completion.
+//! Without a plan none of these timers are armed and the event stream is
+//! identical to the fault-free simulator.
 
 use std::collections::HashMap;
 
 use dcs_nvme::{
-    AttachQueuePair, CompletionQueueReader, NvmeCommand, NvmeHandle, NvmeOpcode, NvmeStatus,
-    PrpList, SubmissionQueueWriter, LBA_SIZE,
+    AttachQueuePair, CompletionQueueReader, NvmeCommand, NvmeCompletion, NvmeHandle, NvmeOpcode,
+    NvmeStatus, PrpList, SubmissionQueueWriter, LBA_SIZE,
 };
 use dcs_pcie::{AddrRange, MmioWrite, MsiDelivery, PhysAddr, PhysMemory};
-use dcs_sim::{Breakdown, Category, Component, ComponentId, Ctx, Msg, SimTime};
+use dcs_sim::{fault, Breakdown, Category, Component, ComponentId, Ctx, Msg, SimTime};
 
 use crate::costs::{KernelCosts, KernelMode};
 use crate::cpu::{CpuJob, CpuJobDone};
@@ -80,6 +88,21 @@ enum CpuPhase {
     Complete { cid: u16 },
 }
 
+/// Geometry of one NVMe sub-command, kept so a retryable completion can
+/// resubmit exactly that chunk.
+struct ChunkGeom {
+    off: u64,
+    len: usize,
+    attempts: u32,
+}
+
+/// Internal: command-timeout check for one outstanding request. Armed
+/// only while a fault plan is installed.
+#[derive(Debug)]
+struct NvmeCheck {
+    cid: u16,
+}
+
 /// The driver component. One instance drives one SSD queue pair.
 pub struct HostNvmeDriver {
     cpu: ComponentId,
@@ -94,6 +117,8 @@ pub struct HostNvmeDriver {
     outstanding: HashMap<u16, Outstanding>,
     /// Sub-command CID → primary CID for MDTS-split requests.
     chunk_owner: HashMap<u16, u16>,
+    /// Sub-command CID → chunk geometry (for error-path resubmission).
+    chunk_geom: HashMap<u16, ChunkGeom>,
     cpu_phases: HashMap<u64, CpuPhase>,
     next_cid: u16,
     next_cpu_token: u64,
@@ -141,6 +166,7 @@ impl HostNvmeDriver {
             prp_scratch: AddrRange::new(prp_base, depth as u64 * 4096),
             outstanding: HashMap::new(),
             chunk_owner: HashMap::new(),
+            chunk_geom: HashMap::new(),
             cpu_phases: HashMap::new(),
             next_cid: 0,
             next_cpu_token: 1,
@@ -157,7 +183,7 @@ impl HostNvmeDriver {
     }
 
     fn on_request(&mut self, ctx: &mut Ctx<'_>, req: BlockRequest) {
-        assert!(req.len % LBA_SIZE as usize == 0, "length must be whole blocks");
+        assert!(req.len.is_multiple_of(LBA_SIZE as usize), "length must be whole blocks");
         assert!(!self.sq.is_full(), "driver exceeded its queue depth");
         let cid = self.next_cid;
         self.next_cid = self.next_cid.wrapping_add(1);
@@ -213,26 +239,51 @@ impl HostNvmeDriver {
                 self.chunk_owner.insert(c, cid);
                 c
             };
-            let list_page = self.prp_scratch.start + (sub_cid as u64 % 64) * 4096;
-            let prps = PrpList::for_contiguous(buf + *off, *chunk_len, list_page);
-            let cmd = NvmeCommand {
-                opcode: match op {
-                    BlockOp::Read => NvmeOpcode::Read,
-                    BlockOp::Write => NvmeOpcode::Write,
-                },
-                cid: sub_cid,
-                nsid: 1,
-                prp1: prps.prp1,
-                prp2: prps.prp2,
-                slba: lba + off / LBA_SIZE,
-                nlb: (chunk_len / LBA_SIZE as usize - 1) as u16,
-            };
-            let mem = ctx.world().expect_mut::<PhysMemory>();
-            if !prps.list_entries.is_empty() {
-                mem.write(list_page, &prps.list_bytes());
-            }
-            self.sq.push(mem, &cmd);
+            self.chunk_geom
+                .insert(sub_cid, ChunkGeom { off: *off, len: *chunk_len, attempts: 0 });
+            self.push_command(ctx, sub_cid, buf, *off, *chunk_len, lba, op);
         }
+        self.ring_sq_doorbell(ctx);
+        if let Some(rc) = fault::recovery(ctx.world_ref()) {
+            ctx.send_self_in(rc.nvme_timeout_ns, NvmeCheck { cid });
+        }
+    }
+
+    /// Serializes one NVMe command for a chunk of `buf` into the SQ
+    /// (doorbell rung separately so submissions batch).
+    #[allow(clippy::too_many_arguments)]
+    fn push_command(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        sub_cid: u16,
+        buf: PhysAddr,
+        off: u64,
+        chunk_len: usize,
+        lba: u64,
+        op: BlockOp,
+    ) {
+        let list_page = self.prp_scratch.start + (sub_cid as u64 % 64) * 4096;
+        let prps = PrpList::for_contiguous(buf + off, chunk_len, list_page);
+        let cmd = NvmeCommand {
+            opcode: match op {
+                BlockOp::Read => NvmeOpcode::Read,
+                BlockOp::Write => NvmeOpcode::Write,
+            },
+            cid: sub_cid,
+            nsid: 1,
+            prp1: prps.prp1,
+            prp2: prps.prp2,
+            slba: lba + off / LBA_SIZE,
+            nlb: (chunk_len / LBA_SIZE as usize - 1) as u16,
+        };
+        let mem = ctx.world().expect_mut::<PhysMemory>();
+        if !prps.list_entries.is_empty() {
+            mem.write(list_page, &prps.list_bytes());
+        }
+        self.sq.push(mem, &cmd);
+    }
+
+    fn ring_sq_doorbell(&mut self, ctx: &mut Ctx<'_>) {
         let tail = self.sq.tail();
         let doorbell = self.ssd.sq_doorbell(1);
         let fabric = self.fabric;
@@ -242,9 +293,36 @@ impl HostNvmeDriver {
         );
     }
 
+    /// Resubmits one MDTS chunk of `primary` after a retryable failure,
+    /// under a fresh CID (the failed command's slot is dead).
+    fn resubmit_chunk(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        primary: u16,
+        off: u64,
+        len: usize,
+        attempts: u32,
+    ) {
+        let (buf, lba, op) = {
+            let out = &self.outstanding[&primary];
+            (out.req.buf, out.req.lba, out.req.op)
+        };
+        let sub_cid = self.next_cid;
+        self.next_cid = self.next_cid.wrapping_add(1);
+        self.chunk_owner.insert(sub_cid, primary);
+        self.chunk_geom.insert(sub_cid, ChunkGeom { off, len, attempts });
+        self.push_command(ctx, sub_cid, buf, off, len, lba, op);
+        self.ring_sq_doorbell(ctx);
+    }
+
     fn on_msi(&mut self, ctx: &mut Ctx<'_>) {
-        // Drain the CQ; charge one IRQ+completion path per completed
-        // command (the kernel does per-request completion work).
+        self.drain_cq(ctx);
+    }
+
+    /// Drains the CQ; charges one IRQ+completion path per completed
+    /// command (the kernel does per-request completion work). Shared by
+    /// the MSI path and the timeout poll fallback.
+    fn drain_cq(&mut self, ctx: &mut Ctx<'_>) {
         let mut completed = Vec::new();
         {
             let mem = ctx.world_ref().expect::<PhysMemory>();
@@ -253,7 +331,8 @@ impl HostNvmeDriver {
             }
         }
         if completed.is_empty() {
-            // Spurious interrupt (MSI raced an earlier drain): ignore.
+            // Spurious interrupt (MSI raced an earlier drain) or an idle
+            // poll: ignore.
             return;
         }
         // Ring the CQ head doorbell once for the batch.
@@ -263,20 +342,78 @@ impl HostNvmeDriver {
         ctx.send_now(fabric, MmioWrite { addr: db, data: (head as u32).to_le_bytes().to_vec() });
         for entry in completed {
             self.sq.update_head(entry.sq_head);
-            let primary = self.chunk_owner.remove(&entry.cid).unwrap_or(entry.cid);
-            let out = self.outstanding.get_mut(&primary).expect("completion for live cid");
-            out.chunks_remaining -= 1;
-            out.device_done_at = Some(ctx.now());
-            if out.status.map(|s| s.is_ok()).unwrap_or(true) {
-                out.status = Some(entry.status);
-            }
-            if out.chunks_remaining > 0 {
-                continue;
-            }
-            let cost = self.costs.storage_complete_cost();
-            let tag = out.req.tag;
-            self.cpu_job(ctx, cost, tag, CpuPhase::Complete { cid: primary });
+            self.on_completion(ctx, entry);
         }
+    }
+
+    fn on_completion(&mut self, ctx: &mut Ctx<'_>, entry: NvmeCompletion) {
+        let geom = self.chunk_geom.remove(&entry.cid);
+        let primary = self.chunk_owner.remove(&entry.cid).unwrap_or(entry.cid);
+        let stale = match self.outstanding.get(&primary) {
+            // chunks_remaining hits zero when a timeout already failed the
+            // request; stragglers must not double-complete it.
+            Some(out) => out.chunks_remaining == 0,
+            None => true,
+        };
+        if stale {
+            ctx.world().stats.counter("nvme.drv_stale_cqe").add(1);
+            return;
+        }
+        if entry.status.is_retryable() {
+            if let (Some(g), Some(rc)) = (geom.as_ref(), fault::recovery(ctx.world_ref())) {
+                if g.attempts < rc.nvme_retries {
+                    fault::retried(ctx.world(), fault::NVME_MEDIA);
+                    self.resubmit_chunk(ctx, primary, g.off, g.len, g.attempts + 1);
+                    return;
+                }
+            }
+            fault::exhausted(ctx.world(), fault::NVME_MEDIA);
+        } else if entry.status.is_ok() && geom.map(|g| g.attempts > 0).unwrap_or(false) {
+            fault::recovered(ctx.world(), fault::NVME_MEDIA);
+        }
+        let out = self.outstanding.get_mut(&primary).expect("live request");
+        out.chunks_remaining -= 1;
+        out.device_done_at = Some(ctx.now());
+        if out.status.map(|s| s.is_ok()).unwrap_or(true) {
+            out.status = Some(entry.status);
+        }
+        if out.chunks_remaining > 0 {
+            return;
+        }
+        let cost = self.costs.storage_complete_cost();
+        let tag = out.req.tag;
+        self.cpu_job(ctx, cost, tag, CpuPhase::Complete { cid: primary });
+    }
+
+    /// Command-timeout check: polls the CQ directly (the MSI may have
+    /// been lost), re-arms while the request is within its overall
+    /// deadline, and otherwise surfaces a clean error completion.
+    fn on_check(&mut self, ctx: &mut Ctx<'_>, cid: u16) {
+        if self.outstanding.get(&cid).map(|o| o.chunks_remaining == 0).unwrap_or(true) {
+            return; // completed (or already timed out); timer expires silently
+        }
+        ctx.world().stats.counter("nvme.drv_polls").add(1);
+        self.drain_cq(ctx);
+        let Some(out) = self.outstanding.get(&cid) else { return };
+        if out.chunks_remaining == 0 {
+            return; // the poll recovered it
+        }
+        let Some(rc) = fault::recovery(ctx.world_ref()) else { return };
+        if ctx.now() - out.submitted_at < rc.op_timeout_ns {
+            ctx.send_self_in(rc.nvme_timeout_ns, NvmeCheck { cid });
+            return;
+        }
+        // Out of patience: fail the request. Stragglers for its chunks
+        // are absorbed by the stale-CQE path above.
+        fault::exhausted(ctx.world(), fault::MSI_LOSS);
+        ctx.world().stats.counter("nvme.drv_timeouts").add(1);
+        let out = self.outstanding.get_mut(&cid).expect("live request");
+        out.chunks_remaining = 0;
+        out.device_done_at = Some(ctx.now());
+        out.status = Some(NvmeStatus::MediaError);
+        let cost = self.costs.storage_complete_cost();
+        let tag = out.req.tag;
+        self.cpu_job(ctx, cost, tag, CpuPhase::Complete { cid });
     }
 
     fn finish(&mut self, ctx: &mut Ctx<'_>, cid: u16) {
@@ -312,6 +449,13 @@ impl Component for HostNvmeDriver {
                     CpuPhase::Submit { cid } => self.submit_to_device(ctx, cid),
                     CpuPhase::Complete { cid } => self.finish(ctx, cid),
                 }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<NvmeCheck>() {
+            Ok(check) => {
+                self.on_check(ctx, check.cid);
                 return;
             }
             Err(m) => m,
@@ -490,6 +634,94 @@ mod tests {
         sim.run();
         assert_eq!(sim.world().stats.counter_value("caller.done"), 1);
         assert_eq!(sim.world().stats.counter_value("caller.ok"), 0);
+    }
+
+    #[test]
+    fn media_error_is_retried_and_recovers() {
+        let (mut sim, caller, ssd, dram) = setup(KernelMode::Optimized);
+        let rng = sim.world_mut().rng.fork();
+        let mut plan = dcs_sim::FaultPlan::new(rng);
+        plan.enable(dcs_sim::fault::NVME_MEDIA, dcs_sim::FaultSpec::Nth(vec![0]));
+        sim.world_mut().insert(plan);
+        let payload = vec![0x5Au8; 4096];
+        sim.world_mut().expect_mut::<PhysMemory>().write(ssd.lba_addr(3), &payload);
+        let buf = dram.start + (4 << 20);
+        sim.kickoff(
+            caller,
+            Go(BlockRequest {
+                id: 9,
+                op: BlockOp::Read,
+                lba: 3,
+                len: 4096,
+                buf,
+                tag: "kernel",
+                reply_to: caller,
+            }),
+        );
+        sim.run();
+        assert_eq!(sim.world().stats.counter_value("caller.ok"), 1);
+        assert_eq!(sim.world().stats.counter_value("fault.injected"), 1);
+        assert_eq!(sim.world().stats.counter_value("retry.count"), 1);
+        assert_eq!(sim.world().stats.counter_value("fault.recovered"), 1);
+        assert_eq!(sim.world().expect::<PhysMemory>().read(buf, 4096), payload);
+    }
+
+    #[test]
+    fn media_error_without_budget_fails_cleanly() {
+        let (mut sim, caller, _ssd, dram) = setup(KernelMode::Optimized);
+        let rng = sim.world_mut().rng.fork();
+        let mut plan = dcs_sim::FaultPlan::new(rng);
+        plan.enable(dcs_sim::fault::NVME_MEDIA, dcs_sim::FaultSpec::Nth(vec![0]));
+        plan.recovery = dcs_sim::RecoveryConfig::no_retries();
+        sim.world_mut().insert(plan);
+        let buf = dram.start + (4 << 20);
+        sim.kickoff(
+            caller,
+            Go(BlockRequest {
+                id: 10,
+                op: BlockOp::Read,
+                lba: 0,
+                len: 4096,
+                buf,
+                tag: "kernel",
+                reply_to: caller,
+            }),
+        );
+        sim.run();
+        assert_eq!(sim.world().stats.counter_value("caller.done"), 1);
+        assert_eq!(sim.world().stats.counter_value("caller.ok"), 0);
+        assert_eq!(sim.world().stats.counter_value("fault.exhausted"), 1);
+    }
+
+    #[test]
+    fn lost_completion_msi_is_recovered_by_poll() {
+        let (mut sim, caller, ssd, dram) = setup(KernelMode::Optimized);
+        let rng = sim.world_mut().rng.fork();
+        let mut plan = dcs_sim::FaultPlan::new(rng);
+        // Lose the first MSI the fabric routes; the driver's command
+        // timeout must find the completion by polling the CQ.
+        plan.enable(dcs_sim::fault::MSI_LOSS, dcs_sim::FaultSpec::Nth(vec![0]));
+        sim.world_mut().insert(plan);
+        let payload = vec![0x77u8; 4096];
+        sim.world_mut().expect_mut::<PhysMemory>().write(ssd.lba_addr(8), &payload);
+        let buf = dram.start + (4 << 20);
+        sim.kickoff(
+            caller,
+            Go(BlockRequest {
+                id: 11,
+                op: BlockOp::Read,
+                lba: 8,
+                len: 4096,
+                buf,
+                tag: "kernel",
+                reply_to: caller,
+            }),
+        );
+        sim.run();
+        assert_eq!(sim.world().stats.counter_value("pcie.msi_lost"), 1);
+        assert_eq!(sim.world().stats.counter_value("caller.ok"), 1);
+        assert!(sim.world().stats.counter_value("nvme.drv_polls") >= 1);
+        assert_eq!(sim.world().expect::<PhysMemory>().read(buf, 4096), payload);
     }
 
     #[test]

@@ -247,7 +247,7 @@ impl Aes256 {
     ///
     /// Panics if `data` is not a multiple of 16 bytes.
     pub fn ecb_encrypt(&self, data: &[u8]) -> Vec<u8> {
-        assert!(data.len() % Self::BLOCK == 0, "ECB requires whole blocks");
+        assert!(data.len().is_multiple_of(Self::BLOCK), "ECB requires whole blocks");
         let mut out = Vec::with_capacity(data.len());
         for chunk in data.chunks_exact(Self::BLOCK) {
             let block: [u8; 16] = chunk.try_into().expect("16-byte chunk");
@@ -262,7 +262,7 @@ impl Aes256 {
     ///
     /// Panics if `data` is not a multiple of 16 bytes.
     pub fn ecb_decrypt(&self, data: &[u8]) -> Vec<u8> {
-        assert!(data.len() % Self::BLOCK == 0, "ECB requires whole blocks");
+        assert!(data.len().is_multiple_of(Self::BLOCK), "ECB requires whole blocks");
         let mut out = Vec::with_capacity(data.len());
         for chunk in data.chunks_exact(Self::BLOCK) {
             let block: [u8; 16] = chunk.try_into().expect("16-byte chunk");

@@ -134,7 +134,7 @@ impl<'a> BitReader<'a> {
         if self.bit_count < n {
             return Err(InflateError::UnexpectedEof);
         }
-        let v = (self.bit_buf & ((1u64 << n) - 1).max(0)) as u32;
+        let v = (self.bit_buf & ((1u64 << n) - 1)) as u32;
         let v = if n == 0 { 0 } else { v };
         self.bit_buf >>= n;
         self.bit_count -= n;
@@ -155,7 +155,7 @@ impl<'a> BitReader<'a> {
 
     /// Reads `n` whole bytes (must be byte-aligned).
     fn read_bytes(&mut self, n: usize) -> Result<Vec<u8>, InflateError> {
-        debug_assert!(self.bit_count % 8 == 0);
+        debug_assert!(self.bit_count.is_multiple_of(8));
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             if self.bit_count >= 8 {
@@ -254,9 +254,9 @@ impl HuffmanDecoder {
         // Over-subscribed tables are invalid; incomplete ones are tolerated
         // (some encoders emit a single-code distance table).
         let mut left = 1i32;
-        for l in 1..16 {
+        for &count in &counts[1..16] {
             left <<= 1;
-            left -= counts[l] as i32;
+            left -= count as i32;
             if left < 0 {
                 return Err(InflateError::InvalidCodeLengths);
             }

@@ -1,4 +1,6 @@
-//! Property-based tests of the data-processing algorithms.
+//! Randomized property tests of the data-processing algorithms, driven
+//! by the deterministic in-repo [`Rng`] (the container builds offline, so
+//! no external property-testing framework is available).
 
 use dcs_ndp::aes::Aes256;
 use dcs_ndp::crc32::{crc32, crc32_update, Crc32};
@@ -6,64 +8,88 @@ use dcs_ndp::deflate::{deflate_compress, deflate_decompress, gzip_compress, gzip
 use dcs_ndp::md5::{md5, Md5};
 use dcs_ndp::sha1::{sha1, Sha1};
 use dcs_ndp::sha256::{sha256, Sha256};
-use proptest::prelude::*;
+use dcs_sim::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_bytes(rng: &mut Rng, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0..max_len as u64 + 1) as usize;
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
 
-    /// DEFLATE decompression inverts compression on arbitrary inputs.
-    #[test]
-    fn deflate_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..20_000)) {
+/// DEFLATE decompression inverts compression on arbitrary inputs.
+#[test]
+fn deflate_roundtrip() {
+    let mut rng = Rng::new(0xDEF1A7E);
+    for _ in 0..32 {
+        let data = random_bytes(&mut rng, 20_000);
         let compressed = deflate_compress(&data);
-        prop_assert_eq!(deflate_decompress(&compressed).unwrap(), data);
+        assert_eq!(deflate_decompress(&compressed).unwrap(), data);
     }
+}
 
-    /// GZIP framing (with CRC + length trailer) round-trips too.
-    #[test]
-    fn gzip_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..10_000)) {
-        prop_assert_eq!(gzip_decompress(&gzip_compress(&data)).unwrap(), data);
+/// GZIP framing (with CRC + length trailer) round-trips too.
+#[test]
+fn gzip_roundtrip() {
+    let mut rng = Rng::new(0x621F);
+    for _ in 0..32 {
+        let data = random_bytes(&mut rng, 10_000);
+        assert_eq!(gzip_decompress(&gzip_compress(&data)).unwrap(), data);
     }
+}
 
-    /// Truncating a gzip stream never yields the original data.
-    #[test]
-    fn gzip_truncation_detected(
-        data in proptest::collection::vec(any::<u8>(), 1..4_000),
-        cut_fraction in 0.0f64..0.999,
-    ) {
+/// Truncating a gzip stream never yields the original data.
+#[test]
+fn gzip_truncation_detected() {
+    let mut rng = Rng::new(0x621F_7214);
+    for _ in 0..64 {
+        let mut data = random_bytes(&mut rng, 4_000);
+        if data.is_empty() {
+            data.push(0);
+        }
         let gz = gzip_compress(&data);
-        let cut = ((gz.len() as f64) * cut_fraction) as usize;
-        let r = gzip_decompress(&gz[..cut]);
-        prop_assert!(r.is_err(), "truncated stream must not validate");
+        let cut = ((gz.len() as f64) * (rng.gen_f64() * 0.999)) as usize;
+        assert!(gzip_decompress(&gz[..cut]).is_err(), "truncated stream must not validate");
     }
+}
 
-    /// AES-256-CTR is its own inverse for any key, nonce, and length.
-    #[test]
-    fn aes_ctr_inverse(
-        key in proptest::array::uniform32(any::<u8>()),
-        nonce in proptest::array::uniform16(any::<u8>()),
-        data in proptest::collection::vec(any::<u8>(), 0..5_000),
-    ) {
+/// AES-256-CTR is its own inverse for any key, nonce, and length.
+#[test]
+fn aes_ctr_inverse() {
+    let mut rng = Rng::new(0xAE5C72);
+    for _ in 0..64 {
+        let mut key = [0u8; 32];
+        let mut nonce = [0u8; 16];
+        rng.fill_bytes(&mut key);
+        rng.fill_bytes(&mut nonce);
+        let data = random_bytes(&mut rng, 5_000);
         let aes = Aes256::new(&key);
         let ct = aes.ctr_crypt(&nonce, &data);
-        prop_assert_eq!(aes.ctr_crypt(&nonce, &ct), data);
+        assert_eq!(aes.ctr_crypt(&nonce, &ct), data);
     }
+}
 
-    /// Block decrypt inverts block encrypt for any key and block.
-    #[test]
-    fn aes_block_inverse(
-        key in proptest::array::uniform32(any::<u8>()),
-        block in proptest::array::uniform16(any::<u8>()),
-    ) {
+/// Block decrypt inverts block encrypt for any key and block.
+#[test]
+fn aes_block_inverse() {
+    let mut rng = Rng::new(0xAE5B10C);
+    for _ in 0..64 {
+        let mut key = [0u8; 32];
+        let mut block = [0u8; 16];
+        rng.fill_bytes(&mut key);
+        rng.fill_bytes(&mut block);
         let aes = Aes256::new(&key);
-        prop_assert_eq!(aes.decrypt_block(&aes.encrypt_block(&block)), block);
+        assert_eq!(aes.decrypt_block(&aes.encrypt_block(&block)), block);
     }
+}
 
-    /// Incremental hashing over arbitrary chunkings equals one-shot.
-    #[test]
-    fn hashes_chunking_invariant(
-        data in proptest::collection::vec(any::<u8>(), 0..8_000),
-        chunk in 1usize..512,
-    ) {
+/// Incremental hashing over arbitrary chunkings equals one-shot.
+#[test]
+fn hashes_chunking_invariant() {
+    let mut rng = Rng::new(0x4A54C4C);
+    for _ in 0..32 {
+        let data = random_bytes(&mut rng, 8_000);
+        let chunk = rng.gen_range(1..512) as usize;
         let mut m = Md5::new();
         let mut s1 = Sha1::new();
         let mut s2 = Sha256::new();
@@ -74,31 +100,39 @@ proptest! {
             s2.update(part);
             c.update(part);
         }
-        prop_assert_eq!(m.finalize(), md5(&data));
-        prop_assert_eq!(s1.finalize(), sha1(&data));
-        prop_assert_eq!(s2.finalize(), sha256(&data));
-        prop_assert_eq!(c.finalize(), crc32(&data));
+        assert_eq!(m.finalize(), md5(&data));
+        assert_eq!(s1.finalize(), sha1(&data));
+        assert_eq!(s2.finalize(), sha256(&data));
+        assert_eq!(c.finalize(), crc32(&data));
     }
+}
 
-    /// CRC chaining across any split equals the one-shot CRC.
-    #[test]
-    fn crc_chaining(data in proptest::collection::vec(any::<u8>(), 0..4_000), split in 0usize..4_000) {
-        let split = split.min(data.len());
+/// CRC chaining across any split equals the one-shot CRC.
+#[test]
+fn crc_chaining() {
+    let mut rng = Rng::new(0xC2CC4A1);
+    for _ in 0..64 {
+        let data = random_bytes(&mut rng, 4_000);
+        let split = (rng.gen_range(0..4_000) as usize).min(data.len());
         let first = crc32(&data[..split]);
-        prop_assert_eq!(crc32_update(first, &data[split..]), crc32(&data));
+        assert_eq!(crc32_update(first, &data[split..]), crc32(&data));
     }
+}
 
-    /// Distinct single-byte flips change the MD5 (no trivial collisions on
-    /// the tested sizes).
-    #[test]
-    fn md5_sensitivity(
-        mut data in proptest::collection::vec(any::<u8>(), 1..2_000),
-        idx in 0usize..2_000,
-        flip in 1u8..=255,
-    ) {
-        let idx = idx % data.len();
+/// Distinct single-byte flips change the MD5 (no trivial collisions on
+/// the tested sizes).
+#[test]
+fn md5_sensitivity() {
+    let mut rng = Rng::new(0x4D55E25);
+    for _ in 0..64 {
+        let mut data = random_bytes(&mut rng, 2_000);
+        if data.is_empty() {
+            data.push(0x5A);
+        }
+        let idx = rng.gen_range(0..data.len() as u64) as usize;
+        let flip = rng.gen_range(1..256) as u8;
         let original = md5(&data);
         data[idx] ^= flip;
-        prop_assert_ne!(md5(&data), original);
+        assert_ne!(md5(&data), original);
     }
 }

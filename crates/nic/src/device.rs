@@ -99,6 +99,19 @@ impl NicHandle {
 #[derive(Debug)]
 struct RaiseRxIrq;
 
+/// Asks the NIC to transmit a fully-formed frame directly, bypassing the
+/// descriptor ring. Drivers use this for protocol control traffic (pure
+/// ACKs during fault recovery); no completion MSI is raised for it.
+#[derive(Debug)]
+pub struct ControlFrame {
+    /// The complete frame bytes.
+    pub frame: Vec<u8>,
+}
+
+/// Sentinel tx-op id for control frames: tokens start at 1, so 0 never
+/// collides with a descriptor-originated op.
+const CTRL_OP: u64 = 0;
+
 enum DmaPurpose {
     /// A batch of `count` send descriptors landing at `staging`.
     TxDescBatch { start_idx: u16, count: u16, staging: PhysAddr },
@@ -303,7 +316,7 @@ impl NicDevice {
         let mut offset = 0u32;
         let n = chunks.len();
         for (i, chunk) in chunks.into_iter().enumerate() {
-            let frame = build_frame(&flow, seq0.wrapping_add(offset), ack, chunk);
+            let frame = build_frame(&flow, seq0.wrapping_add(offset), ack.wrapping_add(offset), chunk);
             offset += chunk.len() as u32;
             let ftoken = self.token();
             self.frames.insert(ftoken, (op, i == n - 1));
@@ -397,6 +410,18 @@ impl Component for NicDevice {
             Ok(cfg) => {
                 assert!(self.rings.is_none(), "NIC configured twice");
                 self.rings = Some(cfg);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<ControlFrame>() {
+            Ok(cf) => {
+                let ftoken = self.token();
+                self.frames.insert(ftoken, (CTRL_OP, false));
+                let wire = self.wire;
+                let overhead = self.config.descriptor_overhead_ns;
+                ctx.send_in(overhead, wire, TransmitFrame { id: ftoken, frame: cf.frame });
+                ctx.world().stats.counter("nic.tx_ctrl_frames").add(1);
                 return;
             }
             Err(m) => m,

@@ -15,6 +15,11 @@ pub const IPV4_HEADER_LEN: usize = 20;
 pub const TCP_HEADER_LEN: usize = 20;
 /// Total framing our packets carry in front of the payload.
 pub const HEADERS_LEN: usize = ETH_HEADER_LEN + IPV4_HEADER_LEN + TCP_HEADER_LEN;
+/// Sentinel `seq` value marking a zero-payload frame as a pure protocol
+/// acknowledgement (go-back-N recovery under fault injection). Data frames
+/// never carry this seq with an empty payload in practice; the `ack` field
+/// of such a frame is the receiver's cumulative per-flow byte count.
+pub const ACK_MAGIC: u32 = 0xACCE_55ED;
 
 /// The 5-tuple-plus-link-layer identity of an established TCP connection,
 /// as the kernel hands it to the HDC Driver (§IV-B: "interacts with the

@@ -3,11 +3,17 @@
 //! A full-duplex point-to-point Ethernet segment: frames from each endpoint
 //! serialize at line rate (plus per-frame preamble/IFG/FCS overhead) on
 //! that endpoint's transmit direction, then arrive at the peer after a
-//! propagation delay. Delivery is lossless and in order — the model's
-//! stand-in for a healthy switched LAN, which is what the paper's two-node
-//! testbed used.
+//! propagation delay. Delivery is in order and — unless a fault plan says
+//! otherwise — lossless, the model's stand-in for a healthy switched LAN,
+//! which is what the paper's two-node testbed used.
+//!
+//! With a [`dcs_sim::FaultPlan`] installed, the delivery leg consults the
+//! `wire.drop` and `wire.corrupt` sites: a dropped frame vanishes after
+//! serialization (the sender still sees its transmit complete, as on real
+//! Ethernet), and a corrupted frame has one bit flipped inside the
+//! checksummed IP/TCP region so the receiver's parse path rejects it.
 
-use dcs_sim::{time, Bandwidth, Component, ComponentId, Ctx, FifoServer, Msg};
+use dcs_sim::{fault, time, Bandwidth, Component, ComponentId, Ctx, FifoServer, Msg};
 
 /// Wire timing parameters.
 #[derive(Clone, Debug)]
@@ -113,8 +119,23 @@ impl Component for Wire {
         match msg.downcast::<Serialized>() {
             Ok(s) => {
                 ctx.send_now(s.notify, TransmitDone { id: s.id });
+                let mut frame = s.frame;
+                if fault::inject(ctx.world(), fault::WIRE_DROP).is_some() {
+                    ctx.world().stats.counter("wire.dropped").add(1);
+                    return;
+                }
+                if let Some(entropy) = fault::inject(ctx.world(), fault::WIRE_CORRUPT) {
+                    if frame.len() > 14 {
+                        // Flip one bit inside the checksummed region (past
+                        // the Ethernet header) so the receiver's IP/TCP
+                        // checksum validation is guaranteed to reject it.
+                        let idx = 14 + (entropy % (frame.len() - 14) as u64) as usize;
+                        frame[idx] ^= 1 << ((entropy >> 32) % 8);
+                        ctx.world().stats.counter("wire.corrupted").add(1);
+                    }
+                }
                 let prop = self.config.propagation_ns;
-                ctx.send_in(prop, s.to, FrameDelivery { frame: s.frame });
+                ctx.send_in(prop, s.to, FrameDelivery { frame });
             }
             Err(other) => panic!("Wire received unexpected message: {other:?}"),
         }

@@ -1,106 +1,120 @@
-//! Property-based tests of the TCP/IP framing and descriptor formats.
+//! Randomized property tests of the TCP/IP framing and descriptor
+//! formats, driven by the deterministic in-repo [`Rng`] (the container
+//! builds offline, so no external property-testing framework is
+//! available).
 
 use dcs_nic::headers::{build_frame, build_template, parse_frame, parse_template};
 use dcs_nic::{RecvDescriptor, RecvWriteback, SendDescriptor, TcpFlow};
 use dcs_pcie::PhysAddr;
-use proptest::prelude::*;
+use dcs_sim::Rng;
 
-fn arb_flow() -> impl Strategy<Value = TcpFlow> {
-    (
-        proptest::array::uniform6(any::<u8>()),
-        proptest::array::uniform6(any::<u8>()),
-        proptest::array::uniform4(any::<u8>()),
-        proptest::array::uniform4(any::<u8>()),
-        any::<u16>(),
-        any::<u16>(),
-    )
-        .prop_map(|(src_mac, dst_mac, src_ip, dst_ip, src_port, dst_port)| TcpFlow {
-            src_mac,
-            dst_mac,
-            src_ip,
-            dst_ip,
-            src_port,
-            dst_port,
-        })
+fn random_flow(rng: &mut Rng) -> TcpFlow {
+    let mut src_mac = [0u8; 6];
+    let mut dst_mac = [0u8; 6];
+    let mut src_ip = [0u8; 4];
+    let mut dst_ip = [0u8; 4];
+    rng.fill_bytes(&mut src_mac);
+    rng.fill_bytes(&mut dst_mac);
+    rng.fill_bytes(&mut src_ip);
+    rng.fill_bytes(&mut dst_ip);
+    TcpFlow {
+        src_mac,
+        dst_mac,
+        src_ip,
+        dst_ip,
+        src_port: rng.next_u64() as u16,
+        dst_port: rng.next_u64() as u16,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn random_bytes(rng: &mut Rng, lo: usize, hi: usize) -> Vec<u8> {
+    let len = rng.gen_range(lo as u64..hi as u64) as usize;
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
 
-    /// Frames round-trip: any flow, seq/ack, and payload up to one MSS.
-    #[test]
-    fn frame_roundtrip(
-        flow in arb_flow(),
-        seq in any::<u32>(),
-        ack in any::<u32>(),
-        payload in proptest::collection::vec(any::<u8>(), 0..1448),
-    ) {
+/// Frames round-trip: any flow, seq/ack, and payload up to one MSS.
+#[test]
+fn frame_roundtrip() {
+    let mut rng = Rng::new(0xF2A4E);
+    for _ in 0..128 {
+        let flow = random_flow(&mut rng);
+        let seq = rng.next_u64() as u32;
+        let ack = rng.next_u64() as u32;
+        let payload = random_bytes(&mut rng, 0, 1448);
         let frame = build_frame(&flow, seq, ack, &payload);
         let parsed = parse_frame(&frame).unwrap();
-        prop_assert_eq!(parsed.flow, flow);
-        prop_assert_eq!(parsed.seq, seq);
-        prop_assert_eq!(parsed.ack, ack);
-        prop_assert_eq!(
+        assert_eq!(parsed.flow, flow);
+        assert_eq!(parsed.seq, seq);
+        assert_eq!(parsed.ack, ack);
+        assert_eq!(
             &frame[parsed.payload_offset..parsed.payload_offset + parsed.payload_len],
             payload.as_slice()
         );
     }
+}
 
-    /// Any single-byte corruption of a frame is detected.
-    #[test]
-    fn corruption_detected(
-        flow in arb_flow(),
-        payload in proptest::collection::vec(any::<u8>(), 1..512),
-        idx in any::<usize>(),
-        flip in 1u8..=255,
-    ) {
+/// Any single-byte corruption of a frame is detected.
+#[test]
+fn corruption_detected() {
+    let mut rng = Rng::new(0xC0_2217);
+    for _ in 0..128 {
+        let flow = random_flow(&mut rng);
+        let payload = random_bytes(&mut rng, 1, 512);
         let mut frame = build_frame(&flow, 1, 2, &payload);
-        let idx = idx % frame.len();
+        let idx = rng.gen_range(0..frame.len() as u64) as usize;
+        let flip = rng.gen_range(1..256) as u8;
         frame[idx] ^= flip;
         // Either the parse fails, or (for corrupted MAC bytes, which carry
         // no checksum — as on real Ethernet, where the FCS the model folds
         // into the wire covers them) the decoded flow differs.
         match parse_frame(&frame) {
             Err(_) => {}
-            Ok(parsed) => prop_assert_ne!(parsed.flow, flow, "corruption at {} unnoticed", idx),
+            Ok(parsed) => assert_ne!(parsed.flow, flow, "corruption at {idx} unnoticed"),
         }
     }
+}
 
-    /// Header templates round-trip.
-    #[test]
-    fn template_roundtrip(flow in arb_flow(), seq in any::<u32>(), ack in any::<u32>()) {
+/// Header templates round-trip.
+#[test]
+fn template_roundtrip() {
+    let mut rng = Rng::new(0x7E4_B1A);
+    for _ in 0..128 {
+        let flow = random_flow(&mut rng);
+        let seq = rng.next_u64() as u32;
+        let ack = rng.next_u64() as u32;
         let t = build_template(&flow, seq, ack);
         let (f2, s2, a2) = parse_template(&t).unwrap();
-        prop_assert_eq!(f2, flow);
-        prop_assert_eq!(s2, seq);
-        prop_assert_eq!(a2, ack);
+        assert_eq!(f2, flow);
+        assert_eq!(s2, seq);
+        assert_eq!(a2, ack);
     }
+}
 
-    /// Descriptor wire formats round-trip.
-    #[test]
-    fn descriptors_roundtrip(
-        header_addr in any::<u64>(),
-        header_len in any::<u16>(),
-        payload_addr in any::<u64>(),
-        payload_len in any::<u32>(),
-        mss in any::<u16>(),
-        cookie in any::<u32>(),
-        buf_len in any::<u32>(),
-        frame_len in any::<u32>(),
-        valid in any::<bool>(),
-    ) {
+/// Descriptor wire formats round-trip.
+#[test]
+fn descriptors_roundtrip() {
+    let mut rng = Rng::new(0xDE_5C21);
+    for _ in 0..128 {
         let d = SendDescriptor {
-            header_addr: PhysAddr(header_addr),
-            header_len,
-            payload_addr: PhysAddr(payload_addr),
-            payload_len,
-            mss,
-            cookie,
+            header_addr: PhysAddr(rng.next_u64()),
+            header_len: rng.next_u64() as u16,
+            payload_addr: PhysAddr(rng.next_u64()),
+            payload_len: rng.next_u64() as u32,
+            mss: rng.next_u64() as u16,
+            cookie: rng.next_u64() as u32,
         };
-        prop_assert_eq!(SendDescriptor::from_bytes(&d.to_bytes()), d);
-        let r = RecvDescriptor { buf_addr: PhysAddr(payload_addr), buf_len };
-        prop_assert_eq!(RecvDescriptor::from_bytes(&r.to_bytes()), r);
-        let w = RecvWriteback { frame_len, valid };
-        prop_assert_eq!(RecvWriteback::from_bytes(&w.to_bytes()), w);
+        assert_eq!(SendDescriptor::from_bytes(&d.to_bytes()), d);
+        let r = RecvDescriptor {
+            buf_addr: PhysAddr(rng.next_u64()),
+            buf_len: rng.next_u64() as u32,
+        };
+        assert_eq!(RecvDescriptor::from_bytes(&r.to_bytes()), r);
+        let w = RecvWriteback {
+            frame_len: rng.next_u64() as u32,
+            valid: rng.gen_bool(0.5),
+        };
+        assert_eq!(RecvWriteback::from_bytes(&w.to_bytes()), w);
     }
 }

@@ -485,6 +485,16 @@ impl Component for NvmeDevice {
                 let op = self.ops.remove(&token).expect("flash done for live op");
                 match op.phase {
                     OpPhase::FlashRead { cmd, pages } => {
+                        if dcs_sim::fault::inject(ctx.world(), dcs_sim::fault::NVME_MEDIA)
+                            .is_some()
+                        {
+                            // Unrecovered read error from the medium: no
+                            // data moves; the host sees a retryable status
+                            // and may resubmit the command.
+                            ctx.world().stats.counter("nvme.media_errors").add(1);
+                            self.complete(ctx, token, op.qid, cmd.cid, NvmeStatus::MediaError);
+                            return;
+                        }
                         self.on_flash_read_done(ctx, token, op.qid, cmd, pages)
                     }
                     OpPhase::FlashWrite { cmd } => {

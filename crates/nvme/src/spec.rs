@@ -51,16 +51,21 @@ pub enum NvmeStatus {
     InvalidPrp,
     /// LBA range exceeds namespace capacity.
     LbaOutOfRange,
+    /// Unrecovered read error from the medium (SCT=2 media error). A
+    /// transient flash fault: the spec marks it retryable and hosts are
+    /// expected to resubmit within their retry budget.
+    MediaError,
 }
 
 impl NvmeStatus {
-    /// Status-field encoding (SCT=0 generic, low bits = status code).
+    /// Status-field encoding (SCT in bits 10:8, low bits = status code).
     pub fn to_code(self) -> u16 {
         match self {
             NvmeStatus::Success => 0x0000,
             NvmeStatus::InvalidOpcode => 0x0001,
             NvmeStatus::InvalidPrp => 0x0013,
             NvmeStatus::LbaOutOfRange => 0x0080,
+            NvmeStatus::MediaError => 0x0281, // SCT=2, SC=0x81 unrecovered read
         }
     }
 
@@ -70,6 +75,7 @@ impl NvmeStatus {
             0x0000 => NvmeStatus::Success,
             0x0013 => NvmeStatus::InvalidPrp,
             0x0080 => NvmeStatus::LbaOutOfRange,
+            0x0281 => NvmeStatus::MediaError,
             _ => NvmeStatus::InvalidOpcode,
         }
     }
@@ -77,6 +83,11 @@ impl NvmeStatus {
     /// Whether the status signals success.
     pub fn is_ok(self) -> bool {
         self == NvmeStatus::Success
+    }
+
+    /// Whether resubmitting the command may succeed (transient faults).
+    pub fn is_retryable(self) -> bool {
+        self == NvmeStatus::MediaError
     }
 }
 
@@ -219,7 +230,7 @@ impl PrpList {
     /// 1 MiB max transfer).
     pub fn for_contiguous(base: PhysAddr, len: usize, list_page: PhysAddr) -> PrpList {
         assert!(len > 0, "empty data buffer");
-        assert!(base.as_u64() % PAGE_SIZE == 0, "PRP1 must be page-aligned in this model");
+        assert!(base.as_u64().is_multiple_of(PAGE_SIZE), "PRP1 must be page-aligned in this model");
         let pages = (len as u64).div_ceil(PAGE_SIZE);
         match pages {
             1 => PrpList { prp1: base, prp2: PhysAddr::ZERO, list_entries: vec![] },
@@ -272,7 +283,7 @@ impl PrpList {
         match pages {
             0 | 1 => {}
             2 if resolved_list.is_empty() => {
-                if prp2.as_u64() % PAGE_SIZE != 0 {
+                if !prp2.as_u64().is_multiple_of(PAGE_SIZE) {
                     return None;
                 }
                 out.push(prp2);
@@ -346,8 +357,12 @@ mod tests {
     #[test]
     fn completion_roundtrips_with_phase_and_status() {
         for phase in [false, true] {
-            for status in [NvmeStatus::Success, NvmeStatus::LbaOutOfRange, NvmeStatus::InvalidPrp]
-            {
+            for status in [
+                NvmeStatus::Success,
+                NvmeStatus::LbaOutOfRange,
+                NvmeStatus::InvalidPrp,
+                NvmeStatus::MediaError,
+            ] {
                 let c = NvmeCompletion { sq_head: 7, sq_id: 1, cid: 42, phase, status };
                 let parsed = NvmeCompletion::from_bytes(&c.to_bytes());
                 assert_eq!(parsed, c);
@@ -359,8 +374,12 @@ mod tests {
     fn status_codes_match_spec_values() {
         assert_eq!(NvmeStatus::Success.to_code(), 0);
         assert_eq!(NvmeStatus::LbaOutOfRange.to_code(), 0x80);
+        assert_eq!(NvmeStatus::MediaError.to_code(), 0x281);
+        assert_eq!(NvmeStatus::from_code(0x281), NvmeStatus::MediaError);
         assert!(NvmeStatus::Success.is_ok());
         assert!(!NvmeStatus::InvalidPrp.is_ok());
+        assert!(NvmeStatus::MediaError.is_retryable());
+        assert!(!NvmeStatus::LbaOutOfRange.is_retryable());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! hop while still creating back-pressure on busy links (documented in
 //! DESIGN.md). Data bytes move in [`PhysMemory`] at completion time.
 
-use dcs_sim::{Component, ComponentId, Ctx, Msg, SimTime};
+use dcs_sim::{fault, Component, ComponentId, Ctx, Msg, SimTime};
 
 use crate::addr::PhysAddr;
 use crate::config::PcieConfig;
@@ -135,7 +135,14 @@ impl PcieFabric {
             stats.counter("pcie.dma_ops").add(1);
             stats.counter("pcie.dma_bytes").add(req.len as u64);
         }
-        let delay = done - now;
+        let mut delay = done - now;
+        if fault::inject(ctx.world(), fault::PCIE_REPLAY).is_some() {
+            // Link-level transfer error: the data-link layer replays the
+            // TLPs transparently — no data loss, just a second pass of
+            // serialization charged to the transfer.
+            ctx.world().stats.counter("pcie.replays").add(1);
+            delay += service + self.config.hop_latency_ns;
+        }
         ctx.send_self_in(delay, DmaDone { req });
     }
 
@@ -166,6 +173,12 @@ impl PcieFabric {
             .owner_of(msi.addr)
             .unwrap_or_else(|| panic!("MSI to unclaimed address {}", msi.addr));
         ctx.world().stats.counter("pcie.msi").add(1);
+        if fault::inject(ctx.world(), fault::MSI_LOSS).is_some() {
+            // The interrupt write never lands; consumers recover by
+            // polling their completion structures on a timeout.
+            ctx.world().stats.counter("pcie.msi_lost").add(1);
+            return;
+        }
         ctx.send_in(self.config.msi_ns, owner, MsiDelivery { vector: msi.vector });
     }
 

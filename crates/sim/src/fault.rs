@@ -1,0 +1,324 @@
+//! Deterministic, seed-reproducible fault injection.
+//!
+//! A [`FaultPlan`] lives in the [`World`] and is consulted by injection
+//! sites spread across the device models (wire frame drop/corruption,
+//! flash media errors, PCIe link replays, MSI loss). Each site draws from
+//! its own RNG stream forked off the plan's master RNG at registration
+//! time, so the fault sequence a seed produces at one site is independent
+//! of event interleaving at other sites: the same seed replays the same
+//! faults, run after run, design after design.
+//!
+//! Sites are identified by name. A site not enabled in the plan never
+//! fires; a world without a plan is entirely fault-free and costs one
+//! resource lookup per eligible event.
+//!
+//! Recovery machinery (driver/engine timeouts, retries, watchdogs, poll
+//! fallbacks) keys off the plan's [`RecoveryConfig`] and is armed only
+//! while a plan is installed, so fault-free simulations schedule no extra
+//! events and reproduce the exact event streams they did before this
+//! module existed.
+
+use std::collections::BTreeMap;
+
+use crate::rng::Rng;
+use crate::world::World;
+
+/// How an enabled site misbehaves.
+#[derive(Clone, Debug)]
+pub enum FaultSpec {
+    /// Fire independently with this probability at each eligible event.
+    Probability(f64),
+    /// Fire exactly at these 0-based eligible-event indices at the site
+    /// (scheduled one-shot faults; indices need not be sorted).
+    Nth(Vec<u64>),
+}
+
+/// Per-site fault/recovery tallies (deterministic for a given seed).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SiteStats {
+    /// Faults injected at the site.
+    pub injected: u64,
+    /// Recovery actions that cured a fault observed at/attributed to the
+    /// site.
+    pub recovered: u64,
+    /// Faults whose retry budget ran out (surfaced as error completions).
+    pub exhausted: u64,
+    /// Retries attempted at the site.
+    pub retried: u64,
+}
+
+struct Site {
+    spec: FaultSpec,
+    rng: Rng,
+    /// Eligible events seen so far.
+    seen: u64,
+}
+
+/// Timeout/retry knobs the recovery machinery obeys while a plan is
+/// installed.
+#[derive(Clone, Debug)]
+pub struct RecoveryConfig {
+    /// NVMe command timeout before the driver polls the completion queue
+    /// (MSI-loss fallback) and, on silence, resubmits.
+    pub nvme_timeout_ns: u64,
+    /// Bounded NVMe retry budget (0 disables retries: a retryable status
+    /// or timeout immediately surfaces as an error completion).
+    pub nvme_retries: u32,
+    /// Initial NIC retransmission timeout; doubles per attempt
+    /// (exponential backoff).
+    pub nic_rto_ns: u64,
+    /// Bounded NIC retransmission budget (0 disables retransmission).
+    pub nic_retries: u32,
+    /// Engine scoreboard watchdog sweep period.
+    pub watchdog_period_ns: u64,
+    /// Age at which the watchdog considers a sub-op hung.
+    pub op_timeout_ns: u64,
+    /// Completion-ring / receive-ring poll fallback period (recovers lost
+    /// MSIs on paths without their own timers).
+    pub poll_period_ns: u64,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            nvme_timeout_ns: 5_000_000,
+            nvme_retries: 4,
+            nic_rto_ns: 1_000_000,
+            nic_retries: 8,
+            watchdog_period_ns: 1_000_000,
+            op_timeout_ns: 20_000_000,
+            poll_period_ns: 500_000,
+        }
+    }
+}
+
+impl RecoveryConfig {
+    /// A configuration with every retry budget at zero: faults surface as
+    /// error completions on first detection, and nothing is retransmitted
+    /// or resubmitted.
+    pub fn no_retries() -> RecoveryConfig {
+        RecoveryConfig { nvme_retries: 0, nic_retries: 0, ..RecoveryConfig::default() }
+    }
+}
+
+/// The deterministic fault plan (a [`World`] resource).
+pub struct FaultPlan {
+    master: Rng,
+    sites: BTreeMap<&'static str, Site>,
+    tallies: BTreeMap<&'static str, SiteStats>,
+    /// Recovery knobs honored while this plan is installed.
+    pub recovery: RecoveryConfig,
+}
+
+/// Frames silently dropped on the wire (delivery leg only; the sender's
+/// serialization still completes).
+pub const WIRE_DROP: &str = "wire.drop";
+/// Single-bit frame corruption on the wire, caught by the receiver's
+/// IP/TCP checksum validation.
+pub const WIRE_CORRUPT: &str = "wire.corrupt";
+/// Flash read media error: the SSD completes the command with a
+/// retryable media-error status instead of data.
+pub const NVME_MEDIA: &str = "nvme.media";
+/// PCIe link-level transfer error: the TLP is replayed transparently at
+/// added latency (data is never lost).
+pub const PCIE_REPLAY: &str = "pcie.replay";
+/// A message-signaled interrupt that never arrives.
+pub const MSI_LOSS: &str = "pcie.msi_loss";
+
+impl FaultPlan {
+    /// Every injection site the device models consult.
+    pub const SITES: [&'static str; 5] =
+        [WIRE_DROP, WIRE_CORRUPT, NVME_MEDIA, PCIE_REPLAY, MSI_LOSS];
+
+    /// Creates an empty plan drawing from `rng` (fork it off the world
+    /// RNG for seed reproducibility).
+    pub fn new(rng: Rng) -> FaultPlan {
+        FaultPlan {
+            master: rng,
+            sites: BTreeMap::new(),
+            tallies: BTreeMap::new(),
+            recovery: RecoveryConfig::default(),
+        }
+    }
+
+    /// Enables `site` with `spec`; the site gets its own RNG stream
+    /// forked from the plan's master RNG, so enabling order — not event
+    /// interleaving — determines each site's fault sequence.
+    pub fn enable(&mut self, site: &'static str, spec: FaultSpec) {
+        let rng = self.master.fork();
+        self.sites.insert(site, Site { spec, rng, seen: 0 });
+    }
+
+    /// Enables every known site at `rate` (the chaos-storm shape).
+    pub fn uniform(rate: f64, rng: Rng) -> FaultPlan {
+        let mut plan = FaultPlan::new(rng);
+        for site in Self::SITES {
+            plan.enable(site, FaultSpec::Probability(rate));
+        }
+        plan
+    }
+
+    /// Draws the fault decision for one eligible event at `site`; on a
+    /// hit, returns entropy for the site to shape the fault (corruption
+    /// position, etc.).
+    fn draw(&mut self, site: &'static str) -> Option<u64> {
+        let s = self.sites.get_mut(site)?;
+        let idx = s.seen;
+        s.seen += 1;
+        let hit = match &s.spec {
+            FaultSpec::Probability(p) => s.rng.gen_bool(*p),
+            FaultSpec::Nth(idxs) => idxs.contains(&idx),
+        };
+        if hit {
+            let entropy = s.rng.next_u64();
+            self.tallies.entry(site).or_default().injected += 1;
+            Some(entropy)
+        } else {
+            None
+        }
+    }
+
+    fn tally(&mut self, site: &'static str) -> &mut SiteStats {
+        self.tallies.entry(site).or_default()
+    }
+
+    /// Per-site fault/recovery tallies, in site-name order.
+    pub fn tallies(&self) -> impl Iterator<Item = (&'static str, SiteStats)> + '_ {
+        self.tallies.iter().map(|(k, v)| (*k, *v))
+    }
+}
+
+/// Should a fault fire at `site` for the current event? Counts one
+/// eligible event; `None` when no plan is installed, the site is not
+/// enabled, or the dice say no. On a hit, carries site-shaping entropy.
+pub fn inject(world: &mut World, site: &'static str) -> Option<u64> {
+    let hit = world.get_mut::<FaultPlan>()?.draw(site);
+    if hit.is_some() {
+        world.stats.counter("fault.injected").add(1);
+    }
+    hit
+}
+
+/// True while a fault plan is installed (recovery timers arm themselves
+/// only then, keeping fault-free runs event-identical to the pre-fault
+/// simulator).
+pub fn active(world: &World) -> bool {
+    world.get::<FaultPlan>().is_some()
+}
+
+/// The installed plan's recovery knobs, if any.
+pub fn recovery(world: &World) -> Option<RecoveryConfig> {
+    world.get::<FaultPlan>().map(|p| p.recovery.clone())
+}
+
+/// Records a retry attempt attributed to `site`.
+pub fn retried(world: &mut World, site: &'static str) {
+    world.stats.counter("retry.count").add(1);
+    if let Some(plan) = world.get_mut::<FaultPlan>() {
+        plan.tally(site).retried += 1;
+    }
+}
+
+/// Records a fault cured by recovery, attributed to `site`.
+pub fn recovered(world: &mut World, site: &'static str) {
+    world.stats.counter("fault.recovered").add(1);
+    if let Some(plan) = world.get_mut::<FaultPlan>() {
+        plan.tally(site).recovered += 1;
+    }
+}
+
+/// Records a fault whose retry budget ran out, attributed to `site`.
+pub fn exhausted(world: &mut World, site: &'static str) {
+    world.stats.counter("fault.exhausted").add(1);
+    if let Some(plan) = world.get_mut::<FaultPlan>() {
+        plan.tally(site).exhausted += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(plan: &mut FaultPlan, site: &'static str, n: usize) -> Vec<Option<u64>> {
+        (0..n).map(|_| plan.draw(site)).collect()
+    }
+
+    #[test]
+    fn same_seed_same_fault_sequence() {
+        let mut a = FaultPlan::uniform(0.05, Rng::new(42));
+        let mut b = FaultPlan::uniform(0.05, Rng::new(42));
+        for site in FaultPlan::SITES {
+            assert_eq!(drain(&mut a, site, 2_000), drain(&mut b, site, 2_000));
+        }
+        let ta: Vec<_> = a.tallies().collect();
+        let tb: Vec<_> = b.tallies().collect();
+        assert_eq!(ta, tb);
+        assert!(ta.iter().any(|(_, s)| s.injected > 0), "5% over 2000 draws must fire");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = FaultPlan::uniform(0.05, Rng::new(42));
+        let mut b = FaultPlan::uniform(0.05, Rng::new(43));
+        let sa: Vec<_> = FaultPlan::SITES
+            .iter()
+            .flat_map(|s| drain(&mut a, s, 2_000))
+            .collect();
+        let sb: Vec<_> = FaultPlan::SITES
+            .iter()
+            .flat_map(|s| drain(&mut b, s, 2_000))
+            .collect();
+        assert_ne!(sa, sb, "different seeds must yield different plans");
+    }
+
+    #[test]
+    fn sites_are_interleaving_independent() {
+        // Drawing sites round-robin or site-by-site yields the same
+        // per-site sequences: streams are forked per site.
+        let mut a = FaultPlan::uniform(0.1, Rng::new(7));
+        let mut b = FaultPlan::uniform(0.1, Rng::new(7));
+        let mut seq_a: BTreeMap<&str, Vec<Option<u64>>> = BTreeMap::new();
+        for _ in 0..500 {
+            for site in FaultPlan::SITES {
+                seq_a.entry(site).or_default().push(a.draw(site));
+            }
+        }
+        for site in FaultPlan::SITES {
+            assert_eq!(seq_a[site], drain(&mut b, site, 500));
+        }
+    }
+
+    #[test]
+    fn nth_fires_exactly_at_indices() {
+        let mut plan = FaultPlan::new(Rng::new(1));
+        plan.enable(NVME_MEDIA, FaultSpec::Nth(vec![0, 3]));
+        let hits: Vec<bool> =
+            drain(&mut plan, NVME_MEDIA, 6).into_iter().map(|h| h.is_some()).collect();
+        assert_eq!(hits, vec![true, false, false, true, false, false]);
+        // Un-enabled sites never fire.
+        assert!(drain(&mut plan, WIRE_DROP, 100).iter().all(|h| h.is_none()));
+    }
+
+    #[test]
+    fn world_helpers_count() {
+        let mut world = World::new(9);
+        assert!(inject(&mut world, WIRE_DROP).is_none(), "no plan, no faults");
+        assert!(!active(&world));
+        let rng = world.rng.fork();
+        world.insert(FaultPlan::uniform(1.0, rng));
+        assert!(active(&world));
+        assert!(inject(&mut world, WIRE_DROP).is_some(), "p=1 always fires");
+        retried(&mut world, "host.nvme");
+        recovered(&mut world, "host.nvme");
+        exhausted(&mut world, "host.nic");
+        assert_eq!(world.stats.counter_value("fault.injected"), 1);
+        assert_eq!(world.stats.counter_value("retry.count"), 1);
+        assert_eq!(world.stats.counter_value("fault.recovered"), 1);
+        assert_eq!(world.stats.counter_value("fault.exhausted"), 1);
+        let plan = world.expect::<FaultPlan>();
+        let t: BTreeMap<_, _> = plan.tallies().collect();
+        assert_eq!(t["host.nvme"].retried, 1);
+        assert_eq!(t["host.nvme"].recovered, 1);
+        assert_eq!(t["host.nic"].exhausted, 1);
+    }
+}

@@ -47,6 +47,7 @@
 pub mod component;
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -57,6 +58,7 @@ pub mod world;
 pub use component::{Component, ComponentId};
 pub use engine::{Ctx, Simulator};
 pub use event::{Msg, Payload};
+pub use fault::{FaultPlan, FaultSpec, RecoveryConfig};
 pub use queue::{FifoServer, ServerBank};
 pub use rng::Rng;
 pub use stats::{BusyTracker, Counter, Histogram};

@@ -1,86 +1,110 @@
-//! Property-based tests of the simulation kernel's invariants.
+//! Randomized property tests of the simulation kernel's invariants,
+//! driven by the deterministic in-repo [`Rng`] (the container builds
+//! offline, so no external property-testing framework is available).
 
 use dcs_sim::{time, Breakdown, Category, Component, Ctx, FifoServer, Msg, Rng, SimTime, Simulator};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// FIFO servers never travel back in time, conserve total service, and
-    /// serve work-conservingly.
-    #[test]
-    fn fifo_server_monotone(offers in proptest::collection::vec((0u64..1_000_000, 1u64..10_000), 1..200)) {
-        let mut server = FifoServer::new();
-        let mut offers = offers;
+/// FIFO servers never travel back in time, conserve total service, and
+/// serve work-conservingly.
+#[test]
+fn fifo_server_monotone() {
+    let mut rng = Rng::new(0x51_F1F0);
+    for _ in 0..128 {
+        let n = rng.gen_range(1..200) as usize;
+        let mut offers: Vec<(u64, u64)> = (0..n)
+            .map(|_| (rng.gen_range(0..1_000_000), rng.gen_range(1..10_000)))
+            .collect();
         offers.sort_by_key(|(t, _)| *t);
+        let mut server = FifoServer::new();
         let mut last_done = SimTime::ZERO;
         let mut total = 0;
         for (t, service) in offers {
             let done = server.offer(SimTime::from_nanos(t), service);
-            prop_assert!(done >= last_done, "completions are FIFO-ordered");
-            prop_assert!(done.as_nanos() >= t + service);
+            assert!(done >= last_done, "completions are FIFO-ordered");
+            assert!(done.as_nanos() >= t + service);
             last_done = done;
             total += service;
         }
-        prop_assert_eq!(server.busy_time(), total);
+        assert_eq!(server.busy_time(), total);
     }
+}
 
-    /// The RNG's range sampling stays in bounds and the exponential stays
-    /// positive.
-    #[test]
-    fn rng_bounds(seed in any::<u64>(), lo in 0u64..1_000, span in 1u64..1_000) {
+/// The RNG's range sampling stays in bounds and the exponential stays
+/// positive.
+#[test]
+fn rng_bounds() {
+    let mut meta = Rng::new(0x51_B07D);
+    for _ in 0..128 {
+        let seed = meta.next_u64();
+        let lo = meta.gen_range(0..1_000);
+        let span = meta.gen_range(1..1_000);
         let mut rng = Rng::new(seed);
         for _ in 0..100 {
             let v = rng.gen_range(lo..lo + span);
-            prop_assert!((lo..lo + span).contains(&v));
-            prop_assert!(rng.gen_exp(50.0) > 0.0);
+            assert!((lo..lo + span).contains(&v));
+            assert!(rng.gen_exp(50.0) > 0.0);
             let f = rng.gen_f64();
-            prop_assert!((0.0..1.0).contains(&f));
+            assert!((0.0..1.0).contains(&f));
         }
     }
+}
 
-    /// Breakdown merging is commutative and totals add.
-    #[test]
-    fn breakdown_merge(values in proptest::collection::vec((0usize..13, 0u64..1_000_000), 0..40)) {
-        let cats = Category::ALL;
+/// Breakdown merging is commutative and totals add.
+#[test]
+fn breakdown_merge() {
+    let mut rng = Rng::new(0x51_B12D);
+    let cats = Category::ALL;
+    for _ in 0..128 {
+        let n = rng.gen_range(0..40) as usize;
         let mut a = Breakdown::new();
         let mut b = Breakdown::new();
-        for (i, (c, v)) in values.iter().enumerate() {
-            if i % 2 == 0 { a.add(cats[*c], *v) } else { b.add(cats[*c], *v) };
+        for i in 0..n {
+            let c = rng.gen_range(0..cats.len() as u64) as usize;
+            let v = rng.gen_range(0..1_000_000);
+            if i % 2 == 0 {
+                a.add(cats[c], v);
+            } else {
+                b.add(cats[c], v);
+            }
         }
         let mut ab = a.clone();
         ab.merge(&b);
         let mut ba = b.clone();
         ba.merge(&a);
-        prop_assert_eq!(&ab, &ba);
-        prop_assert_eq!(ab.total(), a.total() + b.total());
+        assert_eq!(ab, ba);
+        assert_eq!(ab.total(), a.total() + b.total());
     }
+}
 
-    /// Event delivery is globally ordered by (time, schedule order): a
-    /// component observing its own inbox never sees time regress.
-    #[test]
-    fn event_ordering(delays in proptest::collection::vec(0u64..10_000, 1..100)) {
-        struct Watcher {
-            last: SimTime,
+/// Event delivery is globally ordered by (time, schedule order): a
+/// component observing its own inbox never sees time regress.
+#[test]
+fn event_ordering() {
+    struct Watcher {
+        last: SimTime,
+    }
+    #[derive(Debug)]
+    struct Tick;
+    impl Component for Watcher {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+            msg.downcast::<Tick>().expect("ticks only");
+            assert!(ctx.now() >= self.last, "time regressed");
+            self.last = ctx.now();
+            ctx.world().stats.counter("ticks").add(1);
         }
-        #[derive(Debug)]
-        struct Tick;
-        impl Component for Watcher {
-            fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
-                msg.downcast::<Tick>().expect("ticks only");
-                assert!(ctx.now() >= self.last, "time regressed");
-                self.last = ctx.now();
-                ctx.world().stats.counter("ticks").add(1);
-            }
-        }
+    }
+    let mut rng = Rng::new(0x51_02DE);
+    for _ in 0..64 {
+        let n = rng.gen_range(1..100) as usize;
+        let delays: Vec<u64> = (0..n).map(|_| rng.gen_range(0..10_000)).collect();
         let mut sim = Simulator::new(1);
         let w = sim.add("w", Watcher { last: SimTime::ZERO });
         for d in &delays {
             sim.schedule_at(SimTime::from_nanos(*d), w, Tick);
         }
         sim.run();
-        prop_assert_eq!(sim.world().stats.counter_value("ticks"), delays.len() as u64);
+        assert_eq!(sim.world().stats.counter_value("ticks"), delays.len() as u64);
         let max = delays.iter().max().copied().unwrap_or(0);
-        prop_assert_eq!(sim.now(), SimTime::ZERO + time::ns(max));
+        assert_eq!(sim.now(), SimTime::ZERO + time::ns(max));
     }
 }

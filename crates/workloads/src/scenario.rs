@@ -9,11 +9,11 @@ use std::collections::{BTreeMap, VecDeque};
 
 use dcs_core::{build_dcs_pair, DcsNodeBuilder};
 use dcs_host::cpu::{CpuJob, CpuJobDone, CpuStats};
-use dcs_host::job::{D2dDone, D2dJob};
+use dcs_host::job::{D2dDone, D2dJob, D2dOp};
 use dcs_host::{build_pair, HostNodeBuilder, SwDesign};
 use dcs_nic::WireConfig;
 use dcs_nvme::{NvmeConfig, NvmeHandle};
-use dcs_sim::{Component, ComponentId, Ctx, Msg, Rng, SimTime, Simulator};
+use dcs_sim::{Component, ComponentId, Ctx, FaultPlan, Msg, Rng, SimTime, Simulator};
 
 use crate::report::WorkloadReport;
 
@@ -77,6 +77,40 @@ pub struct Testbed {
     pub client: NodeRef,
     /// The design that was built.
     pub design: DesignUnderTest,
+    /// Lazily created completion-collector component (job harness).
+    harness: Option<ComponentId>,
+    next_job_id: u64,
+}
+
+/// Completions collected by the testbed's job harness, in delivery order.
+#[derive(Default, Debug)]
+pub struct JobInbox(pub Vec<D2dDone>);
+
+#[derive(Debug)]
+struct SubmitJob {
+    to: ComponentId,
+    job: D2dJob,
+}
+
+/// Collector component behind [`Testbed::run_one_job`]: forwards queued
+/// submissions and records every completion in the world's [`JobInbox`].
+struct JobApp;
+
+impl Component for JobApp {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        let msg = match msg.downcast::<SubmitJob>() {
+            Ok(SubmitJob { to, job }) => {
+                ctx.send_now(to, job);
+                return;
+            }
+            Err(m) => m,
+        };
+        let done = msg.downcast::<D2dDone>().expect("completions");
+        if ctx.world().get::<JobInbox>().is_none() {
+            ctx.world().insert(JobInbox::default());
+        }
+        ctx.world().expect_mut::<JobInbox>().0.push(done);
+    }
 }
 
 /// Device configuration shared by testbeds.
@@ -122,7 +156,7 @@ impl Testbed {
                     cores: nb.cores,
                     ssds: nb.ssds.clone(),
                 };
-                Testbed { sim, server, client, design }
+                Testbed { sim, server, client, design, harness: None, next_job_id: 1 }
             }
             other => {
                 let sw = match other {
@@ -150,9 +184,77 @@ impl Testbed {
                     cores: nb.cores,
                     ssds: nb.ssds.clone(),
                 };
-                Testbed { sim, server, client, design }
+                Testbed { sim, server, client, design, harness: None, next_job_id: 1 }
             }
         }
+    }
+
+    /// Installs a [`FaultPlan`] built from an RNG forked off the world's
+    /// master RNG: the same testbed seed reproduces the same fault
+    /// sequence. Call before submitting work.
+    pub fn install_faults(&mut self, build: impl FnOnce(Rng) -> FaultPlan) {
+        let rng = self.sim.world_mut().rng.fork();
+        let plan = build(rng);
+        self.sim.world_mut().insert(plan);
+    }
+
+    fn app(&mut self) -> ComponentId {
+        if let Some(a) = self.harness {
+            return a;
+        }
+        let a = self.sim.add("testbed-app", JobApp);
+        self.harness = Some(a);
+        a
+    }
+
+    /// Submits one job to the server node, runs the simulation to idle,
+    /// and returns its completion. The single-job harness shared by the
+    /// fault-injection and chaos integration tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation fails to drain or the job does not
+    /// complete exactly once.
+    pub fn run_one_job(&mut self, ops: Vec<D2dOp>) -> D2dDone {
+        let to = self.server.submit_to;
+        let mut done = self.run_job_batch(vec![(to, ops, "job")]);
+        assert_eq!(done.len(), 1, "{}: exactly one completion", self.design);
+        done.pop().expect("checked")
+    }
+
+    /// Submits a batch of `(submit_to, ops, tag)` jobs at once (ids are
+    /// assigned sequentially in batch order from the testbed's counter),
+    /// runs the simulation to idle, and returns the completions in
+    /// delivery order, asserting exactly one completion per job.
+    pub fn run_job_batch(
+        &mut self,
+        jobs: Vec<(ComponentId, Vec<D2dOp>, &'static str)>,
+    ) -> Vec<D2dDone> {
+        let app = self.app();
+        // Settle device bring-up (queue attach, ring config) first.
+        self.sim.run();
+        let mut ids = Vec::with_capacity(jobs.len());
+        for (to, ops, tag) in jobs {
+            let id = self.next_job_id;
+            self.next_job_id += 1;
+            ids.push(id);
+            let job = D2dJob { id, ops, reply_to: app, tag };
+            self.sim.kickoff(app, SubmitJob { to, job });
+        }
+        self.sim.run();
+        assert!(self.sim.is_idle(), "{}: simulation must drain", self.design);
+        let inbox = self.sim.world_mut().expect_mut::<JobInbox>();
+        let done = std::mem::take(&mut inbox.0);
+        for &id in &ids {
+            assert_eq!(
+                done.iter().filter(|d| d.id == id).count(),
+                1,
+                "{}: job {id} must complete exactly once",
+                self.design
+            );
+        }
+        assert_eq!(done.len(), ids.len(), "{}: no stray completions", self.design);
+        done
     }
 }
 

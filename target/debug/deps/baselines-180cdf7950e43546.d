@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines-180cdf7950e43546.d: crates/host/tests/baselines.rs
+
+/root/repo/target/debug/deps/baselines-180cdf7950e43546: crates/host/tests/baselines.rs
+
+crates/host/tests/baselines.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baselines-5503362236129851.d: crates/host/tests/baselines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines-5503362236129851.rmeta: crates/host/tests/baselines.rs Cargo.toml
+
+crates/host/tests/baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

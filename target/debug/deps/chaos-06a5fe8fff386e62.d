@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-06a5fe8fff386e62.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-06a5fe8fff386e62: tests/chaos.rs
+
+tests/chaos.rs:

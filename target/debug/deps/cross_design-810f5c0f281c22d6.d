@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_design-810f5c0f281c22d6.d: tests/cross_design.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_design-810f5c0f281c22d6.rmeta: tests/cross_design.rs Cargo.toml
+
+tests/cross_design.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_design-d3ac547c2740e45a.d: tests/cross_design.rs
+
+/root/repo/target/debug/deps/cross_design-d3ac547c2740e45a: tests/cross_design.rs
+
+tests/cross_design.rs:

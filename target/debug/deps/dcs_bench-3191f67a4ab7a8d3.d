@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/dcs_bench-3191f67a4ab7a8d3.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/faults.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig13.rs crates/bench/src/fig2.rs crates/bench/src/fig3.rs crates/bench/src/fig8.rs crates/bench/src/probe.rs crates/bench/src/table3.rs crates/bench/src/table4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcs_bench-3191f67a4ab7a8d3.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/faults.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig13.rs crates/bench/src/fig2.rs crates/bench/src/fig3.rs crates/bench/src/fig8.rs crates/bench/src/probe.rs crates/bench/src/table3.rs crates/bench/src/table4.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/faults.rs:
+crates/bench/src/fig11.rs:
+crates/bench/src/fig12.rs:
+crates/bench/src/fig13.rs:
+crates/bench/src/fig2.rs:
+crates/bench/src/fig3.rs:
+crates/bench/src/fig8.rs:
+crates/bench/src/probe.rs:
+crates/bench/src/table3.rs:
+crates/bench/src/table4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

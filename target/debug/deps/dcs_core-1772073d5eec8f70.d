@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dcs_core-1772073d5eec8f70.d: crates/core/src/lib.rs crates/core/src/buffers.rs crates/core/src/command.rs crates/core/src/driver.rs crates/core/src/engine.rs crates/core/src/lib_api.rs crates/core/src/ndp_unit.rs crates/core/src/node.rs crates/core/src/resources.rs crates/core/src/scoreboard.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcs_core-1772073d5eec8f70.rmeta: crates/core/src/lib.rs crates/core/src/buffers.rs crates/core/src/command.rs crates/core/src/driver.rs crates/core/src/engine.rs crates/core/src/lib_api.rs crates/core/src/ndp_unit.rs crates/core/src/node.rs crates/core/src/resources.rs crates/core/src/scoreboard.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/buffers.rs:
+crates/core/src/command.rs:
+crates/core/src/driver.rs:
+crates/core/src/engine.rs:
+crates/core/src/lib_api.rs:
+crates/core/src/ndp_unit.rs:
+crates/core/src/node.rs:
+crates/core/src/resources.rs:
+crates/core/src/scoreboard.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcs_ctrl-51a0eb9deae55f87.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcs_ctrl-51a0eb9deae55f87.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcs_ctrl-6bdae508e4c5ab53.d: src/lib.rs
+
+/root/repo/target/debug/deps/dcs_ctrl-6bdae508e4c5ab53: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcs_ctrl-b1c14938312eaee8.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdcs_ctrl-b1c14938312eaee8.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdcs_ctrl-b1c14938312eaee8.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcs_ctrl-c0101ffa61ba2b9a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdcs_ctrl-c0101ffa61ba2b9a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdcs_ctrl-c0101ffa61ba2b9a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcs_gpu-5bb0add33440b2c4.d: crates/gpu/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcs_gpu-5bb0add33440b2c4.rmeta: crates/gpu/src/lib.rs Cargo.toml
+
+crates/gpu/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

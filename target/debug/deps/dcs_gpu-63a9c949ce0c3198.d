@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcs_gpu-63a9c949ce0c3198.d: crates/gpu/src/lib.rs
+
+/root/repo/target/debug/deps/libdcs_gpu-63a9c949ce0c3198.rlib: crates/gpu/src/lib.rs
+
+/root/repo/target/debug/deps/libdcs_gpu-63a9c949ce0c3198.rmeta: crates/gpu/src/lib.rs
+
+crates/gpu/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcs_gpu-9d89ba69ce9dbcb2.d: crates/gpu/src/lib.rs
+
+/root/repo/target/debug/deps/dcs_gpu-9d89ba69ce9dbcb2: crates/gpu/src/lib.rs
+
+crates/gpu/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcs_gpu-ce77323144c284b7.d: crates/gpu/src/lib.rs
+
+/root/repo/target/debug/deps/libdcs_gpu-ce77323144c284b7.rlib: crates/gpu/src/lib.rs
+
+/root/repo/target/debug/deps/libdcs_gpu-ce77323144c284b7.rmeta: crates/gpu/src/lib.rs
+
+crates/gpu/src/lib.rs:

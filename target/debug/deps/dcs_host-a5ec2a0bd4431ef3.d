@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dcs_host-a5ec2a0bd4431ef3.d: crates/host/src/lib.rs crates/host/src/costs.rs crates/host/src/cpu.rs crates/host/src/executor.rs crates/host/src/gpu_driver.rs crates/host/src/integration.rs crates/host/src/job.rs crates/host/src/nic_driver.rs crates/host/src/node.rs crates/host/src/nvme_driver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcs_host-a5ec2a0bd4431ef3.rmeta: crates/host/src/lib.rs crates/host/src/costs.rs crates/host/src/cpu.rs crates/host/src/executor.rs crates/host/src/gpu_driver.rs crates/host/src/integration.rs crates/host/src/job.rs crates/host/src/nic_driver.rs crates/host/src/node.rs crates/host/src/nvme_driver.rs Cargo.toml
+
+crates/host/src/lib.rs:
+crates/host/src/costs.rs:
+crates/host/src/cpu.rs:
+crates/host/src/executor.rs:
+crates/host/src/gpu_driver.rs:
+crates/host/src/integration.rs:
+crates/host/src/job.rs:
+crates/host/src/nic_driver.rs:
+crates/host/src/node.rs:
+crates/host/src/nvme_driver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dcs_host-d2a4e72253aa803d.d: crates/host/src/lib.rs crates/host/src/costs.rs crates/host/src/cpu.rs crates/host/src/executor.rs crates/host/src/gpu_driver.rs crates/host/src/integration.rs crates/host/src/job.rs crates/host/src/nic_driver.rs crates/host/src/node.rs crates/host/src/nvme_driver.rs
+
+/root/repo/target/debug/deps/libdcs_host-d2a4e72253aa803d.rlib: crates/host/src/lib.rs crates/host/src/costs.rs crates/host/src/cpu.rs crates/host/src/executor.rs crates/host/src/gpu_driver.rs crates/host/src/integration.rs crates/host/src/job.rs crates/host/src/nic_driver.rs crates/host/src/node.rs crates/host/src/nvme_driver.rs
+
+/root/repo/target/debug/deps/libdcs_host-d2a4e72253aa803d.rmeta: crates/host/src/lib.rs crates/host/src/costs.rs crates/host/src/cpu.rs crates/host/src/executor.rs crates/host/src/gpu_driver.rs crates/host/src/integration.rs crates/host/src/job.rs crates/host/src/nic_driver.rs crates/host/src/node.rs crates/host/src/nvme_driver.rs
+
+crates/host/src/lib.rs:
+crates/host/src/costs.rs:
+crates/host/src/cpu.rs:
+crates/host/src/executor.rs:
+crates/host/src/gpu_driver.rs:
+crates/host/src/integration.rs:
+crates/host/src/job.rs:
+crates/host/src/nic_driver.rs:
+crates/host/src/node.rs:
+crates/host/src/nvme_driver.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dcs_ndp-4b8647585d82fcb1.d: crates/ndp/src/lib.rs crates/ndp/src/aes.rs crates/ndp/src/crc32.rs crates/ndp/src/deflate.rs crates/ndp/src/function.rs crates/ndp/src/md5.rs crates/ndp/src/sha1.rs crates/ndp/src/sha256.rs
+
+/root/repo/target/debug/deps/libdcs_ndp-4b8647585d82fcb1.rlib: crates/ndp/src/lib.rs crates/ndp/src/aes.rs crates/ndp/src/crc32.rs crates/ndp/src/deflate.rs crates/ndp/src/function.rs crates/ndp/src/md5.rs crates/ndp/src/sha1.rs crates/ndp/src/sha256.rs
+
+/root/repo/target/debug/deps/libdcs_ndp-4b8647585d82fcb1.rmeta: crates/ndp/src/lib.rs crates/ndp/src/aes.rs crates/ndp/src/crc32.rs crates/ndp/src/deflate.rs crates/ndp/src/function.rs crates/ndp/src/md5.rs crates/ndp/src/sha1.rs crates/ndp/src/sha256.rs
+
+crates/ndp/src/lib.rs:
+crates/ndp/src/aes.rs:
+crates/ndp/src/crc32.rs:
+crates/ndp/src/deflate.rs:
+crates/ndp/src/function.rs:
+crates/ndp/src/md5.rs:
+crates/ndp/src/sha1.rs:
+crates/ndp/src/sha256.rs:

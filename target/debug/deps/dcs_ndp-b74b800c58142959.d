@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dcs_ndp-b74b800c58142959.d: crates/ndp/src/lib.rs crates/ndp/src/aes.rs crates/ndp/src/crc32.rs crates/ndp/src/deflate.rs crates/ndp/src/function.rs crates/ndp/src/md5.rs crates/ndp/src/sha1.rs crates/ndp/src/sha256.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcs_ndp-b74b800c58142959.rmeta: crates/ndp/src/lib.rs crates/ndp/src/aes.rs crates/ndp/src/crc32.rs crates/ndp/src/deflate.rs crates/ndp/src/function.rs crates/ndp/src/md5.rs crates/ndp/src/sha1.rs crates/ndp/src/sha256.rs Cargo.toml
+
+crates/ndp/src/lib.rs:
+crates/ndp/src/aes.rs:
+crates/ndp/src/crc32.rs:
+crates/ndp/src/deflate.rs:
+crates/ndp/src/function.rs:
+crates/ndp/src/md5.rs:
+crates/ndp/src/sha1.rs:
+crates/ndp/src/sha256.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

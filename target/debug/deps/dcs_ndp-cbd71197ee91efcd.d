@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/dcs_ndp-cbd71197ee91efcd.d: crates/ndp/src/lib.rs crates/ndp/src/aes.rs crates/ndp/src/crc32.rs crates/ndp/src/deflate.rs crates/ndp/src/function.rs crates/ndp/src/md5.rs crates/ndp/src/sha1.rs crates/ndp/src/sha256.rs crates/ndp/src/../tests/data/dynamic.deflate crates/ndp/src/../tests/data/dynamic.raw crates/ndp/src/../tests/data/lorem.gz Cargo.toml
+
+/root/repo/target/debug/deps/libdcs_ndp-cbd71197ee91efcd.rmeta: crates/ndp/src/lib.rs crates/ndp/src/aes.rs crates/ndp/src/crc32.rs crates/ndp/src/deflate.rs crates/ndp/src/function.rs crates/ndp/src/md5.rs crates/ndp/src/sha1.rs crates/ndp/src/sha256.rs crates/ndp/src/../tests/data/dynamic.deflate crates/ndp/src/../tests/data/dynamic.raw crates/ndp/src/../tests/data/lorem.gz Cargo.toml
+
+crates/ndp/src/lib.rs:
+crates/ndp/src/aes.rs:
+crates/ndp/src/crc32.rs:
+crates/ndp/src/deflate.rs:
+crates/ndp/src/function.rs:
+crates/ndp/src/md5.rs:
+crates/ndp/src/sha1.rs:
+crates/ndp/src/sha256.rs:
+crates/ndp/src/../tests/data/dynamic.deflate:
+crates/ndp/src/../tests/data/dynamic.raw:
+crates/ndp/src/../tests/data/lorem.gz:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dcs_nic-03bee7a448a94ddd.d: crates/nic/src/lib.rs crates/nic/src/device.rs crates/nic/src/headers.rs crates/nic/src/ring.rs crates/nic/src/wire.rs
+
+/root/repo/target/debug/deps/libdcs_nic-03bee7a448a94ddd.rlib: crates/nic/src/lib.rs crates/nic/src/device.rs crates/nic/src/headers.rs crates/nic/src/ring.rs crates/nic/src/wire.rs
+
+/root/repo/target/debug/deps/libdcs_nic-03bee7a448a94ddd.rmeta: crates/nic/src/lib.rs crates/nic/src/device.rs crates/nic/src/headers.rs crates/nic/src/ring.rs crates/nic/src/wire.rs
+
+crates/nic/src/lib.rs:
+crates/nic/src/device.rs:
+crates/nic/src/headers.rs:
+crates/nic/src/ring.rs:
+crates/nic/src/wire.rs:

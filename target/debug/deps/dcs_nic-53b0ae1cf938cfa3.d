@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dcs_nic-53b0ae1cf938cfa3.d: crates/nic/src/lib.rs crates/nic/src/device.rs crates/nic/src/headers.rs crates/nic/src/ring.rs crates/nic/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcs_nic-53b0ae1cf938cfa3.rmeta: crates/nic/src/lib.rs crates/nic/src/device.rs crates/nic/src/headers.rs crates/nic/src/ring.rs crates/nic/src/wire.rs Cargo.toml
+
+crates/nic/src/lib.rs:
+crates/nic/src/device.rs:
+crates/nic/src/headers.rs:
+crates/nic/src/ring.rs:
+crates/nic/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

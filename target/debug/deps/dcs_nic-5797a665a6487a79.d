@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dcs_nic-5797a665a6487a79.d: crates/nic/src/lib.rs crates/nic/src/device.rs crates/nic/src/headers.rs crates/nic/src/ring.rs crates/nic/src/wire.rs
+
+/root/repo/target/debug/deps/libdcs_nic-5797a665a6487a79.rlib: crates/nic/src/lib.rs crates/nic/src/device.rs crates/nic/src/headers.rs crates/nic/src/ring.rs crates/nic/src/wire.rs
+
+/root/repo/target/debug/deps/libdcs_nic-5797a665a6487a79.rmeta: crates/nic/src/lib.rs crates/nic/src/device.rs crates/nic/src/headers.rs crates/nic/src/ring.rs crates/nic/src/wire.rs
+
+crates/nic/src/lib.rs:
+crates/nic/src/device.rs:
+crates/nic/src/headers.rs:
+crates/nic/src/ring.rs:
+crates/nic/src/wire.rs:

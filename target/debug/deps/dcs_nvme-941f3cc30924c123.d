@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dcs_nvme-941f3cc30924c123.d: crates/nvme/src/lib.rs crates/nvme/src/device.rs crates/nvme/src/queue.rs crates/nvme/src/spec.rs
+
+/root/repo/target/debug/deps/libdcs_nvme-941f3cc30924c123.rlib: crates/nvme/src/lib.rs crates/nvme/src/device.rs crates/nvme/src/queue.rs crates/nvme/src/spec.rs
+
+/root/repo/target/debug/deps/libdcs_nvme-941f3cc30924c123.rmeta: crates/nvme/src/lib.rs crates/nvme/src/device.rs crates/nvme/src/queue.rs crates/nvme/src/spec.rs
+
+crates/nvme/src/lib.rs:
+crates/nvme/src/device.rs:
+crates/nvme/src/queue.rs:
+crates/nvme/src/spec.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dcs_nvme-e6e7a32e2839d32d.d: crates/nvme/src/lib.rs crates/nvme/src/device.rs crates/nvme/src/queue.rs crates/nvme/src/spec.rs
+
+/root/repo/target/debug/deps/libdcs_nvme-e6e7a32e2839d32d.rlib: crates/nvme/src/lib.rs crates/nvme/src/device.rs crates/nvme/src/queue.rs crates/nvme/src/spec.rs
+
+/root/repo/target/debug/deps/libdcs_nvme-e6e7a32e2839d32d.rmeta: crates/nvme/src/lib.rs crates/nvme/src/device.rs crates/nvme/src/queue.rs crates/nvme/src/spec.rs
+
+crates/nvme/src/lib.rs:
+crates/nvme/src/device.rs:
+crates/nvme/src/queue.rs:
+crates/nvme/src/spec.rs:

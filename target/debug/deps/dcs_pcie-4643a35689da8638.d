@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dcs_pcie-4643a35689da8638.d: crates/pcie/src/lib.rs crates/pcie/src/addr.rs crates/pcie/src/config.rs crates/pcie/src/fabric.rs crates/pcie/src/mem.rs crates/pcie/src/routing.rs
+
+/root/repo/target/debug/deps/libdcs_pcie-4643a35689da8638.rlib: crates/pcie/src/lib.rs crates/pcie/src/addr.rs crates/pcie/src/config.rs crates/pcie/src/fabric.rs crates/pcie/src/mem.rs crates/pcie/src/routing.rs
+
+/root/repo/target/debug/deps/libdcs_pcie-4643a35689da8638.rmeta: crates/pcie/src/lib.rs crates/pcie/src/addr.rs crates/pcie/src/config.rs crates/pcie/src/fabric.rs crates/pcie/src/mem.rs crates/pcie/src/routing.rs
+
+crates/pcie/src/lib.rs:
+crates/pcie/src/addr.rs:
+crates/pcie/src/config.rs:
+crates/pcie/src/fabric.rs:
+crates/pcie/src/mem.rs:
+crates/pcie/src/routing.rs:

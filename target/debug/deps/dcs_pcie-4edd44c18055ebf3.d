@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dcs_pcie-4edd44c18055ebf3.d: crates/pcie/src/lib.rs crates/pcie/src/addr.rs crates/pcie/src/config.rs crates/pcie/src/fabric.rs crates/pcie/src/mem.rs crates/pcie/src/routing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcs_pcie-4edd44c18055ebf3.rmeta: crates/pcie/src/lib.rs crates/pcie/src/addr.rs crates/pcie/src/config.rs crates/pcie/src/fabric.rs crates/pcie/src/mem.rs crates/pcie/src/routing.rs Cargo.toml
+
+crates/pcie/src/lib.rs:
+crates/pcie/src/addr.rs:
+crates/pcie/src/config.rs:
+crates/pcie/src/fabric.rs:
+crates/pcie/src/mem.rs:
+crates/pcie/src/routing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dcs_pcie-c8d2c111aa9c5b84.d: crates/pcie/src/lib.rs crates/pcie/src/addr.rs crates/pcie/src/config.rs crates/pcie/src/fabric.rs crates/pcie/src/mem.rs crates/pcie/src/routing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcs_pcie-c8d2c111aa9c5b84.rmeta: crates/pcie/src/lib.rs crates/pcie/src/addr.rs crates/pcie/src/config.rs crates/pcie/src/fabric.rs crates/pcie/src/mem.rs crates/pcie/src/routing.rs Cargo.toml
+
+crates/pcie/src/lib.rs:
+crates/pcie/src/addr.rs:
+crates/pcie/src/config.rs:
+crates/pcie/src/fabric.rs:
+crates/pcie/src/mem.rs:
+crates/pcie/src/routing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

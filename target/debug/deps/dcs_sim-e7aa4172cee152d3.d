@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/dcs_sim-e7aa4172cee152d3.d: crates/sim/src/lib.rs crates/sim/src/component.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/fault.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs crates/sim/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcs_sim-e7aa4172cee152d3.rmeta: crates/sim/src/lib.rs crates/sim/src/component.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/fault.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs crates/sim/src/world.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/component.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/event.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:
+crates/sim/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

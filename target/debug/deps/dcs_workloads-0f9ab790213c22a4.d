@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dcs_workloads-0f9ab790213c22a4.d: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/hdfs.rs crates/workloads/src/projection.rs crates/workloads/src/report.rs crates/workloads/src/scenario.rs crates/workloads/src/swift.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcs_workloads-0f9ab790213c22a4.rmeta: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/hdfs.rs crates/workloads/src/projection.rs crates/workloads/src/report.rs crates/workloads/src/scenario.rs crates/workloads/src/swift.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/hdfs.rs:
+crates/workloads/src/projection.rs:
+crates/workloads/src/report.rs:
+crates/workloads/src/scenario.rs:
+crates/workloads/src/swift.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

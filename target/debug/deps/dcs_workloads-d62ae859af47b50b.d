@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dcs_workloads-d62ae859af47b50b.d: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/hdfs.rs crates/workloads/src/projection.rs crates/workloads/src/report.rs crates/workloads/src/scenario.rs crates/workloads/src/swift.rs
+
+/root/repo/target/debug/deps/libdcs_workloads-d62ae859af47b50b.rlib: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/hdfs.rs crates/workloads/src/projection.rs crates/workloads/src/report.rs crates/workloads/src/scenario.rs crates/workloads/src/swift.rs
+
+/root/repo/target/debug/deps/libdcs_workloads-d62ae859af47b50b.rmeta: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/hdfs.rs crates/workloads/src/projection.rs crates/workloads/src/report.rs crates/workloads/src/scenario.rs crates/workloads/src/swift.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/hdfs.rs:
+crates/workloads/src/projection.rs:
+crates/workloads/src/report.rs:
+crates/workloads/src/scenario.rs:
+crates/workloads/src/swift.rs:

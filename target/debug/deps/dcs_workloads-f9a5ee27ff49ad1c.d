@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dcs_workloads-f9a5ee27ff49ad1c.d: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/hdfs.rs crates/workloads/src/projection.rs crates/workloads/src/report.rs crates/workloads/src/scenario.rs crates/workloads/src/swift.rs
+
+/root/repo/target/debug/deps/libdcs_workloads-f9a5ee27ff49ad1c.rlib: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/hdfs.rs crates/workloads/src/projection.rs crates/workloads/src/report.rs crates/workloads/src/scenario.rs crates/workloads/src/swift.rs
+
+/root/repo/target/debug/deps/libdcs_workloads-f9a5ee27ff49ad1c.rmeta: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/hdfs.rs crates/workloads/src/projection.rs crates/workloads/src/report.rs crates/workloads/src/scenario.rs crates/workloads/src/swift.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/hdfs.rs:
+crates/workloads/src/projection.rs:
+crates/workloads/src/report.rs:
+crates/workloads/src/scenario.rs:
+crates/workloads/src/swift.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_e2e-8a6eddba01470558.d: crates/core/tests/engine_e2e.rs
+
+/root/repo/target/debug/deps/engine_e2e-8a6eddba01470558: crates/core/tests/engine_e2e.rs
+
+crates/core/tests/engine_e2e.rs:

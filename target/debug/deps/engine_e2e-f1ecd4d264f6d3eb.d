@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_e2e-f1ecd4d264f6d3eb.d: crates/core/tests/engine_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_e2e-f1ecd4d264f6d3eb.rmeta: crates/core/tests/engine_e2e.rs Cargo.toml
+
+crates/core/tests/engine_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

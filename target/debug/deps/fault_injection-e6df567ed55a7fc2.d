@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-e6df567ed55a7fc2.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-e6df567ed55a7fc2: tests/fault_injection.rs
+
+tests/fault_injection.rs:

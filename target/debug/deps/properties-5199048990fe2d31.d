@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-5199048990fe2d31.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-5199048990fe2d31: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-5cba1e6f38f9db85.d: crates/ndp/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-5cba1e6f38f9db85.rmeta: crates/ndp/tests/properties.rs Cargo.toml
+
+crates/ndp/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-79b5dbeb61742582.d: crates/ndp/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-79b5dbeb61742582: crates/ndp/tests/properties.rs
+
+crates/ndp/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-7b3718233f67d13d.d: crates/nic/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-7b3718233f67d13d: crates/nic/tests/properties.rs
+
+crates/nic/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d0b2e6d0428cac5e.d: crates/sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d0b2e6d0428cac5e: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

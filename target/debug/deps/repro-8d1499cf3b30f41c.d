@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-8d1499cf3b30f41c.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-8d1499cf3b30f41c: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

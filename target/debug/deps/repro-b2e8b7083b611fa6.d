@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-b2e8b7083b611fa6.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-b2e8b7083b611fa6: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

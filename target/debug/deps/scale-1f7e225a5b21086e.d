@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scale-1f7e225a5b21086e.d: tests/scale.rs
+
+/root/repo/target/debug/deps/scale-1f7e225a5b21086e: tests/scale.rs
+
+tests/scale.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/two_node-66ec26bf3749bfa2.d: crates/nic/tests/two_node.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtwo_node-66ec26bf3749bfa2.rmeta: crates/nic/tests/two_node.rs Cargo.toml
+
+crates/nic/tests/two_node.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

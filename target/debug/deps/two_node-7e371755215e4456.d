@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/two_node-7e371755215e4456.d: crates/nic/tests/two_node.rs
+
+/root/repo/target/debug/deps/two_node-7e371755215e4456: crates/nic/tests/two_node.rs
+
+crates/nic/tests/two_node.rs:

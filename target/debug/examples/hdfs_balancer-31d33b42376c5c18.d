@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hdfs_balancer-31d33b42376c5c18.d: examples/hdfs_balancer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhdfs_balancer-31d33b42376c5c18.rmeta: examples/hdfs_balancer.rs Cargo.toml
+
+examples/hdfs_balancer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hdfs_balancer-39bd1a005d872e6d.d: examples/hdfs_balancer.rs
+
+/root/repo/target/debug/examples/hdfs_balancer-39bd1a005d872e6d: examples/hdfs_balancer.rs
+
+examples/hdfs_balancer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/latency_anatomy-a97716028f454be1.d: examples/latency_anatomy.rs
+
+/root/repo/target/debug/examples/latency_anatomy-a97716028f454be1: examples/latency_anatomy.rs
+
+examples/latency_anatomy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/latency_anatomy-ffbf66d6b22bb272.d: examples/latency_anatomy.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblatency_anatomy-ffbf66d6b22bb272.rmeta: examples/latency_anatomy.rs Cargo.toml
+
+examples/latency_anatomy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

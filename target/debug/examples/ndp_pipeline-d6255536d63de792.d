@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ndp_pipeline-d6255536d63de792.d: examples/ndp_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libndp_pipeline-d6255536d63de792.rmeta: examples/ndp_pipeline.rs Cargo.toml
+
+examples/ndp_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ndp_pipeline-d9c21d66c7c73cc2.d: examples/ndp_pipeline.rs
+
+/root/repo/target/debug/examples/ndp_pipeline-d9c21d66c7c73cc2: examples/ndp_pipeline.rs
+
+examples/ndp_pipeline.rs:

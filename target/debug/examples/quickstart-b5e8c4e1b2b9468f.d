@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b5e8c4e1b2b9468f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b5e8c4e1b2b9468f: examples/quickstart.rs
+
+examples/quickstart.rs:

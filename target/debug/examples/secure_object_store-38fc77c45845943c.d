@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/secure_object_store-38fc77c45845943c.d: examples/secure_object_store.rs
+
+/root/repo/target/debug/examples/secure_object_store-38fc77c45845943c: examples/secure_object_store.rs
+
+examples/secure_object_store.rs:

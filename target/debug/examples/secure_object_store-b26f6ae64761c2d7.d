@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/secure_object_store-b26f6ae64761c2d7.d: examples/secure_object_store.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsecure_object_store-b26f6ae64761c2d7.rmeta: examples/secure_object_store.rs Cargo.toml
+
+examples/secure_object_store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dcs_ctrl-021512137c4c28be.d: src/lib.rs
+
+/root/repo/target/release/deps/libdcs_ctrl-021512137c4c28be.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdcs_ctrl-021512137c4c28be.rmeta: src/lib.rs
+
+src/lib.rs:

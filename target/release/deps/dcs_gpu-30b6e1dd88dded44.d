@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dcs_gpu-30b6e1dd88dded44.d: crates/gpu/src/lib.rs
+
+/root/repo/target/release/deps/libdcs_gpu-30b6e1dd88dded44.rlib: crates/gpu/src/lib.rs
+
+/root/repo/target/release/deps/libdcs_gpu-30b6e1dd88dded44.rmeta: crates/gpu/src/lib.rs
+
+crates/gpu/src/lib.rs:

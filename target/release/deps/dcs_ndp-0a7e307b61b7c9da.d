@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dcs_ndp-0a7e307b61b7c9da.d: crates/ndp/src/lib.rs crates/ndp/src/aes.rs crates/ndp/src/crc32.rs crates/ndp/src/deflate.rs crates/ndp/src/function.rs crates/ndp/src/md5.rs crates/ndp/src/sha1.rs crates/ndp/src/sha256.rs
+
+/root/repo/target/release/deps/libdcs_ndp-0a7e307b61b7c9da.rlib: crates/ndp/src/lib.rs crates/ndp/src/aes.rs crates/ndp/src/crc32.rs crates/ndp/src/deflate.rs crates/ndp/src/function.rs crates/ndp/src/md5.rs crates/ndp/src/sha1.rs crates/ndp/src/sha256.rs
+
+/root/repo/target/release/deps/libdcs_ndp-0a7e307b61b7c9da.rmeta: crates/ndp/src/lib.rs crates/ndp/src/aes.rs crates/ndp/src/crc32.rs crates/ndp/src/deflate.rs crates/ndp/src/function.rs crates/ndp/src/md5.rs crates/ndp/src/sha1.rs crates/ndp/src/sha256.rs
+
+crates/ndp/src/lib.rs:
+crates/ndp/src/aes.rs:
+crates/ndp/src/crc32.rs:
+crates/ndp/src/deflate.rs:
+crates/ndp/src/function.rs:
+crates/ndp/src/md5.rs:
+crates/ndp/src/sha1.rs:
+crates/ndp/src/sha256.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dcs_nic-ce30df9282521f40.d: crates/nic/src/lib.rs crates/nic/src/device.rs crates/nic/src/headers.rs crates/nic/src/ring.rs crates/nic/src/wire.rs
+
+/root/repo/target/release/deps/libdcs_nic-ce30df9282521f40.rlib: crates/nic/src/lib.rs crates/nic/src/device.rs crates/nic/src/headers.rs crates/nic/src/ring.rs crates/nic/src/wire.rs
+
+/root/repo/target/release/deps/libdcs_nic-ce30df9282521f40.rmeta: crates/nic/src/lib.rs crates/nic/src/device.rs crates/nic/src/headers.rs crates/nic/src/ring.rs crates/nic/src/wire.rs
+
+crates/nic/src/lib.rs:
+crates/nic/src/device.rs:
+crates/nic/src/headers.rs:
+crates/nic/src/ring.rs:
+crates/nic/src/wire.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dcs_nvme-ed7431320b756ede.d: crates/nvme/src/lib.rs crates/nvme/src/device.rs crates/nvme/src/queue.rs crates/nvme/src/spec.rs
+
+/root/repo/target/release/deps/libdcs_nvme-ed7431320b756ede.rlib: crates/nvme/src/lib.rs crates/nvme/src/device.rs crates/nvme/src/queue.rs crates/nvme/src/spec.rs
+
+/root/repo/target/release/deps/libdcs_nvme-ed7431320b756ede.rmeta: crates/nvme/src/lib.rs crates/nvme/src/device.rs crates/nvme/src/queue.rs crates/nvme/src/spec.rs
+
+crates/nvme/src/lib.rs:
+crates/nvme/src/device.rs:
+crates/nvme/src/queue.rs:
+crates/nvme/src/spec.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dcs_pcie-471226d6c3920a6e.d: crates/pcie/src/lib.rs crates/pcie/src/addr.rs crates/pcie/src/config.rs crates/pcie/src/fabric.rs crates/pcie/src/mem.rs crates/pcie/src/routing.rs
+
+/root/repo/target/release/deps/libdcs_pcie-471226d6c3920a6e.rlib: crates/pcie/src/lib.rs crates/pcie/src/addr.rs crates/pcie/src/config.rs crates/pcie/src/fabric.rs crates/pcie/src/mem.rs crates/pcie/src/routing.rs
+
+/root/repo/target/release/deps/libdcs_pcie-471226d6c3920a6e.rmeta: crates/pcie/src/lib.rs crates/pcie/src/addr.rs crates/pcie/src/config.rs crates/pcie/src/fabric.rs crates/pcie/src/mem.rs crates/pcie/src/routing.rs
+
+crates/pcie/src/lib.rs:
+crates/pcie/src/addr.rs:
+crates/pcie/src/config.rs:
+crates/pcie/src/fabric.rs:
+crates/pcie/src/mem.rs:
+crates/pcie/src/routing.rs:

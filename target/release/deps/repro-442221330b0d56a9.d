@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-442221330b0d56a9.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-442221330b0d56a9: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,63 +1,22 @@
 //! Failure-injection tests: malformed requests fail *cleanly* on every
 //! design — an error completion, no panic, no stuck simulation.
+//!
+//! Uses [`Testbed::run_one_job`], the same harness the chaos suite
+//! (`tests/chaos.rs`) drives with randomized fault storms.
 
-use dcs_ctrl::host::job::{D2dDone, D2dJob, D2dOp};
+use dcs_ctrl::host::job::D2dOp;
 use dcs_ctrl::ndp::NdpFunction;
 use dcs_ctrl::nic::TcpFlow;
-use dcs_ctrl::sim::{Component, ComponentId, Ctx, Msg};
 use dcs_ctrl::workloads::scenario::{DesignUnderTest, Testbed, TestbedConfig};
-
-#[derive(Default, Debug)]
-struct Inbox(Vec<D2dDone>);
-
-struct App;
-
-#[derive(Debug)]
-struct Submit {
-    to: ComponentId,
-    job: D2dJob,
-}
-
-impl Component for App {
-    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
-        let msg = match msg.downcast::<Submit>() {
-            Ok(Submit { to, job }) => {
-                ctx.send_now(to, job);
-                return;
-            }
-            Err(m) => m,
-        };
-        let done = msg.downcast::<D2dDone>().expect("completions");
-        if ctx.world().get::<Inbox>().is_none() {
-            ctx.world().insert(Inbox::default());
-        }
-        ctx.world().expect_mut::<Inbox>().0.push(done);
-    }
-}
-
-fn run_job(design: DesignUnderTest, ops: Vec<D2dOp>) -> D2dDone {
-    let mut tb = Testbed::new(design, &TestbedConfig::default());
-    let app = tb.sim.add("app", App);
-    tb.sim.run();
-    let job = D2dJob { id: 1, ops, reply_to: app, tag: "fault" };
-    tb.sim.kickoff(app, Submit { to: tb.server.submit_to, job });
-    tb.sim.run();
-    assert!(tb.sim.is_idle(), "{design}: simulation must drain");
-    let inbox = tb.sim.world().expect::<Inbox>();
-    assert_eq!(inbox.0.len(), 1, "{design}: exactly one completion");
-    inbox.0[0].clone()
-}
 
 #[test]
 fn out_of_range_lba_fails_cleanly_everywhere() {
     for design in [DesignUnderTest::SwOpt, DesignUnderTest::SwP2p, DesignUnderTest::DcsCtrl] {
-        let done = run_job(
-            design,
-            vec![
-                D2dOp::SsdRead { ssd: 0, lba: u64::MAX / 8192, len: 4096 },
-                D2dOp::NicSend { flow: TcpFlow::example(1, 2, 3, 4), seq: 0 },
-            ],
-        );
+        let mut tb = Testbed::new(design, &TestbedConfig::default());
+        let done = tb.run_one_job(vec![
+            D2dOp::SsdRead { ssd: 0, lba: u64::MAX / 8192, len: 4096 },
+            D2dOp::NicSend { flow: TcpFlow::example(1, 2, 3, 4), seq: 0 },
+        ]);
         assert!(!done.ok, "{design} must report the failure");
     }
 }
@@ -65,14 +24,12 @@ fn out_of_range_lba_fails_cleanly_everywhere() {
 #[test]
 fn malformed_aes_key_fails_cleanly_everywhere() {
     for design in [DesignUnderTest::SwOpt, DesignUnderTest::DcsCtrl] {
-        let done = run_job(
-            design,
-            vec![
-                D2dOp::SsdRead { ssd: 0, lba: 0, len: 4096 },
-                // 10 bytes instead of key‖nonce (48).
-                D2dOp::Process { function: NdpFunction::Aes256Encrypt, aux: vec![9; 10] },
-            ],
-        );
+        let mut tb = Testbed::new(design, &TestbedConfig::default());
+        let done = tb.run_one_job(vec![
+            D2dOp::SsdRead { ssd: 0, lba: 0, len: 4096 },
+            // 10 bytes instead of key‖nonce (48).
+            D2dOp::Process { function: NdpFunction::Aes256Encrypt, aux: vec![9; 10] },
+        ]);
         assert!(!done.ok, "{design} must reject the malformed key");
     }
 }
@@ -80,14 +37,12 @@ fn malformed_aes_key_fails_cleanly_everywhere() {
 #[test]
 fn undecodable_gzip_stream_fails_cleanly() {
     for design in [DesignUnderTest::SwOpt, DesignUnderTest::DcsCtrl] {
-        let done = run_job(
-            design,
-            vec![
-                // Flash reads as zeros here: not a gzip stream.
-                D2dOp::SsdRead { ssd: 0, lba: 0, len: 4096 },
-                D2dOp::Process { function: NdpFunction::GzipDecompress, aux: vec![] },
-            ],
-        );
+        let mut tb = Testbed::new(design, &TestbedConfig::default());
+        let done = tb.run_one_job(vec![
+            // Flash reads as zeros here: not a gzip stream.
+            D2dOp::SsdRead { ssd: 0, lba: 0, len: 4096 },
+            D2dOp::Process { function: NdpFunction::GzipDecompress, aux: vec![] },
+        ]);
         assert!(!done.ok, "{design} must surface the inflate error");
     }
 }
@@ -96,21 +51,14 @@ fn undecodable_gzip_stream_fails_cleanly() {
 fn pipeline_poisoning_skips_downstream_ops() {
     // The failing read must prevent the send: wire stays silent.
     let mut tb = Testbed::new(DesignUnderTest::DcsCtrl, &TestbedConfig::default());
-    let app = tb.sim.add("app", App);
-    tb.sim.run();
+    tb.sim.run(); // settle bring-up before sampling the frame counter
     let frames_before = tb.sim.world().stats.counter_value("wire.frames");
-    let job = D2dJob {
-        id: 1,
-        ops: vec![
-            D2dOp::SsdRead { ssd: 0, lba: u64::MAX / 8192, len: 4096 },
-            D2dOp::Process { function: NdpFunction::Md5, aux: vec![] },
-            D2dOp::NicSend { flow: TcpFlow::example(1, 2, 3, 4), seq: 0 },
-        ],
-        reply_to: app,
-        tag: "poison",
-    };
-    tb.sim.kickoff(app, Submit { to: tb.server.submit_to, job });
-    tb.sim.run();
+    let done = tb.run_one_job(vec![
+        D2dOp::SsdRead { ssd: 0, lba: u64::MAX / 8192, len: 4096 },
+        D2dOp::Process { function: NdpFunction::Md5, aux: vec![] },
+        D2dOp::NicSend { flow: TcpFlow::example(1, 2, 3, 4), seq: 0 },
+    ]);
+    assert!(!done.ok);
     assert_eq!(
         tb.sim.world().stats.counter_value("wire.frames"),
         frames_before,
@@ -123,32 +71,19 @@ fn failures_do_not_leak_engine_buffers() {
     // Submit a run of failing commands; the allocator must recover all
     // chunks (observable by a subsequent large success).
     let mut tb = Testbed::new(DesignUnderTest::DcsCtrl, &TestbedConfig::default());
-    let app = tb.sim.add("app", App);
-    tb.sim.run();
-    for i in 0..80u64 {
-        let job = D2dJob {
-            id: i,
-            ops: vec![D2dOp::SsdRead { ssd: 0, lba: u64::MAX / 8192, len: 1 << 20 }],
-            reply_to: app,
-            tag: "leak",
-        };
-        tb.sim.kickoff(app, Submit { to: tb.server.submit_to, job });
+    let to = tb.server.submit_to;
+    let batch: Vec<_> = (0..80)
+        .map(|_| {
+            (to, vec![D2dOp::SsdRead { ssd: 0, lba: u64::MAX / 8192, len: 1 << 20 }], "leak")
+        })
+        .collect();
+    for done in tb.run_job_batch(batch) {
+        assert!(!done.ok);
     }
-    tb.sim.run();
     // Now a large legitimate command must still find buffer space.
-    let job = D2dJob {
-        id: 1000,
-        ops: vec![
-            D2dOp::SsdRead { ssd: 0, lba: 0, len: 4 << 20 },
-            D2dOp::Process { function: NdpFunction::Crc32, aux: vec![] },
-        ],
-        reply_to: app,
-        tag: "after-leak",
-    };
-    tb.sim.kickoff(app, Submit { to: tb.server.submit_to, job });
-    tb.sim.run();
-    let inbox = tb.sim.world().expect::<Inbox>();
-    let last = inbox.0.last().expect("completion");
-    assert_eq!(last.id, 1000);
-    assert!(last.ok, "buffers must have been reclaimed");
+    let done = tb.run_one_job(vec![
+        D2dOp::SsdRead { ssd: 0, lba: 0, len: 4 << 20 },
+        D2dOp::Process { function: NdpFunction::Crc32, aux: vec![] },
+    ]);
+    assert!(done.ok, "buffers must have been reclaimed");
 }
