@@ -1,25 +1,49 @@
 //! `repro` — regenerate every table and figure of the DCS-ctrl paper.
 //!
 //! ```text
-//! repro [--quick] [all|fig2|fig3|fig8|fig11|fig12|fig13|table3|table4|ablation|faults]...
+//! repro [--quick] [all|fig2|fig3|fig8|fig11|fig12|fig13|table3|table4|ablation|faults|cluster]...
 //! ```
 //!
 //! With no experiment arguments, runs everything. `--quick` shortens the
 //! workload windows (useful for smoke runs; EXPERIMENTS.md numbers come
-//! from the full runs).
+//! from the full runs). Unknown experiment names are rejected up front —
+//! before anything runs — with the list of valid ones.
 
 use std::env;
+
+/// Every experiment, in presentation order.
+const EXPERIMENTS: [&str; 11] = [
+    "table3", "table4", "fig2", "fig3", "fig8", "fig11", "fig12", "fig13", "ablation", "faults",
+    "cluster",
+];
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let mut wanted: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
-    if wanted.is_empty() || wanted.contains(&"all") {
-        wanted = vec![
-            "table3", "table4", "fig2", "fig3", "fig8", "fig11", "fig12", "fig13", "ablation",
-            "faults",
-        ];
+    let requested: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+
+    // Validate everything before running anything: a typo at the end of
+    // the list must not cost a full sweep first.
+    let unknown: Vec<&str> = requested
+        .iter()
+        .copied()
+        .filter(|w| *w != "all" && !EXPERIMENTS.contains(w))
+        .collect();
+    if !unknown.is_empty() {
+        for u in &unknown {
+            eprintln!("unknown experiment: {u}");
+        }
+        eprintln!("valid experiments: all {}", EXPERIMENTS.join(" "));
+        std::process::exit(2);
     }
+
+    let wanted: Vec<&str> = if requested.is_empty() || requested.contains(&"all") {
+        EXPERIMENTS.to_vec()
+    } else {
+        requested
+    };
+
     println!("DCS-ctrl reproduction harness (quick={quick})");
     println!("==============================================\n");
     for w in wanted {
@@ -34,10 +58,8 @@ fn main() {
             "table4" => dcs_bench::table4::render(),
             "ablation" => dcs_bench::ablation::render(quick),
             "faults" => dcs_bench::faults::render(quick),
-            other => {
-                eprintln!("unknown experiment: {other}");
-                std::process::exit(2);
-            }
+            "cluster" => dcs_bench::cluster::render(quick),
+            other => unreachable!("validated above: {other}"),
         };
         println!("{out}");
         println!("----------------------------------------------\n");

@@ -1,0 +1,124 @@
+//! Extension experiment: the cluster sweep.
+//!
+//! Scales the paper's single-server question up one level: N DCS servers
+//! behind a modeled top-of-rack switch serving a Swift-style GET/PUT mix
+//! through a load-balancing front end (see `dcs-cluster`). Three panels:
+//!
+//! 1. **Scaling** — goodput and tails as the rack grows 1→8 nodes at a
+//!    fixed per-node offered load; goodput should scale near-linearly
+//!    because nodes share nothing but the (overprovisioned) uplink.
+//! 2. **Policy × load** — round-robin vs least-outstanding vs
+//!    join-shortest-queue at moderate-to-saturating offered load; the
+//!    queue-aware policies win on tails once queues form.
+//! 3. **Degraded node** — one node's port drops to a tenth of line rate
+//!    mid-run; JSQ reroutes around the backlog while oblivious
+//!    round-robin keeps feeding it.
+
+use dcs_cluster::{ClusterConfig, ClusterReport, Degrade, LbPolicy};
+
+/// Offered load per node for the scaling and degrade panels, Gbps.
+const BASE_GBPS: f64 = 6.0;
+
+/// Shared experiment shape; panels override nodes/policy/load/degrade.
+fn base_cfg(quick: bool) -> ClusterConfig {
+    // Request sojourn under load is ~10 ms (48-deep node pipelines), so
+    // the measured window must be several times that or completions in
+    // flight at the window edge dominate the tally.
+    ClusterConfig {
+        duration_ns: dcs_sim::time::ms(if quick { 12 } else { 60 }),
+        warmup_ns: dcs_sim::time::ms(if quick { 3 } else { 10 }),
+        ..ClusterConfig::default()
+    }
+}
+
+/// One scaling-panel run: `nodes` nodes under JSQ at the base per-node
+/// load.
+pub fn run_scale(nodes: usize, quick: bool) -> ClusterReport {
+    dcs_cluster::run_cluster(&ClusterConfig {
+        nodes,
+        policy: LbPolicy::JoinShortestQueue,
+        offered_gbps_per_node: BASE_GBPS,
+        ..base_cfg(quick)
+    })
+}
+
+/// One policy-panel run: 4 nodes under `policy` at `offered` Gbps/node.
+pub fn run_policy(policy: LbPolicy, offered: f64, quick: bool) -> ClusterReport {
+    dcs_cluster::run_cluster(&ClusterConfig {
+        nodes: 4,
+        policy,
+        offered_gbps_per_node: offered,
+        ..base_cfg(quick)
+    })
+}
+
+/// One degrade-panel run: 4 nodes at the base load; node 0's port drops
+/// to 10% of line rate once warm-up ends.
+pub fn run_degrade(policy: LbPolicy, quick: bool) -> ClusterReport {
+    let cfg = base_cfg(quick);
+    dcs_cluster::run_cluster(&ClusterConfig {
+        nodes: 4,
+        policy,
+        offered_gbps_per_node: BASE_GBPS,
+        degrade: Some(Degrade { node: 0, at_ns: cfg.warmup_ns, factor: 0.1 }),
+        ..cfg
+    })
+}
+
+/// Renders all three panels.
+pub fn render(quick: bool) -> String {
+    let mut out = String::from(
+        "Cluster sweep — N DCS-ctrl nodes behind a ToR switch, Swift-style GET/PUT mix\n\n",
+    );
+
+    out.push_str(&format!("  Scaling at {BASE_GBPS} Gbps/node offered, JSQ:\n"));
+    for nodes in [1usize, 2, 4, 8] {
+        let r = run_scale(nodes, quick);
+        out.push_str(&format!(
+            "    {nodes} node{} {}",
+            if nodes == 1 { " " } else { "s" },
+            r.render(""),
+        ));
+    }
+
+    // A node saturates near 7.5 Gbps served (the SSD→hash→NIC pipeline,
+    // not the 10G port, is the binding resource): ~50%, ~80%, and ~95%
+    // of that.
+    let loads = [3.5, 6.0, 7.0];
+    out.push_str("\n  Policy comparison, 4 nodes (offered Gbps/node → p50/p99/p999 us):\n");
+    for offered in loads {
+        for policy in LbPolicy::ALL {
+            let r = run_policy(policy, offered, quick);
+            out.push_str(&format!(
+                "    {offered:>4.1} {:<12} {:>6.2} Gbps  shed {:>4.1}%  {:>7.0}/{:>7.0}/{:>7.0} us  imb {:.2}\n",
+                policy.label(),
+                r.goodput_gbps(),
+                r.rejection_rate() * 100.0,
+                r.latency_us(50.0),
+                r.latency_us(99.0),
+                r.latency_us(99.9),
+                r.imbalance(),
+            ));
+        }
+    }
+
+    out.push_str(&format!(
+        "\n  Degraded node (node 0 at 10% port speed after warm-up), {BASE_GBPS} Gbps/node:\n"
+    ));
+    for policy in [LbPolicy::RoundRobin, LbPolicy::JoinShortestQueue] {
+        let r = run_degrade(policy, quick);
+        let degraded = &r.per_node[0];
+        let healthy: u64 =
+            r.per_node[1..].iter().map(|n| n.requests).sum::<u64>() / (r.per_node.len() - 1) as u64;
+        out.push_str(&format!(
+            "    {:<12} {:>6.2} Gbps  shed {:>4.1}%  p99 {:>7.0} us  node0 {:>4} reqs vs {:>4} avg healthy\n",
+            policy.label(),
+            r.goodput_gbps(),
+            r.rejection_rate() * 100.0,
+            r.latency_us(99.0),
+            degraded.requests,
+            healthy,
+        ));
+    }
+    out
+}

@@ -12,7 +12,7 @@ use dcs_host::job::D2dOp;
 use dcs_ndp::NdpFunction;
 use dcs_nic::TcpFlow;
 use dcs_pcie::PhysMemory;
-use dcs_sim::FaultPlan;
+use dcs_sim::{FaultPlan, Histogram};
 use dcs_workloads::scenario::{DesignUnderTest, Testbed, TestbedConfig};
 
 use crate::probe::FaultReport;
@@ -31,8 +31,8 @@ pub struct FaultRow {
     pub rounds: usize,
     /// Rounds where both the send and the receive job succeeded.
     pub ok_rounds: usize,
-    /// Simulated wall time of each successful round, ns (sorted).
-    pub ok_lat_ns: Vec<u64>,
+    /// Latency of successful rounds, ns.
+    pub ok_lat: Histogram,
     /// Global fault/recovery tallies at the end of the run.
     pub report: FaultReport,
 }
@@ -40,19 +40,13 @@ pub struct FaultRow {
 impl FaultRow {
     /// Mean latency of successful rounds, µs.
     pub fn mean_us(&self) -> f64 {
-        if self.ok_lat_ns.is_empty() {
-            return 0.0;
-        }
-        self.ok_lat_ns.iter().sum::<u64>() as f64 / self.ok_lat_ns.len() as f64 / 1000.0
+        self.ok_lat.mean().unwrap_or(0.0) / 1000.0
     }
 
     /// p99 latency of successful rounds, µs (the worst round at these
     /// sample counts).
     pub fn p99_us(&self) -> f64 {
-        match self.ok_lat_ns.len() {
-            0 => 0.0,
-            n => self.ok_lat_ns[(n * 99).div_ceil(100) - 1] as f64 / 1000.0,
-        }
+        self.ok_lat.p99().unwrap_or(0) as f64 / 1000.0
     }
 }
 
@@ -68,7 +62,7 @@ pub fn run(design: DesignUnderTest, rate: f64, rounds: usize) -> FaultRow {
         tb.install_faults(|rng| FaultPlan::uniform(rate, rng));
     }
     let mut ok_rounds = 0;
-    let mut ok_lat_ns = Vec::new();
+    let mut ok_lat = Histogram::new();
     for round in 0..rounds {
         let flow = TcpFlow::example(1, 2, 43_000 + round as u16, 7_000 + round as u16);
         let server = tb.server.submit_to;
@@ -93,16 +87,15 @@ pub fn run(design: DesignUnderTest, rate: f64, rounds: usize) -> FaultRow {
             // Round latency = the slower of the paired jobs (the drain
             // afterwards also retires recovery timers, which are not
             // part of the transfer).
-            ok_lat_ns.push(done.iter().map(|d| d.breakdown.total()).max().unwrap_or(0));
+            ok_lat.record(done.iter().map(|d| d.breakdown.total()).max().unwrap_or(0));
         }
     }
-    ok_lat_ns.sort_unstable();
     FaultRow {
         design,
         rate,
         rounds,
         ok_rounds,
-        ok_lat_ns,
+        ok_lat,
         report: FaultReport::capture(tb.sim.world()),
     }
 }

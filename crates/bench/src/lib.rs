@@ -18,8 +18,10 @@
 //! | [`table4`] | Table IV — HDC Engine resource utilization |
 //! | [`ablation`] | Extension: design-choice sweeps beyond the paper |
 //! | [`faults`] | Extension: fault-injection sweep (robustness, §7 of DESIGN.md) |
+//! | [`cluster`] | Extension: multi-node cluster sweep (§8 of DESIGN.md) |
 
 pub mod ablation;
+pub mod cluster;
 pub mod faults;
 pub mod fig11;
 pub mod fig12;

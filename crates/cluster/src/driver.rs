@@ -1,0 +1,579 @@
+//! The cluster front end: open-loop traffic generation, load balancing,
+//! admission control, and end-to-end measurement.
+//!
+//! One [`ClusterDriver`] component plays the role of the datacenter's
+//! front-end tier. It draws Poisson request arrivals scaled to the
+//! cluster's offered load, resolves each object through the consistent-
+//! hash [`HashRing`], lets the configured
+//! [`LbPolicy`] pick a replica, and pushes the request through the
+//! [`TorSwitch`] to the chosen node, where it runs as real simulated
+//! [`D2dJob`]s on that node's devices (SSD → MD5 → NIC for GETs, the
+//! reverse for PUTs — the same shapes as the Swift workload).
+//!
+//! Overload is handled at admission: each node serves at most
+//! `max_outstanding` requests with at most `queue_cap` more parked in a
+//! per-node FIFO; beyond that, requests are shed immediately. Shedding
+//! bounds every queue in the system, so p99 latency of *served* requests
+//! degrades gracefully instead of growing without bound as offered load
+//! passes saturation.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use dcs_host::cpu::{CpuJob, CpuJobDone, CpuStats};
+use dcs_host::job::{D2dDone, D2dJob, D2dOp};
+use dcs_ndp::NdpFunction;
+use dcs_nic::TcpFlow;
+use dcs_sim::{Component, Ctx, Histogram, Msg, Rng, SimTime};
+use dcs_workloads::gen::SizeDistribution;
+use dcs_workloads::scenario::NodeRef;
+
+use crate::policy::{LbPolicy, NodeLoad};
+use crate::report::{ClusterReport, NodePerf};
+use crate::shard::HashRing;
+use crate::switch::{SwitchConfig, TorSwitch};
+
+/// Bytes of a GET request on the wire (headers only).
+const GET_REQ_BYTES: usize = 512;
+/// Header overhead on a PUT request (the payload rides along).
+const PUT_REQ_OVERHEAD: usize = 512;
+/// Response overhead on a GET (headers + integrity digest).
+const GET_RESP_OVERHEAD: usize = 256;
+/// Bytes of a PUT acknowledgement.
+const PUT_ACK_BYTES: usize = 128;
+
+/// A mid-run node degradation: at `at_ns`, `node`'s switch port drops to
+/// `factor` of its line rate (a flapping cable / half-dead transceiver).
+/// Queue-aware policies reroute around it; round-robin keeps feeding it.
+#[derive(Clone, Copy, Debug)]
+pub struct Degrade {
+    /// Node to degrade.
+    pub node: usize,
+    /// When to degrade it (absolute simulation time, ns).
+    pub at_ns: u64,
+    /// Remaining fraction of port speed (e.g. 0.1).
+    pub factor: f64,
+}
+
+/// Full description of a cluster experiment.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of DCS server nodes.
+    pub nodes: usize,
+    /// Design each node runs (the HDC Engine, or a software baseline).
+    pub design: dcs_workloads::DesignUnderTest,
+    /// Load-balancing policy at the front end.
+    pub policy: LbPolicy,
+    /// Replica count per object (GETs choose among these).
+    pub replication: usize,
+    /// Virtual nodes per physical node on the hash ring.
+    pub vnodes_per_node: usize,
+    /// Size of the object-id space.
+    pub objects: u64,
+    /// Fraction of requests that are GETs.
+    pub get_fraction: f64,
+    /// Object-size distribution.
+    pub sizes: SizeDistribution,
+    /// Offered load per node, Gbps (cluster offered load is this × N).
+    pub offered_gbps_per_node: f64,
+    /// Total run length.
+    pub duration_ns: u64,
+    /// Warm-up trimmed from measurements.
+    pub warmup_ns: u64,
+    /// Per-node concurrent request limit (admission control).
+    pub max_outstanding: usize,
+    /// Per-node admission queue bound; beyond it requests are shed.
+    pub queue_cap: usize,
+    /// Top-of-rack switch provisioning.
+    pub switch: SwitchConfig,
+    /// Per-node testbed parameters (SSD count, node wire).
+    pub testbed: dcs_workloads::TestbedConfig,
+    /// Simulation seed (drives arrivals, sizes, and any fault plan).
+    pub seed: u64,
+    /// If positive, installs `FaultPlan::uniform(rate)` over every
+    /// injection site in every node before traffic starts.
+    pub fault_rate: f64,
+    /// Optional mid-run node degradation.
+    pub degrade: Option<Degrade>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 4,
+            design: dcs_workloads::DesignUnderTest::DcsCtrl,
+            policy: LbPolicy::JoinShortestQueue,
+            replication: 2,
+            // Placement spread shrinks like 1/sqrt(vnodes); 256 keeps the
+            // hottest node within ~10% of the mean, which matters because
+            // PUTs are pinned to primaries and cannot be rerouted.
+            vnodes_per_node: 256,
+            objects: 4096,
+            get_fraction: 0.67,
+            sizes: SizeDistribution::default(),
+            offered_gbps_per_node: 6.0,
+            duration_ns: dcs_sim::time::ms(30),
+            warmup_ns: dcs_sim::time::ms(5),
+            // The node pipeline (SSD → hash → NIC, 48-deep wire interleave)
+            // needs ~48 concurrent requests to reach line rate; the queue
+            // bound keeps worst-case sojourn a small multiple of service.
+            max_outstanding: 48,
+            queue_cap: 64,
+            switch: SwitchConfig::default(),
+            testbed: dcs_workloads::TestbedConfig::default(),
+            seed: 0xDC5C,
+            fault_rate: 0.0,
+            degrade: None,
+        }
+    }
+}
+
+/// The finished report, left in the world when the window closes.
+#[derive(Debug)]
+pub struct ClusterOutcome(pub ClusterReport);
+
+/// One cluster node as the front end sees it: the measured server and its
+/// rack-side access peer (the opposite end of the node's downlink wire).
+#[derive(Clone, Debug)]
+pub struct ClusterNode {
+    /// The DCS server.
+    pub server: NodeRef,
+    /// The access endpoint terminating the node's downlink at the rack.
+    pub access: NodeRef,
+}
+
+/// Kickoff event for the front end (sent once by
+/// [`build_cluster`](crate::build_cluster)).
+#[derive(Debug)]
+pub struct Start;
+#[derive(Debug)]
+struct Arrival;
+#[derive(Debug)]
+struct WarmupOver;
+#[derive(Debug)]
+struct WindowOver;
+#[derive(Debug)]
+struct DegradeNow;
+/// The request's bytes finished arriving at the node port: submit its jobs.
+#[derive(Debug)]
+struct Delivered {
+    req: u64,
+}
+/// The response's bytes finished arriving back at the front end.
+#[derive(Debug)]
+struct Response {
+    req: u64,
+}
+
+/// A generated request not yet dispatched (parked at admission).
+#[derive(Debug)]
+struct Pending {
+    object: u64,
+    len: usize,
+    is_get: bool,
+    arrival: SimTime,
+}
+
+/// A dispatched request.
+#[derive(Debug)]
+struct InFlight {
+    node: usize,
+    slot: usize,
+    len: usize,
+    is_get: bool,
+    arrival: SimTime,
+    object: u64,
+    pending_jobs: usize,
+    failed: bool,
+}
+
+/// The front-end component.
+pub struct ClusterDriver {
+    cfg: ClusterConfig,
+    nodes: Vec<ClusterNode>,
+    switch: TorSwitch,
+    ring: HashRing,
+    rng: Rng,
+    mean_interarrival_ns: f64,
+    // Admission state, indexed by node.
+    outstanding: Vec<usize>,
+    queues: Vec<VecDeque<Pending>>,
+    free_slots: Vec<Vec<usize>>,
+    rr_cursor: usize,
+    // Request tracking.
+    inflight: BTreeMap<u64, InFlight>,
+    job_to_req: BTreeMap<u64, u64>,
+    next_req: u64,
+    next_job_id: u64,
+    // Measurement.
+    measuring: bool,
+    window_closed: bool,
+    measure_start: SimTime,
+    latency: Histogram,
+    requests: u64,
+    bytes: u64,
+    rejected: u64,
+    failures: u64,
+    per_node: Vec<NodePerf>,
+}
+
+impl ClusterDriver {
+    /// Creates the front end over `nodes` (one entry per cluster node).
+    pub fn new(cfg: ClusterConfig, nodes: Vec<ClusterNode>, rng: Rng) -> ClusterDriver {
+        assert_eq!(cfg.nodes, nodes.len(), "node list must match config");
+        assert!(cfg.max_outstanding > 0, "admission needs at least one slot");
+        assert!(
+            cfg.sizes.max as u64 * 8 <= 4 << 30,
+            "object window sizing assumes objects of at most 512 MiB"
+        );
+        let n = nodes.len();
+        let switch = TorSwitch::new(n, cfg.switch.clone());
+        let ring = HashRing::new(n, cfg.vnodes_per_node, cfg.replication);
+        let mean_size = cfg.sizes.mean_estimate();
+        let total_gbps = cfg.offered_gbps_per_node * n as f64;
+        let mean_interarrival_ns = mean_size * 8.0 / total_gbps;
+        ClusterDriver {
+            switch,
+            ring,
+            rng,
+            mean_interarrival_ns,
+            outstanding: vec![0; n],
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            free_slots: (0..n).map(|_| (0..cfg.max_outstanding).rev().collect()).collect(),
+            rr_cursor: 0,
+            inflight: BTreeMap::new(),
+            job_to_req: BTreeMap::new(),
+            next_req: 1,
+            next_job_id: 1,
+            measuring: false,
+            window_closed: false,
+            measure_start: SimTime::ZERO,
+            latency: Histogram::new(),
+            requests: 0,
+            bytes: 0,
+            rejected: 0,
+            failures: 0,
+            per_node: vec![NodePerf::default(); n],
+            cfg,
+            nodes,
+        }
+    }
+
+    /// Maps an object to its LBA inside a node's flash window. GETs and
+    /// PUTs use disjoint 4 GiB windows so reads never race writes.
+    fn lba_for(&self, object: u64, is_get: bool) -> u64 {
+        let blocks_per_object = (self.cfg.sizes.max.div_ceil(4096)) as u64;
+        let window_blocks = (4u64 << 30) / 4096;
+        let slots = (window_blocks / blocks_per_object).max(1);
+        let base = if is_get { 0 } else { window_blocks };
+        base + (object % slots) * blocks_per_object
+    }
+
+    fn loads(&self) -> Vec<NodeLoad> {
+        self.outstanding
+            .iter()
+            .zip(&self.queues)
+            .map(|(&o, q)| NodeLoad { outstanding: o, queued: q.len() })
+            .collect()
+    }
+
+    /// One open-loop arrival: draw the request, pick a node, admit or
+    /// shed.
+    fn on_arrival(&mut self, ctx: &mut Ctx<'_>) {
+        let object = self.rng.gen_range(0..self.cfg.objects);
+        let len = self.cfg.sizes.sample(&mut self.rng);
+        let is_get = self.rng.gen_bool(self.cfg.get_fraction);
+        let candidates = if is_get {
+            self.ring.replicas(object)
+        } else {
+            vec![self.ring.primary(object)]
+        };
+        let loads = self.loads();
+        let node = self.cfg.policy.choose(&candidates, &loads, &mut self.rr_cursor);
+        let pend = Pending { object, len, is_get, arrival: ctx.now() };
+        if self.outstanding[node] < self.cfg.max_outstanding {
+            self.dispatch(ctx, node, pend);
+        } else if self.queues[node].len() < self.cfg.queue_cap {
+            self.queues[node].push_back(pend);
+        } else {
+            // Shed at the front end: bounded queues, graceful overload.
+            if self.measuring && !self.window_closed {
+                self.rejected += 1;
+                self.per_node[node].rejected += 1;
+            }
+            ctx.world().stats.counter("cluster.shed").add(1);
+        }
+    }
+
+    /// Sends a request's bytes through the switch toward `node`; its jobs
+    /// are submitted when the transfer completes.
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>, node: usize, pend: Pending) {
+        let slot = self.free_slots[node].pop().expect("outstanding < max implies a free slot");
+        self.outstanding[node] += 1;
+        let req = self.next_req;
+        self.next_req += 1;
+        self.inflight.insert(
+            req,
+            InFlight {
+                node,
+                slot,
+                len: pend.len,
+                is_get: pend.is_get,
+                arrival: pend.arrival,
+                object: pend.object,
+                pending_jobs: 0,
+                failed: false,
+            },
+        );
+        let wire_bytes =
+            if pend.is_get { GET_REQ_BYTES } else { pend.len + PUT_REQ_OVERHEAD };
+        let deliver = self.switch.to_node(ctx.now(), node, wire_bytes);
+        ctx.send_at(deliver, ctx.self_id(), Delivered { req });
+    }
+
+    /// The request reached the node: run it as real device jobs.
+    fn on_delivered(&mut self, ctx: &mut Ctx<'_>, req: u64) {
+        let (node, slot, len, is_get, object) = {
+            let r = self.inflight.get(&req).expect("delivered request is in flight");
+            (r.node, r.slot, r.len, r.is_get, r.object)
+        };
+        let lba = self.lba_for(object, is_get);
+        let server = &self.nodes[node].server;
+        let access = &self.nodes[node].access;
+        let reply_to = ctx.self_id();
+        let mut id = || {
+            let i = self.next_job_id;
+            self.next_job_id += 1;
+            i
+        };
+        let slot16 = u16::try_from(slot).expect("slot fits a port");
+        let jobs: Vec<(dcs_sim::ComponentId, D2dJob)> = if is_get {
+            // Server: flash → integrity hash → downlink. Access: receive.
+            let flow = TcpFlow::example(1, 2, 20_000 + slot16, 8_000 + slot16);
+            vec![
+                (
+                    access.submit_to,
+                    D2dJob {
+                        id: id(),
+                        ops: vec![D2dOp::NicRecv { flow: flow.reversed(), len }],
+                        reply_to,
+                        tag: "access",
+                    },
+                ),
+                (
+                    server.submit_to,
+                    D2dJob {
+                        id: id(),
+                        ops: vec![
+                            D2dOp::SsdRead { ssd: 0, lba, len },
+                            D2dOp::Process { function: NdpFunction::Md5, aux: vec![] },
+                            D2dOp::NicSend { flow, seq: 0 },
+                        ],
+                        reply_to,
+                        tag: "kernel-get",
+                    },
+                ),
+            ]
+        } else {
+            // Access streams the body down the node link; server receives,
+            // verifies, persists.
+            let flow = TcpFlow::example(2, 1, 30_000 + slot16, 8_100 + slot16);
+            vec![
+                (
+                    server.submit_to,
+                    D2dJob {
+                        id: id(),
+                        ops: vec![
+                            D2dOp::NicRecv { flow: flow.reversed(), len },
+                            D2dOp::Process { function: NdpFunction::Md5, aux: vec![] },
+                            D2dOp::SsdWrite { ssd: 0, lba },
+                        ],
+                        reply_to,
+                        tag: "kernel-put",
+                    },
+                ),
+                (
+                    access.submit_to,
+                    D2dJob {
+                        id: id(),
+                        ops: vec![
+                            D2dOp::SsdRead { ssd: 0, lba, len },
+                            D2dOp::NicSend { flow, seq: 0 },
+                        ],
+                        reply_to,
+                        tag: "access",
+                    },
+                ),
+            ]
+        };
+        // Front-end/application CPU work on the server (request parsing,
+        // HTTP), identical across designs.
+        ctx.send_now(
+            server.cpu,
+            CpuJob {
+                token: u64::MAX - req,
+                cost_ns: 80_000 + (len / 10) as u64,
+                tag: if is_get { "app-get" } else { "app-put" },
+                reply_to,
+            },
+        );
+        let r = self.inflight.get_mut(&req).expect("still in flight");
+        r.pending_jobs = jobs.len();
+        for (target, job) in jobs {
+            self.job_to_req.insert(job.id, req);
+            ctx.send_now(target, job);
+        }
+    }
+
+    fn on_job_done(&mut self, ctx: &mut Ctx<'_>, done: D2dDone) {
+        let req = self
+            .job_to_req
+            .remove(&done.id)
+            .unwrap_or_else(|| panic!("completion for unknown job {}", done.id));
+        let finished = {
+            let r = self.inflight.get_mut(&req).expect("live request");
+            r.pending_jobs -= 1;
+            r.failed |= !done.ok;
+            r.pending_jobs == 0
+        };
+        if !finished {
+            return;
+        }
+        // All jobs done: ship the response back up through the switch.
+        let (node, len, is_get) = {
+            let r = &self.inflight[&req];
+            (r.node, r.len, r.is_get)
+        };
+        let resp_bytes = if is_get { len + GET_RESP_OVERHEAD } else { PUT_ACK_BYTES };
+        let arrive = self.switch.to_frontend(ctx.now(), node, resp_bytes);
+        ctx.send_at(arrive, ctx.self_id(), Response { req });
+    }
+
+    fn on_response(&mut self, ctx: &mut Ctx<'_>, req: u64) {
+        let r = self.inflight.remove(&req).expect("responding request is in flight");
+        self.outstanding[r.node] -= 1;
+        self.free_slots[r.node].push(r.slot);
+        if self.measuring && !self.window_closed {
+            let perf = &mut self.per_node[r.node];
+            if r.failed {
+                self.failures += 1;
+                perf.failures += 1;
+            } else {
+                self.requests += 1;
+                self.bytes += r.len as u64;
+                perf.requests += 1;
+                perf.bytes += r.len as u64;
+                self.latency.record(ctx.now() - r.arrival);
+            }
+        }
+        // The freed slot can admit parked work.
+        if !self.window_closed {
+            if let Some(pend) = self.queues[r.node].pop_front() {
+                self.dispatch(ctx, r.node, pend);
+            }
+        }
+    }
+
+    fn close_window(&mut self, ctx: &mut Ctx<'_>) {
+        self.window_closed = true;
+        // Parked requests are abandoned: nothing was submitted for them.
+        for q in &mut self.queues {
+            q.clear();
+        }
+        let span = ctx.now() - self.measure_start;
+        let stats = ctx.world_ref().get::<CpuStats>();
+        for (i, node) in self.nodes.iter().enumerate() {
+            self.per_node[i].cpu_utilization = stats
+                .map(|s| s.utilization(&node.server.cpu_key, span))
+                .unwrap_or(0.0);
+        }
+        let report = ClusterReport {
+            span_ns: span,
+            requests: self.requests,
+            bytes: self.bytes,
+            rejected: self.rejected,
+            failures: self.failures,
+            latency: self.latency.clone(),
+            per_node: self.per_node.clone(),
+        };
+        ctx.world().insert(ClusterOutcome(report));
+    }
+}
+
+impl Component for ClusterDriver {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        let msg = match msg.downcast::<Start>() {
+            Ok(Start) => {
+                let gap = (self.rng.gen_exp(self.mean_interarrival_ns) as u64).max(1);
+                ctx.send_self_in(gap, Arrival);
+                ctx.send_self_in(self.cfg.warmup_ns, WarmupOver);
+                ctx.send_self_in(self.cfg.duration_ns, WindowOver);
+                if let Some(d) = self.cfg.degrade {
+                    assert!(d.node < self.nodes.len(), "degraded node out of range");
+                    ctx.send_self_in(d.at_ns, DegradeNow);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<Arrival>() {
+            Ok(Arrival) => {
+                if !self.window_closed {
+                    self.on_arrival(ctx);
+                    let gap = (self.rng.gen_exp(self.mean_interarrival_ns) as u64).max(1);
+                    ctx.send_self_in(gap, Arrival);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<WarmupOver>() {
+            Ok(WarmupOver) => {
+                self.measuring = true;
+                self.measure_start = ctx.now();
+                if let Some(stats) = ctx.world().get_mut::<CpuStats>() {
+                    stats.reset();
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<WindowOver>() {
+            Ok(WindowOver) => {
+                self.close_window(ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<DegradeNow>() {
+            Ok(DegradeNow) => {
+                let d = self.cfg.degrade.expect("DegradeNow only fires when configured");
+                self.switch.set_node_speed_factor(d.node, d.factor);
+                ctx.world().stats.counter("cluster.degraded").add(1);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<Delivered>() {
+            Ok(Delivered { req }) => {
+                self.on_delivered(ctx, req);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<Response>() {
+            Ok(Response { req }) => {
+                self.on_response(ctx, req);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<CpuJobDone>() {
+            Ok(_) => return, // application-charge completion: nothing to do
+            Err(m) => m,
+        };
+        match msg.downcast::<D2dDone>() {
+            Ok(done) => self.on_job_done(ctx, done),
+            Err(other) => panic!("ClusterDriver received unexpected message: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! # dcs-cluster — multi-node DCS serving over a simulated datacenter rack
+//!
+//! The paper evaluates DCS-ctrl on a single server; this crate scales the
+//! question up one level: *what does the HDC Engine buy a whole rack?* It
+//! instantiates N independent DCS server nodes — each a full host with its
+//! own PCIe fabric, NVMe SSDs, NIC, and HDC Engine (or a software-baseline
+//! stack), exactly the testbed `dcs-workloads` measures — inside one
+//! deterministic [`Simulator`] world, and joins them through a modeled
+//! top-of-rack switch ([`TorSwitch`]) with per-port serialization, fixed
+//! switching latency, and output queueing.
+//!
+//! In front of the rack sits a [`ClusterDriver`]: an open-loop traffic
+//! generator scaling the Swift-style GET/PUT mix to the cluster's offered
+//! load, a consistent-hash object shard map with R-way replication
+//! ([`HashRing`]), a pluggable load balancer ([`LbPolicy`]: round-robin,
+//! least-outstanding, join-shortest-queue over a GET's replica set), and
+//! per-node admission control (bounded outstanding + bounded queue, then
+//! shed) so overload degrades tail latency gracefully instead of
+//! collapsing.
+//!
+//! Everything composes with the fault layer from `dcs-sim`: a
+//! [`FaultPlan`] injects wire/flash/PCIe faults inside
+//! any node, and [`Degrade`] slows one node's switch port mid-run — the
+//! queue-aware policies observe the backlog and reroute, which is the
+//! cluster-level payoff the `repro cluster` sweep quantifies.
+//!
+//! ```
+//! use dcs_cluster::{run_cluster, ClusterConfig, LbPolicy};
+//!
+//! let report = run_cluster(&ClusterConfig {
+//!     nodes: 2,
+//!     policy: LbPolicy::JoinShortestQueue,
+//!     duration_ns: dcs_sim::time::ms(3),
+//!     warmup_ns: dcs_sim::time::ms(1),
+//!     ..ClusterConfig::default()
+//! });
+//! assert!(report.requests > 0);
+//! ```
+
+pub mod driver;
+pub mod policy;
+pub mod report;
+pub mod shard;
+pub mod switch;
+
+pub use driver::{ClusterConfig, ClusterDriver, ClusterNode, ClusterOutcome, Degrade};
+pub use policy::{LbPolicy, NodeLoad};
+pub use report::{ClusterReport, NodePerf};
+pub use shard::HashRing;
+pub use switch::{SwitchConfig, TorSwitch};
+
+use dcs_sim::{ComponentId, FaultPlan, Simulator};
+use dcs_workloads::build_testbed_nodes;
+
+/// A built (but not yet run) cluster.
+pub struct Cluster {
+    /// The simulator holding every node and the front end.
+    pub sim: Simulator,
+    /// The front-end driver component.
+    pub frontend: ComponentId,
+    /// The nodes, indexed consistently with the shard map and report.
+    pub nodes: Vec<ClusterNode>,
+}
+
+/// Builds the cluster: N server/access node pairs (named `n{i}` /
+/// `n{i}-fe`, which keys their CPU-stats pools), the optional fault plan,
+/// and the started front end. Device bring-up is settled before traffic
+/// begins.
+///
+/// # Panics
+///
+/// Panics if `cfg.nodes` is zero.
+pub fn build_cluster(cfg: &ClusterConfig) -> Cluster {
+    assert!(cfg.nodes > 0, "a cluster needs at least one node");
+    let mut sim = Simulator::new(cfg.seed);
+    let mut nodes = Vec::with_capacity(cfg.nodes);
+    for i in 0..cfg.nodes {
+        let (server, access) = build_testbed_nodes(
+            &mut sim,
+            cfg.design,
+            &cfg.testbed,
+            &format!("n{i}"),
+            &format!("n{i}-fe"),
+        );
+        nodes.push(ClusterNode { server, access });
+    }
+    // Settle bring-up (queue attach, ring config) before traffic starts.
+    sim.run();
+    if cfg.fault_rate > 0.0 {
+        let rng = sim.world_mut().rng.fork();
+        sim.world_mut().insert(FaultPlan::uniform(cfg.fault_rate, rng));
+    }
+    let rng = sim.world_mut().rng.fork();
+    let frontend =
+        sim.add("cluster-frontend", ClusterDriver::new(cfg.clone(), nodes.clone(), rng));
+    sim.kickoff(frontend, driver::Start);
+    Cluster { sim, frontend, nodes }
+}
+
+/// Builds the cluster, runs it to completion, and returns the measured
+/// report.
+///
+/// # Panics
+///
+/// Panics if the simulation fails to drain (a stuck request) or no report
+/// was produced.
+pub fn run_cluster(cfg: &ClusterConfig) -> ClusterReport {
+    let mut cluster = build_cluster(cfg);
+    cluster.sim.run();
+    assert!(cluster.sim.is_idle(), "cluster simulation must drain");
+    cluster
+        .sim
+        .world_mut()
+        .remove::<ClusterOutcome>()
+        .expect("cluster run leaves a report in the world")
+        .0
+}

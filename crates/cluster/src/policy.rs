@@ -1,0 +1,124 @@
+//! Pluggable load-balancing policies for the cluster front end.
+//!
+//! A policy picks one node out of a request's candidate set (the replica
+//! set for GETs; the primary alone for PUTs). Round-robin is oblivious;
+//! the queue-aware policies consult the front end's live per-node load
+//! view — outstanding dispatched requests, and for JSQ also the requests
+//! parked in each node's admission queue — which is how the cluster
+//! reroutes around hot or degraded nodes without any explicit failure
+//! signal.
+
+/// Per-node load as the front end sees it.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NodeLoad {
+    /// Requests dispatched to the node and not yet completed.
+    pub outstanding: usize,
+    /// Requests waiting in the node's admission queue at the front end.
+    pub queued: usize,
+}
+
+/// The policies the cluster sweep compares.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LbPolicy {
+    /// Rotate through candidates, ignoring load.
+    RoundRobin,
+    /// Candidate with the fewest dispatched-but-uncompleted requests.
+    LeastOutstanding,
+    /// Join-shortest-queue: candidate with the fewest total requests
+    /// (outstanding plus admission-queued).
+    JoinShortestQueue,
+}
+
+impl LbPolicy {
+    /// Every policy, in presentation order.
+    pub const ALL: [LbPolicy; 3] =
+        [LbPolicy::RoundRobin, LbPolicy::LeastOutstanding, LbPolicy::JoinShortestQueue];
+
+    /// Short table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            LbPolicy::RoundRobin => "round-robin",
+            LbPolicy::LeastOutstanding => "least-out",
+            LbPolicy::JoinShortestQueue => "jsq",
+        }
+    }
+
+    /// Picks the target node from `candidates`. `loads` is indexed by
+    /// node id; `cursor` advances on every round-robin pick. Ties go to
+    /// the candidate listed first (for GETs that is the primary replica),
+    /// keeping the choice deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty.
+    pub fn choose(self, candidates: &[usize], loads: &[NodeLoad], cursor: &mut usize) -> usize {
+        assert!(!candidates.is_empty(), "policy needs at least one candidate");
+        match self {
+            LbPolicy::RoundRobin => {
+                let pick = candidates[*cursor % candidates.len()];
+                *cursor = cursor.wrapping_add(1);
+                pick
+            }
+            LbPolicy::LeastOutstanding => *candidates
+                .iter()
+                .min_by_key(|&&n| loads[n].outstanding)
+                .expect("non-empty"),
+            LbPolicy::JoinShortestQueue => *candidates
+                .iter()
+                .min_by_key(|&&n| loads[n].outstanding + loads[n].queued)
+                .expect("non-empty"),
+        }
+    }
+}
+
+impl std::fmt::Display for LbPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loads(outstanding: &[usize], queued: &[usize]) -> Vec<NodeLoad> {
+        outstanding
+            .iter()
+            .zip(queued)
+            .map(|(&o, &q)| NodeLoad { outstanding: o, queued: q })
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_cycles_candidates() {
+        let l = loads(&[9, 0, 0], &[0, 0, 0]);
+        let mut cursor = 0;
+        let picks: Vec<usize> = (0..4)
+            .map(|_| LbPolicy::RoundRobin.choose(&[0, 2], &l, &mut cursor))
+            .collect();
+        // Oblivious: keeps picking the loaded node 0 in turn.
+        assert_eq!(picks, vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn least_outstanding_ignores_admission_queues() {
+        let l = loads(&[3, 5], &[100, 0]);
+        let mut cursor = 0;
+        assert_eq!(LbPolicy::LeastOutstanding.choose(&[0, 1], &l, &mut cursor), 0);
+    }
+
+    #[test]
+    fn jsq_counts_queued_work() {
+        let l = loads(&[3, 5], &[100, 0]);
+        let mut cursor = 0;
+        assert_eq!(LbPolicy::JoinShortestQueue.choose(&[0, 1], &l, &mut cursor), 1);
+    }
+
+    #[test]
+    fn ties_prefer_first_candidate() {
+        let l = loads(&[2, 2, 2], &[0, 0, 0]);
+        let mut cursor = 0;
+        assert_eq!(LbPolicy::LeastOutstanding.choose(&[1, 0, 2], &l, &mut cursor), 1);
+        assert_eq!(LbPolicy::JoinShortestQueue.choose(&[2, 1], &l, &mut cursor), 2);
+    }
+}

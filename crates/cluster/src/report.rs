@@ -1,0 +1,153 @@
+//! Measured outcome of a cluster run.
+
+use dcs_sim::Histogram;
+
+/// What one node contributed within the measurement window.
+#[derive(Clone, Debug, Default)]
+pub struct NodePerf {
+    /// Requests completed by the node.
+    pub requests: u64,
+    /// Payload bytes the node served.
+    pub bytes: u64,
+    /// Requests shed at admission (queue full).
+    pub rejected: u64,
+    /// Requests that completed with an error.
+    pub failures: u64,
+    /// Node CPU utilization (fraction of all cores) over the window.
+    pub cpu_utilization: f64,
+}
+
+/// Cluster-wide measurements over the (warm-up-trimmed) window.
+#[derive(Clone, Debug)]
+pub struct ClusterReport {
+    /// Measured span, ns.
+    pub span_ns: u64,
+    /// Requests completed cluster-wide.
+    pub requests: u64,
+    /// Payload bytes served cluster-wide (goodput numerator).
+    pub bytes: u64,
+    /// Requests shed at admission cluster-wide.
+    pub rejected: u64,
+    /// Requests completed with an error.
+    pub failures: u64,
+    /// End-to-end request latency (arrival at the front end to response
+    /// fully received back at the front end), ns.
+    pub latency: Histogram,
+    /// Per-node contributions, indexed by node id.
+    pub per_node: Vec<NodePerf>,
+}
+
+impl ClusterReport {
+    /// Served goodput in Gbps (completed, non-failed payload only).
+    pub fn goodput_gbps(&self) -> f64 {
+        if self.span_ns == 0 {
+            return 0.0;
+        }
+        self.bytes as f64 * 8.0 / self.span_ns as f64
+    }
+
+    /// Fraction of admitted-or-shed requests that were shed.
+    pub fn rejection_rate(&self) -> f64 {
+        let offered = self.requests + self.rejected + self.failures;
+        if offered == 0 {
+            return 0.0;
+        }
+        self.rejected as f64 / offered as f64
+    }
+
+    /// Imbalance of served bytes across nodes: max node over mean node
+    /// (1.0 = perfectly even). Zero-traffic runs report 1.0.
+    pub fn imbalance(&self) -> f64 {
+        if self.per_node.is_empty() || self.bytes == 0 {
+            return 1.0;
+        }
+        let max = self.per_node.iter().map(|n| n.bytes).max().unwrap_or(0) as f64;
+        let mean = self.bytes as f64 / self.per_node.len() as f64;
+        max / mean
+    }
+
+    /// A percentile of end-to-end latency in microseconds (0 if no
+    /// samples).
+    pub fn latency_us(&self, p: f64) -> f64 {
+        self.latency.percentile(p).unwrap_or(0) as f64 / 1000.0
+    }
+
+    /// Renders the report as an aligned block for the repro harness.
+    pub fn render(&self, label: &str) -> String {
+        let mut out = format!(
+            "{label}: {:.2} Gbps goodput, {} reqs, shed {:.1}%, p50/p99/p999 {:.0}/{:.0}/{:.0} us, imbalance {:.2}\n",
+            self.goodput_gbps(),
+            self.requests,
+            self.rejection_rate() * 100.0,
+            self.latency_us(50.0),
+            self.latency_us(99.0),
+            self.latency_us(99.9),
+            self.imbalance(),
+        );
+        for (i, n) in self.per_node.iter().enumerate() {
+            out.push_str(&format!(
+                "    node{i:<2} {:>6} reqs {:>8.2} Gbps {:>5} shed {:>3} fail  cpu {:>5.1}%\n",
+                n.requests,
+                n.bytes as f64 * 8.0 / self.span_ns.max(1) as f64,
+                n.rejected,
+                n.failures,
+                n.cpu_utilization * 100.0,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ClusterReport {
+        let mut latency = Histogram::new();
+        for v in [100_000u64, 200_000, 300_000, 4_000_000] {
+            latency.record(v);
+        }
+        ClusterReport {
+            span_ns: 1_000_000_000,
+            requests: 4,
+            bytes: 500_000_000,
+            rejected: 1,
+            failures: 0,
+            latency,
+            per_node: vec![
+                NodePerf { requests: 3, bytes: 400_000_000, ..Default::default() },
+                NodePerf { requests: 1, bytes: 100_000_000, ..Default::default() },
+            ],
+        }
+    }
+
+    #[test]
+    fn goodput_rejection_imbalance() {
+        let r = report();
+        assert!((r.goodput_gbps() - 4.0).abs() < 1e-9);
+        assert!((r.rejection_rate() - 0.2).abs() < 1e-9);
+        // max 400MB over mean 250MB.
+        assert!((r.imbalance() - 1.6).abs() < 1e-9);
+        assert!(r.latency_us(50.0) >= 200.0);
+        let text = r.render("test");
+        assert!(text.contains("4.00 Gbps"), "{text}");
+        assert!(text.contains("node0"), "{text}");
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = ClusterReport {
+            span_ns: 0,
+            requests: 0,
+            bytes: 0,
+            rejected: 0,
+            failures: 0,
+            latency: Histogram::new(),
+            per_node: vec![],
+        };
+        assert_eq!(r.goodput_gbps(), 0.0);
+        assert_eq!(r.rejection_rate(), 0.0);
+        assert_eq!(r.imbalance(), 1.0);
+        assert_eq!(r.latency_us(99.0), 0.0);
+    }
+}

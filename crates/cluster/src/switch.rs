@@ -1,0 +1,213 @@
+//! The modeled top-of-rack switch.
+//!
+//! A store-and-forward switch connecting the cluster front end (traffic
+//! generator + load balancer) to every node's rack port. Each direction of
+//! each port is a [`FifoServer`]: a frame crossing the switch serializes on
+//! the ingress port at that port's line rate, pays a fixed switching
+//! latency, then queues at the *output* port and serializes again at the
+//! output port's rate — classic output queueing, so a congested direction
+//! backs up exactly one queue while the reverse direction stays clean.
+//!
+//! The front-end port is typically provisioned much faster than the node
+//! ports (a 100 GbE uplink over 10 GbE downlinks) so response traffic from
+//! N nodes only contends at the uplink once offered load approaches the
+//! uplink rate. A per-node speed factor models a degraded cable/port
+//! mid-run (`set_node_speed_factor`); the load balancer's queue-aware
+//! policies observe the resulting backlog and route around it.
+//!
+//! Note the node-facing downlink *wire* (frames, retransmission, fault
+//! sites) is simulated in full by each node pair's `dcs-nic` wire; the
+//! switch model adds the rack-level hops that wire does not cover: the
+//! switching latency and the shared front-end uplink.
+
+use dcs_sim::{Bandwidth, FifoServer, SimTime};
+
+/// Switch provisioning.
+#[derive(Clone, Debug)]
+pub struct SwitchConfig {
+    /// Line rate of each node-facing port.
+    pub port_rate: Bandwidth,
+    /// Line rate of the front-end (load-balancer) uplink port.
+    pub uplink_rate: Bandwidth,
+    /// Fixed switching (forwarding + propagation) latency per traversal.
+    pub latency_ns: u64,
+    /// Per-frame framing overhead added to every transfer, in bytes.
+    pub frame_overhead: usize,
+}
+
+impl Default for SwitchConfig {
+    fn default() -> Self {
+        SwitchConfig {
+            port_rate: Bandwidth::gbps(10.0),
+            uplink_rate: Bandwidth::gbps(100.0),
+            latency_ns: 1_000,
+            frame_overhead: 24,
+        }
+    }
+}
+
+/// One full-duplex port: independent ingress/egress servers.
+#[derive(Clone, Debug, Default)]
+struct Port {
+    /// Traffic entering the switch through this port.
+    ingress: FifoServer,
+    /// Traffic leaving the switch through this port.
+    egress: FifoServer,
+}
+
+/// The output-queued top-of-rack switch. Deterministic and side-effect
+/// free: callers offer transfers and schedule simulator messages at the
+/// returned completion instants.
+#[derive(Clone, Debug)]
+pub struct TorSwitch {
+    cfg: SwitchConfig,
+    nodes: Vec<Port>,
+    uplink: Port,
+    /// Service-rate multiplier per node port (1.0 = healthy; smaller is
+    /// slower). Models a degraded port/cable.
+    speed_factor: Vec<f64>,
+}
+
+impl TorSwitch {
+    /// A switch with `nodes` node-facing ports plus the front-end uplink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn new(nodes: usize, cfg: SwitchConfig) -> TorSwitch {
+        assert!(nodes > 0, "a switch needs at least one node port");
+        TorSwitch {
+            cfg,
+            nodes: vec![Port::default(); nodes],
+            uplink: Port::default(),
+            speed_factor: vec![1.0; nodes],
+        }
+    }
+
+    /// Number of node-facing ports.
+    pub fn node_ports(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Degrades (or restores) node `node`'s port to `factor` of its line
+    /// rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive or `node` is out of range.
+    pub fn set_node_speed_factor(&mut self, node: usize, factor: f64) {
+        assert!(factor > 0.0, "speed factor must be positive");
+        self.speed_factor[node] = factor;
+    }
+
+    fn node_tx_time(&self, node: usize, bytes: usize) -> u64 {
+        let t = self.cfg.port_rate.transfer_time(bytes + self.cfg.frame_overhead);
+        ((t as f64 / self.speed_factor[node]).ceil() as u64).max(1)
+    }
+
+    fn uplink_tx_time(&self, bytes: usize) -> u64 {
+        self.cfg.uplink_rate.transfer_time(bytes + self.cfg.frame_overhead)
+    }
+
+    /// Offers a `bytes`-long transfer from the front end toward node
+    /// `node` at `now`; returns the instant it is fully delivered at the
+    /// node port.
+    pub fn to_node(&mut self, now: SimTime, node: usize, bytes: usize) -> SimTime {
+        let up = self.uplink_tx_time(bytes);
+        let switched = self.uplink.ingress.offer(now, up) + self.cfg.latency_ns;
+        let down = self.node_tx_time(node, bytes);
+        self.nodes[node].egress.offer(switched, down)
+    }
+
+    /// Offers a `bytes`-long transfer from node `node` toward the front
+    /// end at `now`; returns the instant it is fully delivered at the
+    /// front-end port.
+    pub fn to_frontend(&mut self, now: SimTime, node: usize, bytes: usize) -> SimTime {
+        let up = self.node_tx_time(node, bytes);
+        let switched = self.nodes[node].ingress.offer(now, up) + self.cfg.latency_ns;
+        let down = self.uplink_tx_time(bytes);
+        self.uplink.egress.offer(switched, down)
+    }
+
+    /// Busy time accumulated by node `node`'s port (both directions), ns.
+    pub fn node_busy_ns(&self, node: usize) -> u64 {
+        self.nodes[node].ingress.busy_time() + self.nodes[node].egress.busy_time()
+    }
+
+    /// Busy time accumulated by the uplink (both directions), ns.
+    pub fn uplink_busy_ns(&self) -> u64 {
+        self.uplink.ingress.busy_time() + self.uplink.egress.busy_time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SwitchConfig {
+        SwitchConfig {
+            port_rate: Bandwidth::gbps(10.0),
+            uplink_rate: Bandwidth::gbps(100.0),
+            latency_ns: 1_000,
+            frame_overhead: 0,
+        }
+    }
+
+    #[test]
+    fn single_transfer_pays_both_ports_plus_latency() {
+        let mut sw = TorSwitch::new(2, cfg());
+        // 1250 bytes: 100ns at 100G ingress, 1000ns at 10G egress.
+        let done = sw.to_node(SimTime::ZERO, 0, 1250);
+        assert_eq!(done.as_nanos(), 100 + 1_000 + 1_000);
+    }
+
+    #[test]
+    fn output_queueing_backs_up_the_shared_output_port() {
+        let mut sw = TorSwitch::new(2, cfg());
+        // Two responses from different nodes contend only at the uplink
+        // egress: each serializes on its own node port in parallel.
+        let a = sw.to_frontend(SimTime::ZERO, 0, 12_500); // 10us up, 1us down
+        let b = sw.to_frontend(SimTime::ZERO, 1, 12_500);
+        assert_eq!(a.as_nanos(), 10_000 + 1_000 + 1_000);
+        // b's node serialization overlaps a's; only the uplink is shared.
+        assert_eq!(b.as_nanos(), 10_000 + 1_000 + 2 * 1_000);
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut sw = TorSwitch::new(1, cfg());
+        let big = 125_000; // 100us on the node port
+        let down = sw.to_node(SimTime::ZERO, 0, big);
+        let up = sw.to_frontend(SimTime::ZERO, 0, 1250);
+        // The response direction is unaffected by the loaded downlink.
+        assert!(up < down, "full duplex: {up:?} vs {down:?}");
+    }
+
+    #[test]
+    fn degraded_port_slows_only_that_node() {
+        let mut sw = TorSwitch::new(2, cfg());
+        sw.set_node_speed_factor(0, 0.1);
+        let slow = sw.to_node(SimTime::ZERO, 0, 1250);
+        let fast = sw.to_node(SimTime::ZERO, 1, 1250);
+        assert!(slow.as_nanos() > fast.as_nanos() * 5, "{slow:?} vs {fast:?}");
+        // Restoring brings it back.
+        sw.set_node_speed_factor(0, 1.0);
+        let healed = sw.to_node(slow, 0, 1250);
+        assert_eq!(healed - slow, 100 + 1_000 + 1_000);
+    }
+
+    #[test]
+    fn busy_accounting_accumulates() {
+        let mut sw = TorSwitch::new(1, cfg());
+        sw.to_node(SimTime::ZERO, 0, 1250);
+        sw.to_frontend(SimTime::ZERO, 0, 1250);
+        assert_eq!(sw.node_busy_ns(0), 2_000);
+        assert_eq!(sw.uplink_busy_ns(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_port_switch_rejected() {
+        let _ = TorSwitch::new(0, cfg());
+    }
+}

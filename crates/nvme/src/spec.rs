@@ -1,5 +1,5 @@
 //! NVMe wire-format structures (NVM Express 1.2, the revision the paper
-//! cites as [40]).
+//! cites as \[40\]).
 //!
 //! Commands and completions serialize to their real on-the-wire layouts and
 //! are written into / parsed out of simulated memory, so the HDC Engine's

@@ -149,16 +149,28 @@ impl BusyTracker {
     }
 }
 
-/// A latency histogram with power-of-two buckets plus exact min/max/mean.
+/// Sub-bucket resolution of [`Histogram`]: each power-of-two octave is
+/// split into `2^SUB_BITS` linear sub-buckets, bounding the relative
+/// quantization error of any reported quantile to `2^-SUB_BITS` (≈3.1%).
+const SUB_BITS: u32 = 5;
+const SUB: usize = 1 << SUB_BITS;
+/// Values below `SUB` get one exact bucket each; above, 32 sub-buckets per
+/// octave for the remaining 59 octaves of the u64 range.
+const BUCKETS: usize = (64 - SUB_BITS as usize - 1) * SUB + SUB;
+
+/// A latency histogram with log-linear buckets plus exact min/max/mean.
+///
+/// Buckets are exact below 32 and split every power-of-two octave into 32
+/// linear sub-buckets above, so any quantile is reported within a 1/32
+/// (≈3.1%) relative error bound of the true sample — tight enough to
+/// compare tail latencies across load-balancing policies.
 #[derive(Clone, Debug)]
 pub struct Histogram {
     count: u64,
     sum: u128,
     min: u64,
     max: u64,
-    /// `buckets[i]` counts samples with `floor(log2(v)) == i` (v=0 goes to
-    /// bucket 0).
-    buckets: [u64; 64],
+    buckets: Vec<u64>,
 }
 
 impl Default for Histogram {
@@ -167,10 +179,35 @@ impl Default for Histogram {
     }
 }
 
+/// The bucket a value lands in.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let shift = msb - SUB_BITS;
+        // (v >> shift) is in [SUB, 2*SUB): the linear sub-bucket plus SUB.
+        (msb - SUB_BITS) as usize * SUB + (v >> shift) as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `idx` (every sample in the bucket is
+/// ≤ this, and > this minus the bucket width).
+#[inline]
+fn bucket_bound(idx: usize) -> u64 {
+    if idx < 2 * SUB {
+        idx as u64
+    } else {
+        let shift = (idx / SUB - 1) as u32;
+        (((idx % SUB + SUB + 1) as u64) << shift) - 1
+    }
+}
+
 impl Histogram {
     /// An empty histogram.
     pub fn new() -> Self {
-        Histogram { count: 0, sum: 0, min: u64::MAX, max: 0, buckets: [0; 64] }
+        Histogram { count: 0, sum: 0, min: u64::MAX, max: 0, buckets: vec![0; BUCKETS] }
     }
 
     /// Records one sample (e.g. a request latency in nanoseconds).
@@ -179,8 +216,7 @@ impl Histogram {
         self.sum += value as u128;
         self.min = self.min.min(value);
         self.max = self.max.max(value);
-        let bucket = if value == 0 { 0 } else { 63 - value.leading_zeros() as usize };
-        self.buckets[bucket] += 1;
+        self.buckets[bucket_index(value)] += 1;
     }
 
     /// Number of recorded samples.
@@ -207,7 +243,10 @@ impl Histogram {
         (self.count > 0).then_some(self.max)
     }
 
-    /// Approximate quantile (bucket upper bound containing the q-quantile).
+    /// Approximate quantile: the upper bound of the bucket holding the
+    /// `ceil(q·count)`-th smallest sample, clamped to the observed max.
+    /// The result `r` brackets the exact sample `e` as
+    /// `e ≤ r ≤ e·(1 + 2⁻⁵) + 1`.
     ///
     /// # Panics
     ///
@@ -222,12 +261,53 @@ impl Histogram {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= target {
-                // Upper bound of bucket i, clamped to the observed max.
-                let ub = if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
-                return Some(ub.min(self.max));
+                return Some(bucket_bound(i).min(self.max));
             }
         }
         Some(self.max)
+    }
+
+    /// [`Histogram::quantile`] with `p` expressed in percent (`p99` is
+    /// `percentile(99.0)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        self.quantile(p / 100.0)
+    }
+
+    /// The median (50th percentile).
+    pub fn p50(&self) -> Option<u64> {
+        self.percentile(50.0)
+    }
+
+    /// The 90th percentile.
+    pub fn p90(&self) -> Option<u64> {
+        self.percentile(90.0)
+    }
+
+    /// The 99th percentile.
+    pub fn p99(&self) -> Option<u64> {
+        self.percentile(99.0)
+    }
+
+    /// The 99.9th percentile.
+    pub fn p999(&self) -> Option<u64> {
+        self.percentile(99.9)
+    }
+
+    /// Merges another histogram into this one (aggregating per-node tail
+    /// latencies into a cluster-wide distribution).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
     }
 }
 
@@ -310,6 +390,86 @@ mod tests {
         h.record(0);
         assert_eq!(h.min(), Some(0));
         assert_eq!(h.quantile(0.5), Some(0));
+    }
+
+    #[test]
+    fn bucket_bounds_invert_bucket_index() {
+        // Every bucket's upper bound must land back in that bucket, and the
+        // next value must not.
+        for v in [0u64, 1, 31, 32, 33, 63, 64, 100, 1023, 1024, 1 << 20, u64::MAX >> 1] {
+            let idx = bucket_index(v);
+            let ub = bucket_bound(idx);
+            assert!(ub >= v, "bound {ub} below member {v}");
+            assert_eq!(bucket_index(ub), idx, "bound {ub} left bucket of {v}");
+            if ub < u64::MAX {
+                assert!(bucket_index(ub + 1) > idx, "bucket of {v} unbounded at {ub}");
+            }
+        }
+    }
+
+    /// The documented exactness bound: `percentile(p)` returns a value `r`
+    /// with `e ≤ r ≤ e·(1 + 2⁻⁵) + 1` where `e` is the exact sample at
+    /// that rank.
+    #[test]
+    fn percentile_exactness_bounds() {
+        let mut h = Histogram::new();
+        // Deterministic pseudo-random samples spanning several octaves.
+        let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut samples = Vec::new();
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = (x >> 33) % 5_000_000;
+            samples.push(v);
+            h.record(v);
+        }
+        samples.sort_unstable();
+        for p in [0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+            let rank = ((samples.len() as f64 * p / 100.0).ceil() as usize)
+                .clamp(1, samples.len());
+            let exact = samples[rank - 1];
+            let approx = h.percentile(p).unwrap();
+            assert!(approx >= exact, "p{p}: {approx} < exact {exact}");
+            let limit = exact + exact / 32 + 1;
+            assert!(approx <= limit, "p{p}: {approx} > bound {limit} (exact {exact})");
+        }
+    }
+
+    #[test]
+    fn percentile_accessors_are_ordered() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1000);
+        }
+        let (p50, p90, p99, p999) =
+            (h.p50().unwrap(), h.p90().unwrap(), h.p99().unwrap(), h.p999().unwrap());
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= p999, "{p50} {p90} {p99} {p999}");
+        // Within the 1/32 bound of the exact ranks.
+        assert!((500_000..=500_000 + 500_000 / 32 + 1).contains(&p50), "{p50}");
+        assert!((1_000_000..=1_000_000 + 1_000_000 / 32 + 1).contains(&p999), "{p999}");
+        assert_eq!(h.percentile(100.0), Some(1_000_000));
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [3u64, 700, 41_000, 9] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [88u64, 123_456_789] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        assert_eq!(a.mean(), all.mean());
+        for p in [10.0, 50.0, 99.0] {
+            assert_eq!(a.percentile(p), all.percentile(p));
+        }
     }
 
     /// `utilization` is also exercised with `SimTime`-derived spans.

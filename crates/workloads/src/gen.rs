@@ -3,7 +3,7 @@
 //!
 //! §V-C1: "To model a realistic user behavior, we generate user requests
 //! with the parameters (e.g., PUT/GET ratio, file size distribution) in
-//! [42] obtained from the real-world data-serving service. We also use
+//! \[42\] obtained from the real-world data-serving service. We also use
 //! the Poisson process to model request arrivals."
 
 use dcs_sim::Rng;
@@ -124,5 +124,60 @@ mod tests {
         let m = d.mean_estimate();
         assert!(m > 100_000.0 && m < 400_000.0, "{m}");
         assert_eq!(m, d.mean_estimate(), "deterministic");
+    }
+
+    #[test]
+    fn poisson_gaps_are_exponential_not_just_right_on_average() {
+        // An exponential distribution has CV = 1 and P(X < mean) = 1 - 1/e.
+        // Catching either off guards against a generator that hits the
+        // mean with the wrong shape (e.g. uniform or constant gaps).
+        let mean = 25_000.0;
+        let mut p = PoissonArrivals::new(mean, Rng::new(11));
+        let n = 40_000;
+        let gaps: Vec<f64> = (0..n).map(|_| p.next_gap() as f64).collect();
+        let m = gaps.iter().sum::<f64>() / n as f64;
+        let var = gaps.iter().map(|g| (g - m) * (g - m)).sum::<f64>() / n as f64;
+        let cv = var.sqrt() / m;
+        assert!((cv - 1.0).abs() < 0.03, "coefficient of variation {cv}");
+        let below = gaps.iter().filter(|&&g| g < mean).count() as f64 / n as f64;
+        let expect = 1.0 - (-1.0f64).exp();
+        assert!((below - expect).abs() < 0.01, "P(gap<mean) {below} vs {expect}");
+    }
+
+    #[test]
+    fn size_sample_mean_matches_clamped_lognormal_analytics() {
+        // For the unclamped lognormal, E[X] = exp(mu + sigma^2/2). Clamping
+        // to [min, max] and block-rounding shifts that; bound the sampled
+        // mean between the clamp floor's effect and the analytic mean, and
+        // require run-to-run agreement under the same seed.
+        let d = SizeDistribution::default();
+        let unclamped_mean = (d.mu + d.sigma * d.sigma / 2.0).exp();
+        let n = 40_000;
+        let mut rng = Rng::new(12);
+        let mean =
+            (0..n).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        // The max clamp only cuts the mean; block alignment adds < 4 KiB.
+        assert!(
+            mean < unclamped_mean + 4096.0,
+            "sampled {mean} above analytic unclamped {unclamped_mean}"
+        );
+        // The clamp cannot cut the Dropbox-like mix below half its
+        // analytic mean (most mass is far from the 1 MiB cap).
+        assert!(mean > unclamped_mean / 2.0, "sampled {mean} vs {unclamped_mean}");
+        let mut rng2 = Rng::new(12);
+        let mean2 =
+            (0..n).map(|_| d.sample(&mut rng2) as f64).sum::<f64>() / n as f64;
+        assert_eq!(mean, mean2, "same seed, same mean");
+    }
+
+    #[test]
+    fn wider_sigma_fattens_the_tail() {
+        let narrow = SizeDistribution { sigma: 0.4, ..SizeDistribution::default() };
+        let wide = SizeDistribution { sigma: 1.4, ..SizeDistribution::default() };
+        let count_max = |d: &SizeDistribution, seed| {
+            let mut rng = Rng::new(seed);
+            (0..20_000).filter(|_| d.sample(&mut rng) >= d.max).count()
+        };
+        assert!(count_max(&wide, 13) > 10 * count_max(&narrow, 13).max(1));
     }
 }

@@ -5,7 +5,7 @@
 //! * **OpenStack Swift** (§V-C1): an object store whose PUT/GET requests
 //!   carry an MD5 integrity check. Requests follow a Poisson arrival
 //!   process; object sizes follow the Dropbox-derived distribution of
-//!   Drago et al. [42].
+//!   Drago et al. \[42\].
 //! * **HDFS balancer** (§V-C2): a sender streams blocks off its SSD to a
 //!   receiver, which CRC32-checks and stores them.
 //!
@@ -26,5 +26,5 @@ pub use gen::{PoissonArrivals, SizeDistribution};
 pub use hdfs::{run_hdfs, HdfsConfig};
 pub use projection::{project, ProjectionInput, ProjectionPoint, ProjectionResult};
 pub use report::WorkloadReport;
-pub use scenario::{DesignUnderTest, Testbed};
+pub use scenario::{build_testbed_nodes, DesignUnderTest, NodeRef, Testbed, TestbedConfig};
 pub use swift::{run_swift, SwiftConfig};

@@ -130,63 +130,79 @@ impl Default for TestbedConfig {
     }
 }
 
+/// Builds one server/client node pair for `design` into an existing
+/// simulator, under caller-chosen node names (which key the CPU-stats
+/// pools, so they must be unique within the simulation). This is the
+/// building block behind [`Testbed::new`] and the multi-node clusters of
+/// `dcs-cluster`, which instantiate many pairs in one deterministic world.
+pub fn build_testbed_nodes(
+    sim: &mut Simulator,
+    design: DesignUnderTest,
+    cfg: &TestbedConfig,
+    server_name: &str,
+    client_name: &str,
+) -> (NodeRef, NodeRef) {
+    let ssds = vec![NvmeConfig::default(); cfg.ssds_per_node];
+    match design {
+        DesignUnderTest::DcsCtrl => {
+            let mut a = DcsNodeBuilder::new(server_name);
+            a.ssds = ssds.clone();
+            let mut b = DcsNodeBuilder::new(client_name);
+            b.ssds = ssds;
+            let (na, nb) = build_dcs_pair(sim, &a, &b, cfg.wire.clone());
+            let server = NodeRef {
+                submit_to: na.driver,
+                cpu: na.cpu,
+                cpu_key: na.name.clone(),
+                cores: na.cores,
+                ssds: na.ssds.clone(),
+            };
+            let client = NodeRef {
+                submit_to: nb.driver,
+                cpu: nb.cpu,
+                cpu_key: nb.name.clone(),
+                cores: nb.cores,
+                ssds: nb.ssds.clone(),
+            };
+            (server, client)
+        }
+        other => {
+            let sw = match other {
+                DesignUnderTest::Linux => SwDesign::Linux,
+                DesignUnderTest::SwOpt => SwDesign::SwOpt,
+                DesignUnderTest::SwP2p => SwDesign::SwP2p,
+                DesignUnderTest::DcsCtrl => unreachable!(),
+            };
+            let mut a = HostNodeBuilder::new(server_name, sw);
+            a.ssds = ssds.clone();
+            let mut b = HostNodeBuilder::new(client_name, sw);
+            b.ssds = ssds;
+            let (na, nb) = build_pair(sim, &a, &b, cfg.wire.clone());
+            let server = NodeRef {
+                submit_to: na.executor,
+                cpu: na.cpu,
+                cpu_key: na.name.clone(),
+                cores: na.cores,
+                ssds: na.ssds.clone(),
+            };
+            let client = NodeRef {
+                submit_to: nb.executor,
+                cpu: nb.cpu,
+                cpu_key: nb.name.clone(),
+                cores: nb.cores,
+                ssds: nb.ssds.clone(),
+            };
+            (server, client)
+        }
+    }
+}
+
 impl Testbed {
     /// Builds the two-node testbed for `design`.
     pub fn new(design: DesignUnderTest, cfg: &TestbedConfig) -> Testbed {
         let mut sim = Simulator::new(cfg.seed);
-        let ssds = vec![NvmeConfig::default(); cfg.ssds_per_node];
-        match design {
-            DesignUnderTest::DcsCtrl => {
-                let mut a = DcsNodeBuilder::new("server");
-                a.ssds = ssds.clone();
-                let mut b = DcsNodeBuilder::new("client");
-                b.ssds = ssds;
-                let (na, nb) = build_dcs_pair(&mut sim, &a, &b, cfg.wire.clone());
-                let server = NodeRef {
-                    submit_to: na.driver,
-                    cpu: na.cpu,
-                    cpu_key: na.name.clone(),
-                    cores: na.cores,
-                    ssds: na.ssds.clone(),
-                };
-                let client = NodeRef {
-                    submit_to: nb.driver,
-                    cpu: nb.cpu,
-                    cpu_key: nb.name.clone(),
-                    cores: nb.cores,
-                    ssds: nb.ssds.clone(),
-                };
-                Testbed { sim, server, client, design, harness: None, next_job_id: 1 }
-            }
-            other => {
-                let sw = match other {
-                    DesignUnderTest::Linux => SwDesign::Linux,
-                    DesignUnderTest::SwOpt => SwDesign::SwOpt,
-                    DesignUnderTest::SwP2p => SwDesign::SwP2p,
-                    DesignUnderTest::DcsCtrl => unreachable!(),
-                };
-                let mut a = HostNodeBuilder::new("server", sw);
-                a.ssds = ssds.clone();
-                let mut b = HostNodeBuilder::new("client", sw);
-                b.ssds = ssds;
-                let (na, nb) = build_pair(&mut sim, &a, &b, cfg.wire.clone());
-                let server = NodeRef {
-                    submit_to: na.executor,
-                    cpu: na.cpu,
-                    cpu_key: na.name.clone(),
-                    cores: na.cores,
-                    ssds: na.ssds.clone(),
-                };
-                let client = NodeRef {
-                    submit_to: nb.executor,
-                    cpu: nb.cpu,
-                    cpu_key: nb.name.clone(),
-                    cores: nb.cores,
-                    ssds: nb.ssds.clone(),
-                };
-                Testbed { sim, server, client, design, harness: None, next_job_id: 1 }
-            }
-        }
+        let (server, client) = build_testbed_nodes(&mut sim, design, cfg, "server", "client");
+        Testbed { sim, server, client, design, harness: None, next_job_id: 1 }
     }
 
     /// Installs a [`FaultPlan`] built from an RNG forked off the world's

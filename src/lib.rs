@@ -21,10 +21,13 @@
 //! * [`core`] — **the paper's contribution**: the HDC Engine (scoreboard,
 //!   standard device controllers, NDP units), HDC Driver and HDC Library.
 //! * [`workloads`] — Swift-like object store and HDFS-balancer workloads.
+//! * [`cluster`] — multi-node DCS serving behind a modeled top-of-rack
+//!   switch: load balancing, consistent-hash sharding, admission control.
 //!
 //! See `README.md` for a quickstart, `DESIGN.md` for the system inventory,
 //! and `EXPERIMENTS.md` for paper-vs-measured results.
 
+pub use dcs_cluster as cluster;
 pub use dcs_core as core;
 pub use dcs_gpu as gpu;
 pub use dcs_host as host;

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos-003e428efad49ec2.d: tests/chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos-003e428efad49ec2.rmeta: tests/chaos.rs Cargo.toml
+
+tests/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cluster-4f99398d9567fd3f.d: tests/cluster.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcluster-4f99398d9567fd3f.rmeta: tests/cluster.rs Cargo.toml
+
+tests/cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

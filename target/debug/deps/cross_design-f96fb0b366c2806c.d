@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_design-f96fb0b366c2806c.d: tests/cross_design.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_design-f96fb0b366c2806c.rmeta: tests/cross_design.rs Cargo.toml
+
+tests/cross_design.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

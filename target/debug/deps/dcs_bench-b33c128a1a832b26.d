@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/dcs_bench-b33c128a1a832b26.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/cluster.rs crates/bench/src/faults.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig13.rs crates/bench/src/fig2.rs crates/bench/src/fig3.rs crates/bench/src/fig8.rs crates/bench/src/probe.rs crates/bench/src/table3.rs crates/bench/src/table4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcs_bench-b33c128a1a832b26.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/cluster.rs crates/bench/src/faults.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig13.rs crates/bench/src/fig2.rs crates/bench/src/fig3.rs crates/bench/src/fig8.rs crates/bench/src/probe.rs crates/bench/src/table3.rs crates/bench/src/table4.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/cluster.rs:
+crates/bench/src/faults.rs:
+crates/bench/src/fig11.rs:
+crates/bench/src/fig12.rs:
+crates/bench/src/fig13.rs:
+crates/bench/src/fig2.rs:
+crates/bench/src/fig3.rs:
+crates/bench/src/fig8.rs:
+crates/bench/src/probe.rs:
+crates/bench/src/table3.rs:
+crates/bench/src/table4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

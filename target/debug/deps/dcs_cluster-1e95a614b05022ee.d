@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dcs_cluster-1e95a614b05022ee.d: crates/cluster/src/lib.rs crates/cluster/src/driver.rs crates/cluster/src/policy.rs crates/cluster/src/report.rs crates/cluster/src/shard.rs crates/cluster/src/switch.rs
+
+/root/repo/target/debug/deps/libdcs_cluster-1e95a614b05022ee.rlib: crates/cluster/src/lib.rs crates/cluster/src/driver.rs crates/cluster/src/policy.rs crates/cluster/src/report.rs crates/cluster/src/shard.rs crates/cluster/src/switch.rs
+
+/root/repo/target/debug/deps/libdcs_cluster-1e95a614b05022ee.rmeta: crates/cluster/src/lib.rs crates/cluster/src/driver.rs crates/cluster/src/policy.rs crates/cluster/src/report.rs crates/cluster/src/shard.rs crates/cluster/src/switch.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/driver.rs:
+crates/cluster/src/policy.rs:
+crates/cluster/src/report.rs:
+crates/cluster/src/shard.rs:
+crates/cluster/src/switch.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dcs_cluster-7e7c6bf30907e248.d: crates/cluster/src/lib.rs crates/cluster/src/driver.rs crates/cluster/src/policy.rs crates/cluster/src/report.rs crates/cluster/src/shard.rs crates/cluster/src/switch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcs_cluster-7e7c6bf30907e248.rmeta: crates/cluster/src/lib.rs crates/cluster/src/driver.rs crates/cluster/src/policy.rs crates/cluster/src/report.rs crates/cluster/src/shard.rs crates/cluster/src/switch.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/driver.rs:
+crates/cluster/src/policy.rs:
+crates/cluster/src/report.rs:
+crates/cluster/src/shard.rs:
+crates/cluster/src/switch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

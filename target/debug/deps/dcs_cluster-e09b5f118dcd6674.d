@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dcs_cluster-e09b5f118dcd6674.d: crates/cluster/src/lib.rs crates/cluster/src/driver.rs crates/cluster/src/policy.rs crates/cluster/src/report.rs crates/cluster/src/shard.rs crates/cluster/src/switch.rs
+
+/root/repo/target/debug/deps/dcs_cluster-e09b5f118dcd6674: crates/cluster/src/lib.rs crates/cluster/src/driver.rs crates/cluster/src/policy.rs crates/cluster/src/report.rs crates/cluster/src/shard.rs crates/cluster/src/switch.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/driver.rs:
+crates/cluster/src/policy.rs:
+crates/cluster/src/report.rs:
+crates/cluster/src/shard.rs:
+crates/cluster/src/switch.rs:

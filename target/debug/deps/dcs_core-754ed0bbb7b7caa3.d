@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dcs_core-754ed0bbb7b7caa3.d: crates/core/src/lib.rs crates/core/src/buffers.rs crates/core/src/command.rs crates/core/src/driver.rs crates/core/src/engine.rs crates/core/src/lib_api.rs crates/core/src/ndp_unit.rs crates/core/src/node.rs crates/core/src/resources.rs crates/core/src/scoreboard.rs
+
+/root/repo/target/debug/deps/libdcs_core-754ed0bbb7b7caa3.rmeta: crates/core/src/lib.rs crates/core/src/buffers.rs crates/core/src/command.rs crates/core/src/driver.rs crates/core/src/engine.rs crates/core/src/lib_api.rs crates/core/src/ndp_unit.rs crates/core/src/node.rs crates/core/src/resources.rs crates/core/src/scoreboard.rs
+
+crates/core/src/lib.rs:
+crates/core/src/buffers.rs:
+crates/core/src/command.rs:
+crates/core/src/driver.rs:
+crates/core/src/engine.rs:
+crates/core/src/lib_api.rs:
+crates/core/src/ndp_unit.rs:
+crates/core/src/node.rs:
+crates/core/src/resources.rs:
+crates/core/src/scoreboard.rs:

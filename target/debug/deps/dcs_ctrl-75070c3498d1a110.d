@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcs_ctrl-75070c3498d1a110.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcs_ctrl-75070c3498d1a110.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

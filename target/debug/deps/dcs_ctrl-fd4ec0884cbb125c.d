@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcs_ctrl-fd4ec0884cbb125c.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcs_ctrl-fd4ec0884cbb125c.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

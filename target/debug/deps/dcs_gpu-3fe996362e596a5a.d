@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcs_gpu-3fe996362e596a5a.d: crates/gpu/src/lib.rs
+
+/root/repo/target/debug/deps/libdcs_gpu-3fe996362e596a5a.rmeta: crates/gpu/src/lib.rs
+
+crates/gpu/src/lib.rs:

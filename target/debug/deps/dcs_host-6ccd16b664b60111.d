@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dcs_host-6ccd16b664b60111.d: crates/host/src/lib.rs crates/host/src/costs.rs crates/host/src/cpu.rs crates/host/src/executor.rs crates/host/src/gpu_driver.rs crates/host/src/integration.rs crates/host/src/job.rs crates/host/src/nic_driver.rs crates/host/src/node.rs crates/host/src/nvme_driver.rs
+
+/root/repo/target/debug/deps/libdcs_host-6ccd16b664b60111.rmeta: crates/host/src/lib.rs crates/host/src/costs.rs crates/host/src/cpu.rs crates/host/src/executor.rs crates/host/src/gpu_driver.rs crates/host/src/integration.rs crates/host/src/job.rs crates/host/src/nic_driver.rs crates/host/src/node.rs crates/host/src/nvme_driver.rs
+
+crates/host/src/lib.rs:
+crates/host/src/costs.rs:
+crates/host/src/cpu.rs:
+crates/host/src/executor.rs:
+crates/host/src/gpu_driver.rs:
+crates/host/src/integration.rs:
+crates/host/src/job.rs:
+crates/host/src/nic_driver.rs:
+crates/host/src/node.rs:
+crates/host/src/nvme_driver.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcs_nic-89c4820d191aeeca.d: crates/nic/src/lib.rs crates/nic/src/device.rs crates/nic/src/headers.rs crates/nic/src/ring.rs crates/nic/src/wire.rs
+
+/root/repo/target/debug/deps/libdcs_nic-89c4820d191aeeca.rmeta: crates/nic/src/lib.rs crates/nic/src/device.rs crates/nic/src/headers.rs crates/nic/src/ring.rs crates/nic/src/wire.rs
+
+crates/nic/src/lib.rs:
+crates/nic/src/device.rs:
+crates/nic/src/headers.rs:
+crates/nic/src/ring.rs:
+crates/nic/src/wire.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dcs_nvme-1dc5ee62a535a4b2.d: crates/nvme/src/lib.rs crates/nvme/src/device.rs crates/nvme/src/queue.rs crates/nvme/src/spec.rs
+
+/root/repo/target/debug/deps/libdcs_nvme-1dc5ee62a535a4b2.rmeta: crates/nvme/src/lib.rs crates/nvme/src/device.rs crates/nvme/src/queue.rs crates/nvme/src/spec.rs
+
+crates/nvme/src/lib.rs:
+crates/nvme/src/device.rs:
+crates/nvme/src/queue.rs:
+crates/nvme/src/spec.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dcs_pcie-c64ee0b2b32e2f7d.d: crates/pcie/src/lib.rs crates/pcie/src/addr.rs crates/pcie/src/config.rs crates/pcie/src/fabric.rs crates/pcie/src/mem.rs crates/pcie/src/routing.rs
+
+/root/repo/target/debug/deps/libdcs_pcie-c64ee0b2b32e2f7d.rmeta: crates/pcie/src/lib.rs crates/pcie/src/addr.rs crates/pcie/src/config.rs crates/pcie/src/fabric.rs crates/pcie/src/mem.rs crates/pcie/src/routing.rs
+
+crates/pcie/src/lib.rs:
+crates/pcie/src/addr.rs:
+crates/pcie/src/config.rs:
+crates/pcie/src/fabric.rs:
+crates/pcie/src/mem.rs:
+crates/pcie/src/routing.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dcs_sim-0f65c3424a48a594.d: crates/sim/src/lib.rs crates/sim/src/component.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/fault.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs crates/sim/src/world.rs
+
+/root/repo/target/debug/deps/libdcs_sim-0f65c3424a48a594.rmeta: crates/sim/src/lib.rs crates/sim/src/component.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/fault.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs crates/sim/src/world.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/component.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/event.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:
+crates/sim/src/world.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dcs_workloads-797b21d57544f200.d: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/hdfs.rs crates/workloads/src/projection.rs crates/workloads/src/report.rs crates/workloads/src/scenario.rs crates/workloads/src/swift.rs
+
+/root/repo/target/debug/deps/libdcs_workloads-797b21d57544f200.rmeta: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/hdfs.rs crates/workloads/src/projection.rs crates/workloads/src/report.rs crates/workloads/src/scenario.rs crates/workloads/src/swift.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/hdfs.rs:
+crates/workloads/src/projection.rs:
+crates/workloads/src/report.rs:
+crates/workloads/src/scenario.rs:
+crates/workloads/src/swift.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro-f6547c821763a6bf.d: crates/bench/src/bin/repro.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro-f6547c821763a6bf.rmeta: crates/bench/src/bin/repro.rs Cargo.toml
+
+crates/bench/src/bin/repro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

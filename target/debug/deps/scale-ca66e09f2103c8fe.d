@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scale-ca66e09f2103c8fe.d: tests/scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscale-ca66e09f2103c8fe.rmeta: tests/scale.rs Cargo.toml
+
+tests/scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hdfs_balancer-486aec939630179e.d: examples/hdfs_balancer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhdfs_balancer-486aec939630179e.rmeta: examples/hdfs_balancer.rs Cargo.toml
+
+examples/hdfs_balancer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

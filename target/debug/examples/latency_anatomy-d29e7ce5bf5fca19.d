@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/latency_anatomy-d29e7ce5bf5fca19.d: examples/latency_anatomy.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblatency_anatomy-d29e7ce5bf5fca19.rmeta: examples/latency_anatomy.rs Cargo.toml
+
+examples/latency_anatomy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

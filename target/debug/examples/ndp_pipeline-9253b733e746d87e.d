@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ndp_pipeline-9253b733e746d87e.d: examples/ndp_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libndp_pipeline-9253b733e746d87e.rmeta: examples/ndp_pipeline.rs Cargo.toml
+
+examples/ndp_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

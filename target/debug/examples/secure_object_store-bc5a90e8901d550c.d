@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/secure_object_store-bc5a90e8901d550c.d: examples/secure_object_store.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsecure_object_store-bc5a90e8901d550c.rmeta: examples/secure_object_store.rs Cargo.toml
+
+examples/secure_object_store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

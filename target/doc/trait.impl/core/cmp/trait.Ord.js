@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["dcs_pcie",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"dcs_pcie/addr/struct.PhysAddr.html\" title=\"struct dcs_pcie::addr::PhysAddr\">PhysAddr</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"dcs_pcie/mem/struct.PortId.html\" title=\"struct dcs_pcie::mem::PortId\">PortId</a>",0]]],["dcs_sim",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"enum\" href=\"dcs_sim/trace/enum.Category.html\" title=\"enum dcs_sim::trace::Category\">Category</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"dcs_sim/component/struct.ComponentId.html\" title=\"struct dcs_sim::component::ComponentId\">ComponentId</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"dcs_sim/time/struct.SimTime.html\" title=\"struct dcs_sim::time::SimTime\">SimTime</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[522,794]}

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baselines-fdab620da88b59bd.d: crates/host/tests/baselines.rs
+
+/root/repo/target/release/deps/baselines-fdab620da88b59bd: crates/host/tests/baselines.rs
+
+crates/host/tests/baselines.rs:

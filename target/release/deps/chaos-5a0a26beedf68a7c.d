@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos-5a0a26beedf68a7c.d: tests/chaos.rs
+
+/root/repo/target/release/deps/chaos-5a0a26beedf68a7c: tests/chaos.rs
+
+tests/chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cluster-8df0206cbf1f2321.d: tests/cluster.rs
+
+/root/repo/target/release/deps/cluster-8df0206cbf1f2321: tests/cluster.rs
+
+tests/cluster.rs:

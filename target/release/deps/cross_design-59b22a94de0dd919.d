@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cross_design-59b22a94de0dd919.d: tests/cross_design.rs
+
+/root/repo/target/release/deps/cross_design-59b22a94de0dd919: tests/cross_design.rs
+
+tests/cross_design.rs:

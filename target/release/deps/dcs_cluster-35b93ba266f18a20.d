@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dcs_cluster-35b93ba266f18a20.d: crates/cluster/src/lib.rs crates/cluster/src/driver.rs crates/cluster/src/policy.rs crates/cluster/src/report.rs crates/cluster/src/shard.rs crates/cluster/src/switch.rs
+
+/root/repo/target/release/deps/libdcs_cluster-35b93ba266f18a20.rlib: crates/cluster/src/lib.rs crates/cluster/src/driver.rs crates/cluster/src/policy.rs crates/cluster/src/report.rs crates/cluster/src/shard.rs crates/cluster/src/switch.rs
+
+/root/repo/target/release/deps/libdcs_cluster-35b93ba266f18a20.rmeta: crates/cluster/src/lib.rs crates/cluster/src/driver.rs crates/cluster/src/policy.rs crates/cluster/src/report.rs crates/cluster/src/shard.rs crates/cluster/src/switch.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/driver.rs:
+crates/cluster/src/policy.rs:
+crates/cluster/src/report.rs:
+crates/cluster/src/shard.rs:
+crates/cluster/src/switch.rs:

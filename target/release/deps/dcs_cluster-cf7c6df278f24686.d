@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dcs_cluster-cf7c6df278f24686.d: crates/cluster/src/lib.rs crates/cluster/src/driver.rs crates/cluster/src/policy.rs crates/cluster/src/report.rs crates/cluster/src/shard.rs crates/cluster/src/switch.rs
+
+/root/repo/target/release/deps/dcs_cluster-cf7c6df278f24686: crates/cluster/src/lib.rs crates/cluster/src/driver.rs crates/cluster/src/policy.rs crates/cluster/src/report.rs crates/cluster/src/shard.rs crates/cluster/src/switch.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/driver.rs:
+crates/cluster/src/policy.rs:
+crates/cluster/src/report.rs:
+crates/cluster/src/shard.rs:
+crates/cluster/src/switch.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dcs_core-87f71f0d98ac6b46.d: crates/core/src/lib.rs crates/core/src/buffers.rs crates/core/src/command.rs crates/core/src/driver.rs crates/core/src/engine.rs crates/core/src/lib_api.rs crates/core/src/ndp_unit.rs crates/core/src/node.rs crates/core/src/resources.rs crates/core/src/scoreboard.rs
+
+/root/repo/target/release/deps/dcs_core-87f71f0d98ac6b46: crates/core/src/lib.rs crates/core/src/buffers.rs crates/core/src/command.rs crates/core/src/driver.rs crates/core/src/engine.rs crates/core/src/lib_api.rs crates/core/src/ndp_unit.rs crates/core/src/node.rs crates/core/src/resources.rs crates/core/src/scoreboard.rs
+
+crates/core/src/lib.rs:
+crates/core/src/buffers.rs:
+crates/core/src/command.rs:
+crates/core/src/driver.rs:
+crates/core/src/engine.rs:
+crates/core/src/lib_api.rs:
+crates/core/src/ndp_unit.rs:
+crates/core/src/node.rs:
+crates/core/src/resources.rs:
+crates/core/src/scoreboard.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dcs_ctrl-bc7694ebe1882310.d: src/lib.rs
+
+/root/repo/target/release/deps/dcs_ctrl-bc7694ebe1882310: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dcs_ctrl-e542cd2f520657bc.d: src/lib.rs
+
+/root/repo/target/release/deps/libdcs_ctrl-e542cd2f520657bc.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdcs_ctrl-e542cd2f520657bc.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dcs_gpu-f3674338b5b3fd89.d: crates/gpu/src/lib.rs
+
+/root/repo/target/release/deps/dcs_gpu-f3674338b5b3fd89: crates/gpu/src/lib.rs
+
+crates/gpu/src/lib.rs:

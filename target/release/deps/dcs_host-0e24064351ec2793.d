@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dcs_host-0e24064351ec2793.d: crates/host/src/lib.rs crates/host/src/costs.rs crates/host/src/cpu.rs crates/host/src/executor.rs crates/host/src/gpu_driver.rs crates/host/src/integration.rs crates/host/src/job.rs crates/host/src/nic_driver.rs crates/host/src/node.rs crates/host/src/nvme_driver.rs
+
+/root/repo/target/release/deps/dcs_host-0e24064351ec2793: crates/host/src/lib.rs crates/host/src/costs.rs crates/host/src/cpu.rs crates/host/src/executor.rs crates/host/src/gpu_driver.rs crates/host/src/integration.rs crates/host/src/job.rs crates/host/src/nic_driver.rs crates/host/src/node.rs crates/host/src/nvme_driver.rs
+
+crates/host/src/lib.rs:
+crates/host/src/costs.rs:
+crates/host/src/cpu.rs:
+crates/host/src/executor.rs:
+crates/host/src/gpu_driver.rs:
+crates/host/src/integration.rs:
+crates/host/src/job.rs:
+crates/host/src/nic_driver.rs:
+crates/host/src/node.rs:
+crates/host/src/nvme_driver.rs:

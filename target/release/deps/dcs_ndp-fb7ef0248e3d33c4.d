@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/dcs_ndp-fb7ef0248e3d33c4.d: crates/ndp/src/lib.rs crates/ndp/src/aes.rs crates/ndp/src/crc32.rs crates/ndp/src/deflate.rs crates/ndp/src/function.rs crates/ndp/src/md5.rs crates/ndp/src/sha1.rs crates/ndp/src/sha256.rs crates/ndp/src/../tests/data/dynamic.deflate crates/ndp/src/../tests/data/dynamic.raw crates/ndp/src/../tests/data/lorem.gz
+
+/root/repo/target/release/deps/dcs_ndp-fb7ef0248e3d33c4: crates/ndp/src/lib.rs crates/ndp/src/aes.rs crates/ndp/src/crc32.rs crates/ndp/src/deflate.rs crates/ndp/src/function.rs crates/ndp/src/md5.rs crates/ndp/src/sha1.rs crates/ndp/src/sha256.rs crates/ndp/src/../tests/data/dynamic.deflate crates/ndp/src/../tests/data/dynamic.raw crates/ndp/src/../tests/data/lorem.gz
+
+crates/ndp/src/lib.rs:
+crates/ndp/src/aes.rs:
+crates/ndp/src/crc32.rs:
+crates/ndp/src/deflate.rs:
+crates/ndp/src/function.rs:
+crates/ndp/src/md5.rs:
+crates/ndp/src/sha1.rs:
+crates/ndp/src/sha256.rs:
+crates/ndp/src/../tests/data/dynamic.deflate:
+crates/ndp/src/../tests/data/dynamic.raw:
+crates/ndp/src/../tests/data/lorem.gz:

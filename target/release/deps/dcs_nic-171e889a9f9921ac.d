@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dcs_nic-171e889a9f9921ac.d: crates/nic/src/lib.rs crates/nic/src/device.rs crates/nic/src/headers.rs crates/nic/src/ring.rs crates/nic/src/wire.rs
+
+/root/repo/target/release/deps/dcs_nic-171e889a9f9921ac: crates/nic/src/lib.rs crates/nic/src/device.rs crates/nic/src/headers.rs crates/nic/src/ring.rs crates/nic/src/wire.rs
+
+crates/nic/src/lib.rs:
+crates/nic/src/device.rs:
+crates/nic/src/headers.rs:
+crates/nic/src/ring.rs:
+crates/nic/src/wire.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/dcs_nvme-15838bc1df90f974.d: crates/nvme/src/lib.rs crates/nvme/src/device.rs crates/nvme/src/queue.rs crates/nvme/src/spec.rs
+
+/root/repo/target/release/deps/dcs_nvme-15838bc1df90f974: crates/nvme/src/lib.rs crates/nvme/src/device.rs crates/nvme/src/queue.rs crates/nvme/src/spec.rs
+
+crates/nvme/src/lib.rs:
+crates/nvme/src/device.rs:
+crates/nvme/src/queue.rs:
+crates/nvme/src/spec.rs:

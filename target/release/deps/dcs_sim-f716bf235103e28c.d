@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/dcs_sim-f716bf235103e28c.d: crates/sim/src/lib.rs crates/sim/src/component.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/fault.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs crates/sim/src/world.rs
+
+/root/repo/target/release/deps/dcs_sim-f716bf235103e28c: crates/sim/src/lib.rs crates/sim/src/component.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/fault.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs crates/sim/src/world.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/component.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/event.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:
+crates/sim/src/world.rs:

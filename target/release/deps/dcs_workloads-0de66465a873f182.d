@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dcs_workloads-0de66465a873f182.d: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/hdfs.rs crates/workloads/src/projection.rs crates/workloads/src/report.rs crates/workloads/src/scenario.rs crates/workloads/src/swift.rs
+
+/root/repo/target/release/deps/dcs_workloads-0de66465a873f182: crates/workloads/src/lib.rs crates/workloads/src/gen.rs crates/workloads/src/hdfs.rs crates/workloads/src/projection.rs crates/workloads/src/report.rs crates/workloads/src/scenario.rs crates/workloads/src/swift.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/hdfs.rs:
+crates/workloads/src/projection.rs:
+crates/workloads/src/report.rs:
+crates/workloads/src/scenario.rs:
+crates/workloads/src/swift.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine_e2e-eabc43bf1872ea28.d: crates/core/tests/engine_e2e.rs
+
+/root/repo/target/release/deps/engine_e2e-eabc43bf1872ea28: crates/core/tests/engine_e2e.rs
+
+crates/core/tests/engine_e2e.rs:

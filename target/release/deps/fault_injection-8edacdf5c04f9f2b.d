@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_injection-8edacdf5c04f9f2b.d: tests/fault_injection.rs
+
+/root/repo/target/release/deps/fault_injection-8edacdf5c04f9f2b: tests/fault_injection.rs
+
+tests/fault_injection.rs:

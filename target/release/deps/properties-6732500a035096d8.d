@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-6732500a035096d8.d: crates/nic/tests/properties.rs
+
+/root/repo/target/release/deps/properties-6732500a035096d8: crates/nic/tests/properties.rs
+
+crates/nic/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-715b73950ac86b27.d: crates/sim/tests/properties.rs
+
+/root/repo/target/release/deps/properties-715b73950ac86b27: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-84fb5915c6ba35b6.d: crates/core/tests/properties.rs
+
+/root/repo/target/release/deps/properties-84fb5915c6ba35b6: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-adf9ad3acaad0031.d: crates/ndp/tests/properties.rs
+
+/root/repo/target/release/deps/properties-adf9ad3acaad0031: crates/ndp/tests/properties.rs
+
+crates/ndp/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-b7dc9dc5f2234f94.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-b7dc9dc5f2234f94: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-dff50bcbb5681ead.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-dff50bcbb5681ead: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scale-edda06961c13498f.d: tests/scale.rs
+
+/root/repo/target/release/deps/scale-edda06961c13498f: tests/scale.rs
+
+tests/scale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/two_node-38e6fcf7292a9194.d: crates/nic/tests/two_node.rs
+
+/root/repo/target/release/deps/two_node-38e6fcf7292a9194: crates/nic/tests/two_node.rs
+
+crates/nic/tests/two_node.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/hdfs_balancer-18591eceb071cf5b.d: examples/hdfs_balancer.rs
+
+/root/repo/target/release/examples/hdfs_balancer-18591eceb071cf5b: examples/hdfs_balancer.rs
+
+examples/hdfs_balancer.rs:

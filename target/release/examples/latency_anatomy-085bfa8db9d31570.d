@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/latency_anatomy-085bfa8db9d31570.d: examples/latency_anatomy.rs
+
+/root/repo/target/release/examples/latency_anatomy-085bfa8db9d31570: examples/latency_anatomy.rs
+
+examples/latency_anatomy.rs:

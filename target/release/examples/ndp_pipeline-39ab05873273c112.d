@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ndp_pipeline-39ab05873273c112.d: examples/ndp_pipeline.rs
+
+/root/repo/target/release/examples/ndp_pipeline-39ab05873273c112: examples/ndp_pipeline.rs
+
+examples/ndp_pipeline.rs:

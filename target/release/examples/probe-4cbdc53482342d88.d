@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe-4cbdc53482342d88.d: crates/cluster/examples/probe.rs
+
+/root/repo/target/release/examples/probe-4cbdc53482342d88: crates/cluster/examples/probe.rs
+
+crates/cluster/examples/probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-44d9f40f766bc730.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-44d9f40f766bc730: examples/quickstart.rs
+
+examples/quickstart.rs:

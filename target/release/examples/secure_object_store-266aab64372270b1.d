@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/secure_object_store-266aab64372270b1.d: examples/secure_object_store.rs
+
+/root/repo/target/release/examples/secure_object_store-266aab64372270b1: examples/secure_object_store.rs
+
+examples/secure_object_store.rs:
