@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-e194607dcf72eb9d.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-e194607dcf72eb9d: tests/chaos.rs
+
+tests/chaos.rs:

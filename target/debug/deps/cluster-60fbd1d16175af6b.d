@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster-60fbd1d16175af6b.d: tests/cluster.rs
+
+/root/repo/target/debug/deps/cluster-60fbd1d16175af6b: tests/cluster.rs
+
+tests/cluster.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_design-a27df8ddd8e9a8e8.d: tests/cross_design.rs
+
+/root/repo/target/debug/deps/cross_design-a27df8ddd8e9a8e8: tests/cross_design.rs
+
+tests/cross_design.rs:

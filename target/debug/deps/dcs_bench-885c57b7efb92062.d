@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/dcs_bench-885c57b7efb92062.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/cluster.rs crates/bench/src/faults.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig13.rs crates/bench/src/fig2.rs crates/bench/src/fig3.rs crates/bench/src/fig8.rs crates/bench/src/probe.rs crates/bench/src/table3.rs crates/bench/src/table4.rs
+
+/root/repo/target/debug/deps/libdcs_bench-885c57b7efb92062.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/cluster.rs crates/bench/src/faults.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig13.rs crates/bench/src/fig2.rs crates/bench/src/fig3.rs crates/bench/src/fig8.rs crates/bench/src/probe.rs crates/bench/src/table3.rs crates/bench/src/table4.rs
+
+/root/repo/target/debug/deps/libdcs_bench-885c57b7efb92062.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/cluster.rs crates/bench/src/faults.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig13.rs crates/bench/src/fig2.rs crates/bench/src/fig3.rs crates/bench/src/fig8.rs crates/bench/src/probe.rs crates/bench/src/table3.rs crates/bench/src/table4.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/cluster.rs:
+crates/bench/src/faults.rs:
+crates/bench/src/fig11.rs:
+crates/bench/src/fig12.rs:
+crates/bench/src/fig13.rs:
+crates/bench/src/fig2.rs:
+crates/bench/src/fig3.rs:
+crates/bench/src/fig8.rs:
+crates/bench/src/probe.rs:
+crates/bench/src/table3.rs:
+crates/bench/src/table4.rs:

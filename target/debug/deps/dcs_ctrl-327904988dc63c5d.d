@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcs_ctrl-327904988dc63c5d.d: src/lib.rs
+
+/root/repo/target/debug/deps/dcs_ctrl-327904988dc63c5d: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcs_ctrl-60b1a044e770ecfb.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdcs_ctrl-60b1a044e770ecfb.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdcs_ctrl-60b1a044e770ecfb.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-5555ad393bd16d3b.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-5555ad393bd16d3b: tests/fault_injection.rs
+
+tests/fault_injection.rs:

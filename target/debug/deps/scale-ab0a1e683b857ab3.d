@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scale-ab0a1e683b857ab3.d: tests/scale.rs
+
+/root/repo/target/debug/deps/scale-ab0a1e683b857ab3: tests/scale.rs
+
+tests/scale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hdfs_balancer-0ff57408f8955a73.d: examples/hdfs_balancer.rs
+
+/root/repo/target/debug/examples/hdfs_balancer-0ff57408f8955a73: examples/hdfs_balancer.rs
+
+examples/hdfs_balancer.rs:

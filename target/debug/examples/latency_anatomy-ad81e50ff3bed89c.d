@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/latency_anatomy-ad81e50ff3bed89c.d: examples/latency_anatomy.rs
+
+/root/repo/target/debug/examples/latency_anatomy-ad81e50ff3bed89c: examples/latency_anatomy.rs
+
+examples/latency_anatomy.rs:

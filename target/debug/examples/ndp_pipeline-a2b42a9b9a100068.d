@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ndp_pipeline-a2b42a9b9a100068.d: examples/ndp_pipeline.rs
+
+/root/repo/target/debug/examples/ndp_pipeline-a2b42a9b9a100068: examples/ndp_pipeline.rs
+
+examples/ndp_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4691394df35ab33c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4691394df35ab33c: examples/quickstart.rs
+
+examples/quickstart.rs:

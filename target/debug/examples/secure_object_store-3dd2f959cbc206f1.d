@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/secure_object_store-3dd2f959cbc206f1.d: examples/secure_object_store.rs
+
+/root/repo/target/debug/examples/secure_object_store-3dd2f959cbc206f1: examples/secure_object_store.rs
+
+examples/secure_object_store.rs:
