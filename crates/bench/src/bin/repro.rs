@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the DCS-ctrl paper.
 //!
 //! ```text
-//! repro [--quick] [all|fig2|fig3|fig8|fig11|fig12|fig13|table3|table4|ablation|faults|cluster]...
+//! repro [--quick] [all|fig2|fig3|fig8|fig11|fig12|fig13|table3|table4|ablation|faults|cluster|cluster-failover]...
 //! ```
 //!
 //! With no experiment arguments, runs everything. `--quick` shortens the
@@ -12,9 +12,9 @@
 use std::env;
 
 /// Every experiment, in presentation order.
-const EXPERIMENTS: [&str; 11] = [
+const EXPERIMENTS: [&str; 12] = [
     "table3", "table4", "fig2", "fig3", "fig8", "fig11", "fig12", "fig13", "ablation", "faults",
-    "cluster",
+    "cluster", "cluster-failover",
 ];
 
 fn main() {
@@ -59,6 +59,7 @@ fn main() {
             "ablation" => dcs_bench::ablation::render(quick),
             "faults" => dcs_bench::faults::render(quick),
             "cluster" => dcs_bench::cluster::render(quick),
+            "cluster-failover" => dcs_bench::cluster::render_failover(quick),
             other => unreachable!("validated above: {other}"),
         };
         println!("{out}");

@@ -13,11 +13,22 @@
 //! 3. **Degraded node** — one node's port drops to a tenth of line rate
 //!    mid-run; JSQ reroutes around the backlog while oblivious
 //!    round-robin keeps feeding it.
+//!
+//! A second sweep, `cluster-failover` ([`render_failover`]), measures the
+//! node-failure tolerance layer: a whole-node crash mid-window under each
+//! policy (detection time, availability through the failure, failover
+//! retries, hedges, re-replication), the ablation with the health layer
+//! disabled, and a hang long enough to be declared dead and revived.
 
-use dcs_cluster::{ClusterConfig, ClusterReport, Degrade, LbPolicy};
+use dcs_cluster::{ClusterConfig, ClusterReport, Degrade, HealthConfig, LbPolicy, NodeFault};
 
 /// Offered load per node for the scaling and degrade panels, Gbps.
 const BASE_GBPS: f64 = 6.0;
+
+/// Offered load per node for the failover panels, Gbps: N-1-survivable
+/// provisioning, so three survivors can absorb a dead peer's share
+/// without shedding.
+const FAILOVER_GBPS: f64 = 5.0;
 
 /// Shared experiment shape; panels override nodes/policy/load/degrade.
 fn base_cfg(quick: bool) -> ClusterConfig {
@@ -63,6 +74,91 @@ pub fn run_degrade(policy: LbPolicy, quick: bool) -> ClusterReport {
         degrade: Some(Degrade { node: 0, at_ns: cfg.warmup_ns, factor: 0.1 }),
         ..cfg
     })
+}
+
+/// One failover-panel run: 4 nodes at N-1-survivable load; node 1
+/// crashes a quarter of the way into the measured window.
+pub fn run_failover(policy: LbPolicy, health: HealthConfig, quick: bool) -> ClusterReport {
+    let cfg = base_cfg(quick);
+    let crash_at = cfg.warmup_ns + (cfg.duration_ns - cfg.warmup_ns) / 4;
+    dcs_cluster::run_cluster(&ClusterConfig {
+        nodes: 4,
+        policy,
+        offered_gbps_per_node: FAILOVER_GBPS,
+        node_faults: vec![NodeFault::Crash { node: 1, at_ns: crash_at }],
+        health,
+        ..cfg
+    })
+}
+
+/// One hang-panel run: node 2 freezes mid-window against a detector slow
+/// enough (bound ~7 ms) that hedged GETs beat failover to the rescue.
+pub fn run_hang(quick: bool) -> ClusterReport {
+    let cfg = base_cfg(quick);
+    let at = cfg.warmup_ns + (cfg.duration_ns - cfg.warmup_ns) / 4;
+    // Quick windows are too short for an 8 ms freeze to resolve before the
+    // window closes; shrink it so the smoke run still shows the recovery.
+    let for_ns = dcs_sim::time::ms(if quick { 5 } else { 8 });
+    let health = HealthConfig {
+        dead_after: 10,
+        probe_timeout_ns: 2_000_000,
+        hedge_max_ns: 4_000_000,
+        hedge_default_ns: 4_000_000,
+        ..HealthConfig::default()
+    };
+    dcs_cluster::run_cluster(&ClusterConfig {
+        nodes: 4,
+        policy: LbPolicy::JoinShortestQueue,
+        offered_gbps_per_node: FAILOVER_GBPS,
+        node_faults: vec![NodeFault::Hang { node: 2, at_ns: at, for_ns }],
+        health,
+        ..cfg
+    })
+}
+
+/// Renders the `cluster-failover` sweep.
+pub fn render_failover(quick: bool) -> String {
+    let mut out = String::from(
+        "Cluster node-failure tolerance — 4 nodes at 5 Gbps/node offered (N-1 survivable)\n\n",
+    );
+
+    out.push_str("  Node 1 crashes a quarter into the window; health layer on:\n");
+    for policy in LbPolicy::ALL {
+        let r = run_failover(policy, HealthConfig::default(), quick);
+        out.push_str(&format!(
+            "    {:<12} GET avail {:>6.2}%  PUT avail {:>6.2}%  detect {:>5.0} us  hedged {:>3} (wins {:>3})  retried {:>3}  lost {:>3}  repaired {:>6.1} MiB in {:>6.1} ms\n",
+            policy.label(),
+            r.get_availability() * 100.0,
+            r.put_availability() * 100.0,
+            r.detection_ns.map(|d| d as f64 / 1000.0).unwrap_or(f64::NAN),
+            r.hedged,
+            r.hedge_wins,
+            r.retried,
+            r.lost,
+            r.repair_bytes as f64 / (1 << 20) as f64,
+            r.repair_ns.map(|d| d as f64 / 1e6).unwrap_or(f64::NAN),
+        ));
+    }
+
+    out.push_str("\n  Ablation under JSQ — the same crash with the health layer off:\n");
+    let arms = [("health on ", HealthConfig::default()), ("health off", HealthConfig::disabled())];
+    for (name, health) in arms {
+        let r = run_failover(LbPolicy::JoinShortestQueue, health, quick);
+        out.push_str(&format!(
+            "    {name}  avail {:>6.2}%  (GET {:>6.2}%, PUT {:>6.2}%)  lost {:>4}  shed {:>4}\n",
+            r.availability() * 100.0,
+            r.get_availability() * 100.0,
+            r.put_availability() * 100.0,
+            r.lost,
+            r.rejected,
+        ));
+    }
+
+    out.push_str(
+        "\n  Hang: node 2 frozen mid-window, sluggish detector (hedges cover the gap):\n",
+    );
+    out.push_str(&run_hang(quick).render("    jsq"));
+    out
 }
 
 /// Renders all three panels.

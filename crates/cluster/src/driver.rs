@@ -1,5 +1,5 @@
 //! The cluster front end: open-loop traffic generation, load balancing,
-//! admission control, and end-to-end measurement.
+//! admission control, failure tolerance, and end-to-end measurement.
 //!
 //! One [`ClusterDriver`] component plays the role of the datacenter's
 //! front-end tier. It draws Poisson request arrivals scaled to the
@@ -16,6 +16,27 @@
 //! bounds every queue in the system, so p99 latency of *served* requests
 //! degrades gracefully instead of growing without bound as offered load
 //! passes saturation.
+//!
+//! Whole-node failures ([`NodeFault`]: a crash or a hang) are tolerated by
+//! the health layer (see [`crate::health`]):
+//!
+//! - every node is heartbeat-probed over the switch's strict-priority
+//!   control lane; consecutive missed deadlines walk it Healthy → Suspect
+//!   → Dead, at which point routing skips it, its in-flight requests are
+//!   re-dispatched to surviving replicas (bounded retry budget), its
+//!   admission queue is re-routed, and re-replication starts;
+//! - GETs may be *hedged*: after a p99-derived delay a second copy goes to
+//!   another replica and the first completion wins;
+//! - PUTs whose primary is unroutable fall back to a surviving replica
+//!   (write availability), counted as `put_fallbacks`;
+//! - re-replication copies the dead node's shard ranges to ring successors
+//!   as a bandwidth-capped chunk stream that contends with foreground
+//!   traffic on the switch ports.
+//!
+//! Availability is accounted at *resolution*: every generated request ends
+//! as served, denied (shed or unroutable), or lost (stranded on a failed
+//! node with its retry budget spent), which is what the failover sweep's
+//! before/during/after phase split reports.
 
 use std::collections::{BTreeMap, VecDeque};
 
@@ -23,12 +44,13 @@ use dcs_host::cpu::{CpuJob, CpuJobDone, CpuStats};
 use dcs_host::job::{D2dDone, D2dJob, D2dOp};
 use dcs_ndp::NdpFunction;
 use dcs_nic::TcpFlow;
-use dcs_sim::{Component, Ctx, Histogram, Msg, Rng, SimTime};
+use dcs_sim::{Bandwidth, Component, Ctx, Histogram, Msg, Rng, SimTime};
 use dcs_workloads::gen::SizeDistribution;
 use dcs_workloads::scenario::NodeRef;
 
+use crate::health::{HealthConfig, HealthMonitor, NodeState, Transition};
 use crate::policy::{LbPolicy, NodeLoad};
-use crate::report::{ClusterReport, NodePerf};
+use crate::report::{ClusterReport, NodePerf, PhasePerf};
 use crate::shard::HashRing;
 use crate::switch::{SwitchConfig, TorSwitch};
 
@@ -52,6 +74,49 @@ pub struct Degrade {
     pub at_ns: u64,
     /// Remaining fraction of port speed (e.g. 0.1).
     pub factor: f64,
+}
+
+/// A whole-node failure injected mid-run. Unlike [`Degrade`] (a slow port)
+/// or a [`FaultPlan`](dcs_sim::FaultPlan) (retried device errors), these
+/// take requests down with the node — the cases the health layer exists
+/// for.
+#[derive(Clone, Copy, Debug)]
+pub enum NodeFault {
+    /// At `at_ns` (after traffic start) the node stops dead: requests in
+    /// flight there are lost, nothing is accepted or completed afterwards.
+    Crash {
+        /// Node to crash.
+        node: usize,
+        /// When to crash it, ns after traffic start.
+        at_ns: u64,
+    },
+    /// At `at_ns` the node freezes for `for_ns`: it keeps accepting bytes
+    /// but completes nothing — and acks no probes — until the hang ends,
+    /// at which point everything it swallowed resumes.
+    Hang {
+        /// Node to hang.
+        node: usize,
+        /// When to hang it, ns after traffic start.
+        at_ns: u64,
+        /// Hang duration, ns.
+        for_ns: u64,
+    },
+}
+
+impl NodeFault {
+    /// The faulted node.
+    pub fn node(&self) -> usize {
+        match *self {
+            NodeFault::Crash { node, .. } | NodeFault::Hang { node, .. } => node,
+        }
+    }
+
+    /// When the fault fires, ns after traffic start.
+    pub fn at_ns(&self) -> u64 {
+        match *self {
+            NodeFault::Crash { at_ns, .. } | NodeFault::Hang { at_ns, .. } => at_ns,
+        }
+    }
 }
 
 /// Full description of a cluster experiment.
@@ -94,6 +159,11 @@ pub struct ClusterConfig {
     pub fault_rate: f64,
     /// Optional mid-run node degradation.
     pub degrade: Option<Degrade>,
+    /// Whole-node failures to inject.
+    pub node_faults: Vec<NodeFault>,
+    /// The failure-tolerance layer (probing, failover, hedging, repair);
+    /// [`HealthConfig::disabled`] is the ablation arm.
+    pub health: HealthConfig,
 }
 
 impl Default for ClusterConfig {
@@ -123,11 +193,14 @@ impl Default for ClusterConfig {
             seed: 0xDC5C,
             fault_rate: 0.0,
             degrade: None,
+            node_faults: vec![],
+            health: HealthConfig::default(),
         }
     }
 }
 
-/// The finished report, left in the world when the window closes.
+/// The finished report, left in the world when the window closes (or, if a
+/// repair stream outlives the window, when the repair completes).
 #[derive(Debug)]
 pub struct ClusterOutcome(pub ClusterReport);
 
@@ -163,6 +236,49 @@ struct Delivered {
 struct Response {
     req: u64,
 }
+/// Heartbeat cadence: probe every node, then re-arm.
+#[derive(Debug)]
+struct ProbeTick;
+/// A probe frame finished arriving at the node.
+#[derive(Debug)]
+struct ProbeDelivered {
+    node: usize,
+    seq: u64,
+}
+/// A probe ack finished arriving back at the front end.
+#[derive(Debug)]
+struct ProbeAck {
+    node: usize,
+    seq: u64,
+}
+/// The probe's deadline: no ack by now counts as a miss.
+#[derive(Debug)]
+struct ProbeDeadline {
+    node: usize,
+    seq: u64,
+}
+/// Fire the `idx`-th configured [`NodeFault`].
+#[derive(Debug)]
+struct NodeFaultAt {
+    idx: usize,
+}
+/// A [`NodeFault::Hang`] elapsed: the node resumes where it froze.
+#[derive(Debug)]
+struct HangOver {
+    node: usize,
+}
+/// The hedge delay for `req` elapsed: issue the second GET if the first
+/// has not resolved.
+#[derive(Debug)]
+struct HedgeFire {
+    req: u64,
+}
+/// Pacing tick of the re-replication stream: ship the next chunk.
+#[derive(Debug)]
+struct RepairChunk;
+/// The last repair chunk was delivered.
+#[derive(Debug)]
+struct RepairDone;
 
 /// A generated request not yet dispatched (parked at admission).
 #[derive(Debug)]
@@ -171,9 +287,11 @@ struct Pending {
     len: usize,
     is_get: bool,
     arrival: SimTime,
+    /// Remaining failover re-dispatches if the serving node dies.
+    retries_left: u32,
 }
 
-/// A dispatched request.
+/// A dispatched request leg (a hedged GET has two, linked by `partner`).
 #[derive(Debug)]
 struct InFlight {
     node: usize,
@@ -184,6 +302,24 @@ struct InFlight {
     object: u64,
     pending_jobs: usize,
     failed: bool,
+    /// This leg is the hedged second copy.
+    is_hedge: bool,
+    /// The other leg of the same logical request, while both are live.
+    partner: Option<u64>,
+    retries_left: u32,
+    /// The other leg already resolved the request: on completion just
+    /// release resources, tally nothing.
+    orphaned: bool,
+}
+
+/// One resolved request, kept (only when node faults are configured) for
+/// the before/during/after phase split.
+#[derive(Clone, Copy, Debug)]
+struct Rec {
+    /// Arrival time, absolute ns.
+    at_ns: u64,
+    ok: bool,
+    latency_ns: u64,
 }
 
 /// The front-end component.
@@ -204,6 +340,37 @@ pub struct ClusterDriver {
     job_to_req: BTreeMap<u64, u64>,
     next_req: u64,
     next_job_id: u64,
+    // Health and node-fault state, indexed by node.
+    health: HealthMonitor,
+    crashed: Vec<bool>,
+    hung_until: Vec<Option<SimTime>>,
+    /// Requests delivered to a hung node, waiting for it to wake.
+    held_jobs: Vec<Vec<u64>>,
+    /// Responses computed on a node that hung before shipping them.
+    held_responses: Vec<Vec<u64>>,
+    /// Probe seqs swallowed by a hung node, acked when it wakes.
+    held_probes: Vec<Vec<u64>>,
+    probe_seq: u64,
+    last_ack: Vec<u64>,
+    /// Nodes that failed a request since the last probe tick (exhausted-
+    /// burst attribution).
+    node_fail_marks: Vec<bool>,
+    last_exhausted: u64,
+    /// First configured fault, for detection/phase accounting.
+    fault_at_abs: u64,
+    fault_node: usize,
+    detected_at: Option<SimTime>,
+    hang_end_abs: Option<u64>,
+    // Re-replication state.
+    repair_started: Vec<bool>,
+    repair_queue: VecDeque<(usize, usize, u64)>,
+    repair_bytes_sent: u64,
+    repair_last_delivery: SimTime,
+    repair_start_at: Option<SimTime>,
+    repair_done_at: Option<SimTime>,
+    repair_active: bool,
+    /// Report built at window close while repair was still streaming.
+    report_pending: Option<ClusterReport>,
     // Measurement.
     measuring: bool,
     window_closed: bool,
@@ -213,6 +380,16 @@ pub struct ClusterDriver {
     bytes: u64,
     rejected: u64,
     failures: u64,
+    get_ok: u64,
+    get_denied: u64,
+    put_ok: u64,
+    put_denied: u64,
+    hedged: u64,
+    hedge_wins: u64,
+    retried: u64,
+    lost: u64,
+    put_fallbacks: u64,
+    records: Vec<Rec>,
     per_node: Vec<NodePerf>,
 }
 
@@ -231,6 +408,7 @@ impl ClusterDriver {
         let mean_size = cfg.sizes.mean_estimate();
         let total_gbps = cfg.offered_gbps_per_node * n as f64;
         let mean_interarrival_ns = mean_size * 8.0 / total_gbps;
+        let health = HealthMonitor::new(&cfg.health, n);
         ClusterDriver {
             switch,
             ring,
@@ -244,6 +422,28 @@ impl ClusterDriver {
             job_to_req: BTreeMap::new(),
             next_req: 1,
             next_job_id: 1,
+            health,
+            crashed: vec![false; n],
+            hung_until: vec![None; n],
+            held_jobs: vec![Vec::new(); n],
+            held_responses: vec![Vec::new(); n],
+            held_probes: vec![Vec::new(); n],
+            probe_seq: 0,
+            last_ack: vec![0; n],
+            node_fail_marks: vec![false; n],
+            last_exhausted: 0,
+            fault_at_abs: u64::MAX,
+            fault_node: usize::MAX,
+            detected_at: None,
+            hang_end_abs: None,
+            repair_started: vec![false; n],
+            repair_queue: VecDeque::new(),
+            repair_bytes_sent: 0,
+            repair_last_delivery: SimTime::ZERO,
+            repair_start_at: None,
+            repair_done_at: None,
+            repair_active: false,
+            report_pending: None,
             measuring: false,
             window_closed: false,
             measure_start: SimTime::ZERO,
@@ -252,6 +452,16 @@ impl ClusterDriver {
             bytes: 0,
             rejected: 0,
             failures: 0,
+            get_ok: 0,
+            get_denied: 0,
+            put_ok: 0,
+            put_denied: 0,
+            hedged: 0,
+            hedge_wins: 0,
+            retried: 0,
+            lost: 0,
+            put_fallbacks: 0,
+            records: Vec::new(),
             per_node: vec![NodePerf::default(); n],
             cfg,
             nodes,
@@ -276,39 +486,113 @@ impl ClusterDriver {
             .collect()
     }
 
-    /// One open-loop arrival: draw the request, pick a node, admit or
-    /// shed.
+    fn tally_active(&self) -> bool {
+        self.measuring && !self.window_closed
+    }
+
+    /// Is the node currently swallowing work (crashed or mid-hang)?
+    fn stuck(&self, node: usize) -> bool {
+        self.crashed[node] || self.hung_until[node].is_some()
+    }
+
+    fn push_record(&mut self, arrival: SimTime, ok: bool, latency_ns: u64) {
+        if self.cfg.node_faults.is_empty() {
+            return;
+        }
+        self.records.push(Rec { at_ns: arrival.as_nanos(), ok, latency_ns });
+    }
+
+    /// A request resolved without being served: shed/unroutable (`lost ==
+    /// false`) or gone down with a failed node (`lost == true`).
+    fn note_denied(&mut self, is_get: bool, node: Option<usize>, arrival: SimTime, lost: bool) {
+        if !self.tally_active() {
+            return;
+        }
+        if is_get {
+            self.get_denied += 1;
+        } else {
+            self.put_denied += 1;
+        }
+        if lost {
+            self.lost += 1;
+            if let Some(n) = node {
+                self.per_node[n].lost += 1;
+            }
+        } else {
+            self.rejected += 1;
+            if let Some(n) = node {
+                self.per_node[n].rejected += 1;
+            }
+        }
+        self.push_record(arrival, false, 0);
+    }
+
+    /// One open-loop arrival: draw the request and route it.
     fn on_arrival(&mut self, ctx: &mut Ctx<'_>) {
         let object = self.rng.gen_range(0..self.cfg.objects);
         let len = self.cfg.sizes.sample(&mut self.rng);
         let is_get = self.rng.gen_bool(self.cfg.get_fraction);
-        let candidates = if is_get {
-            self.ring.replicas(object)
-        } else {
-            vec![self.ring.primary(object)]
+        let pend = Pending {
+            object,
+            len,
+            is_get,
+            arrival: ctx.now(),
+            retries_left: self.cfg.health.request_retries,
         };
-        let loads = self.loads();
-        let node = self.cfg.policy.choose(&candidates, &loads, &mut self.rr_cursor);
-        let pend = Pending { object, len, is_get, arrival: ctx.now() };
+        self.route_and_admit(ctx, pend);
+    }
+
+    /// Picks a replica for `pend` (skipping Dead / breaker-open nodes),
+    /// then admits, queues, or sheds it.
+    fn route_and_admit(&mut self, ctx: &mut Ctx<'_>, pend: Pending) {
+        let mask = if self.cfg.health.enabled {
+            self.health.unroutable_mask(ctx.now())
+        } else {
+            vec![false; self.nodes.len()]
+        };
+        let node = if pend.is_get {
+            let candidates = self.ring.replicas_excluding(pend.object, &mask);
+            if candidates.is_empty() {
+                ctx.world().stats.counter("cluster.unroutable").add(1);
+                self.note_denied(true, None, pend.arrival, false);
+                return;
+            }
+            let loads = self.loads();
+            self.cfg.policy.choose(&candidates, &loads, &mut self.rr_cursor)
+        } else {
+            // PUTs pin to the primary; with the primary unroutable they
+            // fall back to the next surviving replica in ring order.
+            let replicas = self.ring.replicas(pend.object);
+            let Some(&node) = replicas.iter().find(|&&n| !mask[n]) else {
+                ctx.world().stats.counter("cluster.unroutable").add(1);
+                self.note_denied(false, None, pend.arrival, false);
+                return;
+            };
+            if node != replicas[0] && self.tally_active() {
+                self.put_fallbacks += 1;
+            }
+            node
+        };
         if self.outstanding[node] < self.cfg.max_outstanding {
-            self.dispatch(ctx, node, pend);
+            self.dispatch(ctx, node, pend, None);
         } else if self.queues[node].len() < self.cfg.queue_cap {
             self.queues[node].push_back(pend);
         } else {
             // Shed at the front end: bounded queues, graceful overload.
-            if self.measuring && !self.window_closed {
-                self.rejected += 1;
-                self.per_node[node].rejected += 1;
-            }
             ctx.world().stats.counter("cluster.shed").add(1);
+            self.note_denied(pend.is_get, Some(node), pend.arrival, false);
         }
     }
 
     /// Sends a request's bytes through the switch toward `node`; its jobs
-    /// are submitted when the transfer completes.
-    fn dispatch(&mut self, ctx: &mut Ctx<'_>, node: usize, pend: Pending) {
+    /// are submitted when the transfer completes. `hedge_of` links a
+    /// hedged second leg back to its primary.
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>, node: usize, pend: Pending, hedge_of: Option<u64>) -> u64 {
         let slot = self.free_slots[node].pop().expect("outstanding < max implies a free slot");
         self.outstanding[node] += 1;
+        if self.cfg.health.enabled {
+            self.health.on_dispatch(node);
+        }
         let req = self.next_req;
         self.next_req += 1;
         self.inflight.insert(
@@ -322,18 +606,97 @@ impl ClusterDriver {
                 object: pend.object,
                 pending_jobs: 0,
                 failed: false,
+                is_hedge: hedge_of.is_some(),
+                partner: hedge_of,
+                retries_left: pend.retries_left,
+                orphaned: false,
             },
         );
         let wire_bytes =
             if pend.is_get { GET_REQ_BYTES } else { pend.len + PUT_REQ_OVERHEAD };
         let deliver = self.switch.to_node(ctx.now(), node, wire_bytes);
         ctx.send_at(deliver, ctx.self_id(), Delivered { req });
+        let h = &self.cfg.health;
+        if h.enabled && h.hedge && pend.is_get && hedge_of.is_none() && self.ring.replication() > 1
+        {
+            ctx.send_self_in(self.hedge_delay(node), HedgeFire { req });
+        }
+        req
     }
 
-    /// The request reached the node: run it as real device jobs.
+    /// How long to wait before hedging a GET on `node`: the minimum
+    /// against a Suspect node, else the measured p99 (clamped) once the
+    /// histogram has signal, else the configured default.
+    fn hedge_delay(&self, node: usize) -> u64 {
+        let h = &self.cfg.health;
+        if self.health.state(node) == NodeState::Suspect {
+            return h.hedge_min_ns;
+        }
+        if self.latency.count() >= 64 {
+            if let Some(p99) = self.latency.percentile(99.0) {
+                return p99.clamp(h.hedge_min_ns, h.hedge_max_ns);
+            }
+        }
+        h.hedge_default_ns
+    }
+
+    /// The hedge delay elapsed: issue the second leg if the primary is
+    /// still unresolved and another replica has a free slot.
+    fn on_hedge_fire(&mut self, ctx: &mut Ctx<'_>, req: u64) {
+        if self.window_closed {
+            return;
+        }
+        let (node, object, len, arrival) = match self.inflight.get(&req) {
+            Some(r) if !r.orphaned && r.partner.is_none() => {
+                (r.node, r.object, r.len, r.arrival)
+            }
+            _ => return,
+        };
+        let mask = self.health.unroutable_mask(ctx.now());
+        let candidates: Vec<usize> = self
+            .ring
+            .replicas_excluding(object, &mask)
+            .into_iter()
+            .filter(|&n| n != node && self.outstanding[n] < self.cfg.max_outstanding)
+            .collect();
+        if candidates.is_empty() {
+            return;
+        }
+        let loads = self.loads();
+        let target = self.cfg.policy.choose(&candidates, &loads, &mut self.rr_cursor);
+        let pend =
+            Pending { object, len, is_get: true, arrival, retries_left: 0 };
+        let hedge = self.dispatch(ctx, target, pend, Some(req));
+        self.inflight.get_mut(&req).expect("primary leg is in flight").partner = Some(hedge);
+        if self.tally_active() {
+            self.hedged += 1;
+        }
+        ctx.world().stats.counter("cluster.hedged").add(1);
+    }
+
+    /// The request reached the node port. A healthy node runs it; a
+    /// crashed node swallows it (stranded until failover sweeps it); a
+    /// hung node parks it until the hang ends.
     fn on_delivered(&mut self, ctx: &mut Ctx<'_>, req: u64) {
+        let Some(r) = self.inflight.get(&req) else {
+            assert!(!self.cfg.node_faults.is_empty(), "delivered request is in flight");
+            return;
+        };
+        let node = r.node;
+        if self.crashed[node] {
+            return;
+        }
+        if self.hung_until[node].is_some() {
+            self.held_jobs[node].push(req);
+            return;
+        }
+        self.submit_jobs(ctx, req);
+    }
+
+    /// Runs the request as real device jobs on its node.
+    fn submit_jobs(&mut self, ctx: &mut Ctx<'_>, req: u64) {
         let (node, slot, len, is_get, object) = {
-            let r = self.inflight.get(&req).expect("delivered request is in flight");
+            let r = self.inflight.get(&req).expect("submitted request is in flight");
             (r.node, r.slot, r.len, r.is_get, r.object)
         };
         let lba = self.lba_for(object, is_get);
@@ -425,10 +788,15 @@ impl ClusterDriver {
     }
 
     fn on_job_done(&mut self, ctx: &mut Ctx<'_>, done: D2dDone) {
-        let req = self
-            .job_to_req
-            .remove(&done.id)
-            .unwrap_or_else(|| panic!("completion for unknown job {}", done.id));
+        let Some(req) = self.job_to_req.remove(&done.id) else {
+            // Jobs of a failed-over request: its legs were swept already.
+            assert!(
+                !self.cfg.node_faults.is_empty(),
+                "completion for unknown job {}",
+                done.id
+            );
+            return;
+        };
         let finished = {
             let r = self.inflight.get_mut(&req).expect("live request");
             r.pending_jobs -= 1;
@@ -438,7 +806,20 @@ impl ClusterDriver {
         if !finished {
             return;
         }
-        // All jobs done: ship the response back up through the switch.
+        let node = self.inflight[&req].node;
+        if self.crashed[node] {
+            // The response dies with the node.
+            return;
+        }
+        if self.hung_until[node].is_some() {
+            self.held_responses[node].push(req);
+            return;
+        }
+        self.ship_response(ctx, req);
+    }
+
+    /// All jobs done: ship the response back up through the switch.
+    fn ship_response(&mut self, ctx: &mut Ctx<'_>, req: u64) {
         let (node, len, is_get) = {
             let r = &self.inflight[&req];
             (r.node, r.len, r.is_get)
@@ -449,33 +830,421 @@ impl ClusterDriver {
     }
 
     fn on_response(&mut self, ctx: &mut Ctx<'_>, req: u64) {
-        let r = self.inflight.remove(&req).expect("responding request is in flight");
+        let Some(r) = self.inflight.remove(&req) else {
+            // The leg was swept by failover between completion and arrival.
+            assert!(!self.cfg.node_faults.is_empty(), "responding request is in flight");
+            return;
+        };
         self.outstanding[r.node] -= 1;
         self.free_slots[r.node].push(r.slot);
-        if self.measuring && !self.window_closed {
+        // The freed slot can admit parked work.
+        if !self.window_closed {
+            if let Some(pend) = self.queues[r.node].pop_front() {
+                self.dispatch(ctx, r.node, pend, None);
+            }
+        }
+        if r.orphaned {
+            // The other leg already resolved the request.
+            return;
+        }
+        // This leg wins: the partner (if still live) becomes the orphan.
+        if let Some(p) = r.partner {
+            if let Some(pr) = self.inflight.get_mut(&p) {
+                pr.orphaned = true;
+                pr.partner = None;
+            }
+        }
+        if self.cfg.health.enabled {
+            if r.failed {
+                self.health.on_request_failure(r.node, ctx.now());
+                self.node_fail_marks[r.node] = true;
+            } else {
+                self.health.on_request_success(r.node);
+            }
+        }
+        if self.tally_active() {
             let perf = &mut self.per_node[r.node];
             if r.failed {
                 self.failures += 1;
                 perf.failures += 1;
+                if r.is_get {
+                    self.get_denied += 1;
+                } else {
+                    self.put_denied += 1;
+                }
+                self.push_record(r.arrival, false, 0);
             } else {
                 self.requests += 1;
                 self.bytes += r.len as u64;
                 perf.requests += 1;
                 perf.bytes += r.len as u64;
-                self.latency.record(ctx.now() - r.arrival);
-            }
-        }
-        // The freed slot can admit parked work.
-        if !self.window_closed {
-            if let Some(pend) = self.queues[r.node].pop_front() {
-                self.dispatch(ctx, r.node, pend);
+                let lat = ctx.now() - r.arrival;
+                self.latency.record(lat);
+                if r.is_get {
+                    self.get_ok += 1;
+                } else {
+                    self.put_ok += 1;
+                }
+                if r.is_hedge {
+                    self.hedge_wins += 1;
+                }
+                self.push_record(r.arrival, true, lat);
             }
         }
     }
 
+    // ------------------------------------------------------------------
+    // Probing and node-fault handling.
+    // ------------------------------------------------------------------
+
+    fn on_probe_tick(&mut self, ctx: &mut Ctx<'_>) {
+        if self.window_closed {
+            return;
+        }
+        // A jump in the cluster-wide retry-exhaustion tally is a fault
+        // storm: nodes that failed requests since the last tick turn
+        // Suspect immediately instead of waiting out probe deadlines.
+        let cur = dcs_sim::fault::exhausted_total(ctx.world_ref());
+        if cur.saturating_sub(self.last_exhausted) >= self.cfg.health.exhausted_burst {
+            for node in 0..self.nodes.len() {
+                if self.node_fail_marks[node] {
+                    self.health.on_exhausted_burst(node, ctx.now());
+                }
+            }
+        }
+        self.last_exhausted = cur;
+        self.node_fail_marks.iter_mut().for_each(|m| *m = false);
+        for node in 0..self.nodes.len() {
+            self.probe_seq += 1;
+            let seq = self.probe_seq;
+            let oneway = self.switch.control_oneway_ns(node, self.cfg.health.probe_bytes);
+            ctx.send_self_in(oneway, ProbeDelivered { node, seq });
+            ctx.send_self_in(self.cfg.health.probe_timeout_ns, ProbeDeadline { node, seq });
+        }
+        ctx.send_self_in(self.cfg.health.probe_period_ns, ProbeTick);
+    }
+
+    fn on_probe_delivered(&mut self, ctx: &mut Ctx<'_>, node: usize, seq: u64) {
+        if self.crashed[node] {
+            return;
+        }
+        if self.hung_until[node].is_some() {
+            self.held_probes[node].push(seq);
+            return;
+        }
+        let oneway = self.switch.control_oneway_ns(node, self.cfg.health.probe_bytes);
+        ctx.send_self_in(oneway, ProbeAck { node, seq });
+    }
+
+    fn on_probe_ack(&mut self, ctx: &mut Ctx<'_>, node: usize, seq: u64) {
+        if seq > self.last_ack[node] {
+            self.last_ack[node] = seq;
+        }
+        if self.health.on_probe_ack(node, ctx.now()) == Some(Transition::Revived) {
+            ctx.world().stats.counter("cluster.node_revived").add(1);
+        }
+    }
+
+    fn on_probe_deadline(&mut self, ctx: &mut Ctx<'_>, node: usize, seq: u64) {
+        if self.last_ack[node] >= seq {
+            return;
+        }
+        if self.health.on_probe_miss(node, ctx.now()) == Some(Transition::Died) {
+            self.on_node_dead(ctx, node);
+        }
+    }
+
+    /// The suspicion score crossed the kill threshold: fail over
+    /// everything the node holds and start re-replicating its shards.
+    fn on_node_dead(&mut self, ctx: &mut Ctx<'_>, node: usize) {
+        if self.detected_at.is_none() && node == self.fault_node {
+            self.detected_at = Some(ctx.now());
+        }
+        ctx.world().stats.counter("cluster.node_dead").add(1);
+        let swept: Vec<u64> = self
+            .inflight
+            .iter()
+            .filter(|(_, r)| r.node == node)
+            .map(|(&k, _)| k)
+            .collect();
+        for req in swept {
+            self.fail_over(ctx, req);
+        }
+        self.held_jobs[node].clear();
+        self.held_responses[node].clear();
+        self.held_probes[node].clear();
+        // Its admission queue re-routes to survivors (the mask now
+        // excludes this node).
+        let parked: Vec<Pending> = self.queues[node].drain(..).collect();
+        for pend in parked {
+            self.route_and_admit(ctx, pend);
+        }
+        self.start_repair(ctx, node);
+    }
+
+    /// Releases one in-flight leg of a dead node and re-dispatches or
+    /// resolves the request it carried.
+    fn fail_over(&mut self, ctx: &mut Ctx<'_>, req: u64) {
+        let Some(r) = self.inflight.remove(&req) else { return };
+        self.outstanding[r.node] -= 1;
+        self.free_slots[r.node].push(r.slot);
+        self.job_to_req.retain(|_, v| *v != req);
+        if r.orphaned {
+            return;
+        }
+        // A live hedge partner finishes the request on its own.
+        if let Some(p) = r.partner {
+            if let Some(pr) = self.inflight.get_mut(&p) {
+                pr.partner = None;
+                return;
+            }
+        }
+        if r.retries_left > 0 {
+            if self.tally_active() {
+                self.retried += 1;
+            }
+            ctx.world().stats.counter("cluster.retried").add(1);
+            let pend = Pending {
+                object: r.object,
+                len: r.len,
+                is_get: r.is_get,
+                arrival: r.arrival,
+                retries_left: r.retries_left - 1,
+            };
+            self.route_and_admit(ctx, pend);
+        } else {
+            self.note_denied(r.is_get, Some(r.node), r.arrival, true);
+        }
+    }
+
+    fn on_node_fault(&mut self, ctx: &mut Ctx<'_>, idx: usize) {
+        match self.cfg.node_faults[idx] {
+            NodeFault::Crash { node, .. } => {
+                self.crashed[node] = true;
+                ctx.world().stats.counter("cluster.node_crash").add(1);
+            }
+            NodeFault::Hang { node, for_ns, .. } => {
+                self.hung_until[node] = Some(ctx.now() + for_ns);
+                ctx.send_self_in(for_ns, HangOver { node });
+                ctx.world().stats.counter("cluster.node_hang").add(1);
+            }
+        }
+    }
+
+    /// The hang elapsed: everything the node swallowed resumes — parked
+    /// requests run, finished responses ship, swallowed probes ack (which
+    /// revives a node already declared Dead).
+    fn on_hang_over(&mut self, ctx: &mut Ctx<'_>, node: usize) {
+        self.hung_until[node] = None;
+        let held = std::mem::take(&mut self.held_jobs[node]);
+        for req in held {
+            if self.inflight.contains_key(&req) {
+                self.submit_jobs(ctx, req);
+            }
+        }
+        let resp = std::mem::take(&mut self.held_responses[node]);
+        for req in resp {
+            if self.inflight.contains_key(&req) {
+                self.ship_response(ctx, req);
+            }
+        }
+        let probes = std::mem::take(&mut self.held_probes[node]);
+        let oneway = self.switch.control_oneway_ns(node, self.cfg.health.probe_bytes);
+        for seq in probes {
+            ctx.send_self_in(oneway, ProbeAck { node, seq });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Re-replication.
+    // ------------------------------------------------------------------
+
+    /// Plans the repair of `node`'s shards: for every object replicated on
+    /// it, a surviving replica streams a copy to the first ring successor
+    /// outside the replica set. Transfers aggregate per (src, dst) pair
+    /// and drain as a bandwidth-capped chunk stream.
+    fn start_repair(&mut self, ctx: &mut Ctx<'_>, node: usize) {
+        if self.repair_started[node] {
+            return;
+        }
+        self.repair_started[node] = true;
+        let object_bytes = self.cfg.sizes.mean_estimate().ceil() as u64;
+        let mut transfers: BTreeMap<(usize, usize), u64> = BTreeMap::new();
+        for object in 0..self.cfg.objects {
+            let replicas = self.ring.replicas(object);
+            if !replicas.contains(&node) {
+                continue;
+            }
+            let alive = |n: usize| self.health.state(n) != NodeState::Dead;
+            let Some(&src) = replicas.iter().find(|&&n| n != node && alive(n)) else {
+                continue; // every replica is gone: nothing left to copy
+            };
+            let pref = self.ring.preference_list(object, self.nodes.len());
+            let Some(&dst) = pref.iter().find(|&&n| !replicas.contains(&n) && alive(n))
+            else {
+                continue; // no surviving successor to hold the new copy
+            };
+            *transfers.entry((src, dst)).or_insert(0) += object_bytes;
+        }
+        if transfers.is_empty() {
+            return;
+        }
+        let was_active = self.repair_active;
+        for ((src, dst), bytes) in transfers {
+            self.repair_queue.push_back((src, dst, bytes));
+        }
+        self.repair_active = true;
+        if self.repair_start_at.is_none() {
+            self.repair_start_at = Some(ctx.now());
+        }
+        if !was_active {
+            ctx.send_now(ctx.self_id(), RepairChunk);
+        }
+    }
+
+    fn on_repair_chunk(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(&(src, dst, remaining)) = self.repair_queue.front() else {
+            return;
+        };
+        let chunk = remaining.min(self.cfg.health.repair_chunk_bytes as u64);
+        let delivered = self.switch.node_to_node(ctx.now(), src, dst, chunk as usize);
+        self.repair_last_delivery = self.repair_last_delivery.max(delivered);
+        self.repair_bytes_sent += chunk;
+        if remaining > chunk {
+            self.repair_queue.front_mut().expect("front still queued").2 = remaining - chunk;
+        } else {
+            self.repair_queue.pop_front();
+        }
+        if self.repair_queue.is_empty() {
+            ctx.send_at(self.repair_last_delivery, ctx.self_id(), RepairDone);
+        } else {
+            // The pacing cap: the ports may drain a chunk faster, but the
+            // stream never offers more than `repair_gbps` on average.
+            let pace = Bandwidth::gbps(self.cfg.health.repair_gbps)
+                .transfer_time(chunk as usize)
+                .max(1);
+            ctx.send_self_in(pace, RepairChunk);
+        }
+    }
+
+    fn on_repair_done(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.repair_queue.is_empty() {
+            // A second failure queued more transfers after the finish was
+            // scheduled: keep streaming.
+            self.on_repair_chunk(ctx);
+            return;
+        }
+        self.repair_active = false;
+        self.repair_done_at = Some(ctx.now());
+        self.maybe_emit_report(ctx);
+    }
+
+    fn stamp_repair(&self, report: &mut ClusterReport) {
+        report.repair_bytes = self.repair_bytes_sent;
+        report.repair_ns = match (self.repair_start_at, self.repair_done_at) {
+            (Some(s), Some(d)) => Some(d - s),
+            _ => None,
+        };
+    }
+
+    fn maybe_emit_report(&mut self, ctx: &mut Ctx<'_>) {
+        if self.repair_active {
+            return;
+        }
+        if let Some(mut report) = self.report_pending.take() {
+            self.stamp_repair(&mut report);
+            ctx.world().insert(ClusterOutcome(report));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Window close and the report.
+    // ------------------------------------------------------------------
+
+    fn free_leg(&mut self, r: &InFlight) {
+        self.outstanding[r.node] -= 1;
+        self.free_slots[r.node].push(r.slot);
+    }
+
+    /// Availability split into before / during / after the failure, with
+    /// "during" ending at detection (crash) or at the hang's end.
+    fn phases(&self, end_ns: u64) -> [PhasePerf; 3] {
+        let fault_at = self.fault_at_abs;
+        let recovery = self
+            .detected_at
+            .map(|t| t.as_nanos())
+            .or(self.hang_end_abs)
+            .unwrap_or(end_ns)
+            .max(fault_at);
+        let mut phases = [PhasePerf::default(); 3];
+        let mut hists = [Histogram::new(), Histogram::new(), Histogram::new()];
+        for rec in &self.records {
+            let idx = if rec.at_ns < fault_at {
+                0
+            } else if rec.at_ns < recovery {
+                1
+            } else {
+                2
+            };
+            phases[idx].requests += 1;
+            if rec.ok {
+                phases[idx].ok += 1;
+                hists[idx].record(rec.latency_ns);
+            }
+        }
+        for (p, h) in phases.iter_mut().zip(&hists) {
+            p.p99_ns = h.percentile(99.0).unwrap_or(0);
+        }
+        phases
+    }
+
     fn close_window(&mut self, ctx: &mut Ctx<'_>) {
+        // Resolve work stranded on failed nodes while tallies still
+        // count: with the health layer off this is where every loss
+        // surfaces (the ablation's availability gap).
+        let stranded: Vec<u64> = self
+            .inflight
+            .iter()
+            .filter(|(_, r)| self.stuck(r.node))
+            .map(|(&k, _)| k)
+            .collect();
+        for req in stranded {
+            let Some(r) = self.inflight.get(&req) else { continue };
+            if r.orphaned {
+                let r = self.inflight.remove(&req).expect("checked above");
+                self.free_leg(&r);
+                continue;
+            }
+            // A live partner on a healthy node will finish the request
+            // after the window (excluded from tallies either way).
+            let partner_completes = r
+                .partner
+                .and_then(|p| self.inflight.get(&p))
+                .is_some_and(|pr| !self.stuck(pr.node));
+            if let Some(p) = r.partner {
+                if let Some(pr) = self.inflight.get_mut(&p) {
+                    pr.orphaned = true;
+                    pr.partner = None;
+                }
+            }
+            let r = self.inflight.remove(&req).expect("checked above");
+            self.free_leg(&r);
+            self.job_to_req.retain(|_, v| *v != req);
+            if !partner_completes {
+                self.note_denied(r.is_get, Some(r.node), r.arrival, true);
+            }
+        }
+        for node in 0..self.nodes.len() {
+            if self.stuck(node) {
+                let parked: Vec<Pending> = self.queues[node].drain(..).collect();
+                for pend in parked {
+                    self.note_denied(pend.is_get, Some(node), pend.arrival, true);
+                }
+            }
+        }
         self.window_closed = true;
-        // Parked requests are abandoned: nothing was submitted for them.
+        // Parked requests on healthy nodes are abandoned: nothing was
+        // submitted for them.
         for q in &mut self.queues {
             q.clear();
         }
@@ -486,16 +1255,39 @@ impl ClusterDriver {
                 .map(|s| s.utilization(&node.server.cpu_key, span))
                 .unwrap_or(0.0);
         }
-        let report = ClusterReport {
+        let mut report = ClusterReport {
             span_ns: span,
             requests: self.requests,
             bytes: self.bytes,
             rejected: self.rejected,
             failures: self.failures,
+            get_ok: self.get_ok,
+            get_denied: self.get_denied,
+            put_ok: self.put_ok,
+            put_denied: self.put_denied,
+            hedged: self.hedged,
+            hedge_wins: self.hedge_wins,
+            retried: self.retried,
+            lost: self.lost,
+            put_fallbacks: self.put_fallbacks,
+            detection_ns: self
+                .detected_at
+                .map(|t| t.as_nanos().saturating_sub(self.fault_at_abs)),
             latency: self.latency.clone(),
             per_node: self.per_node.clone(),
+            ..ClusterReport::default()
         };
-        ctx.world().insert(ClusterOutcome(report));
+        if !self.cfg.node_faults.is_empty() {
+            report.phases = Some(self.phases(ctx.now().as_nanos()));
+        }
+        if self.repair_active {
+            // Repair outlives the window: emit once the stream drains so
+            // the report can carry the true time-to-repair.
+            self.report_pending = Some(report);
+        } else {
+            self.stamp_repair(&mut report);
+            ctx.world().insert(ClusterOutcome(report));
+        }
     }
 }
 
@@ -510,6 +1302,22 @@ impl Component for ClusterDriver {
                 if let Some(d) = self.cfg.degrade {
                     assert!(d.node < self.nodes.len(), "degraded node out of range");
                     ctx.send_self_in(d.at_ns, DegradeNow);
+                }
+                for (idx, f) in self.cfg.node_faults.iter().enumerate() {
+                    assert!(f.node() < self.nodes.len(), "faulted node out of range");
+                    ctx.send_self_in(f.at_ns(), NodeFaultAt { idx });
+                }
+                if let Some(first) =
+                    self.cfg.node_faults.iter().min_by_key(|f| f.at_ns()).copied()
+                {
+                    self.fault_at_abs = ctx.now().as_nanos() + first.at_ns();
+                    self.fault_node = first.node();
+                    if let NodeFault::Hang { at_ns, for_ns, .. } = first {
+                        self.hang_end_abs = Some(ctx.now().as_nanos() + at_ns + for_ns);
+                    }
+                }
+                if self.cfg.health.enabled {
+                    ctx.send_self_in(self.cfg.health.probe_period_ns, ProbeTick);
                 }
                 return;
             }
@@ -563,6 +1371,69 @@ impl Component for ClusterDriver {
         let msg = match msg.downcast::<Response>() {
             Ok(Response { req }) => {
                 self.on_response(ctx, req);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<ProbeTick>() {
+            Ok(ProbeTick) => {
+                self.on_probe_tick(ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<ProbeDelivered>() {
+            Ok(ProbeDelivered { node, seq }) => {
+                self.on_probe_delivered(ctx, node, seq);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<ProbeAck>() {
+            Ok(ProbeAck { node, seq }) => {
+                self.on_probe_ack(ctx, node, seq);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<ProbeDeadline>() {
+            Ok(ProbeDeadline { node, seq }) => {
+                self.on_probe_deadline(ctx, node, seq);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<NodeFaultAt>() {
+            Ok(NodeFaultAt { idx }) => {
+                self.on_node_fault(ctx, idx);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<HangOver>() {
+            Ok(HangOver { node }) => {
+                self.on_hang_over(ctx, node);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<HedgeFire>() {
+            Ok(HedgeFire { req }) => {
+                self.on_hedge_fire(ctx, req);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<RepairChunk>() {
+            Ok(RepairChunk) => {
+                self.on_repair_chunk(ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<RepairDone>() {
+            Ok(RepairDone) => {
+                self.on_repair_done(ctx);
                 return;
             }
             Err(m) => m,

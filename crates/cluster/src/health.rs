@@ -1,0 +1,458 @@
+//! Node-level failure detection and the per-node circuit breaker.
+//!
+//! The front end probes every node over the ToR switch's strict-priority
+//! control lane (see [`TorSwitch::control_oneway_ns`]). Each probe gets a
+//! deadline; a node that misses consecutive deadlines accumulates a
+//! *suspicion score* — a timeout-based simplification of the phi-accrual
+//! detector: the score is the fraction of the kill threshold reached, it
+//! rises one step per missed deadline and collapses to zero on any ack —
+//! and transitions `Healthy → Suspect → Dead`. Any later ack (a hung node
+//! waking up) flips it straight back to `Healthy`.
+//!
+//! Independently, request outcomes drive a classic per-node **circuit
+//! breaker**: `breaker_failures` *consecutive* request failures open it
+//! (the node is excluded from routing), after `breaker_open_ns` it goes
+//! half-open (one trial request is let through), and a success — a trial
+//! request completing, or a heartbeat ack — closes it again.
+//!
+//! Both signals are consumed by the routing mask:
+//! [`HealthMonitor::unroutable_mask`] marks a node unroutable while it is
+//! `Dead` or its breaker is open, which is what
+//! [`HashRing::replicas_excluding`] consumes.
+//!
+//! Everything here is plain deterministic state driven by simulator
+//! events; the module owns no RNG, so detection times are reproducible
+//! bit-for-bit from the probe schedule alone.
+//!
+//! [`TorSwitch::control_oneway_ns`]: crate::TorSwitch::control_oneway_ns
+//! [`HashRing::replicas_excluding`]: crate::HashRing::replicas_excluding
+
+use dcs_sim::SimTime;
+
+/// Liveness state of one node as the front end believes it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeState {
+    /// Acking probes; fully routable.
+    Healthy,
+    /// Missed at least `suspect_after` consecutive probe deadlines (or
+    /// showed a retry-exhaustion burst); still routable, but hedges fire
+    /// at the minimum delay against it.
+    Suspect,
+    /// Missed `dead_after` consecutive probe deadlines: unroutable,
+    /// in-flight requests are failed over, re-replication starts.
+    Dead,
+}
+
+/// Per-node circuit-breaker state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation.
+    Closed,
+    /// Tripped by consecutive failures: unroutable until the open window
+    /// elapses.
+    Open,
+    /// Open window elapsed: exactly one trial request may pass; its
+    /// outcome (or a probe ack) decides Open vs Closed.
+    HalfOpen,
+}
+
+/// Knobs for detection, failover, hedging, and repair. Lives inside
+/// [`ClusterConfig`](crate::ClusterConfig); `enabled: false` turns the
+/// entire tolerance layer off (the ablation the failover sweep measures).
+#[derive(Clone, Debug)]
+pub struct HealthConfig {
+    /// Master switch: probes, failover, retries, hedging, and repair all
+    /// key off this.
+    pub enabled: bool,
+    /// Heartbeat period per node.
+    pub probe_period_ns: u64,
+    /// Probe deadline: an ack not seen this long after the probe was sent
+    /// counts as a miss.
+    pub probe_timeout_ns: u64,
+    /// Control-frame size on the wire.
+    pub probe_bytes: usize,
+    /// Consecutive misses before `Healthy → Suspect`.
+    pub suspect_after: u32,
+    /// Consecutive misses before `Suspect → Dead`.
+    pub dead_after: u32,
+    /// Consecutive request failures that open the breaker.
+    pub breaker_failures: u32,
+    /// How long the breaker stays open before going half-open.
+    pub breaker_open_ns: u64,
+    /// Per-request budget for re-dispatching a request whose node died
+    /// with it in flight (0 disables failover retries).
+    pub request_retries: u32,
+    /// Issue a hedged second GET to another replica when the first is
+    /// slow.
+    pub hedge: bool,
+    /// Floor for the hedge delay (and the delay used against Suspect
+    /// nodes).
+    pub hedge_min_ns: u64,
+    /// Ceiling for the hedge delay.
+    pub hedge_max_ns: u64,
+    /// Hedge delay until the latency histogram has enough samples for a
+    /// p99.
+    pub hedge_default_ns: u64,
+    /// Pacing rate of the re-replication stream, Gbps (the bandwidth cap;
+    /// chunks still serialize — and contend — on the ToR ports).
+    pub repair_gbps: f64,
+    /// Chunk size of the re-replication stream.
+    pub repair_chunk_bytes: usize,
+    /// Jump in the cluster-wide `SiteStats::exhausted` tally within one
+    /// probe period that counts as a fault storm: nodes failing requests
+    /// during such a burst are marked Suspect immediately instead of
+    /// waiting out probe deadlines.
+    pub exhausted_burst: u64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            enabled: true,
+            probe_period_ns: 500_000,
+            probe_timeout_ns: 2_500_000,
+            probe_bytes: 128,
+            suspect_after: 2,
+            dead_after: 4,
+            breaker_failures: 3,
+            breaker_open_ns: 3_000_000,
+            request_retries: 2,
+            hedge: true,
+            hedge_min_ns: 2_000_000,
+            hedge_max_ns: 25_000_000,
+            hedge_default_ns: 12_000_000,
+            repair_gbps: 2.0,
+            repair_chunk_bytes: 256 * 1024,
+            exhausted_burst: 3,
+        }
+    }
+}
+
+impl HealthConfig {
+    /// The whole tolerance layer off: no probes, no failover, no hedges,
+    /// no repair. Node faults still fire — this is the ablation arm.
+    pub fn disabled() -> HealthConfig {
+        HealthConfig { enabled: false, ..HealthConfig::default() }
+    }
+
+    /// Upper bound on crash-to-`Dead` detection latency: the first probe
+    /// after the crash is at most one period away, `dead_after - 1` more
+    /// periods accumulate the misses, and the last probe's deadline pays
+    /// the timeout.
+    pub fn detection_bound_ns(&self) -> u64 {
+        self.dead_after as u64 * self.probe_period_ns + self.probe_timeout_ns
+    }
+}
+
+/// What a probe event changed, when it changed something the driver must
+/// act on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transition {
+    /// The node just crossed the death threshold: fail over its in-flight
+    /// requests and start re-replication.
+    Died,
+    /// A previously-Dead node acked a probe (a hang ended): it is
+    /// routable again.
+    Revived,
+}
+
+#[derive(Clone, Debug)]
+struct NodeHealth {
+    state: NodeState,
+    /// Consecutive missed probe deadlines.
+    misses: u32,
+    breaker: BreakerState,
+    opened_at: SimTime,
+    consecutive_failures: u32,
+    /// A half-open trial request is in flight; hold further traffic.
+    trial_inflight: bool,
+}
+
+impl NodeHealth {
+    fn new() -> NodeHealth {
+        NodeHealth {
+            state: NodeState::Healthy,
+            misses: 0,
+            breaker: BreakerState::Closed,
+            opened_at: SimTime::ZERO,
+            consecutive_failures: 0,
+            trial_inflight: false,
+        }
+    }
+}
+
+/// The front end's per-node health book-keeping (probes in, routing mask
+/// out). Owned and driven by the
+/// [`ClusterDriver`](crate::ClusterDriver); see the module docs for the
+/// state machines.
+pub struct HealthMonitor {
+    cfg: HealthConfig,
+    nodes: Vec<NodeHealth>,
+}
+
+impl HealthMonitor {
+    /// A monitor over `n` nodes, all Healthy with closed breakers.
+    pub fn new(cfg: &HealthConfig, n: usize) -> HealthMonitor {
+        HealthMonitor { cfg: cfg.clone(), nodes: vec![NodeHealth::new(); n] }
+    }
+
+    /// Current liveness state of `node`.
+    pub fn state(&self, node: usize) -> NodeState {
+        self.nodes[node].state
+    }
+
+    /// Current breaker state of `node` (without the lazy Open → HalfOpen
+    /// promotion; use [`routable`](Self::routable) for routing decisions).
+    pub fn breaker(&self, node: usize) -> BreakerState {
+        self.nodes[node].breaker
+    }
+
+    /// The suspicion score: fraction of the kill threshold the node's
+    /// consecutive misses have reached (>= 1.0 means Dead).
+    pub fn score(&self, node: usize) -> f64 {
+        self.nodes[node].misses as f64 / self.cfg.dead_after.max(1) as f64
+    }
+
+    /// A probe deadline passed without an ack.
+    pub fn on_probe_miss(&mut self, node: usize, _now: SimTime) -> Option<Transition> {
+        let n = &mut self.nodes[node];
+        n.misses = n.misses.saturating_add(1);
+        if n.misses >= self.cfg.dead_after && n.state != NodeState::Dead {
+            n.state = NodeState::Dead;
+            return Some(Transition::Died);
+        }
+        if n.misses >= self.cfg.suspect_after && n.state == NodeState::Healthy {
+            n.state = NodeState::Suspect;
+        }
+        None
+    }
+
+    /// A probe ack arrived (possibly after its deadline — late acks from
+    /// a waking node still count as life).
+    pub fn on_probe_ack(&mut self, node: usize, _now: SimTime) -> Option<Transition> {
+        let n = &mut self.nodes[node];
+        n.misses = 0;
+        // A heartbeat is the half-open "probe": it closes the breaker.
+        if n.breaker != BreakerState::Closed {
+            n.breaker = BreakerState::Closed;
+            n.consecutive_failures = 0;
+            n.trial_inflight = false;
+        }
+        match n.state {
+            NodeState::Dead => {
+                n.state = NodeState::Healthy;
+                Some(Transition::Revived)
+            }
+            NodeState::Suspect => {
+                n.state = NodeState::Healthy;
+                None
+            }
+            NodeState::Healthy => None,
+        }
+    }
+
+    /// A request to `node` completed successfully.
+    pub fn on_request_success(&mut self, node: usize) {
+        let n = &mut self.nodes[node];
+        n.consecutive_failures = 0;
+        if n.breaker == BreakerState::HalfOpen {
+            n.breaker = BreakerState::Closed;
+            n.trial_inflight = false;
+        }
+    }
+
+    /// A request to `node` completed with an error.
+    pub fn on_request_failure(&mut self, node: usize, now: SimTime) {
+        let n = &mut self.nodes[node];
+        n.consecutive_failures = n.consecutive_failures.saturating_add(1);
+        match n.breaker {
+            BreakerState::HalfOpen => {
+                // The trial failed: back to fully open.
+                n.breaker = BreakerState::Open;
+                n.opened_at = now;
+                n.trial_inflight = false;
+            }
+            BreakerState::Closed if n.consecutive_failures >= self.cfg.breaker_failures => {
+                n.breaker = BreakerState::Open;
+                n.opened_at = now;
+            }
+            _ => {}
+        }
+    }
+
+    /// The cluster-wide retry-exhaustion tally jumped this probe period
+    /// and `node` failed requests during it: treat the node as Suspect
+    /// right away and push its breaker toward opening.
+    pub fn on_exhausted_burst(&mut self, node: usize, now: SimTime) {
+        {
+            let n = &mut self.nodes[node];
+            if n.state == NodeState::Healthy {
+                n.state = NodeState::Suspect;
+                n.misses = n.misses.max(self.cfg.suspect_after);
+            }
+        }
+        self.on_request_failure(node, now);
+    }
+
+    /// May traffic be routed to `node` right now? False while Dead or
+    /// breaker-open; a half-open breaker admits exactly one trial (the
+    /// driver reports the dispatch via [`on_dispatch`](Self::on_dispatch)).
+    /// Promotes Open → HalfOpen lazily once the open window elapses.
+    pub fn routable(&mut self, node: usize, now: SimTime) -> bool {
+        let open_ns = self.cfg.breaker_open_ns;
+        let n = &mut self.nodes[node];
+        if n.state == NodeState::Dead {
+            return false;
+        }
+        match n.breaker {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                if now.saturating_since(n.opened_at) >= open_ns {
+                    n.breaker = BreakerState::HalfOpen;
+                    n.trial_inflight = false;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => !n.trial_inflight,
+        }
+    }
+
+    /// `excluded[n] == true` for every node routing must skip, in the
+    /// shape [`HashRing::replicas_excluding`] consumes.
+    ///
+    /// [`HashRing::replicas_excluding`]: crate::HashRing::replicas_excluding
+    pub fn unroutable_mask(&mut self, now: SimTime) -> Vec<bool> {
+        (0..self.nodes.len()).map(|n| !self.routable(n, now)).collect()
+    }
+
+    /// The driver dispatched a request to `node`; a half-open breaker
+    /// spends its single trial on it.
+    pub fn on_dispatch(&mut self, node: usize) {
+        let n = &mut self.nodes[node];
+        if n.breaker == BreakerState::HalfOpen {
+            n.trial_inflight = true;
+        }
+    }
+
+    /// Count of nodes currently believed Dead.
+    pub fn dead_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.state == NodeState::Dead).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::ZERO + ns
+    }
+
+    fn monitor() -> HealthMonitor {
+        HealthMonitor::new(&HealthConfig::default(), 2)
+    }
+
+    #[test]
+    fn misses_walk_healthy_suspect_dead_and_ack_revives() {
+        let mut m = monitor();
+        assert_eq!(m.state(0), NodeState::Healthy);
+        assert_eq!(m.on_probe_miss(0, t(1)), None);
+        assert_eq!(m.state(0), NodeState::Healthy, "one miss is noise");
+        assert_eq!(m.on_probe_miss(0, t(2)), None);
+        assert_eq!(m.state(0), NodeState::Suspect);
+        assert!(m.score(0) < 1.0);
+        assert_eq!(m.on_probe_miss(0, t(3)), None);
+        assert_eq!(m.on_probe_miss(0, t(4)), Some(Transition::Died));
+        assert_eq!(m.state(0), NodeState::Dead);
+        assert!(m.score(0) >= 1.0);
+        assert!(!m.routable(0, t(5)));
+        // Node 1 is untouched throughout.
+        assert_eq!(m.state(1), NodeState::Healthy);
+        // A late ack (hang ended) revives it in one step.
+        assert_eq!(m.on_probe_ack(0, t(6)), Some(Transition::Revived));
+        assert_eq!(m.state(0), NodeState::Healthy);
+        assert!(m.routable(0, t(7)));
+        // Dying again re-reports the transition.
+        for i in 0..3 {
+            assert_eq!(m.on_probe_miss(0, t(8 + i)), None);
+        }
+        assert_eq!(m.on_probe_miss(0, t(12)), Some(Transition::Died));
+    }
+
+    #[test]
+    fn breaker_opens_after_k_failures_and_half_open_trial_decides() {
+        let mut m = monitor();
+        // Interleaved successes keep resetting the consecutive count.
+        for i in 0..10 {
+            m.on_request_failure(0, t(i));
+            m.on_request_success(0);
+        }
+        assert_eq!(m.breaker(0), BreakerState::Closed);
+        for i in 0..3 {
+            m.on_request_failure(0, t(100 + i));
+        }
+        assert_eq!(m.breaker(0), BreakerState::Open);
+        assert!(!m.routable(0, t(110)), "open breaker blocks routing");
+        // After the open window: half-open admits exactly one trial.
+        let later = t(100 + 2 + 3_000_000);
+        assert!(m.routable(0, later));
+        assert_eq!(m.breaker(0), BreakerState::HalfOpen);
+        m.on_dispatch(0);
+        assert!(!m.routable(0, later), "one trial at a time");
+        // Trial fails: reopen (and the window restarts from now).
+        m.on_request_failure(0, later);
+        assert_eq!(m.breaker(0), BreakerState::Open);
+        assert!(!m.routable(0, later + 1_000_000));
+        // Next half-open trial succeeds: closed.
+        let again = later + 3_000_000;
+        assert!(m.routable(0, again));
+        m.on_dispatch(0);
+        m.on_request_success(0);
+        assert_eq!(m.breaker(0), BreakerState::Closed);
+        assert!(m.routable(0, again));
+    }
+
+    #[test]
+    fn probe_ack_closes_an_open_breaker() {
+        let mut m = monitor();
+        for i in 0..3 {
+            m.on_request_failure(1, t(i));
+        }
+        assert_eq!(m.breaker(1), BreakerState::Open);
+        m.on_probe_ack(1, t(10));
+        assert_eq!(m.breaker(1), BreakerState::Closed);
+        assert!(m.routable(1, t(11)));
+    }
+
+    #[test]
+    fn exhausted_burst_jumps_straight_to_suspect() {
+        let mut m = monitor();
+        m.on_exhausted_burst(0, t(1));
+        assert_eq!(m.state(0), NodeState::Suspect);
+        // It feeds the breaker too: two more failures open it.
+        m.on_request_failure(0, t(2));
+        m.on_request_failure(0, t(3));
+        assert_eq!(m.breaker(0), BreakerState::Open);
+        // But bursts alone never declare death — only probes do, which is
+        // what keeps detection times policy-invariant.
+        for i in 0..20 {
+            m.on_exhausted_burst(0, t(10 + i));
+        }
+        assert_eq!(m.state(0), NodeState::Suspect);
+    }
+
+    #[test]
+    fn mask_reflects_dead_and_open_nodes() {
+        let mut m = monitor();
+        for _ in 0..4 {
+            m.on_probe_miss(0, t(1));
+        }
+        for i in 0..3 {
+            m.on_request_failure(1, t(2 + i));
+        }
+        assert_eq!(m.unroutable_mask(t(10)), vec![true, true]);
+        assert_eq!(m.dead_count(), 1);
+    }
+}

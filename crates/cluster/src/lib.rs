@@ -24,6 +24,14 @@
 //! queue-aware policies observe the backlog and reroute, which is the
 //! cluster-level payoff the `repro cluster` sweep quantifies.
 //!
+//! Whole-node failures ([`NodeFault`]: crashes and hangs) are handled by
+//! the failure-tolerance layer in [`health`]: heartbeat probing over the
+//! switch's strict-priority control lane, a per-node circuit breaker,
+//! replica failover with bounded retries, hedged GETs, PUT fallback to
+//! surviving replicas, and bandwidth-capped re-replication of the dead
+//! node's shards — the `repro cluster-failover` sweep measures detection
+//! time, availability through the failure, and time-to-repair.
+//!
 //! ```
 //! use dcs_cluster::{run_cluster, ClusterConfig, LbPolicy};
 //!
@@ -38,14 +46,16 @@
 //! ```
 
 pub mod driver;
+pub mod health;
 pub mod policy;
 pub mod report;
 pub mod shard;
 pub mod switch;
 
-pub use driver::{ClusterConfig, ClusterDriver, ClusterNode, ClusterOutcome, Degrade};
+pub use driver::{ClusterConfig, ClusterDriver, ClusterNode, ClusterOutcome, Degrade, NodeFault};
+pub use health::{BreakerState, HealthConfig, HealthMonitor, NodeState, Transition};
 pub use policy::{LbPolicy, NodeLoad};
-pub use report::{ClusterReport, NodePerf};
+pub use report::{ClusterReport, NodePerf, PhasePerf};
 pub use shard::HashRing;
 pub use switch::{SwitchConfig, TorSwitch};
 

@@ -13,8 +13,33 @@ pub struct NodePerf {
     pub rejected: u64,
     /// Requests that completed with an error.
     pub failures: u64,
+    /// Requests lost on the node (crashed or hung with them in flight,
+    /// retry budget exhausted).
+    pub lost: u64,
     /// Node CPU utilization (fraction of all cores) over the window.
     pub cpu_utilization: f64,
+}
+
+/// Availability and tail latency over one slice of the window (the slices
+/// are before / during / after the injected node failure).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhasePerf {
+    /// Requests that arrived in the phase and were resolved (ok or not).
+    pub requests: u64,
+    /// Of those, requests served successfully.
+    pub ok: u64,
+    /// p99 end-to-end latency of the phase's served requests, ns.
+    pub p99_ns: u64,
+}
+
+impl PhasePerf {
+    /// Fraction of the phase's resolved requests that were served.
+    pub fn availability(&self) -> f64 {
+        if self.requests == 0 {
+            return 1.0;
+        }
+        self.ok as f64 / self.requests as f64
+    }
 }
 
 /// Cluster-wide measurements over the (warm-up-trimmed) window.
@@ -30,11 +55,67 @@ pub struct ClusterReport {
     pub rejected: u64,
     /// Requests completed with an error.
     pub failures: u64,
+    /// GETs served successfully / denied (shed, unroutable, or lost).
+    pub get_ok: u64,
+    /// See [`get_ok`](Self::get_ok).
+    pub get_denied: u64,
+    /// PUTs served successfully / denied.
+    pub put_ok: u64,
+    /// See [`put_ok`](Self::put_ok).
+    pub put_denied: u64,
+    /// Hedged second GETs issued, and how many beat the primary leg.
+    pub hedged: u64,
+    /// See [`hedged`](Self::hedged).
+    pub hedge_wins: u64,
+    /// Requests re-dispatched to another replica after their node died.
+    pub retried: u64,
+    /// Requests lost outright (in flight on a failed node, budget spent).
+    pub lost: u64,
+    /// PUTs written to a surviving replica because the primary was
+    /// unroutable.
+    pub put_fallbacks: u64,
+    /// Crash-to-`Dead` detection latency, when a node fault was injected
+    /// and detected.
+    pub detection_ns: Option<u64>,
+    /// Bytes re-replicated off the dead node.
+    pub repair_bytes: u64,
+    /// Detection-to-repair-complete latency, when repair ran.
+    pub repair_ns: Option<u64>,
+    /// Availability before / during / after the failure window, when a
+    /// node fault was injected.
+    pub phases: Option<[PhasePerf; 3]>,
     /// End-to-end request latency (arrival at the front end to response
     /// fully received back at the front end), ns.
     pub latency: Histogram,
     /// Per-node contributions, indexed by node id.
     pub per_node: Vec<NodePerf>,
+}
+
+impl Default for ClusterReport {
+    fn default() -> Self {
+        ClusterReport {
+            span_ns: 0,
+            requests: 0,
+            bytes: 0,
+            rejected: 0,
+            failures: 0,
+            get_ok: 0,
+            get_denied: 0,
+            put_ok: 0,
+            put_denied: 0,
+            hedged: 0,
+            hedge_wins: 0,
+            retried: 0,
+            lost: 0,
+            put_fallbacks: 0,
+            detection_ns: None,
+            repair_bytes: 0,
+            repair_ns: None,
+            phases: None,
+            latency: Histogram::new(),
+            per_node: vec![],
+        }
+    }
 }
 
 impl ClusterReport {
@@ -53,6 +134,24 @@ impl ClusterReport {
             return 0.0;
         }
         self.rejected as f64 / offered as f64
+    }
+
+    /// Fraction of resolved GETs that were served (1.0 when no GETs ran).
+    pub fn get_availability(&self) -> f64 {
+        ratio(self.get_ok, self.get_ok + self.get_denied)
+    }
+
+    /// Fraction of resolved PUTs that were served (write availability).
+    pub fn put_availability(&self) -> f64 {
+        ratio(self.put_ok, self.put_ok + self.put_denied)
+    }
+
+    /// Fraction of all resolved requests that were served.
+    pub fn availability(&self) -> f64 {
+        ratio(
+            self.get_ok + self.put_ok,
+            self.get_ok + self.get_denied + self.put_ok + self.put_denied,
+        )
     }
 
     /// Imbalance of served bytes across nodes: max node over mean node
@@ -84,18 +183,66 @@ impl ClusterReport {
             self.latency_us(99.9),
             self.imbalance(),
         );
+        if self.hedged + self.retried + self.lost + self.put_fallbacks > 0
+            || self.detection_ns.is_some()
+        {
+            out.push_str(&format!(
+                "    health: GET avail {:.2}%, PUT avail {:.2}%, shed {}, hedged {} (wins {}), retried {}, lost {}, put-fallbacks {}\n",
+                self.get_availability() * 100.0,
+                self.put_availability() * 100.0,
+                self.rejected,
+                self.hedged,
+                self.hedge_wins,
+                self.retried,
+                self.lost,
+                self.put_fallbacks,
+            ));
+        }
+        if let Some(detect) = self.detection_ns {
+            let repair = match self.repair_ns {
+                Some(ns) => format!(
+                    "repaired {:.1} MiB in {:.2} ms",
+                    self.repair_bytes as f64 / (1 << 20) as f64,
+                    ns as f64 / 1e6
+                ),
+                None => "no repair".to_string(),
+            };
+            out.push_str(&format!(
+                "    failure: detected in {:.0} us, {repair}\n",
+                detect as f64 / 1000.0
+            ));
+        }
+        if let Some(phases) = &self.phases {
+            let names = ["before", "during", "after "];
+            for (name, p) in names.iter().zip(phases) {
+                out.push_str(&format!(
+                    "    phase {name}: {:>6} reqs, avail {:>6.2}%, p99 {:>7.0} us\n",
+                    p.requests,
+                    p.availability() * 100.0,
+                    p.p99_ns as f64 / 1000.0,
+                ));
+            }
+        }
         for (i, n) in self.per_node.iter().enumerate() {
             out.push_str(&format!(
-                "    node{i:<2} {:>6} reqs {:>8.2} Gbps {:>5} shed {:>3} fail  cpu {:>5.1}%\n",
+                "    node{i:<2} {:>6} reqs {:>8.2} Gbps {:>5} shed {:>3} fail {:>3} lost  cpu {:>5.1}%\n",
                 n.requests,
                 n.bytes as f64 * 8.0 / self.span_ns.max(1) as f64,
                 n.rejected,
                 n.failures,
+                n.lost,
                 n.cpu_utilization * 100.0,
             ));
         }
         out
     }
+}
+
+fn ratio(num: u64, denom: u64) -> f64 {
+    if denom == 0 {
+        return 1.0;
+    }
+    num as f64 / denom as f64
 }
 
 #[cfg(test)]
@@ -118,6 +265,7 @@ mod tests {
                 NodePerf { requests: 3, bytes: 400_000_000, ..Default::default() },
                 NodePerf { requests: 1, bytes: 100_000_000, ..Default::default() },
             ],
+            ..ClusterReport::default()
         }
     }
 
@@ -132,22 +280,72 @@ mod tests {
         let text = r.render("test");
         assert!(text.contains("4.00 Gbps"), "{text}");
         assert!(text.contains("node0"), "{text}");
+        // With no failover activity the health lines stay out of the way.
+        assert!(!text.contains("health:"), "{text}");
+        assert!(!text.contains("failure:"), "{text}");
     }
 
     #[test]
     fn empty_report_is_safe() {
-        let r = ClusterReport {
-            span_ns: 0,
-            requests: 0,
-            bytes: 0,
-            rejected: 0,
-            failures: 0,
-            latency: Histogram::new(),
-            per_node: vec![],
-        };
+        let r = ClusterReport::default();
         assert_eq!(r.goodput_gbps(), 0.0);
         assert_eq!(r.rejection_rate(), 0.0);
         assert_eq!(r.imbalance(), 1.0);
         assert_eq!(r.latency_us(99.0), 0.0);
+        assert_eq!(r.availability(), 1.0, "no traffic is vacuously available");
+    }
+
+    #[test]
+    fn availability_counts_denied_and_lost() {
+        let r = ClusterReport {
+            get_ok: 98,
+            get_denied: 2,
+            put_ok: 49,
+            put_denied: 1,
+            ..ClusterReport::default()
+        };
+        assert!((r.get_availability() - 0.98).abs() < 1e-9);
+        assert!((r.put_availability() - 0.98).abs() < 1e-9);
+        assert!((r.availability() - 0.98).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failover_lines_render() {
+        let r = ClusterReport {
+            span_ns: 1_000_000,
+            get_ok: 10,
+            get_denied: 1,
+            put_ok: 5,
+            put_denied: 0,
+            hedged: 4,
+            hedge_wins: 2,
+            retried: 3,
+            lost: 1,
+            put_fallbacks: 2,
+            detection_ns: Some(2_250_000),
+            repair_bytes: 4 << 20,
+            repair_ns: Some(9_000_000),
+            phases: Some([
+                PhasePerf { requests: 100, ok: 100, p99_ns: 500_000 },
+                PhasePerf { requests: 50, ok: 45, p99_ns: 2_000_000 },
+                PhasePerf { requests: 100, ok: 100, p99_ns: 600_000 },
+            ]),
+            ..ClusterReport::default()
+        };
+        let text = r.render("failover");
+        assert!(text.contains("hedged 4 (wins 2)"), "{text}");
+        assert!(text.contains("retried 3"), "{text}");
+        assert!(text.contains("lost 1"), "{text}");
+        assert!(text.contains("detected in 2250 us"), "{text}");
+        assert!(text.contains("repaired 4.0 MiB"), "{text}");
+        assert!(text.contains("phase during"), "{text}");
+        assert!(text.contains("90.00%"), "{text}");
+    }
+
+    #[test]
+    fn phase_availability_is_vacuous_when_empty() {
+        assert_eq!(PhasePerf::default().availability(), 1.0);
+        let p = PhasePerf { requests: 4, ok: 3, p99_ns: 0 };
+        assert!((p.availability() - 0.75).abs() < 1e-9);
     }
 }

@@ -70,19 +70,39 @@ impl HashRing {
     /// The replica set for `object`: the primary followed by the next
     /// distinct physical nodes clockwise around the ring.
     pub fn replicas(&self, object: u64) -> Vec<usize> {
+        self.preference_list(object, self.replication)
+    }
+
+    /// The first `n` distinct physical nodes clockwise from `object`'s
+    /// ring position. The leading `replication()` entries are the replica
+    /// set; the nodes after them are the successors that take over the
+    /// object's data when a replica is re-replicated away from a dead
+    /// node.
+    pub fn preference_list(&self, object: u64, n: usize) -> Vec<usize> {
         let h = mix(object);
         let start = self.vnodes.partition_point(|&(vh, _)| vh < h);
-        let mut out = Vec::with_capacity(self.replication);
+        let mut out = Vec::with_capacity(n.min(self.nodes));
         for i in 0..self.vnodes.len() {
             let (_, node) = self.vnodes[(start + i) % self.vnodes.len()];
             if !out.contains(&node) {
                 out.push(node);
-                if out.len() == self.replication {
+                if out.len() == n {
                     break;
                 }
             }
         }
         out
+    }
+
+    /// The replica set for `object` with `excluded[n] == true` nodes
+    /// (dead, or behind an open circuit breaker) removed. May return
+    /// fewer than `replication()` entries — even none, when every replica
+    /// is excluded — so callers must not assume a full set.
+    pub fn replicas_excluding(&self, object: u64, excluded: &[bool]) -> Vec<usize> {
+        self.replicas(object)
+            .into_iter()
+            .filter(|&n| !excluded.get(n).copied().unwrap_or(false))
+            .collect()
     }
 }
 
@@ -145,6 +165,38 @@ mod tests {
         assert_eq!(moved, 0);
         let to_new = (0..objects).filter(|&o| after.primary(o) == 7).count();
         assert!(to_new > 0, "the new node must own something");
+    }
+
+    #[test]
+    fn excluding_dead_nodes_shrinks_the_set() {
+        let ring = HashRing::new(4, 64, 2);
+        let none = [false; 4];
+        for object in 0..500u64 {
+            let full = ring.replicas(object);
+            assert_eq!(ring.replicas_excluding(object, &none), full);
+            // Exclude the primary: the set shrinks and keeps ring order.
+            let mut dead = [false; 4];
+            dead[full[0]] = true;
+            let surv = ring.replicas_excluding(object, &dead);
+            assert_eq!(surv, full[1..].to_vec());
+            // Exclude everything: empty, and callers must cope.
+            let all = [true; 4];
+            assert!(ring.replicas_excluding(object, &all).is_empty());
+        }
+    }
+
+    #[test]
+    fn preference_list_extends_the_replica_set() {
+        let ring = HashRing::new(6, 64, 2);
+        for object in 0..500u64 {
+            let pref = ring.preference_list(object, 6);
+            assert_eq!(pref.len(), 6, "all nodes appear: {pref:?}");
+            let mut sorted = pref.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 6, "distinct: {pref:?}");
+            assert_eq!(pref[..2].to_vec(), ring.replicas(object));
+        }
     }
 
     #[test]

@@ -235,6 +235,19 @@ pub fn exhausted(world: &mut World, site: &'static str) {
     }
 }
 
+/// Total `SiteStats::exhausted` across every site of the installed plan
+/// (0 without a plan). Exhausted faults surface as error completions, so
+/// a *jump* in this tally between two samples is a burst of
+/// unrecoverable device faults — node-health layers sample it
+/// periodically and treat nodes failing requests during a burst as
+/// suspect without waiting out probe timeouts.
+pub fn exhausted_total(world: &World) -> u64 {
+    world
+        .get::<FaultPlan>()
+        .map(|p| p.tallies().map(|(_, s)| s.exhausted).sum())
+        .unwrap_or(0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,7 +323,9 @@ mod tests {
         assert!(inject(&mut world, WIRE_DROP).is_some(), "p=1 always fires");
         retried(&mut world, "host.nvme");
         recovered(&mut world, "host.nvme");
+        assert_eq!(exhausted_total(&world), 0);
         exhausted(&mut world, "host.nic");
+        assert_eq!(exhausted_total(&world), 1);
         assert_eq!(world.stats.counter_value("fault.injected"), 1);
         assert_eq!(world.stats.counter_value("retry.count"), 1);
         assert_eq!(world.stats.counter_value("fault.recovered"), 1);

@@ -142,6 +142,23 @@ fn queue_aware_policies_hold_the_tail_at_high_load() {
 }
 
 #[test]
+fn availability_accounting_is_consistent_without_node_faults() {
+    let r = run_cluster(&small_cfg());
+    // Every tallied resolution lands in exactly one per-op bucket: served
+    // requests split across get_ok/put_ok, shed and errored ones across
+    // the denied buckets.
+    assert_eq!(r.requests, r.get_ok + r.put_ok);
+    assert_eq!(r.rejected + r.failures, r.get_denied + r.put_denied);
+    // Nothing in this run can lose or fail over a request.
+    assert_eq!(r.lost, 0);
+    assert_eq!(r.retried, 0);
+    assert!(r.detection_ns.is_none());
+    assert!(r.phases.is_none(), "phases only appear with node faults");
+    assert_eq!(r.repair_bytes, 0);
+    assert!(r.availability() > 0.9, "{:.4}", r.availability());
+}
+
+#[test]
 fn fault_injection_composes_with_the_cluster() {
     let cfg = ClusterConfig { fault_rate: 0.004, ..small_cfg() };
     let mut cluster = build_cluster(&cfg);

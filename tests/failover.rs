@@ -1,0 +1,177 @@
+//! Node-failure tolerance, end to end: whole-node crashes and hangs
+//! against the health layer (probe detection, circuit breaker, replica
+//! failover, hedged GETs, PUT fallback, and re-replication).
+//!
+//! Asserts the acceptance properties of the `repro cluster-failover`
+//! sweep: detection within the suspicion-timeout bound, high availability
+//! through the failure under queue-aware balancing, a strictly worse
+//! ablation with the health layer disabled, deterministic failure
+//! handling from the seed, and detection/repair figures that are
+//! invariant across load-balancing policies.
+
+use dcs_ctrl::cluster::{
+    run_cluster, ClusterConfig, HealthConfig, LbPolicy, NodeFault,
+};
+use dcs_ctrl::sim::time;
+use dcs_ctrl::workloads::gen::SizeDistribution;
+
+/// N-1-survivable provisioning: 5 Gbps/node over 4 nodes leaves the three
+/// survivors enough headroom to absorb a dead peer's share.
+fn failover_cfg() -> ClusterConfig {
+    ClusterConfig {
+        nodes: 4,
+        sizes: SizeDistribution { max: 256 * 1024, ..SizeDistribution::default() },
+        objects: 1024,
+        offered_gbps_per_node: 5.0,
+        duration_ns: time::ms(28),
+        warmup_ns: time::ms(5),
+        seed: 0xFA11,
+        node_faults: vec![NodeFault::Crash { node: 1, at_ns: time::ms(9) }],
+        ..ClusterConfig::default()
+    }
+}
+
+#[test]
+fn crash_is_detected_failed_over_and_repaired() {
+    let r = run_cluster(&failover_cfg());
+    // Detection within the probe-schedule bound.
+    let detect = r.detection_ns.expect("the crash must be detected");
+    let bound = HealthConfig::default().detection_bound_ns();
+    assert!(detect <= bound, "detected in {detect} ns, bound {bound} ns");
+    // In-flight requests on the dead node were re-dispatched, not lost.
+    assert!(r.retried > 0, "failover must retry stranded requests");
+    assert!(
+        r.lost <= r.retried,
+        "losses ({}) must not dominate retries ({})",
+        r.lost,
+        r.retried
+    );
+    // The cluster keeps serving through the failure.
+    assert!(
+        r.get_availability() >= 0.99,
+        "GET availability {:.4} under JSQ with failover+hedging",
+        r.get_availability()
+    );
+    assert!(
+        r.availability() >= 0.98,
+        "overall availability {:.4}",
+        r.availability()
+    );
+    // Re-replication ran and finished (possibly after the window).
+    assert!(r.repair_bytes > 0, "the dead node's shards must be re-replicated");
+    assert!(r.repair_ns.is_some(), "repair must complete");
+    // Phase split: healthy before, recovered after.
+    let phases = r.phases.expect("node-fault runs report phases");
+    assert!(phases[0].availability() >= 0.99, "before: {:?}", phases[0]);
+    assert!(phases[2].availability() >= 0.99, "after: {:?}", phases[2]);
+    assert!(phases[1].requests > 0, "the failure window saw traffic");
+}
+
+#[test]
+fn failure_handling_is_deterministic_and_detection_is_policy_invariant() {
+    let mut detections = Vec::new();
+    let mut repair_bytes = Vec::new();
+    for policy in LbPolicy::ALL {
+        let cfg = ClusterConfig { policy, ..failover_cfg() };
+        let a = run_cluster(&cfg);
+        let b = run_cluster(&cfg);
+        // Same seed ⇒ bit-identical failure handling, counters included.
+        assert_eq!(a.render("run"), b.render("run"), "{policy:?}");
+        assert_eq!(
+            (a.hedged, a.hedge_wins, a.retried, a.lost, a.rejected),
+            (b.hedged, b.hedge_wins, b.retried, b.lost, b.rejected),
+            "{policy:?}"
+        );
+        assert_eq!(a.detection_ns, b.detection_ns, "{policy:?}");
+        assert_eq!(a.repair_bytes, b.repair_bytes, "{policy:?}");
+        assert_eq!(a.repair_ns, b.repair_ns, "{policy:?}");
+        detections.push(a.detection_ns.expect("detected"));
+        repair_bytes.push(a.repair_bytes);
+    }
+    // Probes ride the control lane and repair plans off the ring alone,
+    // so neither depends on how data traffic was balanced.
+    assert!(
+        detections.windows(2).all(|w| w[0] == w[1]),
+        "detection time must not depend on the LB policy: {detections:?}"
+    );
+    assert!(
+        repair_bytes.windows(2).all(|w| w[0] == w[1]),
+        "repair volume must not depend on the LB policy: {repair_bytes:?}"
+    );
+}
+
+#[test]
+fn ablation_disabling_health_is_strictly_worse() {
+    let with = run_cluster(&failover_cfg());
+    let without = run_cluster(&ClusterConfig {
+        health: HealthConfig::disabled(),
+        ..failover_cfg()
+    });
+    // No probes: the crash is never detected, nothing retries or repairs.
+    assert!(without.detection_ns.is_none());
+    assert_eq!(without.hedged, 0);
+    assert_eq!(without.retried, 0);
+    assert_eq!(without.repair_bytes, 0);
+    // Requests stranded on the dead node surface as losses...
+    assert!(without.lost > 0, "stranded requests must be counted lost");
+    // ...and availability is strictly worse than the tolerant arm.
+    assert!(
+        without.availability() < with.availability(),
+        "ablation {:.4} must trail health-on {:.4}",
+        without.availability(),
+        with.availability()
+    );
+    assert!(
+        without.get_availability() < with.get_availability(),
+        "GET ablation {:.4} vs {:.4}",
+        without.get_availability(),
+        with.get_availability()
+    );
+}
+
+#[test]
+fn hang_is_detected_hedged_around_and_survived() {
+    // A deliberately sluggish detector (bound ~7 ms) against an 8 ms
+    // hang: the node is declared Dead mid-hang and revived by its first
+    // post-hang ack. Hedging earns its keep in exactly this gap — the
+    // hedge ceiling sits below the detection bound, so requests frozen on
+    // the hung node get a second leg out before failover sweeps them.
+    let health = HealthConfig {
+        dead_after: 10,
+        probe_timeout_ns: 2_000_000,
+        hedge_max_ns: 4_000_000,
+        hedge_default_ns: 4_000_000,
+        ..HealthConfig::default()
+    };
+    let cfg = ClusterConfig {
+        node_faults: vec![NodeFault::Hang {
+            node: 2,
+            at_ns: time::ms(9),
+            for_ns: time::ms(8),
+        }],
+        health: health.clone(),
+        ..failover_cfg()
+    };
+    let r = run_cluster(&cfg);
+    let detect = r.detection_ns.expect("the hang must be detected");
+    assert!(detect <= health.detection_bound_ns());
+    // Requests stuck behind the frozen node were hedged to other
+    // replicas, and some hedges beat the primary leg.
+    assert!(r.hedged > 0, "hedges must fire against the hung node");
+    assert!(r.hedge_wins > 0, "some hedges must win");
+    // Between hedging and failover retries, nothing is lost and
+    // availability holds through the freeze.
+    assert_eq!(r.lost, 0, "hang with failover must lose nothing");
+    assert!(
+        r.get_availability() >= 0.99,
+        "GET availability {:.4} through the hang",
+        r.get_availability()
+    );
+    // After the hang the revived node serves again.
+    let phases = r.phases.expect("phases reported");
+    assert!(phases[2].availability() >= 0.99, "after: {:?}", phases[2]);
+    assert!(
+        r.per_node[2].requests > 0,
+        "the revived node must serve requests again"
+    );
+}
