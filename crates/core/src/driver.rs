@@ -13,7 +13,7 @@
 //! workloads and benchmarks swap designs by choosing which component they
 //! submit to.
 
-use std::collections::HashMap;
+use dcs_sim::DetMap;
 
 use dcs_host::costs::KernelCosts;
 use dcs_host::cpu::{CpuJob, CpuJobDone};
@@ -72,14 +72,14 @@ pub struct HdcDriver {
     engine_aux_base: PhysAddr,
     layout: DriverLayout,
     costs: KernelCosts,
-    jobs: HashMap<u64, JobCtx>,
+    jobs: DetMap<u64, JobCtx>,
     /// Registered connections (flow → engine conn id).
-    conns: HashMap<TcpFlow, u16>,
+    conns: DetMap<TcpFlow, u16>,
     next_conn: u16,
     /// Completion ring consumer state.
     comp_head: u16,
     comp_phase: bool,
-    cpu_phases: HashMap<u64, CpuPhase>,
+    cpu_phases: DetMap<u64, CpuPhase>,
     next_token: u64,
     /// Rotating aux slot cursor (64-byte slots).
     aux_slot: u64,
@@ -113,12 +113,12 @@ impl HdcDriver {
             engine_aux_base,
             layout,
             costs,
-            jobs: HashMap::new(),
-            conns: HashMap::new(),
+            jobs: DetMap::new(),
+            conns: DetMap::new(),
             next_conn: 1,
             comp_head: 0,
             comp_phase: true,
-            cpu_phases: HashMap::new(),
+            cpu_phases: DetMap::new(),
             next_token: 1,
             aux_slot: 0,
             poll_armed: false,

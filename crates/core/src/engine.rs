@@ -24,7 +24,7 @@
 //! The engine runs *no host software*: its only CPU interaction is the
 //! driver's command write and the completion interrupt.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use dcs_ndp::NdpFunction;
 use dcs_nic::headers::{build_frame, build_template, parse_frame, ACK_MAGIC};
@@ -38,7 +38,8 @@ use dcs_nvme::{
 };
 use dcs_pcie::{AddrRange, DmaComplete, DmaRequest, MmioWrite, Msi, MsiDelivery, PhysAddr, PhysMemory};
 use dcs_sim::{
-    fault, Bandwidth, Breakdown, Category, Component, ComponentId, Ctx, FifoServer, Msg, SimTime,
+    fault, Bandwidth, Breakdown, Category, Component, ComponentId, Ctx, DetMap, FifoServer, Msg,
+    SimTime,
 };
 
 use crate::buffers::{ChunkAllocator, CHUNK_SIZE};
@@ -183,7 +184,7 @@ struct EngineNvme {
     sq: SubmissionQueueWriter,
     cq: CompletionQueueReader,
     prp_scratch: PhysAddr,
-    outstanding: HashMap<u16, NvmeOp>,
+    outstanding: DetMap<u16, NvmeOp>,
     next_cid: u16,
     inflight: usize,
 }
@@ -248,26 +249,26 @@ pub struct HdcEngine {
     /// Aux staging area (first MiB of DDR3, outside the allocator).
     aux_base: PhysAddr,
     scoreboard: Scoreboard,
-    contexts: HashMap<u64, CmdCtx>,
+    contexts: DetMap<u64, CmdCtx>,
     /// Commands awaiting scoreboard room or buffer space.
     pending_admit: VecDeque<D2dCommand>,
     ndp: NdpBank,
-    ndp_pending: HashMap<u64, (SlotRef, SimTime)>,
+    ndp_pending: DetMap<u64, (SlotRef, SimTime)>,
     /// Outstanding NVMe sub-commands per scoreboard entry (MDTS splits).
-    nvme_subops: HashMap<SlotRef, (usize, bool)>,
+    nvme_subops: DetMap<SlotRef, (usize, bool)>,
     nvme: Vec<EngineNvme>,
     nic: EngineNic,
-    connections: HashMap<u16, (TcpFlow, u32)>,
+    connections: DetMap<u16, (TcpFlow, u32)>,
     expectations: Vec<RecvExpectation>,
-    early: HashMap<u16, VecDeque<u8>>,
+    early: DetMap<u16, VecDeque<u8>>,
     /// Fault mode: sends awaiting peer acknowledgement, by scoreboard entry.
-    nic_sends: HashMap<SlotRef, EngineSend>,
+    nic_sends: DetMap<SlotRef, EngineSend>,
     /// Fault mode: next transmit stream offset per connection.
-    tx_offset: HashMap<u16, u64>,
+    tx_offset: DetMap<u16, u64>,
     /// Fault mode: highest cumulative ack received per connection.
-    snd_acked: HashMap<u16, u64>,
+    snd_acked: DetMap<u16, u64>,
     /// Fault mode: cumulative in-order bytes accepted per connection.
-    rcv_count: HashMap<u16, u64>,
+    rcv_count: DetMap<u16, u64>,
     /// A `WatchdogTick` is scheduled.
     watchdog_armed: bool,
     gather_unit: FifoServer,
@@ -276,7 +277,7 @@ pub struct HdcEngine {
     comp_tail: u16,
     comp_phase: bool,
     /// Completion-record DMA token → command id (MSI follows the DMA).
-    comp_dmas: HashMap<u64, u64>,
+    comp_dmas: DetMap<u64, u64>,
     next_token: u64,
     /// MSI vector namespace: 0x40+i = SSD i CQ, 0x60 = NIC tx, 0x61 = NIC rx.
     started: bool,
@@ -314,7 +315,7 @@ impl HdcEngine {
                     sq: SubmissionQueueWriter::new(sq_base, 128),
                     cq: CompletionQueueReader::new(cq_base, 128),
                     prp_scratch,
-                    outstanding: HashMap::new(),
+                    outstanding: DetMap::new(),
                     next_cid: 0,
                     inflight: 0,
                 }
@@ -365,25 +366,25 @@ impl HdcEngine {
             bar,
             ddr,
             aux_base,
-            contexts: HashMap::new(),
+            contexts: DetMap::new(),
             pending_admit: VecDeque::new(),
-            ndp_pending: HashMap::new(),
-            nvme_subops: HashMap::new(),
+            ndp_pending: DetMap::new(),
+            nvme_subops: DetMap::new(),
             nvme,
             nic: nic_ctrl,
-            connections: HashMap::new(),
+            connections: DetMap::new(),
             expectations: Vec::new(),
-            early: HashMap::new(),
-            nic_sends: HashMap::new(),
-            tx_offset: HashMap::new(),
-            snd_acked: HashMap::new(),
-            rcv_count: HashMap::new(),
+            early: DetMap::new(),
+            nic_sends: DetMap::new(),
+            tx_offset: DetMap::new(),
+            snd_acked: DetMap::new(),
+            rcv_count: DetMap::new(),
             watchdog_armed: false,
             gather_unit: FifoServer::new(),
             init: None,
             comp_tail: 0,
             comp_phase: true,
-            comp_dmas: HashMap::new(),
+            comp_dmas: DetMap::new(),
             next_token: 1,
             started: false,
         }
@@ -1092,7 +1093,7 @@ impl HdcEngine {
         let mut frames: Vec<(u16, Vec<u8>)> = Vec::new();
         let mut bytes = 0usize;
         let mut acks_in: Vec<(u16, u32)> = Vec::new();
-        let mut ack_out: HashMap<u16, TcpFlow> = HashMap::new();
+        let mut ack_out: DetMap<u16, TcpFlow> = DetMap::new();
         {
             let depth = self.config.recv_buffers + 1;
             loop {

@@ -31,7 +31,7 @@
 //! };
 //! ```
 
-use std::collections::HashMap;
+use dcs_sim::DetMap;
 
 use dcs_ndp::NdpFunction;
 use dcs_pcie::{AddrRange, PhysAddr, PhysMemory, PortId};
@@ -120,14 +120,14 @@ pub struct GpuHandle {
 pub struct GpuDevice {
     config: GpuConfig,
     compute: FifoServer,
-    pending: HashMap<u64, Pending>,
+    pending: DetMap<u64, Pending>,
     next_token: u64,
 }
 
 impl GpuDevice {
     /// Creates a GPU with the given configuration.
     pub fn new(config: GpuConfig) -> Self {
-        GpuDevice { config, compute: FifoServer::new(), pending: HashMap::new(), next_token: 1 }
+        GpuDevice { config, compute: FifoServer::new(), pending: DetMap::new(), next_token: 1 }
     }
 
     fn throughput_for(&self, f: NdpFunction) -> Bandwidth {

@@ -18,7 +18,7 @@
 //! host drivers, and those costs show up in both the latency breakdowns
 //! (Figure 11) and the CPU-utilization breakdowns (Figures 3b, 12).
 
-use std::collections::HashMap;
+use dcs_sim::DetMap;
 
 use dcs_gpu::GpuHandle;
 use dcs_ndp::NdpFunction;
@@ -120,9 +120,9 @@ pub struct SwExecutor {
     design: SwDesign,
     wiring: ExecutorWiring,
     costs: KernelCosts,
-    jobs: HashMap<u64, JobState>,
+    jobs: DetMap<u64, JobState>,
     /// Sub-request token → job id.
-    tokens: HashMap<u64, u64>,
+    tokens: DetMap<u64, u64>,
     next_token: u64,
     next_slot: u64,
     /// GPU staging slot cursor.
@@ -136,8 +136,8 @@ impl SwExecutor {
             design,
             wiring,
             costs,
-            jobs: HashMap::new(),
-            tokens: HashMap::new(),
+            jobs: DetMap::new(),
+            tokens: DetMap::new(),
             next_token: 1,
             next_slot: 0,
             next_gpu_slot: 0,

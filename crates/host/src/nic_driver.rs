@@ -22,7 +22,7 @@
 //! and counted rather than panicking. Without a plan none of this runs
 //! and the event stream is identical to the fault-free simulator.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use dcs_nic::headers::{build_frame, build_template, parse_frame, ACK_MAGIC};
 use dcs_nic::{
@@ -30,7 +30,7 @@ use dcs_nic::{
     SendDescriptor, TcpFlow,
 };
 use dcs_pcie::{AddrRange, MmioWrite, MsiDelivery, PhysAddr, PhysMemory};
-use dcs_sim::{fault, Breakdown, Category, Component, ComponentId, Ctx, Msg, SimTime};
+use dcs_sim::{fault, Breakdown, Category, Component, ComponentId, Ctx, DetMap, Msg, SimTime};
 
 use crate::costs::{KernelCosts, KernelMode};
 use crate::cpu::{CpuJob, CpuJobDone};
@@ -181,27 +181,27 @@ pub struct HostNicDriver {
     /// In-flight sends, completed in FIFO order by the NIC's tx MSIs.
     tx_queue: VecDeque<u64>,
     tx_submit_queue: VecDeque<u64>,
-    sends: HashMap<u64, PendingSend>,
+    sends: DetMap<u64, PendingSend>,
     /// Active receive expectations, served in arrival order per flow.
     expectations: Vec<Expectation>,
     /// Payload bytes that arrived before any matching expectation.
-    early: HashMap<(u16, u16), VecDeque<u8>>,
-    cpu_phases: HashMap<u64, CpuPhase>,
+    early: DetMap<(u16, u16), VecDeque<u8>>,
+    cpu_phases: DetMap<u64, CpuPhase>,
     next_cpu_token: u64,
     hdr_slot: u64,
     /// Frames consumed since the last buffer repost.
     consumed_since_repost: u16,
     /// Fault mode: cumulative payload bytes submitted per transmit flow
     /// key `(src_port, dst_port)`.
-    tx_offset: HashMap<(u16, u16), u64>,
+    tx_offset: DetMap<(u16, u16), u64>,
     /// Fault mode: highest cumulative ack received per transmit flow key.
-    snd_acked: HashMap<(u16, u16), u64>,
+    snd_acked: DetMap<(u16, u16), u64>,
     /// Fault mode: cumulative payload bytes accepted in order per
     /// receive key (the peer's transmit direction).
-    rcv_count: HashMap<(u16, u16), u64>,
+    rcv_count: DetMap<(u16, u16), u64>,
     /// Fault mode: unacknowledged send ids per transmit flow key,
     /// oldest first.
-    unacked: HashMap<(u16, u16), VecDeque<u64>>,
+    unacked: DetMap<(u16, u16), VecDeque<u64>>,
 }
 
 impl HostNicDriver {
@@ -251,17 +251,17 @@ impl HostNicDriver {
             wb_next: 0,
             tx_queue: VecDeque::new(),
             tx_submit_queue: VecDeque::new(),
-            sends: HashMap::new(),
+            sends: DetMap::new(),
             expectations: Vec::new(),
-            early: HashMap::new(),
-            cpu_phases: HashMap::new(),
+            early: DetMap::new(),
+            cpu_phases: DetMap::new(),
             next_cpu_token: 1,
             hdr_slot: 0,
             consumed_since_repost: 0,
-            tx_offset: HashMap::new(),
-            snd_acked: HashMap::new(),
-            rcv_count: HashMap::new(),
-            unacked: HashMap::new(),
+            tx_offset: DetMap::new(),
+            snd_acked: DetMap::new(),
+            rcv_count: DetMap::new(),
+            unacked: DetMap::new(),
         };
         (driver, configure)
     }
@@ -609,7 +609,7 @@ impl HostNicDriver {
         let faulty = fault::active(ctx.world_ref());
         let total_bytes: usize = frames.iter().map(|(_, _, p)| p.len()).sum::<usize>().max(1);
         // Flows that need a (coalesced) ack after this batch.
-        let mut ack_flows: HashMap<(u16, u16), TcpFlow> = HashMap::new();
+        let mut ack_flows: DetMap<(u16, u16), TcpFlow> = DetMap::new();
         for (flow, ack, payload) in frames {
             let key = (flow.src_port, flow.dst_port);
             if faulty {

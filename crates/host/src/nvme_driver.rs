@@ -15,7 +15,7 @@
 //! Without a plan none of these timers are armed and the event stream is
 //! identical to the fault-free simulator.
 
-use std::collections::HashMap;
+use dcs_sim::DetMap;
 
 use dcs_nvme::{
     AttachQueuePair, CompletionQueueReader, NvmeCommand, NvmeCompletion, NvmeHandle, NvmeOpcode,
@@ -114,12 +114,12 @@ pub struct HostNvmeDriver {
     cq: CompletionQueueReader,
     /// Scratch for PRP list pages, one page per CID slot.
     prp_scratch: AddrRange,
-    outstanding: HashMap<u16, Outstanding>,
+    outstanding: DetMap<u16, Outstanding>,
     /// Sub-command CID → primary CID for MDTS-split requests.
-    chunk_owner: HashMap<u16, u16>,
+    chunk_owner: DetMap<u16, u16>,
     /// Sub-command CID → chunk geometry (for error-path resubmission).
-    chunk_geom: HashMap<u16, ChunkGeom>,
-    cpu_phases: HashMap<u64, CpuPhase>,
+    chunk_geom: DetMap<u16, ChunkGeom>,
+    cpu_phases: DetMap<u64, CpuPhase>,
     next_cid: u16,
     next_cpu_token: u64,
 }
@@ -164,10 +164,10 @@ impl HostNvmeDriver {
             sq: SubmissionQueueWriter::new(sq_base, depth),
             cq: CompletionQueueReader::new(cq_base, depth),
             prp_scratch: AddrRange::new(prp_base, depth as u64 * 4096),
-            outstanding: HashMap::new(),
-            chunk_owner: HashMap::new(),
-            chunk_geom: HashMap::new(),
-            cpu_phases: HashMap::new(),
+            outstanding: DetMap::new(),
+            chunk_owner: DetMap::new(),
+            chunk_geom: DetMap::new(),
+            cpu_phases: DetMap::new(),
             next_cid: 0,
             next_cpu_token: 1,
         };

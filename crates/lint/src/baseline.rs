@@ -1,0 +1,231 @@
+//! The grandfathering mechanism: `lint-baseline.toml`.
+//!
+//! The baseline lists the *only* sanctioned rule violations in the
+//! workspace, each with a written reason, so `--deny` can gate CI from
+//! day one without a flag-day cleanup. The format is a tiny TOML
+//! subset parsed by hand (the workspace builds offline, so no toml
+//! crate):
+//!
+//! ```toml
+//! # comment
+//! [[allow]]
+//! rule = "wall-clock"
+//! file = "crates/bench/src/table3.rs"
+//! contains = "Instant::now"   # optional: substring of the source line
+//! reason = "self-timing of the harness; never feeds simulation state"
+//! ```
+//!
+//! Matching is by `(rule, file)` plus the optional `contains`
+//! substring, NOT by line number — baselines must survive unrelated
+//! edits shifting lines. Entries that match nothing are *stale* and
+//! reported as errors so the file can only shrink over time.
+
+use crate::rules::{rule_exists, Finding, Suppression};
+
+/// One sanctioned violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineEntry {
+    pub rule: String,
+    pub file: String,
+    /// Substring the offending source line must contain ("" = any).
+    pub contains: String,
+    pub reason: String,
+    /// Line of the `[[allow]]` header in the baseline file.
+    pub decl_line: u32,
+}
+
+/// The parsed baseline plus per-entry use counts.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    pub entries: Vec<BaselineEntry>,
+    used: Vec<bool>,
+}
+
+impl Baseline {
+    /// Parses the baseline text. Returns `Err` with every syntax
+    /// problem found (path-less; the caller prefixes the file name).
+    pub fn parse(text: &str) -> Result<Baseline, Vec<String>> {
+        let mut entries: Vec<BaselineEntry> = Vec::new();
+        let mut errors = Vec::new();
+        let mut current: Option<BaselineEntry> = None;
+
+        let mut finish = |entry: Option<BaselineEntry>, errors: &mut Vec<String>| {
+            let Some(e) = entry else { return };
+            if e.rule.is_empty() {
+                errors.push(format!("line {}: entry is missing `rule`", e.decl_line));
+            } else if !rule_exists(&e.rule) {
+                errors.push(format!("line {}: unknown rule `{}`", e.decl_line, e.rule));
+            }
+            if e.file.is_empty() {
+                errors.push(format!("line {}: entry is missing `file`", e.decl_line));
+            }
+            if e.reason.trim().is_empty() {
+                errors.push(format!(
+                    "line {}: entry is missing `reason` — every baseline exception must be justified",
+                    e.decl_line
+                ));
+            }
+            entries.push(e);
+        };
+
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = (i + 1) as u32;
+            let line = match raw.find('#') {
+                // A `#` outside quotes starts a comment.
+                Some(pos) if !in_quotes(raw, pos) => &raw[..pos],
+                _ => raw,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[allow]]" {
+                finish(current.take(), &mut errors);
+                current = Some(BaselineEntry {
+                    rule: String::new(),
+                    file: String::new(),
+                    contains: String::new(),
+                    reason: String::new(),
+                    decl_line: lineno,
+                });
+                continue;
+            }
+            let Some((key, value)) = parse_kv(line) else {
+                errors.push(format!("line {lineno}: expected `[[allow]]` or `key = \"value\"`, got `{line}`"));
+                continue;
+            };
+            let Some(entry) = current.as_mut() else {
+                errors.push(format!("line {lineno}: `{key}` outside an [[allow]] entry"));
+                continue;
+            };
+            match key {
+                "rule" => entry.rule = value,
+                "file" => entry.file = value,
+                "contains" => entry.contains = value,
+                "reason" => entry.reason = value,
+                other => errors.push(format!("line {lineno}: unknown key `{other}`")),
+            }
+        }
+        finish(current.take(), &mut errors);
+
+        if errors.is_empty() {
+            let used = vec![false; entries.len()];
+            Ok(Baseline { entries, used })
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// Marks `finding` suppressed if an entry matches. `source_line` is
+    /// the text of the offending line (for `contains` matching).
+    pub fn apply(&mut self, finding: &mut Finding, source_line: &str) {
+        if finding.suppressed.is_some() {
+            return;
+        }
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.rule == finding.rule
+                && e.file == finding.file
+                && (e.contains.is_empty() || source_line.contains(&e.contains))
+            {
+                finding.suppressed = Some(Suppression::Baseline);
+                self.used[i] = true;
+                return;
+            }
+        }
+    }
+
+    /// Entries that matched nothing — stale grandfathering that must be
+    /// deleted from the baseline file.
+    pub fn stale(&self) -> Vec<&BaselineEntry> {
+        self.entries
+            .iter()
+            .zip(&self.used)
+            .filter(|(_, &used)| !used)
+            .map(|(e, _)| e)
+            .collect()
+    }
+}
+
+/// Parses `key = "value"`. Values must be double-quoted strings.
+fn parse_kv(line: &str) -> Option<(&str, String)> {
+    let (key, rest) = line.split_once('=')?;
+    let key = key.trim();
+    if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return None;
+    }
+    let rest = rest.trim();
+    if !rest.starts_with('"') || !rest.ends_with('"') || rest.len() < 2 {
+        return None;
+    }
+    // No escape support needed: paths and reasons are plain text.
+    Some((key, rest[1..rest.len() - 1].to_string()))
+}
+
+/// True when byte offset `pos` in `line` falls inside a quoted string.
+fn in_quotes(line: &str, pos: usize) -> bool {
+    line.bytes().take(pos).filter(|&b| b == b'"').count() % 2 == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Finding;
+
+    const GOOD: &str = r#"
+# The only sanctioned exceptions.
+[[allow]]
+rule = "wall-clock"
+file = "crates/bench/src/table3.rs"
+contains = "Instant::now"
+reason = "self-timing"
+"#;
+
+    fn finding(rule: &'static str, file: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line: 1,
+            message: String::new(),
+            suppressed: None,
+        }
+    }
+
+    #[test]
+    fn parses_and_matches() {
+        let mut b = Baseline::parse(GOOD).unwrap();
+        assert_eq!(b.entries.len(), 1);
+        let mut f = finding("wall-clock", "crates/bench/src/table3.rs");
+        b.apply(&mut f, "let start = Instant::now();");
+        assert_eq!(f.suppressed, Some(Suppression::Baseline));
+        assert!(b.stale().is_empty());
+    }
+
+    #[test]
+    fn contains_mismatch_does_not_match_and_goes_stale() {
+        let mut b = Baseline::parse(GOOD).unwrap();
+        let mut f = finding("wall-clock", "crates/bench/src/table3.rs");
+        b.apply(&mut f, "let start = SystemTime::now();");
+        assert!(f.suppressed.is_none());
+        assert_eq!(b.stale().len(), 1);
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let bad = "[[allow]]\nrule = \"wall-clock\"\nfile = \"x.rs\"\n";
+        let errs = Baseline::parse(bad).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("reason")), "{errs:?}");
+    }
+
+    #[test]
+    fn unknown_rule_is_an_error() {
+        let bad = "[[allow]]\nrule = \"no-such\"\nfile = \"x.rs\"\nreason = \"r\"\n";
+        let errs = Baseline::parse(bad).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("unknown rule")), "{errs:?}");
+    }
+
+    #[test]
+    fn garbage_line_is_an_error() {
+        let bad = "[[allow]]\nrule: \"x\"\n";
+        assert!(Baseline::parse(bad).is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! CLI for the workspace determinism & invariant analyzer.
+//!
+//! ```text
+//! cargo run -p dcs-lint -- --workspace            # report violations
+//! cargo run -p dcs-lint -- --workspace --deny     # exit 1 on any active finding (CI)
+//! cargo run -p dcs-lint -- --list-rules           # rule table
+//! cargo run -p dcs-lint -- path/to/file.rs ...    # lint specific files
+//! ```
+//!
+//! Exit codes: 0 clean (or findings without `--deny`), 1 active
+//! findings or stale baseline entries under `--deny`, 2 usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dcs_lint::baseline::Baseline;
+use dcs_lint::rules::{Suppression, RULES};
+use dcs_lint::{run, workspace_files, Report};
+
+struct Args {
+    workspace: bool,
+    deny: bool,
+    list_rules: bool,
+    no_baseline: bool,
+    baseline: Option<PathBuf>,
+    root: PathBuf,
+    paths: Vec<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: dcs-lint [--workspace] [--deny] [--baseline FILE] [--no-baseline] \
+     [--root DIR] [--list-rules] [PATH...]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        deny: false,
+        list_rules: false,
+        no_baseline: false,
+        baseline: None,
+        root: PathBuf::from("."),
+        paths: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => args.workspace = true,
+            "--deny" => args.deny = true,
+            "--list-rules" => args.list_rules = true,
+            "--no-baseline" => args.no_baseline = true,
+            "--baseline" => {
+                args.baseline =
+                    Some(PathBuf::from(it.next().ok_or("--baseline needs a path")?));
+            }
+            "--root" => args.root = PathBuf::from(it.next().ok_or("--root needs a path")?),
+            "--help" | "-h" => return Err(usage().to_string()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`\n{}", usage()));
+            }
+            path => args.paths.push(PathBuf::from(path)),
+        }
+    }
+    if !args.workspace && !args.list_rules && args.paths.is_empty() {
+        return Err(usage().to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        println!("{:<24} {:<12} summary", "rule", "family");
+        for r in RULES {
+            println!("{:<24} {:<12} {}", r.id, r.family, r.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let files = if args.workspace {
+        match workspace_files(&args.root) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("dcs-lint: walking {}: {e}", args.root.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut files = Vec::new();
+        for p in &args.paths {
+            if p.is_dir() {
+                match workspace_files(p) {
+                    Ok(f) => files.extend(f),
+                    Err(e) => {
+                        eprintln!("dcs-lint: walking {}: {e}", p.display());
+                        return ExitCode::from(2);
+                    }
+                }
+            } else {
+                files.push(p.clone());
+            }
+        }
+        files
+    };
+
+    // Baseline: explicit path, or <root>/lint-baseline.toml when present.
+    let baseline = if args.no_baseline {
+        None
+    } else {
+        let path = args
+            .baseline
+            .clone()
+            .unwrap_or_else(|| args.root.join("lint-baseline.toml"));
+        match std::fs::read_to_string(&path) {
+            Ok(text) => match Baseline::parse(&text) {
+                Ok(b) => Some(b),
+                Err(errors) => {
+                    for e in errors {
+                        eprintln!("{}: {e}", path.display());
+                    }
+                    return ExitCode::from(2);
+                }
+            },
+            Err(_) if args.baseline.is_none() => None, // default baseline is optional
+            Err(e) => {
+                eprintln!("dcs-lint: reading {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    let report = match run(&args.root, &files, baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dcs-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    print_report(&report);
+
+    if args.deny && !report.clean() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_report(report: &Report) {
+    for f in report.active() {
+        println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+    }
+    for s in &report.stale_baseline {
+        println!("{s}");
+    }
+    let active = report.active().count();
+    let pragma = report.suppressed_count(Suppression::Pragma);
+    let grandfathered = report.suppressed_count(Suppression::Baseline);
+    println!(
+        "dcs-lint: {} file(s), {} active finding(s), {} pragma-allowed, {} baselined, {} stale baseline entr(ies)",
+        report.files,
+        active,
+        pragma,
+        grandfathered,
+        report.stale_baseline.len()
+    );
+}

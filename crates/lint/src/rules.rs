@@ -1,0 +1,734 @@
+//! The lint rules: machine-checkable violations of the repo's
+//! determinism and protocol-invariant policy (DESIGN.md §10).
+//!
+//! Two families:
+//!
+//! * **Determinism** — constructs whose behavior depends on per-process
+//!   randomness, wall-clock time, or OS scheduling. Any of these inside
+//!   the simulation breaks the bit-identical same-seed replay that
+//!   tests/chaos.rs, tests/cluster.rs, and tests/failover.rs assert.
+//! * **Invariants** — patterns that swallow protocol events or panic in
+//!   device event paths, where the policy is "fail loudly with a
+//!   message" (`expect("why")`) or "handle every arm explicitly".
+//!
+//! Every rule reports `Finding`s; suppression (pragmas, baseline) is
+//! layered on top by [`crate::analyze_source`] and [`crate::baseline`].
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// One rule violation at a specific source line.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id, e.g. `hash-collection`.
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// How the finding was suppressed, if it was.
+    pub suppressed: Option<Suppression>,
+}
+
+/// Why a finding does not count against `--deny`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Suppression {
+    /// An inline `// dcs-lint: allow(rule) — reason` pragma.
+    Pragma,
+    /// A `lint-baseline.toml` entry.
+    Baseline,
+}
+
+/// Rule metadata for `--list-rules` and the docs.
+pub struct RuleInfo {
+    pub id: &'static str,
+    pub family: &'static str,
+    pub summary: &'static str,
+}
+
+/// Every rule the analyzer knows, in report order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "hash-collection",
+        family: "determinism",
+        summary: "std HashMap/HashSet/RandomState (randomized iteration order) — use dcs_sim::{DetMap, DetSet}",
+    },
+    RuleInfo {
+        id: "hash-iter",
+        family: "determinism",
+        summary: "iteration over a hash-ordered collection declared in this file",
+    },
+    RuleInfo {
+        id: "wall-clock",
+        family: "determinism",
+        summary: "Instant::now()/SystemTime::now() — simulation time must come from Ctx/SimTime",
+    },
+    RuleInfo {
+        id: "ambient-rng",
+        family: "determinism",
+        summary: "thread_rng/OsRng/from_entropy/rand::random — randomness must come from the seeded World rng",
+    },
+    RuleInfo {
+        id: "thread-spawn",
+        family: "determinism",
+        summary: "thread::spawn — the simulator is single-threaded by contract; OS scheduling is nondeterministic",
+    },
+    RuleInfo {
+        id: "unwrap-in-event-path",
+        family: "invariant",
+        summary: "bare .unwrap() inside handle/on_event/completion paths — use expect(\"invariant\") with a message",
+    },
+    RuleInfo {
+        id: "wildcard-event-arm",
+        family: "invariant",
+        summary: "empty `_ => {}` match arm in an NVMe/NIC/PCIe state machine silently swallows protocol events",
+    },
+    RuleInfo {
+        id: "lossy-cast",
+        family: "invariant",
+        summary: "narrowing `as` cast on a time/address-named value can truncate SimTime/PhysAddr quantities",
+    },
+    RuleInfo {
+        id: "pragma-missing-reason",
+        family: "meta",
+        summary: "a dcs-lint allow pragma must carry a reason after a dash",
+    },
+];
+
+/// True if `id` names a known rule.
+pub fn rule_exists(id: &str) -> bool {
+    RULES.iter().any(|r| r.id == id)
+}
+
+/// Per-file analysis context shared by the rule passes.
+struct FileCtx<'a> {
+    file: &'a str,
+    tokens: &'a [Token],
+    /// Token-index ranges covered by `#[cfg(test)]` items.
+    test_ranges: Vec<(usize, usize)>,
+    /// Enclosing-fn name per token index (innermost), empty if none.
+    fn_names: Vec<&'a str>,
+}
+
+impl FileCtx<'_> {
+    fn in_test(&self, idx: usize) -> bool {
+        self.test_ranges.iter().any(|&(a, b)| idx >= a && idx < b)
+    }
+}
+
+/// Runs every rule over one file. `file` is the workspace-relative
+/// path; it scopes the protocol-crate rules (`wildcard-event-arm`).
+/// Suppressions are NOT applied here.
+pub fn check_file(file: &str, src: &str) -> Vec<Finding> {
+    let lexed = lex(src);
+    let tokens = &lexed.tokens;
+    let ctx = FileCtx {
+        file,
+        tokens,
+        test_ranges: find_test_ranges(tokens),
+        fn_names: enclosing_fn_names(tokens),
+    };
+    let mut findings = Vec::new();
+    rule_hash_collection(&ctx, &mut findings);
+    rule_hash_iter(&ctx, &mut findings);
+    rule_wall_clock(&ctx, &mut findings);
+    rule_ambient_rng(&ctx, &mut findings);
+    rule_thread_spawn(&ctx, &mut findings);
+    rule_unwrap_in_event_path(&ctx, &mut findings);
+    rule_wildcard_event_arm(&ctx, &mut findings);
+    rule_lossy_cast(&ctx, &mut findings);
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+fn push(findings: &mut Vec<Finding>, rule: &'static str, ctx: &FileCtx, line: u32, message: String) {
+    findings.push(Finding { rule, file: ctx.file.to_string(), line, message, suppressed: None });
+}
+
+/// Token-index ranges of items annotated `#[cfg(test)]` (and `#[test]`
+/// functions), where the invariant rules do not apply: test code may
+/// unwrap freely.
+fn find_test_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let is_cfg_test = matches_seq(tokens, i, &["#", "[", "cfg", "(", "test", ")", "]"]);
+        let is_test_attr = matches_seq(tokens, i, &["#", "[", "test", "]"]);
+        if is_cfg_test || is_test_attr {
+            // The annotated item runs to the close of its brace block.
+            if let Some(open) = tokens[i..].iter().position(|t| t.is_punct('{')) {
+                let start = i + open;
+                let end = matching_brace(tokens, start).unwrap_or(tokens.len());
+                ranges.push((i, end + 1));
+                i = start + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// For each token, the name of the innermost enclosing `fn` ("" when
+/// at module scope). Closures count as part of their enclosing fn.
+fn enclosing_fn_names(tokens: &[Token]) -> Vec<&str> {
+    let mut names = vec![""; tokens.len()];
+    // Stack of (fn name, depth at which its body opened); `None` depth
+    // means the signature has not reached `{` yet.
+    let mut stack: Vec<(&str, Option<u32>)> = Vec::new();
+    let mut depth = 0u32;
+    for (i, t) in tokens.iter().enumerate() {
+        match &t.kind {
+            TokenKind::Ident(name) if name == "fn" => {
+                if let Some(TokenKind::Ident(fname)) = tokens.get(i + 1).map(|t| &t.kind) {
+                    stack.push((fname.as_str(), None));
+                }
+            }
+            TokenKind::Punct('{') => {
+                if let Some(top) = stack.last_mut() {
+                    if top.1.is_none() {
+                        top.1 = Some(depth);
+                    }
+                }
+                depth += 1;
+            }
+            TokenKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                if let Some(&(_, Some(d))) = stack.last() {
+                    if d == depth {
+                        stack.pop();
+                    }
+                }
+            }
+            TokenKind::Punct(';') => {
+                // Trait method declaration without a body: `fn f(...);`
+                if let Some(&(_, None)) = stack.last() {
+                    stack.pop();
+                }
+            }
+            _ => {}
+        }
+        if let Some(&(name, Some(_))) = stack.last() {
+            names[i] = name;
+        }
+    }
+    names
+}
+
+/// Index of the `}` matching the `{` at `open`.
+fn matching_brace(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// True when the identifiers/punctuation at `start` match `pat` exactly
+/// (each element is either an ident name or a single punct char).
+fn matches_seq(tokens: &[Token], start: usize, pat: &[&str]) -> bool {
+    pat.iter().enumerate().all(|(j, p)| {
+        let Some(t) = tokens.get(start + j) else { return false };
+        if p.len() == 1 && !p.chars().next().unwrap().is_ascii_alphanumeric() {
+            t.is_punct(p.chars().next().unwrap())
+        } else {
+            t.is_ident(p)
+        }
+    })
+}
+
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet", "RandomState", "DefaultHasher"];
+
+fn rule_hash_collection(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    for t in ctx.tokens {
+        if let TokenKind::Ident(name) = &t.kind {
+            if HASH_TYPES.contains(&name.as_str()) {
+                push(
+                    findings,
+                    "hash-collection",
+                    ctx,
+                    t.line,
+                    format!(
+                        "`{name}` has randomized iteration order; use `dcs_sim::DetMap`/`DetSet` \
+                         so same-seed replay stays bit-identical"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+const ORDER_SENSITIVE_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+fn rule_hash_iter(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    // Pass 1: names declared with a hash-ordered type in this file
+    // (`name: HashMap<..>` fields/params or `let name = HashMap::new()`).
+    let mut hash_names: Vec<&str> = Vec::new();
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        let TokenKind::Ident(tyname) = &t.kind else { continue };
+        if !HASH_TYPES.contains(&tyname.as_str()) {
+            continue;
+        }
+        // Walk back over a path prefix (`std :: collections ::`).
+        let mut j = i;
+        while j >= 2 && ctx.tokens[j - 1].is_punct(':') && ctx.tokens[j - 2].is_punct(':') {
+            j -= 2;
+            if j >= 1 && ctx.tokens[j - 1].ident().is_some() {
+                j -= 1;
+            }
+        }
+        // `name : <path> HashMap <` — a field, param, or typed let.
+        if j >= 2 && ctx.tokens[j - 1].is_punct(':') && !ctx.tokens[j - 2].is_punct(':') {
+            if let Some(name) = ctx.tokens[j - 2].ident() {
+                hash_names.push(name);
+            }
+        }
+        // `let (mut)? name (: ..)? = HashMap :: new/with_capacity/from`.
+        if let Some(eq) = (j.saturating_sub(6)..j).rev().find(|&k| ctx.tokens[k].is_punct('=')) {
+            let mut k = eq;
+            while k >= 1 && !ctx.tokens[k].is_ident("let") {
+                k -= 1;
+            }
+            if ctx.tokens[k].is_ident("let") {
+                let name_idx = if ctx.tokens[k + 1].is_ident("mut") { k + 2 } else { k + 1 };
+                if let Some(name) = ctx.tokens.get(name_idx).and_then(|t| t.ident()) {
+                    hash_names.push(name);
+                }
+            }
+        }
+    }
+    if hash_names.is_empty() {
+        return;
+    }
+    hash_names.sort_unstable();
+    hash_names.dedup();
+
+    // Pass 2: order-sensitive uses of those names.
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        let TokenKind::Ident(name) = &t.kind else { continue };
+        if hash_names.binary_search(&name.as_str()).is_err() {
+            continue;
+        }
+        // `name . method (` with method order-sensitive.
+        if ctx.tokens.get(i + 1).is_some_and(|t| t.is_punct('.')) {
+            if let Some(m) = ctx.tokens.get(i + 2).and_then(|t| t.ident()) {
+                if ORDER_SENSITIVE_METHODS.contains(&m) {
+                    push(
+                        findings,
+                        "hash-iter",
+                        ctx,
+                        t.line,
+                        format!(
+                            "`.{m}()` on hash-ordered `{name}` visits entries in a \
+                             seed-dependent order; migrate `{name}` to `DetMap`/`DetSet`"
+                        ),
+                    );
+                }
+            }
+        }
+        // `for .. in [&][mut] [self .] name {` — direct iteration.
+        if i >= 1 {
+            let mut j = i - 1;
+            // Skip over `self .`, `&`, `mut` prefix tokens.
+            loop {
+                let tok = &ctx.tokens[j];
+                let skip = tok.is_punct('.')
+                    || tok.is_punct('&')
+                    || tok.is_ident("self")
+                    || tok.is_ident("mut");
+                if skip && j > 0 {
+                    j -= 1;
+                } else {
+                    break;
+                }
+            }
+            if ctx.tokens[j].is_ident("in")
+                && ctx.tokens.get(i + 1).is_some_and(|t| t.is_punct('{'))
+            {
+                push(
+                    findings,
+                    "hash-iter",
+                    ctx,
+                    t.line,
+                    format!(
+                        "iterating hash-ordered `{name}` in a `for` loop is seed-dependent; \
+                         migrate `{name}` to `DetMap`/`DetSet`"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn rule_wall_clock(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        let TokenKind::Ident(name) = &t.kind else { continue };
+        if (name == "Instant" || name == "SystemTime")
+            && matches_seq(ctx.tokens, i + 1, &[":", ":", "now"])
+        {
+            push(
+                findings,
+                "wall-clock",
+                ctx,
+                t.line,
+                format!(
+                    "`{name}::now()` reads the wall clock; simulation time must come from \
+                     `ctx.now()`/`SimTime` so runs replay identically"
+                ),
+            );
+        }
+    }
+}
+
+fn rule_ambient_rng(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        let TokenKind::Ident(name) = &t.kind else { continue };
+        let ambient = match name.as_str() {
+            "thread_rng" | "OsRng" | "from_entropy" => true,
+            "random" => i >= 3 && matches_seq(ctx.tokens, i - 3, &["rand", ":", ":"]),
+            _ => false,
+        };
+        if ambient {
+            push(
+                findings,
+                "ambient-rng",
+                ctx,
+                t.line,
+                format!(
+                    "`{name}` draws OS entropy; all randomness must come from the seeded \
+                     `World::rng` so the seed fully determines the run"
+                ),
+            );
+        }
+    }
+}
+
+fn rule_thread_spawn(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        if t.is_ident("thread")
+            && matches_seq(ctx.tokens, i + 1, &[":", ":", "spawn"])
+        {
+            push(
+                findings,
+                "thread-spawn",
+                ctx,
+                t.line,
+                "`thread::spawn` introduces OS scheduling into the simulation; the event loop \
+                 is single-threaded by contract"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// Event-path function names: the component dispatch entry point and
+/// completion handlers.
+fn is_event_path_fn(name: &str) -> bool {
+    name == "handle" || name == "on_event" || name.contains("complete") || name.contains("completion")
+}
+
+fn rule_unwrap_in_event_path(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        if !t.is_ident("unwrap") {
+            continue;
+        }
+        let call = i >= 1
+            && ctx.tokens[i - 1].is_punct('.')
+            && matches_seq(ctx.tokens, i + 1, &["(", ")"]);
+        if !call || ctx.in_test(i) {
+            continue;
+        }
+        let fn_name = ctx.fn_names[i];
+        if is_event_path_fn(fn_name) {
+            push(
+                findings,
+                "unwrap-in-event-path",
+                ctx,
+                t.line,
+                format!(
+                    "bare `.unwrap()` inside event path `fn {fn_name}`; a poisoned event must \
+                     fail with a protocol message — use `.expect(\"invariant…\")`"
+                ),
+            );
+        }
+    }
+}
+
+/// Path components that mark a file as part of a protocol state machine
+/// for `wildcard-event-arm`.
+const PROTOCOL_CRATES: &[&str] = &["crates/nvme/", "crates/nic/", "crates/pcie/"];
+
+fn rule_wildcard_event_arm(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    let normalized = ctx.file.replace('\\', "/");
+    if !PROTOCOL_CRATES.iter().any(|p| normalized.contains(p)) {
+        return;
+    }
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        if !t.is_ident("_") {
+            continue;
+        }
+        if ctx.in_test(i) {
+            continue;
+        }
+        // `_ => {}` or `_ => ()` (with optional trailing comma).
+        let arrow = matches_seq(ctx.tokens, i + 1, &["=", ">"]);
+        if !arrow {
+            continue;
+        }
+        let empty = matches_seq(ctx.tokens, i + 3, &["{", "}"])
+            || matches_seq(ctx.tokens, i + 3, &["(", ")"]);
+        if empty {
+            push(
+                findings,
+                "wildcard-event-arm",
+                ctx,
+                t.line,
+                "empty `_ => {}` arm in a protocol state machine silently drops events; \
+                 match the variants explicitly or fail loudly"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+const NARROW_INTS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Identifier names that carry 64-bit simulated-time or address
+/// quantities in this codebase.
+fn is_wide_quantity_name(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    lower.contains("time")
+        || lower.contains("addr")
+        || lower.ends_with("_ns")
+        || lower == "now"
+        || lower == "lba"
+}
+
+fn rule_lossy_cast(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        if !t.is_ident("as") || ctx.in_test(i) {
+            continue;
+        }
+        let Some(target) = ctx.tokens.get(i + 1).and_then(|t| t.ident()) else { continue };
+        if !NARROW_INTS.contains(&target) {
+            continue;
+        }
+        // Source expression: `name as u32`, `name.0 as u32`,
+        // `expr.name as u32`, or `name() as u32`.
+        let mut j = i.checked_sub(1);
+        // Skip a closing paren of a call: `name ( ... ) as` — walk to `(`'s callee.
+        if let Some(k) = j {
+            if ctx.tokens[k].is_punct(')') {
+                let mut depth = 0i64;
+                let mut m = k;
+                loop {
+                    if ctx.tokens[m].is_punct(')') {
+                        depth += 1;
+                    } else if ctx.tokens[m].is_punct('(') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    if m == 0 {
+                        break;
+                    }
+                    m -= 1;
+                }
+                j = m.checked_sub(1);
+            } else if ctx.tokens[k].kind == TokenKind::Number
+                && k >= 1
+                && ctx.tokens[k - 1].is_punct('.')
+            {
+                // Tuple field `.0`.
+                j = (k - 1).checked_sub(1);
+            }
+        }
+        let Some(k) = j else { continue };
+        let Some(src_name) = ctx.tokens[k].ident() else { continue };
+        if is_wide_quantity_name(src_name) {
+            push(
+                findings,
+                "lossy-cast",
+                ctx,
+                t.line,
+                format!(
+                    "`{src_name} as {target}` can truncate a 64-bit time/address quantity; \
+                     use `try_into()` or widen the target"
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_hit(file: &str, src: &str) -> Vec<&'static str> {
+        let mut r: Vec<_> = check_file(file, src).into_iter().map(|f| f.rule).collect();
+        r.dedup();
+        r
+    }
+
+    #[test]
+    fn clean_file_has_no_findings() {
+        let src = r#"
+            use dcs_sim::DetMap;
+            struct S { m: DetMap<u64, u32> }
+            impl S {
+                fn handle(&mut self) {
+                    for (k, v) in self.m.iter() { let _ = (k, v); }
+                }
+            }
+        "#;
+        assert!(check_file("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn detects_hash_collection_and_iteration() {
+        let src = r#"
+            use std::collections::HashMap;
+            struct S { ops: HashMap<u64, u32> }
+            impl S {
+                fn scan(&self) {
+                    for (k, v) in self.ops.iter() { let _ = (k, v); }
+                }
+            }
+        "#;
+        let hits = rules_hit("crates/x/src/lib.rs", src);
+        assert!(hits.contains(&"hash-collection"));
+        assert!(hits.contains(&"hash-iter"));
+    }
+
+    #[test]
+    fn detects_for_loop_over_hash_field() {
+        let src = r#"
+            use std::collections::HashMap;
+            struct S { sends: HashMap<u64, u32> }
+            impl S {
+                fn scan(&self) {
+                    for (at, s) in &self.sends { let _ = (at, s); }
+                }
+            }
+        "#;
+        let f = check_file("crates/x/src/lib.rs", src);
+        assert!(
+            f.iter().any(|f| f.rule == "hash-iter" && f.message.contains("for")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn detects_wall_clock_and_rng_and_spawn() {
+        let src = r#"
+            fn f() {
+                let t = std::time::Instant::now();
+                let s = std::time::SystemTime::now();
+                let r = rand::thread_rng();
+                std::thread::spawn(|| {});
+            }
+        "#;
+        let hits = rules_hit("crates/x/src/lib.rs", src);
+        assert!(hits.contains(&"wall-clock"));
+        assert!(hits.contains(&"ambient-rng"));
+        assert!(hits.contains(&"thread-spawn"));
+    }
+
+    #[test]
+    fn unwrap_flagged_only_in_event_paths_and_not_in_tests() {
+        let src = r#"
+            fn handle(x: Option<u32>) -> u32 { x.unwrap() }
+            fn helper(x: Option<u32>) -> u32 { x.unwrap() }
+            fn on_dma_complete(x: Option<u32>) -> u32 { x.unwrap() }
+            #[cfg(test)]
+            mod tests {
+                fn handle(x: Option<u32>) -> u32 { x.unwrap() }
+            }
+        "#;
+        let f = check_file("crates/x/src/lib.rs", src);
+        let lines: Vec<u32> =
+            f.iter().filter(|f| f.rule == "unwrap-in-event-path").map(|f| f.line).collect();
+        assert_eq!(lines, vec![2, 4], "{f:?}");
+    }
+
+    #[test]
+    fn expect_with_message_is_sanctioned() {
+        let src = r#"fn handle(x: Option<u32>) -> u32 { x.expect("queue attached before doorbell") }"#;
+        assert!(check_file("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wildcard_arm_only_in_protocol_crates() {
+        let src = r#"
+            fn step(e: u32) {
+                match e {
+                    0 => {}
+                    _ => {}
+                }
+            }
+        "#;
+        assert!(rules_hit("crates/nvme/src/device.rs", src).contains(&"wildcard-event-arm"));
+        assert!(rules_hit("crates/nic/src/device.rs", src).contains(&"wildcard-event-arm"));
+        assert!(!rules_hit("crates/cluster/src/health.rs", src).contains(&"wildcard-event-arm"));
+    }
+
+    #[test]
+    fn wildcard_arm_with_body_is_fine() {
+        let src = r#"
+            fn step(e: u32) {
+                match e {
+                    0 => {}
+                    _ => panic!("unmodeled event"),
+                }
+            }
+        "#;
+        assert!(!rules_hit("crates/nvme/src/device.rs", src).contains(&"wildcard-event-arm"));
+    }
+
+    #[test]
+    fn lossy_cast_on_time_and_addr_names() {
+        let src = r#"
+            fn f(deadline_time: u64, addr: u64, count: u64) {
+                let a = deadline_time as u32;
+                let b = addr as u16;
+                let fine = count as u32;
+                let also_fine = deadline_time as u64;
+            }
+        "#;
+        let f = check_file("crates/x/src/lib.rs", src);
+        let lines: Vec<u32> = f.iter().filter(|f| f.rule == "lossy-cast").map(|f| f.line).collect();
+        assert_eq!(lines, vec![3, 4], "{f:?}");
+    }
+
+    #[test]
+    fn lossy_cast_through_tuple_field_and_call() {
+        let src = r#"
+            fn f(t: SimTime) {
+                let a = t.start_time.0 as u32;
+                let b = now() as u32;
+            }
+        "#;
+        let f = check_file("crates/x/src/lib.rs", src);
+        assert_eq!(f.iter().filter(|f| f.rule == "lossy-cast").count(), 2, "{f:?}");
+    }
+}

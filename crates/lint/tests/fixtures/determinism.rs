@@ -1,0 +1,53 @@
+//! Fixture: determinism-rule violations, one per construct.
+//! This file is NOT compiled or linted as part of the workspace
+//! (`workspace_files` skips `fixtures/` directories); the integration
+//! tests feed it to the analyzer and assert on the findings.
+
+use std::collections::{HashMap, HashSet};
+
+struct Tables {
+    ops: HashMap<u64, u32>,
+    seen: HashSet<u64>,
+}
+
+impl Tables {
+    fn scan(&mut self) -> u32 {
+        let mut total = 0;
+        // Method-style iteration over a hash-ordered field.
+        for (_k, v) in self.ops.iter() {
+            total += v;
+        }
+        // Direct for-loop iteration.
+        for k in &self.seen {
+            total += *k as u32;
+        }
+        self.ops.retain(|_, v| *v > 0);
+        total
+    }
+}
+
+fn locals() {
+    let mut local = HashMap::new();
+    local.insert(1u8, 2u8);
+    for v in local.values() {
+        let _ = v;
+    }
+}
+
+fn wall_clock() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+fn system_clock() -> u64 {
+    let _ = std::time::SystemTime::now();
+    0
+}
+
+fn ambient_randomness() {
+    let _rng = rand::thread_rng();
+    let _v: u32 = rand::random();
+}
+
+fn parallelism() {
+    std::thread::spawn(|| {});
+}

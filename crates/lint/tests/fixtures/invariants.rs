@@ -1,0 +1,57 @@
+//! Fixture: invariant-rule violations. Fed to the analyzer with a
+//! protocol-crate path (e.g. `crates/nvme/src/fixture.rs`) so the
+//! crate-scoped rules fire.
+
+enum Event {
+    Doorbell,
+    Completion,
+    Reset,
+}
+
+struct Device {
+    pending: Option<u64>,
+}
+
+impl Device {
+    // Event path: bare unwrap is a violation...
+    fn handle(&mut self, e: Event) {
+        match e {
+            Event::Doorbell => {
+                let _token = self.pending.unwrap();
+            }
+            Event::Completion => self.on_dma_complete(),
+            // ...and an empty wildcard arm swallows Reset.
+            _ => {}
+        }
+    }
+
+    // Completion paths are event paths too.
+    fn on_dma_complete(&mut self) {
+        let _token = self.pending.unwrap();
+    }
+
+    // Messaged expect is the sanctioned form: not flagged.
+    fn on_msi_complete(&mut self) {
+        let _token = self.pending.expect("completion for a posted DMA");
+    }
+
+    // Not an event path: bare unwrap allowed.
+    fn debug_dump(&self) -> u64 {
+        self.pending.unwrap()
+    }
+}
+
+fn truncations(deadline_time: u64, dma_addr: u64, count: u64) -> (u32, u16, u32) {
+    let t = deadline_time as u32;
+    let a = dma_addr as u16;
+    let fine = count as u32;
+    (t, a, fine)
+}
+
+#[cfg(test)]
+mod tests {
+    // Inside test code, unwrap in an event-path-named fn is fine.
+    fn handle(x: Option<u32>) -> u32 {
+        x.unwrap()
+    }
+}

@@ -1,0 +1,30 @@
+//! Fixture: every suppression mechanism, plus pragma misuse.
+
+// Same-line pragma.
+use std::collections::HashMap; // dcs-lint: allow(hash-collection) — fixture: lookup-only table
+
+// Pragma on the line above the offending code.
+// dcs-lint: allow(wall-clock) — fixture: self-timing only
+fn timed() -> std::time::Instant {
+    std::time::Instant::now() // this line is NOT covered by the pragma above
+}
+
+fn spawns() {
+    // dcs-lint: allow(thread-spawn) — fixture: pragma covers the next code line
+    std::thread::spawn(|| {});
+}
+
+// A pragma without a reason suppresses nothing and is itself flagged.
+fn entropy() {
+    let _ = rand::thread_rng(); // dcs-lint: allow(ambient-rng)
+}
+
+// This one is left for the baseline file to grandfather.
+fn baselined_clock() {
+    let _ = std::time::SystemTime::now();
+}
+
+fn table() -> HashMap<u8, u8> {
+    // dcs-lint: allow(hash-collection) — fixture: constructor call below
+    HashMap::new()
+}

@@ -1,0 +1,139 @@
+//! Integration tests: each rule against its fixture (positive hit,
+//! pragma-suppressed, baseline-suppressed), plus a gate that the real
+//! workspace is clean modulo the checked-in baseline — so a determinism
+//! hazard reintroduced anywhere fails `cargo test`, not just CI.
+
+use std::path::Path;
+
+use dcs_lint::baseline::Baseline;
+use dcs_lint::rules::{Finding, Suppression};
+use dcs_lint::{analyze_source, source_line, workspace_files};
+
+const DETERMINISM: &str = include_str!("fixtures/determinism.rs");
+const INVARIANTS: &str = include_str!("fixtures/invariants.rs");
+const SUPPRESSED: &str = include_str!("fixtures/suppressed.rs");
+const FIXTURE_BASELINE: &str = include_str!("fixtures/baseline.toml");
+
+fn active<'a>(findings: &'a [Finding], rule: &str) -> Vec<&'a Finding> {
+    findings.iter().filter(|f| f.rule == rule && f.suppressed.is_none()).collect()
+}
+
+#[test]
+fn determinism_fixture_trips_every_determinism_rule() {
+    let f = analyze_source("crates/fixture/src/determinism.rs", DETERMINISM);
+    // HashMap (use + 2 decls + ctor) and HashSet each count.
+    assert!(active(&f, "hash-collection").len() >= 4, "{f:#?}");
+    // Field iter(), field for-loop, retain, local values().
+    assert!(active(&f, "hash-iter").len() >= 4, "{f:#?}");
+    assert_eq!(active(&f, "wall-clock").len(), 2, "{f:#?}");
+    assert_eq!(active(&f, "ambient-rng").len(), 2, "{f:#?}");
+    assert_eq!(active(&f, "thread-spawn").len(), 1, "{f:#?}");
+}
+
+#[test]
+fn invariants_fixture_trips_every_invariant_rule() {
+    let f = analyze_source("crates/nvme/src/fixture.rs", INVARIANTS);
+    // handle() + on_dma_complete(); the messaged expect, the non-event
+    // fn, and the #[cfg(test)] unwrap are all sanctioned.
+    let unwraps = active(&f, "unwrap-in-event-path");
+    assert_eq!(unwraps.len(), 2, "{f:#?}");
+    assert_eq!(active(&f, "wildcard-event-arm").len(), 1, "{f:#?}");
+    // deadline_time and dma_addr truncate; `count as u32` is fine.
+    assert_eq!(active(&f, "lossy-cast").len(), 2, "{f:#?}");
+}
+
+#[test]
+fn wildcard_arm_is_scoped_to_protocol_crates() {
+    let elsewhere = analyze_source("crates/cluster/src/fixture.rs", INVARIANTS);
+    assert!(active(&elsewhere, "wildcard-event-arm").is_empty());
+    // The path-independent rules still fire there.
+    assert_eq!(active(&elsewhere, "unwrap-in-event-path").len(), 2);
+}
+
+#[test]
+fn pragmas_suppress_exactly_their_rule_and_line() {
+    let f = analyze_source("crates/fixture/src/suppressed.rs", SUPPRESSED);
+
+    // Same-line pragma on the `use`.
+    let hash: Vec<_> = f.iter().filter(|f| f.rule == "hash-collection").collect();
+    assert!(
+        hash.iter().any(|f| f.suppressed == Some(Suppression::Pragma)),
+        "use-line pragma must suppress: {hash:#?}"
+    );
+    // The `HashMap` in `fn table() -> HashMap<u8, u8>` return type has
+    // no pragma on its line: still active.
+    assert!(!active(&f, "hash-collection").is_empty(), "{f:#?}");
+
+    // Pragma above `fn timed()` covers the signature line, not the
+    // Instant::now() two lines down: wall-clock stays active.
+    assert_eq!(active(&f, "wall-clock").len(), 2, "{f:#?}");
+
+    // Pragma directly above the spawn call suppresses it.
+    assert!(active(&f, "thread-spawn").is_empty(), "{f:#?}");
+
+    // Reasonless pragma: suppresses nothing, and is itself a finding.
+    assert_eq!(active(&f, "ambient-rng").len(), 1, "{f:#?}");
+    assert!(!active(&f, "pragma-missing-reason").is_empty(), "{f:#?}");
+}
+
+#[test]
+fn baseline_grandfathers_and_reports_stale_entries() {
+    let mut baseline = Baseline::parse(FIXTURE_BASELINE).expect("fixture baseline parses");
+    let mut findings = analyze_source("crates/fixture/src/suppressed.rs", SUPPRESSED);
+    for f in findings.iter_mut() {
+        baseline.apply(f, source_line(SUPPRESSED, f.line));
+    }
+    // The thread_rng and SystemTime::now sites are grandfathered…
+    let baselined: Vec<_> = findings
+        .iter()
+        .filter(|f| f.suppressed == Some(Suppression::Baseline))
+        .map(|f| f.rule)
+        .collect();
+    assert!(baselined.contains(&"ambient-rng"), "{findings:#?}");
+    assert!(baselined.contains(&"wall-clock"), "{findings:#?}");
+    // …while the entry pointing at a nonexistent file is stale.
+    let stale = baseline.stale();
+    assert_eq!(stale.len(), 1, "{stale:#?}");
+    assert_eq!(stale[0].file, "crates/fixture/src/nonexistent.rs");
+}
+
+#[test]
+fn baseline_does_not_cover_other_files_or_rules() {
+    let mut baseline = Baseline::parse(FIXTURE_BASELINE).expect("parses");
+    let mut findings = analyze_source("crates/fixture/src/other.rs", SUPPRESSED);
+    for f in findings.iter_mut() {
+        baseline.apply(f, source_line(SUPPRESSED, f.line));
+    }
+    assert!(
+        findings.iter().all(|f| f.suppressed != Some(Suppression::Baseline)),
+        "entries are file-scoped: {findings:#?}"
+    );
+}
+
+/// The real workspace must be clean modulo the checked-in baseline.
+/// This is the same gate CI runs (`--workspace --deny`), enforced from
+/// `cargo test` so a stray HashMap or Instant::now cannot land even
+/// when CI is skipped.
+#[test]
+fn workspace_is_clean_under_deny() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let root = root.canonicalize().expect("workspace root");
+    let files = workspace_files(&root).expect("walk workspace");
+    assert!(files.len() > 50, "workspace walk looks wrong: {} files", files.len());
+
+    let baseline_text =
+        std::fs::read_to_string(root.join("lint-baseline.toml")).expect("baseline exists");
+    let baseline = Baseline::parse(&baseline_text).expect("baseline parses");
+
+    let report = dcs_lint::run(&root, &files, Some(baseline)).expect("lint run");
+    let active: Vec<String> = report
+        .active()
+        .map(|f| format!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message))
+        .collect();
+    assert!(
+        active.is_empty() && report.stale_baseline.is_empty(),
+        "workspace must lint clean.\nactive:\n{}\nstale:\n{}",
+        active.join("\n"),
+        report.stale_baseline.join("\n")
+    );
+}

@@ -11,12 +11,12 @@
 //! A frame arriving with no posted buffer is dropped and counted, as real
 //! adapters do.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use dcs_pcie::{
     AddrRange, DmaComplete, DmaRequest, MmioWrite, Msi, PhysAddr, PhysMemory, PortId,
 };
-use dcs_sim::{time, Component, ComponentId, Ctx, Msg, Simulator};
+use dcs_sim::{time, Component, ComponentId, Ctx, DetMap, Msg, Simulator};
 
 use crate::headers::{build_frame, parse_template};
 use crate::ring::{RecvDescriptor, RecvWriteback, SendDescriptor};
@@ -145,10 +145,10 @@ pub struct NicDevice {
     tx_cons: u16,
     rx_cons: u16,
     /// In-flight DMA bookkeeping.
-    dmas: HashMap<u64, DmaPurpose>,
-    tx_ops: HashMap<u64, TxOp>,
+    dmas: DetMap<u64, DmaPurpose>,
+    tx_ops: DetMap<u64, TxOp>,
     /// Wire-transmit token → (tx op, last segment?).
-    frames: HashMap<u64, (u64, bool)>,
+    frames: DetMap<u64, (u64, bool)>,
     /// Posted receive buffers in ring order.
     posted: VecDeque<(u16, RecvDescriptor)>,
     /// Ring index of the next posted buffer / write-back slot.
@@ -176,9 +176,9 @@ impl NicDevice {
             rings: None,
             tx_cons: 0,
             rx_cons: 0,
-            dmas: HashMap::new(),
-            tx_ops: HashMap::new(),
-            frames: HashMap::new(),
+            dmas: DetMap::new(),
+            tx_ops: DetMap::new(),
+            frames: DetMap::new(),
             posted: VecDeque::new(),
             rx_wb_next: 0,
             next_token: 1,

@@ -16,7 +16,7 @@
 //! Timing defaults follow the Intel SSD 750 of Table V: 17.2 Gbps reads,
 //! 7.2 Gbps writes.
 
-use std::collections::HashMap;
+use dcs_sim::DetMap;
 
 use dcs_pcie::{AddrRange, DmaComplete, DmaRequest, MmioWrite, Msi, PhysAddr, PhysMemory, PortId};
 use dcs_sim::{time, Bandwidth, Component, ComponentId, Ctx, FifoServer, Msg, Simulator};
@@ -171,8 +171,8 @@ pub struct NvmeDevice {
     /// Scratch area inside the BAR region used to land SQ-entry and
     /// PRP-list fetches (device-internal SRAM).
     scratch: PhysAddr,
-    queues: HashMap<u16, QueuePair>,
-    ops: HashMap<u64, Op>,
+    queues: DetMap<u16, QueuePair>,
+    ops: DetMap<u64, Op>,
     next_token: u64,
     flash_read_unit: FifoServer,
     flash_write_unit: FifoServer,
@@ -192,8 +192,8 @@ impl NvmeDevice {
             bar,
             flash,
             scratch,
-            queues: HashMap::new(),
-            ops: HashMap::new(),
+            queues: DetMap::new(),
+            ops: DetMap::new(),
             next_token: 1,
             flash_read_unit: FifoServer::new(),
             flash_write_unit: FifoServer::new(),

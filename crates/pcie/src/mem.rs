@@ -6,7 +6,7 @@
 //! region is tagged with the PCIe [`PortId`] it sits behind so the fabric
 //! can charge transfers to the right links.
 
-use std::collections::HashMap;
+use dcs_sim::DetMap;
 use std::fmt;
 
 use crate::addr::{AddrRange, PhysAddr};
@@ -33,7 +33,7 @@ const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 /// Byte storage materialized page-by-page on first write.
 #[derive(Default)]
 struct SparseBytes {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    pages: DetMap<u64, Box<[u8; PAGE_SIZE]>>,
 }
 
 impl SparseBytes {

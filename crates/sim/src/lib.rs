@@ -45,6 +45,7 @@
 //! ```
 
 pub mod component;
+pub mod detmap;
 pub mod engine;
 pub mod event;
 pub mod fault;
@@ -56,6 +57,7 @@ pub mod trace;
 pub mod world;
 
 pub use component::{Component, ComponentId};
+pub use detmap::{DetMap, DetSet};
 pub use engine::{Ctx, Simulator};
 pub use event::{Msg, Payload};
 pub use fault::{FaultPlan, FaultSpec, RecoveryConfig};

@@ -7,7 +7,7 @@
 //! without components holding references to each other.
 
 use std::any::{Any, TypeId};
-use std::collections::HashMap;
+use crate::detmap::DetMap;
 
 use crate::rng::Rng;
 use crate::stats::Stats;
@@ -19,13 +19,13 @@ pub struct World {
     pub rng: Rng,
     /// Global named counters and gauges.
     pub stats: Stats,
-    resources: HashMap<TypeId, Box<dyn Any>>,
+    resources: DetMap<TypeId, Box<dyn Any>>,
 }
 
 impl World {
     /// Creates an empty world seeded with `seed`.
     pub fn new(seed: u64) -> Self {
-        World { rng: Rng::new(seed), stats: Stats::new(), resources: HashMap::new() }
+        World { rng: Rng::new(seed), stats: Stats::new(), resources: DetMap::new() }
     }
 
     /// Registers (or replaces) the singleton of type `T`, returning the

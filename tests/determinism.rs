@@ -1,0 +1,114 @@
+//! Determinism regression: the same seeded testbed job, run twice in
+//! fresh processes' worth of state, must produce **byte-identical**
+//! trace output — completions, per-category latency breakdowns, final
+//! simulated time, and every counter in the world stats.
+//!
+//! This is the property `dcs-lint` exists to protect (DESIGN.md §10):
+//! before the DetMap migration, any device table iterated in hash
+//! order could silently reorder same-timestamp events between runs.
+//! The serialized trace here deliberately includes every stats counter
+//! so even a divergence that cancels out in the end-to-end latency
+//! still fails the comparison.
+
+use dcs_ctrl::host::job::{D2dDone, D2dOp};
+use dcs_ctrl::ndp::NdpFunction;
+use dcs_ctrl::nic::TcpFlow;
+use dcs_ctrl::pcie::PhysMemory;
+use dcs_ctrl::sim::FaultPlan;
+use dcs_ctrl::workloads::scenario::{DesignUnderTest, Testbed, TestbedConfig};
+
+const LEN: usize = 16 * 1024;
+
+fn pattern() -> Vec<u8> {
+    (0..LEN).map(|i| (i.wrapping_mul(2654435761) >> 7) as u8).collect()
+}
+
+/// Runs one server→client transfer (SSD read → NIC send | NIC recv →
+/// MD5) on a fresh testbed and serializes everything observable about
+/// the run into a text trace.
+fn run_traced(design: DesignUnderTest, seed: u64, with_faults: bool) -> String {
+    let pat = pattern();
+    let mut tb = Testbed::new(design, &TestbedConfig { seed, ..Default::default() });
+    tb.sim.run(); // settle bring-up before touching flash
+    let addr = tb.server.ssds[0].lba_addr(0);
+    tb.sim.world_mut().expect_mut::<PhysMemory>().write(addr, &pat);
+    if with_faults {
+        tb.install_faults(|rng| FaultPlan::uniform(0.01, rng));
+    }
+
+    let flow = TcpFlow::example(1, 2, 41_000, 9_000);
+    let server = tb.server.submit_to;
+    let client = tb.client.submit_to;
+    let done = tb.run_job_batch(vec![
+        (
+            server,
+            vec![D2dOp::SsdRead { ssd: 0, lba: 0, len: LEN }, D2dOp::NicSend { flow, seq: 0 }],
+            "det-send",
+        ),
+        (
+            client,
+            vec![
+                D2dOp::NicRecv { flow: flow.reversed(), len: LEN },
+                D2dOp::Process { function: NdpFunction::Md5, aux: vec![] },
+            ],
+            "det-recv",
+        ),
+    ]);
+
+    serialize_trace(&tb, &done)
+}
+
+fn serialize_trace(tb: &Testbed, done: &[D2dDone]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("now={:?}\n", tb.sim.now()));
+    let mut done: Vec<&D2dDone> = done.iter().collect();
+    done.sort_by_key(|d| d.id);
+    for d in done {
+        out.push_str(&format!(
+            "job id={} ok={} payload_len={} digest={:?}\n",
+            d.id, d.ok, d.payload_len, d.digest
+        ));
+        for (cat, ns) in d.breakdown.entries() {
+            out.push_str(&format!("  {}={ns}\n", cat.label()));
+        }
+    }
+    // Every counter in the world: hash-order divergence anywhere in the
+    // event stream shows up in retry/fault/queue counters even when the
+    // end-to-end numbers agree. Stats iterates a BTreeMap, so the
+    // serialization order itself is deterministic.
+    for (name, value) in tb.sim.world().stats.iter() {
+        out.push_str(&format!("stat {name}={value}\n"));
+    }
+    out
+}
+
+#[test]
+fn same_seed_twice_is_byte_identical_on_every_design() {
+    for design in
+        [DesignUnderTest::SwOpt, DesignUnderTest::SwP2p, DesignUnderTest::DcsCtrl]
+    {
+        let a = run_traced(design, 0xD5EED, false);
+        let b = run_traced(design, 0xD5EED, false);
+        assert!(!a.is_empty() && a.contains("ok=true"), "{design}: job must succeed\n{a}");
+        assert_eq!(a, b, "{design}: same-seed trace diverged");
+    }
+}
+
+#[test]
+fn same_seed_twice_is_byte_identical_under_fault_storm() {
+    // Faults exercise the retry/watchdog paths, which lean hardest on
+    // the migrated device tables (outstanding ops, in-flight DMAs).
+    let a = run_traced(DesignUnderTest::DcsCtrl, 0xFA0175, true);
+    let b = run_traced(DesignUnderTest::DcsCtrl, 0xFA0175, true);
+    assert!(a.contains("stat fault.injected"), "storm must fire:\n{a}");
+    assert_eq!(a, b, "fault-storm trace diverged");
+}
+
+#[test]
+fn different_seeds_produce_different_traces_under_faults() {
+    // Sanity check that the serialization actually captures run
+    // behavior (a trivially constant trace would pass the tests above).
+    let a = run_traced(DesignUnderTest::DcsCtrl, 1, true);
+    let b = run_traced(DesignUnderTest::DcsCtrl, 2, true);
+    assert_ne!(a, b, "different fault seeds should perturb the trace");
+}
