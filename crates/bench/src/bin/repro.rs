@@ -1,27 +1,61 @@
 //! `repro` — regenerate every table and figure of the DCS-ctrl paper.
 //!
 //! ```text
-//! repro [--quick] [all|fig2|fig3|fig8|fig11|fig12|fig13|table3|table4|ablation|faults|cluster|cluster-failover]...
+//! repro [--quick] [--trace-out FILE] [--json-out DIR]
+//!       [all|fig2|fig3|fig8|fig11|fig12|fig13|table3|table4|ablation|faults|cluster|cluster-failover|anatomy]...
 //! ```
 //!
 //! With no experiment arguments, runs everything. `--quick` shortens the
 //! workload windows (useful for smoke runs; EXPERIMENTS.md numbers come
-//! from the full runs). Unknown experiment names are rejected up front —
-//! before anything runs — with the list of valid ones.
+//! from the full runs). `--trace-out FILE` additionally runs a traced
+//! request mix and writes Chrome trace-event JSON (open in Perfetto).
+//! `--json-out DIR` writes machine-readable `BENCH_<exp>.json` files for
+//! experiments with structured reports. Unknown experiment names are
+//! rejected up front — before anything runs — with the list of valid
+//! ones.
 
 use std::env;
+use std::fs;
+use std::process::exit;
 
 /// Every experiment, in presentation order.
-const EXPERIMENTS: [&str; 12] = [
+const EXPERIMENTS: [&str; 13] = [
     "table3", "table4", "fig2", "fig3", "fig8", "fig11", "fig12", "fig13", "ablation", "faults",
-    "cluster", "cluster-failover",
+    "cluster", "cluster-failover", "anatomy",
 ];
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let requested: Vec<&str> =
-        args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let mut quick = false;
+    let mut trace_out: Option<String> = None;
+    let mut json_out: Option<String> = None;
+    let mut requested: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--trace-out" => match it.next() {
+                Some(p) => trace_out = Some(p.clone()),
+                None => {
+                    eprintln!("--trace-out requires a file path");
+                    exit(2);
+                }
+            },
+            "--json-out" => match it.next() {
+                Some(d) => json_out = Some(d.clone()),
+                None => {
+                    eprintln!("--json-out requires a directory");
+                    exit(2);
+                }
+            },
+            s if s.starts_with("--") => {
+                eprintln!("unknown flag: {s}");
+                eprintln!("flags: --quick --trace-out FILE --json-out DIR");
+                exit(2);
+            }
+            s => requested.push(s),
+        }
+    }
 
     // Validate everything before running anything: a typo at the end of
     // the list must not cost a full sweep first.
@@ -35,7 +69,7 @@ fn main() {
             eprintln!("unknown experiment: {u}");
         }
         eprintln!("valid experiments: all {}", EXPERIMENTS.join(" "));
-        std::process::exit(2);
+        exit(2);
     }
 
     let wanted: Vec<&str> = if requested.is_empty() || requested.contains(&"all") {
@@ -46,8 +80,8 @@ fn main() {
 
     println!("DCS-ctrl reproduction harness (quick={quick})");
     println!("==============================================\n");
-    for w in wanted {
-        let out = match w {
+    for w in &wanted {
+        let out = match *w {
             "fig2" => dcs_bench::fig2::render(4096),
             "fig3" => dcs_bench::fig3::render(16 * 1024, quick),
             "fig8" => dcs_bench::fig8::render(quick),
@@ -60,9 +94,39 @@ fn main() {
             "faults" => dcs_bench::faults::render(quick),
             "cluster" => dcs_bench::cluster::render(quick),
             "cluster-failover" => dcs_bench::cluster::render_failover(quick),
+            "anatomy" => dcs_bench::anatomy::render(),
             other => unreachable!("validated above: {other}"),
         };
         println!("{out}");
         println!("----------------------------------------------\n");
+    }
+
+    if let Some(dir) = &json_out {
+        if let Err(e) = fs::create_dir_all(dir) {
+            eprintln!("cannot create {dir}: {e}");
+            exit(1);
+        }
+        if wanted.contains(&"fig8") {
+            let rows = dcs_bench::fig8::collect(quick);
+            let path = format!("{dir}/BENCH_fig8.json");
+            let body = dcs_bench::fig8::json_report(&rows).render();
+            if let Err(e) = fs::write(&path, body) {
+                eprintln!("cannot write {path}: {e}");
+                exit(1);
+            }
+            println!("wrote {path}");
+        }
+    }
+
+    if let Some(path) = &trace_out {
+        let cap = dcs_bench::anatomy::capture(
+            dcs_workloads::scenario::DesignUnderTest::DcsCtrl,
+        );
+        if let Err(e) = fs::write(path, &cap.trace_json) {
+            eprintln!("cannot write {path}: {e}");
+            exit(1);
+        }
+        println!("wrote {path} ({} requests traced; open in Perfetto)", cap.requests.len());
+        print!("{}", cap.table);
     }
 }

@@ -61,16 +61,44 @@ pub fn kernel_utilization(
     outcome.reports[&key].cpu_breakdown.clone()
 }
 
-/// Renders the figure.
-pub fn render(quick: bool) -> String {
+/// Runs the figure's sweep and returns per-design CPU breakdowns.
+pub fn collect(quick: bool) -> Vec<(DesignUnderTest, BTreeMap<String, f64>)> {
     let len = 64 * 1024;
     let duration = if quick { time::ms(10) } else { time::ms(40) };
+    DESIGNS.iter().map(|&d| (d, kernel_utilization(d, len, 4.0, duration))).collect()
+}
+
+/// The figure's data as machine-readable JSON (`BENCH_fig8.json`).
+pub fn json_report(rows: &[(DesignUnderTest, BTreeMap<String, f64>)]) -> dcs_sim::Json {
+    use dcs_sim::Json;
+    let designs = rows
+        .iter()
+        .map(|(d, m)| {
+            let breakdown: Vec<(String, Json)> =
+                m.iter().map(|(k, v)| (k.clone(), Json::Float(*v))).collect();
+            let total: f64 = m.values().sum();
+            (
+                d.label().to_string(),
+                Json::Obj(vec![
+                    ("total_fraction_of_cores".into(), Json::Float(total)),
+                    ("breakdown".into(), Json::Obj(breakdown)),
+                ]),
+            )
+        })
+        .collect();
+    Json::Obj(vec![
+        ("experiment".into(), Json::Str("fig8".into())),
+        ("workload".into(), Json::Str("ssd-to-nic 64KiB @ 4Gbps".into())),
+        ("unit".into(), Json::Str("fraction_of_cores".into())),
+        ("designs".into(), Json::Obj(designs)),
+    ])
+}
+
+/// Renders the figure.
+pub fn render(quick: bool) -> String {
     let mut out =
         String::from("Figure 8 — kernel-side CPU utilization, SSD->NIC streaming (64 KiB ops, 4 Gbps)\n");
-    let rows: Vec<(DesignUnderTest, BTreeMap<String, f64>)> = DESIGNS
-        .iter()
-        .map(|&d| (d, kernel_utilization(d, len, 4.0, duration)))
-        .collect();
+    let rows = collect(quick);
     let linux_total: f64 = rows[0].1.values().sum();
     for (d, m) in &rows {
         let total: f64 = m.values().sum();

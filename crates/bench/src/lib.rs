@@ -19,8 +19,10 @@
 //! | [`ablation`] | Extension: design-choice sweeps beyond the paper |
 //! | [`faults`] | Extension: fault-injection sweep (robustness, §7 of DESIGN.md) |
 //! | [`cluster`] | Extension: multi-node cluster sweep (§8 of DESIGN.md) |
+//! | [`anatomy`] | Extension: per-request latency anatomy + Chrome trace (§11 of DESIGN.md) |
 
 pub mod ablation;
+pub mod anatomy;
 pub mod cluster;
 pub mod faults;
 pub mod fig11;

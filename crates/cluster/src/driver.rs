@@ -615,6 +615,12 @@ impl ClusterDriver {
         let wire_bytes =
             if pend.is_get { GET_REQ_BYTES } else { pend.len + PUT_REQ_OVERHEAD };
         let deliver = self.switch.to_node(ctx.now(), node, wire_bytes);
+        {
+            let now = ctx.now();
+            let obs = &mut ctx.world().obs;
+            obs.span("cluster", "uplink", req, now, deliver);
+            obs.count("cluster", "dispatched", 1);
+        }
         ctx.send_at(deliver, ctx.self_id(), Delivered { req });
         let h = &self.cfg.health;
         if h.enabled && h.hedge && pend.is_get && hedge_of.is_none() && self.ring.replication() > 1
@@ -781,6 +787,10 @@ impl ClusterDriver {
         );
         let r = self.inflight.get_mut(&req).expect("still in flight");
         r.pending_jobs = jobs.len();
+        {
+            let now = ctx.now();
+            ctx.world().obs.span_begin("cluster", "node-serve", req, now);
+        }
         for (target, job) in jobs {
             self.job_to_req.insert(job.id, req);
             ctx.send_now(target, job);
@@ -826,6 +836,12 @@ impl ClusterDriver {
         };
         let resp_bytes = if is_get { len + GET_RESP_OVERHEAD } else { PUT_ACK_BYTES };
         let arrive = self.switch.to_frontend(ctx.now(), node, resp_bytes);
+        {
+            let now = ctx.now();
+            let obs = &mut ctx.world().obs;
+            obs.span_end("cluster", "node-serve", req, now);
+            obs.span("cluster", "downlink", req, now, arrive);
+        }
         ctx.send_at(arrive, ctx.self_id(), Response { req });
     }
 
@@ -837,6 +853,13 @@ impl ClusterDriver {
         };
         self.outstanding[r.node] -= 1;
         self.free_slots[r.node].push(r.slot);
+        {
+            let now = ctx.now();
+            let e2e = now - r.arrival;
+            let obs = &mut ctx.world().obs;
+            obs.count("cluster", "responses", 1);
+            obs.observe("cluster", "req.e2e_ns", e2e);
+        }
         // The freed slot can admit parked work.
         if !self.window_closed {
             if let Some(pend) = self.queues[r.node].pop_front() {

@@ -200,6 +200,13 @@ impl HdcDriver {
         let id = job.id;
         let cmd = D2dCommand { id, ops };
         let cost = self.costs.hdc_ioctl_ns + self.costs.hdc_metadata_ns * metadata_lookups.max(1);
+        {
+            let now = ctx.now();
+            let obs = &mut ctx.world().obs;
+            obs.req_begin(id, now);
+            obs.span_begin("host", "submit-cpu", id, now);
+            obs.count("host", "jobs.submitted", 1);
+        }
         let tag = job.tag;
         self.jobs.insert(
             id,
@@ -243,6 +250,12 @@ impl HdcDriver {
 
     fn submit(&mut self, ctx: &mut Ctx<'_>, id: u64, cmd: D2dCommand, aux: Option<Vec<u8>>) {
         self.jobs.get_mut(&id).expect("live job").submitted_at = ctx.now();
+        {
+            let now = ctx.now();
+            let obs = &mut ctx.world().obs;
+            obs.span_end("host", "submit-cpu", id, now);
+            obs.mark(id, "host:ioctl+metadata", now);
+        }
         match aux {
             Some(blob) => {
                 // Stage aux in host DRAM, DMA it into the engine's aux
@@ -330,6 +343,14 @@ impl HdcDriver {
         breakdown.add(Category::DeviceControl, j.driver_ns);
         breakdown.add(Category::RequestCompletion, j.completion_ns);
         ctx.world().stats.counter("hdc.jobs_done").add(1);
+        {
+            let now = ctx.now();
+            let e2e = now - j.submitted_at;
+            let obs = &mut ctx.world().obs;
+            obs.req_end(id, "host:irq+completion", now);
+            obs.count("host", "jobs.done", 1);
+            obs.observe("host", "job.e2e_ns", e2e);
+        }
         ctx.send_now(
             j.job.reply_to,
             D2dDone {

@@ -480,6 +480,12 @@ impl HdcEngine {
         match D2dCommand::from_bytes(&bytes) {
             Ok(cmd) => {
                 let parse = self.config.cmd_parse_ns;
+                {
+                    let now = ctx.now();
+                    let obs = &mut ctx.world().obs;
+                    obs.span("hdc", "cmd-parse", cmd.id, now, now + parse);
+                    obs.count("hdc", "cmds.received", 1);
+                }
                 ctx.send_self_in(parse, AdmitCmd { cmd });
             }
             Err(e) => {
@@ -586,6 +592,12 @@ impl HdcEngine {
             .admit(id, dev_cmds)
             .expect("room checked above");
         ctx.world().stats.counter("hdc.cmds_admitted").add(1);
+        {
+            let now = ctx.now();
+            let obs = &mut ctx.world().obs;
+            obs.mark(id, "hdc:parse+admit", now);
+            obs.count("hdc", "cmds.admitted", 1);
+        }
         self.pump(ctx);
     }
 
@@ -620,6 +632,12 @@ impl HdcEngine {
                     let done = self.ndp.schedule(ctx.now(), function, len);
                     self.ndp_pending.insert(token, (at, ctx.now()));
                     let delay = done - ctx.now();
+                    {
+                        let now = ctx.now();
+                        let obs = &mut ctx.world().obs;
+                        obs.span("hdc", "ndp", token, now, done);
+                        obs.observe("hdc", "ndp.ns", delay);
+                    }
                     ctx.send_self_in(delay, NdpDone { token });
                 }
                 DevCmd::NicSend { conn, seq, buf, len } => {
@@ -1405,6 +1423,12 @@ impl HdcEngine {
             self.comp_tail = 0;
             self.comp_phase = !self.comp_phase;
         }
+        {
+            let now = ctx.now();
+            let obs = &mut ctx.world().obs;
+            obs.mark(id, "hdc:data+compute", now);
+            obs.span_begin("hdc", "completion-dma", id, now);
+        }
         // Stage the record in BRAM and DMA it to the host ring; the MSI
         // follows the DMA completion. One staging slot per ring index:
         // in-order delivery can release long bursts of completions at one
@@ -1431,6 +1455,13 @@ impl HdcEngine {
     fn on_completion_dma_done(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         let id = self.comp_dmas.remove(&token).expect("live completion dma");
         let init = self.init.expect("initialized");
+        {
+            let now = ctx.now();
+            let obs = &mut ctx.world().obs;
+            obs.span_end("hdc", "completion-dma", id, now);
+            obs.mark(id, "hdc:completion-dma", now);
+            obs.count("hdc", "cmds.completed", 1);
+        }
         // Free the command's buffers and surface the instrumentation to the
         // driver (resolved through its claimed MSI address).
         if let Some(context) = self.contexts.remove(&id) {

@@ -174,6 +174,13 @@ impl SwExecutor {
             gpu_buf,
         };
         assert!(self.jobs.insert(id, state).is_none(), "duplicate job id {id}");
+        {
+            let now = ctx.now();
+            let obs = &mut ctx.world().obs;
+            obs.req_begin(id, now);
+            obs.span_begin("host", "sw-execute", id, now);
+            obs.count("host", "jobs.submitted", 1);
+        }
         self.advance(ctx, id);
     }
 
@@ -395,6 +402,13 @@ impl SwExecutor {
     fn finish(&mut self, ctx: &mut Ctx<'_>, id: u64) {
         let state = self.jobs.remove(&id).expect("live job");
         ctx.world().stats.counter("executor.jobs_done").add(1);
+        {
+            let now = ctx.now();
+            let obs = &mut ctx.world().obs;
+            obs.span_end("host", "sw-execute", id, now);
+            obs.req_end(id, "host:sw-execute", now);
+            obs.count("host", "jobs.done", 1);
+        }
         ctx.send_now(
             state.job.reply_to,
             D2dDone {

@@ -208,8 +208,23 @@ impl NicDevice {
         self.rings.as_ref().expect("NIC used before ConfigureNic")
     }
 
+    /// Span name for a DMA's purpose (also the `span_end` key on
+    /// completion).
+    fn purpose_span(purpose: &DmaPurpose) -> &'static str {
+        match purpose {
+            DmaPurpose::TxDescBatch { .. } => "tx-desc-fetch",
+            DmaPurpose::TxGather { .. } => "tx-gather",
+            DmaPurpose::RxDescBatch { .. } => "rx-desc-fetch",
+            DmaPurpose::RxDeliver { .. } => "rx-deliver",
+        }
+    }
+
     fn dma(&mut self, ctx: &mut Ctx<'_>, src: PhysAddr, dst: PhysAddr, len: usize, purpose: DmaPurpose) {
         let token = self.token();
+        {
+            let now = ctx.now();
+            ctx.world().obs.span_begin("nic", Self::purpose_span(&purpose), token, now);
+        }
         self.dmas.insert(token, purpose);
         let req = DmaRequest { id: token, src, dst, len, reply_to: ctx.self_id() };
         let fabric = self.fabric;
@@ -324,10 +339,20 @@ impl NicDevice {
             let overhead = self.config.descriptor_overhead_ns;
             ctx.send_in(overhead, wire, TransmitFrame { id: ftoken, frame });
             ctx.world().stats.counter("nic.tx_frames").add(1);
+            {
+                let now = ctx.now();
+                let obs = &mut ctx.world().obs;
+                obs.span_begin("nic", "wire-tx", ftoken, now);
+                obs.count("nic", "tx.frames", 1);
+            }
         }
     }
 
     fn on_transmit_done(&mut self, ctx: &mut Ctx<'_>, id: u64) {
+        {
+            let now = ctx.now();
+            ctx.world().obs.span_end("nic", "wire-tx", id, now);
+        }
         let (op, last) = self.frames.remove(&id).expect("transmit done for live frame");
         if !last {
             return;
@@ -391,9 +416,18 @@ impl NicDevice {
         // frame DMA that just completed.
         ctx.world().expect_mut::<PhysMemory>().write(wb_addr, &wb.to_bytes());
         ctx.world().stats.counter("nic.rx_delivered").add(1);
+        {
+            let obs = &mut ctx.world().obs;
+            obs.count("nic", "rx.delivered", 1);
+            obs.observe("nic", "rx.frame_bytes", frame_len as u64);
+        }
         if !self.irq_pending {
             self.irq_pending = true;
             let window = self.config.irq_coalesce_ns;
+            {
+                let now = ctx.now();
+                ctx.world().obs.span("nic", "irq-coalesce", ring_idx as u64, now, now + window);
+            }
             ctx.send_self_in(window, RaiseRxIrq);
         }
     }
@@ -453,6 +487,10 @@ impl Component for NicDevice {
         match msg.downcast::<DmaComplete>() {
             Ok(done) => {
                 let purpose = self.dmas.remove(&done.id).expect("dma completion for live op");
+                {
+                    let now = ctx.now();
+                    ctx.world().obs.span_end("nic", Self::purpose_span(&purpose), done.id, now);
+                }
                 match purpose {
                     DmaPurpose::TxDescBatch { start_idx, count, staging } => {
                         self.on_tx_descs(ctx, start_idx, count, staging)

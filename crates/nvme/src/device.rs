@@ -247,6 +247,12 @@ impl NvmeDevice {
             let token = self.token();
             let dst = self.scratch_for(token);
             self.ops.insert(token, Op { qid, phase: OpPhase::FetchEntry });
+            {
+                let now = ctx.now();
+                let obs = &mut ctx.world().obs;
+                obs.span_begin("nvme", "doorbell-fetch", token, now);
+                obs.count("nvme", "sq.fetches", 1);
+            }
             let req = DmaRequest {
                 id: token,
                 src: slot,
@@ -274,6 +280,10 @@ impl NvmeDevice {
         if qp.cq_tail == qp.depth {
             qp.cq_tail = 0;
             qp.cq_phase = !qp.cq_phase;
+        }
+        {
+            let now = ctx.now();
+            ctx.world().obs.span_begin("nvme", "cq-write", token, now);
         }
         // Stage the entry in scratch, then DMA it to the initiator's CQ.
         let staging = self.scratch_for(token) + 4096;
@@ -371,6 +381,12 @@ impl NvmeDevice {
                 let done = ser_done.max(ctx.now() + self.config.read_latency_ns);
                 self.ops.insert(token, Op { qid, phase: OpPhase::FlashRead { cmd, pages } });
                 let delay = done - ctx.now();
+                {
+                    let now = ctx.now();
+                    let obs = &mut ctx.world().obs;
+                    obs.span("nvme", "flash-read", token, now, done);
+                    obs.observe("nvme", "flash.read_ns", delay);
+                }
                 ctx.send_self_in(delay, FlashDone { token });
             }
             NvmeOpcode::Write => {
@@ -379,6 +395,10 @@ impl NvmeDevice {
                 let flash_base = self.flash.start + cmd.slba * LBA_SIZE;
                 let remaining = runs.len();
                 self.ops.insert(token, Op { qid, phase: OpPhase::DataTransfer { cmd, remaining } });
+                {
+                    let now = ctx.now();
+                    ctx.world().obs.span_begin("nvme", "data-transfer", token, now);
+                }
                 let mut off = 0u64;
                 let fabric = self.fabric;
                 let me = ctx.self_id();
@@ -412,6 +432,10 @@ impl NvmeDevice {
         let flash_base = self.flash.start + cmd.slba * LBA_SIZE;
         let remaining = runs.len();
         self.ops.insert(token, Op { qid, phase: OpPhase::DataTransfer { cmd, remaining } });
+        {
+            let now = ctx.now();
+            ctx.world().obs.span_begin("nvme", "data-transfer", token, now);
+        }
         let mut off = 0u64;
         let fabric = self.fabric;
         let me = ctx.self_id();
@@ -433,6 +457,10 @@ impl NvmeDevice {
             self.ops.insert(token, Op { qid, phase: OpPhase::DataTransfer { cmd, remaining } });
             return;
         }
+        {
+            let now = ctx.now();
+            ctx.world().obs.span_end("nvme", "data-transfer", token, now);
+        }
         match cmd.opcode {
             NvmeOpcode::Read => {
                 self.complete(ctx, token, qid, cmd.cid, NvmeStatus::Success);
@@ -443,6 +471,12 @@ impl NvmeDevice {
                 let done = ser_done.max(ctx.now() + self.config.write_latency_ns);
                 self.ops.insert(token, Op { qid, phase: OpPhase::FlashWrite { cmd } });
                 let delay = done - ctx.now();
+                {
+                    let now = ctx.now();
+                    let obs = &mut ctx.world().obs;
+                    obs.span("nvme", "flash-write", token, now, done);
+                    obs.observe("nvme", "flash.write_ns", delay);
+                }
                 ctx.send_self_in(delay, FlashDone { token });
             }
             NvmeOpcode::Flush => unreachable!(),
@@ -511,7 +545,11 @@ impl Component for NvmeDevice {
                 let token = done.id;
                 let op = self.ops.remove(&token).expect("dma completion for live op");
                 match op.phase {
-                    OpPhase::FetchEntry => self.on_entry_fetched(ctx, token, op.qid),
+                    OpPhase::FetchEntry => {
+                        let now = ctx.now();
+                        ctx.world().obs.span_end("nvme", "doorbell-fetch", token, now);
+                        self.on_entry_fetched(ctx, token, op.qid)
+                    }
                     OpPhase::FetchPrpList { cmd } => {
                         self.on_prp_list_fetched(ctx, token, op.qid, cmd)
                     }
@@ -525,6 +563,12 @@ impl Component for NvmeDevice {
                         let fabric = self.fabric;
                         ctx.send_now(fabric, msi);
                         ctx.world().stats.counter("nvme.completions").add(1);
+                        {
+                            let now = ctx.now();
+                            let obs = &mut ctx.world().obs;
+                            obs.span_end("nvme", "cq-write", token, now);
+                            obs.count("nvme", "cmd.completed", 1);
+                        }
                     }
                     OpPhase::FlashRead { .. } | OpPhase::FlashWrite { .. } => {
                         panic!("DmaComplete in flash phase")

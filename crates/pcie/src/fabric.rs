@@ -120,15 +120,24 @@ impl PcieFabric {
         };
         let now = ctx.now();
         let service = self.config.link_time(req.len);
+        let hop = self.config.hop_latency_ns;
         let done = if src_port == dst_port {
             // Local copy inside one endpoint: occupies only that endpoint's
             // DMA engine (modeled as its egress link), no switch traversal.
-            self.link(src_port, 0).offer(now, service) + self.config.hop_latency_ns
+            let egress = self.link(src_port, 0).offer(now, service) + hop;
+            ctx.world().obs.span("pcie", "tlp-local", req.id, now, egress);
+            egress
         } else {
             let xbar = self.crossbar.offer(now, self.config.switch_time(req.len));
             let egress = self.link(src_port, 0).offer(now, service);
             let ingress = self.link(dst_port, 1).offer(now, service);
-            egress.max(ingress).max(xbar) + 2 * self.config.hop_latency_ns
+            // Per-hop TLP transit spans: each serialization stage as the
+            // fabric resolved it, in virtual time.
+            let obs = &mut ctx.world().obs;
+            obs.span("pcie", "tlp-egress", req.id, now, egress + hop);
+            obs.span("pcie", "tlp-xbar", req.id, now, xbar);
+            obs.span("pcie", "tlp-ingress", req.id, now, ingress + 2 * hop);
+            egress.max(ingress).max(xbar) + 2 * hop
         };
         {
             let stats = &mut ctx.world().stats;
@@ -141,7 +150,15 @@ impl PcieFabric {
             // TLPs transparently — no data loss, just a second pass of
             // serialization charged to the transfer.
             ctx.world().stats.counter("pcie.replays").add(1);
-            delay += service + self.config.hop_latency_ns;
+            delay += service + hop;
+        }
+        {
+            let obs = &mut ctx.world().obs;
+            let end = now + delay;
+            obs.span("pcie", "dma", req.id, now, end);
+            obs.count("pcie", "dma.ops", 1);
+            obs.count("pcie", "dma.bytes", req.len as u64);
+            obs.observe("pcie", "dma.ns", delay);
         }
         ctx.send_self_in(delay, DmaDone { req });
     }
@@ -163,6 +180,13 @@ impl PcieFabric {
             .unwrap_or_else(|| panic!("MMIO write to unclaimed address {addr}"));
         ctx.world().stats.counter("pcie.mmio_writes").add(1);
         let delay = self.config.mmio_write_ns + 2 * self.config.hop_latency_ns;
+        {
+            let now = ctx.now();
+            let end = now + delay;
+            let obs = &mut ctx.world().obs;
+            obs.span("pcie", "mmio-write", addr.0, now, end);
+            obs.count("pcie", "mmio.writes", 1);
+        }
         ctx.forward_in(delay, owner, msg);
     }
 
@@ -178,6 +202,13 @@ impl PcieFabric {
             // polling their completion structures on a timeout.
             ctx.world().stats.counter("pcie.msi_lost").add(1);
             return;
+        }
+        {
+            let now = ctx.now();
+            let end = now + self.config.msi_ns;
+            let obs = &mut ctx.world().obs;
+            obs.span("pcie", "msi", msi.vector as u64, now, end);
+            obs.count("pcie", "msi.delivered", 1);
         }
         ctx.send_in(self.config.msi_ns, owner, MsiDelivery { vector: msi.vector });
     }

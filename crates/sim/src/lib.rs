@@ -49,6 +49,7 @@ pub mod detmap;
 pub mod engine;
 pub mod event;
 pub mod fault;
+pub mod obs;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -61,6 +62,10 @@ pub use detmap::{DetMap, DetSet};
 pub use engine::{Ctx, Simulator};
 pub use event::{Msg, Payload};
 pub use fault::{FaultPlan, FaultSpec, RecoveryConfig};
+pub use obs::{
+    chrome_trace, Anatomy, Json, MetricEntry, MetricValue, MetricsRegistry, MetricsReport,
+    Recorder, Span,
+};
 pub use queue::{FifoServer, ServerBank};
 pub use rng::Rng;
 pub use stats::{BusyTracker, Counter, Histogram};

@@ -164,7 +164,7 @@ const BUCKETS: usize = (64 - SUB_BITS as usize - 1) * SUB + SUB;
 /// linear sub-buckets above, so any quantile is reported within a 1/32
 /// (≈3.1%) relative error bound of the true sample — tight enough to
 /// compare tail latencies across load-balancing policies.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Histogram {
     count: u64,
     sum: u128,
@@ -298,6 +298,18 @@ impl Histogram {
         self.percentile(99.9)
     }
 
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Iterates the non-zero `(bucket_index, count)` pairs in index
+    /// order — the sparse form used by serialized snapshots
+    /// ([`crate::obs::HistogramSnapshot`]).
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets.iter().enumerate().filter(|(_, &n)| n > 0).map(|(i, &n)| (i, n))
+    }
+
     /// Merges another histogram into this one (aggregating per-node tail
     /// latencies into a cluster-wide distribution).
     pub fn merge(&mut self, other: &Histogram) {
@@ -390,6 +402,57 @@ mod tests {
         h.record(0);
         assert_eq!(h.min(), Some(0));
         assert_eq!(h.quantile(0.5), Some(0));
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        // Empty: every percentile is None, at both extremes too.
+        let h = Histogram::new();
+        assert_eq!(h.percentile(0.0), None);
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.percentile(100.0), None);
+
+        // Single sample: every percentile is that sample exactly (the
+        // bucket bound is clamped to the observed max).
+        let mut h = Histogram::new();
+        h.record(777);
+        for p in [0.0, 0.1, 50.0, 99.9, 100.0] {
+            assert_eq!(h.percentile(p), Some(777), "p{p} of a single sample");
+        }
+
+        // All-equal samples: the distribution collapses to one value.
+        let mut h = Histogram::new();
+        for _ in 0..1_000 {
+            h.record(4_096);
+        }
+        for p in [0.0, 25.0, 50.0, 99.9, 100.0] {
+            assert_eq!(h.percentile(p), Some(4_096), "p{p} of all-equal samples");
+        }
+
+        // p0 resolves to the minimum's bucket and p100 clamps to the
+        // exact observed max even when its bucket bound rounds up.
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 1_000_003] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), Some(10));
+        assert_eq!(h.percentile(100.0), Some(1_000_003));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_above_100_panics() {
+        let mut h = Histogram::new();
+        h.record(1);
+        let _ = h.percentile(100.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn quantile_below_zero_panics() {
+        let mut h = Histogram::new();
+        h.record(1);
+        let _ = h.quantile(-0.01);
     }
 
     #[test]

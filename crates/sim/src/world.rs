@@ -9,6 +9,7 @@
 use std::any::{Any, TypeId};
 use crate::detmap::DetMap;
 
+use crate::obs::Recorder;
 use crate::rng::Rng;
 use crate::stats::Stats;
 
@@ -19,13 +20,22 @@ pub struct World {
     pub rng: Rng,
     /// Global named counters and gauges.
     pub stats: Stats,
+    /// Sim-time span/metric recorder (disabled by default; see
+    /// [`crate::obs`]). Recording is purely observational, so enabling
+    /// it cannot change simulation behaviour.
+    pub obs: Recorder,
     resources: DetMap<TypeId, Box<dyn Any>>,
 }
 
 impl World {
     /// Creates an empty world seeded with `seed`.
     pub fn new(seed: u64) -> Self {
-        World { rng: Rng::new(seed), stats: Stats::new(), resources: DetMap::new() }
+        World {
+            rng: Rng::new(seed),
+            stats: Stats::new(),
+            obs: Recorder::new(),
+            resources: DetMap::new(),
+        }
     }
 
     /// Registers (or replaces) the singleton of type `T`, returning the

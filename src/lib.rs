@@ -23,10 +23,13 @@
 //! * [`workloads`] — Swift-like object store and HDFS-balancer workloads.
 //! * [`cluster`] — multi-node DCS serving behind a modeled top-of-rack
 //!   switch: load balancing, consistent-hash sharding, admission control.
+//! * [`bench`](mod@bench) — the experiment harness behind the `repro`
+//!   binary, including the latency-anatomy trace capture (`--trace-out`).
 //!
 //! See `README.md` for a quickstart, `DESIGN.md` for the system inventory,
 //! and `EXPERIMENTS.md` for paper-vs-measured results.
 
+pub use dcs_bench as bench;
 pub use dcs_cluster as cluster;
 pub use dcs_core as core;
 pub use dcs_gpu as gpu;

@@ -27,9 +27,18 @@ fn pattern() -> Vec<u8> {
 /// MD5) on a fresh testbed and serializes everything observable about
 /// the run into a text trace.
 fn run_traced(design: DesignUnderTest, seed: u64, with_faults: bool) -> String {
+    run_traced_obs(design, seed, with_faults, false)
+}
+
+/// Like [`run_traced`], optionally with the observability recorder
+/// enabled — which must change *nothing* about the serialized trace.
+fn run_traced_obs(design: DesignUnderTest, seed: u64, with_faults: bool, obs: bool) -> String {
     let pat = pattern();
     let mut tb = Testbed::new(design, &TestbedConfig { seed, ..Default::default() });
     tb.sim.run(); // settle bring-up before touching flash
+    if obs {
+        tb.sim.world_mut().obs.enable();
+    }
     let addr = tb.server.ssds[0].lba_addr(0);
     tb.sim.world_mut().expect_mut::<PhysMemory>().write(addr, &pat);
     if with_faults {
@@ -102,6 +111,57 @@ fn same_seed_twice_is_byte_identical_under_fault_storm() {
     let b = run_traced(DesignUnderTest::DcsCtrl, 0xFA0175, true);
     assert!(a.contains("stat fault.injected"), "storm must fire:\n{a}");
     assert_eq!(a, b, "fault-storm trace diverged");
+}
+
+#[test]
+fn tracing_on_vs_off_is_byte_identical() {
+    // The observability recorder (DESIGN.md §11) is purely passive: a
+    // run with spans/metrics recording must serialize exactly like one
+    // without. This holds on the clean path and under a fault storm
+    // (where recovery timing would expose any perturbation).
+    for design in [DesignUnderTest::SwOpt, DesignUnderTest::DcsCtrl] {
+        let off = run_traced_obs(design, 0x0B5E7E, false, false);
+        let on = run_traced_obs(design, 0x0B5E7E, false, true);
+        assert_eq!(off, on, "{design}: enabling tracing changed the simulation");
+    }
+    let off = run_traced_obs(DesignUnderTest::DcsCtrl, 0x0B5FA1, true, false);
+    let on = run_traced_obs(DesignUnderTest::DcsCtrl, 0x0B5FA1, true, true);
+    assert_eq!(off, on, "enabling tracing changed a fault-storm run");
+}
+
+#[test]
+fn chrome_traces_are_themselves_deterministic() {
+    // Two same-seed traced runs must export byte-identical trace JSON:
+    // span order, pid assignment, and anatomy all derive from sim state.
+    let export = || {
+        let pat = pattern();
+        let mut tb =
+            Testbed::new(DesignUnderTest::DcsCtrl, &TestbedConfig { seed: 7, ..Default::default() });
+        tb.sim.run();
+        tb.sim.world_mut().obs.enable();
+        let addr = tb.server.ssds[0].lba_addr(0);
+        tb.sim.world_mut().expect_mut::<PhysMemory>().write(addr, &pat);
+        let flow = TcpFlow::example(1, 2, 41_500, 9_050);
+        let server = tb.server.submit_to;
+        let client = tb.client.submit_to;
+        tb.run_job_batch(vec![
+            (
+                server,
+                vec![D2dOp::SsdRead { ssd: 0, lba: 0, len: LEN }, D2dOp::NicSend { flow, seq: 0 }],
+                "det-send",
+            ),
+            (
+                client,
+                vec![D2dOp::NicRecv { flow: flow.reversed(), len: LEN }],
+                "det-recv",
+            ),
+        ]);
+        dcs_ctrl::sim::chrome_trace(&tb.sim.world().obs)
+    };
+    let a = export();
+    let b = export();
+    assert!(a.contains("traceEvents"), "export must be a Chrome trace");
+    assert_eq!(a, b, "same-seed trace JSON diverged");
 }
 
 #[test]
