@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--quick] [--trace-out FILE] [--json-out DIR]
-//!       [all|fig2|fig3|fig8|fig11|fig12|fig13|table3|table4|ablation|faults|cluster|cluster-failover|anatomy]...
+//!       [all|fig2|fig3|fig8|fig11|fig12|fig13|table3|table4|ablation|faults|integrity|cluster|cluster-failover|anatomy]...
 //! ```
 //!
 //! With no experiment arguments, runs everything. `--quick` shortens the
@@ -19,9 +19,9 @@ use std::fs;
 use std::process::exit;
 
 /// Every experiment, in presentation order.
-const EXPERIMENTS: [&str; 13] = [
+const EXPERIMENTS: [&str; 14] = [
     "table3", "table4", "fig2", "fig3", "fig8", "fig11", "fig12", "fig13", "ablation", "faults",
-    "cluster", "cluster-failover", "anatomy",
+    "integrity", "cluster", "cluster-failover", "anatomy",
 ];
 
 fn main() {
@@ -92,6 +92,23 @@ fn main() {
             "table4" => dcs_bench::table4::render(),
             "ablation" => dcs_bench::ablation::render(quick),
             "faults" => dcs_bench::faults::render(quick),
+            // The integrity experiment doubles as the CI chaos smoke: a
+            // fuzz violation writes repro artifacts and fails the run.
+            "integrity" => {
+                let mut out = dcs_bench::integrity::render(quick);
+                match dcs_bench::integrity::fuzz_smoke(
+                    quick,
+                    std::path::Path::new("fuzz-repro"),
+                ) {
+                    Ok(summary) => out.push_str(&summary),
+                    Err(violation) => {
+                        println!("{out}");
+                        eprintln!("{violation}");
+                        exit(1);
+                    }
+                }
+                out
+            }
             "cluster" => dcs_bench::cluster::render(quick),
             "cluster-failover" => dcs_bench::cluster::render_failover(quick),
             "anatomy" => dcs_bench::anatomy::render(),

@@ -18,6 +18,7 @@
 //! | [`table4`] | Table IV — HDC Engine resource utilization |
 //! | [`ablation`] | Extension: design-choice sweeps beyond the paper |
 //! | [`faults`] | Extension: fault-injection sweep (robustness, §7 of DESIGN.md) |
+//! | [`integrity`] | Extension: corruption audit + chaos-fuzz smoke (§12 of DESIGN.md) |
 //! | [`cluster`] | Extension: multi-node cluster sweep (§8 of DESIGN.md) |
 //! | [`anatomy`] | Extension: per-request latency anatomy + Chrome trace (§11 of DESIGN.md) |
 
@@ -31,6 +32,7 @@ pub mod fig13;
 pub mod fig2;
 pub mod fig3;
 pub mod fig8;
+pub mod integrity;
 pub mod probe;
 pub mod table3;
 pub mod table4;

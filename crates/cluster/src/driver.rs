@@ -356,6 +356,10 @@ pub struct ClusterDriver {
     /// burst attribution).
     node_fail_marks: Vec<bool>,
     last_exhausted: u64,
+    /// Nodes that served a request since the last probe tick (contained-
+    /// burst attribution).
+    node_serve_marks: Vec<bool>,
+    last_contained: u64,
     /// First configured fault, for detection/phase accounting.
     fault_at_abs: u64,
     fault_node: usize,
@@ -389,6 +393,7 @@ pub struct ClusterDriver {
     retried: u64,
     lost: u64,
     put_fallbacks: u64,
+    degraded_marks: u64,
     records: Vec<Rec>,
     per_node: Vec<NodePerf>,
 }
@@ -432,6 +437,8 @@ impl ClusterDriver {
             last_ack: vec![0; n],
             node_fail_marks: vec![false; n],
             last_exhausted: 0,
+            node_serve_marks: vec![false; n],
+            last_contained: 0,
             fault_at_abs: u64::MAX,
             fault_node: usize::MAX,
             detected_at: None,
@@ -461,6 +468,7 @@ impl ClusterDriver {
             retried: 0,
             lost: 0,
             put_fallbacks: 0,
+            degraded_marks: 0,
             records: Vec::new(),
             per_node: vec![NodePerf::default(); n],
             cfg,
@@ -592,6 +600,7 @@ impl ClusterDriver {
         self.outstanding[node] += 1;
         if self.cfg.health.enabled {
             self.health.on_dispatch(node);
+            self.node_serve_marks[node] = true;
         }
         let req = self.next_req;
         self.next_req += 1;
@@ -631,11 +640,12 @@ impl ClusterDriver {
     }
 
     /// How long to wait before hedging a GET on `node`: the minimum
-    /// against a Suspect node, else the measured p99 (clamped) once the
-    /// histogram has signal, else the configured default.
+    /// against a Suspect or Degraded node, else the measured p99
+    /// (clamped) once the histogram has signal, else the configured
+    /// default.
     fn hedge_delay(&self, node: usize) -> u64 {
         let h = &self.cfg.health;
-        if self.health.state(node) == NodeState::Suspect {
+        if matches!(self.health.state(node), NodeState::Suspect | NodeState::Degraded) {
             return h.hedge_min_ns;
         }
         if self.latency.count() >= 64 {
@@ -937,6 +947,24 @@ impl ClusterDriver {
         }
         self.last_exhausted = cur;
         self.node_fail_marks.iter_mut().for_each(|m| *m = false);
+        // A jump in the *contained*-fault tally (corruptions detected and
+        // recovered in place: ECRC replays, completion-entry rewrites,
+        // device resets) marks the nodes that were serving Degraded — not
+        // Suspect, and never Dead: every one of those errors was caught.
+        let contained = dcs_sim::fault::contained_total(ctx.world_ref());
+        if contained.saturating_sub(self.last_contained) >= self.cfg.health.contained_burst {
+            for node in 0..self.nodes.len() {
+                if self.node_serve_marks[node] {
+                    if self.health.state(node) == NodeState::Healthy {
+                        ctx.world().stats.counter("cluster.nodes_degraded").add(1);
+                        self.degraded_marks += 1;
+                    }
+                    self.health.on_contained_burst(node);
+                }
+            }
+        }
+        self.last_contained = contained;
+        self.node_serve_marks.iter_mut().for_each(|m| *m = false);
         for node in 0..self.nodes.len() {
             self.probe_seq += 1;
             let seq = self.probe_seq;
@@ -1293,6 +1321,7 @@ impl ClusterDriver {
             retried: self.retried,
             lost: self.lost,
             put_fallbacks: self.put_fallbacks,
+            degraded_marks: self.degraded_marks,
             detection_ns: self
                 .detected_at
                 .map(|t| t.as_nanos().saturating_sub(self.fault_at_abs)),

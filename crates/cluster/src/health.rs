@@ -38,6 +38,13 @@ pub enum NodeState {
     /// showed a retry-exhaustion burst); still routable, but hedges fire
     /// at the minimum delay against it.
     Suspect,
+    /// Showed a burst of *contained* errors (corruptions the node
+    /// detected and recovered — ECRC replays, rewritten completion
+    /// entries, device resets). The node answers probes and serves
+    /// traffic, so it is neither Suspect nor Dead; it stays routable with
+    /// hedges at the minimum delay until two consecutive clean probe acks
+    /// clear it.
+    Degraded,
     /// Missed `dead_after` consecutive probe deadlines: unroutable,
     /// in-flight requests are failed over, re-replication starts.
     Dead,
@@ -103,6 +110,12 @@ pub struct HealthConfig {
     /// during such a burst are marked Suspect immediately instead of
     /// waiting out probe deadlines.
     pub exhausted_burst: u64,
+    /// Jump in the cluster-wide *contained*-fault tally (errors detected
+    /// and recovered in place: ECRC replays, completion-entry rewrites,
+    /// device resets) within one probe period that marks serving nodes
+    /// Degraded instead of Suspect: the node is alive and correct, just
+    /// riding a fault storm.
+    pub contained_burst: u64,
 }
 
 impl Default for HealthConfig {
@@ -124,6 +137,7 @@ impl Default for HealthConfig {
             repair_gbps: 2.0,
             repair_chunk_bytes: 256 * 1024,
             exhausted_burst: 3,
+            contained_burst: 8,
         }
     }
 }
@@ -166,6 +180,8 @@ struct NodeHealth {
     consecutive_failures: u32,
     /// A half-open trial request is in flight; hold further traffic.
     trial_inflight: bool,
+    /// Consecutive clean probe acks while Degraded (two clear the state).
+    clean_acks: u32,
 }
 
 impl NodeHealth {
@@ -177,6 +193,7 @@ impl NodeHealth {
             opened_at: SimTime::ZERO,
             consecutive_failures: 0,
             trial_inflight: false,
+            clean_acks: 0,
         }
     }
 }
@@ -217,11 +234,15 @@ impl HealthMonitor {
     pub fn on_probe_miss(&mut self, node: usize, _now: SimTime) -> Option<Transition> {
         let n = &mut self.nodes[node];
         n.misses = n.misses.saturating_add(1);
+        n.clean_acks = 0;
         if n.misses >= self.cfg.dead_after && n.state != NodeState::Dead {
             n.state = NodeState::Dead;
             return Some(Transition::Died);
         }
-        if n.misses >= self.cfg.suspect_after && n.state == NodeState::Healthy {
+        if n.misses >= self.cfg.suspect_after
+            && matches!(n.state, NodeState::Healthy | NodeState::Degraded)
+        {
+            // Liveness doubt outranks a contained-error downgrade.
             n.state = NodeState::Suspect;
         }
         None
@@ -241,10 +262,22 @@ impl HealthMonitor {
         match n.state {
             NodeState::Dead => {
                 n.state = NodeState::Healthy;
+                n.clean_acks = 0;
                 Some(Transition::Revived)
             }
             NodeState::Suspect => {
                 n.state = NodeState::Healthy;
+                n.clean_acks = 0;
+                None
+            }
+            NodeState::Degraded => {
+                // Contained-error downgrades clear slowly: two consecutive
+                // clean acks (the fault storm has to actually subside).
+                n.clean_acks += 1;
+                if n.clean_acks >= 2 {
+                    n.state = NodeState::Healthy;
+                    n.clean_acks = 0;
+                }
                 None
             }
             NodeState::Healthy => None,
@@ -294,6 +327,19 @@ impl HealthMonitor {
         self.on_request_failure(node, now);
     }
 
+    /// The cluster-wide *contained*-fault tally jumped this probe period
+    /// and `node` was serving during it: mark it Degraded. Unlike
+    /// [`on_exhausted_burst`](Self::on_exhausted_burst) this neither feeds
+    /// the breaker nor touches the miss count — the node detected and
+    /// recovered every one of those errors, so it stays fully routable.
+    pub fn on_contained_burst(&mut self, node: usize) {
+        let n = &mut self.nodes[node];
+        if n.state == NodeState::Healthy {
+            n.state = NodeState::Degraded;
+            n.clean_acks = 0;
+        }
+    }
+
     /// May traffic be routed to `node` right now? False while Dead or
     /// breaker-open; a half-open breaker admits exactly one trial (the
     /// driver reports the dispatch via [`on_dispatch`](Self::on_dispatch)).
@@ -339,6 +385,11 @@ impl HealthMonitor {
     /// Count of nodes currently believed Dead.
     pub fn dead_count(&self) -> usize {
         self.nodes.iter().filter(|n| n.state == NodeState::Dead).count()
+    }
+
+    /// Count of nodes currently marked Degraded (contained-error bursts).
+    pub fn degraded_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.state == NodeState::Degraded).count()
     }
 }
 
@@ -441,6 +492,35 @@ mod tests {
             m.on_exhausted_burst(0, t(10 + i));
         }
         assert_eq!(m.state(0), NodeState::Suspect);
+    }
+
+    #[test]
+    fn contained_burst_degrades_without_unrouting() {
+        let mut m = monitor();
+        m.on_contained_burst(0);
+        assert_eq!(m.state(0), NodeState::Degraded);
+        // Degraded stays routable and never opens the breaker.
+        assert!(m.routable(0, t(1)));
+        assert_eq!(m.breaker(0), BreakerState::Closed);
+        // One clean ack is not enough; two clear it.
+        m.on_probe_ack(0, t(2));
+        assert_eq!(m.state(0), NodeState::Degraded);
+        m.on_probe_ack(0, t(3));
+        assert_eq!(m.state(0), NodeState::Healthy);
+        // Liveness doubt outranks the downgrade.
+        m.on_contained_burst(0);
+        m.on_probe_miss(0, t(4));
+        m.on_probe_miss(0, t(5));
+        assert_eq!(m.state(0), NodeState::Suspect);
+        // A miss between acks restarts the clean-ack requirement.
+        m.on_probe_ack(0, t(6));
+        m.on_contained_burst(0);
+        m.on_probe_ack(0, t(7));
+        m.on_probe_miss(0, t(8));
+        m.on_probe_ack(0, t(9));
+        assert_eq!(m.state(0), NodeState::Degraded, "miss reset the streak");
+        m.on_probe_ack(0, t(10));
+        assert_eq!(m.state(0), NodeState::Healthy);
     }
 
     #[test]

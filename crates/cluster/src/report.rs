@@ -74,6 +74,9 @@ pub struct ClusterReport {
     /// PUTs written to a surviving replica because the primary was
     /// unroutable.
     pub put_fallbacks: u64,
+    /// Healthy → Degraded transitions observed (contained-error bursts:
+    /// corruptions the node detected and recovered in place).
+    pub degraded_marks: u64,
     /// Crash-to-`Dead` detection latency, when a node fault was injected
     /// and detected.
     pub detection_ns: Option<u64>,
@@ -108,6 +111,7 @@ impl Default for ClusterReport {
             retried: 0,
             lost: 0,
             put_fallbacks: 0,
+            degraded_marks: 0,
             detection_ns: None,
             repair_bytes: 0,
             repair_ns: None,
@@ -183,11 +187,11 @@ impl ClusterReport {
             self.latency_us(99.9),
             self.imbalance(),
         );
-        if self.hedged + self.retried + self.lost + self.put_fallbacks > 0
+        if self.hedged + self.retried + self.lost + self.put_fallbacks + self.degraded_marks > 0
             || self.detection_ns.is_some()
         {
             out.push_str(&format!(
-                "    health: GET avail {:.2}%, PUT avail {:.2}%, shed {}, hedged {} (wins {}), retried {}, lost {}, put-fallbacks {}\n",
+                "    health: GET avail {:.2}%, PUT avail {:.2}%, shed {}, hedged {} (wins {}), retried {}, lost {}, put-fallbacks {}, degraded {}\n",
                 self.get_availability() * 100.0,
                 self.put_availability() * 100.0,
                 self.rejected,
@@ -196,6 +200,7 @@ impl ClusterReport {
                 self.retried,
                 self.lost,
                 self.put_fallbacks,
+                self.degraded_marks,
             ));
         }
         if let Some(detect) = self.detection_ns {

@@ -261,7 +261,22 @@ impl CompletionRecord {
     /// Encoded size.
     pub const SIZE: usize = 64;
 
-    /// Encodes into the 64-byte layout.
+    /// FNV-1a over every byte except the CRC field itself (bytes 4..8).
+    /// The record crosses the fabric as a completion TLP; the consumer
+    /// uses this to tell a corrupted record from a well-formed one.
+    fn crc(b: &[u8; Self::SIZE]) -> u32 {
+        let mut h: u32 = 0x811C_9DC5;
+        for (i, &x) in b.iter().enumerate() {
+            if (4..8).contains(&i) {
+                continue;
+            }
+            h ^= u32::from(x);
+            h = h.wrapping_mul(0x0100_0193);
+        }
+        h
+    }
+
+    /// Encodes into the 64-byte layout, stamping the CRC into bytes 4..8.
     ///
     /// # Panics
     ///
@@ -275,7 +290,16 @@ impl CompletionRecord {
         b[8..16].copy_from_slice(&self.id.to_le_bytes());
         b[16..20].copy_from_slice(&self.payload_len.to_le_bytes());
         b[32..32 + self.digest.len()].copy_from_slice(&self.digest);
+        let crc = Self::crc(&b);
+        b[4..8].copy_from_slice(&crc.to_le_bytes());
         b
+    }
+
+    /// Whether the serialized bytes pass the CRC. A record whose phase tag
+    /// matched but whose CRC does not is a corrupted completion entry: the
+    /// consumer must discard the slot, not trust its fields.
+    pub fn verify(b: &[u8; Self::SIZE]) -> bool {
+        u32::from_le_bytes(b[4..8].try_into().expect("4 bytes")) == Self::crc(b)
     }
 
     /// Decodes a 64-byte record; `None` when the slot has not been written
@@ -384,6 +408,26 @@ mod tests {
             let b = rec.to_bytes();
             assert_eq!(CompletionRecord::from_bytes(&b, phase), Some(rec.clone()));
             assert_eq!(CompletionRecord::from_bytes(&b, !phase), None);
+        }
+    }
+
+    #[test]
+    fn completion_crc_detects_any_single_bit_flip() {
+        let rec = CompletionRecord {
+            id: 0x0123_4567_89AB_CDEF,
+            ok: true,
+            phase: true,
+            payload_len: 65536,
+            digest: vec![7; 32],
+        };
+        let good = rec.to_bytes();
+        assert!(CompletionRecord::verify(&good));
+        for byte in 0..CompletionRecord::SIZE {
+            for bit in 0..8 {
+                let mut bad = good;
+                bad[byte] ^= 1 << bit;
+                assert!(!CompletionRecord::verify(&bad), "byte {byte} bit {bit} escaped");
+            }
         }
     }
 

@@ -19,7 +19,7 @@ use dcs_host::costs::KernelCosts;
 use dcs_host::cpu::{CpuJob, CpuJobDone};
 use dcs_host::job::{D2dDone, D2dJob, D2dOp};
 use dcs_nic::TcpFlow;
-use dcs_pcie::{DmaComplete, DmaRequest, MmioWrite, MsiDelivery, PhysAddr, PhysMemory};
+use dcs_pcie::{DmaComplete, DmaRequest, MmioWrite, MsiDelivery, PhysAddr, PhysMemory, TlpClass};
 use dcs_sim::{fault, Breakdown, Category, Component, ComponentId, Ctx, Msg, SimTime};
 
 use crate::command::{CompletionRecord, D2dCommand, DevOpCode};
@@ -49,6 +49,8 @@ struct JobCtx {
     /// Completion-path CPU time, added when the interrupt is handled.
     completion_ns: u64,
     submitted_at: SimTime,
+    /// Poisoned aux-staging DMAs retried for this job.
+    aux_attempts: u8,
 }
 
 enum CpuPhase {
@@ -217,6 +219,7 @@ impl HdcDriver {
                 record: None,
                 completion_ns: 0,
                 submitted_at: ctx.now(),
+                aux_attempts: 0,
             },
         );
         self.cpu_job(ctx, cost, tag, CpuPhase::Submit { id, cmd, aux: aux_blob });
@@ -241,6 +244,20 @@ impl HdcDriver {
         };
         ctx.world().stats.counter("hdc.drv_polls").add(1);
         self.drain_completions(ctx);
+        // Fail jobs whose completion record was lost for good (e.g. a
+        // poisoned record the engine could not rewrite): the engine-side
+        // watchdog already accounted the fault, so this is containment
+        // only — the submitter gets a clean `ok = false` instead of a hang.
+        let now = ctx.now();
+        let stale: Vec<u64> = self
+            .jobs
+            .iter()
+            .filter(|(_, j)| now - j.submitted_at > rc.op_timeout_ns)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in stale {
+            self.fail_job(ctx, id, "hdc.drv_timeouts");
+        }
         if self.jobs.is_empty() {
             self.poll_armed = false;
         } else {
@@ -248,8 +265,28 @@ impl HdcDriver {
         }
     }
 
+    /// Fails a job cleanly: the submitter always gets a reply, never a
+    /// wrong payload and never silence.
+    fn fail_job(&mut self, ctx: &mut Ctx<'_>, id: u64, counter: &'static str) {
+        ctx.world().stats.counter(counter).add(1);
+        let Some(j) = self.jobs.remove(&id) else { return };
+        let mut breakdown = j.engine_bd.unwrap_or_default();
+        breakdown.add(Category::DeviceControl, j.driver_ns);
+        {
+            let now = ctx.now();
+            let obs = &mut ctx.world().obs;
+            obs.req_end(id, "host:failed", now);
+            obs.count("host", "jobs.failed", 1);
+        }
+        ctx.send_now(
+            j.job.reply_to,
+            D2dDone { id, ok: false, breakdown, digest: None, payload_len: 0 },
+        );
+    }
+
     fn submit(&mut self, ctx: &mut Ctx<'_>, id: u64, cmd: D2dCommand, aux: Option<Vec<u8>>) {
-        self.jobs.get_mut(&id).expect("live job").submitted_at = ctx.now();
+        let Some(job) = self.jobs.get_mut(&id) else { return };
+        job.submitted_at = ctx.now();
         {
             let now = ctx.now();
             let obs = &mut ctx.world().obs;
@@ -269,23 +306,7 @@ impl HdcDriver {
                 };
                 let staging = self.layout.aux_staging + (id % 64) * 64;
                 ctx.world().expect_mut::<PhysMemory>().write(staging, &blob);
-                let token = self.next_token;
-                self.next_token += 1;
-                self.cpu_phases
-                    .insert(token, CpuPhase::Submit { id, cmd, aux: None });
-                // Reuse the CpuPhase slot as a DMA continuation: the token
-                // comes back via DmaComplete instead of CpuJobDone.
-                let fabric = self.fabric;
-                ctx.send_now(
-                    fabric,
-                    DmaRequest {
-                        id: token,
-                        src: staging,
-                        dst: self.engine_aux_base + aux_off as u64,
-                        len: blob.len(),
-                        reply_to: ctx.self_id(),
-                    },
-                );
+                self.send_aux_dma(ctx, id, cmd, aux_off, blob.len());
             }
             None => {
                 let fabric = self.fabric;
@@ -297,19 +318,87 @@ impl HdcDriver {
         }
     }
 
+    /// DMAs the staged aux block into the engine's aux buffer, parking the
+    /// command as the continuation. The CpuPhase slot doubles as the DMA
+    /// continuation: the token comes back via [`DmaComplete`] instead of
+    /// [`CpuJobDone`].
+    fn send_aux_dma(&mut self, ctx: &mut Ctx<'_>, id: u64, cmd: D2dCommand, aux_off: u32, len: usize) {
+        let staging = self.layout.aux_staging + (id % 64) * 64;
+        let token = self.next_token;
+        self.next_token += 1;
+        self.cpu_phases.insert(token, CpuPhase::Submit { id, cmd, aux: None });
+        let fabric = self.fabric;
+        ctx.send_now(
+            fabric,
+            DmaRequest {
+                id: token,
+                src: staging,
+                dst: self.engine_aux_base + aux_off as u64,
+                len,
+                class: TlpClass::Data,
+                reply_to: ctx.self_id(),
+            },
+        );
+    }
+
+    /// A poisoned/timed-out aux-staging DMA. The staging bytes in host
+    /// DRAM are intact, so one clean re-DMA usually recovers; a second
+    /// failure fails the job rather than submitting a command whose aux
+    /// block is suspect.
+    fn on_bad_aux_dma(&mut self, ctx: &mut Ctx<'_>, id: u64, cmd: D2dCommand) {
+        ctx.world().stats.counter("hdc.drv_bad_aux_dmas").add(1);
+        let attempts = match self.jobs.get_mut(&id) {
+            Some(j) => {
+                j.aux_attempts += 1;
+                j.aux_attempts
+            }
+            None => return,
+        };
+        let aux = cmd.ops.iter().find_map(|o| match o {
+            DevOpCode::Process { aux_off, aux_len, .. } if *aux_len > 0 => {
+                Some((*aux_off, *aux_len as usize))
+            }
+            _ => None,
+        });
+        match aux {
+            Some((aux_off, len)) if attempts <= 1 => self.send_aux_dma(ctx, id, cmd, aux_off, len),
+            _ => self.fail_job(ctx, id, "hdc.drv_aux_failures"),
+        }
+    }
+
     fn drain_completions(&mut self, ctx: &mut Ctx<'_>) {
         loop {
             let slot = self.layout.completion_ring
                 + self.comp_head as u64 * CompletionRecord::SIZE as u64;
-            let record = {
+            let (record, crc_ok) = {
                 let mem = ctx.world_ref().expect::<PhysMemory>();
                 let raw: [u8; CompletionRecord::SIZE] = mem
                     .read(slot, CompletionRecord::SIZE)
                     .try_into()
                     .expect("64 bytes");
-                CompletionRecord::from_bytes(&raw, self.comp_phase)
+                (
+                    CompletionRecord::from_bytes(&raw, self.comp_phase),
+                    CompletionRecord::verify(&raw),
+                )
             };
             let Some(record) = record else { break };
+            if !crc_ok {
+                // A corrupted completion record: consume the slot so the
+                // ring keeps moving, but never trust its fields. The fault
+                // was already attributed when the TLP crossed the fabric;
+                // the owning job is recovered by the engine's record
+                // rewrite or, failing that, by this driver's poll timeout.
+                ctx.world().stats.counter("hdc.drv_bad_records").add(1);
+                ctx.world()
+                    .expect_mut::<PhysMemory>()
+                    .write(slot, &[0u8; CompletionRecord::SIZE]);
+                self.comp_head += 1;
+                if self.comp_head == self.layout.completion_depth {
+                    self.comp_head = 0;
+                    self.comp_phase = !self.comp_phase;
+                }
+                continue;
+            }
             ctx.world().stats.counter("hdc.driver_records").add(1);
             // Clear the slot so a stale same-phase record is never re-read.
             ctx.world()
@@ -386,16 +475,22 @@ impl Component for HdcDriver {
         let msg = match msg.downcast::<DmaComplete>() {
             Ok(done) => {
                 // Aux staging DMA finished: now write the command.
-                match self.cpu_phases.remove(&done.id).expect("live aux dma") {
-                    CpuPhase::Submit { id: _, cmd, aux: None } => {
-                        let fabric = self.fabric;
-                        ctx.send_now(
-                            fabric,
-                            MmioWrite { addr: self.cmd_queue, data: cmd.to_bytes().to_vec() },
-                        );
-                    }
-                    _ => panic!("unexpected continuation for aux DMA"),
+                let Some(phase) = self.cpu_phases.remove(&done.id) else {
+                    ctx.world().stats.counter("hdc.drv_stale_dmas").add(1);
+                    return;
+                };
+                let CpuPhase::Submit { id, cmd, aux: None } = phase else {
+                    panic!("unexpected continuation for aux DMA")
+                };
+                if !done.status.is_ok() {
+                    self.on_bad_aux_dma(ctx, id, cmd);
+                    return;
                 }
+                let fabric = self.fabric;
+                ctx.send_now(
+                    fabric,
+                    MmioWrite { addr: self.cmd_queue, data: cmd.to_bytes().to_vec() },
+                );
                 return;
             }
             Err(m) => m,

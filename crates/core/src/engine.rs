@@ -36,7 +36,10 @@ use dcs_nvme::{
     AttachQueuePair, CompletionQueueReader, NvmeCommand, NvmeHandle, NvmeOpcode, PrpList,
     SubmissionQueueWriter, LBA_SIZE,
 };
-use dcs_pcie::{AddrRange, DmaComplete, DmaRequest, MmioWrite, Msi, MsiDelivery, PhysAddr, PhysMemory};
+use dcs_pcie::{
+    aer, AddrRange, DmaComplete, DmaRequest, MmioWrite, Msi, MsiDelivery, PhysAddr, PhysMemory,
+    TlpClass,
+};
 use dcs_sim::{
     fault, Bandwidth, Breakdown, Category, Component, ComponentId, Ctx, DetMap, FifoServer, Msg,
     SimTime,
@@ -149,6 +152,16 @@ struct GatherDone {
 /// Fault-recovery sweep timer (armed only while a `FaultPlan` is active).
 #[derive(Debug)]
 struct WatchdogTick;
+
+/// An in-flight completion-record DMA, kept until the fabric confirms it
+/// landed clean (a poisoned record is rewritten once from BRAM staging).
+#[derive(Clone, Copy)]
+struct CompDma {
+    id: u64,
+    src: PhysAddr,
+    dst: PhysAddr,
+    attempts: u8,
+}
 
 /// Per-command context.
 struct CmdCtx {
@@ -276,8 +289,8 @@ pub struct HdcEngine {
     /// Completion ring cursor + phase.
     comp_tail: u16,
     comp_phase: bool,
-    /// Completion-record DMA token → command id (MSI follows the DMA).
-    comp_dmas: DetMap<u64, u64>,
+    /// Completion-record DMA token → in-flight record (MSI follows the DMA).
+    comp_dmas: DetMap<u64, CompDma>,
     next_token: u64,
     /// MSI vector namespace: 0x40+i = SSD i CQ, 0x60 = NIC tx, 0x61 = NIC rx.
     started: bool,
@@ -1076,7 +1089,9 @@ impl HdcEngine {
 
     /// Abandons a tracked send after its retransmission budget ran out.
     fn fail_nic_send(&mut self, ctx: &mut Ctx<'_>, at: SlotRef) {
-        self.nic_sends.remove(&at).expect("tracked send");
+        if self.nic_sends.remove(&at).is_none() {
+            return;
+        }
         ctx.world().stats.counter("hdc.send_failures").add(1);
         self.nic.inflight_tx -= 1;
         self.nic.tx_fifo.retain(|e| e.0 != at);
@@ -1117,7 +1132,7 @@ impl HdcEngine {
             loop {
                 let wb_addr =
                     self.nic.wb_base + self.nic.wb_next as u64 * RecvWriteback::SIZE as u64;
-                let frame = {
+                let (raw, frame) = {
                     let mem = ctx.world_ref().expect::<PhysMemory>();
                     let raw: [u8; RecvWriteback::SIZE] =
                         mem.read(wb_addr, RecvWriteback::SIZE).try_into().expect("8 bytes");
@@ -1126,11 +1141,29 @@ impl HdcEngine {
                         break;
                     }
                     let buf = self.nic.recv_bufs + self.nic.wb_next as u64 * 2048;
-                    mem.read(buf, wb.frame_len as usize)
+                    (raw, mem.read(buf, (wb.frame_len as usize).min(2048)))
                 };
                 ctx.world().expect_mut::<PhysMemory>().write(wb_addr, &[0u8; 8]);
+                let wb_idx = self.nic.wb_next;
                 self.nic.wb_next = (self.nic.wb_next + 1) % depth;
                 self.nic.consumed_since_repost += 1;
+                if !RecvWriteback::verify(&raw) {
+                    // A corrupted completion entry: consume the slot, drop
+                    // the frame (the sender's retransmission re-delivers
+                    // the bytes). Detection here *is* the recovery for the
+                    // write-back corruption site.
+                    ctx.world().stats.counter("hdc.rx_bad_writebacks").add(1);
+                    fault::recovered(ctx.world(), fault::CPL_CORRUPT);
+                    let now = ctx.now().as_nanos();
+                    aer::record(
+                        ctx.world(),
+                        now,
+                        wb_idx as u64,
+                        fault::CPL_CORRUPT,
+                        aer::AerKind::BadCompletionEntry,
+                    );
+                    continue;
+                }
                 let parsed = match parse_frame(&frame) {
                     Ok(p) => p,
                     Err(_) => {
@@ -1297,7 +1330,7 @@ impl HdcEngine {
         }
         timed_out.sort_unstable();
         for (ssd, cid) in timed_out {
-            let op = self.nvme[ssd].outstanding.remove(&cid).expect("swept above");
+            let Some(op) = self.nvme[ssd].outstanding.remove(&cid) else { continue };
             fault::exhausted(ctx.world(), fault::MSI_LOSS);
             ctx.world().stats.counter("hdc.nvme_timeouts").add(1);
             self.nvme_subop_done(ctx, ssd, &op, false);
@@ -1329,14 +1362,14 @@ impl HdcEngine {
         retry.sort_unstable_by_key(|at| (at.slot, at.op));
         fail.sort_unstable_by_key(|at| (at.slot, at.op));
         for at in force {
-            let send = self.nic_sends.get_mut(&at).expect("swept above");
+            let Some(send) = self.nic_sends.get_mut(&at) else { continue };
             send.descs_done = true;
             fault::recovered(ctx.world(), fault::MSI_LOSS);
             self.try_complete_nic_send(ctx, at);
         }
         for at in retry {
+            let Some(s) = self.nic_sends.get_mut(&at) else { continue };
             let (conn, seq, buf, len, start_off) = {
-                let s = self.nic_sends.get_mut(&at).expect("swept above");
                 s.attempts += 1;
                 s.last_attempt = now;
                 (s.conn, s.seq, s.buf, s.len, s.start_off)
@@ -1436,7 +1469,8 @@ impl HdcEngine {
         let staging = self.bar.start + (self.bar.len - 0x10000 + ring_idx * 64);
         ctx.world().expect_mut::<PhysMemory>().write(staging, &record.to_bytes());
         let token = self.token();
-        self.comp_dmas.insert(token, id);
+        self.comp_dmas
+            .insert(token, CompDma { id, src: staging, dst: slot, attempts: 0 });
         let fabric = self.fabric;
         ctx.send_in(
             self.config.completion_write_ns,
@@ -1446,14 +1480,45 @@ impl HdcEngine {
                 src: staging,
                 dst: slot,
                 len: CompletionRecord::SIZE,
+                class: TlpClass::Completion,
                 reply_to: ctx.self_id(),
             },
         );
         ctx.world().stats.counter("hdc.completions").add(1);
     }
 
-    fn on_completion_dma_done(&mut self, ctx: &mut Ctx<'_>, token: u64) {
-        let id = self.comp_dmas.remove(&token).expect("live completion dma");
+    fn on_completion_dma_done(&mut self, ctx: &mut Ctx<'_>, done: &DmaComplete) {
+        let Some(dma) = self.comp_dmas.remove(&done.id) else {
+            ctx.world().stats.counter("hdc.stale_completion_dmas").add(1);
+            return;
+        };
+        let id = dma.id;
+        if !done.status.is_ok() {
+            if dma.attempts == 0 {
+                // The staged record in BRAM is intact: rewrite the host
+                // ring slot once before giving the record up for lost.
+                ctx.world().stats.counter("hdc.completion_rewrites").add(1);
+                let token = self.token();
+                self.comp_dmas.insert(token, CompDma { attempts: 1, ..dma });
+                let fabric = self.fabric;
+                ctx.send_now(
+                    fabric,
+                    DmaRequest {
+                        id: token,
+                        src: dma.src,
+                        dst: dma.dst,
+                        len: CompletionRecord::SIZE,
+                        class: TlpClass::Completion,
+                        reply_to: ctx.self_id(),
+                    },
+                );
+                return;
+            }
+            // Rewrite budget spent. Fall through and release the command's
+            // resources anyway: the driver's ring poll times the job out
+            // and fails it cleanly, so nothing hangs on the lost record.
+            ctx.world().stats.counter("hdc.completion_lost").add(1);
+        }
         let init = self.init.expect("initialized");
         {
             let now = ctx.now();
@@ -1557,7 +1622,7 @@ impl Component for HdcEngine {
             Err(m) => m,
         };
         match msg.downcast::<DmaComplete>() {
-            Ok(done) => self.on_completion_dma_done(ctx, done.id),
+            Ok(done) => self.on_completion_dma_done(ctx, &done),
             Err(other) => panic!("HdcEngine received unexpected message: {other:?}"),
         }
     }

@@ -22,7 +22,7 @@ use dcs_sim::DetMap;
 
 use dcs_gpu::GpuHandle;
 use dcs_ndp::NdpFunction;
-use dcs_pcie::{DmaComplete, DmaRequest, PhysAddr, PhysMemory};
+use dcs_pcie::{DmaComplete, DmaRequest, PhysAddr, PhysMemory, TlpClass};
 use dcs_sim::{Breakdown, Category, Component, ComponentId, Ctx, Msg, SimTime};
 
 use crate::costs::{KernelCosts, KernelMode};
@@ -349,7 +349,7 @@ impl SwExecutor {
         ctx.send_in(
             setup,
             fabric,
-            DmaRequest { id: token, src, dst, len, reply_to: ctx.self_id() },
+            DmaRequest { id: token, src, dst, len, class: TlpClass::Data, reply_to: ctx.self_id() },
         );
         let state = self.jobs.get_mut(&id).expect("live job");
         state.breakdown.add(Category::GpuControl, setup);
@@ -402,6 +402,16 @@ impl SwExecutor {
     fn finish(&mut self, ctx: &mut Ctx<'_>, id: u64) {
         let state = self.jobs.remove(&id).expect("live job");
         ctx.world().stats.counter("executor.jobs_done").add(1);
+        // End-to-end integrity audit: record what this job is reporting
+        // as its result so tests can cross-check "completed ok" against
+        // the actual payload bytes.
+        {
+            let payload = ctx
+                .world_ref()
+                .expect::<PhysMemory>()
+                .read(state.payload.addr, state.payload.len);
+            dcs_sim::integrity::audit(ctx.world(), id, state.ok, &payload);
+        }
         {
             let now = ctx.now();
             let obs = &mut ctx.world().obs;
@@ -515,6 +525,14 @@ impl Component for SwExecutor {
                 let then = {
                     let state = self.jobs.get_mut(&id).expect("live job");
                     state.breakdown.add(Category::GpuCopy, copy_time);
+                    if !done.status.is_ok() {
+                        // Poisoned or timed-out staging copy: the payload
+                        // can't be trusted, so the job is marked failed
+                        // but still runs to completion (steps that parse
+                        // the payload tolerate garbage bytes).
+                        state.ok = false;
+                        ctx.world().stats.counter("executor.poisoned_copies").add(1);
+                    }
                     match state.waiting.take() {
                         Some(Waiting::Copy { then }) => then,
                         _ => panic!("DmaComplete while not waiting on a copy"),

@@ -509,7 +509,12 @@ impl HostNicDriver {
     }
 
     fn fail_send(&mut self, ctx: &mut Ctx<'_>, id: u64) {
-        let s = self.sends.remove(&id).expect("live send");
+        let Some(s) = self.sends.remove(&id) else {
+            // A stale timer can race a completion that already retired
+            // the send; failing twice would double-complete the job.
+            ctx.world().stats.counter("nic.stale_fails").add(1);
+            return;
+        };
         let key = (s.req.flow.src_port, s.req.flow.dst_port);
         if let Some(q) = self.unacked.get_mut(&key) {
             q.retain(|&u| u != id);
@@ -527,16 +532,41 @@ impl HostNicDriver {
         let depth = self.recv_ring_depth();
         loop {
             let wb_addr = self.wb_base + self.wb_next as u64 * RecvWriteback::SIZE as u64;
+            let raw: [u8; RecvWriteback::SIZE] = {
+                let mem = ctx.world_ref().expect::<PhysMemory>();
+                mem.read(wb_addr, RecvWriteback::SIZE).try_into().expect("8 bytes")
+            };
+            let wb = RecvWriteback::from_bytes(&raw);
+            if !wb.valid {
+                break;
+            }
+            if !RecvWriteback::verify(&raw) {
+                // Corrupted completion entry: nothing in it can be
+                // trusted, so consume the slot and drop its frame
+                // (go-back-N retransmission recovers the payload).
+                // Detection here is the recovery for the write-back
+                // corruption site — the entry never reached software.
+                ctx.world().expect_mut::<PhysMemory>().write(wb_addr, &[0u8; 8]);
+                self.wb_next = (self.wb_next + 1) % depth;
+                self.consumed_since_repost += 1;
+                ctx.world().stats.counter("nic.drv_bad_writebacks").add(1);
+                fault::recovered(ctx.world(), fault::CPL_CORRUPT);
+                let now = ctx.now();
+                dcs_pcie::aer::record(
+                    ctx.world(),
+                    now.as_nanos(),
+                    self.wb_next as u64,
+                    fault::CPL_CORRUPT,
+                    dcs_pcie::AerKind::BadCompletionEntry,
+                );
+                continue;
+            }
             let frame = {
                 let mem = ctx.world_ref().expect::<PhysMemory>();
-                let raw: [u8; RecvWriteback::SIZE] =
-                    mem.read(wb_addr, RecvWriteback::SIZE).try_into().expect("8 bytes");
-                let wb = RecvWriteback::from_bytes(&raw);
-                if !wb.valid {
-                    break;
-                }
                 let buf = self.recv_bufs + self.wb_next as u64 * 2048;
-                mem.read(buf, wb.frame_len as usize)
+                // The checksum guarantees frame_len is the device's value;
+                // the clamp is pure defense against future layout drift.
+                mem.read(buf, (wb.frame_len as usize).min(2048))
             };
             // Clear the write-back so the slot can be reused.
             ctx.world().expect_mut::<PhysMemory>().write(wb_addr, &[0u8; 8]);

@@ -122,6 +122,11 @@ pub struct HostNvmeDriver {
     cpu_phases: DetMap<u64, CpuPhase>,
     next_cid: u16,
     next_cpu_token: u64,
+    /// Queue-pair geometry kept for controller resets.
+    attach: AttachQueuePair,
+    /// Controller resets performed (bounded by
+    /// `RecoveryConfig::nvme_resets`).
+    resets_used: u32,
 }
 
 impl HostNvmeDriver {
@@ -170,6 +175,8 @@ impl HostNvmeDriver {
             cpu_phases: DetMap::new(),
             next_cid: 0,
             next_cpu_token: 1,
+            attach,
+            resets_used: 0,
         };
         (driver, attach)
     }
@@ -341,6 +348,17 @@ impl HostNvmeDriver {
         let fabric = self.fabric;
         ctx.send_now(fabric, MmioWrite { addr: db, data: (head as u32).to_le_bytes().to_vec() });
         for entry in completed {
+            // Validate before trusting: a poisoned CQE can land with a
+            // plausible phase bit but garbage fields (the device rewrites
+            // the slot, but a poll may race the rewrite). An entry whose
+            // CID matches nothing we submitted must not steer SQ-head
+            // accounting or complete anything.
+            let known = self.chunk_owner.get(&entry.cid).is_some()
+                || self.outstanding.get(&entry.cid).is_some();
+            if !known {
+                ctx.world().stats.counter("nvme.drv_bad_cqe").add(1);
+                continue;
+            }
             self.sq.update_head(entry.sq_head);
             self.on_completion(ctx, entry);
         }
@@ -403,17 +421,63 @@ impl HostNvmeDriver {
             ctx.send_self_in(rc.nvme_timeout_ns, NvmeCheck { cid });
             return;
         }
-        // Out of patience: fail the request. Stragglers for its chunks
-        // are absorbed by the stale-CQE path above.
-        fault::exhausted(ctx.world(), fault::MSI_LOSS);
+        // Patience exhausted. Next rung of the recovery ladder: a
+        // controller reset — re-attach the queue pair (aborting whatever
+        // the device still holds), start fresh rings, and resubmit every
+        // outstanding request. Only after the reset budget is spent does
+        // the request fail.
+        if self.resets_used < rc.nvme_resets {
+            self.resets_used += 1;
+            self.reset_controller(ctx);
+            return;
+        }
         ctx.world().stats.counter("nvme.drv_timeouts").add(1);
-        let out = self.outstanding.get_mut(&cid).expect("live request");
+        fault::exhausted(ctx.world(), fault::MSI_LOSS);
+        let Some(out) = self.outstanding.get_mut(&cid) else { return };
         out.chunks_remaining = 0;
         out.device_done_at = Some(ctx.now());
         out.status = Some(NvmeStatus::MediaError);
         let cost = self.costs.storage_complete_cost();
         let tag = out.req.tag;
         self.cpu_job(ctx, cost, tag, CpuPhase::Complete { cid });
+    }
+
+    /// NVMe controller reset: re-attach the queue pair (the device drops
+    /// its in-flight ops), reinitialize both ring cursors, scrub the CQ
+    /// ring (stale phase bits must not read as fresh completions), and
+    /// resubmit every request that has not completed.
+    fn reset_controller(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.world().stats.counter("nvme.drv_resets").add(1);
+        let attach = self.attach;
+        let device = self.ssd.device;
+        ctx.send_now(device, attach);
+        self.sq = SubmissionQueueWriter::new(attach.sq_base, attach.depth);
+        self.cq = CompletionQueueReader::new(attach.cq_base, attach.depth);
+        {
+            let zeros = vec![0u8; attach.depth as usize * NvmeCompletion::SIZE];
+            ctx.world().expect_mut::<PhysMemory>().write(attach.cq_base, &zeros);
+        }
+        self.chunk_owner = DetMap::new();
+        self.chunk_geom = DetMap::new();
+        // Resubmit in CID order for determinism, each request under a
+        // FRESH primary CID: any pre-reset completion entry still in
+        // flight then matches nothing and is dropped by the drain-side
+        // validation, instead of double-completing resubmitted chunks.
+        // `submit_to_device` rebuilds chunks and re-arms the timeout.
+        let mut pending: Vec<u16> = self
+            .outstanding
+            .iter()
+            .filter(|(_, o)| o.chunks_remaining > 0)
+            .map(|(&cid, _)| cid)
+            .collect();
+        pending.sort_unstable();
+        for old_cid in pending {
+            let Some(out) = self.outstanding.remove(&old_cid) else { continue };
+            let cid = self.next_cid;
+            self.next_cid = self.next_cid.wrapping_add(1);
+            self.outstanding.insert(cid, out);
+            self.submit_to_device(ctx, cid);
+        }
     }
 
     fn finish(&mut self, ctx: &mut Ctx<'_>, cid: u16) {
@@ -722,6 +786,52 @@ mod tests {
         assert_eq!(sim.world().stats.counter_value("caller.ok"), 1);
         assert!(sim.world().stats.counter_value("nvme.drv_polls") >= 1);
         assert_eq!(sim.world().expect::<PhysMemory>().read(buf, 4096), payload);
+    }
+
+    #[test]
+    fn lost_cqe_climbs_the_reset_ladder_and_recovers() {
+        let (mut sim, caller, ssd, dram) = setup(KernelMode::Optimized);
+        let rng = sim.world_mut().rng.fork();
+        let mut plan = dcs_sim::FaultPlan::new(rng);
+        // Header corruption with zero replay budget turns a TLP into a
+        // completion timeout (no bytes move). Draws for the read command:
+        // 0 = SQ-entry fetch, 1 = data-out, 2 = CQE write, 3 = the
+        // device's CQE rewrite. Killing 2 and 3 loses the completion
+        // entirely; the driver's op timeout must then reset the
+        // controller and resubmit, which succeeds on fresh draws.
+        plan.enable(dcs_sim::fault::TLP_HEADER, dcs_sim::FaultSpec::Nth(vec![2, 3]));
+        plan.recovery = dcs_sim::RecoveryConfig { pcie_retries: 0, ..Default::default() };
+        sim.world_mut().insert(plan);
+        let payload = vec![0x3Cu8; 4096];
+        sim.world_mut().expect_mut::<PhysMemory>().write(ssd.lba_addr(4), &payload);
+        let buf = dram.start + (4 << 20);
+        sim.kickoff(
+            caller,
+            Go(BlockRequest {
+                id: 12,
+                op: BlockOp::Read,
+                lba: 4,
+                len: 4096,
+                buf,
+                tag: "kernel",
+                reply_to: caller,
+            }),
+        );
+        sim.run();
+        let stats = &sim.world().stats;
+        assert_eq!(stats.counter_value("nvme.cqe_lost"), 1);
+        assert_eq!(stats.counter_value("nvme.drv_resets"), 1);
+        assert_eq!(stats.counter_value("nvme.resets"), 1, "device saw the re-attach");
+        assert_eq!(stats.counter_value("aer.device_reset"), 1);
+        assert_eq!(stats.counter_value("aer.cpl_timeout"), 2);
+        assert_eq!(stats.counter_value("caller.ok"), 1, "request completed after the reset");
+        assert_eq!(sim.world().expect::<PhysMemory>().read(buf, 4096), payload);
+        // Conservation: both injected header corruptions were contained
+        // as exhausted timeouts.
+        let tallies: std::collections::BTreeMap<_, _> =
+            sim.world().expect::<dcs_sim::FaultPlan>().tallies().collect();
+        let t = tallies[dcs_sim::fault::TLP_HEADER];
+        assert_eq!((t.injected, t.recovered, t.exhausted), (2, 0, 2));
     }
 
     #[test]

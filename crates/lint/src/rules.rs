@@ -80,6 +80,11 @@ pub const RULES: &[RuleInfo] = &[
         summary: "bare .unwrap() inside handle/on_event/completion paths — use expect(\"invariant\") with a message",
     },
     RuleInfo {
+        id: "unwrap-in-recovery-path",
+        family: "invariant",
+        summary: ".unwrap()/.expect(..) inside recovery/error-containment fns — damaged state is the expected input there; tolerate it (let-else + counter) instead of crashing",
+    },
+    RuleInfo {
         id: "wildcard-event-arm",
         family: "invariant",
         summary: "empty `_ => {}` match arm in an NVMe/NIC/PCIe state machine silently swallows protocol events",
@@ -136,6 +141,7 @@ pub fn check_file(file: &str, src: &str) -> Vec<Finding> {
     rule_ambient_rng(&ctx, &mut findings);
     rule_thread_spawn(&ctx, &mut findings);
     rule_unwrap_in_event_path(&ctx, &mut findings);
+    rule_unwrap_in_recovery_path(&ctx, &mut findings);
     rule_wildcard_event_arm(&ctx, &mut findings);
     rule_lossy_cast(&ctx, &mut findings);
     findings.sort_by_key(|f| f.line);
@@ -473,6 +479,59 @@ fn rule_unwrap_in_event_path(ctx: &FileCtx, findings: &mut Vec<Finding>) {
     }
 }
 
+/// Recovery/error-containment function names: reset ladders, watchdog
+/// and timeout sweeps, abort/failure handlers, poison containment.
+/// These run precisely when device state is already damaged, so a
+/// panic there turns a contained error into a simulator crash.
+fn is_recovery_path_fn(name: &str) -> bool {
+    const MARKS: &[&str] = &[
+        "recover",
+        "reset",
+        "abort",
+        "retransmit",
+        "resubmit",
+        "watchdog",
+        "timed_out",
+        "timeout",
+        "poison",
+        "fail_",
+    ];
+    MARKS.iter().any(|m| name.contains(m)) || name == "fail"
+}
+
+fn rule_unwrap_in_recovery_path(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        let TokenKind::Ident(name) = &t.kind else { continue };
+        if name != "unwrap" && name != "expect" {
+            continue;
+        }
+        // A method call: `.unwrap()` / `.expect("…")`. The `(` check
+        // also excludes `world.expect::<T>()` — a resource lookup whose
+        // absence is a harness bug, not damaged protocol state.
+        let method = i >= 1
+            && ctx.tokens[i - 1].is_punct('.')
+            && ctx.tokens.get(i + 1).is_some_and(|t| t.is_punct('('));
+        if !method || ctx.in_test(i) {
+            continue;
+        }
+        let fn_name = ctx.fn_names[i];
+        if !is_recovery_path_fn(fn_name) {
+            continue;
+        }
+        push(
+            findings,
+            "unwrap-in-recovery-path",
+            ctx,
+            t.line,
+            format!(
+                "`.{name}(…)` inside recovery path `fn {fn_name}` turns damaged state into a \
+                 crash; recovery code must tolerate missing or duplicate state (let-else + a \
+                 counter), since it runs exactly when invariants are already broken"
+            ),
+        );
+    }
+}
+
 /// Path components that mark a file as part of a protocol state machine
 /// for `wildcard-event-arm`.
 const PROTOCOL_CRATES: &[&str] = &["crates/nvme/", "crates/nic/", "crates/pcie/"];
@@ -669,6 +728,28 @@ mod tests {
         let lines: Vec<u32> =
             f.iter().filter(|f| f.rule == "unwrap-in-event-path").map(|f| f.line).collect();
         assert_eq!(lines, vec![2, 4], "{f:?}");
+    }
+
+    #[test]
+    fn recovery_paths_reject_unwrap_and_expect() {
+        let src = r#"
+            fn on_watchdog(x: Option<u32>) -> u32 { x.expect("live op") }
+            fn fail_job(x: Option<u32>) -> u32 { x.unwrap() }
+            fn controller_reset(x: Option<u32>) -> u32 { x.expect("queue") }
+            fn helper(x: Option<u32>) -> u32 { x.expect("fine outside recovery") }
+            fn resubmit_chunk(w: &mut World) {
+                let plan = w.expect::<FaultPlan>();
+            }
+            #[cfg(test)]
+            mod tests {
+                fn fail_job(x: Option<u32>) -> u32 { x.unwrap() }
+            }
+        "#;
+        let f = check_file("crates/x/src/lib.rs", src);
+        let lines: Vec<u32> =
+            f.iter().filter(|f| f.rule == "unwrap-in-recovery-path").map(|f| f.line).collect();
+        // The turbofish `expect::<T>()` (line 7) and the helper are fine.
+        assert_eq!(lines, vec![2, 3, 4], "{f:?}");
     }
 
     #[test]

@@ -14,9 +14,10 @@
 use std::collections::VecDeque;
 
 use dcs_pcie::{
-    AddrRange, DmaComplete, DmaRequest, MmioWrite, Msi, PhysAddr, PhysMemory, PortId,
+    aer, AddrRange, DmaComplete, DmaRequest, MmioWrite, Msi, PhysAddr, PhysMemory, PortId,
+    TlpClass,
 };
-use dcs_sim::{time, Component, ComponentId, Ctx, DetMap, Msg, Simulator};
+use dcs_sim::{fault, time, Component, ComponentId, Ctx, DetMap, Msg, Simulator};
 
 use crate::headers::{build_frame, parse_template};
 use crate::ring::{RecvDescriptor, RecvWriteback, SendDescriptor};
@@ -112,14 +113,16 @@ pub struct ControlFrame {
 /// collides with a descriptor-originated op.
 const CTRL_OP: u64 = 0;
 
+#[derive(Clone, Copy)]
 enum DmaPurpose {
     /// A batch of `count` send descriptors landing at `staging`.
-    TxDescBatch { start_idx: u16, count: u16, staging: PhysAddr },
+    TxDescBatch { start_idx: u16, count: u16, staging: PhysAddr, refetched: bool },
     /// Header/payload gather for a descriptor; both must land before
-    /// segmentation.
-    TxGather { op: u64 },
+    /// segmentation. The source/length are kept so a poisoned gather can
+    /// be re-fetched once from initiator memory.
+    TxGather { op: u64, src: PhysAddr, dst: PhysAddr, len: usize, refetched: bool },
     /// A batch of `count` receive descriptors landing at `staging`.
-    RxDescBatch { count: u16, staging: PhysAddr },
+    RxDescBatch { start_idx: u16, count: u16, staging: PhysAddr, refetched: bool },
     /// A received frame being copied into a posted buffer.
     RxDeliver { ring_idx: u16, frame_len: usize },
 }
@@ -226,7 +229,7 @@ impl NicDevice {
             ctx.world().obs.span_begin("nic", Self::purpose_span(&purpose), token, now);
         }
         self.dmas.insert(token, purpose);
-        let req = DmaRequest { id: token, src, dst, len, reply_to: ctx.self_id() };
+        let req = DmaRequest { id: token, src, dst, len, class: TlpClass::Data, reply_to: ctx.self_id() };
         let fabric = self.fabric;
         ctx.send_now(fabric, req);
     }
@@ -260,9 +263,9 @@ impl NicDevice {
             let staging = self.stage(count as usize * entry);
             let src = base + idx as u64 * entry as u64;
             let purpose = if is_tx {
-                DmaPurpose::TxDescBatch { start_idx: idx, count, staging }
+                DmaPurpose::TxDescBatch { start_idx: idx, count, staging, refetched: false }
             } else {
-                DmaPurpose::RxDescBatch { count, staging }
+                DmaPurpose::RxDescBatch { start_idx: idx, count, staging, refetched: false }
             };
             self.dma(ctx, src, staging, count as usize * entry, purpose);
             idx = run_end % depth;
@@ -297,14 +300,45 @@ impl NicDevice {
                 op,
                 TxOp { desc, hdr_staging, pay_staging, gathers_left: 2, segments_left: 0 },
             );
-            self.dma(ctx, desc.header_addr, hdr_staging, desc.header_len as usize, DmaPurpose::TxGather { op });
-            self.dma(ctx, desc.payload_addr, pay_staging, desc.payload_len as usize, DmaPurpose::TxGather { op });
+            let hdr_len = desc.header_len as usize;
+            let pay_len = desc.payload_len as usize;
+            self.dma(
+                ctx,
+                desc.header_addr,
+                hdr_staging,
+                hdr_len,
+                DmaPurpose::TxGather {
+                    op,
+                    src: desc.header_addr,
+                    dst: hdr_staging,
+                    len: hdr_len,
+                    refetched: false,
+                },
+            );
+            self.dma(
+                ctx,
+                desc.payload_addr,
+                pay_staging,
+                pay_len,
+                DmaPurpose::TxGather {
+                    op,
+                    src: desc.payload_addr,
+                    dst: pay_staging,
+                    len: pay_len,
+                    refetched: false,
+                },
+            );
         }
     }
 
     fn on_tx_gather_done(&mut self, ctx: &mut Ctx<'_>, op: u64) {
         let ready = {
-            let txop = self.tx_ops.get_mut(&op).expect("gather for live tx op");
+            let Some(txop) = self.tx_ops.get_mut(&op) else {
+                // The op was aborted (poisoned sibling gather or reset)
+                // while this gather was in flight.
+                ctx.world().stats.counter("nic.stale_gathers").add(1);
+                return;
+            };
             txop.gathers_left -= 1;
             txop.gathers_left == 0
         };
@@ -353,11 +387,14 @@ impl NicDevice {
             let now = ctx.now();
             ctx.world().obs.span_end("nic", "wire-tx", id, now);
         }
-        let (op, last) = self.frames.remove(&id).expect("transmit done for live frame");
+        let Some((op, last)) = self.frames.remove(&id) else {
+            ctx.world().stats.counter("nic.stale_completions").add(1);
+            return;
+        };
         if !last {
             return;
         }
-        let txop = self.tx_ops.remove(&op).expect("live tx op");
+        let txop = self.tx_ops.remove(&op);
         let _ = txop;
         let rings = *self.rings();
         let fabric = self.fabric;
@@ -412,9 +449,20 @@ impl NicDevice {
         let rings = *self.rings();
         let wb = RecvWriteback { frame_len: frame_len as u32, valid: true };
         let wb_addr = rings.wb_ring_base + ring_idx as u64 * RecvWriteback::SIZE as u64;
+        let mut bytes = wb.to_bytes();
+        // Write-back corruption draws the completion-entry site. The flip
+        // avoids byte 4 (the valid flag doubles as the ring's scan
+        // terminator; flipping it would stall the consumer, not corrupt
+        // an entry) — the checksum in byte 5 covers every flipped byte,
+        // so the consumer always detects and drops the slot.
+        if let Some(entropy) = fault::inject(ctx.world(), fault::CPL_CORRUPT) {
+            const FLIPPABLE: [usize; 5] = [0, 1, 2, 3, 5];
+            let byte = FLIPPABLE[(entropy % 5) as usize];
+            bytes[byte] ^= 1 << ((entropy >> 32) % 8);
+        }
         // Posted 8-byte write; its fabric cost is negligible next to the
         // frame DMA that just completed.
-        ctx.world().expect_mut::<PhysMemory>().write(wb_addr, &wb.to_bytes());
+        ctx.world().expect_mut::<PhysMemory>().write(wb_addr, &bytes);
         ctx.world().stats.counter("nic.rx_delivered").add(1);
         {
             let obs = &mut ctx.world().obs;
@@ -431,6 +479,75 @@ impl NicDevice {
             ctx.send_self_in(window, RaiseRxIrq);
         }
     }
+
+    /// Containment for a DMA that completed poisoned or timed out.
+    ///
+    /// Descriptor batches and gathers are never parsed from poisoned
+    /// bytes — the source is intact initiator memory, so the device
+    /// re-fetches once, and aborts the work if the re-fetch fails too
+    /// (the initiator's retransmission timeout takes over from there).
+    /// A poisoned frame delivery proceeds: the poison is *in* the frame
+    /// bytes, where the receiver's TCP checksum validation catches it
+    /// and go-back-N recovers the data.
+    fn on_bad_dma(&mut self, ctx: &mut Ctx<'_>, purpose: DmaPurpose) {
+        ctx.world().stats.counter("nic.bad_dmas").add(1);
+        match purpose {
+            DmaPurpose::TxDescBatch { start_idx, count, staging, refetched } => {
+                if !refetched {
+                    ctx.world().stats.counter("nic.dma_refetches").add(1);
+                    let rings = *self.rings();
+                    let src = rings.send_ring_base + start_idx as u64 * SendDescriptor::SIZE as u64;
+                    self.dma(
+                        ctx,
+                        src,
+                        staging,
+                        count as usize * SendDescriptor::SIZE,
+                        DmaPurpose::TxDescBatch { start_idx, count, staging, refetched: true },
+                    );
+                } else {
+                    ctx.world().stats.counter("nic.dropped_desc_batches").add(1);
+                }
+            }
+            DmaPurpose::RxDescBatch { start_idx, count, staging, refetched } => {
+                if !refetched {
+                    ctx.world().stats.counter("nic.dma_refetches").add(1);
+                    let rings = *self.rings();
+                    let src = rings.recv_ring_base + start_idx as u64 * RecvDescriptor::SIZE as u64;
+                    self.dma(
+                        ctx,
+                        src,
+                        staging,
+                        count as usize * RecvDescriptor::SIZE,
+                        DmaPurpose::RxDescBatch { start_idx, count, staging, refetched: true },
+                    );
+                } else {
+                    ctx.world().stats.counter("nic.dropped_desc_batches").add(1);
+                }
+            }
+            DmaPurpose::TxGather { op, src, dst, len, refetched } => {
+                if !refetched {
+                    ctx.world().stats.counter("nic.dma_refetches").add(1);
+                    self.dma(
+                        ctx,
+                        src,
+                        dst,
+                        len,
+                        DmaPurpose::TxGather { op, src, dst, len, refetched: true },
+                    );
+                } else {
+                    // Abort the whole send op; its sibling gather (if
+                    // still in flight) lands stale.
+                    self.tx_ops.remove(&op);
+                    ctx.world().stats.counter("nic.tx_aborted_gathers").add(1);
+                }
+            }
+            DmaPurpose::RxDeliver { ring_idx, frame_len } => {
+                // Deliver anyway: the frame checksum fails at the
+                // consumer and the frame is dropped there.
+                self.on_rx_delivered(ctx, ring_idx, frame_len)
+            }
+        }
+    }
 }
 
 impl Component for NicDevice {
@@ -442,7 +559,23 @@ impl Component for NicDevice {
         }
         let msg = match msg.downcast::<ConfigureNic>() {
             Ok(cfg) => {
-                assert!(self.rings.is_none(), "NIC configured twice");
+                if self.rings.is_some() {
+                    // Re-configuration is a device reset: abandon all
+                    // in-flight work (late completions land stale) and
+                    // restart ring state from index zero.
+                    self.dmas = DetMap::new();
+                    self.tx_ops = DetMap::new();
+                    self.frames = DetMap::new();
+                    self.posted.clear();
+                    self.tx_cons = 0;
+                    self.rx_cons = 0;
+                    self.rx_wb_next = 0;
+                    self.irq_pending = false;
+                    let now = ctx.now();
+                    let world = ctx.world();
+                    world.stats.counter("nic.resets").add(1);
+                    aer::record(world, now.as_nanos(), 0, "nic.reset", aer::AerKind::DeviceReset);
+                }
                 self.rings = Some(cfg);
                 return;
             }
@@ -486,17 +619,25 @@ impl Component for NicDevice {
         };
         match msg.downcast::<DmaComplete>() {
             Ok(done) => {
-                let purpose = self.dmas.remove(&done.id).expect("dma completion for live op");
+                let Some(purpose) = self.dmas.remove(&done.id) else {
+                    // Late completion for a transfer a reset abandoned.
+                    ctx.world().stats.counter("nic.stale_completions").add(1);
+                    return;
+                };
                 {
                     let now = ctx.now();
                     ctx.world().obs.span_end("nic", Self::purpose_span(&purpose), done.id, now);
                 }
+                if !done.status.is_ok() {
+                    self.on_bad_dma(ctx, purpose);
+                    return;
+                }
                 match purpose {
-                    DmaPurpose::TxDescBatch { start_idx, count, staging } => {
+                    DmaPurpose::TxDescBatch { start_idx, count, staging, .. } => {
                         self.on_tx_descs(ctx, start_idx, count, staging)
                     }
-                    DmaPurpose::TxGather { op } => self.on_tx_gather_done(ctx, op),
-                    DmaPurpose::RxDescBatch { count, staging } => {
+                    DmaPurpose::TxGather { op, .. } => self.on_tx_gather_done(ctx, op),
+                    DmaPurpose::RxDescBatch { count, staging, .. } => {
                         self.on_rx_descs(ctx, count, staging)
                     }
                     DmaPurpose::RxDeliver { ring_idx, frame_len } => {

@@ -103,15 +103,30 @@ impl RecvWriteback {
     /// Serialized write-back size.
     pub const SIZE: usize = 8;
 
-    /// Serializes the write-back.
+    /// Checksum over the meaningful bytes (0..5). Order-sensitive so any
+    /// single corrupted byte — including the valid flag — mismatches.
+    fn checksum(b: &[u8; Self::SIZE]) -> u8 {
+        b[..5].iter().fold(0xA5u8, |acc, &x| acc.wrapping_add(x).rotate_left(1))
+    }
+
+    /// Serializes the write-back, stamping the checksum into byte 5.
     pub fn to_bytes(&self) -> [u8; Self::SIZE] {
         let mut b = [0u8; Self::SIZE];
         b[0..4].copy_from_slice(&self.frame_len.to_le_bytes());
         b[4] = self.valid as u8;
+        b[5] = Self::checksum(&b);
         b
     }
 
-    /// Parses a serialized write-back.
+    /// Whether the serialized bytes pass the checksum. Consumers must
+    /// check this before trusting `frame_len`/`valid`: a write-back that
+    /// fails is a corrupted completion entry and the slot's frame must be
+    /// dropped, not parsed.
+    pub fn verify(b: &[u8; Self::SIZE]) -> bool {
+        b[5] == Self::checksum(b)
+    }
+
+    /// Parses a serialized write-back (does not validate; see [`Self::verify`]).
     pub fn from_bytes(b: &[u8; Self::SIZE]) -> RecvWriteback {
         RecvWriteback {
             frame_len: u32::from_le_bytes(b[0..4].try_into().expect("4 bytes")),
@@ -193,6 +208,21 @@ mod tests {
         assert_eq!(RecvDescriptor::from_bytes(&d.to_bytes()), d);
         let w = RecvWriteback { frame_len: 1502, valid: true };
         assert_eq!(RecvWriteback::from_bytes(&w.to_bytes()), w);
+    }
+
+    #[test]
+    fn writeback_checksum_detects_any_single_byte_flip() {
+        let w = RecvWriteback { frame_len: 1502, valid: true };
+        let good = w.to_bytes();
+        assert!(RecvWriteback::verify(&good));
+        // Flip one bit in each covered byte (incl. the checksum itself).
+        for byte in 0..6 {
+            for bit in 0..8 {
+                let mut bad = good;
+                bad[byte] ^= 1 << bit;
+                assert!(!RecvWriteback::verify(&bad), "byte {byte} bit {bit} escaped");
+            }
+        }
     }
 
     #[test]

@@ -18,7 +18,10 @@
 
 use dcs_sim::DetMap;
 
-use dcs_pcie::{AddrRange, DmaComplete, DmaRequest, MmioWrite, Msi, PhysAddr, PhysMemory, PortId};
+use dcs_pcie::{
+    aer, AddrRange, DmaComplete, DmaRequest, MmioWrite, Msi, PhysAddr, PhysMemory,
+    PortId, TlpClass,
+};
 use dcs_sim::{time, Bandwidth, Component, ComponentId, Ctx, FifoServer, Msg, Simulator};
 
 use crate::spec::{
@@ -143,12 +146,16 @@ enum OpPhase {
     FetchPrpList { cmd: NvmeCommand },
     /// Waiting for flash read access; data DMA comes next.
     FlashRead { cmd: NvmeCommand, pages: Vec<PhysAddr> },
-    /// Waiting for data DMA(s); `remaining` counts outstanding segments.
-    DataTransfer { cmd: NvmeCommand, remaining: usize },
+    /// Waiting for data DMA(s); `remaining` counts outstanding segments,
+    /// `tainted` whether any segment landed poisoned (the command then
+    /// completes with a data-transfer error once all segments settle).
+    DataTransfer { cmd: NvmeCommand, remaining: usize, tainted: bool },
     /// Waiting for flash program time (writes).
     FlashWrite { cmd: NvmeCommand },
-    /// Waiting for the completion-entry DMA; MSI follows.
-    WriteCompletion { qid: u16 },
+    /// Waiting for the completion-entry DMA; MSI follows. `slot` is the
+    /// initiator-CQ destination (kept for one rewrite if the entry DMA
+    /// lands poisoned), `attempts` how many rewrites happened already.
+    WriteCompletion { qid: u16, slot: PhysAddr, attempts: u8 },
 }
 
 struct Op {
@@ -258,6 +265,7 @@ impl NvmeDevice {
                 src: slot,
                 dst,
                 len: NvmeCommand::SIZE,
+                class: TlpClass::Data,
                 reply_to: ctx.self_id(),
             };
             let fabric = self.fabric;
@@ -288,12 +296,14 @@ impl NvmeDevice {
         // Stage the entry in scratch, then DMA it to the initiator's CQ.
         let staging = self.scratch_for(token) + 4096;
         ctx.world().expect_mut::<PhysMemory>().write(staging, &entry.to_bytes());
-        self.ops.insert(token, Op { qid, phase: OpPhase::WriteCompletion { qid } });
+        self.ops
+            .insert(token, Op { qid, phase: OpPhase::WriteCompletion { qid, slot, attempts: 0 } });
         let req = DmaRequest {
             id: token,
             src: staging,
             dst: slot,
             len: NvmeCompletion::SIZE,
+            class: TlpClass::Completion,
             reply_to: ctx.self_id(),
         };
         let fabric = self.fabric;
@@ -336,6 +346,7 @@ impl NvmeDevice {
                 src: cmd.prp2,
                 dst,
                 len: list_len,
+                class: TlpClass::Data,
                 reply_to: ctx.self_id(),
             };
             let fabric = self.fabric;
@@ -394,7 +405,10 @@ impl NvmeDevice {
                 let runs = PrpList::coalesce(&pages, len);
                 let flash_base = self.flash.start + cmd.slba * LBA_SIZE;
                 let remaining = runs.len();
-                self.ops.insert(token, Op { qid, phase: OpPhase::DataTransfer { cmd, remaining } });
+                self.ops.insert(
+                    token,
+                    Op { qid, phase: OpPhase::DataTransfer { cmd, remaining, tainted: false } },
+                );
                 {
                     let now = ctx.now();
                     ctx.world().obs.span_begin("nvme", "data-transfer", token, now);
@@ -408,6 +422,7 @@ impl NvmeDevice {
                         src: addr,
                         dst: flash_base + off,
                         len: run_len,
+                        class: TlpClass::Data,
                         reply_to: me,
                     };
                     ctx.send_now(fabric, req);
@@ -431,7 +446,8 @@ impl NvmeDevice {
         let runs = PrpList::coalesce(&pages, len);
         let flash_base = self.flash.start + cmd.slba * LBA_SIZE;
         let remaining = runs.len();
-        self.ops.insert(token, Op { qid, phase: OpPhase::DataTransfer { cmd, remaining } });
+        self.ops
+            .insert(token, Op { qid, phase: OpPhase::DataTransfer { cmd, remaining, tainted: false } });
         {
             let now = ctx.now();
             ctx.world().obs.span_begin("nvme", "data-transfer", token, now);
@@ -445,6 +461,7 @@ impl NvmeDevice {
                 src: flash_base + off,
                 dst: addr,
                 len: run_len,
+                class: TlpClass::Data,
                 reply_to: me,
             };
             ctx.send_now(fabric, req);
@@ -452,14 +469,32 @@ impl NvmeDevice {
         }
     }
 
-    fn on_data_segment_done(&mut self, ctx: &mut Ctx<'_>, token: u64, qid: u16, cmd: NvmeCommand, remaining: usize) {
+    fn on_data_segment_done(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        token: u64,
+        qid: u16,
+        cmd: NvmeCommand,
+        remaining: usize,
+        tainted: bool,
+    ) {
         if remaining > 0 {
-            self.ops.insert(token, Op { qid, phase: OpPhase::DataTransfer { cmd, remaining } });
+            self.ops
+                .insert(token, Op { qid, phase: OpPhase::DataTransfer { cmd, remaining, tainted } });
             return;
         }
         {
             let now = ctx.now();
             ctx.world().obs.span_end("nvme", "data-transfer", token, now);
+        }
+        if tainted {
+            // Poison followed the data: at least one segment is not
+            // trustworthy, so the command must not succeed (and a write
+            // must not program poisoned bytes as durable). The status is
+            // retryable — the initiator resubmits the whole command.
+            ctx.world().stats.counter("nvme.data_transfer_errors").add(1);
+            self.complete(ctx, token, qid, cmd.cid, NvmeStatus::DataTransferError);
+            return;
         }
         match cmd.opcode {
             NvmeOpcode::Read => {
@@ -509,14 +544,46 @@ impl Component for NvmeDevice {
                         cq_head: 0,
                     },
                 );
-                assert!(prev.is_none(), "queue {} attached twice", att.qid);
+                if prev.is_some() {
+                    // Re-attaching a live queue is a controller reset for
+                    // that qid: every in-flight op on it is abandoned (its
+                    // late flash/DMA completions land as stale and are
+                    // dropped) and the ring state starts over. The host
+                    // driver resubmits whatever it still cares about.
+                    let stale: Vec<u64> = self
+                        .ops
+                        .iter()
+                        .filter(|(_, op)| op.qid == att.qid)
+                        .map(|(&t, _)| t)
+                        .collect();
+                    let aborted = stale.len() as u64;
+                    for t in stale {
+                        self.ops.remove(&t);
+                    }
+                    let now = ctx.now();
+                    let world = ctx.world();
+                    world.stats.counter("nvme.resets").add(1);
+                    world.stats.counter("nvme.reset_aborted_ops").add(aborted);
+                    aer::record(
+                        world,
+                        now.as_nanos(),
+                        u64::from(att.qid),
+                        "nvme.reset",
+                        aer::AerKind::DeviceReset,
+                    );
+                }
                 return;
             }
             Err(m) => m,
         };
         let msg = match msg.downcast::<FlashDone>() {
             Ok(FlashDone { token }) => {
-                let op = self.ops.remove(&token).expect("flash done for live op");
+                let Some(op) = self.ops.remove(&token) else {
+                    // The op was abandoned by a controller reset while the
+                    // flash access was in flight.
+                    ctx.world().stats.counter("nvme.stale_completions").add(1);
+                    return;
+                };
                 match op.phase {
                     OpPhase::FlashRead { cmd, pages } => {
                         if dcs_sim::fault::inject(ctx.world(), dcs_sim::fault::NVME_MEDIA)
@@ -543,20 +610,79 @@ impl Component for NvmeDevice {
         match msg.downcast::<DmaComplete>() {
             Ok(done) => {
                 let token = done.id;
-                let op = self.ops.remove(&token).expect("dma completion for live op");
+                let Some(op) = self.ops.remove(&token) else {
+                    // Late completion for an op a controller reset dropped.
+                    ctx.world().stats.counter("nvme.stale_completions").add(1);
+                    return;
+                };
                 match op.phase {
                     OpPhase::FetchEntry => {
                         let now = ctx.now();
                         ctx.world().obs.span_end("nvme", "doorbell-fetch", token, now);
+                        if !done.status.is_ok() {
+                            // The fetched SQ entry is poison or never
+                            // arrived: parsing it would act on garbage
+                            // opcodes and addresses. Drop the command; the
+                            // host's per-command timeout resubmits it.
+                            ctx.world().stats.counter("nvme.poisoned_fetches").add(1);
+                            return;
+                        }
                         self.on_entry_fetched(ctx, token, op.qid)
                     }
                     OpPhase::FetchPrpList { cmd } => {
+                        if !done.status.is_ok() {
+                            // A poisoned PRP list is a pile of garbage
+                            // addresses; never walk it. We still know the
+                            // command's cid, so fail it cleanly instead.
+                            ctx.world().stats.counter("nvme.poisoned_prp_lists").add(1);
+                            self.complete(
+                                ctx,
+                                token,
+                                op.qid,
+                                cmd.cid,
+                                NvmeStatus::DataTransferError,
+                            );
+                            return;
+                        }
                         self.on_prp_list_fetched(ctx, token, op.qid, cmd)
                     }
-                    OpPhase::DataTransfer { cmd, remaining } => {
-                        self.on_data_segment_done(ctx, token, op.qid, cmd, remaining - 1)
+                    OpPhase::DataTransfer { cmd, remaining, tainted } => {
+                        let tainted = tainted || !done.status.is_ok();
+                        self.on_data_segment_done(ctx, token, op.qid, cmd, remaining - 1, tainted)
                     }
-                    OpPhase::WriteCompletion { qid } => {
+                    OpPhase::WriteCompletion { qid, slot, attempts } => {
+                        if !done.status.is_ok() {
+                            if attempts == 0 {
+                                // The CQE itself was poisoned or timed out.
+                                // Rewrite it once from the staged copy —
+                                // the staging buffer still holds the good
+                                // entry — before giving up.
+                                ctx.world().stats.counter("nvme.cqe_rewrites").add(1);
+                                self.ops.insert(
+                                    token,
+                                    Op {
+                                        qid,
+                                        phase: OpPhase::WriteCompletion { qid, slot, attempts: 1 },
+                                    },
+                                );
+                                let req = DmaRequest {
+                                    id: token,
+                                    src: self.scratch_for(token) + 4096,
+                                    dst: slot,
+                                    len: NvmeCompletion::SIZE,
+                                    class: TlpClass::Completion,
+                                    reply_to: ctx.self_id(),
+                                };
+                                let fabric = self.fabric;
+                                ctx.send_now(fabric, req);
+                                return;
+                            }
+                            // Rewrite failed too: the CQE is lost. No MSI —
+                            // the host driver's reset ladder recovers the
+                            // whole queue.
+                            ctx.world().stats.counter("nvme.cqe_lost").add(1);
+                            return;
+                        }
                         // Entry landed in the initiator's CQ: raise the MSI.
                         let qp = &self.queues[&qid];
                         let msi = Msi { addr: qp.msi_addr, vector: qp.msi_vector };
@@ -610,6 +736,7 @@ mod tests {
     use super::*;
     use crate::queue::{CompletionQueueReader, SubmissionQueueWriter};
     use dcs_pcie::{MmioRouting, PcieConfig, PcieFabric};
+    use dcs_sim::{FaultPlan, FaultSpec, RecoveryConfig, Rng};
 
     /// A minimal initiator driving the SSD directly (stands in for the
     /// host driver / HDC controller in these unit tests).
@@ -918,5 +1045,101 @@ mod tests {
         // Guards against accidentally dropping the initiator from setup().
         let b = setup();
         assert!(b.initiator.index() < b.sim.component_count());
+    }
+
+    #[test]
+    fn reattach_resets_the_queue_and_abandons_inflight_ops() {
+        let mut b = setup();
+        let payload = vec![0x77u8; 4096];
+        b.sim.world_mut().expect_mut::<PhysMemory>().write(b.handle.lba_addr(3), &payload);
+        let dst = buf_addr(&b);
+        submit(
+            &mut b,
+            NvmeCommand {
+                opcode: NvmeOpcode::Read,
+                cid: 11,
+                nsid: 1,
+                prp1: dst,
+                prp2: PhysAddr::ZERO,
+                slba: 3,
+                nlb: 0,
+            },
+        );
+        // Reset qid 1 while the command is mid-flight: the flash read and
+        // trailing DMAs land stale, nothing completes, and the ring state
+        // is back at zero so a fresh submission works normally.
+        let sq_base = b.rings.start;
+        let cq_base = b.rings.start + 64 * 64;
+        let msi_addr = b.rings.start + 0x10000;
+        b.sim.schedule_at(
+            dcs_sim::SimTime::from_us(2),
+            b.handle.device,
+            AttachQueuePair { qid: 1, sq_base, cq_base, depth: 64, msi_addr, msi_vector: 1 },
+        );
+        b.sim.run();
+        let stats = &b.sim.world().stats;
+        assert_eq!(stats.counter_value("nvme.resets"), 1);
+        assert!(stats.counter_value("nvme.reset_aborted_ops") >= 1);
+        assert!(stats.counter_value("nvme.stale_completions") >= 1);
+        assert_eq!(stats.counter_value("init.completions"), 0);
+        assert_eq!(b.sim.world().stats.counter_value("aer.device_reset"), 1);
+        // The queue is usable again after the reset: resubmit from a fresh
+        // writer (the device's ring state also restarted at zero).
+        let mut b2 = Bench { sq: SubmissionQueueWriter::new(sq_base, 64), ..b };
+        submit(
+            &mut b2,
+            NvmeCommand {
+                opcode: NvmeOpcode::Read,
+                cid: 12,
+                nsid: 1,
+                prp1: dst,
+                prp2: PhysAddr::ZERO,
+                slba: 3,
+                nlb: 0,
+            },
+        );
+        b2.sim.run();
+        assert_eq!(b2.sim.world().stats.counter_value("init.ok"), 1);
+        assert_eq!(b2.sim.world().expect::<PhysMemory>().read(dst, 4096), payload);
+    }
+
+    #[test]
+    fn poisoned_cqe_is_rewritten_from_staging() {
+        let mut b = setup();
+        // Default recovery gives the fabric 2 ECRC replays; scheduling the
+        // completion-class site at draws 0,1,2 burns the budget and poisons
+        // the first CQE write. The device then rewrites the entry from its
+        // staging copy (draw 3 is clean) and the command still succeeds.
+        {
+            let mut plan = FaultPlan::new(Rng::new(0xFA11));
+            plan.enable(dcs_sim::fault::CPL_CORRUPT, FaultSpec::Nth(vec![0, 1, 2]));
+            plan.recovery = RecoveryConfig::default();
+            b.sim.world_mut().insert(plan);
+        }
+        let payload = vec![0x42u8; 4096];
+        b.sim.world_mut().expect_mut::<PhysMemory>().write(b.handle.lba_addr(9), &payload);
+        let dst = buf_addr(&b);
+        submit(
+            &mut b,
+            NvmeCommand {
+                opcode: NvmeOpcode::Read,
+                cid: 21,
+                nsid: 1,
+                prp1: dst,
+                prp2: PhysAddr::ZERO,
+                slba: 9,
+                nlb: 0,
+            },
+        );
+        b.sim.run();
+        let stats = &b.sim.world().stats;
+        assert_eq!(stats.counter_value("nvme.cqe_rewrites"), 1);
+        assert_eq!(stats.counter_value("init.ok"), 1, "command completes after the rewrite");
+        assert_eq!(b.sim.world().expect::<PhysMemory>().read(dst, 4096), payload);
+        // Conservation at the fabric: 3 injected = 2 replays + 1 poison.
+        let tallies: std::collections::BTreeMap<_, _> =
+            b.sim.world().expect::<FaultPlan>().tallies().collect();
+        let t = tallies[dcs_sim::fault::CPL_CORRUPT];
+        assert_eq!((t.injected, t.recovered, t.exhausted), (3, 2, 1));
     }
 }

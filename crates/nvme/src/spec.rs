@@ -55,6 +55,13 @@ pub enum NvmeStatus {
     /// transient flash fault: the spec marks it retryable and hosts are
     /// expected to resubmit within their retry budget.
     MediaError,
+    /// Data transfer error (generic SC=0x04): the controller detected a
+    /// transport-level problem moving data — in this model, a poisoned
+    /// TLP on a command's data or PRP-list DMA. Transient at the fabric
+    /// level, so retryable, but the retry is a *resubmission of the
+    /// whole command*; the corrupted transfer itself is never completed
+    /// as success.
+    DataTransferError,
 }
 
 impl NvmeStatus {
@@ -66,6 +73,7 @@ impl NvmeStatus {
             NvmeStatus::InvalidPrp => 0x0013,
             NvmeStatus::LbaOutOfRange => 0x0080,
             NvmeStatus::MediaError => 0x0281, // SCT=2, SC=0x81 unrecovered read
+            NvmeStatus::DataTransferError => 0x0004,
         }
     }
 
@@ -73,6 +81,7 @@ impl NvmeStatus {
     pub fn from_code(code: u16) -> NvmeStatus {
         match code & 0x7FF {
             0x0000 => NvmeStatus::Success,
+            0x0004 => NvmeStatus::DataTransferError,
             0x0013 => NvmeStatus::InvalidPrp,
             0x0080 => NvmeStatus::LbaOutOfRange,
             0x0281 => NvmeStatus::MediaError,
@@ -87,7 +96,7 @@ impl NvmeStatus {
 
     /// Whether resubmitting the command may succeed (transient faults).
     pub fn is_retryable(self) -> bool {
-        self == NvmeStatus::MediaError
+        matches!(self, NvmeStatus::MediaError | NvmeStatus::DataTransferError)
     }
 }
 
@@ -362,6 +371,7 @@ mod tests {
                 NvmeStatus::LbaOutOfRange,
                 NvmeStatus::InvalidPrp,
                 NvmeStatus::MediaError,
+                NvmeStatus::DataTransferError,
             ] {
                 let c = NvmeCompletion { sq_head: 7, sq_id: 1, cid: 42, phase, status };
                 let parsed = NvmeCompletion::from_bytes(&c.to_bytes());
@@ -380,6 +390,9 @@ mod tests {
         assert!(!NvmeStatus::InvalidPrp.is_ok());
         assert!(NvmeStatus::MediaError.is_retryable());
         assert!(!NvmeStatus::LbaOutOfRange.is_retryable());
+        assert_eq!(NvmeStatus::DataTransferError.to_code(), 0x0004);
+        assert_eq!(NvmeStatus::from_code(0x0004), NvmeStatus::DataTransferError);
+        assert!(NvmeStatus::DataTransferError.is_retryable());
     }
 
     #[test]

@@ -28,6 +28,16 @@ pub struct PcieConfig {
     pub mmio_read_ns: u64,
     /// Latency of an MSI write reaching its target.
     pub msi_ns: u64,
+    /// End-to-end CRC on every TLP: corruption in flight is *detected*
+    /// at the receiver (and replayed or poisoned) instead of landing as
+    /// silent bad data. Off models a fabric without ECRC support, where
+    /// payload corruption escapes into "successful" completions.
+    pub ecrc: bool,
+    /// Completion timeout for non-posted requests: how long the
+    /// requester waits before a request whose completion can never
+    /// arrive (e.g. an unrecognizably corrupted header with no replay
+    /// budget) is failed with a Timeout-status completion.
+    pub cpl_timeout_ns: u64,
 }
 
 impl Default for PcieConfig {
@@ -42,6 +52,8 @@ impl Default for PcieConfig {
             mmio_write_ns: 300,
             mmio_read_ns: 900,
             msi_ns: 300,
+            ecrc: true,
+            cpl_timeout_ns: 50_000,
         }
     }
 }

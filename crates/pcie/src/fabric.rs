@@ -12,9 +12,46 @@
 use dcs_sim::{fault, Component, ComponentId, Ctx, Msg, SimTime};
 
 use crate::addr::PhysAddr;
+use crate::aer::{self, AerKind};
 use crate::config::PcieConfig;
 use crate::mem::{PhysMemory, PortId};
 use crate::routing::MmioRouting;
+
+/// What a DMA's payload *is*, for fault-site selection: corrupting bulk
+/// data and corrupting a completion structure are different failure
+/// modes with different containment (payload checksums vs. entry CRCs),
+/// so the corruption sites draw independently per class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TlpClass {
+    /// Bulk data movement (payloads, descriptors, staging buffers).
+    #[default]
+    Data,
+    /// A completion structure write (NVMe CQE, HDC completion record).
+    Completion,
+}
+
+/// How a DMA ended, from the requester's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DmaStatus {
+    /// Bytes landed intact.
+    #[default]
+    Ok,
+    /// Bytes landed but the last TLP failed its ECRC check with no
+    /// replay budget left: the data at the destination is poisoned.
+    /// Poison follows the data — a consumer must never complete the
+    /// containing operation as a success.
+    Poisoned,
+    /// The completion never arrived (unrecognizably corrupted request
+    /// header, replay budget zero); nothing was written.
+    Timeout,
+}
+
+impl DmaStatus {
+    /// Whether the transfer delivered trustworthy bytes.
+    pub fn is_ok(self) -> bool {
+        self == DmaStatus::Ok
+    }
+}
 
 /// Asks the fabric to move `len` bytes from `src` to `dst`.
 ///
@@ -30,6 +67,8 @@ pub struct DmaRequest {
     pub dst: PhysAddr,
     /// Transfer length in bytes.
     pub len: usize,
+    /// Payload class (selects the corruption fault site).
+    pub class: TlpClass,
     /// Component to notify on completion.
     pub reply_to: ComponentId,
 }
@@ -42,6 +81,10 @@ pub struct DmaComplete {
     pub id: u64,
     /// Bytes moved.
     pub len: usize,
+    /// Integrity outcome; anything but [`DmaStatus::Ok`] means the
+    /// destination bytes must not be trusted (and on
+    /// [`DmaStatus::Timeout`] were never written).
+    pub status: DmaStatus,
 }
 
 /// A posted MMIO write (doorbell ring, command enqueue). Routed by address
@@ -74,6 +117,10 @@ pub struct MsiDelivery {
 #[derive(Debug)]
 struct DmaDone {
     req: DmaRequest,
+    status: DmaStatus,
+    /// Fault-shaping entropy when corruption landed (picks the flipped
+    /// bit at completion time, after the copy).
+    corrupt: Option<u64>,
 }
 
 /// The switch / root-complex component.
@@ -152,6 +199,83 @@ impl PcieFabric {
             ctx.world().stats.counter("pcie.replays").add(1);
             delay += service + hop;
         }
+        let mut status = DmaStatus::Ok;
+        let mut corrupt = None;
+        if fault::active(ctx.world_ref()) {
+            // Header corruption first: an unrecognizable TLP is caught by
+            // the link layer's LCRC/sequence check regardless of ECRC.
+            // With replay budget it is retransmitted (one corrected AER
+            // entry, one extra serialization pass); without, the request
+            // effectively vanishes and the requester's completion timeout
+            // fires.
+            let retries = fault::recovery(ctx.world_ref()).map(|r| r.pcie_retries).unwrap_or(0);
+            if fault::inject(ctx.world(), fault::TLP_HEADER).is_some() {
+                if retries > 0 {
+                    fault::retried(ctx.world(), fault::TLP_HEADER);
+                    fault::recovered(ctx.world(), fault::TLP_HEADER);
+                    aer::record(ctx.world(), now.as_nanos(), req.id, fault::TLP_HEADER, AerKind::EcrcReplay);
+                    delay += service + hop;
+                } else {
+                    fault::exhausted(ctx.world(), fault::TLP_HEADER);
+                    aer::record(
+                        ctx.world(),
+                        now.as_nanos(),
+                        req.id,
+                        fault::TLP_HEADER,
+                        AerKind::CompletionTimeout,
+                    );
+                    status = DmaStatus::Timeout;
+                    delay = self.config.cpl_timeout_ns;
+                }
+            }
+            // Payload corruption, by class. While ECRC is on, each
+            // corrupted attempt is detected at the receiver: replayed if
+            // budget remains, delivered poisoned otherwise. With ECRC
+            // off there is nothing to detect against — the first hit
+            // lands silently as "successful" bad data.
+            let site = match req.class {
+                TlpClass::Data => fault::DMA_CORRUPT,
+                TlpClass::Completion => fault::CPL_CORRUPT,
+            };
+            // ECRC is per TLP, so every packet of the transfer is an
+            // eligible corruption event: a 16 KiB DMA at max_payload 256
+            // rolls the dice 64 times per attempt. The first corrupted
+            // TLP decides the attempt's fate (a replay re-sends the
+            // whole request in this model).
+            let tlps = req.len.div_ceil(self.config.max_payload);
+            let mut attempt = 0;
+            while status == DmaStatus::Ok {
+                let mut hit = None;
+                for _ in 0..tlps {
+                    if let Some(entropy) = fault::inject(ctx.world(), site) {
+                        hit = Some(entropy);
+                        break;
+                    }
+                }
+                let Some(entropy) = hit else { break };
+                if !self.config.ecrc {
+                    fault::exhausted(ctx.world(), site);
+                    aer::record(ctx.world(), now.as_nanos(), req.id, site, AerKind::SilentEscape);
+                    ctx.world().stats.counter("pcie.ecrc_escapes").add(1);
+                    corrupt = Some(entropy);
+                    break;
+                }
+                if attempt < retries {
+                    attempt += 1;
+                    fault::retried(ctx.world(), site);
+                    fault::recovered(ctx.world(), site);
+                    aer::record(ctx.world(), now.as_nanos(), req.id, site, AerKind::EcrcReplay);
+                    delay += service + hop;
+                } else {
+                    fault::exhausted(ctx.world(), site);
+                    aer::record(ctx.world(), now.as_nanos(), req.id, site, AerKind::PoisonedTlp);
+                    ctx.world().stats.counter("pcie.poisoned_tlps").add(1);
+                    corrupt = Some(entropy);
+                    status = DmaStatus::Poisoned;
+                    break;
+                }
+            }
+        }
         {
             let obs = &mut ctx.world().obs;
             let end = now + delay;
@@ -160,15 +284,27 @@ impl PcieFabric {
             obs.count("pcie", "dma.bytes", req.len as u64);
             obs.observe("pcie", "dma.ns", delay);
         }
-        ctx.send_self_in(delay, DmaDone { req });
+        ctx.send_self_in(delay, DmaDone { req, status, corrupt });
     }
 
     fn finish_dma(&mut self, ctx: &mut Ctx<'_>, done: DmaDone) {
-        let DmaRequest { id, src, dst, len, reply_to } = done.req;
-        ctx.world()
-            .expect_mut::<PhysMemory>()
-            .copy(src, dst, len);
-        ctx.send_now(reply_to, DmaComplete { id, len });
+        let DmaDone { req, status, corrupt } = done;
+        let DmaRequest { id, src, dst, len, reply_to, .. } = req;
+        if status != DmaStatus::Timeout {
+            ctx.world()
+                .expect_mut::<PhysMemory>()
+                .copy(src, dst, len);
+            if let Some(entropy) = corrupt {
+                // Poison follows the data: the corrupted TLP's payload is
+                // what landed, so flip one entropy-chosen bit in place.
+                let offset = entropy % len as u64;
+                let mem = ctx.world().expect_mut::<PhysMemory>();
+                let mut byte = mem.read(dst + offset, 1);
+                byte[0] ^= 1 << ((entropy >> 32) % 8);
+                mem.write(dst + offset, &byte);
+            }
+        }
+        ctx.send_now(reply_to, DmaComplete { id, len, status });
     }
 
     fn route_mmio(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
@@ -262,12 +398,13 @@ mod tests {
     /// Captures completions for inspection.
     struct Sink {
         completions: Vec<(u64, SimTime)>,
+        statuses: Vec<DmaStatus>,
         mmio: Vec<(PhysAddr, Vec<u8>)>,
         msi: Vec<u32>,
     }
     impl Sink {
         fn new() -> Self {
-            Sink { completions: vec![], mmio: vec![], msi: vec![] }
+            Sink { completions: vec![], statuses: vec![], mmio: vec![], msi: vec![] }
         }
     }
 
@@ -276,7 +413,11 @@ mod tests {
             let msg = match msg.downcast::<DmaComplete>() {
                 Ok(c) => {
                     self.completions.push((c.id, ctx.now()));
+                    self.statuses.push(c.status);
                     ctx.world().stats.counter("sink.dma").add(1);
+                    if c.status.is_ok() {
+                        ctx.world().stats.counter("sink.dma_ok").add(1);
+                    }
                     return;
                 }
                 Err(m) => m,
@@ -319,7 +460,14 @@ mod tests {
             .write(dram.start, b"payload!");
         sim.kickoff(
             fabric,
-            DmaRequest { id: 7, src: dram.start, dst: flash.start + 64, len: 8, reply_to: sink },
+            DmaRequest {
+                id: 7,
+                src: dram.start,
+                dst: flash.start + 64,
+                len: 8,
+                class: TlpClass::Data,
+                reply_to: sink,
+            },
         );
         sim.run();
         assert_eq!(sim.world().stats.counter_value("sink.dma"), 1);
@@ -345,6 +493,7 @@ mod tests {
                     src: flash.start,
                     dst: dram.start + i * 128 * 1024,
                     len,
+                    class: TlpClass::Data,
                     reply_to: sink,
                 },
             );
@@ -372,8 +521,16 @@ mod tests {
         let fabric = sim.add("pcie", PcieFabric::new(PcieConfig::default()));
         let sink = sim.add("sink", Sink::new());
         let len = 256 * 1024;
-        sim.kickoff(fabric, DmaRequest { id: 0, src: a.start, dst: b.start, len, reply_to: sink });
-        sim.kickoff(fabric, DmaRequest { id: 1, src: c.start, dst: d.start, len, reply_to: sink });
+        let dma = |id, src, dst| DmaRequest {
+            id,
+            src,
+            dst,
+            len,
+            class: TlpClass::Data,
+            reply_to: sink,
+        };
+        sim.kickoff(fabric, dma(0, a.start, b.start));
+        sim.kickoff(fabric, dma(1, c.start, d.start));
         sim.run();
         let cfg = PcieConfig::default();
         let one_link = cfg.link_time(len);
@@ -422,10 +579,240 @@ mod tests {
         let (mut sim, fabric, sink, dram, flash) = setup();
         sim.kickoff(
             fabric,
-            DmaRequest { id: 1, src: dram.start, dst: flash.start, len: 0, reply_to: sink },
+            DmaRequest {
+                id: 1,
+                src: dram.start,
+                dst: flash.start,
+                len: 0,
+                class: TlpClass::Data,
+                reply_to: sink,
+            },
         );
         sim.run();
         assert_eq!(sim.world().stats.counter_value("sink.dma"), 1);
+    }
+
+    use dcs_sim::{FaultPlan, FaultSpec, RecoveryConfig, Rng};
+
+    /// Installs a plan with `site` scheduled at `idxs` into the sim.
+    fn install_plan(sim: &mut Simulator, site: &'static str, idxs: Vec<u64>, rec: RecoveryConfig) {
+        let rng = Rng::new(0xFAB);
+        let mut plan = FaultPlan::new(rng);
+        plan.enable(site, FaultSpec::Nth(idxs));
+        plan.recovery = rec;
+        sim.world_mut().insert(plan);
+    }
+
+    fn bit_diff(a: &[u8], b: &[u8]) -> u32 {
+        a.iter().zip(b).map(|(x, y)| (x ^ y).count_ones()).sum()
+    }
+
+    #[test]
+    fn ecrc_replay_recovers_payload_corruption() {
+        let (mut sim, fabric, sink, dram, flash) = setup();
+        install_plan(&mut sim, dcs_sim::fault::DMA_CORRUPT, vec![0], RecoveryConfig::default());
+        sim.world_mut().expect_mut::<PhysMemory>().write(dram.start, b"payload!");
+        sim.kickoff(
+            fabric,
+            DmaRequest {
+                id: 1,
+                src: dram.start,
+                dst: flash.start,
+                len: 8,
+                class: TlpClass::Data,
+                reply_to: sink,
+            },
+        );
+        sim.run();
+        assert_eq!(sim.world().expect::<PhysMemory>().read(flash.start, 8), b"payload!");
+        assert_eq!(sim.world().stats.counter_value("sink.dma_ok"), 1);
+        assert_eq!(sim.world().stats.counter_value("fault.injected"), 1);
+        assert_eq!(sim.world().stats.counter_value("fault.recovered"), 1);
+        assert_eq!(sim.world().stats.counter_value("aer.ecrc_replay"), 1);
+        assert_eq!(sim.world().stats.counter_value("aer.detected"), 1);
+    }
+
+    #[test]
+    fn exhausted_replays_deliver_a_poisoned_tlp() {
+        let (mut sim, fabric, sink, dram, flash) = setup();
+        // Default budget is 2 replays: three consecutive corrupt attempts
+        // exhaust it and the data lands poisoned.
+        install_plan(
+            &mut sim,
+            dcs_sim::fault::DMA_CORRUPT,
+            vec![0, 1, 2],
+            RecoveryConfig::default(),
+        );
+        sim.world_mut().expect_mut::<PhysMemory>().write(dram.start, b"payload!");
+        sim.kickoff(
+            fabric,
+            DmaRequest {
+                id: 1,
+                src: dram.start,
+                dst: flash.start,
+                len: 8,
+                class: TlpClass::Data,
+                reply_to: sink,
+            },
+        );
+        sim.run();
+        let landed = sim.world().expect::<PhysMemory>().read(flash.start, 8);
+        assert_eq!(bit_diff(&landed, b"payload!"), 1, "poison is a single flipped bit");
+        assert_eq!(sim.world().stats.counter_value("sink.dma"), 1);
+        assert_eq!(sim.world().stats.counter_value("sink.dma_ok"), 0, "poison is not success");
+        assert_eq!(sim.world().stats.counter_value("fault.injected"), 3);
+        assert_eq!(sim.world().stats.counter_value("fault.recovered"), 2);
+        assert_eq!(sim.world().stats.counter_value("fault.exhausted"), 1);
+        assert_eq!(sim.world().stats.counter_value("pcie.poisoned_tlps"), 1);
+        assert_eq!(sim.world().stats.counter_value("aer.detected"), 3);
+    }
+
+    #[test]
+    fn ecrc_off_lets_corruption_escape_as_success() {
+        let mut sim = Simulator::new(0);
+        let mut mem = PhysMemory::new();
+        let dram = mem.alloc_region("dram", 1 << 24, PortId::ROOT);
+        let flash = mem.alloc_region("flash", 1 << 24, PortId(1));
+        sim.world_mut().insert(mem);
+        sim.world_mut().insert(MmioRouting::new());
+        let fabric = sim.add(
+            "pcie",
+            PcieFabric::new(PcieConfig { ecrc: false, ..PcieConfig::default() }),
+        );
+        let sink = sim.add("sink", Sink::new());
+        install_plan(&mut sim, dcs_sim::fault::DMA_CORRUPT, vec![0], RecoveryConfig::default());
+        sim.world_mut().expect_mut::<PhysMemory>().write(dram.start, b"payload!");
+        sim.kickoff(
+            fabric,
+            DmaRequest {
+                id: 1,
+                src: dram.start,
+                dst: flash.start,
+                len: 8,
+                class: TlpClass::Data,
+                reply_to: sink,
+            },
+        );
+        sim.run();
+        let landed = sim.world().expect::<PhysMemory>().read(flash.start, 8);
+        assert_eq!(bit_diff(&landed, b"payload!"), 1, "corruption landed");
+        assert_eq!(
+            sim.world().stats.counter_value("sink.dma_ok"),
+            1,
+            "without ECRC the fabric cannot tell: silent escape"
+        );
+        assert_eq!(sim.world().stats.counter_value("pcie.ecrc_escapes"), 1);
+        assert_eq!(sim.world().stats.counter_value("aer.escape"), 1);
+        assert_eq!(sim.world().stats.counter_value("aer.detected"), 0);
+    }
+
+    #[test]
+    fn header_corruption_without_budget_is_a_completion_timeout() {
+        let (mut sim, fabric, sink, dram, flash) = setup();
+        install_plan(&mut sim, dcs_sim::fault::TLP_HEADER, vec![0], RecoveryConfig::no_retries());
+        sim.world_mut().expect_mut::<PhysMemory>().write(dram.start, b"payload!");
+        sim.kickoff(
+            fabric,
+            DmaRequest {
+                id: 1,
+                src: dram.start,
+                dst: flash.start,
+                len: 8,
+                class: TlpClass::Data,
+                reply_to: sink,
+            },
+        );
+        sim.run();
+        assert_eq!(
+            sim.world().expect::<PhysMemory>().read(flash.start, 8),
+            vec![0u8; 8],
+            "nothing may land on a timeout"
+        );
+        assert_eq!(sim.world().stats.counter_value("sink.dma"), 1, "requester is notified");
+        assert_eq!(sim.world().stats.counter_value("sink.dma_ok"), 0);
+        assert_eq!(sim.world().stats.counter_value("aer.cpl_timeout"), 1);
+        assert!(
+            sim.now().as_nanos() >= PcieConfig::default().cpl_timeout_ns,
+            "completion waits out the timeout: {}",
+            sim.now()
+        );
+    }
+
+    #[test]
+    fn header_corruption_with_budget_replays_transparently() {
+        let (mut sim, fabric, sink, dram, flash) = setup();
+        install_plan(&mut sim, dcs_sim::fault::TLP_HEADER, vec![0], RecoveryConfig::default());
+        sim.world_mut().expect_mut::<PhysMemory>().write(dram.start, b"payload!");
+        sim.kickoff(
+            fabric,
+            DmaRequest {
+                id: 1,
+                src: dram.start,
+                dst: flash.start,
+                len: 8,
+                class: TlpClass::Data,
+                reply_to: sink,
+            },
+        );
+        sim.run();
+        assert_eq!(sim.world().expect::<PhysMemory>().read(flash.start, 8), b"payload!");
+        assert_eq!(sim.world().stats.counter_value("sink.dma_ok"), 1);
+        assert_eq!(sim.world().stats.counter_value("fault.recovered"), 1);
+    }
+
+    #[test]
+    fn completion_class_draws_the_cpl_site_not_the_data_site() {
+        let (mut sim, fabric, sink, dram, flash) = setup();
+        let rng = Rng::new(0xFAB);
+        let mut plan = FaultPlan::new(rng);
+        // Data-site fault scheduled at index 0 must NOT fire for a
+        // Completion-class DMA; the cpl site must.
+        plan.enable(dcs_sim::fault::DMA_CORRUPT, FaultSpec::Nth(vec![0]));
+        plan.enable(dcs_sim::fault::CPL_CORRUPT, FaultSpec::Nth(vec![0]));
+        sim.world_mut().insert(plan);
+        sim.world_mut().expect_mut::<PhysMemory>().write(dram.start, b"cqeentry");
+        sim.kickoff(
+            fabric,
+            DmaRequest {
+                id: 1,
+                src: dram.start,
+                dst: flash.start,
+                len: 8,
+                class: TlpClass::Completion,
+                reply_to: sink,
+            },
+        );
+        sim.run();
+        let tallies: std::collections::BTreeMap<_, _> =
+            sim.world().expect::<FaultPlan>().tallies().collect();
+        assert_eq!(tallies[dcs_sim::fault::CPL_CORRUPT].injected, 1);
+        assert!(!tallies.contains_key(dcs_sim::fault::DMA_CORRUPT), "data site never drawn");
+        assert_eq!(sim.world().expect::<PhysMemory>().read(flash.start, 8), b"cqeentry");
+        assert_eq!(sim.world().stats.counter_value("fault.recovered"), 1, "replay cured it");
+    }
+
+    #[test]
+    fn fault_free_corruption_machinery_is_timing_invisible() {
+        // Identical to same_port_copy_skips_the_switch but asserting the
+        // exact pre-existing completion time with no plan installed: the
+        // ECRC/poison machinery must add zero events and zero latency to
+        // fault-free runs.
+        let (mut sim, fabric, sink, dram, _flash) = setup();
+        let len = 4096;
+        sim.kickoff(
+            fabric,
+            DmaRequest {
+                id: 1,
+                src: dram.start,
+                dst: dram.start + 8192,
+                len,
+                class: TlpClass::Data,
+                reply_to: sink,
+            },
+        );
+        sim.run();
+        let cfg = PcieConfig::default();
+        assert_eq!(sim.now().as_nanos(), cfg.link_time(len) + cfg.hop_latency_ns);
     }
 
     #[test]
@@ -434,7 +821,14 @@ mod tests {
         let len = 4096;
         sim.kickoff(
             fabric,
-            DmaRequest { id: 1, src: dram.start, dst: dram.start + 8192, len, reply_to: sink },
+            DmaRequest {
+                id: 1,
+                src: dram.start,
+                dst: dram.start + 8192,
+                len,
+                class: TlpClass::Data,
+                reply_to: sink,
+            },
         );
         sim.run();
         let cfg = PcieConfig::default();

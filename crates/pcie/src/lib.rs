@@ -31,13 +31,17 @@
 //! ```
 
 pub mod addr;
+pub mod aer;
 pub mod config;
 pub mod fabric;
 pub mod mem;
 pub mod routing;
 
 pub use addr::{AddrRange, PhysAddr};
+pub use aer::{AerEntry, AerKind, AerLog};
 pub use config::PcieConfig;
-pub use fabric::{DmaComplete, DmaRequest, MmioWrite, Msi, MsiDelivery, PcieFabric};
+pub use fabric::{
+    DmaComplete, DmaRequest, DmaStatus, MmioWrite, Msi, MsiDelivery, PcieFabric, TlpClass,
+};
 pub use mem::{PhysMemory, PortId, RegionInfo};
 pub use routing::MmioRouting;

@@ -2,11 +2,13 @@
 //!
 //! A [`FaultPlan`] lives in the [`World`] and is consulted by injection
 //! sites spread across the device models (wire frame drop/corruption,
-//! flash media errors, PCIe link replays, MSI loss). Each site draws from
-//! its own RNG stream forked off the plan's master RNG at registration
-//! time, so the fault sequence a seed produces at one site is independent
-//! of event interleaving at other sites: the same seed replays the same
-//! faults, run after run, design after design.
+//! flash media errors, PCIe link replays, MSI loss, DMA payload / TLP
+//! header / completion-entry corruption). Each site draws from its own
+//! RNG stream derived from the plan's stream base and the site *name*,
+//! so the fault sequence a seed produces at one site is independent both
+//! of event interleaving at other sites and of the order in which sites
+//! were enabled: the same seed replays the same faults, run after run,
+//! design after design.
 //!
 //! Sites are identified by name. A site not enabled in the plan never
 //! fires; a world without a plan is entirely fault-free and costs one
@@ -50,8 +52,17 @@ pub struct SiteStats {
 struct Site {
     spec: FaultSpec,
     rng: Rng,
+    /// Key for per-event fault-shaping entropy. Entropy is derived from
+    /// `(entropy_key, event index)` alone — independent of the decision
+    /// stream — so an `Nth` schedule pinned from a `Probability` run's
+    /// fired indices replays byte-identical faults (same corrupted bit,
+    /// same position), which is what makes fuzzer shrinking faithful.
+    entropy_key: u64,
     /// Eligible events seen so far.
     seen: u64,
+    /// 0-based eligible-event indices at which the site actually fired
+    /// (the raw material the chaos fuzzer shrinks into `Nth` schedules).
+    fired: Vec<u64>,
 }
 
 /// Timeout/retry knobs the recovery machinery obeys while a plan is
@@ -76,6 +87,15 @@ pub struct RecoveryConfig {
     /// Completion-ring / receive-ring poll fallback period (recovers lost
     /// MSIs on paths without their own timers).
     pub poll_period_ns: u64,
+    /// Bounded PCIe link-replay budget per TLP: how many times the fabric
+    /// re-transmits a TLP whose ECRC check failed before giving up (0
+    /// disables replay: corruption immediately poisons or times out).
+    pub pcie_retries: u32,
+    /// Bounded NVMe controller-reset budget per command: after command
+    /// retries are exhausted *and* the completion path itself is broken,
+    /// the host driver may reset the controller and resubmit this many
+    /// times (0 disables the reset ladder).
+    pub nvme_resets: u32,
 }
 
 impl Default for RecoveryConfig {
@@ -88,6 +108,8 @@ impl Default for RecoveryConfig {
             watchdog_period_ns: 1_000_000,
             op_timeout_ns: 20_000_000,
             poll_period_ns: 500_000,
+            pcie_retries: 2,
+            nvme_resets: 1,
         }
     }
 }
@@ -97,13 +119,23 @@ impl RecoveryConfig {
     /// error completions on first detection, and nothing is retransmitted
     /// or resubmitted.
     pub fn no_retries() -> RecoveryConfig {
-        RecoveryConfig { nvme_retries: 0, nic_retries: 0, ..RecoveryConfig::default() }
+        RecoveryConfig {
+            nvme_retries: 0,
+            nic_retries: 0,
+            pcie_retries: 0,
+            nvme_resets: 0,
+            ..RecoveryConfig::default()
+        }
     }
 }
 
 /// The deterministic fault plan (a [`World`] resource).
 pub struct FaultPlan {
-    master: Rng,
+    /// One value drawn from the plan's seed RNG at construction; each
+    /// site's stream is `Rng::new(stream_base ^ fnv1a64(site_name))`, so
+    /// a site's fault sequence depends only on the plan seed and its own
+    /// name — never on how many sites were enabled before it.
+    stream_base: u64,
     sites: BTreeMap<&'static str, Site>,
     tallies: BTreeMap<&'static str, SiteStats>,
     /// Recovery knobs honored while this plan is installed.
@@ -124,29 +156,84 @@ pub const NVME_MEDIA: &str = "nvme.media";
 pub const PCIE_REPLAY: &str = "pcie.replay";
 /// A message-signaled interrupt that never arrives.
 pub const MSI_LOSS: &str = "pcie.msi_loss";
+/// Single-bit corruption of a Data-class DMA payload in flight; the
+/// fabric's per-TLP ECRC detects it and either replays the TLP or
+/// delivers a poisoned completion (never silent bad data while ECRC is
+/// on).
+pub const DMA_CORRUPT: &str = "pcie.dma_corrupt";
+/// TLP header corruption: the receiver cannot even identify the packet,
+/// so the link layer replays it, or — with the replay budget at zero —
+/// the requester sees a completion timeout.
+pub const TLP_HEADER: &str = "pcie.tlp_header";
+/// Single-bit corruption of a completion entry (NVMe CQE writes, HDC
+/// completion records, NIC receive writebacks), caught by ECRC on the
+/// Completion-class DMA or by the entry's own CRC at the consumer.
+pub const CPL_CORRUPT: &str = "pcie.cpl_corrupt";
 
 impl FaultPlan {
     /// Every injection site the device models consult.
-    pub const SITES: [&'static str; 5] =
-        [WIRE_DROP, WIRE_CORRUPT, NVME_MEDIA, PCIE_REPLAY, MSI_LOSS];
+    pub const SITES: [&'static str; 8] = [
+        WIRE_DROP,
+        WIRE_CORRUPT,
+        NVME_MEDIA,
+        PCIE_REPLAY,
+        MSI_LOSS,
+        DMA_CORRUPT,
+        TLP_HEADER,
+        CPL_CORRUPT,
+    ];
+
+    /// The data-integrity subset of [`Self::SITES`]: faults that corrupt
+    /// bits rather than losing packets, contained by the ECRC / poison /
+    /// CRC machinery.
+    pub const CORRUPTION_SITES: [&'static str; 3] = [DMA_CORRUPT, TLP_HEADER, CPL_CORRUPT];
 
     /// Creates an empty plan drawing from `rng` (fork it off the world
     /// RNG for seed reproducibility).
-    pub fn new(rng: Rng) -> FaultPlan {
+    pub fn new(mut rng: Rng) -> FaultPlan {
         FaultPlan {
-            master: rng,
+            stream_base: rng.next_u64(),
             sites: BTreeMap::new(),
             tallies: BTreeMap::new(),
             recovery: RecoveryConfig::default(),
         }
     }
 
-    /// Enables `site` with `spec`; the site gets its own RNG stream
-    /// forked from the plan's master RNG, so enabling order — not event
-    /// interleaving — determines each site's fault sequence.
+    /// Enables `site` with `spec` after validating it, rejecting
+    /// non-finite or out-of-range probabilities with a clear error
+    /// instead of passing garbage to `Rng::gen_bool` mid-simulation.
+    /// The site's RNG stream depends only on the plan seed and the site
+    /// name, so neither enabling order nor event interleaving at other
+    /// sites changes the fault sequence a given site produces.
+    pub fn try_enable(&mut self, site: &'static str, spec: FaultSpec) -> Result<(), String> {
+        if let FaultSpec::Probability(p) = spec {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(format!(
+                    "fault site {site}: probability {p} must be finite and within [0.0, 1.0]"
+                ));
+            }
+        }
+        let key = self.stream_base ^ crate::integrity::fnv1a64(site.as_bytes());
+        let site_state = Site {
+            spec,
+            rng: Rng::new(key),
+            entropy_key: key ^ 0xE57A_B11E_5EED_C0DE,
+            seen: 0,
+            fired: Vec::new(),
+        };
+        self.sites.insert(site, site_state);
+        Ok(())
+    }
+
+    /// Enables `site` with `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`Self::try_enable`] error on an invalid spec.
     pub fn enable(&mut self, site: &'static str, spec: FaultSpec) {
-        let rng = self.master.fork();
-        self.sites.insert(site, Site { spec, rng, seen: 0 });
+        if let Err(e) = self.try_enable(site, spec) {
+            panic!("{e}");
+        }
     }
 
     /// Enables every known site at `rate` (the chaos-storm shape).
@@ -170,7 +257,9 @@ impl FaultPlan {
             FaultSpec::Nth(idxs) => idxs.contains(&idx),
         };
         if hit {
-            let entropy = s.rng.next_u64();
+            let entropy =
+                Rng::new(s.entropy_key ^ idx.wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_u64();
+            s.fired.push(idx);
             self.tallies.entry(site).or_default().injected += 1;
             Some(entropy)
         } else {
@@ -185,6 +274,14 @@ impl FaultPlan {
     /// Per-site fault/recovery tallies, in site-name order.
     pub fn tallies(&self) -> impl Iterator<Item = (&'static str, SiteStats)> + '_ {
         self.tallies.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// For each enabled site, the 0-based eligible-event indices at which
+    /// it actually fired this run (site-name order). Feeding these back
+    /// as [`FaultSpec::Nth`] schedules under the same seed reproduces
+    /// the exact fault sequence — the fuzzer's shrinking substrate.
+    pub fn fired_log(&self) -> Vec<(&'static str, Vec<u64>)> {
+        self.sites.iter().map(|(k, s)| (*k, s.fired.clone())).collect()
     }
 }
 
@@ -245,6 +342,24 @@ pub fn exhausted_total(world: &World) -> u64 {
     world
         .get::<FaultPlan>()
         .map(|p| p.tallies().map(|(_, s)| s.exhausted).sum())
+        .unwrap_or(0)
+}
+
+/// Total contained data-integrity events (`recovered + exhausted` over
+/// the [`FaultPlan::CORRUPTION_SITES`]) of the installed plan, 0 without
+/// one. Contained corruption never produces a wrong successful payload,
+/// so unlike [`exhausted_total`] a jump here does not mean a node is
+/// failing requests — health layers sampling it mark busy nodes
+/// *Degraded* (reroute-preferred but routable) rather than Dead.
+pub fn contained_total(world: &World) -> u64 {
+    world
+        .get::<FaultPlan>()
+        .map(|p| {
+            p.tallies()
+                .filter(|(site, _)| FaultPlan::CORRUPTION_SITES.contains(site))
+                .map(|(_, s)| s.recovered + s.exhausted)
+                .sum()
+        })
         .unwrap_or(0)
 }
 
@@ -335,5 +450,83 @@ mod tests {
         assert_eq!(t["host.nvme"].retried, 1);
         assert_eq!(t["host.nvme"].recovered, 1);
         assert_eq!(t["host.nic"].exhausted, 1);
+    }
+
+    #[test]
+    fn try_enable_rejects_bad_probabilities() {
+        let mut plan = FaultPlan::new(Rng::new(3));
+        for bad in [-0.1, 1.0001, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = plan
+                .try_enable(WIRE_DROP, FaultSpec::Probability(bad))
+                .expect_err("out-of-range probability must be rejected");
+            assert!(err.contains("wire.drop"), "error names the site: {err}");
+            assert!(err.contains("[0.0, 1.0]"), "error states the range: {err}");
+        }
+        assert!(drain(&mut plan, WIRE_DROP, 50).iter().all(|h| h.is_none()), "site not enabled");
+        plan.try_enable(WIRE_DROP, FaultSpec::Probability(0.0)).expect("0.0 is valid");
+        plan.try_enable(WIRE_DROP, FaultSpec::Probability(1.0)).expect("1.0 is valid");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn enable_panics_on_bad_probability() {
+        FaultPlan::new(Rng::new(3)).enable(NVME_MEDIA, FaultSpec::Probability(f64::NAN));
+    }
+
+    #[test]
+    fn site_streams_are_registration_order_independent() {
+        // Enable the same sites in opposite orders (and with an extra
+        // unrelated site in between): each site's fault sequence for the
+        // seed must be identical.
+        let mut fwd = FaultPlan::new(Rng::new(0xA11CE));
+        for site in FaultPlan::SITES {
+            fwd.enable(site, FaultSpec::Probability(0.2));
+        }
+        let mut rev = FaultPlan::new(Rng::new(0xA11CE));
+        rev.enable("extra.site", FaultSpec::Probability(0.5));
+        for site in FaultPlan::SITES.iter().rev() {
+            rev.enable(site, FaultSpec::Probability(0.2));
+        }
+        for site in FaultPlan::SITES {
+            assert_eq!(
+                drain(&mut fwd, site, 1_000),
+                drain(&mut rev, site, 1_000),
+                "{site}: stream must not depend on registration order"
+            );
+        }
+    }
+
+    #[test]
+    fn fired_log_replays_as_nth_schedule() {
+        let mut a = FaultPlan::new(Rng::new(77));
+        a.enable(DMA_CORRUPT, FaultSpec::Probability(0.1));
+        let hits_a = drain(&mut a, DMA_CORRUPT, 500);
+        let log = a.fired_log();
+        let (site, fired) = log.first().expect("one site enabled");
+        assert_eq!(*site, DMA_CORRUPT);
+        assert_eq!(fired.len(), hits_a.iter().filter(|h| h.is_some()).count());
+        assert!(!fired.is_empty(), "10% over 500 draws must fire");
+        // Same seed + Nth(fired) reproduces the faults exactly — not
+        // just the hit pattern but the shaping entropy too, so a pinned
+        // schedule corrupts the very same bits.
+        let mut b = FaultPlan::new(Rng::new(77));
+        b.enable(DMA_CORRUPT, FaultSpec::Nth(fired.clone()));
+        let hits_b = drain(&mut b, DMA_CORRUPT, 500);
+        assert_eq!(hits_a, hits_b);
+    }
+
+    #[test]
+    fn contained_total_counts_only_corruption_sites() {
+        let mut world = World::new(12);
+        assert_eq!(contained_total(&world), 0, "no plan, nothing contained");
+        let rng = world.rng.fork();
+        world.insert(FaultPlan::new(rng));
+        recovered(&mut world, DMA_CORRUPT);
+        exhausted(&mut world, CPL_CORRUPT);
+        recovered(&mut world, TLP_HEADER);
+        recovered(&mut world, WIRE_DROP); // loss fault: not "contained corruption"
+        exhausted(&mut world, NVME_MEDIA);
+        assert_eq!(contained_total(&world), 3);
+        assert_eq!(exhausted_total(&world), 2);
     }
 }

@@ -49,6 +49,8 @@ pub mod detmap;
 pub mod engine;
 pub mod event;
 pub mod fault;
+pub mod fuzz;
+pub mod integrity;
 pub mod obs;
 pub mod queue;
 pub mod rng;
@@ -62,6 +64,8 @@ pub use detmap::{DetMap, DetSet};
 pub use engine::{Ctx, Simulator};
 pub use event::{Msg, Payload};
 pub use fault::{FaultPlan, FaultSpec, RecoveryConfig};
+pub use fuzz::{Counterexample, FuzzCase, FuzzConfig, FuzzReport, RunOutcome, Violation};
+pub use integrity::{fnv1a64, AuditEntry, IntegrityAudit};
 pub use obs::{
     chrome_trace, Anatomy, Json, MetricEntry, MetricValue, MetricsRegistry, MetricsReport,
     Recorder, Span,

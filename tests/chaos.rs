@@ -118,6 +118,11 @@ fn chaos_does_not_leak_engine_buffers() {
     for round in 0..6 {
         let _ = transfer_round(&mut tb, round);
     }
+    // Retire the storm before the probe: ECRC draws per TLP, so a 4 MiB
+    // read under a live 1% storm would fail on corruption alone and mask
+    // what this test is about. An empty plan keeps recovery timers armed
+    // but fires nothing.
+    tb.install_faults(FaultPlan::new);
     // Every chunk must have come back to the allocator: a command that
     // needs a large slice of the pool still succeeds.
     let done = tb.run_one_job(vec![
