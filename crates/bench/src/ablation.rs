@@ -19,7 +19,6 @@ use dcs_nic::TcpFlow;
 use dcs_sim::{time, Bandwidth};
 use dcs_workloads::scenario::DesignUnderTest;
 
-
 use crate::fig11::measure;
 use crate::probe::{Inbox, Submit};
 
@@ -50,7 +49,10 @@ pub fn size_sweep(sizes: &[usize]) -> Vec<SizePoint> {
 /// The size at which SW-ctrl P2P's single-op latency first beats
 /// DCS-ctrl's (`None` if DCS wins everywhere in the swept range).
 pub fn latency_crossover(points: &[SizePoint]) -> Option<usize> {
-    points.iter().find(|p| p.totals[2] > p.totals[1]).map(|p| p.len)
+    points
+        .iter()
+        .find(|p| p.totals[2] > p.totals[1])
+        .map(|p| p.len)
 }
 
 /// Swift GET-heavy run on a DCS testbed whose NDP banks are sized for
@@ -65,9 +67,7 @@ pub fn ndp_scaling(ndp_target_gbps: f64, quick: bool) -> (f64, f64) {
     use dcs_nic::WireConfig;
     use dcs_pcie::PhysMemory;
     use dcs_sim::Simulator;
-    use dcs_workloads::scenario::{
-        start_scenario, Request, ScenarioConfig, ScenarioOutcome,
-    };
+    use dcs_workloads::scenario::{start_scenario, Request, ScenarioConfig, ScenarioOutcome};
 
     let mut sim = Simulator::new(17);
     let mut builder = DcsNodeBuilder::new("server");
@@ -82,36 +82,48 @@ pub fn ndp_scaling(ndp_target_gbps: f64, quick: bool) -> (f64, f64) {
     let server = na.driver;
     let client = nb.driver;
     let len = 256 * 1024usize;
-    let make = Box::new(move |_rng: &mut dcs_sim::Rng, slot: usize, reply_to, next_id: &mut u64| {
-        let mut id = || {
-            let i = *next_id;
-            *next_id += 1;
-            i
-        };
-        let flow = TcpFlow::example(1, 2, 25_000 + slot as u16, 8_300 + slot as u16);
-        let server_job = Job {
-            id: id(),
-            ops: vec![
-                Op::SsdRead { ssd: 0, lba: 0, len },
-                Op::Process { function: NdpFunction::Md5, aux: vec![] },
-                Op::NicSend { flow, seq: 0 },
-            ],
-            reply_to,
-            tag: "kernel-get",
-        };
-        let client_job = Job {
-            id: id(),
-            ops: vec![Op::NicRecv { flow: flow.reversed(), len }],
-            reply_to,
-            tag: "client",
-        };
-        Request {
-            jobs: vec![(client, client_job), (server, server_job)],
-            bytes: len,
-            app_cost_ns: 0,
-            app_tag: "app",
-        }
-    });
+    let make = Box::new(
+        move |_rng: &mut dcs_sim::Rng, slot: usize, reply_to, next_id: &mut u64| {
+            let mut id = || {
+                let i = *next_id;
+                *next_id += 1;
+                i
+            };
+            let flow = TcpFlow::example(1, 2, 25_000 + slot as u16, 8_300 + slot as u16);
+            let server_job = Job {
+                id: id(),
+                ops: vec![
+                    Op::SsdRead {
+                        ssd: 0,
+                        lba: 0,
+                        len,
+                    },
+                    Op::Process {
+                        function: NdpFunction::Md5,
+                        aux: vec![],
+                    },
+                    Op::NicSend { flow, seq: 0 },
+                ],
+                reply_to,
+                tag: "kernel-get",
+            };
+            let client_job = Job {
+                id: id(),
+                ops: vec![Op::NicRecv {
+                    flow: flow.reversed(),
+                    len,
+                }],
+                reply_to,
+                tag: "client",
+            };
+            Request {
+                jobs: vec![(client, client_job), (server, server_job)],
+                bytes: len,
+                app_cost_ns: 0,
+                app_tag: "app",
+            }
+        },
+    );
     let duration = if quick { time::ms(20) } else { time::ms(60) };
     start_scenario(
         &mut sim,
@@ -154,8 +166,12 @@ pub fn outstanding_sweep(limits: &[usize]) -> Vec<OutstandingPoint> {
             let mut sim = Simulator::new(3);
             let mut a = DcsNodeBuilder::new("a");
             a.engine.nvme_outstanding = limit;
-            let (na, _nb) =
-                build_dcs_pair(&mut sim, &a, &DcsNodeBuilder::new("b"), WireConfig::default());
+            let (na, _nb) = build_dcs_pair(
+                &mut sim,
+                &a,
+                &DcsNodeBuilder::new("b"),
+                WireConfig::default(),
+            );
             let probe = sim.add("probe", crate::probe::Probe);
             sim.run();
             let len = 16 * 1024;
@@ -167,7 +183,11 @@ pub fn outstanding_sweep(limits: &[usize]) -> Vec<OutstandingPoint> {
             for i in 0..n {
                 let job = D2dJob {
                     id: i,
-                    ops: vec![D2dOp::SsdRead { ssd: 0, lba: (i * 4) % 4096, len }],
+                    ops: vec![D2dOp::SsdRead {
+                        ssd: 0,
+                        lba: (i * 4) % 4096,
+                        len,
+                    }],
                     reply_to: probe,
                     tag: "sweep",
                 };

@@ -40,17 +40,31 @@ pub fn capture(design: DesignUnderTest) -> TraceCapture {
 
     let mut done = Vec::new();
     done.push(ptb.run_server_job(
-        vec![D2dOp::SsdRead { ssd: 0, lba: 64, len: payload.len() }],
+        vec![D2dOp::SsdRead {
+            ssd: 0,
+            lba: 64,
+            len: payload.len(),
+        }],
         "anatomy-read",
     ));
     let flow = TcpFlow::example(1, 2, 47_000, 9_470);
     done.extend(ptb.run_pair(
         vec![
-            D2dOp::SsdRead { ssd: 0, lba: 64, len: payload.len() },
-            D2dOp::Process { function: NdpFunction::Md5, aux: vec![] },
+            D2dOp::SsdRead {
+                ssd: 0,
+                lba: 64,
+                len: payload.len(),
+            },
+            D2dOp::Process {
+                function: NdpFunction::Md5,
+                aux: vec![],
+            },
             D2dOp::NicSend { flow, seq: 0 },
         ],
-        vec![D2dOp::NicRecv { flow: flow.reversed(), len: payload.len() }],
+        vec![D2dOp::NicRecv {
+            flow: flow.reversed(),
+            len: payload.len(),
+        }],
         "anatomy-d2d",
     ));
 
@@ -66,7 +80,11 @@ pub fn capture(design: DesignUnderTest) -> TraceCapture {
             requests.push((d.id, total));
         }
     }
-    TraceCapture { trace_json: chrome_trace(rec), table, requests }
+    TraceCapture {
+        trace_json: chrome_trace(rec),
+        table,
+        requests,
+    }
 }
 
 /// Renders the anatomy experiment: the table plus a one-line summary of
@@ -75,7 +93,10 @@ pub fn render() -> String {
     let cap = capture(DesignUnderTest::DcsCtrl);
     let events = Json::parse(&cap.trace_json)
         .ok()
-        .and_then(|j| j.get("traceEvents").and_then(|e| e.as_arr().map(|a| a.len())))
+        .and_then(|j| {
+            j.get("traceEvents")
+                .and_then(|e| e.as_arr().map(|a| a.len()))
+        })
         .unwrap_or(0);
     let mut out = String::from(
         "Latency anatomy — DCS-ctrl, per-request sim-time segments (sum == end-to-end)\n",

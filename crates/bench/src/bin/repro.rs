@@ -1,13 +1,14 @@
 //! `repro` — regenerate every table and figure of the DCS-ctrl paper.
 //!
 //! ```text
-//! repro [--quick] [--trace-out FILE] [--json-out DIR]
-//!       [all|fig2|fig3|fig8|fig11|fig12|fig13|table3|table4|ablation|faults|integrity|cluster|cluster-failover|anatomy]...
+//! repro [--quick] [--list] [--trace-out FILE] [--json-out DIR]
+//!       [all|fig2|fig3|fig8|fig11|fig12|fig13|table3|table4|ablation|faults|integrity|cluster|cluster-failover|anatomy|store]...
 //! ```
 //!
 //! With no experiment arguments, runs everything. `--quick` shortens the
 //! workload windows (useful for smoke runs; EXPERIMENTS.md numbers come
-//! from the full runs). `--trace-out FILE` additionally runs a traced
+//! from the full runs). `--list` prints the experiment names, one per
+//! line, and exits. `--trace-out FILE` additionally runs a traced
 //! request mix and writes Chrome trace-event JSON (open in Perfetto).
 //! `--json-out DIR` writes machine-readable `BENCH_<exp>.json` files for
 //! experiments with structured reports. Unknown experiment names are
@@ -19,9 +20,22 @@ use std::fs;
 use std::process::exit;
 
 /// Every experiment, in presentation order.
-const EXPERIMENTS: [&str; 14] = [
-    "table3", "table4", "fig2", "fig3", "fig8", "fig11", "fig12", "fig13", "ablation", "faults",
-    "integrity", "cluster", "cluster-failover", "anatomy",
+const EXPERIMENTS: [&str; 15] = [
+    "table3",
+    "table4",
+    "fig2",
+    "fig3",
+    "fig8",
+    "fig11",
+    "fig12",
+    "fig13",
+    "ablation",
+    "faults",
+    "integrity",
+    "cluster",
+    "cluster-failover",
+    "anatomy",
+    "store",
 ];
 
 fn main() {
@@ -34,6 +48,13 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            // Machine-friendly enumeration (shell completion, CI loops).
+            "--list" => {
+                for e in EXPERIMENTS {
+                    println!("{e}");
+                }
+                return;
+            }
             "--trace-out" => match it.next() {
                 Some(p) => trace_out = Some(p.clone()),
                 None => {
@@ -50,7 +71,7 @@ fn main() {
             },
             s if s.starts_with("--") => {
                 eprintln!("unknown flag: {s}");
-                eprintln!("flags: --quick --trace-out FILE --json-out DIR");
+                eprintln!("flags: --quick --list --trace-out FILE --json-out DIR");
                 exit(2);
             }
             s => requested.push(s),
@@ -96,10 +117,7 @@ fn main() {
             // fuzz violation writes repro artifacts and fails the run.
             "integrity" => {
                 let mut out = dcs_bench::integrity::render(quick);
-                match dcs_bench::integrity::fuzz_smoke(
-                    quick,
-                    std::path::Path::new("fuzz-repro"),
-                ) {
+                match dcs_bench::integrity::fuzz_smoke(quick, std::path::Path::new("fuzz-repro")) {
                     Ok(summary) => out.push_str(&summary),
                     Err(violation) => {
                         println!("{out}");
@@ -112,6 +130,7 @@ fn main() {
             "cluster" => dcs_bench::cluster::render(quick),
             "cluster-failover" => dcs_bench::cluster::render_failover(quick),
             "anatomy" => dcs_bench::anatomy::render(),
+            "store" => dcs_bench::store::render(quick),
             other => unreachable!("validated above: {other}"),
         };
         println!("{out}");
@@ -133,17 +152,27 @@ fn main() {
             }
             println!("wrote {path}");
         }
+        if wanted.contains(&"store") {
+            let path = format!("{dir}/BENCH_cluster.json");
+            let body = dcs_bench::store::json_report(quick).render();
+            if let Err(e) = fs::write(&path, body) {
+                eprintln!("cannot write {path}: {e}");
+                exit(1);
+            }
+            println!("wrote {path}");
+        }
     }
 
     if let Some(path) = &trace_out {
-        let cap = dcs_bench::anatomy::capture(
-            dcs_workloads::scenario::DesignUnderTest::DcsCtrl,
-        );
+        let cap = dcs_bench::anatomy::capture(dcs_workloads::scenario::DesignUnderTest::DcsCtrl);
         if let Err(e) = fs::write(path, &cap.trace_json) {
             eprintln!("cannot write {path}: {e}");
             exit(1);
         }
-        println!("wrote {path} ({} requests traced; open in Perfetto)", cap.requests.len());
+        println!(
+            "wrote {path} ({} requests traced; open in Perfetto)",
+            cap.requests.len()
+        );
         print!("{}", cap.table);
     }
 }

@@ -71,7 +71,11 @@ pub fn run_degrade(policy: LbPolicy, quick: bool) -> ClusterReport {
         nodes: 4,
         policy,
         offered_gbps_per_node: BASE_GBPS,
-        degrade: Some(Degrade { node: 0, at_ns: cfg.warmup_ns, factor: 0.1 }),
+        degrade: Some(Degrade {
+            node: 0,
+            at_ns: cfg.warmup_ns,
+            factor: 0.1,
+        }),
         ..cfg
     })
 }
@@ -85,7 +89,10 @@ pub fn run_failover(policy: LbPolicy, health: HealthConfig, quick: bool) -> Clus
         nodes: 4,
         policy,
         offered_gbps_per_node: FAILOVER_GBPS,
-        node_faults: vec![NodeFault::Crash { node: 1, at_ns: crash_at }],
+        node_faults: vec![NodeFault::Crash {
+            node: 1,
+            at_ns: crash_at,
+        }],
         health,
         ..cfg
     })
@@ -110,7 +117,11 @@ pub fn run_hang(quick: bool) -> ClusterReport {
         nodes: 4,
         policy: LbPolicy::JoinShortestQueue,
         offered_gbps_per_node: FAILOVER_GBPS,
-        node_faults: vec![NodeFault::Hang { node: 2, at_ns: at, for_ns }],
+        node_faults: vec![NodeFault::Hang {
+            node: 2,
+            at_ns: at,
+            for_ns,
+        }],
         health,
         ..cfg
     })
@@ -141,7 +152,10 @@ pub fn render_failover(quick: bool) -> String {
     }
 
     out.push_str("\n  Ablation under JSQ — the same crash with the health layer off:\n");
-    let arms = [("health on ", HealthConfig::default()), ("health off", HealthConfig::disabled())];
+    let arms = [
+        ("health on ", HealthConfig::default()),
+        ("health off", HealthConfig::disabled()),
+    ];
     for (name, health) in arms {
         let r = run_failover(LbPolicy::JoinShortestQueue, health, quick);
         out.push_str(&format!(
@@ -154,9 +168,7 @@ pub fn render_failover(quick: bool) -> String {
         ));
     }
 
-    out.push_str(
-        "\n  Hang: node 2 frozen mid-window, sluggish detector (hedges cover the gap):\n",
-    );
+    out.push_str("\n  Hang: node 2 frozen mid-window, sluggish detector (hedges cover the gap):\n");
     out.push_str(&run_hang(quick).render("    jsq"));
     out
 }
@@ -167,7 +179,9 @@ pub fn render(quick: bool) -> String {
         "Cluster sweep — N DCS-ctrl nodes behind a ToR switch, Swift-style GET/PUT mix\n\n",
     );
 
-    out.push_str(&format!("  Scaling at {BASE_GBPS} Gbps/node offered, JSQ:\n"));
+    out.push_str(&format!(
+        "  Scaling at {BASE_GBPS} Gbps/node offered, JSQ:\n"
+    ));
     for nodes in [1usize, 2, 4, 8] {
         let r = run_scale(nodes, quick);
         out.push_str(&format!(

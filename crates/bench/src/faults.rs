@@ -53,11 +53,20 @@ impl FaultRow {
 /// Runs `rounds` paired transfers on `design` with every fault site
 /// firing at `rate` (0 disables injection entirely).
 pub fn run(design: DesignUnderTest, rate: f64, rounds: usize) -> FaultRow {
-    let mut tb = Testbed::new(design, &TestbedConfig { seed: 0xFA17, ..Default::default() });
+    let mut tb = Testbed::new(
+        design,
+        &TestbedConfig {
+            seed: 0xFA17,
+            ..Default::default()
+        },
+    );
     tb.sim.run();
     let pat: Vec<u8> = (0..LEN).map(|i| (i * 31 % 251) as u8).collect();
     let addr = tb.server.ssds[0].lba_addr(0);
-    tb.sim.world_mut().expect_mut::<PhysMemory>().write(addr, &pat);
+    tb.sim
+        .world_mut()
+        .expect_mut::<PhysMemory>()
+        .write(addr, &pat);
     if rate > 0.0 {
         tb.install_faults(|rng| FaultPlan::uniform(rate, rng));
     }
@@ -70,14 +79,27 @@ pub fn run(design: DesignUnderTest, rate: f64, rounds: usize) -> FaultRow {
         let done = tb.run_job_batch(vec![
             (
                 server,
-                vec![D2dOp::SsdRead { ssd: 0, lba: 0, len: LEN }, D2dOp::NicSend { flow, seq: 0 }],
+                vec![
+                    D2dOp::SsdRead {
+                        ssd: 0,
+                        lba: 0,
+                        len: LEN,
+                    },
+                    D2dOp::NicSend { flow, seq: 0 },
+                ],
                 "fault-send",
             ),
             (
                 client,
                 vec![
-                    D2dOp::NicRecv { flow: flow.reversed(), len: LEN },
-                    D2dOp::Process { function: NdpFunction::Md5, aux: vec![] },
+                    D2dOp::NicRecv {
+                        flow: flow.reversed(),
+                        len: LEN,
+                    },
+                    D2dOp::Process {
+                        function: NdpFunction::Md5,
+                        aux: vec![],
+                    },
                 ],
                 "fault-recv",
             ),
@@ -105,15 +127,26 @@ pub fn run(design: DesignUnderTest, rate: f64, rounds: usize) -> FaultRow {
 pub fn render(quick: bool) -> String {
     let rounds = if quick { 4 } else { 12 };
     let rates = [0.0, 0.001, 0.005, 0.01];
-    let designs =
-        [DesignUnderTest::SwOpt, DesignUnderTest::SwP2p, DesignUnderTest::DcsCtrl];
+    let designs = [
+        DesignUnderTest::SwOpt,
+        DesignUnderTest::SwP2p,
+        DesignUnderTest::DcsCtrl,
+    ];
     let mut out = format!(
         "Fault sweep — paired {} KiB SSD→NIC→NIC→MD5 transfers, all sites firing\n",
         LEN / 1024
     );
     out.push_str(&format!(
         "  {:<12} {:>6} {:>7} {:>10} {:>10} {:>9} {:>10} {:>10} {:>8}\n",
-        "design", "rate", "ok", "mean us", "p99 us", "injected", "recovered", "exhausted", "retries"
+        "design",
+        "rate",
+        "ok",
+        "mean us",
+        "p99 us",
+        "injected",
+        "recovered",
+        "exhausted",
+        "retries"
     ));
     for design in designs {
         for rate in rates {
@@ -134,12 +167,20 @@ pub fn render(quick: bool) -> String {
         }
     }
     out.push_str("\n  Per-site tallies, dcs-ctrl @ 1.0% (injected/recovered/exhausted):\n");
-    let mut tb =
-        Testbed::new(DesignUnderTest::DcsCtrl, &TestbedConfig { seed: 0xFA17, ..Default::default() });
+    let mut tb = Testbed::new(
+        DesignUnderTest::DcsCtrl,
+        &TestbedConfig {
+            seed: 0xFA17,
+            ..Default::default()
+        },
+    );
     tb.sim.run();
     let pat: Vec<u8> = (0..LEN).map(|i| (i * 31 % 251) as u8).collect();
     let addr = tb.server.ssds[0].lba_addr(0);
-    tb.sim.world_mut().expect_mut::<PhysMemory>().write(addr, &pat);
+    tb.sim
+        .world_mut()
+        .expect_mut::<PhysMemory>()
+        .write(addr, &pat);
     tb.install_faults(|rng| FaultPlan::uniform(0.01, rng));
     for round in 0..rounds {
         let flow = TcpFlow::example(1, 2, 45_000 + round as u16, 6_000 + round as u16);
@@ -148,12 +189,22 @@ pub fn render(quick: bool) -> String {
         let _ = tb.run_job_batch(vec![
             (
                 server,
-                vec![D2dOp::SsdRead { ssd: 0, lba: 0, len: LEN }, D2dOp::NicSend { flow, seq: 0 }],
+                vec![
+                    D2dOp::SsdRead {
+                        ssd: 0,
+                        lba: 0,
+                        len: LEN,
+                    },
+                    D2dOp::NicSend { flow, seq: 0 },
+                ],
                 "site-send",
             ),
             (
                 client,
-                vec![D2dOp::NicRecv { flow: flow.reversed(), len: LEN }],
+                vec![D2dOp::NicRecv {
+                    flow: flow.reversed(),
+                    len: LEN,
+                }],
                 "site-recv",
             ),
         ]);

@@ -26,19 +26,32 @@ pub struct Fig11Row {
 }
 
 /// The designs Figure 11 compares.
-pub const DESIGNS: [DesignUnderTest; 3] =
-    [DesignUnderTest::SwOpt, DesignUnderTest::SwP2p, DesignUnderTest::DcsCtrl];
+pub const DESIGNS: [DesignUnderTest; 3] = [
+    DesignUnderTest::SwOpt,
+    DesignUnderTest::SwP2p,
+    DesignUnderTest::DcsCtrl,
+];
 
 /// Runs one design's single-op measurement.
 pub fn measure(design: DesignUnderTest, len: usize, with_processing: bool) -> Breakdown {
     let mut rig = ProbedTestbed::new(design);
     let payload: Vec<u8> = (0..len).map(|i| (i * 37 % 251) as u8).collect();
     rig.seed_flash(0, &payload);
-    let mut ops = vec![D2dOp::SsdRead { ssd: 0, lba: 0, len }];
+    let mut ops = vec![D2dOp::SsdRead {
+        ssd: 0,
+        lba: 0,
+        len,
+    }];
     if with_processing {
-        ops.push(D2dOp::Process { function: NdpFunction::Md5, aux: vec![] });
+        ops.push(D2dOp::Process {
+            function: NdpFunction::Md5,
+            aux: vec![],
+        });
     }
-    ops.push(D2dOp::NicSend { flow: TcpFlow::example(1, 2, 40_000, 9_000), seq: 0 });
+    ops.push(D2dOp::NicSend {
+        flow: TcpFlow::example(1, 2, 40_000, 9_000),
+        seq: 0,
+    });
     rig.run_server_job(ops, "fig11").breakdown
 }
 
@@ -46,11 +59,17 @@ pub fn measure(design: DesignUnderTest, len: usize, with_processing: bool) -> Br
 pub fn run(len: usize) -> (Vec<Fig11Row>, Vec<Fig11Row>) {
     let a = DESIGNS
         .iter()
-        .map(|&design| Fig11Row { design, breakdown: measure(design, len, false) })
+        .map(|&design| Fig11Row {
+            design,
+            breakdown: measure(design, len, false),
+        })
         .collect();
     let b = DESIGNS
         .iter()
-        .map(|&design| Fig11Row { design, breakdown: measure(design, len, true) })
+        .map(|&design| Fig11Row {
+            design,
+            breakdown: measure(design, len, true),
+        })
         .collect();
     (a, b)
 }
@@ -84,17 +103,16 @@ pub fn total_reduction(rows: &[Fig11Row]) -> f64 {
 /// service (read/write), wire time, and the hash computation itself.
 pub fn software_latency(b: &Breakdown) -> u64 {
     use dcs_sim::Category as C;
-    b.total()
-        - b.get(C::Read)
-        - b.get(C::Write)
-        - b.get(C::Wire)
-        - b.get(C::Hash)
+    b.total() - b.get(C::Read) - b.get(C::Write) - b.get(C::Wire) - b.get(C::Hash)
 }
 
 /// Renders both sub-figures with the headline reductions.
 pub fn render(len: usize) -> String {
     let (a, b) = run(len);
-    let mut out = format!("Figure 11 — inter-device communication latency ({} KiB)\n", len / 1024);
+    let mut out = format!(
+        "Figure 11 — inter-device communication latency ({} KiB)\n",
+        len / 1024
+    );
     out.push_str("\n(a) SSD -> NIC\n");
     for row in &a {
         out.push_str(&render_breakdown(row.design.label(), &row.breakdown));
@@ -127,7 +145,11 @@ mod tests {
         // Total latency ordering: DCS < P2P <= Opt in both sub-figures.
         for rows in [&a, &b] {
             let total = |d: DesignUnderTest| {
-                rows.iter().find(|r| r.design == d).unwrap().breakdown.total()
+                rows.iter()
+                    .find(|r| r.design == d)
+                    .unwrap()
+                    .breakdown
+                    .total()
             };
             assert!(
                 total(DesignUnderTest::DcsCtrl) < total(DesignUnderTest::SwP2p),

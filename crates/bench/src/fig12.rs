@@ -51,7 +51,11 @@ pub fn run_hdfs_rows(quick: bool) -> Vec<(DesignUnderTest, WorkloadReport, Workl
 /// throughput (utilization normalized per Gbps to compare fairly).
 pub fn cpu_reduction(rows: &[(DesignUnderTest, WorkloadReport)]) -> f64 {
     let norm = |d: DesignUnderTest| {
-        let r = &rows.iter().find(|(x, _)| *x == d).expect("design measured").1;
+        let r = &rows
+            .iter()
+            .find(|(x, _)| *x == d)
+            .expect("design measured")
+            .1;
         r.cpu_utilization() / r.throughput_gbps().max(1e-9)
     };
     1.0 - norm(DesignUnderTest::DcsCtrl) / norm(DesignUnderTest::SwP2p)
@@ -89,7 +93,10 @@ mod tests {
             assert_eq!(r.failures, 0, "{d}");
         }
         let red = cpu_reduction(&rows);
-        assert!(red > 0.35, "reduction {red:.2} must approach the paper's 52%");
+        assert!(
+            red > 0.35,
+            "reduction {red:.2} must approach the paper's 52%"
+        );
         assert!(red < 0.95, "reduction {red:.2} must stay plausible");
     }
 
@@ -97,12 +104,18 @@ mod tests {
     fn hdfs_receiver_benefits_most() {
         let rows = run_hdfs_rows(true);
         let get = |d: DesignUnderTest| {
-            rows.iter().find(|(x, _, _)| *x == d).map(|(_, s, r)| (s.clone(), r.clone())).unwrap()
+            rows.iter()
+                .find(|(x, _, _)| *x == d)
+                .map(|(_, s, r)| (s.clone(), r.clone()))
+                .unwrap()
         };
         let (_, rcv_p2p) = get(DesignUnderTest::SwP2p);
         let (_, rcv_dcs) = get(DesignUnderTest::DcsCtrl);
         let norm_p2p = rcv_p2p.cpu_utilization() / rcv_p2p.throughput_gbps().max(1e-9);
         let norm_dcs = rcv_dcs.cpu_utilization() / rcv_dcs.throughput_gbps().max(1e-9);
-        assert!(norm_dcs < norm_p2p * 0.5, "receiver: dcs {norm_dcs:.4} vs p2p {norm_p2p:.4}");
+        assert!(
+            norm_dcs < norm_p2p * 0.5,
+            "receiver: dcs {norm_dcs:.4} vs p2p {norm_p2p:.4}"
+        );
     }
 }

@@ -32,7 +32,11 @@ fn project_rows(
         .map(|(design, gbps, util, cores)| Fig13Row {
             design,
             result: project(
-                ProjectionInput { measured_gbps: gbps, measured_util: util, cores },
+                ProjectionInput {
+                    measured_gbps: gbps,
+                    measured_util: util,
+                    cores,
+                },
                 TARGET_GBPS,
                 CORE_BUDGET,
             ),
@@ -115,6 +119,9 @@ mod tests {
             dcs.result.cores_at_target
         );
         let ratio = throughput_ratio(&rows);
-        assert!(ratio > 1.4, "throughput advantage {ratio:.2} must be near 2x");
+        assert!(
+            ratio > 1.4,
+            "throughput advantage {ratio:.2} must be near 2x"
+        );
     }
 }

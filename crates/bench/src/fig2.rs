@@ -58,7 +58,9 @@ pub fn render(len: usize) -> String {
             "#".repeat(width.max(1))
         ));
     }
-    out.push_str(&format!("  total: {total:.1} us; every gap between device phases is host software\n"));
+    out.push_str(&format!(
+        "  total: {total:.1} us; every gap between device phases is host software\n"
+    ));
     out
 }
 

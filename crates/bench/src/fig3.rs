@@ -45,15 +45,28 @@ impl Fig3Design {
     }
 
     /// All three, in figure order.
-    pub const ALL: [Fig3Design; 3] =
-        [Fig3Design::SwOpt, Fig3Design::SwP2p, Fig3Design::DeviceIntegration];
+    pub const ALL: [Fig3Design; 3] = [
+        Fig3Design::SwOpt,
+        Fig3Design::SwP2p,
+        Fig3Design::DeviceIntegration,
+    ];
 }
 
 fn micro_ops(len: usize) -> Vec<D2dOp> {
     vec![
-        D2dOp::SsdRead { ssd: 0, lba: 0, len },
-        D2dOp::Process { function: NdpFunction::Md5, aux: vec![] },
-        D2dOp::NicSend { flow: TcpFlow::example(1, 2, 41_000, 9_010), seq: 0 },
+        D2dOp::SsdRead {
+            ssd: 0,
+            lba: 0,
+            len,
+        },
+        D2dOp::Process {
+            function: NdpFunction::Md5,
+            aux: vec![],
+        },
+        D2dOp::NicSend {
+            flow: TcpFlow::example(1, 2, 41_000, 9_010),
+            seq: 0,
+        },
     ]
 }
 
@@ -61,14 +74,19 @@ fn micro_ops(len: usize) -> Vec<D2dOp> {
 fn integration_rig() -> (Simulator, ComponentId, ComponentId) {
     let mut sim = Simulator::new(5);
     sim.world_mut().insert(PhysMemory::new());
-    let flash = sim
-        .world_mut()
-        .expect_mut::<PhysMemory>()
-        .alloc_region("fused-flash", 8 << 30, PortId(1));
+    let flash =
+        sim.world_mut()
+            .expect_mut::<PhysMemory>()
+            .alloc_region("fused-flash", 8 << 30, PortId(1));
     let cpu = sim.add("fused-cpu", CpuPool::new("fused", 6));
     let exec = sim.add(
         "fused-exec",
-        IntegratedExecutor::new(IntegrationConfig::default(), KernelCosts::default(), cpu, flash),
+        IntegratedExecutor::new(
+            IntegrationConfig::default(),
+            KernelCosts::default(),
+            cpu,
+            flash,
+        ),
     );
     let probe = sim.add("probe", Probe);
     (sim, exec, probe)
@@ -81,7 +99,12 @@ pub fn latency(design: Fig3Design, len: usize) -> Breakdown {
         Fig3Design::SwP2p => single_sw(DesignUnderTest::SwP2p, len),
         Fig3Design::DeviceIntegration => {
             let (mut sim, exec, probe) = integration_rig();
-            let job = D2dJob { id: 1, ops: micro_ops(len), reply_to: probe, tag: "fig3" };
+            let job = D2dJob {
+                id: 1,
+                ops: micro_ops(len),
+                reply_to: probe,
+                tag: "fig3",
+            };
             sim.kickoff(probe, Submit { to: exec, job });
             sim.run();
             sim.world().expect::<Inbox>().0[0].breakdown.clone()
@@ -112,16 +135,26 @@ pub fn cpu_utilization(
     match design {
         Fig3Design::DeviceIntegration => {
             let (mut sim, exec, _probe) = integration_rig();
-            let make = Box::new(move |_rng: &mut dcs_sim::Rng, _slot: usize, reply_to, next_id: &mut u64| {
-                let id = *next_id;
-                *next_id += 1;
-                Request {
-                    jobs: vec![(exec, D2dJob { id, ops: micro_ops(len), reply_to, tag: "kernel" })],
-                    bytes: len,
-                    app_cost_ns: 0,
-                    app_tag: "app",
-                }
-            });
+            let make = Box::new(
+                move |_rng: &mut dcs_sim::Rng, _slot: usize, reply_to, next_id: &mut u64| {
+                    let id = *next_id;
+                    *next_id += 1;
+                    Request {
+                        jobs: vec![(
+                            exec,
+                            D2dJob {
+                                id,
+                                ops: micro_ops(len),
+                                reply_to,
+                                tag: "kernel",
+                            },
+                        )],
+                        bytes: len,
+                        app_cost_ns: 0,
+                        app_tag: "app",
+                    }
+                },
+            );
             start_scenario(&mut sim, scenario, make, vec![("fused".to_string(), 6)]);
             sim.run();
             let outcome = sim.world().expect::<ScenarioOutcome>();
@@ -138,21 +171,31 @@ pub fn cpu_utilization(
             let target = tb.server.submit_to;
             let key = tb.server.cpu_key.clone();
             let cores = tb.server.cores;
-            let make = Box::new(move |_rng: &mut dcs_sim::Rng, slot: usize, reply_to, next_id: &mut u64| {
-                let id = *next_id;
-                *next_id += 1;
-                let mut ops = micro_ops(len);
-                // Distinct flow per slot keeps streams separated.
-                if let Some(D2dOp::NicSend { flow, .. }) = ops.last_mut() {
-                    *flow = TcpFlow::example(1, 2, 41_000 + slot as u16, 9_010 + slot as u16);
-                }
-                Request {
-                    jobs: vec![(target, D2dJob { id, ops, reply_to, tag: "kernel" })],
-                    bytes: len,
-                    app_cost_ns: 0,
-                    app_tag: "app",
-                }
-            });
+            let make = Box::new(
+                move |_rng: &mut dcs_sim::Rng, slot: usize, reply_to, next_id: &mut u64| {
+                    let id = *next_id;
+                    *next_id += 1;
+                    let mut ops = micro_ops(len);
+                    // Distinct flow per slot keeps streams separated.
+                    if let Some(D2dOp::NicSend { flow, .. }) = ops.last_mut() {
+                        *flow = TcpFlow::example(1, 2, 41_000 + slot as u16, 9_010 + slot as u16);
+                    }
+                    Request {
+                        jobs: vec![(
+                            target,
+                            D2dJob {
+                                id,
+                                ops,
+                                reply_to,
+                                tag: "kernel",
+                            },
+                        )],
+                        bytes: len,
+                        app_cost_ns: 0,
+                        app_tag: "app",
+                    }
+                },
+            );
             start_scenario(&mut tb.sim, scenario, make, vec![(key.clone(), cores)]);
             tb.sim.run();
             let outcome = tb.sim.world().expect::<ScenarioOutcome>();
@@ -185,7 +228,11 @@ pub fn render(len: usize, quick: bool) -> String {
         .max(1e-9);
     for (d, m) in &utils {
         let total: f64 = m.values().sum();
-        out.push_str(&format!("  {:<20} {:>6.2} (normalized to SW opt)\n", d.label(), total / norm));
+        out.push_str(&format!(
+            "  {:<20} {:>6.2} (normalized to SW opt)\n",
+            d.label(),
+            total / norm
+        ));
         for (tag, u) in m {
             out.push_str(&format!("      {tag:<16} {:>5.1}% of cores\n", u * 100.0));
         }
@@ -211,10 +258,15 @@ mod tests {
     fn cpu_stream_ordering_matches_figure() {
         let len = 64 * 1024;
         let dur = time::ms(8);
-        let sw: f64 = cpu_utilization(Fig3Design::SwOpt, len, 3.0, dur).values().sum();
-        let p2p: f64 = cpu_utilization(Fig3Design::SwP2p, len, 3.0, dur).values().sum();
-        let fused: f64 =
-            cpu_utilization(Fig3Design::DeviceIntegration, len, 3.0, dur).values().sum();
+        let sw: f64 = cpu_utilization(Fig3Design::SwOpt, len, 3.0, dur)
+            .values()
+            .sum();
+        let p2p: f64 = cpu_utilization(Fig3Design::SwP2p, len, 3.0, dur)
+            .values()
+            .sum();
+        let fused: f64 = cpu_utilization(Fig3Design::DeviceIntegration, len, 3.0, dur)
+            .values()
+            .sum();
         assert!(sw > 0.0);
         assert!(p2p <= sw * 1.05, "p2p {p2p} vs sw {sw}");
         assert!(fused < p2p * 0.6, "fused {fused} vs p2p {p2p}");

@@ -17,8 +17,11 @@ use dcs_workloads::scenario::{
 };
 
 /// The designs Figure 8 compares.
-pub const DESIGNS: [DesignUnderTest; 3] =
-    [DesignUnderTest::Linux, DesignUnderTest::SwOpt, DesignUnderTest::DcsCtrl];
+pub const DESIGNS: [DesignUnderTest; 3] = [
+    DesignUnderTest::Linux,
+    DesignUnderTest::SwOpt,
+    DesignUnderTest::DcsCtrl,
+];
 
 /// Streams SSD→NIC ops and returns the server's CPU breakdown.
 pub fn kernel_utilization(
@@ -32,23 +35,34 @@ pub fn kernel_utilization(
     let target = tb.server.submit_to;
     let key = tb.server.cpu_key.clone();
     let cores = tb.server.cores;
-    let make = Box::new(move |_rng: &mut dcs_sim::Rng, slot: usize, reply_to, next_id: &mut u64| {
-        let id = *next_id;
-        *next_id += 1;
-        let job = D2dJob {
-            id,
-            ops: vec![
-                D2dOp::SsdRead { ssd: 0, lba: (id * 16) % (1 << 20), len },
-                D2dOp::NicSend {
-                    flow: TcpFlow::example(1, 2, 42_000 + slot as u16, 9_020 + slot as u16),
-                    seq: 0,
-                },
-            ],
-            reply_to,
-            tag: "kernel",
-        };
-        Request { jobs: vec![(target, job)], bytes: len, app_cost_ns: 0, app_tag: "app" }
-    });
+    let make = Box::new(
+        move |_rng: &mut dcs_sim::Rng, slot: usize, reply_to, next_id: &mut u64| {
+            let id = *next_id;
+            *next_id += 1;
+            let job = D2dJob {
+                id,
+                ops: vec![
+                    D2dOp::SsdRead {
+                        ssd: 0,
+                        lba: (id * 16) % (1 << 20),
+                        len,
+                    },
+                    D2dOp::NicSend {
+                        flow: TcpFlow::example(1, 2, 42_000 + slot as u16, 9_020 + slot as u16),
+                        seq: 0,
+                    },
+                ],
+                reply_to,
+                tag: "kernel",
+            };
+            Request {
+                jobs: vec![(target, job)],
+                bytes: len,
+                app_cost_ns: 0,
+                app_tag: "app",
+            }
+        },
+    );
     let scenario = ScenarioConfig {
         duration_ns,
         warmup_ns: duration_ns / 5,
@@ -65,7 +79,10 @@ pub fn kernel_utilization(
 pub fn collect(quick: bool) -> Vec<(DesignUnderTest, BTreeMap<String, f64>)> {
     let len = 64 * 1024;
     let duration = if quick { time::ms(10) } else { time::ms(40) };
-    DESIGNS.iter().map(|&d| (d, kernel_utilization(d, len, 4.0, duration))).collect()
+    DESIGNS
+        .iter()
+        .map(|&d| (d, kernel_utilization(d, len, 4.0, duration)))
+        .collect()
 }
 
 /// The figure's data as machine-readable JSON (`BENCH_fig8.json`).
@@ -74,8 +91,10 @@ pub fn json_report(rows: &[(DesignUnderTest, BTreeMap<String, f64>)]) -> dcs_sim
     let designs = rows
         .iter()
         .map(|(d, m)| {
-            let breakdown: Vec<(String, Json)> =
-                m.iter().map(|(k, v)| (k.clone(), Json::Float(*v))).collect();
+            let breakdown: Vec<(String, Json)> = m
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Float(*v)))
+                .collect();
             let total: f64 = m.values().sum();
             (
                 d.label().to_string(),
@@ -88,7 +107,10 @@ pub fn json_report(rows: &[(DesignUnderTest, BTreeMap<String, f64>)]) -> dcs_sim
         .collect();
     Json::Obj(vec![
         ("experiment".into(), Json::Str("fig8".into())),
-        ("workload".into(), Json::Str("ssd-to-nic 64KiB @ 4Gbps".into())),
+        (
+            "workload".into(),
+            Json::Str("ssd-to-nic 64KiB @ 4Gbps".into()),
+        ),
         ("unit".into(), Json::Str("fraction_of_cores".into())),
         ("designs".into(), Json::Obj(designs)),
     ])
@@ -96,8 +118,9 @@ pub fn json_report(rows: &[(DesignUnderTest, BTreeMap<String, f64>)]) -> dcs_sim
 
 /// Renders the figure.
 pub fn render(quick: bool) -> String {
-    let mut out =
-        String::from("Figure 8 — kernel-side CPU utilization, SSD->NIC streaming (64 KiB ops, 4 Gbps)\n");
+    let mut out = String::from(
+        "Figure 8 — kernel-side CPU utilization, SSD->NIC streaming (64 KiB ops, 4 Gbps)\n",
+    );
     let rows = collect(quick);
     let linux_total: f64 = rows[0].1.values().sum();
     for (d, m) in &rows {
@@ -109,7 +132,9 @@ pub fn render(quick: bool) -> String {
             total / linux_total.max(1e-9)
         ));
     }
-    out.push_str("  (paper: DCS-ctrl reduces kernel-side CPU as much as the published SW optimizations)\n");
+    out.push_str(
+        "  (paper: DCS-ctrl reduces kernel-side CPU as much as the published SW optimizations)\n",
+    );
     out
 }
 
@@ -121,10 +146,19 @@ mod tests {
     fn dcs_kernel_cpu_is_far_below_linux() {
         let len = 64 * 1024;
         let dur = time::ms(8);
-        let linux: f64 = kernel_utilization(DesignUnderTest::Linux, len, 3.0, dur).values().sum();
-        let opt: f64 = kernel_utilization(DesignUnderTest::SwOpt, len, 3.0, dur).values().sum();
-        let dcs: f64 = kernel_utilization(DesignUnderTest::DcsCtrl, len, 3.0, dur).values().sum();
+        let linux: f64 = kernel_utilization(DesignUnderTest::Linux, len, 3.0, dur)
+            .values()
+            .sum();
+        let opt: f64 = kernel_utilization(DesignUnderTest::SwOpt, len, 3.0, dur)
+            .values()
+            .sum();
+        let dcs: f64 = kernel_utilization(DesignUnderTest::DcsCtrl, len, 3.0, dur)
+            .values()
+            .sum();
         assert!(linux > opt, "optimizations must help: {linux} vs {opt}");
-        assert!(dcs < opt * 0.5, "hardware control must slash it: {dcs} vs {opt}");
+        assert!(
+            dcs < opt * 0.5,
+            "hardware control must slash it: {dcs} vs {opt}"
+        );
     }
 }

@@ -34,7 +34,9 @@ const LEN: usize = 16 * 1024;
 
 /// Deterministic payload pattern the audits check against.
 fn pattern() -> Vec<u8> {
-    (0..LEN).map(|i| (i.wrapping_mul(2654435761) >> 7) as u8).collect()
+    (0..LEN)
+        .map(|i| (i.wrapping_mul(2654435761) >> 7) as u8)
+        .collect()
 }
 
 /// One (design, rate) cell of the corruption sweep.
@@ -64,10 +66,19 @@ pub struct IntegrityRow {
 /// Builds a settled testbed with the pattern on flash and an
 /// [`IntegrityAudit`] installed.
 fn audit_testbed(design: DesignUnderTest, seed: u64, pat: &[u8]) -> Testbed {
-    let mut tb = Testbed::new(design, &TestbedConfig { seed, ..Default::default() });
+    let mut tb = Testbed::new(
+        design,
+        &TestbedConfig {
+            seed,
+            ..Default::default()
+        },
+    );
     tb.sim.run();
     let addr = tb.server.ssds[0].lba_addr(0);
-    tb.sim.world_mut().expect_mut::<PhysMemory>().write(addr, pat);
+    tb.sim
+        .world_mut()
+        .expect_mut::<PhysMemory>()
+        .write(addr, pat);
     tb.sim.world_mut().insert(IntegrityAudit::default());
     tb
 }
@@ -81,14 +92,27 @@ fn transfer_round(tb: &mut Testbed, round: u16) -> Vec<D2dDone> {
     tb.run_job_batch(vec![
         (
             server,
-            vec![D2dOp::SsdRead { ssd: 0, lba: 0, len: LEN }, D2dOp::NicSend { flow, seq: 0 }],
+            vec![
+                D2dOp::SsdRead {
+                    ssd: 0,
+                    lba: 0,
+                    len: LEN,
+                },
+                D2dOp::NicSend { flow, seq: 0 },
+            ],
             "integrity-send",
         ),
         (
             client,
             vec![
-                D2dOp::NicRecv { flow: flow.reversed(), len: LEN },
-                D2dOp::Process { function: NdpFunction::Md5, aux: vec![] },
+                D2dOp::NicRecv {
+                    flow: flow.reversed(),
+                    len: LEN,
+                },
+                D2dOp::Process {
+                    function: NdpFunction::Md5,
+                    aux: vec![],
+                },
             ],
             "integrity-recv",
         ),
@@ -118,7 +142,11 @@ pub fn run(design: DesignUnderTest, rate: f64, rounds: usize) -> IntegrityRow {
         }
         // Device-side audit: a successful recv job's MD5 must match.
         for d in &done {
-            if d.ok && d.digest.as_deref().is_some_and(|dg| dg != expected_md5.as_slice()) {
+            if d.ok
+                && d.digest
+                    .as_deref()
+                    .is_some_and(|dg| dg != expected_md5.as_slice())
+            {
                 escapes += 1;
             }
         }
@@ -183,28 +211,42 @@ pub fn fuzz_target(case: &FuzzCase) -> RunOutcome {
                 if let Some(dg) = &d.digest {
                     fp.extend_from_slice(dg);
                 }
-                let wrong =
-                    d.ok && d.digest.as_deref().is_some_and(|dg| dg != expected_md5.as_slice());
+                let wrong = d.ok
+                    && d.digest
+                        .as_deref()
+                        .is_some_and(|dg| dg != expected_md5.as_slice());
                 if wrong && violation.is_none() {
                     violation = Some(Violation::WrongPayload { job: d.id });
                 }
             }
         }
         let world = tb.sim.world();
-        for key in ["fault.injected", "fault.recovered", "fault.exhausted", "aer.detected"] {
+        for key in [
+            "fault.injected",
+            "fault.recovered",
+            "fault.exhausted",
+            "aer.detected",
+        ] {
             fp.extend_from_slice(&world.stats.counter_value(key).to_le_bytes());
         }
         fp.extend_from_slice(&(tb.sim.now() - dcs_sim::SimTime::ZERO).to_le_bytes());
         if violation.is_none() {
             let expected_fnv = fnv1a64(&pat);
-            if let Some(job) =
-                world.expect::<IntegrityAudit>().escapes(expected_fnv).first().copied()
+            if let Some(job) = world
+                .expect::<IntegrityAudit>()
+                .escapes(expected_fnv)
+                .first()
+                .copied()
             {
                 violation = Some(Violation::WrongPayload { job });
             }
         }
         let fired = world.expect::<FaultPlan>().fired_log();
-        RunOutcome { fingerprint: fnv1a64(&fp), fired, violation }
+        RunOutcome {
+            fingerprint: fnv1a64(&fp),
+            fired,
+            violation,
+        }
     }));
     match result {
         Ok(outcome) => outcome,
@@ -254,7 +296,10 @@ pub fn fuzz_smoke(quick: bool, repro_dir: &Path) -> Result<String, String> {
         cx.repro()
     );
     match write_repro(cx, repro_dir) {
-        Ok(()) => msg.push_str(&format!("repro artifacts written to {}\n", repro_dir.display())),
+        Ok(()) => msg.push_str(&format!(
+            "repro artifacts written to {}\n",
+            repro_dir.display()
+        )),
         Err(e) => msg.push_str(&format!("FAILED writing repro artifacts: {e}\n")),
     }
     Err(msg)
@@ -291,14 +336,26 @@ pub fn write_repro(cx: &dcs_sim::Counterexample, dir: &Path) -> std::io::Result<
 pub fn render(quick: bool) -> String {
     let rounds = if quick { 4 } else { 12 };
     let rates = [0.001, 0.005, 0.01];
-    let designs = [DesignUnderTest::SwOpt, DesignUnderTest::SwP2p, DesignUnderTest::DcsCtrl];
+    let designs = [
+        DesignUnderTest::SwOpt,
+        DesignUnderTest::SwP2p,
+        DesignUnderTest::DcsCtrl,
+    ];
     let mut out = format!(
         "Integrity sweep — paired {} KiB transfers, corruption sites only, ECRC on\n",
         LEN / 1024
     );
     out.push_str(&format!(
         "  {:<12} {:>6} {:>7} {:>8} {:>9} {:>10} {:>10} {:>9} {:>10}\n",
-        "design", "rate", "ok", "escapes", "injected", "recovered", "exhausted", "aer-det", "conserved"
+        "design",
+        "rate",
+        "ok",
+        "escapes",
+        "injected",
+        "recovered",
+        "exhausted",
+        "aer-det",
+        "conserved"
     ));
     for design in designs {
         for rate in rates {
@@ -318,7 +375,9 @@ pub fn render(quick: bool) -> String {
             ));
         }
     }
-    out.push_str("\n  Per-site corruption tallies, dcs-ctrl @ 0.1% (injected/recovered/exhausted):\n");
+    out.push_str(
+        "\n  Per-site corruption tallies, dcs-ctrl @ 0.1% (injected/recovered/exhausted):\n",
+    );
     let pat = pattern();
     let mut tb = audit_testbed(DesignUnderTest::DcsCtrl, 0x17E9, &pat);
     tb.install_faults(|rng| {
@@ -362,8 +421,11 @@ mod tests {
         let row = run(DesignUnderTest::DcsCtrl, 0.01, 4);
         assert!(row.injected > 0, "1% per TLP over 4 rounds must fire");
         assert_eq!(row.escapes, 0, "ECRC on: no wrong-payload successes");
-        assert!(row.conserved, "injected {} != recovered {} + exhausted {}",
-            row.injected, row.recovered, row.exhausted);
+        assert!(
+            row.conserved,
+            "injected {} != recovered {} + exhausted {}",
+            row.injected, row.recovered, row.exhausted
+        );
     }
 
     #[test]
@@ -377,8 +439,15 @@ mod tests {
         };
         let a = fuzz_target(&case);
         let b = fuzz_target(&case);
-        assert_eq!(a.fingerprint, b.fingerprint, "same case must replay identically");
+        assert_eq!(
+            a.fingerprint, b.fingerprint,
+            "same case must replay identically"
+        );
         assert_eq!(a.fired, b.fired);
-        assert!(a.violation.is_none(), "containment must hold: {:?}", a.violation);
+        assert!(
+            a.violation.is_none(),
+            "containment must hold: {:?}",
+            a.violation
+        );
     }
 }

@@ -21,6 +21,7 @@
 //! | [`integrity`] | Extension: corruption audit + chaos-fuzz smoke (§12 of DESIGN.md) |
 //! | [`cluster`] | Extension: multi-node cluster sweep (§8 of DESIGN.md) |
 //! | [`anatomy`] | Extension: per-request latency anatomy + Chrome trace (§11 of DESIGN.md) |
+//! | [`store`] | Extension: multi-tenant object-store sweep — YCSB, caching, QoS (§13 of DESIGN.md) |
 
 pub mod ablation;
 pub mod anatomy;
@@ -34,14 +35,22 @@ pub mod fig3;
 pub mod fig8;
 pub mod integrity;
 pub mod probe;
+pub mod store;
 pub mod table3;
 pub mod table4;
 
 /// Formats a latency breakdown as an aligned table block.
 pub fn render_breakdown(label: &str, b: &dcs_sim::Breakdown) -> String {
-    let mut out = format!("  {label:<20} total {:>10.2} us\n", b.total() as f64 / 1000.0);
+    let mut out = format!(
+        "  {label:<20} total {:>10.2} us\n",
+        b.total() as f64 / 1000.0
+    );
     for (cat, ns) in b.entries() {
-        out.push_str(&format!("      {:<20} {:>10.2} us\n", cat.label(), ns as f64 / 1000.0));
+        out.push_str(&format!(
+            "      {:<20} {:>10.2} us\n",
+            cat.label(),
+            ns as f64 / 1000.0
+        ));
     }
     out
 }

@@ -58,7 +58,9 @@ impl Component for Probe {
             }
             Err(m) => m,
         };
-        let done = msg.downcast::<D2dDone>().expect("probe receives job completions");
+        let done = msg
+            .downcast::<D2dDone>()
+            .expect("probe receives job completions");
         ctx.world().stats.counter("probe.done").add(1);
         if done.ok {
             ctx.world().stats.counter("probe.ok").add(1);
@@ -90,7 +92,11 @@ impl ProbedTestbed {
     /// Pre-populates the server SSD's flash at `lba` with `data`.
     pub fn seed_flash(&mut self, lba: u64, data: &[u8]) {
         let addr = self.tb.server.ssds[0].lba_addr(lba);
-        self.tb.sim.world_mut().expect_mut::<PhysMemory>().write(addr, data);
+        self.tb
+            .sim
+            .world_mut()
+            .expect_mut::<PhysMemory>()
+            .write(addr, data);
     }
 
     /// Runs one job on the *server* node to completion and returns its
@@ -107,7 +113,12 @@ impl ProbedTestbed {
             .get::<Inbox>()
             .map(|i| i.0.len())
             .unwrap_or(0);
-        let job = D2dJob { id: 1_000_000 + before as u64, ops, reply_to: self.probe, tag };
+        let job = D2dJob {
+            id: 1_000_000 + before as u64,
+            ops,
+            reply_to: self.probe,
+            tag,
+        };
         let probe = self.probe;
         let target = self.tb.server.submit_to;
         self.tb.sim.kickoff(probe, Submit { to: target, job });
@@ -149,8 +160,20 @@ impl ProbedTestbed {
         let probe = self.probe;
         let client = self.tb.client.submit_to;
         let server = self.tb.server.submit_to;
-        self.tb.sim.kickoff(probe, Submit { to: client, job: recv });
-        self.tb.sim.kickoff(probe, Submit { to: server, job: send });
+        self.tb.sim.kickoff(
+            probe,
+            Submit {
+                to: client,
+                job: recv,
+            },
+        );
+        self.tb.sim.kickoff(
+            probe,
+            Submit {
+                to: server,
+                job: send,
+            },
+        );
         self.tb.sim.run();
         let inbox = self.tb.sim.world().expect::<Inbox>();
         assert_eq!(inbox.0.len(), before + 2, "both jobs must complete");

@@ -1,0 +1,315 @@
+//! Extension experiment: the multi-tenant object-store sweep.
+//!
+//! Puts the serving layer (`dcs-store`) through four panels:
+//!
+//! 1. **YCSB A–F** — each standard mix as a single tenant on a cached
+//!    4-node store: throughput, tails, and cache hit rate per workload
+//!    letter.
+//! 2. **Cache size** — workload C (zipfian point reads) as the per-node
+//!    read cache grows from nothing: hit rate up, flash reads displaced
+//!    (at 16 KiB values the e2e latency is wire-dominated, so the win is
+//!    flash offload more than tail shaving).
+//! 3. **Scan resistance** — a point-read tenant sharing the store with a
+//!    YCSB-E scanner, admit-all vs scan-resistant admission: the ghost
+//!    list keeps the scanner from flushing the point tenant's hot set.
+//! 4. **Noisy neighbor** — a compliant tenant with an SLO sharing the
+//!    store with a flooding tenant, FIFO vs weighted-fair queueing, plus
+//!    the no-noisy baseline: WFQ holds the compliant tenant's SLO
+//!    attainment at its baseline while FIFO lets the flood starve it.
+//!
+//! `repro store --json-out DIR` writes the machine-readable
+//! `BENCH_cluster.json`; the committed copy at the repo root is
+//! regenerated with `--quick` and byte-compared by the CI schema smoke
+//! (see `tests/failover.rs`).
+
+use dcs_cluster::ClusterReport;
+use dcs_sim::Json;
+use dcs_store::cache::{Admission, CacheConfig};
+use dcs_store::qos::QosPolicy;
+use dcs_store::{run_store, StoreConfig, TenantSpec};
+use dcs_workloads::ycsb::YcsbWorkload;
+
+/// Shared experiment shape; panels override tenants/cache/QoS.
+fn base_cfg(quick: bool) -> StoreConfig {
+    StoreConfig {
+        nodes: 4,
+        duration_ns: dcs_sim::time::ms(if quick { 8 } else { 30 }),
+        warmup_ns: dcs_sim::time::ms(if quick { 2 } else { 6 }),
+        ..StoreConfig::default()
+    }
+}
+
+/// The default per-node cache for the YCSB panel: 64 MiB, scan-resistant.
+fn default_cache() -> CacheConfig {
+    CacheConfig {
+        capacity_bytes: 64 << 20,
+        admission: Admission::ScanResistant,
+    }
+}
+
+/// One YCSB-panel run: workload `w` as a single tenant on the cached
+/// store.
+pub fn run_ycsb(w: YcsbWorkload, quick: bool) -> ClusterReport {
+    let mut t = TenantSpec::new(w.letter(), w);
+    t.keys = 4096;
+    t.offered_gbps = 8.0;
+    run_store(&StoreConfig {
+        tenants: vec![t],
+        cache: default_cache(),
+        ..base_cfg(quick)
+    })
+}
+
+/// One cache-size-panel run: workload C against `capacity_bytes` of
+/// per-node cache.
+pub fn run_cache_size(capacity_bytes: u64, quick: bool) -> ClusterReport {
+    let mut t = TenantSpec::new("C", YcsbWorkload::C);
+    t.keys = 4096;
+    t.offered_gbps = 8.0;
+    run_store(&StoreConfig {
+        tenants: vec![t],
+        cache: CacheConfig {
+            capacity_bytes,
+            admission: Admission::ScanResistant,
+        },
+        ..base_cfg(quick)
+    })
+}
+
+/// One scan-resistance-panel run: a point-read tenant plus a YCSB-E
+/// scanner under the given admission policy. The point tenant is
+/// `per_tenant[0]`.
+pub fn run_admission(admission: Admission, quick: bool) -> ClusterReport {
+    // A small hot set (4 KiB values so the window holds many touches per
+    // key) against a cache sized below the combined churn: admit-all lets
+    // the scanner's sequential keys flush the hot set between touches,
+    // scan-resistant admission never admits them.
+    let mut point = TenantSpec::new("point", YcsbWorkload::C);
+    point.keys = 256;
+    point.value_bytes = 4 * 1024;
+    point.offered_gbps = 6.0;
+    let mut scan = TenantSpec::new("scan", YcsbWorkload::E);
+    scan.keys = 64 * 1024;
+    scan.offered_gbps = 20.0;
+    run_store(&StoreConfig {
+        tenants: vec![point, scan],
+        cache: CacheConfig {
+            capacity_bytes: 512 << 10,
+            admission,
+        },
+        duration_ns: dcs_sim::time::ms(if quick { 16 } else { 40 }),
+        warmup_ns: dcs_sim::time::ms(if quick { 4 } else { 8 }),
+        ..base_cfg(quick)
+    })
+}
+
+/// The compliant tenant of the noisy-neighbor panel: a modest YCSB-B mix
+/// with a real latency SLO.
+fn compliant() -> TenantSpec {
+    let mut t = TenantSpec::new("compliant", YcsbWorkload::B);
+    t.keys = 2048;
+    t.offered_gbps = 3.0;
+    t.slo_ns = dcs_sim::time::ms(12);
+    t
+}
+
+/// One noisy-neighbor run on a 2-node store. `noisy` adds the flooding
+/// tenant (an update-heavy A mix offered well past node capacity); `qos`
+/// picks the queue discipline. The compliant tenant is `per_tenant[0]`.
+pub fn run_noisy(noisy: bool, qos: QosPolicy, quick: bool) -> ClusterReport {
+    let mut tenants = vec![compliant()];
+    if noisy {
+        let mut t = TenantSpec::new("noisy", YcsbWorkload::A);
+        t.keys = 8192;
+        t.offered_gbps = 24.0;
+        t.slo_ns = 0;
+        tenants.push(t);
+    }
+    run_store(&StoreConfig {
+        nodes: 2,
+        tenants,
+        qos,
+        cache: default_cache(),
+        ..base_cfg(quick)
+    })
+}
+
+/// Renders all four panels.
+pub fn render(quick: bool) -> String {
+    let mut out = String::from(
+        "Store sweep — multi-tenant object store over the DCS rack (YCSB, caching, QoS)\n\n",
+    );
+
+    out.push_str("  YCSB A-F, 4 nodes, 64 MiB/node scan-resistant cache, 8 Gbps offered:\n");
+    for w in YcsbWorkload::ALL {
+        let r = run_ycsb(w, quick);
+        out.push_str(&format!(
+            "    {:<22} {:>6.2} Gbps  {:>6} ok  p50/p99 {:>6.0}/{:>7.0} us  cache {:>5.1}%  SLO {:>6.2}%\n",
+            w.label(),
+            r.goodput_gbps(),
+            r.requests,
+            r.latency_us(50.0),
+            r.latency_us(99.0),
+            r.cache_hit_rate() * 100.0,
+            r.per_tenant[0].slo_attainment() * 100.0,
+        ));
+    }
+
+    out.push_str("\n  Cache size, workload C (per-node budget -> hit rate, p50):\n");
+    for cap in [0u64, 4 << 20, 16 << 20, 64 << 20] {
+        let r = run_cache_size(cap, quick);
+        out.push_str(&format!(
+            "    {:>4} MiB  hit {:>5.1}%  p50 {:>6.0} us  p99 {:>7.0} us  {:>6.2} Gbps\n",
+            cap >> 20,
+            r.cache_hit_rate() * 100.0,
+            r.latency_us(50.0),
+            r.latency_us(99.0),
+            r.goodput_gbps(),
+        ));
+    }
+
+    out.push_str("\n  Scan resistance, point tenant + YCSB-E scanner, 512 KiB/node cache:\n");
+    for (name, adm) in [
+        ("admit-all", Admission::AdmitAll),
+        ("scan-resistant", Admission::ScanResistant),
+    ] {
+        let r = run_admission(adm, quick);
+        let point = &r.per_tenant[0];
+        out.push_str(&format!(
+            "    {name:<15} point-tenant cache {:>5.1}%  p99 {:>7.0} us  scans {:>5} ok\n",
+            point.cache_hit_rate() * 100.0,
+            point.latency_us(99.0),
+            r.per_tenant[1].ok,
+        ));
+    }
+
+    out.push_str(
+        "\n  Noisy neighbor, 2 nodes: compliant B tenant (12 ms SLO) vs a 24 Gbps flood:\n",
+    );
+    let base = run_noisy(false, QosPolicy::Wfq, quick);
+    out.push_str(&format!(
+        "    {:<18} SLO {:>6.2}%  p99 {:>7.0} us  (no noisy tenant)\n",
+        "baseline",
+        base.per_tenant[0].slo_attainment() * 100.0,
+        base.per_tenant[0].latency_us(99.0),
+    ));
+    for qos in [QosPolicy::Fifo, QosPolicy::Wfq] {
+        let r = run_noisy(true, qos, quick);
+        let c = &r.per_tenant[0];
+        out.push_str(&format!(
+            "    {:<18} SLO {:>6.2}%  p99 {:>7.0} us  denied {:>4}  noisy ok {:>6}\n",
+            format!("noisy + {}", qos.label()),
+            c.slo_attainment() * 100.0,
+            c.latency_us(99.0),
+            c.denied,
+            r.per_tenant[1].ok,
+        ));
+    }
+    out.push_str(
+        "  (wfq holds the compliant tenant at its baseline; fifo hands the queue to the flood)\n",
+    );
+    out
+}
+
+fn tenant_json(r: &ClusterReport, idx: usize) -> Json {
+    let t = &r.per_tenant[idx];
+    Json::Obj(vec![
+        ("name".into(), Json::Str(t.name.clone())),
+        ("ok".into(), Json::Int(t.ok as i128)),
+        ("denied".into(), Json::Int(t.denied as i128)),
+        ("p50_us".into(), Json::Float(t.latency_us(50.0))),
+        ("p99_us".into(), Json::Float(t.latency_us(99.0))),
+        ("p999_us".into(), Json::Float(t.latency_us(99.9))),
+        ("slo_attainment".into(), Json::Float(t.slo_attainment())),
+        ("cache_hit_rate".into(), Json::Float(t.cache_hit_rate())),
+    ])
+}
+
+fn run_json(r: &ClusterReport) -> Vec<(String, Json)> {
+    vec![
+        ("goodput_gbps".into(), Json::Float(r.goodput_gbps())),
+        ("requests".into(), Json::Int(r.requests as i128)),
+        ("p50_us".into(), Json::Float(r.latency_us(50.0))),
+        ("p99_us".into(), Json::Float(r.latency_us(99.0))),
+        ("cache_hit_rate".into(), Json::Float(r.cache_hit_rate())),
+        ("stale_served".into(), Json::Int(r.stale_served as i128)),
+        (
+            "tenants".into(),
+            Json::Arr((0..r.per_tenant.len()).map(|i| tenant_json(r, i)).collect()),
+        ),
+    ]
+}
+
+/// The sweep's data as machine-readable JSON (`BENCH_cluster.json`).
+pub fn json_report(quick: bool) -> Json {
+    let ycsb = YcsbWorkload::ALL
+        .iter()
+        .map(|&w| {
+            let r = run_ycsb(w, quick);
+            (w.letter().to_string(), Json::Obj(run_json(&r)))
+        })
+        .collect();
+    let cache = [0u64, 4 << 20, 16 << 20, 64 << 20]
+        .iter()
+        .map(|&cap| {
+            let r = run_cache_size(cap, quick);
+            (format!("{}MiB", cap >> 20), Json::Obj(run_json(&r)))
+        })
+        .collect();
+    let admission = [
+        ("admit_all", Admission::AdmitAll),
+        ("scan_resistant", Admission::ScanResistant),
+    ]
+    .iter()
+    .map(|&(name, adm)| {
+        let r = run_admission(adm, quick);
+        (name.to_string(), Json::Obj(run_json(&r)))
+    })
+    .collect();
+    let noisy = [
+        ("baseline", false, QosPolicy::Wfq),
+        ("fifo", true, QosPolicy::Fifo),
+        ("wfq", true, QosPolicy::Wfq),
+    ]
+    .iter()
+    .map(|&(name, noisy, qos)| {
+        let r = run_noisy(noisy, qos, quick);
+        (name.to_string(), Json::Obj(run_json(&r)))
+    })
+    .collect();
+    Json::Obj(vec![
+        ("experiment".into(), Json::Str("store".into())),
+        ("quick".into(), Json::Bool(quick)),
+        ("ycsb".into(), Json::Obj(ycsb)),
+        ("cache_size".into(), Json::Obj(cache)),
+        ("admission".into(), Json::Obj(admission)),
+        ("noisy_neighbor".into(), Json::Obj(noisy)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_resistance_protects_the_point_tenant() {
+        let all = run_admission(Admission::AdmitAll, true);
+        let resist = run_admission(Admission::ScanResistant, true);
+        assert!(
+            resist.per_tenant[0].cache_hit_rate() > all.per_tenant[0].cache_hit_rate(),
+            "ghost-list admission must beat admit-all under scan pressure: {:.2} vs {:.2}",
+            resist.per_tenant[0].cache_hit_rate(),
+            all.per_tenant[0].cache_hit_rate()
+        );
+        assert_eq!(resist.stale_served, 0);
+        assert_eq!(all.stale_served, 0);
+    }
+
+    #[test]
+    fn cache_size_sweep_is_monotone_in_hit_rate() {
+        let none = run_cache_size(0, true);
+        let big = run_cache_size(64 << 20, true);
+        assert_eq!(none.cache_hits, 0);
+        assert!(big.cache_hit_rate() > 0.3, "{:.2}", big.cache_hit_rate());
+    }
+}

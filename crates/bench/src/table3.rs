@@ -33,7 +33,9 @@ pub struct Table3Row {
 
 /// Measures the wall-clock throughput of one function over `len` bytes.
 pub fn software_throughput(function: NdpFunction, len: usize) -> f64 {
-    let data: Vec<u8> = (0..len).map(|i| (i * 2654435761usize % 256) as u8).collect();
+    let data: Vec<u8> = (0..len)
+        .map(|i| (i * 2654435761usize % 256) as u8)
+        .collect();
     let aux: Vec<u8> = if matches!(
         function,
         NdpFunction::Aes256Encrypt | NdpFunction::Aes256Decrypt
@@ -111,12 +113,19 @@ mod tests {
         let rows = run(1 << 20);
         assert_eq!(rows.len(), 6);
         for r in &rows {
-            assert!(r.sw_gbps > 0.01, "{:?} too slow to be plausible", r.function);
+            assert!(
+                r.sw_gbps > 0.01,
+                "{:?} too slow to be plausible",
+                r.function
+            );
             assert!(r.units_for_10g >= 1);
         }
         // AES-CTR and the hashes are all in the same order of magnitude;
         // just pin that the table carries real measurements.
-        let crc = rows.iter().find(|r| r.function == NdpFunction::Crc32).unwrap();
+        let crc = rows
+            .iter()
+            .find(|r| r.function == NdpFunction::Crc32)
+            .unwrap();
         assert!(crc.sw_gbps > 0.1, "{crc:?}");
     }
 

@@ -42,7 +42,10 @@ pub fn render() -> String {
         VIRTEX7_VC707.brams,
         TABLE4_ENGINE.brams as f64 * 100.0 / VIRTEX7_VC707.brams as f64
     ));
-    out.push_str(&format!("  Power     {:>7.2} W\n", TABLE4_ENGINE.power_watts));
+    out.push_str(&format!(
+        "  Power     {:>7.2} W\n",
+        TABLE4_ENGINE.power_watts
+    ));
     let report = run(Bandwidth::gbps(10.0));
     out.push_str(&format!(
         "  + full NDP bank at 10 Gbps/function: {} LUTs total ({:.0}% of device) — fits: {}\n",
@@ -61,7 +64,10 @@ mod tests {
     fn engine_plus_full_ndp_bank_fits() {
         let report = run(Bandwidth::gbps(10.0));
         assert!(report.fits());
-        assert!(report.lut_utilization() > 0.38, "engine baseline alone is 38%");
+        assert!(
+            report.lut_utilization() > 0.38,
+            "engine baseline alone is 38%"
+        );
         assert!(report.lut_utilization() < 0.70);
     }
 

@@ -1,0 +1,46 @@
+//! Schema smoke for the committed `BENCH_cluster.json`.
+//!
+//! The repo root carries the machine-readable store sweep exactly as
+//! `repro store --quick --json-out .` writes it. Regenerating it here and
+//! byte-comparing catches two failure classes at once: schema drift (a
+//! renamed or dropped field silently breaking downstream consumers) and
+//! lost determinism (the same config no longer reproducing the same
+//! numbers). On an intentional change, regenerate with:
+//!
+//! ```text
+//! cargo run -p dcs-bench --bin repro -- store --quick --json-out .
+//! ```
+
+use std::fs;
+use std::path::Path;
+
+#[test]
+fn committed_bench_cluster_json_matches_regeneration() {
+    let committed_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_cluster.json");
+    let committed = fs::read_to_string(&committed_path)
+        .expect("BENCH_cluster.json is committed at the repo root");
+    let fresh = dcs_bench::store::json_report(true).render();
+    assert_eq!(
+        committed, fresh,
+        "BENCH_cluster.json drifted from `repro store --quick --json-out .`; \
+         regenerate it (and review the schema change) if this is intentional"
+    );
+    // Belt and braces: the schema anchors downstream tooling keys on.
+    let parsed = dcs_sim::Json::parse(&committed).expect("committed file parses");
+    let dcs_sim::Json::Obj(fields) = &parsed else {
+        panic!("top level is an object")
+    };
+    for key in [
+        "experiment",
+        "quick",
+        "ycsb",
+        "cache_size",
+        "admission",
+        "noisy_neighbor",
+    ] {
+        assert!(
+            fields.iter().any(|(k, _)| k == key),
+            "missing top-level key {key}"
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! CLI-contract tests for the `repro` binary: flag handling must stay
+//! scriptable (CI loops over `--list`, EXPERIMENTS.md links by name).
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn list_enumerates_every_experiment_one_per_line() {
+    let out = repro().arg("--list").output().expect("repro runs");
+    assert!(out.status.success(), "--list exits 0");
+    let text = String::from_utf8(out.stdout).expect("utf-8");
+    let names: Vec<&str> = text.lines().collect();
+    // Spot-check the anchors: first, the paper tables, and the extensions.
+    assert_eq!(names.first(), Some(&"table3"), "{text}");
+    for must in ["fig8", "cluster", "cluster-failover", "anatomy", "store"] {
+        assert!(names.contains(&must), "--list must include {must}: {text}");
+    }
+    // One bare name per line — no prose, no duplicates.
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), names.len(), "duplicate names in --list");
+    assert!(names.iter().all(|n| !n.contains(' ')), "{text}");
+}
+
+#[test]
+fn listed_names_are_accepted_and_unknown_names_are_rejected() {
+    // An unknown experiment must be rejected up front, exit code 2,
+    // without running anything.
+    let out = repro()
+        .arg("definitely-not-an-experiment")
+        .output()
+        .expect("repro runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).expect("utf-8");
+    assert!(err.contains("unknown experiment"), "{err}");
+    assert!(err.contains("store"), "rejection lists valid names: {err}");
+}

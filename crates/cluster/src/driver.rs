@@ -421,7 +421,9 @@ impl ClusterDriver {
             mean_interarrival_ns,
             outstanding: vec![0; n],
             queues: (0..n).map(|_| VecDeque::new()).collect(),
-            free_slots: (0..n).map(|_| (0..cfg.max_outstanding).rev().collect()).collect(),
+            free_slots: (0..n)
+                .map(|_| (0..cfg.max_outstanding).rev().collect())
+                .collect(),
             rr_cursor: 0,
             inflight: BTreeMap::new(),
             job_to_req: BTreeMap::new(),
@@ -490,7 +492,10 @@ impl ClusterDriver {
         self.outstanding
             .iter()
             .zip(&self.queues)
-            .map(|(&o, q)| NodeLoad { outstanding: o, queued: q.len() })
+            .map(|(&o, q)| NodeLoad {
+                outstanding: o,
+                queued: q.len(),
+            })
             .collect()
     }
 
@@ -507,7 +512,11 @@ impl ClusterDriver {
         if self.cfg.node_faults.is_empty() {
             return;
         }
-        self.records.push(Rec { at_ns: arrival.as_nanos(), ok, latency_ns });
+        self.records.push(Rec {
+            at_ns: arrival.as_nanos(),
+            ok,
+            latency_ns,
+        });
     }
 
     /// A request resolved without being served: shed/unroutable (`lost ==
@@ -566,7 +575,9 @@ impl ClusterDriver {
                 return;
             }
             let loads = self.loads();
-            self.cfg.policy.choose(&candidates, &loads, &mut self.rr_cursor)
+            self.cfg
+                .policy
+                .choose(&candidates, &loads, &mut self.rr_cursor)
         } else {
             // PUTs pin to the primary; with the primary unroutable they
             // fall back to the next surviving replica in ring order.
@@ -595,8 +606,16 @@ impl ClusterDriver {
     /// Sends a request's bytes through the switch toward `node`; its jobs
     /// are submitted when the transfer completes. `hedge_of` links a
     /// hedged second leg back to its primary.
-    fn dispatch(&mut self, ctx: &mut Ctx<'_>, node: usize, pend: Pending, hedge_of: Option<u64>) -> u64 {
-        let slot = self.free_slots[node].pop().expect("outstanding < max implies a free slot");
+    fn dispatch(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        node: usize,
+        pend: Pending,
+        hedge_of: Option<u64>,
+    ) -> u64 {
+        let slot = self.free_slots[node]
+            .pop()
+            .expect("outstanding < max implies a free slot");
         self.outstanding[node] += 1;
         if self.cfg.health.enabled {
             self.health.on_dispatch(node);
@@ -621,8 +640,11 @@ impl ClusterDriver {
                 orphaned: false,
             },
         );
-        let wire_bytes =
-            if pend.is_get { GET_REQ_BYTES } else { pend.len + PUT_REQ_OVERHEAD };
+        let wire_bytes = if pend.is_get {
+            GET_REQ_BYTES
+        } else {
+            pend.len + PUT_REQ_OVERHEAD
+        };
         let deliver = self.switch.to_node(ctx.now(), node, wire_bytes);
         {
             let now = ctx.now();
@@ -645,7 +667,10 @@ impl ClusterDriver {
     /// default.
     fn hedge_delay(&self, node: usize) -> u64 {
         let h = &self.cfg.health;
-        if matches!(self.health.state(node), NodeState::Suspect | NodeState::Degraded) {
+        if matches!(
+            self.health.state(node),
+            NodeState::Suspect | NodeState::Degraded
+        ) {
             return h.hedge_min_ns;
         }
         if self.latency.count() >= 64 {
@@ -663,9 +688,7 @@ impl ClusterDriver {
             return;
         }
         let (node, object, len, arrival) = match self.inflight.get(&req) {
-            Some(r) if !r.orphaned && r.partner.is_none() => {
-                (r.node, r.object, r.len, r.arrival)
-            }
+            Some(r) if !r.orphaned && r.partner.is_none() => (r.node, r.object, r.len, r.arrival),
             _ => return,
         };
         let mask = self.health.unroutable_mask(ctx.now());
@@ -679,11 +702,22 @@ impl ClusterDriver {
             return;
         }
         let loads = self.loads();
-        let target = self.cfg.policy.choose(&candidates, &loads, &mut self.rr_cursor);
-        let pend =
-            Pending { object, len, is_get: true, arrival, retries_left: 0 };
+        let target = self
+            .cfg
+            .policy
+            .choose(&candidates, &loads, &mut self.rr_cursor);
+        let pend = Pending {
+            object,
+            len,
+            is_get: true,
+            arrival,
+            retries_left: 0,
+        };
         let hedge = self.dispatch(ctx, target, pend, Some(req));
-        self.inflight.get_mut(&req).expect("primary leg is in flight").partner = Some(hedge);
+        self.inflight
+            .get_mut(&req)
+            .expect("primary leg is in flight")
+            .partner = Some(hedge);
         if self.tally_active() {
             self.hedged += 1;
         }
@@ -695,7 +729,10 @@ impl ClusterDriver {
     /// hung node parks it until the hang ends.
     fn on_delivered(&mut self, ctx: &mut Ctx<'_>, req: u64) {
         let Some(r) = self.inflight.get(&req) else {
-            assert!(!self.cfg.node_faults.is_empty(), "delivered request is in flight");
+            assert!(
+                !self.cfg.node_faults.is_empty(),
+                "delivered request is in flight"
+            );
             return;
         };
         let node = r.node;
@@ -712,7 +749,10 @@ impl ClusterDriver {
     /// Runs the request as real device jobs on its node.
     fn submit_jobs(&mut self, ctx: &mut Ctx<'_>, req: u64) {
         let (node, slot, len, is_get, object) = {
-            let r = self.inflight.get(&req).expect("submitted request is in flight");
+            let r = self
+                .inflight
+                .get(&req)
+                .expect("submitted request is in flight");
             (r.node, r.slot, r.len, r.is_get, r.object)
         };
         let lba = self.lba_for(object, is_get);
@@ -733,7 +773,10 @@ impl ClusterDriver {
                     access.submit_to,
                     D2dJob {
                         id: id(),
-                        ops: vec![D2dOp::NicRecv { flow: flow.reversed(), len }],
+                        ops: vec![D2dOp::NicRecv {
+                            flow: flow.reversed(),
+                            len,
+                        }],
                         reply_to,
                         tag: "access",
                     },
@@ -744,7 +787,10 @@ impl ClusterDriver {
                         id: id(),
                         ops: vec![
                             D2dOp::SsdRead { ssd: 0, lba, len },
-                            D2dOp::Process { function: NdpFunction::Md5, aux: vec![] },
+                            D2dOp::Process {
+                                function: NdpFunction::Md5,
+                                aux: vec![],
+                            },
                             D2dOp::NicSend { flow, seq: 0 },
                         ],
                         reply_to,
@@ -762,8 +808,14 @@ impl ClusterDriver {
                     D2dJob {
                         id: id(),
                         ops: vec![
-                            D2dOp::NicRecv { flow: flow.reversed(), len },
-                            D2dOp::Process { function: NdpFunction::Md5, aux: vec![] },
+                            D2dOp::NicRecv {
+                                flow: flow.reversed(),
+                                len,
+                            },
+                            D2dOp::Process {
+                                function: NdpFunction::Md5,
+                                aux: vec![],
+                            },
                             D2dOp::SsdWrite { ssd: 0, lba },
                         ],
                         reply_to,
@@ -799,7 +851,9 @@ impl ClusterDriver {
         r.pending_jobs = jobs.len();
         {
             let now = ctx.now();
-            ctx.world().obs.span_begin("cluster", "node-serve", req, now);
+            ctx.world()
+                .obs
+                .span_begin("cluster", "node-serve", req, now);
         }
         for (target, job) in jobs {
             self.job_to_req.insert(job.id, req);
@@ -844,7 +898,11 @@ impl ClusterDriver {
             let r = &self.inflight[&req];
             (r.node, r.len, r.is_get)
         };
-        let resp_bytes = if is_get { len + GET_RESP_OVERHEAD } else { PUT_ACK_BYTES };
+        let resp_bytes = if is_get {
+            len + GET_RESP_OVERHEAD
+        } else {
+            PUT_ACK_BYTES
+        };
         let arrive = self.switch.to_frontend(ctx.now(), node, resp_bytes);
         {
             let now = ctx.now();
@@ -858,7 +916,10 @@ impl ClusterDriver {
     fn on_response(&mut self, ctx: &mut Ctx<'_>, req: u64) {
         let Some(r) = self.inflight.remove(&req) else {
             // The leg was swept by failover between completion and arrival.
-            assert!(!self.cfg.node_faults.is_empty(), "responding request is in flight");
+            assert!(
+                !self.cfg.node_faults.is_empty(),
+                "responding request is in flight"
+            );
             return;
         };
         self.outstanding[r.node] -= 1;
@@ -968,9 +1029,14 @@ impl ClusterDriver {
         for node in 0..self.nodes.len() {
             self.probe_seq += 1;
             let seq = self.probe_seq;
-            let oneway = self.switch.control_oneway_ns(node, self.cfg.health.probe_bytes);
+            let oneway = self
+                .switch
+                .control_oneway_ns(node, self.cfg.health.probe_bytes);
             ctx.send_self_in(oneway, ProbeDelivered { node, seq });
-            ctx.send_self_in(self.cfg.health.probe_timeout_ns, ProbeDeadline { node, seq });
+            ctx.send_self_in(
+                self.cfg.health.probe_timeout_ns,
+                ProbeDeadline { node, seq },
+            );
         }
         ctx.send_self_in(self.cfg.health.probe_period_ns, ProbeTick);
     }
@@ -983,7 +1049,9 @@ impl ClusterDriver {
             self.held_probes[node].push(seq);
             return;
         }
-        let oneway = self.switch.control_oneway_ns(node, self.cfg.health.probe_bytes);
+        let oneway = self
+            .switch
+            .control_oneway_ns(node, self.cfg.health.probe_bytes);
         ctx.send_self_in(oneway, ProbeAck { node, seq });
     }
 
@@ -1036,7 +1104,9 @@ impl ClusterDriver {
     /// Releases one in-flight leg of a dead node and re-dispatches or
     /// resolves the request it carried.
     fn fail_over(&mut self, ctx: &mut Ctx<'_>, req: u64) {
-        let Some(r) = self.inflight.remove(&req) else { return };
+        let Some(r) = self.inflight.remove(&req) else {
+            return;
+        };
         self.outstanding[r.node] -= 1;
         self.free_slots[r.node].push(r.slot);
         self.job_to_req.retain(|_, v| *v != req);
@@ -1100,7 +1170,9 @@ impl ClusterDriver {
             }
         }
         let probes = std::mem::take(&mut self.held_probes[node]);
-        let oneway = self.switch.control_oneway_ns(node, self.cfg.health.probe_bytes);
+        let oneway = self
+            .switch
+            .control_oneway_ns(node, self.cfg.health.probe_bytes);
         for seq in probes {
             ctx.send_self_in(oneway, ProbeAck { node, seq });
         }
@@ -1131,8 +1203,7 @@ impl ClusterDriver {
                 continue; // every replica is gone: nothing left to copy
             };
             let pref = self.ring.preference_list(object, self.nodes.len());
-            let Some(&dst) = pref.iter().find(|&&n| !replicas.contains(&n) && alive(n))
-            else {
+            let Some(&dst) = pref.iter().find(|&&n| !replicas.contains(&n) && alive(n)) else {
                 continue; // no surviving successor to hold the new copy
             };
             *transfers.entry((src, dst)).or_insert(0) += object_bytes;
@@ -1158,7 +1229,9 @@ impl ClusterDriver {
             return;
         };
         let chunk = remaining.min(self.cfg.health.repair_chunk_bytes as u64);
-        let delivered = self.switch.node_to_node(ctx.now(), src, dst, chunk as usize);
+        let delivered = self
+            .switch
+            .node_to_node(ctx.now(), src, dst, chunk as usize);
         self.repair_last_delivery = self.repair_last_delivery.max(delivered);
         self.repair_bytes_sent += chunk;
         if remaining > chunk {
@@ -1260,7 +1333,9 @@ impl ClusterDriver {
             .map(|(&k, _)| k)
             .collect();
         for req in stranded {
-            let Some(r) = self.inflight.get(&req) else { continue };
+            let Some(r) = self.inflight.get(&req) else {
+                continue;
+            };
             if r.orphaned {
                 let r = self.inflight.remove(&req).expect("checked above");
                 self.free_leg(&r);
@@ -1359,8 +1434,12 @@ impl Component for ClusterDriver {
                     assert!(f.node() < self.nodes.len(), "faulted node out of range");
                     ctx.send_self_in(f.at_ns(), NodeFaultAt { idx });
                 }
-                if let Some(first) =
-                    self.cfg.node_faults.iter().min_by_key(|f| f.at_ns()).copied()
+                if let Some(first) = self
+                    .cfg
+                    .node_faults
+                    .iter()
+                    .min_by_key(|f| f.at_ns())
+                    .copied()
                 {
                     self.fault_at_abs = ctx.now().as_nanos() + first.at_ns();
                     self.fault_node = first.node();
@@ -1406,7 +1485,10 @@ impl Component for ClusterDriver {
         };
         let msg = match msg.downcast::<DegradeNow>() {
             Ok(DegradeNow) => {
-                let d = self.cfg.degrade.expect("DegradeNow only fires when configured");
+                let d = self
+                    .cfg
+                    .degrade
+                    .expect("DegradeNow only fires when configured");
                 self.switch.set_node_speed_factor(d.node, d.factor);
                 ctx.world().stats.counter("cluster.degraded").add(1);
                 return;

@@ -146,7 +146,10 @@ impl HealthConfig {
     /// The whole tolerance layer off: no probes, no failover, no hedges,
     /// no repair. Node faults still fire — this is the ablation arm.
     pub fn disabled() -> HealthConfig {
-        HealthConfig { enabled: false, ..HealthConfig::default() }
+        HealthConfig {
+            enabled: false,
+            ..HealthConfig::default()
+        }
     }
 
     /// Upper bound on crash-to-`Dead` detection latency: the first probe
@@ -210,7 +213,10 @@ pub struct HealthMonitor {
 impl HealthMonitor {
     /// A monitor over `n` nodes, all Healthy with closed breakers.
     pub fn new(cfg: &HealthConfig, n: usize) -> HealthMonitor {
-        HealthMonitor { cfg: cfg.clone(), nodes: vec![NodeHealth::new(); n] }
+        HealthMonitor {
+            cfg: cfg.clone(),
+            nodes: vec![NodeHealth::new(); n],
+        }
     }
 
     /// Current liveness state of `node`.
@@ -370,7 +376,9 @@ impl HealthMonitor {
     ///
     /// [`HashRing::replicas_excluding`]: crate::HashRing::replicas_excluding
     pub fn unroutable_mask(&mut self, now: SimTime) -> Vec<bool> {
-        (0..self.nodes.len()).map(|n| !self.routable(n, now)).collect()
+        (0..self.nodes.len())
+            .map(|n| !self.routable(n, now))
+            .collect()
     }
 
     /// The driver dispatched a request to `node`; a half-open breaker
@@ -384,12 +392,18 @@ impl HealthMonitor {
 
     /// Count of nodes currently believed Dead.
     pub fn dead_count(&self) -> usize {
-        self.nodes.iter().filter(|n| n.state == NodeState::Dead).count()
+        self.nodes
+            .iter()
+            .filter(|n| n.state == NodeState::Dead)
+            .count()
     }
 
     /// Count of nodes currently marked Degraded (contained-error bursts).
     pub fn degraded_count(&self) -> usize {
-        self.nodes.iter().filter(|n| n.state == NodeState::Degraded).count()
+        self.nodes
+            .iter()
+            .filter(|n| n.state == NodeState::Degraded)
+            .count()
     }
 }
 

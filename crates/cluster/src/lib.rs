@@ -55,9 +55,9 @@ pub mod switch;
 pub use driver::{ClusterConfig, ClusterDriver, ClusterNode, ClusterOutcome, Degrade, NodeFault};
 pub use health::{BreakerState, HealthConfig, HealthMonitor, NodeState, Transition};
 pub use policy::{LbPolicy, NodeLoad};
-pub use report::{ClusterReport, NodePerf, PhasePerf};
+pub use report::{ClusterReport, NodePerf, PhasePerf, TenantPerf};
 pub use shard::HashRing;
-pub use switch::{SwitchConfig, TorSwitch};
+pub use switch::{Lane, SwitchConfig, TorSwitch};
 
 use dcs_sim::{ComponentId, FaultPlan, Simulator};
 use dcs_workloads::build_testbed_nodes;
@@ -98,13 +98,20 @@ pub fn build_cluster(cfg: &ClusterConfig) -> Cluster {
     sim.run();
     if cfg.fault_rate > 0.0 {
         let rng = sim.world_mut().rng.fork();
-        sim.world_mut().insert(FaultPlan::uniform(cfg.fault_rate, rng));
+        sim.world_mut()
+            .insert(FaultPlan::uniform(cfg.fault_rate, rng));
     }
     let rng = sim.world_mut().rng.fork();
-    let frontend =
-        sim.add("cluster-frontend", ClusterDriver::new(cfg.clone(), nodes.clone(), rng));
+    let frontend = sim.add(
+        "cluster-frontend",
+        ClusterDriver::new(cfg.clone(), nodes.clone(), rng),
+    );
     sim.kickoff(frontend, driver::Start);
-    Cluster { sim, frontend, nodes }
+    Cluster {
+        sim,
+        frontend,
+        nodes,
+    }
 }
 
 /// Builds the cluster, runs it to completion, and returns the measured

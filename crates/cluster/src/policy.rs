@@ -31,8 +31,11 @@ pub enum LbPolicy {
 
 impl LbPolicy {
     /// Every policy, in presentation order.
-    pub const ALL: [LbPolicy; 3] =
-        [LbPolicy::RoundRobin, LbPolicy::LeastOutstanding, LbPolicy::JoinShortestQueue];
+    pub const ALL: [LbPolicy; 3] = [
+        LbPolicy::RoundRobin,
+        LbPolicy::LeastOutstanding,
+        LbPolicy::JoinShortestQueue,
+    ];
 
     /// Short table label.
     pub fn label(self) -> &'static str {
@@ -52,7 +55,10 @@ impl LbPolicy {
     ///
     /// Panics if `candidates` is empty.
     pub fn choose(self, candidates: &[usize], loads: &[NodeLoad], cursor: &mut usize) -> usize {
-        assert!(!candidates.is_empty(), "policy needs at least one candidate");
+        assert!(
+            !candidates.is_empty(),
+            "policy needs at least one candidate"
+        );
         match self {
             LbPolicy::RoundRobin => {
                 let pick = candidates[*cursor % candidates.len()];
@@ -85,7 +91,10 @@ mod tests {
         outstanding
             .iter()
             .zip(queued)
-            .map(|(&o, &q)| NodeLoad { outstanding: o, queued: q })
+            .map(|(&o, &q)| NodeLoad {
+                outstanding: o,
+                queued: q,
+            })
             .collect()
     }
 
@@ -104,21 +113,33 @@ mod tests {
     fn least_outstanding_ignores_admission_queues() {
         let l = loads(&[3, 5], &[100, 0]);
         let mut cursor = 0;
-        assert_eq!(LbPolicy::LeastOutstanding.choose(&[0, 1], &l, &mut cursor), 0);
+        assert_eq!(
+            LbPolicy::LeastOutstanding.choose(&[0, 1], &l, &mut cursor),
+            0
+        );
     }
 
     #[test]
     fn jsq_counts_queued_work() {
         let l = loads(&[3, 5], &[100, 0]);
         let mut cursor = 0;
-        assert_eq!(LbPolicy::JoinShortestQueue.choose(&[0, 1], &l, &mut cursor), 1);
+        assert_eq!(
+            LbPolicy::JoinShortestQueue.choose(&[0, 1], &l, &mut cursor),
+            1
+        );
     }
 
     #[test]
     fn ties_prefer_first_candidate() {
         let l = loads(&[2, 2, 2], &[0, 0, 0]);
         let mut cursor = 0;
-        assert_eq!(LbPolicy::LeastOutstanding.choose(&[1, 0, 2], &l, &mut cursor), 1);
-        assert_eq!(LbPolicy::JoinShortestQueue.choose(&[2, 1], &l, &mut cursor), 2);
+        assert_eq!(
+            LbPolicy::LeastOutstanding.choose(&[1, 0, 2], &l, &mut cursor),
+            1
+        );
+        assert_eq!(
+            LbPolicy::JoinShortestQueue.choose(&[2, 1], &l, &mut cursor),
+            2
+        );
     }
 }

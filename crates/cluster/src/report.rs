@@ -20,6 +20,57 @@ pub struct NodePerf {
     pub cpu_utilization: f64,
 }
 
+/// What one tenant of the store layer experienced over the window.
+///
+/// A tenant's *SLO attainment* is the fraction of its resolved requests
+/// that were both served *and* under its latency objective — a denied or
+/// shed request counts against the SLO just like a slow one, so shedding
+/// a tenant cannot flatter its numbers.
+#[derive(Clone, Debug, Default)]
+pub struct TenantPerf {
+    /// Tenant name (namespace).
+    pub name: String,
+    /// Requests served successfully.
+    pub ok: u64,
+    /// Requests denied: shed at admission, unroutable, or lost in flight.
+    pub denied: u64,
+    /// Payload bytes served.
+    pub bytes: u64,
+    /// GETs answered from a node's read cache (NVMe path skipped).
+    pub cache_hits: u64,
+    /// GETs that went to flash.
+    pub cache_misses: u64,
+    /// The tenant's latency objective, ns (0 = no SLO declared).
+    pub slo_ns: u64,
+    /// Served requests that finished within `slo_ns`.
+    pub slo_met: u64,
+    /// End-to-end latency of the tenant's served requests, ns.
+    pub latency: Histogram,
+}
+
+impl TenantPerf {
+    /// Fraction of resolved requests served within the SLO (vacuously 1
+    /// when the tenant saw no traffic; equals availability when no SLO is
+    /// declared because every served request then counts as met).
+    pub fn slo_attainment(&self) -> f64 {
+        ratio(self.slo_met, self.ok + self.denied)
+    }
+
+    /// Cache hit rate over the tenant's GETs (0 when it issued none).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let gets = self.cache_hits + self.cache_misses;
+        if gets == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / gets as f64
+    }
+
+    /// A percentile of the tenant's latency in microseconds.
+    pub fn latency_us(&self, p: f64) -> f64 {
+        self.latency.percentile(p).unwrap_or(0) as f64 / 1000.0
+    }
+}
+
 /// Availability and tail latency over one slice of the window (the slices
 /// are before / during / after the injected node failure).
 #[derive(Clone, Copy, Debug, Default)]
@@ -87,11 +138,21 @@ pub struct ClusterReport {
     /// Availability before / during / after the failure window, when a
     /// node fault was injected.
     pub phases: Option<[PhasePerf; 3]>,
+    /// GETs answered from a node read cache cluster-wide (store runs).
+    pub cache_hits: u64,
+    /// GETs that missed every cache and went to flash (store runs).
+    pub cache_misses: u64,
+    /// Cached GET responses that raced a write and returned bytes older
+    /// than the committed version. Must be zero: the store invalidates on
+    /// write commit, and the failover suite asserts it stays zero.
+    pub stale_served: u64,
     /// End-to-end request latency (arrival at the front end to response
     /// fully received back at the front end), ns.
     pub latency: Histogram,
     /// Per-node contributions, indexed by node id.
     pub per_node: Vec<NodePerf>,
+    /// Per-tenant contributions (store runs; empty for the Swift mix).
+    pub per_tenant: Vec<TenantPerf>,
 }
 
 impl Default for ClusterReport {
@@ -116,8 +177,12 @@ impl Default for ClusterReport {
             repair_bytes: 0,
             repair_ns: None,
             phases: None,
+            cache_hits: 0,
+            cache_misses: 0,
+            stale_served: 0,
             latency: Histogram::new(),
             per_node: vec![],
+            per_tenant: vec![],
         }
     }
 }
@@ -175,6 +240,16 @@ impl ClusterReport {
         self.latency.percentile(p).unwrap_or(0) as f64 / 1000.0
     }
 
+    /// Cluster-wide cache hit rate over GETs that reached a cache
+    /// decision (0 when the run had no cache).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let gets = self.cache_hits + self.cache_misses;
+        if gets == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / gets as f64
+    }
+
     /// Renders the report as an aligned block for the repro harness.
     pub fn render(&self, label: &str) -> String {
         let mut out = format!(
@@ -228,6 +303,28 @@ impl ClusterReport {
                 ));
             }
         }
+        if self.cache_hits + self.cache_misses > 0 {
+            out.push_str(&format!(
+                "    cache: {:.1}% hit ({} hits / {} misses), stale served {}\n",
+                self.cache_hit_rate() * 100.0,
+                self.cache_hits,
+                self.cache_misses,
+                self.stale_served,
+            ));
+        }
+        for t in &self.per_tenant {
+            out.push_str(&format!(
+                "    tenant {:<10} {:>6} ok {:>4} denied, p50/p99/p999 {:>6.0}/{:>6.0}/{:>6.0} us, SLO {:>6.2}%, cache {:>5.1}%\n",
+                t.name,
+                t.ok,
+                t.denied,
+                t.latency_us(50.0),
+                t.latency_us(99.0),
+                t.latency_us(99.9),
+                t.slo_attainment() * 100.0,
+                t.cache_hit_rate() * 100.0,
+            ));
+        }
         for (i, n) in self.per_node.iter().enumerate() {
             out.push_str(&format!(
                 "    node{i:<2} {:>6} reqs {:>8.2} Gbps {:>5} shed {:>3} fail {:>3} lost  cpu {:>5.1}%\n",
@@ -267,8 +364,16 @@ mod tests {
             failures: 0,
             latency,
             per_node: vec![
-                NodePerf { requests: 3, bytes: 400_000_000, ..Default::default() },
-                NodePerf { requests: 1, bytes: 100_000_000, ..Default::default() },
+                NodePerf {
+                    requests: 3,
+                    bytes: 400_000_000,
+                    ..Default::default()
+                },
+                NodePerf {
+                    requests: 1,
+                    bytes: 100_000_000,
+                    ..Default::default()
+                },
             ],
             ..ClusterReport::default()
         }
@@ -331,9 +436,21 @@ mod tests {
             repair_bytes: 4 << 20,
             repair_ns: Some(9_000_000),
             phases: Some([
-                PhasePerf { requests: 100, ok: 100, p99_ns: 500_000 },
-                PhasePerf { requests: 50, ok: 45, p99_ns: 2_000_000 },
-                PhasePerf { requests: 100, ok: 100, p99_ns: 600_000 },
+                PhasePerf {
+                    requests: 100,
+                    ok: 100,
+                    p99_ns: 500_000,
+                },
+                PhasePerf {
+                    requests: 50,
+                    ok: 45,
+                    p99_ns: 2_000_000,
+                },
+                PhasePerf {
+                    requests: 100,
+                    ok: 100,
+                    p99_ns: 600_000,
+                },
             ]),
             ..ClusterReport::default()
         };
@@ -348,9 +465,73 @@ mod tests {
     }
 
     #[test]
+    fn tenant_slo_and_cache_accounting() {
+        let mut latency = Histogram::new();
+        for v in [100_000u64, 150_000, 900_000] {
+            latency.record(v);
+        }
+        let t = TenantPerf {
+            name: "gold".into(),
+            ok: 3,
+            denied: 1,
+            bytes: 1 << 20,
+            cache_hits: 2,
+            cache_misses: 2,
+            slo_ns: 500_000,
+            slo_met: 2,
+            latency,
+        };
+        // 2 of 4 resolved requests met the SLO (one slow, one denied).
+        assert!((t.slo_attainment() - 0.5).abs() < 1e-9);
+        assert!((t.cache_hit_rate() - 0.5).abs() < 1e-9);
+        assert!(t.latency_us(50.0) >= 100.0);
+        // Vacuous cases.
+        assert_eq!(TenantPerf::default().slo_attainment(), 1.0);
+        assert_eq!(TenantPerf::default().cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn store_lines_render_per_tenant_and_cache() {
+        let r = ClusterReport {
+            span_ns: 1_000_000,
+            cache_hits: 30,
+            cache_misses: 70,
+            per_tenant: vec![
+                TenantPerf {
+                    name: "gold".into(),
+                    ok: 9,
+                    slo_met: 9,
+                    ..Default::default()
+                },
+                TenantPerf {
+                    name: "scan".into(),
+                    ok: 4,
+                    denied: 4,
+                    ..Default::default()
+                },
+            ],
+            ..ClusterReport::default()
+        };
+        assert!((r.cache_hit_rate() - 0.3).abs() < 1e-9);
+        let text = r.render("store");
+        assert!(text.contains("cache: 30.0% hit"), "{text}");
+        assert!(text.contains("stale served 0"), "{text}");
+        assert!(text.contains("tenant gold"), "{text}");
+        assert!(text.contains("tenant scan"), "{text}");
+        // The Swift-mix report stays unchanged: no store lines.
+        let plain = report().render("plain");
+        assert!(!plain.contains("cache:"), "{plain}");
+        assert!(!plain.contains("tenant"), "{plain}");
+    }
+
+    #[test]
     fn phase_availability_is_vacuous_when_empty() {
         assert_eq!(PhasePerf::default().availability(), 1.0);
-        let p = PhasePerf { requests: 4, ok: 3, p99_ns: 0 };
+        let p = PhasePerf {
+            requests: 4,
+            ok: 3,
+            p99_ns: 0,
+        };
         assert!((p.availability() - 0.75).abs() < 1e-9);
     }
 }

@@ -40,7 +40,10 @@ impl HashRing {
     /// Panics if `nodes`, `vnodes_per_node`, or `replication` is zero.
     pub fn new(nodes: usize, vnodes_per_node: usize, replication: usize) -> HashRing {
         assert!(nodes > 0, "ring needs at least one node");
-        assert!(vnodes_per_node > 0, "ring needs at least one vnode per node");
+        assert!(
+            vnodes_per_node > 0,
+            "ring needs at least one vnode per node"
+        );
         assert!(replication > 0, "replication factor must be at least one");
         let mut vnodes = Vec::with_capacity(nodes * vnodes_per_node);
         for node in 0..nodes {
@@ -49,7 +52,11 @@ impl HashRing {
             }
         }
         vnodes.sort_unstable();
-        HashRing { vnodes, nodes, replication: replication.min(nodes) }
+        HashRing {
+            vnodes,
+            nodes,
+            replication: replication.min(nodes),
+        }
     }
 
     /// Number of physical nodes on the ring.

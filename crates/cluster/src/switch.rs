@@ -22,6 +22,27 @@
 
 use dcs_sim::{Bandwidth, FifoServer, SimTime};
 
+/// QoS class of a data-plane transfer through the switch.
+///
+/// The health layer's heartbeat probes already ride a strict-priority
+/// control class ([`TorSwitch::control_oneway_ns`]); `Lane` extends the
+/// same machinery to *data* frames so the store layer can give an SLO
+/// tenant's small requests a lane that large bulk transfers cannot block.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Lane {
+    /// Best-effort class: output-queued behind everything else on the
+    /// port (the pre-existing behavior of every data transfer).
+    #[default]
+    Bulk,
+    /// Strict-priority class: pays serialization at both ports and the
+    /// switching latency, but never waits in an output queue. Modeled
+    /// like the control lane — a priority frame preempts the head of the
+    /// bulk queue, so its delay is load-independent; the tiny extra
+    /// serialization it imposes on bulk traffic is below the model's
+    /// resolution and is not charged back.
+    Priority,
+}
+
 /// Switch provisioning.
 #[derive(Clone, Debug)]
 pub struct SwitchConfig {
@@ -101,12 +122,17 @@ impl TorSwitch {
     }
 
     fn node_tx_time(&self, node: usize, bytes: usize) -> u64 {
-        let t = self.cfg.port_rate.transfer_time(bytes + self.cfg.frame_overhead);
+        let t = self
+            .cfg
+            .port_rate
+            .transfer_time(bytes + self.cfg.frame_overhead);
         ((t as f64 / self.speed_factor[node]).ceil() as u64).max(1)
     }
 
     fn uplink_tx_time(&self, bytes: usize) -> u64 {
-        self.cfg.uplink_rate.transfer_time(bytes + self.cfg.frame_overhead)
+        self.cfg
+            .uplink_rate
+            .transfer_time(bytes + self.cfg.frame_overhead)
     }
 
     /// Offers a `bytes`-long transfer from the front end toward node
@@ -145,6 +171,41 @@ impl TorSwitch {
         let switched = self.nodes[from].ingress.offer(now, up) + self.cfg.latency_ns;
         let down = self.node_tx_time(to, bytes);
         self.nodes[to].egress.offer(switched, down)
+    }
+
+    /// Offers a transfer from the front end toward node `node` on the
+    /// given QoS [`Lane`]. [`Lane::Bulk`] is exactly [`Self::to_node`];
+    /// [`Lane::Priority`] bypasses the output queues.
+    pub fn to_node_lane(&mut self, now: SimTime, node: usize, bytes: usize, lane: Lane) -> SimTime {
+        match lane {
+            Lane::Bulk => self.to_node(now, node, bytes),
+            Lane::Priority => {
+                now + self.uplink_tx_time(bytes)
+                    + self.cfg.latency_ns
+                    + self.node_tx_time(node, bytes)
+            }
+        }
+    }
+
+    /// Offers a transfer from node `node` toward the front end on the
+    /// given QoS [`Lane`]. [`Lane::Bulk`] is exactly
+    /// [`Self::to_frontend`]; [`Lane::Priority`] bypasses the output
+    /// queues.
+    pub fn to_frontend_lane(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        bytes: usize,
+        lane: Lane,
+    ) -> SimTime {
+        match lane {
+            Lane::Bulk => self.to_frontend(now, node, bytes),
+            Lane::Priority => {
+                now + self.node_tx_time(node, bytes)
+                    + self.cfg.latency_ns
+                    + self.uplink_tx_time(bytes)
+            }
+        }
     }
 
     /// One-way delay of a `bytes`-long *control-plane* frame between the
@@ -218,7 +279,10 @@ mod tests {
         sw.set_node_speed_factor(0, 0.1);
         let slow = sw.to_node(SimTime::ZERO, 0, 1250);
         let fast = sw.to_node(SimTime::ZERO, 1, 1250);
-        assert!(slow.as_nanos() > fast.as_nanos() * 5, "{slow:?} vs {fast:?}");
+        assert!(
+            slow.as_nanos() > fast.as_nanos() * 5,
+            "{slow:?} vs {fast:?}"
+        );
         // Restoring brings it back.
         sw.set_node_speed_factor(0, 1.0);
         let healed = sw.to_node(slow, 0, 1250);
@@ -261,6 +325,51 @@ mod tests {
     fn node_to_node_rejects_self_transfer() {
         let mut sw = TorSwitch::new(2, cfg());
         let _ = sw.node_to_node(SimTime::ZERO, 1, 1, 100);
+    }
+
+    #[test]
+    fn priority_lane_bypasses_bulk_queues() {
+        let mut sw = TorSwitch::new(2, cfg());
+        // Unloaded, both lanes see the same end-to-end delay.
+        let mut quiet_sw = sw.clone();
+        let bulk_quiet = quiet_sw.to_node(SimTime::ZERO, 0, 1250);
+        let prio_quiet = sw.to_node_lane(SimTime::ZERO, 0, 1250, Lane::Priority);
+        assert_eq!(prio_quiet, bulk_quiet);
+        // Saturate node 0's port in both directions.
+        for _ in 0..64 {
+            sw.to_node(SimTime::ZERO, 0, 125_000);
+            sw.to_frontend(SimTime::ZERO, 0, 125_000);
+        }
+        // Priority frames still see the quiet-network delay; bulk queues.
+        assert_eq!(
+            sw.to_node_lane(SimTime::ZERO, 0, 1250, Lane::Priority),
+            prio_quiet
+        );
+        assert_eq!(
+            sw.to_frontend_lane(SimTime::ZERO, 0, 1250, Lane::Priority)
+                .as_nanos(),
+            1_000 + 1_000 + 100,
+        );
+        assert!(sw.to_node_lane(SimTime::ZERO, 0, 1250, Lane::Bulk) > prio_quiet);
+        // A degraded port slows priority frames too (it is the wire, not
+        // the queue, that degraded).
+        sw.set_node_speed_factor(0, 0.1);
+        assert!(sw.to_node_lane(SimTime::ZERO, 0, 1250, Lane::Priority) > prio_quiet);
+    }
+
+    #[test]
+    fn bulk_lane_is_the_default_path() {
+        let mut a = TorSwitch::new(1, cfg());
+        let mut b = TorSwitch::new(1, cfg());
+        assert_eq!(Lane::default(), Lane::Bulk);
+        assert_eq!(
+            a.to_node(SimTime::ZERO, 0, 9_999),
+            b.to_node_lane(SimTime::ZERO, 0, 9_999, Lane::Bulk),
+        );
+        assert_eq!(
+            a.to_frontend(SimTime::ZERO, 0, 9_999),
+            b.to_frontend_lane(SimTime::ZERO, 0, 9_999, Lane::Bulk),
+        );
     }
 
     #[test]

@@ -33,7 +33,12 @@ impl ChunkAllocator {
     pub fn new(region: AddrRange) -> Self {
         let chunks = (region.len / CHUNK_SIZE) as usize;
         assert!(chunks > 0, "region smaller than one chunk");
-        ChunkAllocator { region, used: vec![false; chunks], allocated_chunks: 0, cursor: 0 }
+        ChunkAllocator {
+            region,
+            used: vec![false; chunks],
+            allocated_chunks: 0,
+            cursor: 0,
+        }
     }
 
     /// Total chunks managed.
@@ -100,7 +105,10 @@ impl ChunkAllocator {
             "range {range} outside the managed region"
         );
         let start_off = range.start - self.region.start;
-        assert!(start_off.is_multiple_of(CHUNK_SIZE) && range.len.is_multiple_of(CHUNK_SIZE), "not chunk-aligned");
+        assert!(
+            start_off.is_multiple_of(CHUNK_SIZE) && range.len.is_multiple_of(CHUNK_SIZE),
+            "not chunk-aligned"
+        );
         let first = (start_off / CHUNK_SIZE) as usize;
         let count = (range.len / CHUNK_SIZE) as usize;
         for i in first..first + count {

@@ -58,6 +58,13 @@ pub enum DevOpCode {
         /// Bytes to accumulate.
         len: u32,
     },
+    /// Pull `len` bytes from host DRAM (a cache-resident object) into the
+    /// engine buffer as the pipeline payload — the cache-hit fast path
+    /// that skips the flash controllers entirely.
+    MemRead {
+        /// Bytes to fetch from the host.
+        len: u32,
+    },
 }
 
 impl DevOpCode {
@@ -68,6 +75,7 @@ impl DevOpCode {
             DevOpCode::Process { .. } => 2,
             DevOpCode::NicSend { .. } => 3,
             DevOpCode::NicRecv { .. } => 4,
+            DevOpCode::MemRead { .. } => 5,
         }
     }
 }
@@ -172,7 +180,11 @@ impl D2dCommand {
                     b[o + 1] = ssd;
                     b[o + 2..o + 8].copy_from_slice(&lba.to_le_bytes()[..6]);
                 }
-                DevOpCode::Process { function, aux_off, aux_len } => {
+                DevOpCode::Process {
+                    function,
+                    aux_off,
+                    aux_len,
+                } => {
                     b[o + 1] = function_code(function);
                     b[o + 2..o + 6].copy_from_slice(&aux_off.to_le_bytes());
                     b[o + 6..o + 8].copy_from_slice(&aux_len.to_le_bytes());
@@ -184,6 +196,9 @@ impl D2dCommand {
                 DevOpCode::NicRecv { conn, len } => {
                     b[o + 1..o + 3].copy_from_slice(&conn.to_le_bytes());
                     b[o + 3..o + 7].copy_from_slice(&len.to_le_bytes());
+                }
+                DevOpCode::MemRead { len } => {
+                    b[o + 1..o + 5].copy_from_slice(&len.to_le_bytes());
                 }
             }
         }
@@ -215,7 +230,10 @@ impl D2dCommand {
                     lba: u64::from_le_bytes(lba_bytes),
                     len: u32::from_le_bytes(b[o + 8..o + 12].try_into().expect("4 bytes")),
                 },
-                1 => DevOpCode::SsdWrite { ssd: b[o + 1], lba: u64::from_le_bytes(lba_bytes) },
+                1 => DevOpCode::SsdWrite {
+                    ssd: b[o + 1],
+                    lba: u64::from_le_bytes(lba_bytes),
+                },
                 2 => DevOpCode::Process {
                     function: function_from_code(b[o + 1]).ok_or(CommandError::BadOpKind)?,
                     aux_off: u32::from_le_bytes(b[o + 2..o + 6].try_into().expect("4 bytes")),
@@ -229,12 +247,18 @@ impl D2dCommand {
                     conn: u16::from_le_bytes([b[o + 1], b[o + 2]]),
                     len: u32::from_le_bytes(b[o + 3..o + 7].try_into().expect("4 bytes")),
                 },
+                5 => DevOpCode::MemRead {
+                    len: u32::from_le_bytes(b[o + 1..o + 5].try_into().expect("4 bytes")),
+                },
                 _ => return Err(CommandError::BadOpKind),
             };
             ops.push(op);
         }
         // The first op must produce the pipeline payload.
-        if !matches!(ops[0], DevOpCode::SsdRead { .. } | DevOpCode::NicRecv { .. }) {
+        if !matches!(
+            ops[0],
+            DevOpCode::SsdRead { .. } | DevOpCode::NicRecv { .. } | DevOpCode::MemRead { .. }
+        ) {
             return Err(CommandError::BadPipeline);
         }
         Ok(D2dCommand { id, ops })
@@ -332,13 +356,20 @@ mod tests {
         let cmd = D2dCommand {
             id: 0xDEAD_BEEF_CAFE,
             ops: vec![
-                DevOpCode::SsdRead { ssd: 1, lba: 0x12_3456_789A, len: 65536 },
+                DevOpCode::SsdRead {
+                    ssd: 1,
+                    lba: 0x12_3456_789A,
+                    len: 65536,
+                },
                 DevOpCode::Process {
                     function: NdpFunction::Aes256Encrypt,
                     aux_off: 4096,
                     aux_len: 48,
                 },
-                DevOpCode::NicSend { conn: 7, seq: 0xAABB_CCDD },
+                DevOpCode::NicSend {
+                    conn: 7,
+                    seq: 0xAABB_CCDD,
+                },
             ],
         };
         let decoded = D2dCommand::from_bytes(&cmd.to_bytes()).unwrap();
@@ -350,9 +381,32 @@ mod tests {
         let cmd = D2dCommand {
             id: 1,
             ops: vec![
-                DevOpCode::NicRecv { conn: 3, len: 1 << 20 },
-                DevOpCode::Process { function: NdpFunction::Crc32, aux_off: 0, aux_len: 0 },
+                DevOpCode::NicRecv {
+                    conn: 3,
+                    len: 1 << 20,
+                },
+                DevOpCode::Process {
+                    function: NdpFunction::Crc32,
+                    aux_off: 0,
+                    aux_len: 0,
+                },
                 DevOpCode::SsdWrite { ssd: 0, lba: 42 },
+            ],
+        };
+        assert_eq!(D2dCommand::from_bytes(&cmd.to_bytes()).unwrap(), cmd);
+    }
+
+    #[test]
+    fn memread_pipeline_roundtrip() {
+        // The cache-hit fast path: host-DRAM fetch straight to the wire.
+        let cmd = D2dCommand {
+            id: 3,
+            ops: vec![
+                DevOpCode::MemRead { len: 128 * 1024 },
+                DevOpCode::NicSend {
+                    conn: 9,
+                    seq: 0x0102_0304,
+                },
             ],
         };
         assert_eq!(D2dCommand::from_bytes(&cmd.to_bytes()).unwrap(), cmd);
@@ -362,7 +416,11 @@ mod tests {
     fn decode_rejects_malformed() {
         let good = D2dCommand {
             id: 1,
-            ops: vec![DevOpCode::SsdRead { ssd: 0, lba: 0, len: 4096 }],
+            ops: vec![DevOpCode::SsdRead {
+                ssd: 0,
+                lba: 0,
+                len: 4096,
+            }],
         }
         .to_bytes();
 
@@ -386,7 +444,10 @@ mod tests {
             ops: vec![DevOpCode::NicSend { conn: 0, seq: 0 }],
         }
         .to_bytes();
-        assert_eq!(D2dCommand::from_bytes(&bad_pipeline), Err(CommandError::BadPipeline));
+        assert_eq!(
+            D2dCommand::from_bytes(&bad_pipeline),
+            Err(CommandError::BadPipeline)
+        );
     }
 
     #[test]
@@ -426,7 +487,10 @@ mod tests {
             for bit in 0..8 {
                 let mut bad = good;
                 bad[byte] ^= 1 << bit;
-                assert!(!CompletionRecord::verify(&bad), "byte {byte} bit {bit} escaped");
+                assert!(
+                    !CompletionRecord::verify(&bad),
+                    "byte {byte} bit {bit} escaped"
+                );
             }
         }
     }
@@ -442,7 +506,11 @@ mod tests {
     fn lba_48bit_roundtrip() {
         let cmd = D2dCommand {
             id: 2,
-            ops: vec![DevOpCode::SsdRead { ssd: 0, lba: (1 << 48) - 1, len: 4096 }],
+            ops: vec![DevOpCode::SsdRead {
+                ssd: 0,
+                lba: (1 << 48) - 1,
+                len: 4096,
+            }],
         };
         assert_eq!(D2dCommand::from_bytes(&cmd.to_bytes()).unwrap(), cmd);
     }

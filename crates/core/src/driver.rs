@@ -55,7 +55,11 @@ struct JobCtx {
 
 enum CpuPhase {
     /// Ioctl + metadata done: stage aux / write the command.
-    Submit { id: u64, cmd: D2dCommand, aux: Option<Vec<u8>> },
+    Submit {
+        id: u64,
+        cmd: D2dCommand,
+        aux: Option<Vec<u8>>,
+    },
     /// Interrupt handled: drain the completion ring.
     Complete,
 }
@@ -133,7 +137,15 @@ impl HdcDriver {
         self.next_token += 1;
         self.cpu_phases.insert(token, phase);
         let cpu = self.cpu;
-        ctx.send_now(cpu, CpuJob { token, cost_ns: cost, tag, reply_to: ctx.self_id() });
+        ctx.send_now(
+            cpu,
+            CpuJob {
+                token,
+                cost_ns: cost,
+                tag,
+                reply_to: ctx.self_id(),
+            },
+        );
     }
 
     /// Resolves (registering on first use) the engine connection id for a
@@ -165,11 +177,18 @@ impl HdcDriver {
             let code = match op {
                 D2dOp::SsdRead { ssd, lba, len } => {
                     metadata_lookups += 1; // VFS block mapping
-                    DevOpCode::SsdRead { ssd: *ssd as u8, lba: *lba, len: *len as u32 }
+                    DevOpCode::SsdRead {
+                        ssd: *ssd as u8,
+                        lba: *lba,
+                        len: *len as u32,
+                    }
                 }
                 D2dOp::SsdWrite { ssd, lba } => {
                     metadata_lookups += 1;
-                    DevOpCode::SsdWrite { ssd: *ssd as u8, lba: *lba }
+                    DevOpCode::SsdWrite {
+                        ssd: *ssd as u8,
+                        lba: *lba,
+                    }
                 }
                 D2dOp::Process { function, aux } => {
                     let off = if aux.is_empty() {
@@ -194,7 +213,14 @@ impl HdcDriver {
                 D2dOp::NicRecv { flow, len } => {
                     metadata_lookups += 1;
                     let conn = self.conn_for(ctx, *flow, 0);
-                    DevOpCode::NicRecv { conn, len: *len as u32 }
+                    DevOpCode::NicRecv {
+                        conn,
+                        len: *len as u32,
+                    }
+                }
+                D2dOp::MemRead { len } => {
+                    metadata_lookups += 1; // cache page-table lookup
+                    DevOpCode::MemRead { len: *len as u32 }
                 }
             };
             ops.push(code);
@@ -222,7 +248,16 @@ impl HdcDriver {
                 aux_attempts: 0,
             },
         );
-        self.cpu_job(ctx, cost, tag, CpuPhase::Submit { id, cmd, aux: aux_blob });
+        self.cpu_job(
+            ctx,
+            cost,
+            tag,
+            CpuPhase::Submit {
+                id,
+                cmd,
+                aux: aux_blob,
+            },
+        );
         self.arm_poll(ctx);
     }
 
@@ -232,7 +267,9 @@ impl HdcDriver {
         if self.poll_armed {
             return;
         }
-        let Some(rc) = fault::recovery(ctx.world_ref()) else { return };
+        let Some(rc) = fault::recovery(ctx.world_ref()) else {
+            return;
+        };
         self.poll_armed = true;
         ctx.send_self_in(rc.poll_period_ns, RingPoll);
     }
@@ -269,7 +306,9 @@ impl HdcDriver {
     /// wrong payload and never silence.
     fn fail_job(&mut self, ctx: &mut Ctx<'_>, id: u64, counter: &'static str) {
         ctx.world().stats.counter(counter).add(1);
-        let Some(j) = self.jobs.remove(&id) else { return };
+        let Some(j) = self.jobs.remove(&id) else {
+            return;
+        };
         let mut breakdown = j.engine_bd.unwrap_or_default();
         breakdown.add(Category::DeviceControl, j.driver_ns);
         {
@@ -280,12 +319,20 @@ impl HdcDriver {
         }
         ctx.send_now(
             j.job.reply_to,
-            D2dDone { id, ok: false, breakdown, digest: None, payload_len: 0 },
+            D2dDone {
+                id,
+                ok: false,
+                breakdown,
+                digest: None,
+                payload_len: 0,
+            },
         );
     }
 
     fn submit(&mut self, ctx: &mut Ctx<'_>, id: u64, cmd: D2dCommand, aux: Option<Vec<u8>>) {
-        let Some(job) = self.jobs.get_mut(&id) else { return };
+        let Some(job) = self.jobs.get_mut(&id) else {
+            return;
+        };
         job.submitted_at = ctx.now();
         {
             let now = ctx.now();
@@ -298,7 +345,9 @@ impl HdcDriver {
                 // Stage aux in host DRAM, DMA it into the engine's aux
                 // buffer, and write the command once the DMA lands.
                 let aux_off = match cmd.ops.iter().find_map(|o| match o {
-                    DevOpCode::Process { aux_off, aux_len, .. } if *aux_len > 0 => Some(*aux_off),
+                    DevOpCode::Process {
+                        aux_off, aux_len, ..
+                    } if *aux_len > 0 => Some(*aux_off),
                     _ => None,
                 }) {
                     Some(off) => off,
@@ -312,7 +361,10 @@ impl HdcDriver {
                 let fabric = self.fabric;
                 ctx.send_now(
                     fabric,
-                    MmioWrite { addr: self.cmd_queue, data: cmd.to_bytes().to_vec() },
+                    MmioWrite {
+                        addr: self.cmd_queue,
+                        data: cmd.to_bytes().to_vec(),
+                    },
                 );
             }
         }
@@ -322,11 +374,19 @@ impl HdcDriver {
     /// command as the continuation. The CpuPhase slot doubles as the DMA
     /// continuation: the token comes back via [`DmaComplete`] instead of
     /// [`CpuJobDone`].
-    fn send_aux_dma(&mut self, ctx: &mut Ctx<'_>, id: u64, cmd: D2dCommand, aux_off: u32, len: usize) {
+    fn send_aux_dma(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        id: u64,
+        cmd: D2dCommand,
+        aux_off: u32,
+        len: usize,
+    ) {
         let staging = self.layout.aux_staging + (id % 64) * 64;
         let token = self.next_token;
         self.next_token += 1;
-        self.cpu_phases.insert(token, CpuPhase::Submit { id, cmd, aux: None });
+        self.cpu_phases
+            .insert(token, CpuPhase::Submit { id, cmd, aux: None });
         let fabric = self.fabric;
         ctx.send_now(
             fabric,
@@ -355,9 +415,9 @@ impl HdcDriver {
             None => return,
         };
         let aux = cmd.ops.iter().find_map(|o| match o {
-            DevOpCode::Process { aux_off, aux_len, .. } if *aux_len > 0 => {
-                Some((*aux_off, *aux_len as usize))
-            }
+            DevOpCode::Process {
+                aux_off, aux_len, ..
+            } if *aux_len > 0 => Some((*aux_off, *aux_len as usize)),
             _ => None,
         });
         match aux {
@@ -368,8 +428,8 @@ impl HdcDriver {
 
     fn drain_completions(&mut self, ctx: &mut Ctx<'_>) {
         loop {
-            let slot = self.layout.completion_ring
-                + self.comp_head as u64 * CompletionRecord::SIZE as u64;
+            let slot =
+                self.layout.completion_ring + self.comp_head as u64 * CompletionRecord::SIZE as u64;
             let (record, crc_ok) = {
                 let mem = ctx.world_ref().expect::<PhysMemory>();
                 let raw: [u8; CompletionRecord::SIZE] = mem
@@ -489,7 +549,10 @@ impl Component for HdcDriver {
                 let fabric = self.fabric;
                 ctx.send_now(
                     fabric,
-                    MmioWrite { addr: self.cmd_queue, data: cmd.to_bytes().to_vec() },
+                    MmioWrite {
+                        addr: self.cmd_queue,
+                        data: cmd.to_bytes().to_vec(),
+                    },
                 );
                 return;
             }

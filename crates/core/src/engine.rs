@@ -146,6 +146,10 @@ struct NdpDone {
     token: u64,
 }
 #[derive(Debug)]
+struct HostReadDone {
+    token: u64,
+}
+#[derive(Debug)]
 struct GatherDone {
     frames: Vec<(u16, Vec<u8>)>,
 }
@@ -267,6 +271,8 @@ pub struct HdcEngine {
     pending_admit: VecDeque<D2dCommand>,
     ndp: NdpBank,
     ndp_pending: DetMap<u64, (SlotRef, SimTime)>,
+    /// In-flight host-DRAM fetches (cache-hit fast path), by token.
+    hostread_pending: DetMap<u64, (SlotRef, SimTime)>,
     /// Outstanding NVMe sub-commands per scoreboard entry (MDTS splits).
     nvme_subops: DetMap<SlotRef, (usize, bool)>,
     nvme: Vec<EngineNvme>,
@@ -382,6 +388,7 @@ impl HdcEngine {
             contexts: DetMap::new(),
             pending_admit: VecDeque::new(),
             ndp_pending: DetMap::new(),
+            hostread_pending: DetMap::new(),
             nvme_subops: DetMap::new(),
             nvme,
             nic: nic_ctrl,
@@ -473,14 +480,23 @@ impl HdcEngine {
             for _ in 0..count {
                 let idx = self.nic.recv_ring.tail();
                 let buf = self.nic.recv_bufs + idx as u64 * 2048;
-                let d = RecvDescriptor { buf_addr: buf, buf_len: 2048 };
+                let d = RecvDescriptor {
+                    buf_addr: buf,
+                    buf_len: 2048,
+                };
                 self.nic.recv_ring.push(mem, &d.to_bytes());
             }
         }
         let tail = self.nic.recv_ring.tail();
         let db = self.nic.handle.rx_doorbell();
         let fabric = self.fabric;
-        ctx.send_now(fabric, MmioWrite { addr: db, data: (tail as u32).to_le_bytes().to_vec() });
+        ctx.send_now(
+            fabric,
+            MmioWrite {
+                addr: db,
+                data: (tail as u32).to_le_bytes().to_vec(),
+            },
+        );
     }
 
     // ------------------------------------------------------------------
@@ -488,8 +504,7 @@ impl HdcEngine {
     // ------------------------------------------------------------------
 
     fn on_command_write(&mut self, ctx: &mut Ctx<'_>, data: &[u8]) {
-        let bytes: [u8; D2dCommand::SIZE] =
-            data.try_into().expect("command writes are 64 bytes");
+        let bytes: [u8; D2dCommand::SIZE] = data.try_into().expect("command writes are 64 bytes");
         match D2dCommand::from_bytes(&bytes) {
             Ok(cmd) => {
                 let parse = self.config.cmd_parse_ns;
@@ -531,6 +546,7 @@ impl HdcEngine {
         let first_len = match cmd.ops[0] {
             DevOpCode::SsdRead { len, .. } => len as usize,
             DevOpCode::NicRecv { len, .. } => len as usize,
+            DevOpCode::MemRead { len, .. } => len as usize,
             _ => unreachable!("validated at decode"),
         };
         // Transforms can grow the payload (gzip on incompressible data);
@@ -549,16 +565,30 @@ impl HdcEngine {
                         ok = false;
                         break;
                     }
-                    DevCmd::NvmeRead { ssd: ssd as usize, lba, len: len as usize, buf: buf.start }
+                    DevCmd::NvmeRead {
+                        ssd: ssd as usize,
+                        lba,
+                        len: len as usize,
+                        buf: buf.start,
+                    }
                 }
                 DevOpCode::SsdWrite { ssd, lba } => {
                     if ssd as usize >= self.nvme.len() {
                         ok = false;
                         break;
                     }
-                    DevCmd::NvmeWrite { ssd: ssd as usize, lba, len: 0, buf: buf.start }
+                    DevCmd::NvmeWrite {
+                        ssd: ssd as usize,
+                        lba,
+                        len: 0,
+                        buf: buf.start,
+                    }
                 }
-                DevOpCode::Process { function, aux_off, aux_len } => {
+                DevOpCode::Process {
+                    function,
+                    aux_off,
+                    aux_len,
+                } => {
                     if !self.ndp.supports(function) {
                         ok = false;
                         break;
@@ -567,22 +597,40 @@ impl HdcEngine {
                         .world_ref()
                         .expect::<PhysMemory>()
                         .read(self.aux_base + aux_off as u64, aux_len as usize);
-                    DevCmd::Ndp { function, aux, buf: buf.start, len: 0 }
+                    DevCmd::Ndp {
+                        function,
+                        aux,
+                        buf: buf.start,
+                        len: 0,
+                    }
                 }
                 DevOpCode::NicSend { conn, seq } => {
                     if !self.connections.contains_key(&conn) {
                         ok = false;
                         break;
                     }
-                    DevCmd::NicSend { conn, seq, buf: buf.start, len: 0 }
+                    DevCmd::NicSend {
+                        conn,
+                        seq,
+                        buf: buf.start,
+                        len: 0,
+                    }
                 }
                 DevOpCode::NicRecv { conn, len } => {
                     if !self.connections.contains_key(&conn) {
                         ok = false;
                         break;
                     }
-                    DevCmd::NicRecv { conn, len: len as usize, buf: buf.start }
+                    DevCmd::NicRecv {
+                        conn,
+                        len: len as usize,
+                        buf: buf.start,
+                    }
                 }
+                DevOpCode::MemRead { len } => DevCmd::HostRead {
+                    len: len as usize,
+                    buf: buf.start,
+                },
             };
             dev_cmds.push(dc);
         }
@@ -594,7 +642,10 @@ impl HdcEngine {
             scoreboard_ns: self.config.cmd_parse_ns,
         };
         if !ok {
-            ctx.world().stats.counter("hdc.cmd_validation_errors").add(1);
+            ctx.world()
+                .stats
+                .counter("hdc.cmd_validation_errors")
+                .add(1);
             self.contexts.insert(id, context);
             self.deliver_completion(ctx, id, false, 0);
             return;
@@ -630,6 +681,10 @@ impl HdcEngine {
                 ControllerClass::Nvme(i) => nvme_room[i],
                 ControllerClass::Nic => nic_room,
                 ControllerClass::Ndp => true,
+                // The host-DMA path is the same mover the gather path
+                // uses; modeling it as always-issuable keeps cache hits
+                // from ever queueing behind flash work.
+                ControllerClass::Dma => true,
             });
             let Some((at, cmd)) = issued else { break };
             match cmd {
@@ -639,7 +694,9 @@ impl HdcEngine {
                 DevCmd::NvmeWrite { ssd, lba, len, buf } => {
                     self.issue_nvme(ctx, at, ssd, lba, len, buf, true)
                 }
-                DevCmd::Ndp { function, buf, len, .. } => {
+                DevCmd::Ndp {
+                    function, buf, len, ..
+                } => {
                     let _ = buf;
                     let token = self.token();
                     let done = self.ndp.schedule(ctx.now(), function, len);
@@ -653,8 +710,32 @@ impl HdcEngine {
                     }
                     ctx.send_self_in(delay, NdpDone { token });
                 }
-                DevCmd::NicSend { conn, seq, buf, len } => {
-                    self.issue_nic_send(ctx, at, conn, seq, buf, len)
+                DevCmd::NicSend {
+                    conn,
+                    seq,
+                    buf,
+                    len,
+                } => self.issue_nic_send(ctx, at, conn, seq, buf, len),
+                DevCmd::HostRead { len, buf } => {
+                    let token = self.token();
+                    // The fetch crosses the fabric at the engine's DDR3
+                    // copy bandwidth — the same mover the NIC gather path
+                    // models.
+                    let delay = self.config.gather_bandwidth.transfer_time(len).max(1);
+                    self.hostread_pending.insert(token, (at, ctx.now()));
+                    {
+                        let now = ctx.now();
+                        let done = now + delay;
+                        let obs = &mut ctx.world().obs;
+                        obs.span("hdc", "host-read", token, now, done);
+                        obs.observe("hdc", "host_read.ns", delay);
+                    }
+                    // The cache bytes themselves are modeled as zeros in
+                    // engine memory (the store layer accounts content by
+                    // version, not by value).
+                    let zeros = vec![0u8; len];
+                    ctx.world().expect_mut::<PhysMemory>().write(buf, &zeros);
+                    ctx.send_self_in(delay, HostReadDone { token });
                 }
                 DevCmd::NicRecv { conn, len, buf } => {
                     self.expectations.push(RecvExpectation {
@@ -712,7 +793,11 @@ impl HdcEngine {
                 let list_page = ctrl.prp_scratch + (cid as u64 % 128) * 4096;
                 let prps = PrpList::for_contiguous(buf + *off, *chunk_len, list_page);
                 let cmd = NvmeCommand {
-                    opcode: if is_write { NvmeOpcode::Write } else { NvmeOpcode::Read },
+                    opcode: if is_write {
+                        NvmeOpcode::Write
+                    } else {
+                        NvmeOpcode::Read
+                    },
                     cid,
                     nsid: 1,
                     prp1: prps.prp1,
@@ -735,7 +820,10 @@ impl HdcEngine {
         ctx.send_in(
             self.config.scoreboard_step_ns,
             fabric,
-            MmioWrite { addr: doorbell, data: (tail as u32).to_le_bytes().to_vec() },
+            MmioWrite {
+                addr: doorbell,
+                data: (tail as u32).to_le_bytes().to_vec(),
+            },
         );
     }
 
@@ -810,7 +898,11 @@ impl HdcEngine {
         };
         let n = chunks.len();
         for (i, (off, chunk_len)) in chunks.into_iter().enumerate() {
-            let ack = if faulty { (start_off as u32).wrapping_add(off as u32) } else { 0 };
+            let ack = if faulty {
+                (start_off as u32).wrapping_add(off as u32)
+            } else {
+                0
+            };
             let template = build_template(&flow, seq.wrapping_add(off as u32), ack);
             let hdr_addr = self.nic.hdr_area + (self.nic.hdr_slot % 2048) * 64;
             self.nic.hdr_slot += 1;
@@ -833,7 +925,10 @@ impl HdcEngine {
         ctx.send_in(
             self.config.scoreboard_step_ns,
             fabric,
-            MmioWrite { addr: db, data: (tail as u32).to_le_bytes().to_vec() },
+            MmioWrite {
+                addr: db,
+                data: (tail as u32).to_le_bytes().to_vec(),
+            },
         );
     }
 
@@ -865,7 +960,13 @@ impl HdcEngine {
         let head = self.nvme[ssd].cq.head();
         let db = self.nvme[ssd].handle.cq_doorbell(2);
         let fabric = self.fabric;
-        ctx.send_now(fabric, MmioWrite { addr: db, data: (head as u32).to_le_bytes().to_vec() });
+        ctx.send_now(
+            fabric,
+            MmioWrite {
+                addr: db,
+                data: (head as u32).to_le_bytes().to_vec(),
+            },
+        );
         for entry in entries {
             let Some(op) = self.nvme[ssd].outstanding.remove(&entry.cid) else {
                 // Straggler for a sub-command the watchdog already timed
@@ -899,11 +1000,21 @@ impl HdcEngine {
             let ctrl = &mut self.nvme[ssd];
             let cid = ctrl.next_cid;
             ctrl.next_cid = ctrl.next_cid.wrapping_add(1);
-            ctrl.outstanding.insert(cid, NvmeOp { attempts: op.attempts + 1, ..op });
+            ctrl.outstanding.insert(
+                cid,
+                NvmeOp {
+                    attempts: op.attempts + 1,
+                    ..op
+                },
+            );
             let list_page = ctrl.prp_scratch + (cid as u64 % 128) * 4096;
             let prps = PrpList::for_contiguous(op.buf, op.len, list_page);
             let cmd = NvmeCommand {
-                opcode: if op.is_write { NvmeOpcode::Write } else { NvmeOpcode::Read },
+                opcode: if op.is_write {
+                    NvmeOpcode::Write
+                } else {
+                    NvmeOpcode::Read
+                },
                 cid,
                 nsid: 1,
                 prp1: prps.prp1,
@@ -922,7 +1033,10 @@ impl HdcEngine {
         ctx.send_in(
             self.config.scoreboard_step_ns,
             fabric,
-            MmioWrite { addr: doorbell, data: (tail as u32).to_le_bytes().to_vec() },
+            MmioWrite {
+                addr: doorbell,
+                data: (tail as u32).to_le_bytes().to_vec(),
+            },
         );
     }
 
@@ -941,7 +1055,11 @@ impl HdcEngine {
         let (_, any_failed) = self.nvme_subops.remove(&op.at).expect("present");
         self.nvme[ssd].inflight -= 1;
         let id = self.scoreboard.id_of(op.at.slot);
-        let cat = if op.is_write { Category::Write } else { Category::Read };
+        let cat = if op.is_write {
+            Category::Write
+        } else {
+            Category::Read
+        };
         let dur = ctx.now() - op.issued_at;
         if let Some(c) = self.contexts.get_mut(&id) {
             c.breakdown.add(cat, dur);
@@ -965,7 +1083,12 @@ impl HdcEngine {
             return;
         }
         let (function, aux, buf, len) = match self.scoreboard.op(at) {
-            DevCmd::Ndp { function, aux, buf, len } => (*function, aux.clone(), *buf, *len),
+            DevCmd::Ndp {
+                function,
+                aux,
+                buf,
+                len,
+            } => (*function, aux.clone(), *buf, *len),
             _ => {
                 // A unit completion pointing at a non-NDP entry is device
                 // misbehavior; fail the entry instead of crashing the
@@ -1006,7 +1129,9 @@ impl HdcEngine {
                             self.after_progress(ctx);
                             return;
                         };
-                        ctx.world().expect_mut::<PhysMemory>().write(new_buf.start, &data);
+                        ctx.world()
+                            .expect_mut::<PhysMemory>()
+                            .write(new_buf.start, &data);
                         self.scoreboard.rebase_buffers(at, new_buf.start);
                         let context = self.contexts.get_mut(&id).expect("live command");
                         context.buffers.push(new_buf);
@@ -1025,6 +1150,27 @@ impl HdcEngine {
                 self.scoreboard.mark_failed(at);
             }
         }
+        self.after_progress(ctx);
+    }
+
+    fn on_hostread_done(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let (at, issued_at) = self
+            .hostread_pending
+            .remove(&token)
+            .expect("live host read");
+        if !self.scoreboard.is_issued(at) {
+            // Settled by fault recovery in the meantime; never touch the
+            // slot (it may have been reassigned).
+            ctx.world().stats.counter("hdc.stale_hostread_done").add(1);
+            return;
+        }
+        let len = self.scoreboard.op(at).len();
+        let id = self.scoreboard.id_of(at.slot);
+        if let Some(c) = self.contexts.get_mut(&id) {
+            c.breakdown.add(Category::DataCopy, ctx.now() - issued_at);
+            c.scoreboard_ns += self.config.scoreboard_step_ns;
+        }
+        self.scoreboard.mark_done(at, len);
         self.after_progress(ctx);
     }
 
@@ -1073,7 +1219,10 @@ impl HdcEngine {
     /// Completes a tracked send once both its descriptors finished and the
     /// peer's cumulative ack covers its bytes.
     fn try_complete_nic_send(&mut self, ctx: &mut Ctx<'_>, at: SlotRef) {
-        let ready = self.nic_sends.get(&at).is_some_and(|s| s.descs_done && s.acked);
+        let ready = self
+            .nic_sends
+            .get(&at)
+            .is_some_and(|s| s.descs_done && s.acked);
         if !ready {
             return;
         }
@@ -1134,8 +1283,10 @@ impl HdcEngine {
                     self.nic.wb_base + self.nic.wb_next as u64 * RecvWriteback::SIZE as u64;
                 let (raw, frame) = {
                     let mem = ctx.world_ref().expect::<PhysMemory>();
-                    let raw: [u8; RecvWriteback::SIZE] =
-                        mem.read(wb_addr, RecvWriteback::SIZE).try_into().expect("8 bytes");
+                    let raw: [u8; RecvWriteback::SIZE] = mem
+                        .read(wb_addr, RecvWriteback::SIZE)
+                        .try_into()
+                        .expect("8 bytes");
                     let wb = RecvWriteback::from_bytes(&raw);
                     if !wb.valid {
                         break;
@@ -1143,7 +1294,9 @@ impl HdcEngine {
                     let buf = self.nic.recv_bufs + self.nic.wb_next as u64 * 2048;
                     (raw, mem.read(buf, (wb.frame_len as usize).min(2048)))
                 };
-                ctx.world().expect_mut::<PhysMemory>().write(wb_addr, &[0u8; 8]);
+                ctx.world()
+                    .expect_mut::<PhysMemory>()
+                    .write(wb_addr, &[0u8; 8]);
                 let wb_idx = self.nic.wb_next;
                 self.nic.wb_next = (self.nic.wb_next + 1) % depth;
                 self.nic.consumed_since_repost += 1;
@@ -1260,7 +1413,9 @@ impl HdcEngine {
     fn drain_early(&mut self, ctx: &mut Ctx<'_>) {
         let mut completed = Vec::new();
         for (i, e) in self.expectations.iter_mut().enumerate() {
-            let Some(buf) = self.early.get_mut(&e.conn) else { continue };
+            let Some(buf) = self.early.get_mut(&e.conn) else {
+                continue;
+            };
             if buf.is_empty() {
                 continue;
             }
@@ -1300,7 +1455,9 @@ impl HdcEngine {
         if self.watchdog_armed {
             return;
         }
-        let Some(rc) = fault::recovery(ctx.world_ref()) else { return };
+        let Some(rc) = fault::recovery(ctx.world_ref()) else {
+            return;
+        };
         self.watchdog_armed = true;
         ctx.send_self_in(rc.watchdog_period_ns, WatchdogTick);
     }
@@ -1330,7 +1487,9 @@ impl HdcEngine {
         }
         timed_out.sort_unstable();
         for (ssd, cid) in timed_out {
-            let Some(op) = self.nvme[ssd].outstanding.remove(&cid) else { continue };
+            let Some(op) = self.nvme[ssd].outstanding.remove(&cid) else {
+                continue;
+            };
             fault::exhausted(ctx.world(), fault::MSI_LOSS);
             ctx.world().stats.counter("hdc.nvme_timeouts").add(1);
             self.nvme_subop_done(ctx, ssd, &op, false);
@@ -1362,13 +1521,17 @@ impl HdcEngine {
         retry.sort_unstable_by_key(|at| (at.slot, at.op));
         fail.sort_unstable_by_key(|at| (at.slot, at.op));
         for at in force {
-            let Some(send) = self.nic_sends.get_mut(&at) else { continue };
+            let Some(send) = self.nic_sends.get_mut(&at) else {
+                continue;
+            };
             send.descs_done = true;
             fault::recovered(ctx.world(), fault::MSI_LOSS);
             self.try_complete_nic_send(ctx, at);
         }
         for at in retry {
-            let Some(s) = self.nic_sends.get_mut(&at) else { continue };
+            let Some(s) = self.nic_sends.get_mut(&at) else {
+                continue;
+            };
             let (conn, seq, buf, len, start_off) = {
                 s.attempts += 1;
                 s.last_attempt = now;
@@ -1429,7 +1592,9 @@ impl HdcEngine {
         // itself (still no room) stops the sweep.
         let rounds = self.pending_admit.len();
         for _ in 0..rounds {
-            let Some(cmd) = self.pending_admit.pop_front() else { break };
+            let Some(cmd) = self.pending_admit.pop_front() else {
+                break;
+            };
             let before = self.pending_admit.len();
             self.try_admit(ctx, cmd);
             if self.pending_admit.len() > before {
@@ -1441,7 +1606,10 @@ impl HdcEngine {
     fn deliver_completion(&mut self, ctx: &mut Ctx<'_>, id: u64, ok: bool, final_len: usize) {
         let init = self.init.expect("engine initialized before use");
         let context = self.contexts.get_mut(&id).expect("live command context");
-        context.breakdown.add(Category::Scoreboard, context.scoreboard_ns + self.config.completion_write_ns);
+        context.breakdown.add(
+            Category::Scoreboard,
+            context.scoreboard_ns + self.config.completion_write_ns,
+        );
         let record = CompletionRecord {
             id,
             ok,
@@ -1467,10 +1635,19 @@ impl HdcEngine {
         // in-order delivery can release long bursts of completions at one
         // instant, so shared staging would clobber in-flight records.
         let staging = self.bar.start + (self.bar.len - 0x10000 + ring_idx * 64);
-        ctx.world().expect_mut::<PhysMemory>().write(staging, &record.to_bytes());
+        ctx.world()
+            .expect_mut::<PhysMemory>()
+            .write(staging, &record.to_bytes());
         let token = self.token();
-        self.comp_dmas
-            .insert(token, CompDma { id, src: staging, dst: slot, attempts: 0 });
+        self.comp_dmas.insert(
+            token,
+            CompDma {
+                id,
+                src: staging,
+                dst: slot,
+                attempts: 0,
+            },
+        );
         let fabric = self.fabric;
         ctx.send_in(
             self.config.completion_write_ns,
@@ -1489,7 +1666,10 @@ impl HdcEngine {
 
     fn on_completion_dma_done(&mut self, ctx: &mut Ctx<'_>, done: &DmaComplete) {
         let Some(dma) = self.comp_dmas.remove(&done.id) else {
-            ctx.world().stats.counter("hdc.stale_completion_dmas").add(1);
+            ctx.world()
+                .stats
+                .counter("hdc.stale_completion_dmas")
+                .add(1);
             return;
         };
         let id = dma.id;
@@ -1538,10 +1718,22 @@ impl HdcEngine {
                 .expect::<dcs_pcie::MmioRouting>()
                 .owner_of(init.msi_addr)
                 .expect("driver claimed its MSI address");
-            ctx.send_now(driver, EngineBreakdown { id, breakdown: context.breakdown });
+            ctx.send_now(
+                driver,
+                EngineBreakdown {
+                    id,
+                    breakdown: context.breakdown,
+                },
+            );
         }
         let fabric = self.fabric;
-        ctx.send_now(fabric, Msi { addr: init.msi_addr, vector: init.msi_vector });
+        ctx.send_now(
+            fabric,
+            Msi {
+                addr: init.msi_addr,
+                vector: init.msi_vector,
+            },
+        );
         // Buffer space freed: retry queued admissions.
         self.after_progress(ctx);
     }
@@ -1585,6 +1777,13 @@ impl Component for HdcEngine {
         let msg = match msg.downcast::<NdpDone>() {
             Ok(NdpDone { token }) => {
                 self.on_ndp_done(ctx, token);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<HostReadDone>() {
+            Ok(HostReadDone { token }) => {
+                self.on_hostread_done(ctx, token);
                 return;
             }
             Err(m) => m,

@@ -25,11 +25,20 @@ pub struct Permissions {
 
 impl Permissions {
     /// Read-only.
-    pub const RO: Permissions = Permissions { read: true, write: false };
+    pub const RO: Permissions = Permissions {
+        read: true,
+        write: false,
+    };
     /// Read-write.
-    pub const RW: Permissions = Permissions { read: true, write: true };
+    pub const RW: Permissions = Permissions {
+        read: true,
+        write: true,
+    };
     /// Write-only.
-    pub const WO: Permissions = Permissions { read: false, write: true };
+    pub const WO: Permissions = Permissions {
+        read: false,
+        write: true,
+    };
 }
 
 /// A file descriptor: a contiguous extent on one SSD (the model's stand-in
@@ -53,7 +62,10 @@ impl FileDesc {
     ///
     /// Panics if `offset` is not block-aligned (direct I/O requires it).
     pub fn lba_at(&self, offset: u64) -> u64 {
-        assert!(offset.is_multiple_of(LBA_SIZE), "direct I/O offsets must be 4 KiB-aligned");
+        assert!(
+            offset.is_multiple_of(LBA_SIZE),
+            "direct I/O offsets must be 4 KiB-aligned"
+        );
         self.base_lba + offset / LBA_SIZE
     }
 }
@@ -162,12 +174,24 @@ impl HdcLibrary {
         if !len.is_multiple_of(LBA_SIZE as usize) {
             return Err(ApiError::Unaligned);
         }
-        let mut ops = vec![D2dOp::SsdRead { ssd: file.ssd, lba: file.lba_at(offset), len }];
+        let mut ops = vec![D2dOp::SsdRead {
+            ssd: file.ssd,
+            lba: file.lba_at(offset),
+            len,
+        }];
         if let Some((function, aux)) = processing {
             ops.push(D2dOp::Process { function, aux });
         }
-        ops.push(D2dOp::NicSend { flow: socket.flow, seq: socket.seq });
-        Ok(D2dJob { id: self.id(), ops, reply_to, tag })
+        ops.push(D2dOp::NicSend {
+            flow: socket.flow,
+            seq: socket.seq,
+        });
+        Ok(D2dJob {
+            id: self.id(),
+            ops,
+            reply_to,
+            tag,
+        })
     }
 
     /// `hdc_recvfile(in_sock, out_file, offset, len)` — receive into a
@@ -197,12 +221,23 @@ impl HdcLibrary {
         if offset + len as u64 > file.len.div_ceil(LBA_SIZE) * LBA_SIZE {
             return Err(ApiError::OutOfRange);
         }
-        let mut ops = vec![D2dOp::NicRecv { flow: socket.flow, len }];
+        let mut ops = vec![D2dOp::NicRecv {
+            flow: socket.flow,
+            len,
+        }];
         if let Some((function, aux)) = processing {
             ops.push(D2dOp::Process { function, aux });
         }
-        ops.push(D2dOp::SsdWrite { ssd: file.ssd, lba: file.lba_at(offset) });
-        Ok(D2dJob { id: self.id(), ops, reply_to, tag })
+        ops.push(D2dOp::SsdWrite {
+            ssd: file.ssd,
+            lba: file.lba_at(offset),
+        });
+        Ok(D2dJob {
+            id: self.id(),
+            ops,
+            reply_to,
+            tag,
+        })
     }
 
     /// Receive-and-check without storing (e.g. a verification pass):
@@ -225,8 +260,14 @@ impl HdcLibrary {
         Ok(D2dJob {
             id: self.id(),
             ops: vec![
-                D2dOp::NicRecv { flow: socket.flow, len },
-                D2dOp::Process { function, aux: vec![] },
+                D2dOp::NicRecv {
+                    flow: socket.flow,
+                    len,
+                },
+                D2dOp::Process {
+                    function,
+                    aux: vec![],
+                },
             ],
             reply_to,
             tag,
@@ -239,17 +280,33 @@ mod tests {
     use super::*;
 
     fn file(perms: Permissions) -> FileDesc {
-        FileDesc { ssd: 0, base_lba: 100, len: 1 << 20, perms }
+        FileDesc {
+            ssd: 0,
+            base_lba: 100,
+            len: 1 << 20,
+            perms,
+        }
     }
     fn socket(perms: Permissions) -> SocketDesc {
-        SocketDesc { flow: TcpFlow::example(1, 2, 40000, 8080), seq: 7, perms }
+        SocketDesc {
+            flow: TcpFlow::example(1, 2, 40000, 8080),
+            seq: 7,
+            perms,
+        }
     }
 
     #[test]
     fn sendfile_builds_read_send_pipeline() {
         let mut lib = HdcLibrary::new();
         let job = lib
-            .sendfile(&file(Permissions::RO), &socket(Permissions::RW), 8192, 4096, ComponentId::INVALID, "t")
+            .sendfile(
+                &file(Permissions::RO),
+                &socket(Permissions::RW),
+                8192,
+                4096,
+                ComponentId::INVALID,
+                "t",
+            )
             .unwrap();
         assert_eq!(job.ops.len(), 2);
         match &job.ops[0] {
@@ -277,20 +334,40 @@ mod tests {
             )
             .unwrap();
         assert_eq!(job.ops.len(), 3);
-        assert!(matches!(job.ops[1], D2dOp::Process { function: NdpFunction::Md5, .. }));
+        assert!(matches!(
+            job.ops[1],
+            D2dOp::Process {
+                function: NdpFunction::Md5,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn permissions_are_enforced() {
         let mut lib = HdcLibrary::new();
         assert_eq!(
-            lib.sendfile(&file(Permissions::WO), &socket(Permissions::RW), 0, 4096, ComponentId::INVALID, "t")
-                .unwrap_err(),
+            lib.sendfile(
+                &file(Permissions::WO),
+                &socket(Permissions::RW),
+                0,
+                4096,
+                ComponentId::INVALID,
+                "t"
+            )
+            .unwrap_err(),
             ApiError::FilePermission
         );
         assert_eq!(
-            lib.sendfile(&file(Permissions::RO), &socket(Permissions::RO), 0, 4096, ComponentId::INVALID, "t")
-                .unwrap_err(),
+            lib.sendfile(
+                &file(Permissions::RO),
+                &socket(Permissions::RO),
+                0,
+                4096,
+                ComponentId::INVALID,
+                "t"
+            )
+            .unwrap_err(),
             ApiError::SocketPermission
         );
         assert_eq!(
@@ -312,13 +389,27 @@ mod tests {
     fn range_and_alignment_checks() {
         let mut lib = HdcLibrary::new();
         assert_eq!(
-            lib.sendfile(&file(Permissions::RO), &socket(Permissions::RW), 1 << 20, 4096, ComponentId::INVALID, "t")
-                .unwrap_err(),
+            lib.sendfile(
+                &file(Permissions::RO),
+                &socket(Permissions::RW),
+                1 << 20,
+                4096,
+                ComponentId::INVALID,
+                "t"
+            )
+            .unwrap_err(),
             ApiError::OutOfRange
         );
         assert_eq!(
-            lib.sendfile(&file(Permissions::RO), &socket(Permissions::RW), 0, 100, ComponentId::INVALID, "t")
-                .unwrap_err(),
+            lib.sendfile(
+                &file(Permissions::RO),
+                &socket(Permissions::RW),
+                0,
+                100,
+                ComponentId::INVALID,
+                "t"
+            )
+            .unwrap_err(),
             ApiError::Unaligned
         );
     }
@@ -327,10 +418,24 @@ mod tests {
     fn job_ids_are_unique() {
         let mut lib = HdcLibrary::new();
         let a = lib
-            .sendfile(&file(Permissions::RO), &socket(Permissions::RW), 0, 4096, ComponentId::INVALID, "t")
+            .sendfile(
+                &file(Permissions::RO),
+                &socket(Permissions::RW),
+                0,
+                4096,
+                ComponentId::INVALID,
+                "t",
+            )
             .unwrap();
         let b = lib
-            .sendfile(&file(Permissions::RO), &socket(Permissions::RW), 0, 4096, ComponentId::INVALID, "t")
+            .sendfile(
+                &file(Permissions::RO),
+                &socket(Permissions::RW),
+                0,
+                4096,
+                ComponentId::INVALID,
+                "t",
+            )
             .unwrap();
         assert_ne!(a.id, b.id);
     }

@@ -155,8 +155,7 @@ mod tests {
 
     #[test]
     fn aes_is_much_faster_than_md5_per_stream() {
-        let mut bank =
-            NdpBank::for_functions(&[NdpFunction::Md5, NdpFunction::Aes256Encrypt]);
+        let mut bank = NdpBank::for_functions(&[NdpFunction::Md5, NdpFunction::Aes256Encrypt]);
         let md5 = bank.schedule(SimTime::ZERO, NdpFunction::Md5, 65536);
         let aes = bank.schedule(SimTime::ZERO, NdpFunction::Aes256Encrypt, 65536);
         assert!(aes.as_nanos() * 10 < md5.as_nanos(), "{aes} vs {md5}");

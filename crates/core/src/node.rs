@@ -102,13 +102,17 @@ pub fn build_dcs_node(
     let ports = 2 + builder.ssds.len() + 1 /* engine */ + 1;
     let fabric = sim.add(
         &format!("{name}-pcie"),
-        PcieFabric::new(PcieConfig { ports, ..PcieConfig::default() }),
+        PcieFabric::new(PcieConfig {
+            ports,
+            ..PcieConfig::default()
+        }),
     );
     let cpu = sim.add(&format!("{name}-cpu"), CpuPool::new(name, builder.cores));
-    let dram = sim
-        .world_mut()
-        .expect_mut::<PhysMemory>()
-        .alloc_region(&format!("{name}-dram"), 2 << 30, PortId::ROOT);
+    let dram = sim.world_mut().expect_mut::<PhysMemory>().alloc_region(
+        &format!("{name}-dram"),
+        2 << 30,
+        PortId::ROOT,
+    );
 
     let mut next_port = 1u16;
     let mut port = || {
@@ -124,7 +128,15 @@ pub fn build_dcs_node(
         .enumerate()
         .map(|(i, cfg)| install_nvme(sim, fabric, cfg.clone(), &format!("{name}-ssd{i}"), port()))
         .collect();
-    let nic = install_nic(sim, nic_id, fabric, wire, builder.nic.clone(), &format!("{name}-nic"), port());
+    let nic = install_nic(
+        sim,
+        nic_id,
+        fabric,
+        wire,
+        builder.nic.clone(),
+        &format!("{name}-nic"),
+        port(),
+    );
 
     // HDC Engine: BAR (BRAM window) + DDR3 on its own slot.
     let engine_port = port();

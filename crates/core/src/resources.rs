@@ -23,8 +23,11 @@ pub struct FpgaBudget {
 }
 
 /// The VC707's Virtex-7 budget (paper Table IV denominators).
-pub const VIRTEX7_VC707: FpgaBudget =
-    FpgaBudget { luts: 303_600, registers: 607_200, brams: 1_030 };
+pub const VIRTEX7_VC707: FpgaBudget = FpgaBudget {
+    luts: 303_600,
+    registers: 607_200,
+    brams: 1_030,
+};
 
 /// One synthesizable IP core: a Table III row.
 #[derive(Clone, Copy, Debug)]
@@ -70,48 +73,48 @@ impl IpCore {
 /// Table III: the six IP cores the paper synthesizes.
 pub fn table3_cores() -> [IpCore; 6] {
     [
-    IpCore {
-        function: NdpFunction::Md5,
-        luts: 8_970,
-        registers: 4_180,
-        max_clock_mhz: 130,
-        throughput_per_unit: Bandwidth::mbps(970.0),
-    },
-    IpCore {
-        function: NdpFunction::Sha1,
-        luts: 10_760,
-        registers: 6_848,
-        max_clock_mhz: 235,
-        throughput_per_unit: Bandwidth::gbps(1.10),
-    },
-    IpCore {
-        function: NdpFunction::Sha256,
-        luts: 13_090,
-        registers: 7_480,
-        max_clock_mhz: 130,
-        throughput_per_unit: Bandwidth::mbps(800.0),
-    },
-    IpCore {
-        function: NdpFunction::Aes256Encrypt,
-        luts: 10_689,
-        registers: 6_000,
-        max_clock_mhz: 250,
-        throughput_per_unit: Bandwidth::gbps(40.90),
-    },
-    IpCore {
-        function: NdpFunction::Crc32,
-        luts: 93,
-        registers: 53,
-        max_clock_mhz: 250,
-        throughput_per_unit: Bandwidth::gbps(10.0),
-    },
-    IpCore {
-        function: NdpFunction::GzipCompress,
-        luts: 16_273,
-        registers: 12_718,
-        max_clock_mhz: 178,
-        throughput_per_unit: Bandwidth::gbps(100.0),
-    },
+        IpCore {
+            function: NdpFunction::Md5,
+            luts: 8_970,
+            registers: 4_180,
+            max_clock_mhz: 130,
+            throughput_per_unit: Bandwidth::mbps(970.0),
+        },
+        IpCore {
+            function: NdpFunction::Sha1,
+            luts: 10_760,
+            registers: 6_848,
+            max_clock_mhz: 235,
+            throughput_per_unit: Bandwidth::gbps(1.10),
+        },
+        IpCore {
+            function: NdpFunction::Sha256,
+            luts: 13_090,
+            registers: 7_480,
+            max_clock_mhz: 130,
+            throughput_per_unit: Bandwidth::mbps(800.0),
+        },
+        IpCore {
+            function: NdpFunction::Aes256Encrypt,
+            luts: 10_689,
+            registers: 6_000,
+            max_clock_mhz: 250,
+            throughput_per_unit: Bandwidth::gbps(40.90),
+        },
+        IpCore {
+            function: NdpFunction::Crc32,
+            luts: 93,
+            registers: 53,
+            max_clock_mhz: 250,
+            throughput_per_unit: Bandwidth::gbps(10.0),
+        },
+        IpCore {
+            function: NdpFunction::GzipCompress,
+            luts: 16_273,
+            registers: 12_718,
+            max_clock_mhz: 178,
+            throughput_per_unit: Bandwidth::gbps(100.0),
+        },
     ]
 }
 
@@ -131,8 +134,12 @@ pub struct EngineUtilization {
 }
 
 /// Table IV's measured values.
-pub const TABLE4_ENGINE: EngineUtilization =
-    EngineUtilization { luts: 116_344, registers: 91_005, brams: 442, power_watts: 5.57 };
+pub const TABLE4_ENGINE: EngineUtilization = EngineUtilization {
+    luts: 116_344,
+    registers: 91_005,
+    brams: 442,
+    power_watts: 5.57,
+};
 
 /// A derived resource report for a set of NDP functions at a target
 /// throughput, next to the engine baseline.
@@ -154,10 +161,19 @@ impl ResourceReport {
             .filter_map(|f| lookup_core(*f))
             .map(|core| {
                 let units = core.units_for(target);
-                (core, units, core.luts_for_units(units), core.registers_for_units(units))
+                (
+                    core,
+                    units,
+                    core.luts_for_units(units),
+                    core.registers_for_units(units),
+                )
             })
             .collect();
-        ResourceReport { rows, engine: TABLE4_ENGINE, budget: VIRTEX7_VC707 }
+        ResourceReport {
+            rows,
+            engine: TABLE4_ENGINE,
+            budget: VIRTEX7_VC707,
+        }
     }
 
     /// Total LUTs of engine + NDP configuration.
@@ -217,13 +233,21 @@ mod tests {
             .map(|c| c.luts as f64 / VIRTEX7_VC707.luts as f64)
             .sum::<f64>()
             / table3_cores().len() as f64;
-        assert!((lut_avg * 100.0 - 3.28).abs() < 0.1, "lut avg {:.2}%", lut_avg * 100.0);
+        assert!(
+            (lut_avg * 100.0 - 3.28).abs() < 0.1,
+            "lut avg {:.2}%",
+            lut_avg * 100.0
+        );
         let reg_avg: f64 = table3_cores()
             .iter()
             .map(|c| c.registers as f64 / VIRTEX7_VC707.registers as f64)
             .sum::<f64>()
             / table3_cores().len() as f64;
-        assert!((reg_avg * 100.0 - 1.02).abs() < 0.1, "reg avg {:.2}%", reg_avg * 100.0);
+        assert!(
+            (reg_avg * 100.0 - 1.02).abs() < 0.1,
+            "reg avg {:.2}%",
+            reg_avg * 100.0
+        );
     }
 
     #[test]
@@ -244,7 +268,12 @@ mod tests {
             NdpFunction::GzipCompress,
         ];
         let report = ResourceReport::for_functions(&all, Bandwidth::gbps(10.0));
-        assert!(report.fits(), "total LUTs {} of {}", report.total_luts(), report.budget.luts);
+        assert!(
+            report.fits(),
+            "total LUTs {} of {}",
+            report.total_luts(),
+            report.budget.luts
+        );
         assert!(report.lut_utilization() < 0.65);
     }
 

@@ -71,6 +71,14 @@ pub enum DevCmd {
         /// Destination buffer.
         buf: PhysAddr,
     },
+    /// DMA `len` bytes from host DRAM (cache-resident object) into an
+    /// engine buffer — the cache-hit fast path.
+    HostRead {
+        /// Bytes to fetch.
+        len: usize,
+        /// Destination buffer (engine DDR3).
+        buf: PhysAddr,
+    },
 }
 
 impl DevCmd {
@@ -82,6 +90,7 @@ impl DevCmd {
             }
             DevCmd::Ndp { .. } => ControllerClass::Ndp,
             DevCmd::NicSend { .. } | DevCmd::NicRecv { .. } => ControllerClass::Nic,
+            DevCmd::HostRead { .. } => ControllerClass::Dma,
         }
     }
 
@@ -92,7 +101,8 @@ impl DevCmd {
             | DevCmd::NvmeWrite { buf, .. }
             | DevCmd::Ndp { buf, .. }
             | DevCmd::NicSend { buf, .. }
-            | DevCmd::NicRecv { buf, .. } => *buf,
+            | DevCmd::NicRecv { buf, .. }
+            | DevCmd::HostRead { buf, .. } => *buf,
         }
     }
 
@@ -103,7 +113,8 @@ impl DevCmd {
             | DevCmd::NvmeWrite { len, .. }
             | DevCmd::Ndp { len, .. }
             | DevCmd::NicSend { len, .. }
-            | DevCmd::NicRecv { len, .. } => *len,
+            | DevCmd::NicRecv { len, .. }
+            | DevCmd::HostRead { len, .. } => *len,
         }
     }
 
@@ -119,7 +130,8 @@ impl DevCmd {
             | DevCmd::NvmeWrite { len, .. }
             | DevCmd::Ndp { len, .. }
             | DevCmd::NicSend { len, .. }
-            | DevCmd::NicRecv { len, .. } => *len = new_len,
+            | DevCmd::NicRecv { len, .. }
+            | DevCmd::HostRead { len, .. } => *len = new_len,
         }
     }
 }
@@ -134,6 +146,8 @@ pub enum ControllerClass {
     Ndp,
     /// The NIC controller.
     Nic,
+    /// The engine's host-DMA path (cache-hit fetches from host DRAM).
+    Dma,
 }
 
 /// Lifecycle of a scoreboard entry (Figure 6's `state` column).
@@ -178,8 +192,8 @@ impl CmdEntry {
         self.ops
             .iter()
             .all(|o| matches!(o.state, CmdState::Done | CmdState::Failed))
-            // A failed op causes the remaining Wait entries to be marked
-            // Failed on the spot, so "all Done/Failed" is the right test.
+        // A failed op causes the remaining Wait entries to be marked
+        // Failed on the spot, so "all Done/Failed" is the right test.
     }
 
     fn failed(&self) -> bool {
@@ -238,7 +252,11 @@ impl Scoreboard {
             .enumerate()
             .map(|(i, cmd)| OpEntry {
                 cmd,
-                state: if i == 0 { CmdState::Ready } else { CmdState::Wait },
+                state: if i == 0 {
+                    CmdState::Ready
+                } else {
+                    CmdState::Wait
+                },
             })
             .collect();
         self.slots[slot] = Some(CmdEntry {
@@ -301,7 +319,11 @@ impl Scoreboard {
     /// fail immediately (the pipeline is poisoned).
     pub fn mark_failed(&mut self, at: SlotRef) {
         let entry = self.slots[at.slot].as_mut().expect("live slot");
-        assert_eq!(entry.ops[at.op].state, CmdState::Issued, "mark_failed on non-issued entry");
+        assert_eq!(
+            entry.ops[at.op].state,
+            CmdState::Issued,
+            "mark_failed on non-issued entry"
+        );
         entry.ops[at.op].state = CmdState::Failed;
         for op in &mut entry.ops[at.op + 1..] {
             op.state = CmdState::Failed;
@@ -318,7 +340,8 @@ impl Scoreboard {
                 | DevCmd::NvmeWrite { buf, .. }
                 | DevCmd::Ndp { buf, .. }
                 | DevCmd::NicSend { buf, .. }
-                | DevCmd::NicRecv { buf, .. } => *buf = new_buf,
+                | DevCmd::NicRecv { buf, .. }
+                | DevCmd::HostRead { buf, .. } => *buf = new_buf,
             }
         }
     }
@@ -328,9 +351,11 @@ impl Scoreboard {
     /// already failed, or a duplicate device interrupt — return `false`
     /// instead of panicking downstream.
     pub fn is_issued(&self, at: SlotRef) -> bool {
-        self.slots[at.slot]
-            .as_ref()
-            .is_some_and(|e| e.ops.get(at.op).is_some_and(|o| o.state == CmdState::Issued))
+        self.slots[at.slot].as_ref().is_some_and(|e| {
+            e.ops
+                .get(at.op)
+                .is_some_and(|o| o.state == CmdState::Issued)
+        })
     }
 
     /// Immutable view of an entry's command.
@@ -377,13 +402,28 @@ mod tests {
     use super::*;
 
     fn read(len: usize) -> DevCmd {
-        DevCmd::NvmeRead { ssd: 0, lba: 0, len, buf: PhysAddr(0x1000) }
+        DevCmd::NvmeRead {
+            ssd: 0,
+            lba: 0,
+            len,
+            buf: PhysAddr(0x1000),
+        }
     }
     fn ndp() -> DevCmd {
-        DevCmd::Ndp { function: NdpFunction::Md5, aux: vec![], buf: PhysAddr(0x1000), len: 0 }
+        DevCmd::Ndp {
+            function: NdpFunction::Md5,
+            aux: vec![],
+            buf: PhysAddr(0x1000),
+            len: 0,
+        }
     }
     fn send() -> DevCmd {
-        DevCmd::NicSend { conn: 1, seq: 0, buf: PhysAddr(0x1000), len: 0 }
+        DevCmd::NicSend {
+            conn: 1,
+            seq: 0,
+            buf: PhysAddr(0x1000),
+            len: 0,
+        }
     }
 
     #[test]
@@ -428,7 +468,10 @@ mod tests {
         assert_eq!(cmd_b.len(), 2);
         // Finish out of order: 2 before 1.
         sb.mark_done(b, 2);
-        assert!(sb.pop_deliverable().is_empty(), "in-order delivery holds 2 behind 1");
+        assert!(
+            sb.pop_deliverable().is_empty(),
+            "in-order delivery holds 2 behind 1"
+        );
         sb.mark_done(a, 1);
         assert_eq!(sb.pop_deliverable(), vec![(1, true, 1), (2, true, 2)]);
     }

@@ -1,8 +1,8 @@
 //! End-to-end DCS-ctrl tests: two nodes, HDC Engines orchestrating
 //! off-the-shelf SSD and NIC models, data verified byte-for-byte.
 
-use dcs_core::{build_dcs_pair, DcsNodeBuilder, FileDesc, HdcLibrary, SocketDesc};
 use dcs_core::lib_api::Permissions;
+use dcs_core::{build_dcs_pair, DcsNodeBuilder, FileDesc, HdcLibrary, SocketDesc};
 use dcs_host::job::{D2dDone, D2dJob, D2dOp};
 use dcs_ndp::{md5::md5, NdpFunction};
 use dcs_nic::{TcpFlow, WireConfig};
@@ -31,7 +31,9 @@ impl Component for App {
             }
             Err(m) => m,
         };
-        let done = msg.downcast::<D2dDone>().expect("app receives job completions");
+        let done = msg
+            .downcast::<D2dDone>()
+            .expect("app receives job completions");
         ctx.world().stats.counter("app.done").add(1);
         if done.ok {
             ctx.world().stats.counter("app.ok").add(1);
@@ -79,7 +81,11 @@ fn ssd_to_nic_d2d_transfers_real_bytes() {
     let send_job = D2dJob {
         id: 1,
         ops: vec![
-            D2dOp::SsdRead { ssd: 0, lba: 500, len },
+            D2dOp::SsdRead {
+                ssd: 0,
+                lba: 500,
+                len,
+            },
             D2dOp::NicSend { flow, seq: 1000 },
         ],
         reply_to: rig.app,
@@ -90,20 +96,47 @@ fn ssd_to_nic_d2d_transfers_real_bytes() {
     let recv_job = D2dJob {
         id: 2,
         ops: vec![
-            D2dOp::NicRecv { flow: recv_flow, len },
-            D2dOp::Process { function: NdpFunction::Md5, aux: vec![] },
+            D2dOp::NicRecv {
+                flow: recv_flow,
+                len,
+            },
+            D2dOp::Process {
+                function: NdpFunction::Md5,
+                aux: vec![],
+            },
         ],
         reply_to: rig.app,
         tag: "recv",
     };
-    rig.sim.kickoff(rig.app, Submit { to: rig.b.driver, job: recv_job });
-    rig.sim.kickoff(rig.app, Submit { to: rig.a.driver, job: send_job });
+    rig.sim.kickoff(
+        rig.app,
+        Submit {
+            to: rig.b.driver,
+            job: recv_job,
+        },
+    );
+    rig.sim.kickoff(
+        rig.app,
+        Submit {
+            to: rig.a.driver,
+            job: send_job,
+        },
+    );
     rig.sim.run();
 
     assert_eq!(rig.sim.world().stats.counter_value("app.ok"), 2);
-    assert_eq!(rig.sim.world().stats.counter_value("hdc.cmd_parse_errors"), 0);
+    assert_eq!(
+        rig.sim.world().stats.counter_value("hdc.cmd_parse_errors"),
+        0
+    );
     // The wire really carried the bytes: no drops, frames counted.
-    assert_eq!(rig.sim.world().stats.counter_value("nic.rx_dropped_no_buffer"), 0);
+    assert_eq!(
+        rig.sim
+            .world()
+            .stats
+            .counter_value("nic.rx_dropped_no_buffer"),
+        0
+    );
     assert!(rig.sim.world().stats.counter_value("wire.frames") >= (len / 1448) as u64);
 }
 
@@ -123,8 +156,15 @@ fn digest_travels_back_in_the_completion_record() {
     let job = D2dJob {
         id: 7,
         ops: vec![
-            D2dOp::SsdRead { ssd: 0, lba: 0, len },
-            D2dOp::Process { function: NdpFunction::Md5, aux: vec![] },
+            D2dOp::SsdRead {
+                ssd: 0,
+                lba: 0,
+                len,
+            },
+            D2dOp::Process {
+                function: NdpFunction::Md5,
+                aux: vec![],
+            },
             D2dOp::NicSend { flow, seq: 0 },
         ],
         reply_to: rig.app,
@@ -134,14 +174,32 @@ fn digest_travels_back_in_the_completion_record() {
     let recv = D2dJob {
         id: 8,
         ops: vec![
-            D2dOp::NicRecv { flow: flow.reversed(), len },
-            D2dOp::Process { function: NdpFunction::Md5, aux: vec![] },
+            D2dOp::NicRecv {
+                flow: flow.reversed(),
+                len,
+            },
+            D2dOp::Process {
+                function: NdpFunction::Md5,
+                aux: vec![],
+            },
         ],
         reply_to: rig.app,
         tag: "recv-md5",
     };
-    rig.sim.kickoff(rig.app, Submit { to: rig.b.driver, job: recv });
-    rig.sim.kickoff(rig.app, Submit { to: rig.a.driver, job });
+    rig.sim.kickoff(
+        rig.app,
+        Submit {
+            to: rig.b.driver,
+            job: recv,
+        },
+    );
+    rig.sim.kickoff(
+        rig.app,
+        Submit {
+            to: rig.a.driver,
+            job,
+        },
+    );
     rig.sim.run();
     assert_eq!(rig.sim.world().stats.counter_value("app.ok"), 2);
     assert_eq!(rig.sim.world().stats.counter_value("hdc.ndp_errors"), 0);
@@ -151,7 +209,11 @@ fn digest_travels_back_in_the_completion_record() {
     let digests: Vec<&Vec<u8>> = inbox.0.iter().filter_map(|d| d.digest.as_ref()).collect();
     assert_eq!(digests.len(), 2, "both jobs hash");
     for d in &digests {
-        assert_eq!(d.as_slice(), expected.as_slice(), "digest matches payload MD5");
+        assert_eq!(
+            d.as_slice(),
+            expected.as_slice(),
+            "digest matches payload MD5"
+        );
     }
 }
 
@@ -167,12 +229,32 @@ fn recvfile_persists_received_data_to_remote_flash() {
 
     let mut lib = HdcLibrary::new();
     let flow = TcpFlow::example(1, 2, 50_000, 9002);
-    let src_file = FileDesc { ssd: 0, base_lba: 100, len: len as u64, perms: Permissions::RO };
-    let sock_a = SocketDesc { flow, seq: 0, perms: Permissions::RW };
-    let send = lib.sendfile(&src_file, &sock_a, 0, len, rig.app, "balancer-send").unwrap();
+    let src_file = FileDesc {
+        ssd: 0,
+        base_lba: 100,
+        len: len as u64,
+        perms: Permissions::RO,
+    };
+    let sock_a = SocketDesc {
+        flow,
+        seq: 0,
+        perms: Permissions::RW,
+    };
+    let send = lib
+        .sendfile(&src_file, &sock_a, 0, len, rig.app, "balancer-send")
+        .unwrap();
 
-    let dst_file = FileDesc { ssd: 0, base_lba: 900, len: len as u64, perms: Permissions::RW };
-    let sock_b = SocketDesc { flow: flow.reversed(), seq: 0, perms: Permissions::RW };
+    let dst_file = FileDesc {
+        ssd: 0,
+        base_lba: 900,
+        len: len as u64,
+        perms: Permissions::RW,
+    };
+    let sock_b = SocketDesc {
+        flow: flow.reversed(),
+        seq: 0,
+        perms: Permissions::RW,
+    };
     let recv = lib
         .recvfile_processed(
             &sock_b,
@@ -185,14 +267,30 @@ fn recvfile_persists_received_data_to_remote_flash() {
         )
         .unwrap();
 
-    rig.sim.kickoff(rig.app, Submit { to: rig.b.driver, job: recv });
-    rig.sim.kickoff(rig.app, Submit { to: rig.a.driver, job: send });
+    rig.sim.kickoff(
+        rig.app,
+        Submit {
+            to: rig.b.driver,
+            job: recv,
+        },
+    );
+    rig.sim.kickoff(
+        rig.app,
+        Submit {
+            to: rig.a.driver,
+            job: send,
+        },
+    );
     rig.sim.run();
 
     assert_eq!(rig.sim.world().stats.counter_value("app.ok"), 2);
     // The HDFS-balancer flow: data left A's flash, crossed the wire, was
     // CRC-checked by B's NDP unit, and landed on B's flash.
-    let on_b = rig.sim.world().expect::<PhysMemory>().read(rig.b.ssds[0].lba_addr(900), len);
+    let on_b = rig
+        .sim
+        .world()
+        .expect::<PhysMemory>()
+        .read(rig.b.ssds[0].lba_addr(900), len);
     assert_eq!(on_b, payload);
 }
 
@@ -212,8 +310,15 @@ fn aes_encrypted_transfer_decrypts_on_the_other_side() {
     let send = D2dJob {
         id: 11,
         ops: vec![
-            D2dOp::SsdRead { ssd: 0, lba: 0, len },
-            D2dOp::Process { function: NdpFunction::Aes256Encrypt, aux: aux.clone() },
+            D2dOp::SsdRead {
+                ssd: 0,
+                lba: 0,
+                len,
+            },
+            D2dOp::Process {
+                function: NdpFunction::Aes256Encrypt,
+                aux: aux.clone(),
+            },
             D2dOp::NicSend { flow, seq: 0 },
         ],
         reply_to: rig.app,
@@ -222,18 +327,40 @@ fn aes_encrypted_transfer_decrypts_on_the_other_side() {
     let recv = D2dJob {
         id: 12,
         ops: vec![
-            D2dOp::NicRecv { flow: flow.reversed(), len },
-            D2dOp::Process { function: NdpFunction::Aes256Decrypt, aux },
+            D2dOp::NicRecv {
+                flow: flow.reversed(),
+                len,
+            },
+            D2dOp::Process {
+                function: NdpFunction::Aes256Decrypt,
+                aux,
+            },
             D2dOp::SsdWrite { ssd: 0, lba: 700 },
         ],
         reply_to: rig.app,
         tag: "secure-recv",
     };
-    rig.sim.kickoff(rig.app, Submit { to: rig.b.driver, job: recv });
-    rig.sim.kickoff(rig.app, Submit { to: rig.a.driver, job: send });
+    rig.sim.kickoff(
+        rig.app,
+        Submit {
+            to: rig.b.driver,
+            job: recv,
+        },
+    );
+    rig.sim.kickoff(
+        rig.app,
+        Submit {
+            to: rig.a.driver,
+            job: send,
+        },
+    );
     rig.sim.run();
     assert_eq!(rig.sim.world().stats.counter_value("app.ok"), 2);
-    let on_b = rig.sim.world().expect::<PhysMemory>().read(rig.b.ssds[0].lba_addr(700), len);
+    let on_b = rig
+        .sim
+        .world()
+        .expect::<PhysMemory>()
+        .read(rig.b.ssds[0].lba_addr(700), len);
     assert_eq!(on_b, payload, "decrypt(encrypt(x)) must land as x");
 }
 
@@ -243,13 +370,26 @@ fn invalid_lba_fails_cleanly_through_the_whole_stack() {
     let job = D2dJob {
         id: 21,
         ops: vec![
-            D2dOp::SsdRead { ssd: 0, lba: u64::MAX / 8192, len: 4096 },
-            D2dOp::NicSend { flow: TcpFlow::example(1, 2, 3, 4), seq: 0 },
+            D2dOp::SsdRead {
+                ssd: 0,
+                lba: u64::MAX / 8192,
+                len: 4096,
+            },
+            D2dOp::NicSend {
+                flow: TcpFlow::example(1, 2, 3, 4),
+                seq: 0,
+            },
         ],
         reply_to: rig.app,
         tag: "bad",
     };
-    rig.sim.kickoff(rig.app, Submit { to: rig.a.driver, job });
+    rig.sim.kickoff(
+        rig.app,
+        Submit {
+            to: rig.a.driver,
+            job,
+        },
+    );
     rig.sim.run();
     assert_eq!(rig.sim.world().stats.counter_value("app.done"), 1);
     assert_eq!(rig.sim.world().stats.counter_value("app.ok"), 0);
@@ -269,17 +409,33 @@ fn dcs_latency_beats_typical_software_budget() {
     let job = D2dJob {
         id: 31,
         ops: vec![
-            D2dOp::SsdRead { ssd: 0, lba: 0, len },
-            D2dOp::NicSend { flow: TcpFlow::example(1, 2, 5, 6), seq: 0 },
+            D2dOp::SsdRead {
+                ssd: 0,
+                lba: 0,
+                len,
+            },
+            D2dOp::NicSend {
+                flow: TcpFlow::example(1, 2, 5, 6),
+                seq: 0,
+            },
         ],
         reply_to: rig.app,
         tag: "latency",
     };
-    rig.sim.kickoff(rig.app, Submit { to: rig.a.driver, job });
+    rig.sim.kickoff(
+        rig.app,
+        Submit {
+            to: rig.a.driver,
+            job,
+        },
+    );
     rig.sim.run();
     let elapsed = rig.sim.now() - t0;
     assert_eq!(rig.sim.world().stats.counter_value("app.ok"), 1);
-    assert!(elapsed > time::us(14), "must include flash latency: {elapsed}");
+    assert!(
+        elapsed > time::us(14),
+        "must include flash latency: {elapsed}"
+    );
     assert!(elapsed < time::us(40), "DCS path should be lean: {elapsed}");
 }
 
@@ -298,14 +454,30 @@ fn many_pipelined_commands_complete_in_order() {
         let job = D2dJob {
             id: 100 + i,
             ops: vec![
-                D2dOp::SsdRead { ssd: 0, lba: i * 8, len },
-                D2dOp::Process { function: NdpFunction::Crc32, aux: vec![] },
-                D2dOp::NicSend { flow, seq: (i * len as u64) as u32 },
+                D2dOp::SsdRead {
+                    ssd: 0,
+                    lba: i * 8,
+                    len,
+                },
+                D2dOp::Process {
+                    function: NdpFunction::Crc32,
+                    aux: vec![],
+                },
+                D2dOp::NicSend {
+                    flow,
+                    seq: (i * len as u64) as u32,
+                },
             ],
             reply_to: rig.app,
             tag: "stream",
         };
-        rig.sim.kickoff(rig.app, Submit { to: rig.a.driver, job });
+        rig.sim.kickoff(
+            rig.app,
+            Submit {
+                to: rig.a.driver,
+                job,
+            },
+        );
     }
     rig.sim.run();
     assert_eq!(rig.sim.world().stats.counter_value("app.ok"), 40);
@@ -326,13 +498,26 @@ fn engine_reports_scoreboard_overhead_in_breakdowns() {
     let job = D2dJob {
         id: 41,
         ops: vec![
-            D2dOp::SsdRead { ssd: 0, lba: 0, len: 4096 },
-            D2dOp::NicSend { flow: TcpFlow::example(1, 2, 7, 8), seq: 0 },
+            D2dOp::SsdRead {
+                ssd: 0,
+                lba: 0,
+                len: 4096,
+            },
+            D2dOp::NicSend {
+                flow: TcpFlow::example(1, 2, 7, 8),
+                seq: 0,
+            },
         ],
         reply_to: rig.app,
         tag: "breakdown",
     };
-    rig.sim.kickoff(rig.app, Submit { to: rig.a.driver, job });
+    rig.sim.kickoff(
+        rig.app,
+        Submit {
+            to: rig.a.driver,
+            job,
+        },
+    );
     rig.sim.run();
     assert_eq!(rig.sim.world().stats.counter_value("app.ok"), 1);
     let inbox = rig.sim.world().expect::<Inbox>();
@@ -340,6 +525,12 @@ fn engine_reports_scoreboard_overhead_in_breakdowns() {
     let scoreboard = bd.get(Category::Scoreboard);
     assert!(scoreboard > 0, "scoreboard overhead must be visible");
     assert!(scoreboard < time::us(2), "and minimal: {scoreboard}ns");
-    assert!(bd.get(Category::Read) > time::us(10), "flash time dominates");
-    assert!(bd.get(Category::DeviceControl) < time::us(10), "driver software is thin");
+    assert!(
+        bd.get(Category::Read) > time::us(10),
+        "flash time dominates"
+    );
+    assert!(
+        bd.get(Category::DeviceControl) < time::us(10),
+        "driver software is thin"
+    );
 }

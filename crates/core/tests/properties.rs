@@ -31,13 +31,19 @@ fn random_op(rng: &mut Rng) -> DevOpCode {
             lba: rng.gen_range(0..1 << 48),
             len: rng.gen_range(1..1 << 20) as u32,
         },
-        1 => DevOpCode::SsdWrite { ssd: rng.next_u64() as u8, lba: rng.gen_range(0..1 << 48) },
+        1 => DevOpCode::SsdWrite {
+            ssd: rng.next_u64() as u8,
+            lba: rng.gen_range(0..1 << 48),
+        },
         2 => DevOpCode::Process {
             function: random_function(rng),
             aux_off: rng.next_u64() as u32,
             aux_len: rng.next_u64() as u16,
         },
-        3 => DevOpCode::NicSend { conn: rng.next_u64() as u16, seq: rng.next_u64() as u32 },
+        3 => DevOpCode::NicSend {
+            conn: rng.next_u64() as u16,
+            seq: rng.next_u64() as u32,
+        },
         _ => DevOpCode::NicRecv {
             conn: rng.next_u64() as u16,
             len: rng.gen_range(1..1 << 20) as u32,
@@ -67,7 +73,10 @@ fn command_roundtrip() {
         for _ in 0..rng.gen_range(0..3) {
             ops.push(random_op(&mut rng));
         }
-        let cmd = D2dCommand { id: rng.next_u64(), ops };
+        let cmd = D2dCommand {
+            id: rng.next_u64(),
+            ops,
+        };
         let decoded = D2dCommand::from_bytes(&cmd.to_bytes()).unwrap();
         assert_eq!(decoded, cmd);
     }
@@ -133,13 +142,19 @@ fn allocator_no_overlap() {
 fn scoreboard_ordering() {
     let mut rng = Rng::new(0x5C02E);
     for _ in 0..64 {
-        let pipeline_lens: Vec<usize> =
-            (0..rng.gen_range(1..20)).map(|_| rng.gen_range(1..4) as usize).collect();
+        let pipeline_lens: Vec<usize> = (0..rng.gen_range(1..20))
+            .map(|_| rng.gen_range(1..4) as usize)
+            .collect();
         let mut sb = Scoreboard::new(64);
         let total: usize = pipeline_lens.len();
         for (i, n) in pipeline_lens.iter().enumerate() {
             let ops = (0..*n)
-                .map(|_| DevCmd::NvmeRead { ssd: 0, lba: 0, len: 1, buf: PhysAddr(0x1000) })
+                .map(|_| DevCmd::NvmeRead {
+                    ssd: 0,
+                    lba: 0,
+                    len: 1,
+                    buf: PhysAddr(0x1000),
+                })
                 .collect();
             sb.admit(i as u64, ops).expect("capacity suffices");
         }

@@ -127,7 +127,12 @@ pub struct GpuDevice {
 impl GpuDevice {
     /// Creates a GPU with the given configuration.
     pub fn new(config: GpuConfig) -> Self {
-        GpuDevice { config, compute: FifoServer::new(), pending: DetMap::new(), next_token: 1 }
+        GpuDevice {
+            config,
+            compute: FifoServer::new(),
+            pending: DetMap::new(),
+            next_token: 1,
+        }
     }
 
     fn throughput_for(&self, f: NdpFunction) -> Bandwidth {
@@ -152,7 +157,10 @@ impl Component for GpuDevice {
                 let start_at = ctx.now() + self.config.launch_latency_ns;
                 let done = self.compute.offer(start_at, service);
                 ctx.world().stats.counter("gpu.kernels").add(1);
-                ctx.world().stats.counter("gpu.bytes").add(launch.input_len as u64);
+                ctx.world()
+                    .stats
+                    .counter("gpu.bytes")
+                    .add(launch.input_len as u64);
                 self.pending.insert(token, Pending { launch, reply_to });
                 let delay = done - ctx.now();
                 ctx.send_self_in(delay, ComputeDone { token });
@@ -186,7 +194,11 @@ impl Component for GpuDevice {
                         .expect_mut::<PhysMemory>()
                         .write(launch.output_addr, &out_bytes);
                 }
-                let done = KernelDone { id: launch.id, ok, output_len: out_bytes.len() };
+                let done = KernelDone {
+                    id: launch.id,
+                    ok,
+                    output_len: out_bytes.len(),
+                };
                 ctx.send_in(self.config.completion_latency_ns, reply_to, done);
             }
             Err(other) => panic!("GpuDevice received unexpected message: {other:?}"),
@@ -195,18 +207,17 @@ impl Component for GpuDevice {
 }
 
 /// Allocates GPU memory and installs the device on `port`.
-pub fn install_gpu(
-    sim: &mut Simulator,
-    config: GpuConfig,
-    name: &str,
-    port: PortId,
-) -> GpuHandle {
+pub fn install_gpu(sim: &mut Simulator, config: GpuConfig, name: &str, port: PortId) -> GpuHandle {
     let memory = {
         let mem = sim.world_mut().expect_mut::<PhysMemory>();
         mem.alloc_region(&format!("{name}-mem"), config.memory_size, port)
     };
     let device = sim.add(name, GpuDevice::new(config));
-    GpuHandle { device, memory, port }
+    GpuHandle {
+        device,
+        memory,
+        port,
+    }
 }
 
 #[cfg(test)]
@@ -249,7 +260,13 @@ mod tests {
         let mut sim = Simulator::new(3);
         sim.world_mut().insert(PhysMemory::new());
         let gpu = install_gpu(&mut sim, GpuConfig::default(), "gpu0", PortId(3));
-        let launcher = sim.add("launcher", Launcher { gpu: gpu.device, results: vec![] });
+        let launcher = sim.add(
+            "launcher",
+            Launcher {
+                gpu: gpu.device,
+                results: vec![],
+            },
+        );
         (sim, gpu, launcher)
     }
 
@@ -257,7 +274,9 @@ mod tests {
     fn md5_kernel_produces_correct_digest() {
         let (mut sim, gpu, launcher) = setup();
         let input = b"abc";
-        sim.world_mut().expect_mut::<PhysMemory>().write(gpu.memory.start, input);
+        sim.world_mut()
+            .expect_mut::<PhysMemory>()
+            .write(gpu.memory.start, input);
         sim.kickoff(
             launcher,
             Go(LaunchKernel {
@@ -271,7 +290,10 @@ mod tests {
         );
         sim.run();
         assert_eq!(sim.world().stats.counter_value("launcher.ok"), 1);
-        let digest = sim.world().expect::<PhysMemory>().read(gpu.memory.start + 0x1000, 16);
+        let digest = sim
+            .world()
+            .expect::<PhysMemory>()
+            .read(gpu.memory.start + 0x1000, 16);
         assert_eq!(to_hex(&digest), "900150983cd24fb0d6963f7d28e17f72");
         // Latency ≥ launch + completion latencies.
         assert!(sim.now().as_nanos() >= time::us(11));
@@ -282,7 +304,9 @@ mod tests {
         let (mut sim, gpu, launcher) = setup();
         let len = 1 << 20;
         let data = vec![7u8; len];
-        sim.world_mut().expect_mut::<PhysMemory>().write(gpu.memory.start, &data);
+        sim.world_mut()
+            .expect_mut::<PhysMemory>()
+            .write(gpu.memory.start, &data);
         for i in 0..2 {
             sim.kickoff(
                 launcher,
@@ -326,7 +350,9 @@ mod tests {
     fn transform_kernel_writes_output_data() {
         let (mut sim, gpu, launcher) = setup();
         let input = b"compressible compressible compressible".repeat(10);
-        sim.world_mut().expect_mut::<PhysMemory>().write(gpu.memory.start, &input);
+        sim.world_mut()
+            .expect_mut::<PhysMemory>()
+            .write(gpu.memory.start, &input);
         sim.kickoff(
             launcher,
             Go(LaunchKernel {

@@ -132,8 +132,8 @@ impl KernelCosts {
     /// Transmit-side network software cost for `packets` packets of an
     /// operation (socket setup + per-packet work + optional buffering).
     pub fn net_tx_cost(&self, mode: KernelMode, packets: usize) -> u64 {
-        let base = self.syscall_ns + self.tcp_tx_setup_ns
-            + self.tcp_tx_per_packet_ns * packets as u64;
+        let base =
+            self.syscall_ns + self.tcp_tx_setup_ns + self.tcp_tx_per_packet_ns * packets as u64;
         match mode {
             KernelMode::Vanilla => base + self.socket_buffer_ns,
             KernelMode::Optimized => base,
@@ -167,8 +167,14 @@ mod tests {
     #[test]
     fn vanilla_paths_cost_more_than_optimized() {
         let c = KernelCosts::default();
-        assert!(c.storage_submit_cost(KernelMode::Vanilla, 4096) > c.storage_submit_cost(KernelMode::Optimized, 4096));
-        assert!(c.storage_submit_cost(KernelMode::Optimized, 65536) > c.storage_submit_cost(KernelMode::Optimized, 4096));
+        assert!(
+            c.storage_submit_cost(KernelMode::Vanilla, 4096)
+                > c.storage_submit_cost(KernelMode::Optimized, 4096)
+        );
+        assert!(
+            c.storage_submit_cost(KernelMode::Optimized, 65536)
+                > c.storage_submit_cost(KernelMode::Optimized, 4096)
+        );
         assert!(c.net_tx_cost(KernelMode::Vanilla, 4) > c.net_tx_cost(KernelMode::Optimized, 4));
         assert!(c.net_rx_cost(KernelMode::Vanilla, 4) > c.net_rx_cost(KernelMode::Optimized, 4));
     }

@@ -85,11 +85,14 @@ impl CpuStats {
     }
 
     fn record(&mut self, pool: &str, cores: usize, tag: &str, cost: u64) {
-        let entry = self.pools.entry(pool.to_string()).or_insert_with(|| PoolStats {
-            tracker: BusyTracker::new(),
-            cores,
-            jobs: 0,
-        });
+        let entry = self
+            .pools
+            .entry(pool.to_string())
+            .or_insert_with(|| PoolStats {
+                tracker: BusyTracker::new(),
+                cores,
+                jobs: 0,
+            });
         entry.tracker.record(tag, cost);
         entry.jobs += 1;
     }
@@ -116,7 +119,10 @@ impl CpuPool {
     ///
     /// Panics if `cores` is zero.
     pub fn new(name: &str, cores: usize) -> Self {
-        CpuPool { name: name.to_string(), cores: ServerBank::new(cores) }
+        CpuPool {
+            name: name.to_string(),
+            cores: ServerBank::new(cores),
+        }
     }
 
     /// Number of cores.
@@ -141,7 +147,13 @@ impl Component for CpuPool {
                         .record(&self.name, cores, job.tag, job.cost_ns);
                 }
                 let delay = done - ctx.now();
-                ctx.send_self_in(delay, JobRetired { token: job.token, reply_to: job.reply_to });
+                ctx.send_self_in(
+                    delay,
+                    JobRetired {
+                        token: job.token,
+                        reply_to: job.reply_to,
+                    },
+                );
                 return;
             }
             Err(m) => m,
@@ -180,7 +192,9 @@ mod tests {
                 }
                 Err(m) => m,
             };
-            let d = msg.downcast::<CpuJobDone>().expect("submitter gets job completions");
+            let d = msg
+                .downcast::<CpuJobDone>()
+                .expect("submitter gets job completions");
             self.done.push((d.token, ctx.now()));
             ctx.world().stats.counter("sub.done").add(1);
         }
@@ -193,7 +207,12 @@ mod tests {
         let me = sim.reserve("sub");
         sim.install(me, Submitter { pool, done: vec![] });
         let jobs: Vec<CpuJob> = (0..3)
-            .map(|i| CpuJob { token: i, cost_ns: time::us(10), tag: "work", reply_to: me })
+            .map(|i| CpuJob {
+                token: i,
+                cost_ns: time::us(10),
+                tag: "work",
+                reply_to: me,
+            })
             .collect();
         sim.kickoff(me, Fire(jobs));
         sim.run();
@@ -211,7 +230,12 @@ mod tests {
         let me = sim.reserve("sub");
         sim.install(me, Submitter { pool, done: vec![] });
         let jobs: Vec<CpuJob> = (0..4)
-            .map(|i| CpuJob { token: i, cost_ns: time::us(5), tag: "work", reply_to: me })
+            .map(|i| CpuJob {
+                token: i,
+                cost_ns: time::us(5),
+                tag: "work",
+                reply_to: me,
+            })
             .collect();
         sim.kickoff(me, Fire(jobs));
         sim.run();
@@ -230,8 +254,18 @@ mod tests {
         sim.kickoff(
             me,
             Fire(vec![
-                CpuJob { token: 0, cost_ns: 100, tag: "kernel", reply_to: me },
-                CpuJob { token: 1, cost_ns: 300, tag: "driver", reply_to: me },
+                CpuJob {
+                    token: 0,
+                    cost_ns: 100,
+                    tag: "kernel",
+                    reply_to: me,
+                },
+                CpuJob {
+                    token: 1,
+                    cost_ns: 300,
+                    tag: "driver",
+                    reply_to: me,
+                },
             ]),
         );
         sim.run();

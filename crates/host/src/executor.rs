@@ -66,10 +66,22 @@ enum Waiting {
     Block,
     Send,
     Recv,
-    Gpu { is_digest: bool, function: NdpFunction },
+    Gpu {
+        is_digest: bool,
+        function: NdpFunction,
+    },
     /// A host↔GPU staging copy; `then` resumes the op afterwards.
-    Copy { then: AfterCopy },
-    CpuHash { function: NdpFunction, aux: Vec<u8> },
+    Copy {
+        then: AfterCopy,
+    },
+    CpuHash {
+        function: NdpFunction,
+        aux: Vec<u8>,
+    },
+    /// A cache-hit memory copy filling the staging buffer from host DRAM.
+    MemFill {
+        len: usize,
+    },
 }
 
 enum AfterCopy {
@@ -164,7 +176,11 @@ impl SwExecutor {
         let state = JobState {
             job,
             step: 0,
-            payload: PayloadLoc { addr: host_buf, len: 0, in_gpu: false },
+            payload: PayloadLoc {
+                addr: host_buf,
+                len: 0,
+                in_gpu: false,
+            },
             breakdown: Breakdown::new(),
             digest: None,
             ok: true,
@@ -173,7 +189,10 @@ impl SwExecutor {
             host_buf,
             gpu_buf,
         };
-        assert!(self.jobs.insert(id, state).is_none(), "duplicate job id {id}");
+        assert!(
+            self.jobs.insert(id, state).is_none(),
+            "duplicate job id {id}"
+        );
         {
             let now = ctx.now();
             let obs = &mut ctx.world().obs;
@@ -206,7 +225,29 @@ impl SwExecutor {
             D2dOp::Process { function, aux } => self.do_process(ctx, id, function, aux),
             D2dOp::NicSend { flow, seq } => self.do_send(ctx, id, flow, seq),
             D2dOp::NicRecv { flow, len } => self.do_recv(ctx, id, flow, len),
+            D2dOp::MemRead { len } => self.do_mem_read(ctx, id, len),
         }
+    }
+
+    fn do_mem_read(&mut self, ctx: &mut Ctx<'_>, id: u64, len: usize) {
+        // Cache-hit fast path: the bytes are already resident in host
+        // DRAM, so the kernel only pays the memcpy into the job's staging
+        // buffer — no flash, no PCIe block transfer.
+        let token = self.token_for(id);
+        let state = self.jobs.get_mut(&id).expect("live job");
+        state.waiting = Some(Waiting::MemFill { len });
+        let cost = self.costs.copy_cost(len).max(1);
+        let tag = state.job.tag;
+        let cpu = self.wiring.cpu;
+        ctx.send_now(
+            cpu,
+            CpuJob {
+                token,
+                cost_ns: cost,
+                tag,
+                reply_to: ctx.self_id(),
+            },
+        );
     }
 
     fn do_ssd_read(&mut self, ctx: &mut Ctx<'_>, id: u64, ssd: usize, lba: u64, len: usize) {
@@ -217,8 +258,16 @@ impl SwExecutor {
             && self.wiring.gpu.is_some();
         let token = self.token_for(id);
         let state = self.jobs.get_mut(&id).expect("live job");
-        let buf = if to_gpu { state.gpu_buf.expect("gpu staged") } else { state.host_buf };
-        state.payload = PayloadLoc { addr: buf, len, in_gpu: to_gpu };
+        let buf = if to_gpu {
+            state.gpu_buf.expect("gpu staged")
+        } else {
+            state.host_buf
+        };
+        state.payload = PayloadLoc {
+            addr: buf,
+            len,
+            in_gpu: to_gpu,
+        };
         state.waiting = Some(Waiting::Block);
         let tag = state.job.tag;
         let driver = self.wiring.nvme_drivers[ssd];
@@ -273,11 +322,18 @@ impl SwExecutor {
             let token = self.token_for(id);
             let state = self.jobs.get_mut(&id).expect("live job");
             state.waiting = Some(Waiting::CpuHash { function, aux });
-            let cost =
-                (state.payload.len as f64 / self.costs.cpu_hash_bytes_per_ns).ceil() as u64;
+            let cost = (state.payload.len as f64 / self.costs.cpu_hash_bytes_per_ns).ceil() as u64;
             let tag = state.job.tag;
             let cpu = self.wiring.cpu;
-            ctx.send_now(cpu, CpuJob { token, cost_ns: cost, tag, reply_to: ctx.self_id() });
+            ctx.send_now(
+                cpu,
+                CpuJob {
+                    token,
+                    cost_ns: cost,
+                    tag,
+                    reply_to: ctx.self_id(),
+                },
+            );
             return;
         }
         let in_gpu = self.jobs[&id].payload.in_gpu;
@@ -293,7 +349,10 @@ impl SwExecutor {
         let token = self.token_for(id);
         let state = self.jobs.get_mut(&id).expect("live job");
         let is_digest = function.is_digest();
-        state.waiting = Some(Waiting::Gpu { is_digest, function });
+        state.waiting = Some(Waiting::Gpu {
+            is_digest,
+            function,
+        });
         // GPU control CPU time gets its own utilization tag so the
         // Figure 12-style breakdowns separate it from kernel work.
         let tag = "gpu-control";
@@ -333,7 +392,11 @@ impl SwExecutor {
             (state.payload.addr, state.host_buf)
         };
         let len = state.payload.len;
-        state.payload = PayloadLoc { addr: dst, len, in_gpu: to_gpu };
+        state.payload = PayloadLoc {
+            addr: dst,
+            len,
+            in_gpu: to_gpu,
+        };
         // The CUDA driver charges setup CPU time; the copy itself is DMA.
         let setup = self.costs.gpu_copy_setup_ns;
         let tag = "gpu-copy";
@@ -343,13 +406,28 @@ impl SwExecutor {
         // The CPU setup and the DMA run back-to-back; we only gate job
         // progress on the DMA completion and fold the setup into GPU
         // control accounting.
-        ctx.send_now(cpu, CpuJob { token: cpu_token, cost_ns: setup, tag, reply_to: ctx.self_id() });
+        ctx.send_now(
+            cpu,
+            CpuJob {
+                token: cpu_token,
+                cost_ns: setup,
+                tag,
+                reply_to: ctx.self_id(),
+            },
+        );
         self.tokens.remove(&cpu_token); // accounted, no continuation
         let fabric = self.wiring.fabric;
         ctx.send_in(
             setup,
             fabric,
-            DmaRequest { id: token, src, dst, len, class: TlpClass::Data, reply_to: ctx.self_id() },
+            DmaRequest {
+                id: token,
+                src,
+                dst,
+                len,
+                class: TlpClass::Data,
+                reply_to: ctx.self_id(),
+            },
         );
         let state = self.jobs.get_mut(&id).expect("live job");
         state.breakdown.add(Category::GpuControl, setup);
@@ -390,12 +468,23 @@ impl SwExecutor {
         let token = self.token_for(id);
         let state = self.jobs.get_mut(&id).expect("live job");
         state.waiting = Some(Waiting::Recv);
-        state.payload = PayloadLoc { addr: state.host_buf, len, in_gpu: false };
+        state.payload = PayloadLoc {
+            addr: state.host_buf,
+            len,
+            in_gpu: false,
+        };
         let tag = state.job.tag;
         let nic = self.wiring.nic_driver;
         ctx.send_now(
             nic,
-            RecvExpect { id: token, flow, len, into: state.host_buf, tag, reply_to: ctx.self_id() },
+            RecvExpect {
+                id: token,
+                flow,
+                len,
+                into: state.host_buf,
+                tag,
+                reply_to: ctx.self_id(),
+            },
         );
     }
 
@@ -488,8 +577,13 @@ impl Component for SwExecutor {
                 let (is_digest, function) = {
                     let state = &self.jobs[&id];
                     match &state.waiting {
-                        Some(Waiting::Gpu { is_digest, function }) => (*is_digest, *function),
-                        other => panic!("GpuOpDone while not waiting on GPU: {:?}", other.is_some()),
+                        Some(Waiting::Gpu {
+                            is_digest,
+                            function,
+                        }) => (*is_digest, *function),
+                        other => {
+                            panic!("GpuOpDone while not waiting on GPU: {:?}", other.is_some())
+                        }
                     }
                 };
                 let out_addr =
@@ -505,8 +599,11 @@ impl Component for SwExecutor {
                     state.ok &= done.ok;
                 } else {
                     let state = self.jobs.get_mut(&id).expect("live job");
-                    state.payload =
-                        PayloadLoc { addr: out_addr, len: done.output_len, in_gpu: true };
+                    state.payload = PayloadLoc {
+                        addr: out_addr,
+                        len: done.output_len,
+                        in_gpu: true,
+                    };
                     state.breakdown.merge(&done.breakdown);
                     state.ok &= done.ok;
                 }
@@ -566,6 +663,20 @@ impl Component for SwExecutor {
                             state.payload.len,
                             state.copy_started,
                         ),
+                        Some(Waiting::MemFill { len }) => {
+                            // Cache copy finished: the staging buffer is
+                            // the payload now.
+                            let host_buf = state.host_buf;
+                            state.payload = PayloadLoc {
+                                addr: host_buf,
+                                len,
+                                in_gpu: false,
+                            };
+                            let cost = self.costs.copy_cost(len).max(1);
+                            state.breakdown.add(Category::DataCopy, cost);
+                            self.step_done(ctx, id);
+                            return;
+                        }
                         _ => panic!("CpuJobDone while not hashing on CPU"),
                     }
                 };
@@ -580,12 +691,16 @@ impl Component for SwExecutor {
                         }
                         if let Some(data) = out.data {
                             let host_buf = state.host_buf;
-                            state.payload =
-                                PayloadLoc { addr: host_buf, len: data.len(), in_gpu: false };
-                            ctx.world().expect_mut::<PhysMemory>().write(host_buf, &data);
+                            state.payload = PayloadLoc {
+                                addr: host_buf,
+                                len: data.len(),
+                                in_gpu: false,
+                            };
+                            ctx.world()
+                                .expect_mut::<PhysMemory>()
+                                .write(host_buf, &data);
                         }
-                        let cost =
-                            (len as f64 / self.costs.cpu_hash_bytes_per_ns).ceil() as u64;
+                        let cost = (len as f64 / self.costs.cpu_hash_bytes_per_ns).ceil() as u64;
                         let state = self.jobs.get_mut(&id).expect("live job");
                         state.breakdown.add(Category::Hash, cost);
                     }

@@ -93,7 +93,15 @@ impl HostGpuDriver {
         self.next_token += 1;
         self.cpu_phases.insert(t, phase);
         let cpu = self.cpu;
-        ctx.send_now(cpu, CpuJob { token: t, cost_ns: cost, tag, reply_to: ctx.self_id() });
+        ctx.send_now(
+            cpu,
+            CpuJob {
+                token: t,
+                cost_ns: cost,
+                tag,
+                reply_to: ctx.self_id(),
+            },
+        );
     }
 }
 
@@ -106,7 +114,13 @@ impl Component for HostGpuDriver {
                 let tag = req.tag;
                 self.pending.insert(
                     token,
-                    Pending { req, launched_at: ctx.now(), kernel_done_at: None, ok: false, output_len: 0 },
+                    Pending {
+                        req,
+                        launched_at: ctx.now(),
+                        kernel_done_at: None,
+                        ok: false,
+                        output_len: 0,
+                    },
                 );
                 let cost = self.costs.gpu_launch_ns;
                 self.cpu_job(ctx, cost, tag, CpuPhase::Launch { token });
@@ -199,7 +213,9 @@ mod tests {
                 }
                 Err(m) => m,
             };
-            let d = msg.downcast::<GpuOpDone>().expect("caller gets gpu completions");
+            let d = msg
+                .downcast::<GpuOpDone>()
+                .expect("caller gets gpu completions");
             ctx.world().stats.counter("caller.done").add(1);
             if d.ok {
                 ctx.world().stats.counter("caller.ok").add(1);
@@ -214,11 +230,21 @@ mod tests {
         sim.world_mut().insert(PhysMemory::new());
         let cpu = sim.add("cpu", CpuPool::new("node0", 4));
         let gpu = install_gpu(&mut sim, GpuConfig::default(), "gpu0", PortId(3));
-        let driver =
-            sim.add("gpu-driver", HostGpuDriver::new(cpu, gpu.clone(), KernelCosts::default()));
+        let driver = sim.add(
+            "gpu-driver",
+            HostGpuDriver::new(cpu, gpu.clone(), KernelCosts::default()),
+        );
         let caller = sim.reserve("caller");
-        sim.install(caller, Caller { driver, done: vec![] });
-        sim.world_mut().expect_mut::<PhysMemory>().write(gpu.memory.start, b"abc");
+        sim.install(
+            caller,
+            Caller {
+                driver,
+                done: vec![],
+            },
+        );
+        sim.world_mut()
+            .expect_mut::<PhysMemory>()
+            .write(gpu.memory.start, b"abc");
         sim.kickoff(
             caller,
             Go(GpuOpRequest {
@@ -234,7 +260,10 @@ mod tests {
         );
         sim.run();
         assert_eq!(sim.world().stats.counter_value("caller.ok"), 1);
-        let digest = sim.world().expect::<PhysMemory>().read(gpu.memory.start + 0x1000, 16);
+        let digest = sim
+            .world()
+            .expect::<PhysMemory>()
+            .read(gpu.memory.start + 0x1000, 16);
         assert_eq!(dcs_ndp::to_hex(&digest), "900150983cd24fb0d6963f7d28e17f72");
         // CPU accounting includes launch + sync.
         let stats = sim.world().expect::<crate::cpu::CpuStats>();

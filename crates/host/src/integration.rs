@@ -117,7 +117,11 @@ impl IntegratedExecutor {
                 }
                 D2dOp::SsdWrite { lba, .. } => {
                     let t = self.config.nvme.write_latency_ns
-                        + self.config.nvme.write_bandwidth.transfer_time(payload.len())
+                        + self
+                            .config
+                            .nvme
+                            .write_bandwidth
+                            .transfer_time(payload.len())
                         + self.config.internal_bandwidth.transfer_time(payload.len());
                     breakdown.add(Category::Write, t);
                     ctx.world()
@@ -140,8 +144,8 @@ impl IntegratedExecutor {
                     }
                 }
                 D2dOp::NicSend { .. } => {
-                    let t = self.config.wire.transfer_time(payload.len())
-                        + self.config.propagation_ns;
+                    let t =
+                        self.config.wire.transfer_time(payload.len()) + self.config.propagation_ns;
                     breakdown.add(Category::Wire, t);
                 }
                 D2dOp::NicRecv { len, .. } => {
@@ -152,9 +156,22 @@ impl IntegratedExecutor {
                     // reference model).
                     payload = vec![0u8; *len];
                 }
+                D2dOp::MemRead { len } => {
+                    // Cache-hit fast path: the fused device pulls the
+                    // bytes from host DRAM over its internal interconnect.
+                    let t = self.config.internal_bandwidth.transfer_time(*len);
+                    breakdown.add(Category::DataCopy, t);
+                    payload = vec![0u8; *len];
+                }
             }
         }
-        DeviceDone { job_id: job.id, breakdown, digest, ok, payload_len: payload.len() }
+        DeviceDone {
+            job_id: job.id,
+            breakdown,
+            digest,
+            ok,
+            payload_len: payload.len(),
+        }
     }
 }
 
@@ -170,7 +187,15 @@ impl Component for IntegratedExecutor {
                 let tag = job.tag;
                 self.pending.insert(job.id, job);
                 let cost = self.costs.syscall_ns + self.costs.vfs_lookup_ns;
-                ctx.send_now(cpu, CpuJob { token, cost_ns: cost, tag, reply_to: ctx.self_id() });
+                ctx.send_now(
+                    cpu,
+                    CpuJob {
+                        token,
+                        cost_ns: cost,
+                        tag,
+                        reply_to: ctx.self_id(),
+                    },
+                );
                 return;
             }
             Err(m) => m,
@@ -180,9 +205,10 @@ impl Component for IntegratedExecutor {
                 let job_id = self.tokens.remove(&done.token).expect("token routed");
                 let job = self.pending.get(&job_id).expect("live job").clone();
                 let mut result = self.execute(ctx, &job);
-                result
-                    .breakdown
-                    .add(Category::DeviceControl, self.costs.syscall_ns + self.costs.vfs_lookup_ns);
+                result.breakdown.add(
+                    Category::DeviceControl,
+                    self.costs.syscall_ns + self.costs.vfs_lookup_ns,
+                );
                 let delay = result.breakdown.total();
                 ctx.send_self_in(delay, result);
                 return;
@@ -219,7 +245,9 @@ mod tests {
     struct Sink;
     impl Component for Sink {
         fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
-            let d = msg.downcast::<D2dDone>().expect("sink gets job completions");
+            let d = msg
+                .downcast::<D2dDone>()
+                .expect("sink gets job completions");
             ctx.world().stats.counter("sink.done").add(1);
             if let Some(digest) = d.digest {
                 assert_eq!(
@@ -235,17 +263,23 @@ mod tests {
     fn integrated_read_hash_send_is_fast_and_correct() {
         let mut sim = Simulator::new(4);
         sim.world_mut().insert(PhysMemory::new());
-        let flash = sim
-            .world_mut()
-            .expect_mut::<PhysMemory>()
-            .alloc_region("fused-flash", 1 << 30, PortId(1));
+        let flash = sim.world_mut().expect_mut::<PhysMemory>().alloc_region(
+            "fused-flash",
+            1 << 30,
+            PortId(1),
+        );
         sim.world_mut()
             .expect_mut::<PhysMemory>()
             .write(flash.start, &vec![0x11u8; 8192]);
         let cpu = sim.add("cpu", CpuPool::new("node0", 6));
         let exec = sim.add(
             "integrated",
-            IntegratedExecutor::new(IntegrationConfig::default(), KernelCosts::default(), cpu, flash),
+            IntegratedExecutor::new(
+                IntegrationConfig::default(),
+                KernelCosts::default(),
+                cpu,
+                flash,
+            ),
         );
         let sink = sim.add("sink", Sink);
         sim.kickoff(
@@ -253,9 +287,19 @@ mod tests {
             D2dJob {
                 id: 1,
                 ops: vec![
-                    D2dOp::SsdRead { ssd: 0, lba: 0, len: 8192 },
-                    D2dOp::Process { function: NdpFunction::Md5, aux: vec![] },
-                    D2dOp::NicSend { flow: dcs_nic::TcpFlow::example(1, 2, 3, 4), seq: 0 },
+                    D2dOp::SsdRead {
+                        ssd: 0,
+                        lba: 0,
+                        len: 8192,
+                    },
+                    D2dOp::Process {
+                        function: NdpFunction::Md5,
+                        aux: vec![],
+                    },
+                    D2dOp::NicSend {
+                        flow: dcs_nic::TcpFlow::example(1, 2, 3, 4),
+                        seq: 0,
+                    },
                 ],
                 reply_to: sink,
                 tag: "fused",

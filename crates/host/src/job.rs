@@ -56,6 +56,14 @@ pub enum D2dOp {
         /// Bytes to accumulate before the op completes.
         len: usize,
     },
+    /// Materialize `len` bytes from host DRAM — a node's read cache — as
+    /// the pipeline payload, skipping the flash path entirely. The store
+    /// layer emits this for cache-hit GETs; the only cost is the memory
+    /// copy into the staging buffer.
+    MemRead {
+        /// Bytes to copy out of the cache.
+        len: usize,
+    },
 }
 
 impl D2dOp {
@@ -67,6 +75,7 @@ impl D2dOp {
             D2dOp::Process { .. } => "process",
             D2dOp::NicSend { .. } => "nic-send",
             D2dOp::NicRecv { .. } => "nic-recv",
+            D2dOp::MemRead { .. } => "mem-read",
         }
     }
 }
@@ -118,8 +127,13 @@ pub enum Design {
 
 impl Design {
     /// All designs in presentation order.
-    pub const ALL: [Design; 5] =
-        [Design::Linux, Design::SwOpt, Design::SwP2p, Design::DeviceIntegration, Design::DcsCtrl];
+    pub const ALL: [Design; 5] = [
+        Design::Linux,
+        Design::SwOpt,
+        Design::SwP2p,
+        Design::DeviceIntegration,
+        Design::DcsCtrl,
+    ];
 
     /// Display label matching the paper's figure legends.
     pub fn label(self) -> &'static str {
@@ -146,14 +160,38 @@ mod tests {
     #[test]
     fn op_labels_cover_all_variants() {
         let ops = [
-            D2dOp::SsdRead { ssd: 0, lba: 0, len: 4096 },
+            D2dOp::SsdRead {
+                ssd: 0,
+                lba: 0,
+                len: 4096,
+            },
             D2dOp::SsdWrite { ssd: 0, lba: 0 },
-            D2dOp::Process { function: NdpFunction::Md5, aux: vec![] },
-            D2dOp::NicSend { flow: TcpFlow::example(1, 2, 3, 4), seq: 0 },
-            D2dOp::NicRecv { flow: TcpFlow::example(1, 2, 3, 4), len: 4096 },
+            D2dOp::Process {
+                function: NdpFunction::Md5,
+                aux: vec![],
+            },
+            D2dOp::NicSend {
+                flow: TcpFlow::example(1, 2, 3, 4),
+                seq: 0,
+            },
+            D2dOp::NicRecv {
+                flow: TcpFlow::example(1, 2, 3, 4),
+                len: 4096,
+            },
+            D2dOp::MemRead { len: 4096 },
         ];
         let labels: Vec<_> = ops.iter().map(|o| o.label()).collect();
-        assert_eq!(labels, vec!["ssd-read", "ssd-write", "process", "nic-send", "nic-recv"]);
+        assert_eq!(
+            labels,
+            vec![
+                "ssd-read",
+                "ssd-write",
+                "process",
+                "nic-send",
+                "nic-recv",
+                "mem-read"
+            ]
+        );
     }
 
     #[test]

@@ -48,7 +48,11 @@ pub struct NicDriverConfig {
 
 impl Default for NicDriverConfig {
     fn default() -> Self {
-        NicDriverConfig { mode: KernelMode::Optimized, recv_buffers: 512, mss: 1448 }
+        NicDriverConfig {
+            mode: KernelMode::Optimized,
+            recv_buffers: 512,
+            mss: 1448,
+        }
     }
 }
 
@@ -144,7 +148,11 @@ struct Expectation {
 
 enum CpuPhase {
     TxSubmit,
-    RxBatch { frames: Vec<(TcpFlow, u32, Vec<u8>)>, copy_ns: u64, stack_ns: u64 },
+    RxBatch {
+        frames: Vec<(TcpFlow, u32, Vec<u8>)>,
+        copy_ns: u64,
+        stack_ns: u64,
+    },
     TxComplete,
 }
 
@@ -274,14 +282,23 @@ impl HostNicDriver {
             for _ in 0..count {
                 let idx = self.recv_ring.tail();
                 let buf = self.recv_bufs + idx as u64 * 2048;
-                let d = RecvDescriptor { buf_addr: buf, buf_len: 2048 };
+                let d = RecvDescriptor {
+                    buf_addr: buf,
+                    buf_len: 2048,
+                };
                 self.recv_ring.push(mem, &d.to_bytes());
             }
         }
         let tail = self.recv_ring.tail();
         let db = self.nic.rx_doorbell();
         let fabric = self.fabric;
-        ctx.send_now(fabric, MmioWrite { addr: db, data: (tail as u32).to_le_bytes().to_vec() });
+        ctx.send_now(
+            fabric,
+            MmioWrite {
+                addr: db,
+                data: (tail as u32).to_le_bytes().to_vec(),
+            },
+        );
     }
 
     fn cpu_job(&mut self, ctx: &mut Ctx<'_>, cost: u64, tag: &'static str, phase: CpuPhase) {
@@ -289,7 +306,15 @@ impl HostNicDriver {
         self.next_cpu_token += 1;
         self.cpu_phases.insert(token, phase);
         let cpu = self.cpu;
-        ctx.send_now(cpu, CpuJob { token, cost_ns: cost, tag, reply_to: ctx.self_id() });
+        ctx.send_now(
+            cpu,
+            CpuJob {
+                token,
+                cost_ns: cost,
+                tag,
+                reply_to: ctx.self_id(),
+            },
+        );
     }
 
     fn on_send(&mut self, ctx: &mut Ctx<'_>, req: SendRequest) {
@@ -335,7 +360,10 @@ impl HostNicDriver {
     }
 
     fn submit_send(&mut self, ctx: &mut Ctx<'_>) {
-        let id = self.tx_submit_queue.pop_front().expect("a send awaited this CPU job");
+        let id = self
+            .tx_submit_queue
+            .pop_front()
+            .expect("a send awaited this CPU job");
         self.sends.get_mut(&id).expect("live send").submitted_at = ctx.now();
         self.push_send_descs(ctx, id);
         if let Some(rc) = fault::recovery(ctx.world_ref()) {
@@ -352,7 +380,13 @@ impl HostNicDriver {
         const LSO_MAX: usize = 64 * 1024;
         let (flow, seq0, ack0, payload_addr, len) = {
             let s = &self.sends[&id];
-            (s.req.flow, s.req.seq, s.start_off as u32, s.req.payload_addr, s.req.len)
+            (
+                s.req.flow,
+                s.req.seq,
+                s.start_off as u32,
+                s.req.payload_addr,
+                s.req.len,
+            )
         };
         let chunks: Vec<(u64, usize)> = if len == 0 {
             vec![(0, 0)]
@@ -389,22 +423,34 @@ impl HostNicDriver {
         let tail = self.send_ring.tail();
         let db = self.nic.tx_doorbell();
         let fabric = self.fabric;
-        ctx.send_now(fabric, MmioWrite { addr: db, data: (tail as u32).to_le_bytes().to_vec() });
+        ctx.send_now(
+            fabric,
+            MmioWrite {
+                addr: db,
+                data: (tail as u32).to_le_bytes().to_vec(),
+            },
+        );
     }
 
     fn on_tx_msi(&mut self, ctx: &mut Ctx<'_>) {
         // NIC completes sends in submission order. A stale MSI (its send
         // already force-completed or failed by the fault machinery) is
         // ignored.
-        let Some(&id) = self.tx_queue.front() else { return };
+        let Some(&id) = self.tx_queue.front() else {
+            return;
+        };
         let tag = self.sends.get(&id).map(|s| s.req.tag).unwrap_or("net-rx");
         let cost = self.costs.irq_entry_ns + self.costs.completion_path_ns;
         self.cpu_job(ctx, cost, tag, CpuPhase::TxComplete);
     }
 
     fn finish_send(&mut self, ctx: &mut Ctx<'_>) {
-        let Some(id) = self.tx_queue.pop_front() else { return };
-        let Some(s) = self.sends.get_mut(&id) else { return };
+        let Some(id) = self.tx_queue.pop_front() else {
+            return;
+        };
+        let Some(s) = self.sends.get_mut(&id) else {
+            return;
+        };
         s.descs_remaining -= 1;
         if s.descs_remaining > 0 {
             return;
@@ -439,7 +485,14 @@ impl HostNicDriver {
             Category::RequestCompletion,
             self.costs.irq_entry_ns + self.costs.completion_path_ns,
         );
-        ctx.send_now(s.req.reply_to, SendDone { id, ok: true, breakdown });
+        ctx.send_now(
+            s.req.reply_to,
+            SendDone {
+                id,
+                ok: true,
+                breakdown,
+            },
+        );
     }
 
     /// A cumulative ack for the transmit direction keyed by the frame's
@@ -454,14 +507,20 @@ impl HostNicDriver {
         while let Some(&id) = self.unacked.get(&key).and_then(|q| q.front()) {
             match self.sends.get_mut(&id) {
                 None => {
-                    self.unacked.get_mut(&key).expect("queue exists").pop_front();
+                    self.unacked
+                        .get_mut(&key)
+                        .expect("queue exists")
+                        .pop_front();
                 }
                 Some(s) if s.start_off + s.req.len as u64 <= acked => {
                     if s.attempts > 0 {
                         fault::recovered(ctx.world(), fault::WIRE_DROP);
                     }
                     s.acked = true;
-                    self.unacked.get_mut(&key).expect("queue exists").pop_front();
+                    self.unacked
+                        .get_mut(&key)
+                        .expect("queue exists")
+                        .pop_front();
                     self.try_complete_send(ctx, id);
                 }
                 Some(_) => break,
@@ -474,7 +533,9 @@ impl HostNicDriver {
     /// out; also force-completes an acknowledged send whose transmit
     /// MSI was lost.
     fn on_tx_check(&mut self, ctx: &mut Ctx<'_>, id: u64) {
-        let Some(rc) = fault::recovery(ctx.world_ref()) else { return };
+        let Some(rc) = fault::recovery(ctx.world_ref()) else {
+            return;
+        };
         let retry = match self.sends.get_mut(&id) {
             None => return, // completed or failed
             Some(s) if s.acked => {
@@ -522,7 +583,14 @@ impl HostNicDriver {
         let mut breakdown = Breakdown::new();
         breakdown.add(Category::NetworkStack, s.stack_ns);
         breakdown.add(Category::Wire, ctx.now() - s.submitted_at);
-        ctx.send_now(s.req.reply_to, SendDone { id, ok: false, breakdown });
+        ctx.send_now(
+            s.req.reply_to,
+            SendDone {
+                id,
+                ok: false,
+                breakdown,
+            },
+        );
     }
 
     fn on_rx_msi(&mut self, ctx: &mut Ctx<'_>) {
@@ -534,7 +602,9 @@ impl HostNicDriver {
             let wb_addr = self.wb_base + self.wb_next as u64 * RecvWriteback::SIZE as u64;
             let raw: [u8; RecvWriteback::SIZE] = {
                 let mem = ctx.world_ref().expect::<PhysMemory>();
-                mem.read(wb_addr, RecvWriteback::SIZE).try_into().expect("8 bytes")
+                mem.read(wb_addr, RecvWriteback::SIZE)
+                    .try_into()
+                    .expect("8 bytes")
             };
             let wb = RecvWriteback::from_bytes(&raw);
             if !wb.valid {
@@ -546,7 +616,9 @@ impl HostNicDriver {
                 // (go-back-N retransmission recovers the payload).
                 // Detection here is the recovery for the write-back
                 // corruption site — the entry never reached software.
-                ctx.world().expect_mut::<PhysMemory>().write(wb_addr, &[0u8; 8]);
+                ctx.world()
+                    .expect_mut::<PhysMemory>()
+                    .write(wb_addr, &[0u8; 8]);
                 self.wb_next = (self.wb_next + 1) % depth;
                 self.consumed_since_repost += 1;
                 ctx.world().stats.counter("nic.drv_bad_writebacks").add(1);
@@ -569,7 +641,9 @@ impl HostNicDriver {
                 mem.read(buf, (wb.frame_len as usize).min(2048))
             };
             // Clear the write-back so the slot can be reused.
-            ctx.world().expect_mut::<PhysMemory>().write(wb_addr, &[0u8; 8]);
+            ctx.world()
+                .expect_mut::<PhysMemory>()
+                .write(wb_addr, &[0u8; 8]);
             self.wb_next = (self.wb_next + 1) % depth;
             self.consumed_since_repost += 1;
             match parse_frame(&frame) {
@@ -620,7 +694,16 @@ impl HostNicDriver {
             .first()
             .map(|e| e.req.tag)
             .unwrap_or("net-rx");
-        self.cpu_job(ctx, stack_ns + copy_ns, tag, CpuPhase::RxBatch { frames, copy_ns, stack_ns });
+        self.cpu_job(
+            ctx,
+            stack_ns + copy_ns,
+            tag,
+            CpuPhase::RxBatch {
+                frames,
+                copy_ns,
+                stack_ns,
+            },
+        );
     }
 
     fn recv_ring_depth(&self) -> u16 {
@@ -678,7 +761,9 @@ impl HostNicDriver {
         let mut done = Vec::new();
         for (i, e) in self.expectations.iter_mut().enumerate() {
             let key = (e.req.flow.dst_port, e.req.flow.src_port);
-            let Some(buf) = self.early.get_mut(&key) else { continue };
+            let Some(buf) = self.early.get_mut(&key) else {
+                continue;
+            };
             if buf.is_empty() {
                 continue;
             }
@@ -701,8 +786,18 @@ impl HostNicDriver {
             let mut breakdown = Breakdown::new();
             breakdown.add(Category::NetworkStack, e.stack_ns);
             breakdown.add(Category::DataCopy, e.copy_ns);
-            breakdown.add(Category::Wire, (ctx.now() - e.started_at).saturating_sub(e.stack_ns + e.copy_ns));
-            ctx.send_now(e.req.reply_to, RecvDone { id: e.req.id, ok: true, breakdown });
+            breakdown.add(
+                Category::Wire,
+                (ctx.now() - e.started_at).saturating_sub(e.stack_ns + e.copy_ns),
+            );
+            ctx.send_now(
+                e.req.reply_to,
+                RecvDone {
+                    id: e.req.id,
+                    ok: true,
+                    breakdown,
+                },
+            );
         }
     }
 
@@ -710,11 +805,21 @@ impl HostNicDriver {
     /// still arriving, abandons the expectation after a full timeout
     /// with no progress (the peer's retry budget ran out).
     fn on_rx_check(&mut self, ctx: &mut Ctx<'_>, id: u64, last_received: usize) {
-        let Some(rc) = fault::recovery(ctx.world_ref()) else { return };
-        let Some(pos) = self.expectations.iter().position(|e| e.req.id == id) else { return };
+        let Some(rc) = fault::recovery(ctx.world_ref()) else {
+            return;
+        };
+        let Some(pos) = self.expectations.iter().position(|e| e.req.id == id) else {
+            return;
+        };
         let received = self.expectations[pos].received;
         if received > last_received {
-            ctx.send_self_in(rc.op_timeout_ns, RxCheck { id, last_received: received });
+            ctx.send_self_in(
+                rc.op_timeout_ns,
+                RxCheck {
+                    id,
+                    last_received: received,
+                },
+            );
             return;
         }
         let e = self.expectations.remove(pos);
@@ -723,9 +828,18 @@ impl HostNicDriver {
         let mut breakdown = Breakdown::new();
         breakdown.add(Category::NetworkStack, e.stack_ns);
         breakdown.add(Category::DataCopy, e.copy_ns);
-        breakdown
-            .add(Category::Wire, (ctx.now() - e.started_at).saturating_sub(e.stack_ns + e.copy_ns));
-        ctx.send_now(e.req.reply_to, RecvDone { id: e.req.id, ok: false, breakdown });
+        breakdown.add(
+            Category::Wire,
+            (ctx.now() - e.started_at).saturating_sub(e.stack_ns + e.copy_ns),
+        );
+        ctx.send_now(
+            e.req.reply_to,
+            RecvDone {
+                id: e.req.id,
+                ok: false,
+                breakdown,
+            },
+        );
     }
 }
 
@@ -761,7 +875,13 @@ impl Component for HostNicDriver {
                     started_at: ctx.now(),
                 });
                 if let Some(rc) = fault::recovery(ctx.world_ref()) {
-                    ctx.send_self_in(rc.op_timeout_ns, RxCheck { id, last_received: 0 });
+                    ctx.send_self_in(
+                        rc.op_timeout_ns,
+                        RxCheck {
+                            id,
+                            last_received: 0,
+                        },
+                    );
                 }
                 // Data may already be waiting.
                 self.deliver_frames(ctx, vec![], 0, 0);
@@ -774,9 +894,11 @@ impl Component for HostNicDriver {
                 match self.cpu_phases.remove(&done.token).expect("live cpu phase") {
                     CpuPhase::TxSubmit => self.submit_send(ctx),
                     CpuPhase::TxComplete => self.finish_send(ctx),
-                    CpuPhase::RxBatch { frames, copy_ns, stack_ns } => {
-                        self.deliver_frames(ctx, frames, copy_ns, stack_ns)
-                    }
+                    CpuPhase::RxBatch {
+                        frames,
+                        copy_ns,
+                        stack_ns,
+                    } => self.deliver_frames(ctx, frames, copy_ns, stack_ns),
                 }
                 return;
             }

@@ -127,13 +127,17 @@ pub fn build_node(
     let ports = 2 + builder.ssds.len() + usize::from(builder.gpu.is_some()) + 1;
     let fabric = sim.add(
         &format!("{name}-pcie"),
-        PcieFabric::new(PcieConfig { ports, ..PcieConfig::default() }),
+        PcieFabric::new(PcieConfig {
+            ports,
+            ..PcieConfig::default()
+        }),
     );
     let cpu = sim.add(&format!("{name}-cpu"), CpuPool::new(name, builder.cores));
-    let dram = sim
-        .world_mut()
-        .expect_mut::<PhysMemory>()
-        .alloc_region(&format!("{name}-dram"), 2 << 30, PortId::ROOT);
+    let dram = sim.world_mut().expect_mut::<PhysMemory>().alloc_region(
+        &format!("{name}-dram"),
+        2 << 30,
+        PortId::ROOT,
+    );
 
     let mut next_port = 1u16;
     let mut port = || {
@@ -172,7 +176,15 @@ pub fn build_node(
     }
 
     // NIC + driver.
-    let nic = install_nic(sim, nic_id, fabric, wire, builder.nic.clone(), &format!("{name}-nic"), port());
+    let nic = install_nic(
+        sim,
+        nic_id,
+        fabric,
+        wire,
+        builder.nic.clone(),
+        &format!("{name}-nic"),
+        port(),
+    );
     let nic_area = AddrRange::new(dram.start + dram_off, 8 << 20);
     dram_off += 8 << 20;
     let nic_msi = dram.start + dram_off;
@@ -183,7 +195,10 @@ pub fn build_node(
         fabric,
         nic.clone(),
         builder.costs.clone(),
-        NicDriverConfig { mode: builder.design.kernel_mode(), ..builder.nic_driver.clone() },
+        NicDriverConfig {
+            mode: builder.design.kernel_mode(),
+            ..builder.nic_driver.clone()
+        },
         nic_area,
         nic_msi,
     );

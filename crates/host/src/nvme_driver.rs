@@ -186,11 +186,22 @@ impl HostNvmeDriver {
         self.next_cpu_token += 1;
         self.cpu_phases.insert(token, phase);
         let cpu = self.cpu;
-        ctx.send_now(cpu, CpuJob { token, cost_ns: cost, tag, reply_to: ctx.self_id() });
+        ctx.send_now(
+            cpu,
+            CpuJob {
+                token,
+                cost_ns: cost,
+                tag,
+                reply_to: ctx.self_id(),
+            },
+        );
     }
 
     fn on_request(&mut self, ctx: &mut Ctx<'_>, req: BlockRequest) {
-        assert!(req.len.is_multiple_of(LBA_SIZE as usize), "length must be whole blocks");
+        assert!(
+            req.len.is_multiple_of(LBA_SIZE as usize),
+            "length must be whole blocks"
+        );
         assert!(!self.sq.is_full(), "driver exceeded its queue depth");
         let cid = self.next_cid;
         self.next_cid = self.next_cid.wrapping_add(1);
@@ -233,7 +244,10 @@ impl HostNvmeDriver {
             .step_by(MDTS)
             .map(|off| (off as u64, MDTS.min(len - off)))
             .collect();
-        self.outstanding.get_mut(&cid).expect("live").chunks_remaining = chunks.len();
+        self.outstanding
+            .get_mut(&cid)
+            .expect("live")
+            .chunks_remaining = chunks.len();
         // Sub-commands use consecutive CIDs; completions route to the
         // primary via `chunk_owner`. The primary CID was reserved at
         // request arrival; further chunks draw fresh CIDs.
@@ -246,8 +260,14 @@ impl HostNvmeDriver {
                 self.chunk_owner.insert(c, cid);
                 c
             };
-            self.chunk_geom
-                .insert(sub_cid, ChunkGeom { off: *off, len: *chunk_len, attempts: 0 });
+            self.chunk_geom.insert(
+                sub_cid,
+                ChunkGeom {
+                    off: *off,
+                    len: *chunk_len,
+                    attempts: 0,
+                },
+            );
             self.push_command(ctx, sub_cid, buf, *off, *chunk_len, lba, op);
         }
         self.ring_sq_doorbell(ctx);
@@ -296,7 +316,10 @@ impl HostNvmeDriver {
         let fabric = self.fabric;
         ctx.send_now(
             fabric,
-            MmioWrite { addr: doorbell, data: (tail as u32).to_le_bytes().to_vec() },
+            MmioWrite {
+                addr: doorbell,
+                data: (tail as u32).to_le_bytes().to_vec(),
+            },
         );
     }
 
@@ -317,7 +340,8 @@ impl HostNvmeDriver {
         let sub_cid = self.next_cid;
         self.next_cid = self.next_cid.wrapping_add(1);
         self.chunk_owner.insert(sub_cid, primary);
-        self.chunk_geom.insert(sub_cid, ChunkGeom { off, len, attempts });
+        self.chunk_geom
+            .insert(sub_cid, ChunkGeom { off, len, attempts });
         self.push_command(ctx, sub_cid, buf, off, len, lba, op);
         self.ring_sq_doorbell(ctx);
     }
@@ -346,7 +370,13 @@ impl HostNvmeDriver {
         let head = self.cq.head();
         let db = self.ssd.cq_doorbell(1);
         let fabric = self.fabric;
-        ctx.send_now(fabric, MmioWrite { addr: db, data: (head as u32).to_le_bytes().to_vec() });
+        ctx.send_now(
+            fabric,
+            MmioWrite {
+                addr: db,
+                data: (head as u32).to_le_bytes().to_vec(),
+            },
+        );
         for entry in completed {
             // Validate before trusting: a poisoned CQE can land with a
             // plausible phase bit but garbage fields (the device rewrites
@@ -407,16 +437,25 @@ impl HostNvmeDriver {
     /// been lost), re-arms while the request is within its overall
     /// deadline, and otherwise surfaces a clean error completion.
     fn on_check(&mut self, ctx: &mut Ctx<'_>, cid: u16) {
-        if self.outstanding.get(&cid).map(|o| o.chunks_remaining == 0).unwrap_or(true) {
+        if self
+            .outstanding
+            .get(&cid)
+            .map(|o| o.chunks_remaining == 0)
+            .unwrap_or(true)
+        {
             return; // completed (or already timed out); timer expires silently
         }
         ctx.world().stats.counter("nvme.drv_polls").add(1);
         self.drain_cq(ctx);
-        let Some(out) = self.outstanding.get(&cid) else { return };
+        let Some(out) = self.outstanding.get(&cid) else {
+            return;
+        };
         if out.chunks_remaining == 0 {
             return; // the poll recovered it
         }
-        let Some(rc) = fault::recovery(ctx.world_ref()) else { return };
+        let Some(rc) = fault::recovery(ctx.world_ref()) else {
+            return;
+        };
         if ctx.now() - out.submitted_at < rc.op_timeout_ns {
             ctx.send_self_in(rc.nvme_timeout_ns, NvmeCheck { cid });
             return;
@@ -433,7 +472,9 @@ impl HostNvmeDriver {
         }
         ctx.world().stats.counter("nvme.drv_timeouts").add(1);
         fault::exhausted(ctx.world(), fault::MSI_LOSS);
-        let Some(out) = self.outstanding.get_mut(&cid) else { return };
+        let Some(out) = self.outstanding.get_mut(&cid) else {
+            return;
+        };
         out.chunks_remaining = 0;
         out.device_done_at = Some(ctx.now());
         out.status = Some(NvmeStatus::MediaError);
@@ -455,7 +496,9 @@ impl HostNvmeDriver {
         self.cq = CompletionQueueReader::new(attach.cq_base, attach.depth);
         {
             let zeros = vec![0u8; attach.depth as usize * NvmeCompletion::SIZE];
-            ctx.world().expect_mut::<PhysMemory>().write(attach.cq_base, &zeros);
+            ctx.world()
+                .expect_mut::<PhysMemory>()
+                .write(attach.cq_base, &zeros);
         }
         self.chunk_owner = DetMap::new();
         self.chunk_geom = DetMap::new();
@@ -472,7 +515,9 @@ impl HostNvmeDriver {
             .collect();
         pending.sort_unstable();
         for old_cid in pending {
-            let Some(out) = self.outstanding.remove(&old_cid) else { continue };
+            let Some(out) = self.outstanding.remove(&old_cid) else {
+                continue;
+            };
             let cid = self.next_cid;
             self.next_cid = self.next_cid.wrapping_add(1);
             self.outstanding.insert(cid, out);
@@ -494,7 +539,14 @@ impl HostNvmeDriver {
         breakdown.add(dev_cat, device_time);
         breakdown.add(Category::RequestCompletion, ctx.now() - device_done);
         let ok = out.status.expect("status recorded").is_ok();
-        ctx.send_now(out.req.reply_to, BlockDone { id: out.req.id, ok, breakdown });
+        ctx.send_now(
+            out.req.reply_to,
+            BlockDone {
+                id: out.req.id,
+                ok,
+                breakdown,
+            },
+        );
     }
 }
 
@@ -557,7 +609,9 @@ mod tests {
                 }
                 Err(m) => m,
             };
-            let d = msg.downcast::<BlockDone>().expect("caller gets block completions");
+            let d = msg
+                .downcast::<BlockDone>()
+                .expect("caller gets block completions");
             ctx.world().stats.counter("caller.done").add(1);
             if d.ok {
                 ctx.world().stats.counter("caller.ok").add(1);
@@ -575,14 +629,18 @@ mod tests {
         let ssd = install_nvme(
             &mut sim,
             fabric,
-            NvmeConfig { capacity_lbas: 1 << 20, ..NvmeConfig::default() },
+            NvmeConfig {
+                capacity_lbas: 1 << 20,
+                ..NvmeConfig::default()
+            },
             "ssd0",
             PortId(1),
         );
-        let dram = sim
-            .world_mut()
-            .expect_mut::<PhysMemory>()
-            .alloc_region("host-dram", 64 << 20, PortId::ROOT);
+        let dram = sim.world_mut().expect_mut::<PhysMemory>().alloc_region(
+            "host-dram",
+            64 << 20,
+            PortId::ROOT,
+        );
         let rings = AddrRange::new(dram.start, 1 << 20);
         let msi_addr = dram.start + (2 << 20);
         let driver_id = sim.reserve("nvme-driver");
@@ -601,7 +659,13 @@ mod tests {
             .claim(AddrRange::new(msi_addr, 0x100), driver_id);
         sim.kickoff(ssd.device, attach);
         let caller = sim.reserve("caller");
-        sim.install(caller, Caller { driver: driver_id, done: vec![] });
+        sim.install(
+            caller,
+            Caller {
+                driver: driver_id,
+                done: vec![],
+            },
+        );
         (sim, caller, ssd, dram)
     }
 
@@ -609,7 +673,9 @@ mod tests {
     fn read_via_driver_returns_data_and_breakdown() {
         let (mut sim, caller, ssd, dram) = setup(KernelMode::Optimized);
         let payload: Vec<u8> = (0..8192u32).map(|i| (i % 253) as u8).collect();
-        sim.world_mut().expect_mut::<PhysMemory>().write(ssd.lba_addr(10), &payload);
+        sim.world_mut()
+            .expect_mut::<PhysMemory>()
+            .write(ssd.lba_addr(10), &payload);
         let buf = dram.start + (4 << 20);
         sim.kickoff(
             caller,
@@ -629,7 +695,10 @@ mod tests {
         // The breakdown must contain software + device categories.
         let stats = sim.world().expect::<crate::cpu::CpuStats>();
         assert!(stats.pool("node0").unwrap().jobs >= 2);
-        assert!(sim.now().as_nanos() > time::us(14), "includes flash latency");
+        assert!(
+            sim.now().as_nanos() > time::us(14),
+            "includes flash latency"
+        );
     }
 
     #[test]
@@ -661,7 +730,9 @@ mod tests {
         let (mut sim, caller, ssd, dram) = setup(KernelMode::Optimized);
         let buf = dram.start + (4 << 20);
         let payload = vec![0xC3u8; 4096];
-        sim.world_mut().expect_mut::<PhysMemory>().write(buf, &payload);
+        sim.world_mut()
+            .expect_mut::<PhysMemory>()
+            .write(buf, &payload);
         sim.kickoff(
             caller,
             Go(BlockRequest {
@@ -676,7 +747,12 @@ mod tests {
         );
         sim.run();
         assert_eq!(sim.world().stats.counter_value("caller.ok"), 1);
-        assert_eq!(sim.world().expect::<PhysMemory>().read(ssd.lba_addr(77), 4096), payload);
+        assert_eq!(
+            sim.world()
+                .expect::<PhysMemory>()
+                .read(ssd.lba_addr(77), 4096),
+            payload
+        );
     }
 
     #[test]
@@ -708,7 +784,9 @@ mod tests {
         plan.enable(dcs_sim::fault::NVME_MEDIA, dcs_sim::FaultSpec::Nth(vec![0]));
         sim.world_mut().insert(plan);
         let payload = vec![0x5Au8; 4096];
-        sim.world_mut().expect_mut::<PhysMemory>().write(ssd.lba_addr(3), &payload);
+        sim.world_mut()
+            .expect_mut::<PhysMemory>()
+            .write(ssd.lba_addr(3), &payload);
         let buf = dram.start + (4 << 20);
         sim.kickoff(
             caller,
@@ -767,7 +845,9 @@ mod tests {
         plan.enable(dcs_sim::fault::MSI_LOSS, dcs_sim::FaultSpec::Nth(vec![0]));
         sim.world_mut().insert(plan);
         let payload = vec![0x77u8; 4096];
-        sim.world_mut().expect_mut::<PhysMemory>().write(ssd.lba_addr(8), &payload);
+        sim.world_mut()
+            .expect_mut::<PhysMemory>()
+            .write(ssd.lba_addr(8), &payload);
         let buf = dram.start + (4 << 20);
         sim.kickoff(
             caller,
@@ -799,11 +879,19 @@ mod tests {
         // device's CQE rewrite. Killing 2 and 3 loses the completion
         // entirely; the driver's op timeout must then reset the
         // controller and resubmit, which succeeds on fresh draws.
-        plan.enable(dcs_sim::fault::TLP_HEADER, dcs_sim::FaultSpec::Nth(vec![2, 3]));
-        plan.recovery = dcs_sim::RecoveryConfig { pcie_retries: 0, ..Default::default() };
+        plan.enable(
+            dcs_sim::fault::TLP_HEADER,
+            dcs_sim::FaultSpec::Nth(vec![2, 3]),
+        );
+        plan.recovery = dcs_sim::RecoveryConfig {
+            pcie_retries: 0,
+            ..Default::default()
+        };
         sim.world_mut().insert(plan);
         let payload = vec![0x3Cu8; 4096];
-        sim.world_mut().expect_mut::<PhysMemory>().write(ssd.lba_addr(4), &payload);
+        sim.world_mut()
+            .expect_mut::<PhysMemory>()
+            .write(ssd.lba_addr(4), &payload);
         let buf = dram.start + (4 << 20);
         sim.kickoff(
             caller,
@@ -821,15 +909,26 @@ mod tests {
         let stats = &sim.world().stats;
         assert_eq!(stats.counter_value("nvme.cqe_lost"), 1);
         assert_eq!(stats.counter_value("nvme.drv_resets"), 1);
-        assert_eq!(stats.counter_value("nvme.resets"), 1, "device saw the re-attach");
+        assert_eq!(
+            stats.counter_value("nvme.resets"),
+            1,
+            "device saw the re-attach"
+        );
         assert_eq!(stats.counter_value("aer.device_reset"), 1);
         assert_eq!(stats.counter_value("aer.cpl_timeout"), 2);
-        assert_eq!(stats.counter_value("caller.ok"), 1, "request completed after the reset");
+        assert_eq!(
+            stats.counter_value("caller.ok"),
+            1,
+            "request completed after the reset"
+        );
         assert_eq!(sim.world().expect::<PhysMemory>().read(buf, 4096), payload);
         // Conservation: both injected header corruptions were contained
         // as exhausted timeouts.
-        let tallies: std::collections::BTreeMap<_, _> =
-            sim.world().expect::<dcs_sim::FaultPlan>().tallies().collect();
+        let tallies: std::collections::BTreeMap<_, _> = sim
+            .world()
+            .expect::<dcs_sim::FaultPlan>()
+            .tallies()
+            .collect();
         let t = tallies[dcs_sim::fault::TLP_HEADER];
         assert_eq!((t.injected, t.recovered, t.exhausted), (2, 0, 2));
     }

@@ -29,7 +29,9 @@ impl Component for App {
             }
             Err(m) => m,
         };
-        let done = msg.downcast::<D2dDone>().expect("app receives job completions");
+        let done = msg
+            .downcast::<D2dDone>()
+            .expect("app receives job completions");
         ctx.world().stats.counter("app.done").add(1);
         if done.ok {
             ctx.world().stats.counter("app.ok").add(1);
@@ -72,19 +74,50 @@ fn run_read_hash_send(design: SwDesign) -> (Rig, D2dDone) {
     let job = D2dJob {
         id: 1,
         ops: vec![
-            D2dOp::SsdRead { ssd: 0, lba: 40, len },
-            D2dOp::Process { function: NdpFunction::Md5, aux: vec![] },
-            D2dOp::NicSend { flow: TcpFlow::example(1, 2, 40_000, 9000), seq: 0 },
+            D2dOp::SsdRead {
+                ssd: 0,
+                lba: 40,
+                len,
+            },
+            D2dOp::Process {
+                function: NdpFunction::Md5,
+                aux: vec![],
+            },
+            D2dOp::NicSend {
+                flow: TcpFlow::example(1, 2, 40_000, 9000),
+                seq: 0,
+            },
         ],
         reply_to: rig.app,
         tag: "micro",
     };
-    rig.sim.kickoff(rig.app, Submit { to: rig.a.executor, job });
+    rig.sim.kickoff(
+        rig.app,
+        Submit {
+            to: rig.a.executor,
+            job,
+        },
+    );
     rig.sim.run();
-    assert_eq!(rig.sim.world().stats.counter_value("app.ok"), 1, "{design:?}");
-    let done = rig.sim.world().expect::<Inbox>().0.last().expect("one result").clone();
+    assert_eq!(
+        rig.sim.world().stats.counter_value("app.ok"),
+        1,
+        "{design:?}"
+    );
+    let done = rig
+        .sim
+        .world()
+        .expect::<Inbox>()
+        .0
+        .last()
+        .expect("one result")
+        .clone();
     // Digest correctness regardless of design.
-    assert_eq!(done.digest.as_deref(), Some(md5(&payload).as_slice()), "{design:?}");
+    assert_eq!(
+        done.digest.as_deref(),
+        Some(md5(&payload).as_slice()),
+        "{design:?}"
+    );
     (rig, done)
 }
 
@@ -151,7 +184,11 @@ fn send_and_receive_across_nodes_via_baselines() {
     let send = D2dJob {
         id: 1,
         ops: vec![
-            D2dOp::SsdRead { ssd: 0, lba: 0, len },
+            D2dOp::SsdRead {
+                ssd: 0,
+                lba: 0,
+                len,
+            },
             D2dOp::NicSend { flow, seq: 0 },
         ],
         reply_to: rig.app,
@@ -160,19 +197,44 @@ fn send_and_receive_across_nodes_via_baselines() {
     let recv = D2dJob {
         id: 2,
         ops: vec![
-            D2dOp::NicRecv { flow: flow.reversed(), len },
-            D2dOp::Process { function: NdpFunction::Crc32, aux: vec![] },
+            D2dOp::NicRecv {
+                flow: flow.reversed(),
+                len,
+            },
+            D2dOp::Process {
+                function: NdpFunction::Crc32,
+                aux: vec![],
+            },
             D2dOp::SsdWrite { ssd: 0, lba: 600 },
         ],
         reply_to: rig.app,
         tag: "recv",
     };
-    rig.sim.kickoff(rig.app, Submit { to: rig.b.executor, job: recv });
-    rig.sim.kickoff(rig.app, Submit { to: rig.a.executor, job: send });
+    rig.sim.kickoff(
+        rig.app,
+        Submit {
+            to: rig.b.executor,
+            job: recv,
+        },
+    );
+    rig.sim.kickoff(
+        rig.app,
+        Submit {
+            to: rig.a.executor,
+            job: send,
+        },
+    );
     rig.sim.run();
     assert_eq!(rig.sim.world().stats.counter_value("app.ok"), 2);
-    let on_b = rig.sim.world().expect::<PhysMemory>().read(rig.b.ssds[0].lba_addr(600), len);
-    assert_eq!(on_b, payload, "payload must land intact on the remote flash");
+    let on_b = rig
+        .sim
+        .world()
+        .expect::<PhysMemory>()
+        .read(rig.b.ssds[0].lba_addr(600), len);
+    assert_eq!(
+        on_b, payload,
+        "payload must land intact on the remote flash"
+    );
     // The receive side's CRC digest matches a direct computation.
     let crc = dcs_ndp::crc32::crc32(&payload).to_be_bytes();
     let inbox = rig.sim.world().expect::<Inbox>();
@@ -195,17 +257,32 @@ fn cpu_hash_fallback_when_no_gpu() {
     sim.run();
     let len = 8192;
     let payload = vec![7u8; len];
-    sim.world_mut().expect_mut::<PhysMemory>().write(a.ssds[0].lba_addr(0), &payload);
+    sim.world_mut()
+        .expect_mut::<PhysMemory>()
+        .write(a.ssds[0].lba_addr(0), &payload);
     let job = D2dJob {
         id: 5,
         ops: vec![
-            D2dOp::SsdRead { ssd: 0, lba: 0, len },
-            D2dOp::Process { function: NdpFunction::Md5, aux: vec![] },
+            D2dOp::SsdRead {
+                ssd: 0,
+                lba: 0,
+                len,
+            },
+            D2dOp::Process {
+                function: NdpFunction::Md5,
+                aux: vec![],
+            },
         ],
         reply_to: app,
         tag: "cpu-hash",
     };
-    sim.kickoff(app, Submit { to: a.executor, job });
+    sim.kickoff(
+        app,
+        Submit {
+            to: a.executor,
+            job,
+        },
+    );
     sim.run();
     assert_eq!(sim.world().stats.counter_value("app.ok"), 1);
     let inbox = sim.world().expect::<Inbox>();
@@ -221,11 +298,21 @@ fn failed_device_op_propagates_not_ok() {
     let mut rig = setup(SwDesign::SwOpt);
     let job = D2dJob {
         id: 9,
-        ops: vec![D2dOp::SsdRead { ssd: 0, lba: u64::MAX / 8192, len: 4096 }],
+        ops: vec![D2dOp::SsdRead {
+            ssd: 0,
+            lba: u64::MAX / 8192,
+            len: 4096,
+        }],
         reply_to: rig.app,
         tag: "bad",
     };
-    rig.sim.kickoff(rig.app, Submit { to: rig.a.executor, job });
+    rig.sim.kickoff(
+        rig.app,
+        Submit {
+            to: rig.a.executor,
+            job,
+        },
+    );
     rig.sim.run();
     assert_eq!(rig.sim.world().stats.counter_value("app.done"), 1);
     assert_eq!(rig.sim.world().stats.counter_value("app.ok"), 0);

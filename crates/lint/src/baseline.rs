@@ -91,7 +91,9 @@ impl Baseline {
                 continue;
             }
             let Some((key, value)) = parse_kv(line) else {
-                errors.push(format!("line {lineno}: expected `[[allow]]` or `key = \"value\"`, got `{line}`"));
+                errors.push(format!(
+                    "line {lineno}: expected `[[allow]]` or `key = \"value\"`, got `{line}`"
+                ));
                 continue;
             };
             let Some(entry) = current.as_mut() else {

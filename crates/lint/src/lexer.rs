@@ -120,20 +120,29 @@ pub fn lex(src: &str) -> Lexed {
                 let start = i;
                 i = skip_string(bytes, i);
                 bump_lines!(start..i.min(bytes.len()));
-                out.tokens.push(Token { kind: TokenKind::Literal, line });
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line,
+                });
             }
             b'r' | b'b' if starts_raw_or_byte_string(bytes, i) => {
                 let start = i;
                 i = skip_raw_or_byte_string(bytes, i);
                 bump_lines!(start..i.min(bytes.len()));
-                out.tokens.push(Token { kind: TokenKind::Literal, line });
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line,
+                });
             }
             b'r' if bytes.get(i + 1) == Some(&b'#')
                 && bytes.get(i + 2).is_some_and(|c| is_ident_start(*c)) =>
             {
                 // Raw identifier r#type → emit `type`.
                 let (ident, next) = take_ident(src, bytes, i + 2);
-                out.tokens.push(Token { kind: TokenKind::Ident(ident), line });
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident(ident),
+                    line,
+                });
                 i = next;
             }
             b'\'' => {
@@ -160,12 +169,18 @@ pub fn lex(src: &str) -> Lexed {
                             _ => i += 1,
                         }
                     }
-                    out.tokens.push(Token { kind: TokenKind::Literal, line });
+                    out.tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        line,
+                    });
                 }
             }
             b if is_ident_start(b) => {
                 let (ident, next) = take_ident(src, bytes, i);
-                out.tokens.push(Token { kind: TokenKind::Ident(ident), line });
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident(ident),
+                    line,
+                });
                 i = next;
             }
             b if b.is_ascii_digit() => {
@@ -181,7 +196,10 @@ pub fn lex(src: &str) -> Lexed {
                         break;
                     }
                 }
-                out.tokens.push(Token { kind: TokenKind::Number, line });
+                out.tokens.push(Token {
+                    kind: TokenKind::Number,
+                    line,
+                });
             }
             _ => {
                 // Multi-byte UTF-8 (e.g. an em-dash in a string would have
@@ -189,7 +207,10 @@ pub fn lex(src: &str) -> Lexed {
                 // don't care about). Advance by the full code point.
                 let ch_len = src[i..].chars().next().map_or(1, |c| c.len_utf8());
                 if ch_len == 1 {
-                    out.tokens.push(Token { kind: TokenKind::Punct(b as char), line });
+                    out.tokens.push(Token {
+                        kind: TokenKind::Punct(b as char),
+                        line,
+                    });
                 }
                 i += ch_len;
             }
@@ -348,7 +369,14 @@ mod tests {
         // `1..5` is number, dot, dot, number — not a malformed float.
         let lexed = lex("1..5");
         assert_eq!(lexed.tokens.iter().filter(|t| t.is_punct('.')).count(), 2);
-        assert_eq!(lexed.tokens.iter().filter(|t| t.kind == TokenKind::Number).count(), 2);
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Number)
+                .count(),
+            2
+        );
     }
 
     #[test]

@@ -56,7 +56,9 @@ fn parse_pragmas(lexed: &lexer::Lexed) -> Vec<Pragma> {
         if c.text.starts_with("///") || c.text.starts_with("//!") {
             continue;
         }
-        let Some(at) = c.text.find("dcs-lint:") else { continue };
+        let Some(at) = c.text.find("dcs-lint:") else {
+            continue;
+        };
         let rest = c.text[at + "dcs-lint:".len()..].trim_start();
         let whole_file = rest.starts_with("allow-file(");
         let prefix = if whole_file { "allow-file(" } else { "allow(" };
@@ -64,15 +66,25 @@ fn parse_pragmas(lexed: &lexer::Lexed) -> Vec<Pragma> {
             continue;
         }
         let body = &rest[prefix.len()..];
-        let Some(close) = body.find(')') else { continue };
-        let rules: Vec<String> =
-            body[..close].split(',').map(|r| r.trim().to_string()).filter(|r| !r.is_empty()).collect();
+        let Some(close) = body.find(')') else {
+            continue;
+        };
+        let rules: Vec<String> = body[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
         // A reason follows an em-dash or hyphen separator.
         let tail = body[close + 1..].trim_start();
         let has_reason = ["—", "--", "-"]
             .iter()
             .any(|sep| tail.strip_prefix(sep).is_some_and(|r| !r.trim().is_empty()));
-        pragmas.push(Pragma { rules, comment_line: c.line, whole_file, has_reason });
+        pragmas.push(Pragma {
+            rules,
+            comment_line: c.line,
+            whole_file,
+            has_reason,
+        });
     }
     pragmas
 }
@@ -117,7 +129,7 @@ pub fn analyze_source(rel: &str, src: &str) -> Vec<Finding> {
                 line: p.comment_line,
                 message: "allow pragma without a reason — write `// dcs-lint: allow(rule) — why`"
                     .to_string(),
-            suppressed: None,
+                suppressed: None,
             });
             continue; // a reasonless pragma suppresses nothing
         }
@@ -144,7 +156,9 @@ pub fn analyze_source(rel: &str, src: &str) -> Vec<Finding> {
 
 /// The text of 1-based `line` in `src` ("" when out of range).
 pub fn source_line(src: &str, line: u32) -> &str {
-    src.lines().nth(line.saturating_sub(1) as usize).unwrap_or("")
+    src.lines()
+        .nth(line.saturating_sub(1) as usize)
+        .unwrap_or("")
 }
 
 /// Recursively collects the workspace `.rs` files to lint, relative to
@@ -192,7 +206,10 @@ impl Report {
 
     /// Number of findings suppressed by `kind`.
     pub fn suppressed_count(&self, kind: Suppression) -> usize {
-        self.findings.iter().filter(|f| f.suppressed == Some(kind)).count()
+        self.findings
+            .iter()
+            .filter(|f| f.suppressed == Some(kind))
+            .count()
     }
 
     /// True when the run is clean: no active findings, no stale
@@ -204,11 +221,22 @@ impl Report {
 
 /// Lints `files` (absolute or root-relative paths), reporting paths
 /// relative to `root`, with optional baseline suppression.
-pub fn run(root: &Path, files: &[PathBuf], mut baseline: Option<Baseline>) -> std::io::Result<Report> {
-    let mut report = Report { files: files.len(), ..Default::default() };
+pub fn run(
+    root: &Path,
+    files: &[PathBuf],
+    mut baseline: Option<Baseline>,
+) -> std::io::Result<Report> {
+    let mut report = Report {
+        files: files.len(),
+        ..Default::default()
+    };
     for path in files {
         let src = std::fs::read_to_string(path)?;
-        let rel = path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/");
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
         let mut findings = analyze_source(&rel, &src);
         if let Some(b) = baseline.as_mut() {
             for f in findings.iter_mut() {
@@ -235,7 +263,8 @@ mod tests {
 
     #[test]
     fn pragma_on_same_line_suppresses() {
-        let src = "use std::collections::HashMap; // dcs-lint: allow(hash-collection) — index only\n";
+        let src =
+            "use std::collections::HashMap; // dcs-lint: allow(hash-collection) — index only\n";
         let f = analyze_source("crates/x/src/lib.rs", src);
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].suppressed, Some(Suppression::Pragma));
@@ -257,7 +286,9 @@ use std::collections::HashMap;
     fn pragma_without_reason_suppresses_nothing_and_is_flagged() {
         let src = "use std::collections::HashMap; // dcs-lint: allow(hash-collection)\n";
         let f = analyze_source("crates/x/src/lib.rs", src);
-        assert!(f.iter().any(|f| f.rule == "pragma-missing-reason" && f.suppressed.is_none()));
+        assert!(f
+            .iter()
+            .any(|f| f.rule == "pragma-missing-reason" && f.suppressed.is_none()));
         assert!(f
             .iter()
             .any(|f| f.rule == "hash-collection" && f.suppressed.is_none()));
@@ -267,7 +298,9 @@ use std::collections::HashMap;
     fn pragma_for_other_rule_does_not_suppress() {
         let src = "use std::collections::HashMap; // dcs-lint: allow(wall-clock) — wrong rule\n";
         let f = analyze_source("crates/x/src/lib.rs", src);
-        assert!(f.iter().any(|f| f.rule == "hash-collection" && f.suppressed.is_none()));
+        assert!(f
+            .iter()
+            .any(|f| f.rule == "hash-collection" && f.suppressed.is_none()));
     }
 
     #[test]
@@ -280,13 +313,18 @@ struct B { y: HashMap<u8, u8> }
 ";
         let f = analyze_source("crates/x/src/lib.rs", src);
         assert!(f.iter().filter(|f| f.rule == "hash-collection").count() >= 3);
-        assert!(f.iter().all(|f| f.suppressed == Some(Suppression::Pragma)), "{f:?}");
+        assert!(
+            f.iter().all(|f| f.suppressed == Some(Suppression::Pragma)),
+            "{f:?}"
+        );
     }
 
     #[test]
     fn unknown_rule_in_pragma_is_flagged() {
         let src = "let x = 1; // dcs-lint: allow(nonsense) — reason\n";
         let f = analyze_source("crates/x/src/lib.rs", src);
-        assert!(f.iter().any(|f| f.rule == "pragma-missing-reason" && f.message.contains("unknown rule")));
+        assert!(f
+            .iter()
+            .any(|f| f.rule == "pragma-missing-reason" && f.message.contains("unknown rule")));
     }
 }

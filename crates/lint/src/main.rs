@@ -50,8 +50,7 @@ fn parse_args() -> Result<Args, String> {
             "--list-rules" => args.list_rules = true,
             "--no-baseline" => args.no_baseline = true,
             "--baseline" => {
-                args.baseline =
-                    Some(PathBuf::from(it.next().ok_or("--baseline needs a path")?));
+                args.baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a path")?));
             }
             "--root" => args.root = PathBuf::from(it.next().ok_or("--root needs a path")?),
             "--help" | "-h" => return Err(usage().to_string()),

@@ -148,8 +148,20 @@ pub fn check_file(file: &str, src: &str) -> Vec<Finding> {
     findings
 }
 
-fn push(findings: &mut Vec<Finding>, rule: &'static str, ctx: &FileCtx, line: u32, message: String) {
-    findings.push(Finding { rule, file: ctx.file.to_string(), line, message, suppressed: None });
+fn push(
+    findings: &mut Vec<Finding>,
+    rule: &'static str,
+    ctx: &FileCtx,
+    line: u32,
+    message: String,
+) {
+    findings.push(Finding {
+        rule,
+        file: ctx.file.to_string(),
+        line,
+        message,
+        suppressed: None,
+    });
 }
 
 /// Token-index ranges of items annotated `#[cfg(test)]` (and `#[test]`
@@ -242,7 +254,9 @@ fn matching_brace(tokens: &[Token], open: usize) -> Option<usize> {
 /// (each element is either an ident name or a single punct char).
 fn matches_seq(tokens: &[Token], start: usize, pat: &[&str]) -> bool {
     pat.iter().enumerate().all(|(j, p)| {
-        let Some(t) = tokens.get(start + j) else { return false };
+        let Some(t) = tokens.get(start + j) else {
+            return false;
+        };
         if p.len() == 1 && !p.chars().next().unwrap().is_ascii_alphanumeric() {
             t.is_punct(p.chars().next().unwrap())
         } else {
@@ -290,7 +304,9 @@ fn rule_hash_iter(ctx: &FileCtx, findings: &mut Vec<Finding>) {
     // (`name: HashMap<..>` fields/params or `let name = HashMap::new()`).
     let mut hash_names: Vec<&str> = Vec::new();
     for (i, t) in ctx.tokens.iter().enumerate() {
-        let TokenKind::Ident(tyname) = &t.kind else { continue };
+        let TokenKind::Ident(tyname) = &t.kind else {
+            continue;
+        };
         if !HASH_TYPES.contains(&tyname.as_str()) {
             continue;
         }
@@ -309,13 +325,20 @@ fn rule_hash_iter(ctx: &FileCtx, findings: &mut Vec<Finding>) {
             }
         }
         // `let (mut)? name (: ..)? = HashMap :: new/with_capacity/from`.
-        if let Some(eq) = (j.saturating_sub(6)..j).rev().find(|&k| ctx.tokens[k].is_punct('=')) {
+        if let Some(eq) = (j.saturating_sub(6)..j)
+            .rev()
+            .find(|&k| ctx.tokens[k].is_punct('='))
+        {
             let mut k = eq;
             while k >= 1 && !ctx.tokens[k].is_ident("let") {
                 k -= 1;
             }
             if ctx.tokens[k].is_ident("let") {
-                let name_idx = if ctx.tokens[k + 1].is_ident("mut") { k + 2 } else { k + 1 };
+                let name_idx = if ctx.tokens[k + 1].is_ident("mut") {
+                    k + 2
+                } else {
+                    k + 1
+                };
                 if let Some(name) = ctx.tokens.get(name_idx).and_then(|t| t.ident()) {
                     hash_names.push(name);
                 }
@@ -330,7 +353,9 @@ fn rule_hash_iter(ctx: &FileCtx, findings: &mut Vec<Finding>) {
 
     // Pass 2: order-sensitive uses of those names.
     for (i, t) in ctx.tokens.iter().enumerate() {
-        let TokenKind::Ident(name) = &t.kind else { continue };
+        let TokenKind::Ident(name) = &t.kind else {
+            continue;
+        };
         if hash_names.binary_search(&name.as_str()).is_err() {
             continue;
         }
@@ -387,7 +412,9 @@ fn rule_hash_iter(ctx: &FileCtx, findings: &mut Vec<Finding>) {
 
 fn rule_wall_clock(ctx: &FileCtx, findings: &mut Vec<Finding>) {
     for (i, t) in ctx.tokens.iter().enumerate() {
-        let TokenKind::Ident(name) = &t.kind else { continue };
+        let TokenKind::Ident(name) = &t.kind else {
+            continue;
+        };
         if (name == "Instant" || name == "SystemTime")
             && matches_seq(ctx.tokens, i + 1, &[":", ":", "now"])
         {
@@ -407,7 +434,9 @@ fn rule_wall_clock(ctx: &FileCtx, findings: &mut Vec<Finding>) {
 
 fn rule_ambient_rng(ctx: &FileCtx, findings: &mut Vec<Finding>) {
     for (i, t) in ctx.tokens.iter().enumerate() {
-        let TokenKind::Ident(name) = &t.kind else { continue };
+        let TokenKind::Ident(name) = &t.kind else {
+            continue;
+        };
         let ambient = match name.as_str() {
             "thread_rng" | "OsRng" | "from_entropy" => true,
             "random" => i >= 3 && matches_seq(ctx.tokens, i - 3, &["rand", ":", ":"]),
@@ -430,9 +459,7 @@ fn rule_ambient_rng(ctx: &FileCtx, findings: &mut Vec<Finding>) {
 
 fn rule_thread_spawn(ctx: &FileCtx, findings: &mut Vec<Finding>) {
     for (i, t) in ctx.tokens.iter().enumerate() {
-        if t.is_ident("thread")
-            && matches_seq(ctx.tokens, i + 1, &[":", ":", "spawn"])
-        {
+        if t.is_ident("thread") && matches_seq(ctx.tokens, i + 1, &[":", ":", "spawn"]) {
             push(
                 findings,
                 "thread-spawn",
@@ -449,7 +476,10 @@ fn rule_thread_spawn(ctx: &FileCtx, findings: &mut Vec<Finding>) {
 /// Event-path function names: the component dispatch entry point and
 /// completion handlers.
 fn is_event_path_fn(name: &str) -> bool {
-    name == "handle" || name == "on_event" || name.contains("complete") || name.contains("completion")
+    name == "handle"
+        || name == "on_event"
+        || name.contains("complete")
+        || name.contains("completion")
 }
 
 fn rule_unwrap_in_event_path(ctx: &FileCtx, findings: &mut Vec<Finding>) {
@@ -501,7 +531,9 @@ fn is_recovery_path_fn(name: &str) -> bool {
 
 fn rule_unwrap_in_recovery_path(ctx: &FileCtx, findings: &mut Vec<Finding>) {
     for (i, t) in ctx.tokens.iter().enumerate() {
-        let TokenKind::Ident(name) = &t.kind else { continue };
+        let TokenKind::Ident(name) = &t.kind else {
+            continue;
+        };
         if name != "unwrap" && name != "expect" {
             continue;
         }
@@ -587,7 +619,9 @@ fn rule_lossy_cast(ctx: &FileCtx, findings: &mut Vec<Finding>) {
         if !t.is_ident("as") || ctx.in_test(i) {
             continue;
         }
-        let Some(target) = ctx.tokens.get(i + 1).and_then(|t| t.ident()) else { continue };
+        let Some(target) = ctx.tokens.get(i + 1).and_then(|t| t.ident()) else {
+            continue;
+        };
         if !NARROW_INTS.contains(&target) {
             continue;
         }
@@ -623,7 +657,9 @@ fn rule_lossy_cast(ctx: &FileCtx, findings: &mut Vec<Finding>) {
             }
         }
         let Some(k) = j else { continue };
-        let Some(src_name) = ctx.tokens[k].ident() else { continue };
+        let Some(src_name) = ctx.tokens[k].ident() else {
+            continue;
+        };
         if is_wide_quantity_name(src_name) {
             push(
                 findings,
@@ -692,7 +728,8 @@ mod tests {
         "#;
         let f = check_file("crates/x/src/lib.rs", src);
         assert!(
-            f.iter().any(|f| f.rule == "hash-iter" && f.message.contains("for")),
+            f.iter()
+                .any(|f| f.rule == "hash-iter" && f.message.contains("for")),
             "{f:?}"
         );
     }
@@ -725,8 +762,11 @@ mod tests {
             }
         "#;
         let f = check_file("crates/x/src/lib.rs", src);
-        let lines: Vec<u32> =
-            f.iter().filter(|f| f.rule == "unwrap-in-event-path").map(|f| f.line).collect();
+        let lines: Vec<u32> = f
+            .iter()
+            .filter(|f| f.rule == "unwrap-in-event-path")
+            .map(|f| f.line)
+            .collect();
         assert_eq!(lines, vec![2, 4], "{f:?}");
     }
 
@@ -746,15 +786,19 @@ mod tests {
             }
         "#;
         let f = check_file("crates/x/src/lib.rs", src);
-        let lines: Vec<u32> =
-            f.iter().filter(|f| f.rule == "unwrap-in-recovery-path").map(|f| f.line).collect();
+        let lines: Vec<u32> = f
+            .iter()
+            .filter(|f| f.rule == "unwrap-in-recovery-path")
+            .map(|f| f.line)
+            .collect();
         // The turbofish `expect::<T>()` (line 7) and the helper are fine.
         assert_eq!(lines, vec![2, 3, 4], "{f:?}");
     }
 
     #[test]
     fn expect_with_message_is_sanctioned() {
-        let src = r#"fn handle(x: Option<u32>) -> u32 { x.expect("queue attached before doorbell") }"#;
+        let src =
+            r#"fn handle(x: Option<u32>) -> u32 { x.expect("queue attached before doorbell") }"#;
         assert!(check_file("crates/x/src/lib.rs", src).is_empty());
     }
 
@@ -797,7 +841,11 @@ mod tests {
             }
         "#;
         let f = check_file("crates/x/src/lib.rs", src);
-        let lines: Vec<u32> = f.iter().filter(|f| f.rule == "lossy-cast").map(|f| f.line).collect();
+        let lines: Vec<u32> = f
+            .iter()
+            .filter(|f| f.rule == "lossy-cast")
+            .map(|f| f.line)
+            .collect();
         assert_eq!(lines, vec![3, 4], "{f:?}");
     }
 
@@ -810,6 +858,10 @@ mod tests {
             }
         "#;
         let f = check_file("crates/x/src/lib.rs", src);
-        assert_eq!(f.iter().filter(|f| f.rule == "lossy-cast").count(), 2, "{f:?}");
+        assert_eq!(
+            f.iter().filter(|f| f.rule == "lossy-cast").count(),
+            2,
+            "{f:?}"
+        );
     }
 }

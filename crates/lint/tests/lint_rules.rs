@@ -15,7 +15,10 @@ const SUPPRESSED: &str = include_str!("fixtures/suppressed.rs");
 const FIXTURE_BASELINE: &str = include_str!("fixtures/baseline.toml");
 
 fn active<'a>(findings: &'a [Finding], rule: &str) -> Vec<&'a Finding> {
-    findings.iter().filter(|f| f.rule == rule && f.suppressed.is_none()).collect()
+    findings
+        .iter()
+        .filter(|f| f.rule == rule && f.suppressed.is_none())
+        .collect()
 }
 
 #[test]
@@ -57,7 +60,8 @@ fn pragmas_suppress_exactly_their_rule_and_line() {
     // Same-line pragma on the `use`.
     let hash: Vec<_> = f.iter().filter(|f| f.rule == "hash-collection").collect();
     assert!(
-        hash.iter().any(|f| f.suppressed == Some(Suppression::Pragma)),
+        hash.iter()
+            .any(|f| f.suppressed == Some(Suppression::Pragma)),
         "use-line pragma must suppress: {hash:#?}"
     );
     // The `HashMap` in `fn table() -> HashMap<u8, u8>` return type has
@@ -105,7 +109,9 @@ fn baseline_does_not_cover_other_files_or_rules() {
         baseline.apply(f, source_line(SUPPRESSED, f.line));
     }
     assert!(
-        findings.iter().all(|f| f.suppressed != Some(Suppression::Baseline)),
+        findings
+            .iter()
+            .all(|f| f.suppressed != Some(Suppression::Baseline)),
         "entries are file-scoped: {findings:#?}"
     );
 }
@@ -119,7 +125,11 @@ fn workspace_is_clean_under_deny() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let root = root.canonicalize().expect("workspace root");
     let files = workspace_files(&root).expect("walk workspace");
-    assert!(files.len() > 50, "workspace walk looks wrong: {} files", files.len());
+    assert!(
+        files.len() > 50,
+        "workspace walk looks wrong: {} files",
+        files.len()
+    );
 
     let baseline_text =
         std::fs::read_to_string(root.join("lint-baseline.toml")).expect("baseline exists");

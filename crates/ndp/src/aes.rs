@@ -197,8 +197,7 @@ impl Aes256 {
     fn inv_mix_columns(state: &mut [u8; 16]) {
         for c in 0..4 {
             let col: [u8; 4] = state[4 * c..4 * c + 4].try_into().expect("column");
-            state[4 * c] =
-                gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
+            state[4 * c] = gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
             state[4 * c + 1] =
                 gmul(col[0], 9) ^ gmul(col[1], 14) ^ gmul(col[2], 11) ^ gmul(col[3], 13);
             state[4 * c + 2] =
@@ -247,7 +246,10 @@ impl Aes256 {
     ///
     /// Panics if `data` is not a multiple of 16 bytes.
     pub fn ecb_encrypt(&self, data: &[u8]) -> Vec<u8> {
-        assert!(data.len().is_multiple_of(Self::BLOCK), "ECB requires whole blocks");
+        assert!(
+            data.len().is_multiple_of(Self::BLOCK),
+            "ECB requires whole blocks"
+        );
         let mut out = Vec::with_capacity(data.len());
         for chunk in data.chunks_exact(Self::BLOCK) {
             let block: [u8; 16] = chunk.try_into().expect("16-byte chunk");
@@ -262,7 +264,10 @@ impl Aes256 {
     ///
     /// Panics if `data` is not a multiple of 16 bytes.
     pub fn ecb_decrypt(&self, data: &[u8]) -> Vec<u8> {
-        assert!(data.len().is_multiple_of(Self::BLOCK), "ECB requires whole blocks");
+        assert!(
+            data.len().is_multiple_of(Self::BLOCK),
+            "ECB requires whole blocks"
+        );
         let mut out = Vec::with_capacity(data.len());
         for chunk in data.chunks_exact(Self::BLOCK) {
             let block: [u8; 16] = chunk.try_into().expect("16-byte chunk");
@@ -303,12 +308,13 @@ mod tests {
     /// FIPS 197 appendix C.3 AES-256 known-answer test.
     #[test]
     fn fips197_c3() {
-        let key: [u8; 32] = from_hex(
-            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
-        )
-        .try_into()
-        .unwrap();
-        let pt: [u8; 16] = from_hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let key: [u8; 32] =
+            from_hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+                .try_into()
+                .unwrap();
+        let pt: [u8; 16] = from_hex("00112233445566778899aabbccddeeff")
+            .try_into()
+            .unwrap();
         let aes = Aes256::new(&key);
         let ct = aes.encrypt_block(&pt);
         assert_eq!(to_hex(&ct), "8ea2b7ca516745bfeafc49904b496089");
@@ -318,15 +324,12 @@ mod tests {
     /// NIST SP 800-38A F.1.5 ECB-AES256 vectors (first two blocks).
     #[test]
     fn sp800_38a_ecb() {
-        let key: [u8; 32] = from_hex(
-            "603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4",
-        )
-        .try_into()
-        .unwrap();
+        let key: [u8; 32] =
+            from_hex("603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4")
+                .try_into()
+                .unwrap();
         let aes = Aes256::new(&key);
-        let pt = from_hex(
-            "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51",
-        );
+        let pt = from_hex("6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51");
         let ct = aes.ecb_encrypt(&pt);
         assert_eq!(
             to_hex(&ct),
@@ -338,12 +341,13 @@ mod tests {
     /// NIST SP 800-38A F.5.5 CTR-AES256 vector (first block).
     #[test]
     fn sp800_38a_ctr() {
-        let key: [u8; 32] = from_hex(
-            "603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4",
-        )
-        .try_into()
-        .unwrap();
-        let nonce: [u8; 16] = from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff").try_into().unwrap();
+        let key: [u8; 32] =
+            from_hex("603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4")
+                .try_into()
+                .unwrap();
+        let nonce: [u8; 16] = from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff")
+            .try_into()
+            .unwrap();
         let aes = Aes256::new(&key);
         let pt = from_hex("6bc1bee22e409f96e93d7e117393172a");
         let ct = aes.ctr_crypt(&nonce, &pt);

@@ -18,7 +18,11 @@ const fn build_table() -> [u32; 256] {
         let mut crc = n as u32;
         let mut k = 0;
         while k < 8 {
-            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
             k += 1;
         }
         table[n] = crc;
@@ -78,7 +82,9 @@ pub fn crc32(data: &[u8]) -> u32 {
 /// Continues a CRC from a previously finalized value (used to chain block
 /// checksums across segments, as gzip trailers require).
 pub fn crc32_update(prev: u32, data: &[u8]) -> u32 {
-    let mut c = Crc32 { state: prev ^ 0xFFFF_FFFF };
+    let mut c = Crc32 {
+        state: prev ^ 0xFFFF_FFFF,
+    };
     c.update(data);
     c.finalize()
 }
@@ -98,7 +104,10 @@ mod tests {
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"a"), 0xE8B7_BE43);
         assert_eq!(crc32(b"abc"), 0x3524_41C2);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]

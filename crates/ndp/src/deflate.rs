@@ -68,7 +68,11 @@ struct BitWriter {
 
 impl BitWriter {
     fn new() -> Self {
-        BitWriter { out: Vec::new(), bit_buf: 0, bit_count: 0 }
+        BitWriter {
+            out: Vec::new(),
+            bit_buf: 0,
+            bit_count: 0,
+        }
     }
 
     /// Writes `n` bits of `value`, least-significant bit first.
@@ -116,7 +120,12 @@ struct BitReader<'a> {
 
 impl<'a> BitReader<'a> {
     fn new(data: &'a [u8]) -> Self {
-        BitReader { data, pos: 0, bit_buf: 0, bit_count: 0 }
+        BitReader {
+            data,
+            pos: 0,
+            bit_buf: 0,
+            bit_count: 0,
+        }
     }
 
     fn refill(&mut self) {
@@ -178,8 +187,8 @@ impl<'a> BitReader<'a> {
 // ---------------------------------------------------------------------------
 
 const LENGTH_BASE: [u16; 29] = [
-    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115,
-    131, 163, 195, 227, 258,
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
 ];
 const LENGTH_EXTRA: [u32; 29] = [
     0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
@@ -189,8 +198,8 @@ const DIST_BASE: [u16; 30] = [
     2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
 ];
 const DIST_EXTRA: [u32; 30] = [
-    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12,
-    13, 13,
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
 ];
 
 /// Maps a match length (3..=258) to `(code_index, extra_bits, extra_value)`.
@@ -200,7 +209,11 @@ fn length_to_code(len: u16) -> (usize, u32, u32) {
         Ok(i) => {
             // Length 258 must use code 285 (the last), not a shorter code
             // that happens to share the base.
-            if len == 258 { 28 } else { i }
+            if len == 258 {
+                28
+            } else {
+                i
+            }
         }
         Err(i) => i - 1,
     };
@@ -383,7 +396,10 @@ fn lz77_tokenize(data: &[u8]) -> Vec<Token> {
             }
             (Some((plen, pdist)), _) => {
                 // Previous position's match wins; emit it (it covers pos-1..).
-                tokens.push(Token::Match { len: plen as u16, dist: pdist as u16 });
+                tokens.push(Token::Match {
+                    len: plen as u16,
+                    dist: pdist as u16,
+                });
                 // Insert hash entries for the matched span (skipping pos-1,
                 // already inserted).
                 let end = (pos - 1) + plen;
@@ -408,7 +424,10 @@ fn lz77_tokenize(data: &[u8]) -> Vec<Token> {
         }
     }
     if let Some((plen, pdist)) = pending {
-        tokens.push(Token::Match { len: plen as u16, dist: pdist as u16 });
+        tokens.push(Token::Match {
+            len: plen as u16,
+            dist: pdist as u16,
+        });
     }
     tokens
 }
@@ -538,7 +557,9 @@ fn fixed_decoders() -> (HuffmanDecoder, HuffmanDecoder) {
 }
 
 /// Order in which code-length-code lengths are transmitted (RFC 1951).
-const CLC_ORDER: [usize; 19] = [16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15];
+const CLC_ORDER: [usize; 19] = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+];
 
 fn read_dynamic_tables(
     r: &mut BitReader<'_>,
@@ -611,8 +632,7 @@ fn inflate_block(
                 if dsym >= 30 {
                     return Err(InflateError::InvalidCode);
                 }
-                let distance =
-                    DIST_BASE[dsym] as usize + r.read_bits(DIST_EXTRA[dsym])? as usize;
+                let distance = DIST_BASE[dsym] as usize + r.read_bits(DIST_EXTRA[dsym])? as usize;
                 if distance > out.len() {
                     return Err(InflateError::DistanceTooFar);
                 }
@@ -638,7 +658,7 @@ pub fn gzip_compress(data: &[u8]) -> Vec<u8> {
         0x1f, 0x8b, // magic
         0x08, // CM = deflate
         0x00, // FLG
-        0, 0, 0, 0, // MTIME
+        0, 0, 0, 0,    // MTIME
         0x00, // XFL
         0xff, // OS = unknown
     ];
@@ -680,11 +700,19 @@ pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>, InflateError> {
     }
     if flg & 0x08 != 0 {
         // FNAME: zero-terminated
-        pos += data[pos..].iter().position(|&b| b == 0).ok_or(InflateError::UnexpectedEof)? + 1;
+        pos += data[pos..]
+            .iter()
+            .position(|&b| b == 0)
+            .ok_or(InflateError::UnexpectedEof)?
+            + 1;
     }
     if flg & 0x10 != 0 {
         // FCOMMENT
-        pos += data[pos..].iter().position(|&b| b == 0).ok_or(InflateError::UnexpectedEof)? + 1;
+        pos += data[pos..]
+            .iter()
+            .position(|&b| b == 0)
+            .ok_or(InflateError::UnexpectedEof)?
+            + 1;
     }
     if flg & 0x02 != 0 {
         // FHCRC
@@ -716,7 +744,12 @@ mod tests {
     fn roundtrip(data: &[u8]) {
         let compressed = deflate_compress(data);
         let decompressed = deflate_decompress(&compressed).expect("valid stream");
-        assert_eq!(decompressed, data, "roundtrip failed for {} bytes", data.len());
+        assert_eq!(
+            decompressed,
+            data,
+            "roundtrip failed for {} bytes",
+            data.len()
+        );
     }
 
     #[test]
@@ -726,7 +759,8 @@ mod tests {
         roundtrip(b"hello hello hello hello hello");
         roundtrip(&vec![0u8; 100_000]);
         let text = b"It is a truth universally acknowledged, that a single man in \
-                     possession of a good fortune, must be in want of a wife. ".repeat(50);
+                     possession of a good fortune, must be in want of a wife. "
+            .repeat(50);
         roundtrip(&text);
     }
 
@@ -786,7 +820,10 @@ mod tests {
         let compressed = deflate_compress(&data);
         for cut in [0, 1, compressed.len() / 2, compressed.len() - 1] {
             let r = deflate_decompress(&compressed[..cut]);
-            assert!(r.is_err() || r.unwrap() != data, "cut {cut} must not roundtrip");
+            assert!(
+                r.is_err() || r.unwrap() != data,
+                "cut {cut} must not roundtrip"
+            );
         }
     }
 
@@ -794,7 +831,10 @@ mod tests {
     fn inflate_rejects_reserved_block_type() {
         // BFINAL=1, BTYPE=3.
         let bad = [0b0000_0111u8];
-        assert_eq!(deflate_decompress(&bad), Err(InflateError::InvalidBlockType));
+        assert_eq!(
+            deflate_decompress(&bad),
+            Err(InflateError::InvalidBlockType)
+        );
     }
 
     #[test]
@@ -806,7 +846,10 @@ mod tests {
         w.write_bits(5, 16);
         w.write_bits(1234, 16); // wrong NLEN
         let bad = w.finish();
-        assert_eq!(deflate_decompress(&bad), Err(InflateError::StoredLengthMismatch));
+        assert_eq!(
+            deflate_decompress(&bad),
+            Err(InflateError::StoredLengthMismatch)
+        );
     }
 
     /// A raw deflate stream with dynamic Huffman tables produced by zlib
@@ -851,7 +894,10 @@ mod tests {
 
     #[test]
     fn gzip_rejects_short_input() {
-        assert_eq!(gzip_decompress(&[0x1f, 0x8b]), Err(InflateError::UnexpectedEof));
+        assert_eq!(
+            gzip_decompress(&[0x1f, 0x8b]),
+            Err(InflateError::UnexpectedEof)
+        );
     }
 
     #[test]

@@ -140,11 +140,17 @@ pub struct NdpOutput {
 
 impl NdpOutput {
     fn digest(d: Vec<u8>) -> Self {
-        NdpOutput { digest: Some(d), data: None }
+        NdpOutput {
+            digest: Some(d),
+            data: None,
+        }
     }
 
     fn transformed(d: Vec<u8>) -> Self {
-        NdpOutput { digest: None, data: Some(d) }
+        NdpOutput {
+            digest: None,
+            data: Some(d),
+        }
     }
 
     /// The bytes that flow onward: the transformed data, or `input` itself
@@ -199,7 +205,12 @@ mod tests {
     #[test]
     fn digest_functions_pass_data_through() {
         let input = b"integrity-checked payload";
-        for f in [NdpFunction::Md5, NdpFunction::Sha1, NdpFunction::Sha256, NdpFunction::Crc32] {
+        for f in [
+            NdpFunction::Md5,
+            NdpFunction::Sha1,
+            NdpFunction::Sha256,
+            NdpFunction::Crc32,
+        ] {
             let out = f.apply(input, &[]).unwrap();
             assert!(f.is_digest());
             assert!(out.digest.is_some(), "{f}");
@@ -210,7 +221,10 @@ mod tests {
     #[test]
     fn md5_digest_matches_direct_call() {
         let out = NdpFunction::Md5.apply(b"abc", &[]).unwrap();
-        assert_eq!(to_hex(out.digest.as_ref().unwrap()), "900150983cd24fb0d6963f7d28e17f72");
+        assert_eq!(
+            to_hex(out.digest.as_ref().unwrap()),
+            "900150983cd24fb0d6963f7d28e17f72"
+        );
     }
 
     #[test]
@@ -227,7 +241,9 @@ mod tests {
 
     #[test]
     fn aes_rejects_malformed_aux() {
-        let err = NdpFunction::Aes256Encrypt.apply(b"x", &[0u8; 10]).unwrap_err();
+        let err = NdpFunction::Aes256Encrypt
+            .apply(b"x", &[0u8; 10])
+            .unwrap_err();
         assert!(matches!(err, NdpError::BadAux { .. }));
         assert!(err.to_string().contains("32-byte key"));
     }
@@ -235,15 +251,25 @@ mod tests {
     #[test]
     fn gzip_roundtrip_through_dispatch() {
         let data = b"compress me please, there is repetition repetition".repeat(8);
-        let gz = NdpFunction::GzipCompress.apply(&data, &[]).unwrap().data.unwrap();
+        let gz = NdpFunction::GzipCompress
+            .apply(&data, &[])
+            .unwrap()
+            .data
+            .unwrap();
         assert!(gz.len() < data.len());
-        let back = NdpFunction::GzipDecompress.apply(&gz, &[]).unwrap().data.unwrap();
+        let back = NdpFunction::GzipDecompress
+            .apply(&gz, &[])
+            .unwrap()
+            .data
+            .unwrap();
         assert_eq!(back, data);
     }
 
     #[test]
     fn gzip_decompress_surfaces_inflate_errors() {
-        let err = NdpFunction::GzipDecompress.apply(b"not gzip at all!!!", &[]).unwrap_err();
+        let err = NdpFunction::GzipDecompress
+            .apply(b"not gzip at all!!!", &[])
+            .unwrap_err();
         assert!(matches!(err, NdpError::Inflate { .. }));
         assert!(std::error::Error::source(&err).is_some());
     }

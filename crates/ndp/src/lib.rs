@@ -57,7 +57,10 @@ pub fn to_hex(bytes: &[u8]) -> String {
 /// Panics on odd length or non-hex characters (test helper, not a parser
 /// for untrusted input).
 pub fn from_hex(s: &str) -> Vec<u8> {
-    assert!(s.len().is_multiple_of(2), "hex string must have even length");
+    assert!(
+        s.len().is_multiple_of(2),
+        "hex string must have even length"
+    );
     (0..s.len())
         .step_by(2)
         .map(|i| u8::from_str_radix(&s[i..i + 2], 16).expect("invalid hex digit"))

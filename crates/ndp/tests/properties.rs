@@ -49,7 +49,10 @@ fn gzip_truncation_detected() {
         }
         let gz = gzip_compress(&data);
         let cut = ((gz.len() as f64) * (rng.gen_f64() * 0.999)) as usize;
-        assert!(gzip_decompress(&gz[..cut]).is_err(), "truncated stream must not validate");
+        assert!(
+            gzip_decompress(&gz[..cut]).is_err(),
+            "truncated stream must not validate"
+        );
     }
 }
 

@@ -14,8 +14,7 @@
 use std::collections::VecDeque;
 
 use dcs_pcie::{
-    aer, AddrRange, DmaComplete, DmaRequest, MmioWrite, Msi, PhysAddr, PhysMemory, PortId,
-    TlpClass,
+    aer, AddrRange, DmaComplete, DmaRequest, MmioWrite, Msi, PhysAddr, PhysMemory, PortId, TlpClass,
 };
 use dcs_sim::{fault, time, Component, ComponentId, Ctx, DetMap, Msg, Simulator};
 
@@ -116,13 +115,29 @@ const CTRL_OP: u64 = 0;
 #[derive(Clone, Copy)]
 enum DmaPurpose {
     /// A batch of `count` send descriptors landing at `staging`.
-    TxDescBatch { start_idx: u16, count: u16, staging: PhysAddr, refetched: bool },
+    TxDescBatch {
+        start_idx: u16,
+        count: u16,
+        staging: PhysAddr,
+        refetched: bool,
+    },
     /// Header/payload gather for a descriptor; both must land before
     /// segmentation. The source/length are kept so a poisoned gather can
     /// be re-fetched once from initiator memory.
-    TxGather { op: u64, src: PhysAddr, dst: PhysAddr, len: usize, refetched: bool },
+    TxGather {
+        op: u64,
+        src: PhysAddr,
+        dst: PhysAddr,
+        len: usize,
+        refetched: bool,
+    },
     /// A batch of `count` receive descriptors landing at `staging`.
-    RxDescBatch { start_idx: u16, count: u16, staging: PhysAddr, refetched: bool },
+    RxDescBatch {
+        start_idx: u16,
+        count: u16,
+        staging: PhysAddr,
+        refetched: bool,
+    },
     /// A received frame being copied into a posted buffer.
     RxDeliver { ring_idx: u16, frame_len: usize },
 }
@@ -222,14 +237,30 @@ impl NicDevice {
         }
     }
 
-    fn dma(&mut self, ctx: &mut Ctx<'_>, src: PhysAddr, dst: PhysAddr, len: usize, purpose: DmaPurpose) {
+    fn dma(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        src: PhysAddr,
+        dst: PhysAddr,
+        len: usize,
+        purpose: DmaPurpose,
+    ) {
         let token = self.token();
         {
             let now = ctx.now();
-            ctx.world().obs.span_begin("nic", Self::purpose_span(&purpose), token, now);
+            ctx.world()
+                .obs
+                .span_begin("nic", Self::purpose_span(&purpose), token, now);
         }
         self.dmas.insert(token, purpose);
-        let req = DmaRequest { id: token, src, dst, len, class: TlpClass::Data, reply_to: ctx.self_id() };
+        let req = DmaRequest {
+            id: token,
+            src,
+            dst,
+            len,
+            class: TlpClass::Data,
+            reply_to: ctx.self_id(),
+        };
         let fabric = self.fabric;
         ctx.send_now(fabric, req);
     }
@@ -237,7 +268,11 @@ impl NicDevice {
     fn on_doorbell(&mut self, ctx: &mut Ctx<'_>, write: &MmioWrite) {
         let off = write.addr - self.bar.start;
         let value = u32::from_le_bytes(
-            write.data.as_slice().try_into().expect("doorbell writes are 4 bytes"),
+            write
+                .data
+                .as_slice()
+                .try_into()
+                .expect("doorbell writes are 4 bytes"),
         ) as u16;
         match off {
             0x100 => self.fetch_descriptors(ctx, value, true),
@@ -251,9 +286,19 @@ impl NicDevice {
     fn fetch_descriptors(&mut self, ctx: &mut Ctx<'_>, prod: u16, is_tx: bool) {
         let rings = *self.rings();
         let (base, depth, entry, cons) = if is_tx {
-            (rings.send_ring_base, rings.send_ring_depth, SendDescriptor::SIZE, self.tx_cons)
+            (
+                rings.send_ring_base,
+                rings.send_ring_depth,
+                SendDescriptor::SIZE,
+                self.tx_cons,
+            )
         } else {
-            (rings.recv_ring_base, rings.recv_ring_depth, RecvDescriptor::SIZE, self.rx_cons)
+            (
+                rings.recv_ring_base,
+                rings.recv_ring_depth,
+                RecvDescriptor::SIZE,
+                self.rx_cons,
+            )
         };
         let prod = prod % depth;
         let mut idx = cons;
@@ -263,9 +308,19 @@ impl NicDevice {
             let staging = self.stage(count as usize * entry);
             let src = base + idx as u64 * entry as u64;
             let purpose = if is_tx {
-                DmaPurpose::TxDescBatch { start_idx: idx, count, staging, refetched: false }
+                DmaPurpose::TxDescBatch {
+                    start_idx: idx,
+                    count,
+                    staging,
+                    refetched: false,
+                }
             } else {
-                DmaPurpose::RxDescBatch { start_idx: idx, count, staging, refetched: false }
+                DmaPurpose::RxDescBatch {
+                    start_idx: idx,
+                    count,
+                    staging,
+                    refetched: false,
+                }
             };
             self.dma(ctx, src, staging, count as usize * entry, purpose);
             idx = run_end % depth;
@@ -283,7 +338,10 @@ impl NicDevice {
             let raw: [u8; SendDescriptor::SIZE] = ctx
                 .world_ref()
                 .expect::<PhysMemory>()
-                .read(staging + i as u64 * SendDescriptor::SIZE as u64, SendDescriptor::SIZE)
+                .read(
+                    staging + i as u64 * SendDescriptor::SIZE as u64,
+                    SendDescriptor::SIZE,
+                )
                 .try_into()
                 .expect("descriptor bytes");
             let desc = SendDescriptor::from_bytes(&raw);
@@ -298,7 +356,13 @@ impl NicDevice {
             let pay_staging = self.stage(desc.payload_len as usize);
             self.tx_ops.insert(
                 op,
-                TxOp { desc, hdr_staging, pay_staging, gathers_left: 2, segments_left: 0 },
+                TxOp {
+                    desc,
+                    hdr_staging,
+                    pay_staging,
+                    gathers_left: 2,
+                    segments_left: 0,
+                },
             );
             let hdr_len = desc.header_len as usize;
             let pay_len = desc.payload_len as usize;
@@ -351,7 +415,11 @@ impl NicDevice {
             let mem = ctx.world_ref().expect::<PhysMemory>();
             let template = mem.read(txop.hdr_staging, txop.desc.header_len as usize);
             let payload = mem.read(txop.pay_staging, txop.desc.payload_len as usize);
-            let mss = if txop.desc.mss == 0 { self.config.mss } else { txop.desc.mss as usize };
+            let mss = if txop.desc.mss == 0 {
+                self.config.mss
+            } else {
+                txop.desc.mss as usize
+            };
             (template, payload, mss)
         };
         let (flow, seq0, ack) = parse_template(&template)
@@ -365,7 +433,12 @@ impl NicDevice {
         let mut offset = 0u32;
         let n = chunks.len();
         for (i, chunk) in chunks.into_iter().enumerate() {
-            let frame = build_frame(&flow, seq0.wrapping_add(offset), ack.wrapping_add(offset), chunk);
+            let frame = build_frame(
+                &flow,
+                seq0.wrapping_add(offset),
+                ack.wrapping_add(offset),
+                chunk,
+            );
             offset += chunk.len() as u32;
             let ftoken = self.token();
             self.frames.insert(ftoken, (op, i == n - 1));
@@ -398,7 +471,13 @@ impl NicDevice {
         let _ = txop;
         let rings = *self.rings();
         let fabric = self.fabric;
-        ctx.send_now(fabric, Msi { addr: rings.tx_msi_addr, vector: rings.tx_msi_vector });
+        ctx.send_now(
+            fabric,
+            Msi {
+                addr: rings.tx_msi_addr,
+                vector: rings.tx_msi_vector,
+            },
+        );
         ctx.world().stats.counter("nic.tx_completions").add(1);
     }
 
@@ -407,7 +486,10 @@ impl NicDevice {
             let raw: [u8; RecvDescriptor::SIZE] = ctx
                 .world_ref()
                 .expect::<PhysMemory>()
-                .read(staging + i as u64 * RecvDescriptor::SIZE as u64, RecvDescriptor::SIZE)
+                .read(
+                    staging + i as u64 * RecvDescriptor::SIZE as u64,
+                    RecvDescriptor::SIZE,
+                )
                 .try_into()
                 .expect("descriptor bytes");
             let desc = RecvDescriptor::from_bytes(&raw);
@@ -435,19 +517,27 @@ impl NicDevice {
             return;
         }
         let staging = self.stage(frame.len());
-        ctx.world().expect_mut::<PhysMemory>().write(staging, &frame);
+        ctx.world()
+            .expect_mut::<PhysMemory>()
+            .write(staging, &frame);
         self.dma(
             ctx,
             staging,
             desc.buf_addr,
             frame.len(),
-            DmaPurpose::RxDeliver { ring_idx, frame_len: frame.len() },
+            DmaPurpose::RxDeliver {
+                ring_idx,
+                frame_len: frame.len(),
+            },
         );
     }
 
     fn on_rx_delivered(&mut self, ctx: &mut Ctx<'_>, ring_idx: u16, frame_len: usize) {
         let rings = *self.rings();
-        let wb = RecvWriteback { frame_len: frame_len as u32, valid: true };
+        let wb = RecvWriteback {
+            frame_len: frame_len as u32,
+            valid: true,
+        };
         let wb_addr = rings.wb_ring_base + ring_idx as u64 * RecvWriteback::SIZE as u64;
         let mut bytes = wb.to_bytes();
         // Write-back corruption draws the completion-entry site. The flip
@@ -462,7 +552,9 @@ impl NicDevice {
         }
         // Posted 8-byte write; its fabric cost is negligible next to the
         // frame DMA that just completed.
-        ctx.world().expect_mut::<PhysMemory>().write(wb_addr, &bytes);
+        ctx.world()
+            .expect_mut::<PhysMemory>()
+            .write(wb_addr, &bytes);
         ctx.world().stats.counter("nic.rx_delivered").add(1);
         {
             let obs = &mut ctx.world().obs;
@@ -474,7 +566,9 @@ impl NicDevice {
             let window = self.config.irq_coalesce_ns;
             {
                 let now = ctx.now();
-                ctx.world().obs.span("nic", "irq-coalesce", ring_idx as u64, now, now + window);
+                ctx.world()
+                    .obs
+                    .span("nic", "irq-coalesce", ring_idx as u64, now, now + window);
             }
             ctx.send_self_in(window, RaiseRxIrq);
         }
@@ -492,7 +586,12 @@ impl NicDevice {
     fn on_bad_dma(&mut self, ctx: &mut Ctx<'_>, purpose: DmaPurpose) {
         ctx.world().stats.counter("nic.bad_dmas").add(1);
         match purpose {
-            DmaPurpose::TxDescBatch { start_idx, count, staging, refetched } => {
+            DmaPurpose::TxDescBatch {
+                start_idx,
+                count,
+                staging,
+                refetched,
+            } => {
                 if !refetched {
                     ctx.world().stats.counter("nic.dma_refetches").add(1);
                     let rings = *self.rings();
@@ -502,13 +601,23 @@ impl NicDevice {
                         src,
                         staging,
                         count as usize * SendDescriptor::SIZE,
-                        DmaPurpose::TxDescBatch { start_idx, count, staging, refetched: true },
+                        DmaPurpose::TxDescBatch {
+                            start_idx,
+                            count,
+                            staging,
+                            refetched: true,
+                        },
                     );
                 } else {
                     ctx.world().stats.counter("nic.dropped_desc_batches").add(1);
                 }
             }
-            DmaPurpose::RxDescBatch { start_idx, count, staging, refetched } => {
+            DmaPurpose::RxDescBatch {
+                start_idx,
+                count,
+                staging,
+                refetched,
+            } => {
                 if !refetched {
                     ctx.world().stats.counter("nic.dma_refetches").add(1);
                     let rings = *self.rings();
@@ -518,13 +627,24 @@ impl NicDevice {
                         src,
                         staging,
                         count as usize * RecvDescriptor::SIZE,
-                        DmaPurpose::RxDescBatch { start_idx, count, staging, refetched: true },
+                        DmaPurpose::RxDescBatch {
+                            start_idx,
+                            count,
+                            staging,
+                            refetched: true,
+                        },
                     );
                 } else {
                     ctx.world().stats.counter("nic.dropped_desc_batches").add(1);
                 }
             }
-            DmaPurpose::TxGather { op, src, dst, len, refetched } => {
+            DmaPurpose::TxGather {
+                op,
+                src,
+                dst,
+                len,
+                refetched,
+            } => {
                 if !refetched {
                     ctx.world().stats.counter("nic.dma_refetches").add(1);
                     self.dma(
@@ -532,7 +652,13 @@ impl NicDevice {
                         src,
                         dst,
                         len,
-                        DmaPurpose::TxGather { op, src, dst, len, refetched: true },
+                        DmaPurpose::TxGather {
+                            op,
+                            src,
+                            dst,
+                            len,
+                            refetched: true,
+                        },
                     );
                 } else {
                     // Abort the whole send op; its sibling gather (if
@@ -541,7 +667,10 @@ impl NicDevice {
                     ctx.world().stats.counter("nic.tx_aborted_gathers").add(1);
                 }
             }
-            DmaPurpose::RxDeliver { ring_idx, frame_len } => {
+            DmaPurpose::RxDeliver {
+                ring_idx,
+                frame_len,
+            } => {
                 // Deliver anyway: the frame checksum fails at the
                 // consumer and the frame is dropped there.
                 self.on_rx_delivered(ctx, ring_idx, frame_len)
@@ -574,7 +703,13 @@ impl Component for NicDevice {
                     let now = ctx.now();
                     let world = ctx.world();
                     world.stats.counter("nic.resets").add(1);
-                    aer::record(world, now.as_nanos(), 0, "nic.reset", aer::AerKind::DeviceReset);
+                    aer::record(
+                        world,
+                        now.as_nanos(),
+                        0,
+                        "nic.reset",
+                        aer::AerKind::DeviceReset,
+                    );
                 }
                 self.rings = Some(cfg);
                 return;
@@ -587,7 +722,14 @@ impl Component for NicDevice {
                 self.frames.insert(ftoken, (CTRL_OP, false));
                 let wire = self.wire;
                 let overhead = self.config.descriptor_overhead_ns;
-                ctx.send_in(overhead, wire, TransmitFrame { id: ftoken, frame: cf.frame });
+                ctx.send_in(
+                    overhead,
+                    wire,
+                    TransmitFrame {
+                        id: ftoken,
+                        frame: cf.frame,
+                    },
+                );
                 ctx.world().stats.counter("nic.tx_ctrl_frames").add(1);
                 return;
             }
@@ -612,7 +754,13 @@ impl Component for NicDevice {
                 self.irq_pending = false;
                 let rings = *self.rings();
                 let fabric = self.fabric;
-                ctx.send_now(fabric, Msi { addr: rings.rx_msi_addr, vector: rings.rx_msi_vector });
+                ctx.send_now(
+                    fabric,
+                    Msi {
+                        addr: rings.rx_msi_addr,
+                        vector: rings.rx_msi_vector,
+                    },
+                );
                 return;
             }
             Err(m) => m,
@@ -626,23 +774,29 @@ impl Component for NicDevice {
                 };
                 {
                     let now = ctx.now();
-                    ctx.world().obs.span_end("nic", Self::purpose_span(&purpose), done.id, now);
+                    ctx.world()
+                        .obs
+                        .span_end("nic", Self::purpose_span(&purpose), done.id, now);
                 }
                 if !done.status.is_ok() {
                     self.on_bad_dma(ctx, purpose);
                     return;
                 }
                 match purpose {
-                    DmaPurpose::TxDescBatch { start_idx, count, staging, .. } => {
-                        self.on_tx_descs(ctx, start_idx, count, staging)
-                    }
+                    DmaPurpose::TxDescBatch {
+                        start_idx,
+                        count,
+                        staging,
+                        ..
+                    } => self.on_tx_descs(ctx, start_idx, count, staging),
                     DmaPurpose::TxGather { op, .. } => self.on_tx_gather_done(ctx, op),
                     DmaPurpose::RxDescBatch { count, staging, .. } => {
                         self.on_rx_descs(ctx, count, staging)
                     }
-                    DmaPurpose::RxDeliver { ring_idx, frame_len } => {
-                        self.on_rx_delivered(ctx, ring_idx, frame_len)
-                    }
+                    DmaPurpose::RxDeliver {
+                        ring_idx,
+                        frame_len,
+                    } => self.on_rx_delivered(ctx, ring_idx, frame_len),
                 }
             }
             Err(other) => panic!("NicDevice received unexpected message: {other:?}"),
@@ -672,5 +826,10 @@ pub fn install_nic(
     sim.world_mut()
         .expect_mut::<dcs_pcie::MmioRouting>()
         .claim(AddrRange::new(bar.start, 0x1000), id);
-    NicHandle { device: id, bar, staging, port }
+    NicHandle {
+        device: id,
+        bar,
+        staging,
+        port,
+    }
 }

@@ -309,7 +309,10 @@ mod tests {
         assert_eq!(p.flow, flow);
         assert_eq!(p.seq, 1000);
         assert_eq!(p.ack, 555);
-        assert_eq!(&frame[p.payload_offset..p.payload_offset + p.payload_len], payload);
+        assert_eq!(
+            &frame[p.payload_offset..p.payload_offset + p.payload_len],
+            payload
+        );
     }
 
     #[test]

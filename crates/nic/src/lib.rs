@@ -28,6 +28,8 @@ pub mod ring;
 pub mod wire;
 
 pub use device::{install_nic, ConfigureNic, ControlFrame, NicConfig, NicDevice, NicHandle};
-pub use headers::{ParsedPacket, TcpFlow, ACK_MAGIC, ETH_HEADER_LEN, IPV4_HEADER_LEN, TCP_HEADER_LEN};
+pub use headers::{
+    ParsedPacket, TcpFlow, ACK_MAGIC, ETH_HEADER_LEN, IPV4_HEADER_LEN, TCP_HEADER_LEN,
+};
 pub use ring::{RecvDescriptor, RecvWriteback, RingWriter, SendDescriptor};
 pub use wire::{install_wire, FrameDelivery, TransmitDone, TransmitFrame, Wire, WireConfig};

@@ -106,7 +106,9 @@ impl RecvWriteback {
     /// Checksum over the meaningful bytes (0..5). Order-sensitive so any
     /// single corrupted byte — including the valid flag — mismatches.
     fn checksum(b: &[u8; Self::SIZE]) -> u8 {
-        b[..5].iter().fold(0xA5u8, |acc, &x| acc.wrapping_add(x).rotate_left(1))
+        b[..5]
+            .iter()
+            .fold(0xA5u8, |acc, &x| acc.wrapping_add(x).rotate_left(1))
     }
 
     /// Serializes the write-back, stamping the checksum into byte 5.
@@ -155,7 +157,12 @@ impl RingWriter {
     /// Panics if `depth` is zero.
     pub fn new(base: PhysAddr, entry_size: usize, depth: u16) -> Self {
         assert!(depth > 0, "ring depth must be positive");
-        RingWriter { base, entry_size, depth, tail: 0 }
+        RingWriter {
+            base,
+            entry_size,
+            depth,
+            tail: 0,
+        }
     }
 
     /// Ring base address.
@@ -204,15 +211,24 @@ mod tests {
 
     #[test]
     fn recv_descriptor_and_writeback_roundtrip() {
-        let d = RecvDescriptor { buf_addr: PhysAddr(0x9000), buf_len: 2048 };
+        let d = RecvDescriptor {
+            buf_addr: PhysAddr(0x9000),
+            buf_len: 2048,
+        };
         assert_eq!(RecvDescriptor::from_bytes(&d.to_bytes()), d);
-        let w = RecvWriteback { frame_len: 1502, valid: true };
+        let w = RecvWriteback {
+            frame_len: 1502,
+            valid: true,
+        };
         assert_eq!(RecvWriteback::from_bytes(&w.to_bytes()), w);
     }
 
     #[test]
     fn writeback_checksum_detects_any_single_byte_flip() {
-        let w = RecvWriteback { frame_len: 1502, valid: true };
+        let w = RecvWriteback {
+            frame_len: 1502,
+            valid: true,
+        };
         let good = w.to_bytes();
         assert!(RecvWriteback::verify(&good));
         // Flip one bit in each covered byte (incl. the checksum itself).
@@ -220,7 +236,10 @@ mod tests {
             for bit in 0..8 {
                 let mut bad = good;
                 bad[byte] ^= 1 << bit;
-                assert!(!RecvWriteback::verify(&bad), "byte {byte} bit {bit} escaped");
+                assert!(
+                    !RecvWriteback::verify(&bad),
+                    "byte {byte} bit {bit} escaped"
+                );
             }
         }
     }
@@ -230,7 +249,10 @@ mod tests {
         let mut mem = PhysMemory::new();
         let r = mem.alloc_region("ring", 4096, PortId::ROOT);
         let mut ring = RingWriter::new(r.start, 16, 3);
-        let d = RecvDescriptor { buf_addr: PhysAddr(0x1000), buf_len: 64 };
+        let d = RecvDescriptor {
+            buf_addr: PhysAddr(0x1000),
+            buf_len: 64,
+        };
         let s0 = ring.push(&mut mem, &d.to_bytes());
         let s1 = ring.push(&mut mem, &d.to_bytes());
         let s2 = ring.push(&mut mem, &d.to_bytes());

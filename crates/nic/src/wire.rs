@@ -30,7 +30,11 @@ pub struct WireConfig {
 
 impl Default for WireConfig {
     fn default() -> Self {
-        WireConfig { rate: Bandwidth::gbps(10.0), frame_overhead: 24, propagation_ns: time::us(2) }
+        WireConfig {
+            rate: Bandwidth::gbps(10.0),
+            frame_overhead: 24,
+            propagation_ns: time::us(2),
+        }
     }
 }
 
@@ -79,7 +83,11 @@ impl Wire {
     /// A wire between two NIC components.
     pub fn new(config: WireConfig, a: ComponentId, b: ComponentId) -> Self {
         assert_ne!(a, b, "a wire needs two distinct endpoints");
-        Wire { config, endpoints: [a, b], tx: [FifoServer::new(), FifoServer::new()] }
+        Wire {
+            config,
+            endpoints: [a, b],
+            tx: [FifoServer::new(), FifoServer::new()],
+        }
     }
 
     fn direction_of(&self, sender: ComponentId) -> usize {
@@ -109,9 +117,20 @@ impl Component for Wire {
                 let to = self.endpoints[1 - dir];
                 let notify = self.endpoints[dir];
                 ctx.world().stats.counter("wire.frames").add(1);
-                ctx.world().stats.counter("wire.bytes").add(tf.frame.len() as u64);
+                ctx.world()
+                    .stats
+                    .counter("wire.bytes")
+                    .add(tf.frame.len() as u64);
                 let delay = done - ctx.now();
-                ctx.send_self_in(delay, Serialized { id: tf.id, to, notify, frame: tf.frame });
+                ctx.send_self_in(
+                    delay,
+                    Serialized {
+                        id: tf.id,
+                        to,
+                        notify,
+                        frame: tf.frame,
+                    },
+                );
                 return;
             }
             Err(m) => m,

@@ -19,7 +19,9 @@ struct IrqSink;
 
 impl Component for IrqSink {
     fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
-        let d = msg.downcast::<MsiDelivery>().expect("sink only receives MSIs");
+        let d = msg
+            .downcast::<MsiDelivery>()
+            .expect("sink only receives MSIs");
         match d.vector {
             1 => ctx.world().stats.counter("sink.tx_irq").add(1),
             2 => ctx.world().stats.counter("sink.rx_irq").add(1),
@@ -51,15 +53,32 @@ fn setup(wire_cfg: WireConfig) -> Rig {
     let nic_a_id = sim.reserve("nic-a");
     let nic_b_id = sim.reserve("nic-b");
     let wire = install_wire(&mut sim, wire_cfg, nic_a_id, nic_b_id);
-    let nic_a = install_nic(&mut sim, nic_a_id, fabric, wire, NicConfig::default(), "nic-a", PortId(1));
-    let nic_b = install_nic(&mut sim, nic_b_id, fabric, wire, NicConfig::default(), "nic-b", PortId(2));
+    let nic_a = install_nic(
+        &mut sim,
+        nic_a_id,
+        fabric,
+        wire,
+        NicConfig::default(),
+        "nic-a",
+        PortId(1),
+    );
+    let nic_b = install_nic(
+        &mut sim,
+        nic_b_id,
+        fabric,
+        wire,
+        NicConfig::default(),
+        "nic-b",
+        PortId(2),
+    );
     let sink = sim.add("irq-sink", IrqSink);
 
     let mk_node = |sim: &mut Simulator, nic: NicHandle, name: &str| {
-        let region = sim
-            .world_mut()
-            .expect_mut::<PhysMemory>()
-            .alloc_region(&format!("{name}-host"), 16 << 20, PortId::ROOT);
+        let region = sim.world_mut().expect_mut::<PhysMemory>().alloc_region(
+            &format!("{name}-host"),
+            16 << 20,
+            PortId::ROOT,
+        );
         let send_base = region.start;
         let recv_base = region.start + 0x10000;
         let wb_base = region.start + 0x20000;
@@ -100,7 +119,10 @@ fn post_recv(rig: &mut Rig, on_b: bool, n: usize, size: u32) -> PhysAddr {
     let node = if on_b { &mut rig.b } else { &mut rig.a };
     let bufs = node.mem_region.start + 0x100000;
     for i in 0..n {
-        let d = RecvDescriptor { buf_addr: bufs + (i as u64) * size as u64, buf_len: size };
+        let d = RecvDescriptor {
+            buf_addr: bufs + (i as u64) * size as u64,
+            buf_len: size,
+        };
         let mem = rig.sim.world_mut().expect_mut::<PhysMemory>();
         node.recv_ring.push(mem, &d.to_bytes());
     }
@@ -108,7 +130,10 @@ fn post_recv(rig: &mut Rig, on_b: bool, n: usize, size: u32) -> PhysAddr {
     let db = node.nic.rx_doorbell();
     rig.sim.kickoff(
         rig.fabric,
-        MmioWrite { addr: db, data: (tail as u32).to_le_bytes().to_vec() },
+        MmioWrite {
+            addr: db,
+            data: (tail as u32).to_le_bytes().to_vec(),
+        },
     );
     bufs
 }
@@ -140,7 +165,10 @@ fn send_payload(rig: &mut Rig, flow: &TcpFlow, seq: u32, payload: &[u8], mss: u1
     let db = node.nic.tx_doorbell();
     rig.sim.kickoff(
         rig.fabric,
-        MmioWrite { addr: db, data: (tail as u32).to_le_bytes().to_vec() },
+        MmioWrite {
+            addr: db,
+            data: (tail as u32).to_le_bytes().to_vec(),
+        },
     );
 }
 
@@ -151,14 +179,19 @@ fn gather_payload(rig: &Rig, bufs: PhysAddr, buf_size: u32, frames: usize) -> Ve
     let mut out = Vec::new();
     for i in 0..frames {
         let wb_raw: [u8; RecvWriteback::SIZE] = mem
-            .read(rig.b.wb_base + (i as u64) * RecvWriteback::SIZE as u64, RecvWriteback::SIZE)
+            .read(
+                rig.b.wb_base + (i as u64) * RecvWriteback::SIZE as u64,
+                RecvWriteback::SIZE,
+            )
             .try_into()
             .unwrap();
         let wb = RecvWriteback::from_bytes(&wb_raw);
         assert!(wb.valid, "frame {i} writeback invalid");
         let frame = mem.read(bufs + (i as u64) * buf_size as u64, wb.frame_len as usize);
         let parsed = parse_frame(&frame).expect("delivered frame must validate");
-        out.extend_from_slice(&frame[parsed.payload_offset..parsed.payload_offset + parsed.payload_len]);
+        out.extend_from_slice(
+            &frame[parsed.payload_offset..parsed.payload_offset + parsed.payload_len],
+        );
     }
     out
 }
@@ -172,9 +205,21 @@ fn lso_send_is_segmented_and_reassembles() {
     send_payload(&mut rig, &flow, 7777, &payload, 1448);
     rig.sim.run();
     let frames = payload.len().div_ceil(1448);
-    assert_eq!(rig.sim.world().stats.counter_value("nic.tx_frames"), frames as u64);
-    assert_eq!(rig.sim.world().stats.counter_value("nic.rx_delivered"), frames as u64);
-    assert_eq!(rig.sim.world().stats.counter_value("nic.rx_dropped_no_buffer"), 0);
+    assert_eq!(
+        rig.sim.world().stats.counter_value("nic.tx_frames"),
+        frames as u64
+    );
+    assert_eq!(
+        rig.sim.world().stats.counter_value("nic.rx_delivered"),
+        frames as u64
+    );
+    assert_eq!(
+        rig.sim
+            .world()
+            .stats
+            .counter_value("nic.rx_dropped_no_buffer"),
+        0
+    );
     assert_eq!(rig.sim.world().stats.counter_value("sink.tx_irq"), 1);
     assert!(rig.sim.world().stats.counter_value("sink.rx_irq") >= 1);
     let got = gather_payload(&rig, bufs, 2048, frames);
@@ -208,7 +253,13 @@ fn frames_without_posted_buffers_are_dropped() {
     // No buffers posted on B.
     send_payload(&mut rig, &flow, 0, &payload, 1448);
     rig.sim.run();
-    assert_eq!(rig.sim.world().stats.counter_value("nic.rx_dropped_no_buffer"), 3);
+    assert_eq!(
+        rig.sim
+            .world()
+            .stats
+            .counter_value("nic.rx_dropped_no_buffer"),
+        3
+    );
     assert_eq!(rig.sim.world().stats.counter_value("nic.rx_delivered"), 0);
 }
 
@@ -246,8 +297,13 @@ fn wire_bandwidth_bounds_transfer_time() {
     }
     let tail = rig.a.send_ring.tail();
     let db = rig.a.nic.tx_doorbell();
-    rig.sim
-        .kickoff(rig.fabric, MmioWrite { addr: db, data: (tail as u32).to_le_bytes().to_vec() });
+    rig.sim.kickoff(
+        rig.fabric,
+        MmioWrite {
+            addr: db,
+            data: (tail as u32).to_le_bytes().to_vec(),
+        },
+    );
     rig.sim.run();
     // Time floor: payload + headers + framing at 10 Gbps. Each 64 KiB
     // descriptor segments independently (46 frames per chunk).
@@ -257,7 +313,10 @@ fn wire_bandwidth_bounds_transfer_time() {
     let t = rig.sim.now().as_nanos();
     assert!(t >= floor, "{t} >= {floor}");
     assert!(t < floor + time::us(200), "{t} too far above floor {floor}");
-    assert_eq!(rig.sim.world().stats.counter_value("nic.rx_delivered"), frames as u64);
+    assert_eq!(
+        rig.sim.world().stats.counter_value("nic.rx_delivered"),
+        frames as u64
+    );
 }
 
 #[test]

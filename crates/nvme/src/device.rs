@@ -19,8 +19,7 @@
 use dcs_sim::DetMap;
 
 use dcs_pcie::{
-    aer, AddrRange, DmaComplete, DmaRequest, MmioWrite, Msi, PhysAddr, PhysMemory,
-    PortId, TlpClass,
+    aer, AddrRange, DmaComplete, DmaRequest, MmioWrite, Msi, PhysAddr, PhysMemory, PortId, TlpClass,
 };
 use dcs_sim::{time, Bandwidth, Component, ComponentId, Ctx, FifoServer, Msg, Simulator};
 
@@ -145,17 +144,28 @@ enum OpPhase {
     /// Waiting for the external PRP-list page DMA.
     FetchPrpList { cmd: NvmeCommand },
     /// Waiting for flash read access; data DMA comes next.
-    FlashRead { cmd: NvmeCommand, pages: Vec<PhysAddr> },
+    FlashRead {
+        cmd: NvmeCommand,
+        pages: Vec<PhysAddr>,
+    },
     /// Waiting for data DMA(s); `remaining` counts outstanding segments,
     /// `tainted` whether any segment landed poisoned (the command then
     /// completes with a data-transfer error once all segments settle).
-    DataTransfer { cmd: NvmeCommand, remaining: usize, tainted: bool },
+    DataTransfer {
+        cmd: NvmeCommand,
+        remaining: usize,
+        tainted: bool,
+    },
     /// Waiting for flash program time (writes).
     FlashWrite { cmd: NvmeCommand },
     /// Waiting for the completion-entry DMA; MSI follows. `slot` is the
     /// initiator-CQ destination (kept for one rewrite if the entry DMA
     /// lands poisoned), `attempts` how many rewrites happened already.
-    WriteCompletion { qid: u16, slot: PhysAddr, attempts: u8 },
+    WriteCompletion {
+        qid: u16,
+        slot: PhysAddr,
+        attempts: u8,
+    },
 }
 
 struct Op {
@@ -225,7 +235,11 @@ impl NvmeDevice {
         let qid = db_index as u16;
         let is_cq = (off - 0x1000) % 8 == 4;
         let value = u32::from_le_bytes(
-            write.data.as_slice().try_into().expect("doorbell writes are 4 bytes"),
+            write
+                .data
+                .as_slice()
+                .try_into()
+                .expect("doorbell writes are 4 bytes"),
         ) as u16;
         if is_cq {
             if let Some(qp) = self.queues.get_mut(&qid) {
@@ -253,7 +267,13 @@ impl NvmeDevice {
             };
             let token = self.token();
             let dst = self.scratch_for(token);
-            self.ops.insert(token, Op { qid, phase: OpPhase::FetchEntry });
+            self.ops.insert(
+                token,
+                Op {
+                    qid,
+                    phase: OpPhase::FetchEntry,
+                },
+            );
             {
                 let now = ctx.now();
                 let obs = &mut ctx.world().obs;
@@ -274,7 +294,10 @@ impl NvmeDevice {
     }
 
     fn complete(&mut self, ctx: &mut Ctx<'_>, token: u64, qid: u16, cid: u16, status: NvmeStatus) {
-        let qp = self.queues.get_mut(&qid).expect("completing on attached queue");
+        let qp = self
+            .queues
+            .get_mut(&qid)
+            .expect("completing on attached queue");
         assert!(qp.cq_free() > 0, "completion queue overflow on queue {qid}");
         let entry = NvmeCompletion {
             sq_head: qp.sq_head,
@@ -295,9 +318,20 @@ impl NvmeDevice {
         }
         // Stage the entry in scratch, then DMA it to the initiator's CQ.
         let staging = self.scratch_for(token) + 4096;
-        ctx.world().expect_mut::<PhysMemory>().write(staging, &entry.to_bytes());
-        self.ops
-            .insert(token, Op { qid, phase: OpPhase::WriteCompletion { qid, slot, attempts: 0 } });
+        ctx.world()
+            .expect_mut::<PhysMemory>()
+            .write(staging, &entry.to_bytes());
+        self.ops.insert(
+            token,
+            Op {
+                qid,
+                phase: OpPhase::WriteCompletion {
+                    qid,
+                    slot,
+                    attempts: 0,
+                },
+            },
+        );
         let req = DmaRequest {
             id: token,
             src: staging,
@@ -340,7 +374,13 @@ impl NvmeDevice {
             // External PRP list: fetch it first.
             let list_len = (pages as usize - 1) * 8;
             let dst = self.scratch_for(token) + 2048;
-            self.ops.insert(token, Op { qid, phase: OpPhase::FetchPrpList { cmd } });
+            self.ops.insert(
+                token,
+                Op {
+                    qid,
+                    phase: OpPhase::FetchPrpList { cmd },
+                },
+            );
             let req = DmaRequest {
                 id: token,
                 src: cmd.prp2,
@@ -390,7 +430,13 @@ impl NvmeDevice {
                 let service = self.config.read_bandwidth.transfer_time(len);
                 let ser_done = self.flash_read_unit.offer(ctx.now(), service);
                 let done = ser_done.max(ctx.now() + self.config.read_latency_ns);
-                self.ops.insert(token, Op { qid, phase: OpPhase::FlashRead { cmd, pages } });
+                self.ops.insert(
+                    token,
+                    Op {
+                        qid,
+                        phase: OpPhase::FlashRead { cmd, pages },
+                    },
+                );
                 let delay = done - ctx.now();
                 {
                     let now = ctx.now();
@@ -407,11 +453,20 @@ impl NvmeDevice {
                 let remaining = runs.len();
                 self.ops.insert(
                     token,
-                    Op { qid, phase: OpPhase::DataTransfer { cmd, remaining, tainted: false } },
+                    Op {
+                        qid,
+                        phase: OpPhase::DataTransfer {
+                            cmd,
+                            remaining,
+                            tainted: false,
+                        },
+                    },
                 );
                 {
                     let now = ctx.now();
-                    ctx.world().obs.span_begin("nvme", "data-transfer", token, now);
+                    ctx.world()
+                        .obs
+                        .span_begin("nvme", "data-transfer", token, now);
                 }
                 let mut off = 0u64;
                 let fabric = self.fabric;
@@ -446,11 +501,22 @@ impl NvmeDevice {
         let runs = PrpList::coalesce(&pages, len);
         let flash_base = self.flash.start + cmd.slba * LBA_SIZE;
         let remaining = runs.len();
-        self.ops
-            .insert(token, Op { qid, phase: OpPhase::DataTransfer { cmd, remaining, tainted: false } });
+        self.ops.insert(
+            token,
+            Op {
+                qid,
+                phase: OpPhase::DataTransfer {
+                    cmd,
+                    remaining,
+                    tainted: false,
+                },
+            },
+        );
         {
             let now = ctx.now();
-            ctx.world().obs.span_begin("nvme", "data-transfer", token, now);
+            ctx.world()
+                .obs
+                .span_begin("nvme", "data-transfer", token, now);
         }
         let mut off = 0u64;
         let fabric = self.fabric;
@@ -479,20 +545,34 @@ impl NvmeDevice {
         tainted: bool,
     ) {
         if remaining > 0 {
-            self.ops
-                .insert(token, Op { qid, phase: OpPhase::DataTransfer { cmd, remaining, tainted } });
+            self.ops.insert(
+                token,
+                Op {
+                    qid,
+                    phase: OpPhase::DataTransfer {
+                        cmd,
+                        remaining,
+                        tainted,
+                    },
+                },
+            );
             return;
         }
         {
             let now = ctx.now();
-            ctx.world().obs.span_end("nvme", "data-transfer", token, now);
+            ctx.world()
+                .obs
+                .span_end("nvme", "data-transfer", token, now);
         }
         if tainted {
             // Poison followed the data: at least one segment is not
             // trustworthy, so the command must not succeed (and a write
             // must not program poisoned bytes as durable). The status is
             // retryable — the initiator resubmits the whole command.
-            ctx.world().stats.counter("nvme.data_transfer_errors").add(1);
+            ctx.world()
+                .stats
+                .counter("nvme.data_transfer_errors")
+                .add(1);
             self.complete(ctx, token, qid, cmd.cid, NvmeStatus::DataTransferError);
             return;
         }
@@ -501,10 +581,19 @@ impl NvmeDevice {
                 self.complete(ctx, token, qid, cmd.cid, NvmeStatus::Success);
             }
             NvmeOpcode::Write => {
-                let service = self.config.write_bandwidth.transfer_time(cmd.transfer_len());
+                let service = self
+                    .config
+                    .write_bandwidth
+                    .transfer_time(cmd.transfer_len());
                 let ser_done = self.flash_write_unit.offer(ctx.now(), service);
                 let done = ser_done.max(ctx.now() + self.config.write_latency_ns);
-                self.ops.insert(token, Op { qid, phase: OpPhase::FlashWrite { cmd } });
+                self.ops.insert(
+                    token,
+                    Op {
+                        qid,
+                        phase: OpPhase::FlashWrite { cmd },
+                    },
+                );
                 let delay = done - ctx.now();
                 {
                     let now = ctx.now();
@@ -586,8 +675,7 @@ impl Component for NvmeDevice {
                 };
                 match op.phase {
                     OpPhase::FlashRead { cmd, pages } => {
-                        if dcs_sim::fault::inject(ctx.world(), dcs_sim::fault::NVME_MEDIA)
-                            .is_some()
+                        if dcs_sim::fault::inject(ctx.world(), dcs_sim::fault::NVME_MEDIA).is_some()
                         {
                             // Unrecovered read error from the medium: no
                             // data moves; the host sees a retryable status
@@ -618,7 +706,9 @@ impl Component for NvmeDevice {
                 match op.phase {
                     OpPhase::FetchEntry => {
                         let now = ctx.now();
-                        ctx.world().obs.span_end("nvme", "doorbell-fetch", token, now);
+                        ctx.world()
+                            .obs
+                            .span_end("nvme", "doorbell-fetch", token, now);
                         if !done.status.is_ok() {
                             // The fetched SQ entry is poison or never
                             // arrived: parsing it would act on garbage
@@ -646,11 +736,19 @@ impl Component for NvmeDevice {
                         }
                         self.on_prp_list_fetched(ctx, token, op.qid, cmd)
                     }
-                    OpPhase::DataTransfer { cmd, remaining, tainted } => {
+                    OpPhase::DataTransfer {
+                        cmd,
+                        remaining,
+                        tainted,
+                    } => {
                         let tainted = tainted || !done.status.is_ok();
                         self.on_data_segment_done(ctx, token, op.qid, cmd, remaining - 1, tainted)
                     }
-                    OpPhase::WriteCompletion { qid, slot, attempts } => {
+                    OpPhase::WriteCompletion {
+                        qid,
+                        slot,
+                        attempts,
+                    } => {
                         if !done.status.is_ok() {
                             if attempts == 0 {
                                 // The CQE itself was poisoned or timed out.
@@ -662,7 +760,11 @@ impl Component for NvmeDevice {
                                     token,
                                     Op {
                                         qid,
-                                        phase: OpPhase::WriteCompletion { qid, slot, attempts: 1 },
+                                        phase: OpPhase::WriteCompletion {
+                                            qid,
+                                            slot,
+                                            attempts: 1,
+                                        },
                                     },
                                 );
                                 let req = DmaRequest {
@@ -685,7 +787,10 @@ impl Component for NvmeDevice {
                         }
                         // Entry landed in the initiator's CQ: raise the MSI.
                         let qp = &self.queues[&qid];
-                        let msi = Msi { addr: qp.msi_addr, vector: qp.msi_vector };
+                        let msi = Msi {
+                            addr: qp.msi_addr,
+                            vector: qp.msi_vector,
+                        };
                         let fabric = self.fabric;
                         ctx.send_now(fabric, msi);
                         ctx.world().stats.counter("nvme.completions").add(1);
@@ -728,7 +833,12 @@ pub fn install_nvme(
     sim.world_mut()
         .expect_mut::<dcs_pcie::MmioRouting>()
         .claim(AddrRange::new(bar.start, 0x2000), id);
-    NvmeHandle { device: id, bar, flash, port }
+    NvmeHandle {
+        device: id,
+        bar,
+        flash,
+        port,
+    }
 }
 
 #[cfg(test)]
@@ -781,27 +891,50 @@ mod tests {
         sim.world_mut().insert(PhysMemory::new());
         sim.world_mut().insert(MmioRouting::new());
         let fabric = sim.add("pcie", PcieFabric::new(PcieConfig::default()));
-        let cfg = NvmeConfig { capacity_lbas: 1 << 20, ..NvmeConfig::default() };
+        let cfg = NvmeConfig {
+            capacity_lbas: 1 << 20,
+            ..NvmeConfig::default()
+        };
         let handle = install_nvme(&mut sim, fabric, cfg, "ssd0", PortId(1));
         // Rings + data buffers live in a "host" region on the root port.
-        let rings = sim
-            .world_mut()
-            .expect_mut::<PhysMemory>()
-            .alloc_region("host", 1 << 22, PortId::ROOT);
+        let rings =
+            sim.world_mut()
+                .expect_mut::<PhysMemory>()
+                .alloc_region("host", 1 << 22, PortId::ROOT);
         let sq_base = rings.start;
         let cq_base = rings.start + 64 * 64;
         let msi_addr = rings.start + 0x10000;
         let cq = CompletionQueueReader::new(cq_base, 64);
-        let initiator = sim.add("initiator", Initiator { completions: vec![], cq });
+        let initiator = sim.add(
+            "initiator",
+            Initiator {
+                completions: vec![],
+                cq,
+            },
+        );
         sim.world_mut()
             .expect_mut::<MmioRouting>()
             .claim(AddrRange::new(msi_addr, 0x100), initiator);
         sim.kickoff(
             handle.device,
-            AttachQueuePair { qid: 1, sq_base, cq_base, depth: 64, msi_addr, msi_vector: 1 },
+            AttachQueuePair {
+                qid: 1,
+                sq_base,
+                cq_base,
+                depth: 64,
+                msi_addr,
+                msi_vector: 1,
+            },
         );
         let sq = SubmissionQueueWriter::new(sq_base, 64);
-        Bench { sim, handle, fabric, initiator, sq, rings }
+        Bench {
+            sim,
+            handle,
+            fabric,
+            initiator,
+            sq,
+            rings,
+        }
     }
 
     /// Data buffer area within the host region (page-aligned).
@@ -849,7 +982,10 @@ mod tests {
         );
         b.sim.run();
         assert_eq!(b.sim.world().stats.counter_value("init.ok"), 1);
-        assert_eq!(b.sim.world().expect::<PhysMemory>().read(dst, 4096), payload);
+        assert_eq!(
+            b.sim.world().expect::<PhysMemory>().read(dst, 4096),
+            payload
+        );
         // Latency: ≥ flash read latency, within a few tens of us.
         let t = b.sim.now().as_nanos();
         assert!(t >= time::us(14), "{t}");
@@ -861,7 +997,10 @@ mod tests {
         let mut b = setup();
         let payload = vec![0x5Au8; 8192];
         let src = buf_addr(&b);
-        b.sim.world_mut().expect_mut::<PhysMemory>().write(src, &payload);
+        b.sim
+            .world_mut()
+            .expect_mut::<PhysMemory>()
+            .write(src, &payload);
         submit(
             &mut b,
             NvmeCommand {
@@ -877,7 +1016,10 @@ mod tests {
         b.sim.run();
         assert_eq!(b.sim.world().stats.counter_value("init.ok"), 1);
         assert_eq!(
-            b.sim.world().expect::<PhysMemory>().read(b.handle.lba_addr(500), 8192),
+            b.sim
+                .world()
+                .expect::<PhysMemory>()
+                .read(b.handle.lba_addr(500), 8192),
             payload
         );
     }
@@ -997,7 +1139,9 @@ mod tests {
         // Aggregate bandwidth bound: n * len bytes at 17.2 Gbps plus one
         // access latency, with some fabric slack.
         let total_bytes = (n as usize) * len;
-        let floor = NvmeConfig::default().read_bandwidth.transfer_time(total_bytes);
+        let floor = NvmeConfig::default()
+            .read_bandwidth
+            .transfer_time(total_bytes);
         let t = b.sim.now().as_nanos();
         assert!(t >= floor, "{t} >= {floor}");
         assert!(t < floor + time::us(120), "{t} < {floor} + slack");
@@ -1035,7 +1179,10 @@ mod tests {
         let mut b = setup();
         b.sim.kickoff(
             b.fabric,
-            MmioWrite { addr: b.handle.sq_doorbell(5), data: 1u32.to_le_bytes().to_vec() },
+            MmioWrite {
+                addr: b.handle.sq_doorbell(5),
+                data: 1u32.to_le_bytes().to_vec(),
+            },
         );
         b.sim.run();
     }
@@ -1051,7 +1198,10 @@ mod tests {
     fn reattach_resets_the_queue_and_abandons_inflight_ops() {
         let mut b = setup();
         let payload = vec![0x77u8; 4096];
-        b.sim.world_mut().expect_mut::<PhysMemory>().write(b.handle.lba_addr(3), &payload);
+        b.sim
+            .world_mut()
+            .expect_mut::<PhysMemory>()
+            .write(b.handle.lba_addr(3), &payload);
         let dst = buf_addr(&b);
         submit(
             &mut b,
@@ -1074,7 +1224,14 @@ mod tests {
         b.sim.schedule_at(
             dcs_sim::SimTime::from_us(2),
             b.handle.device,
-            AttachQueuePair { qid: 1, sq_base, cq_base, depth: 64, msi_addr, msi_vector: 1 },
+            AttachQueuePair {
+                qid: 1,
+                sq_base,
+                cq_base,
+                depth: 64,
+                msi_addr,
+                msi_vector: 1,
+            },
         );
         b.sim.run();
         let stats = &b.sim.world().stats;
@@ -1085,7 +1242,10 @@ mod tests {
         assert_eq!(b.sim.world().stats.counter_value("aer.device_reset"), 1);
         // The queue is usable again after the reset: resubmit from a fresh
         // writer (the device's ring state also restarted at zero).
-        let mut b2 = Bench { sq: SubmissionQueueWriter::new(sq_base, 64), ..b };
+        let mut b2 = Bench {
+            sq: SubmissionQueueWriter::new(sq_base, 64),
+            ..b
+        };
         submit(
             &mut b2,
             NvmeCommand {
@@ -1100,7 +1260,10 @@ mod tests {
         );
         b2.sim.run();
         assert_eq!(b2.sim.world().stats.counter_value("init.ok"), 1);
-        assert_eq!(b2.sim.world().expect::<PhysMemory>().read(dst, 4096), payload);
+        assert_eq!(
+            b2.sim.world().expect::<PhysMemory>().read(dst, 4096),
+            payload
+        );
     }
 
     #[test]
@@ -1117,7 +1280,10 @@ mod tests {
             b.sim.world_mut().insert(plan);
         }
         let payload = vec![0x42u8; 4096];
-        b.sim.world_mut().expect_mut::<PhysMemory>().write(b.handle.lba_addr(9), &payload);
+        b.sim
+            .world_mut()
+            .expect_mut::<PhysMemory>()
+            .write(b.handle.lba_addr(9), &payload);
         let dst = buf_addr(&b);
         submit(
             &mut b,
@@ -1134,8 +1300,15 @@ mod tests {
         b.sim.run();
         let stats = &b.sim.world().stats;
         assert_eq!(stats.counter_value("nvme.cqe_rewrites"), 1);
-        assert_eq!(stats.counter_value("init.ok"), 1, "command completes after the rewrite");
-        assert_eq!(b.sim.world().expect::<PhysMemory>().read(dst, 4096), payload);
+        assert_eq!(
+            stats.counter_value("init.ok"),
+            1,
+            "command completes after the rewrite"
+        );
+        assert_eq!(
+            b.sim.world().expect::<PhysMemory>().read(dst, 4096),
+            payload
+        );
         // Conservation at the fabric: 3 injected = 2 replays + 1 poison.
         let tallies: std::collections::BTreeMap<_, _> =
             b.sim.world().expect::<FaultPlan>().tallies().collect();

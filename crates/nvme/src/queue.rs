@@ -28,7 +28,12 @@ impl SubmissionQueueWriter {
     /// Panics if `depth` is zero.
     pub fn new(base: PhysAddr, depth: u16) -> Self {
         assert!(depth > 0, "queue depth must be positive");
-        SubmissionQueueWriter { base, depth, tail: 0, head: 0 }
+        SubmissionQueueWriter {
+            base,
+            depth,
+            tail: 0,
+            head: 0,
+        }
     }
 
     /// Ring base address.
@@ -94,7 +99,12 @@ impl CompletionQueueReader {
         assert!(depth > 0, "queue depth must be positive");
         // Phase starts at 1: the device's first pass writes entries with
         // the phase bit set.
-        CompletionQueueReader { base, depth, head: 0, phase: true }
+        CompletionQueueReader {
+            base,
+            depth,
+            head: 0,
+            phase: true,
+        }
     }
 
     /// Ring base address.
@@ -112,8 +122,10 @@ impl CompletionQueueReader {
     /// present (i.e. the device has written it).
     pub fn pop(&mut self, mem: &PhysMemory) -> Option<NvmeCompletion> {
         let slot = self.base + self.head as u64 * NvmeCompletion::SIZE as u64;
-        let bytes: [u8; NvmeCompletion::SIZE] =
-            mem.read(slot, NvmeCompletion::SIZE).try_into().expect("16 bytes");
+        let bytes: [u8; NvmeCompletion::SIZE] = mem
+            .read(slot, NvmeCompletion::SIZE)
+            .try_into()
+            .expect("16 bytes");
         let entry = NvmeCompletion::from_bytes(&bytes);
         if entry.phase != self.phase {
             return None;

@@ -239,16 +239,30 @@ impl PrpList {
     /// 1 MiB max transfer).
     pub fn for_contiguous(base: PhysAddr, len: usize, list_page: PhysAddr) -> PrpList {
         assert!(len > 0, "empty data buffer");
-        assert!(base.as_u64().is_multiple_of(PAGE_SIZE), "PRP1 must be page-aligned in this model");
+        assert!(
+            base.as_u64().is_multiple_of(PAGE_SIZE),
+            "PRP1 must be page-aligned in this model"
+        );
         let pages = (len as u64).div_ceil(PAGE_SIZE);
         match pages {
-            1 => PrpList { prp1: base, prp2: PhysAddr::ZERO, list_entries: vec![] },
-            2 => PrpList { prp1: base, prp2: base + PAGE_SIZE, list_entries: vec![] },
+            1 => PrpList {
+                prp1: base,
+                prp2: PhysAddr::ZERO,
+                list_entries: vec![],
+            },
+            2 => PrpList {
+                prp1: base,
+                prp2: base + PAGE_SIZE,
+                list_entries: vec![],
+            },
             n => {
                 assert!(n <= 512, "transfer exceeds one PRP list page");
-                let list_entries =
-                    (1..n).map(|i| base + i * PAGE_SIZE).collect::<Vec<_>>();
-                PrpList { prp1: base, prp2: list_page, list_entries }
+                let list_entries = (1..n).map(|i| base + i * PAGE_SIZE).collect::<Vec<_>>();
+                PrpList {
+                    prp1: base,
+                    prp2: list_page,
+                    list_entries,
+                }
             }
         }
     }
@@ -322,9 +336,7 @@ impl PrpList {
             let this = remaining.min(PAGE_SIZE as usize);
             remaining -= this;
             match runs.last_mut() {
-                Some((start, run_len))
-                    if *start + *run_len as u64 == p && i != 0 =>
-                {
+                Some((start, run_len)) if *start + *run_len as u64 == p && i != 0 => {
                     *run_len += this;
                 }
                 _ => runs.push((p, this)),
@@ -373,7 +385,13 @@ mod tests {
                 NvmeStatus::MediaError,
                 NvmeStatus::DataTransferError,
             ] {
-                let c = NvmeCompletion { sq_head: 7, sq_id: 1, cid: 42, phase, status };
+                let c = NvmeCompletion {
+                    sq_head: 7,
+                    sq_id: 1,
+                    cid: 42,
+                    phase,
+                    status,
+                };
                 let parsed = NvmeCompletion::from_bytes(&c.to_bytes());
                 assert_eq!(parsed, c);
             }
@@ -429,8 +447,7 @@ mod tests {
     #[test]
     fn data_pages_resolution_and_validation() {
         // Two inline pages.
-        let pages =
-            PrpList::data_pages(PhysAddr(0x1000), PhysAddr(0x2000), &[], 8192).unwrap();
+        let pages = PrpList::data_pages(PhysAddr(0x1000), PhysAddr(0x2000), &[], 8192).unwrap();
         assert_eq!(pages, vec![PhysAddr(0x1000), PhysAddr(0x2000)]);
         // Misaligned prp2 is rejected.
         assert!(PrpList::data_pages(PhysAddr(0x1000), PhysAddr(0x2004), &[], 8192).is_none());

@@ -24,7 +24,9 @@ impl PhysAddr {
     /// Panics if `self < base`.
     #[inline]
     pub fn offset_from(self, base: PhysAddr) -> u64 {
-        self.0.checked_sub(base.0).expect("address below region base")
+        self.0
+            .checked_sub(base.0)
+            .expect("address below region base")
     }
 
     /// Rounds down to a multiple of `align` (a power of two).
@@ -127,7 +129,11 @@ impl AddrRange {
     /// rejected — the result must be addressable).
     #[inline]
     pub fn at(self, offset: u64) -> PhysAddr {
-        assert!(offset < self.len, "offset {offset} outside range of {} bytes", self.len);
+        assert!(
+            offset < self.len,
+            "offset {offset} outside range of {} bytes",
+            self.len
+        );
         self.start + offset
     }
 }

@@ -122,7 +122,12 @@ pub fn record(world: &mut World, time_ns: u64, token: u64, site: &'static str, k
     if world.get::<AerLog>().is_none() {
         world.insert(AerLog::default());
     }
-    world.expect_mut::<AerLog>().push(AerEntry { time_ns, token, site, kind });
+    world.expect_mut::<AerLog>().push(AerEntry {
+        time_ns,
+        token,
+        site,
+        kind,
+    });
     world.stats.counter(kind.label()).add(1);
     world.obs.count("pcie", kind.label(), 1);
     if kind.detected() {
@@ -139,8 +144,20 @@ mod tests {
     fn record_installs_log_and_counts() {
         let mut world = World::new(1);
         record(&mut world, 100, 7, "pcie.dma_corrupt", AerKind::EcrcReplay);
-        record(&mut world, 200, 8, "pcie.tlp_header", AerKind::CompletionTimeout);
-        record(&mut world, 300, 9, "pcie.dma_corrupt", AerKind::SilentEscape);
+        record(
+            &mut world,
+            200,
+            8,
+            "pcie.tlp_header",
+            AerKind::CompletionTimeout,
+        );
+        record(
+            &mut world,
+            300,
+            9,
+            "pcie.dma_corrupt",
+            AerKind::SilentEscape,
+        );
         record(&mut world, 400, 10, "nvme.device", AerKind::DeviceReset);
         let log = world.expect::<AerLog>();
         assert_eq!(log.entries().len(), 4);

@@ -138,7 +138,11 @@ impl PcieFabric {
     /// Creates a fabric with the given configuration.
     pub fn new(config: PcieConfig) -> Self {
         let links = (0..config.ports).map(|_| Default::default()).collect();
-        PcieFabric { config, links, crossbar: dcs_sim::FifoServer::new() }
+        PcieFabric {
+            config,
+            links,
+            crossbar: dcs_sim::FifoServer::new(),
+        }
     }
 
     /// The fabric's configuration.
@@ -172,7 +176,9 @@ impl PcieFabric {
             // Local copy inside one endpoint: occupies only that endpoint's
             // DMA engine (modeled as its egress link), no switch traversal.
             let egress = self.link(src_port, 0).offer(now, service) + hop;
-            ctx.world().obs.span("pcie", "tlp-local", req.id, now, egress);
+            ctx.world()
+                .obs
+                .span("pcie", "tlp-local", req.id, now, egress);
             egress
         } else {
             let xbar = self.crossbar.offer(now, self.config.switch_time(req.len));
@@ -208,12 +214,20 @@ impl PcieFabric {
             // entry, one extra serialization pass); without, the request
             // effectively vanishes and the requester's completion timeout
             // fires.
-            let retries = fault::recovery(ctx.world_ref()).map(|r| r.pcie_retries).unwrap_or(0);
+            let retries = fault::recovery(ctx.world_ref())
+                .map(|r| r.pcie_retries)
+                .unwrap_or(0);
             if fault::inject(ctx.world(), fault::TLP_HEADER).is_some() {
                 if retries > 0 {
                     fault::retried(ctx.world(), fault::TLP_HEADER);
                     fault::recovered(ctx.world(), fault::TLP_HEADER);
-                    aer::record(ctx.world(), now.as_nanos(), req.id, fault::TLP_HEADER, AerKind::EcrcReplay);
+                    aer::record(
+                        ctx.world(),
+                        now.as_nanos(),
+                        req.id,
+                        fault::TLP_HEADER,
+                        AerKind::EcrcReplay,
+                    );
                     delay += service + hop;
                 } else {
                     fault::exhausted(ctx.world(), fault::TLP_HEADER);
@@ -255,7 +269,13 @@ impl PcieFabric {
                 let Some(entropy) = hit else { break };
                 if !self.config.ecrc {
                     fault::exhausted(ctx.world(), site);
-                    aer::record(ctx.world(), now.as_nanos(), req.id, site, AerKind::SilentEscape);
+                    aer::record(
+                        ctx.world(),
+                        now.as_nanos(),
+                        req.id,
+                        site,
+                        AerKind::SilentEscape,
+                    );
                     ctx.world().stats.counter("pcie.ecrc_escapes").add(1);
                     corrupt = Some(entropy);
                     break;
@@ -264,11 +284,23 @@ impl PcieFabric {
                     attempt += 1;
                     fault::retried(ctx.world(), site);
                     fault::recovered(ctx.world(), site);
-                    aer::record(ctx.world(), now.as_nanos(), req.id, site, AerKind::EcrcReplay);
+                    aer::record(
+                        ctx.world(),
+                        now.as_nanos(),
+                        req.id,
+                        site,
+                        AerKind::EcrcReplay,
+                    );
                     delay += service + hop;
                 } else {
                     fault::exhausted(ctx.world(), site);
-                    aer::record(ctx.world(), now.as_nanos(), req.id, site, AerKind::PoisonedTlp);
+                    aer::record(
+                        ctx.world(),
+                        now.as_nanos(),
+                        req.id,
+                        site,
+                        AerKind::PoisonedTlp,
+                    );
                     ctx.world().stats.counter("pcie.poisoned_tlps").add(1);
                     corrupt = Some(entropy);
                     status = DmaStatus::Poisoned;
@@ -284,16 +316,32 @@ impl PcieFabric {
             obs.count("pcie", "dma.bytes", req.len as u64);
             obs.observe("pcie", "dma.ns", delay);
         }
-        ctx.send_self_in(delay, DmaDone { req, status, corrupt });
+        ctx.send_self_in(
+            delay,
+            DmaDone {
+                req,
+                status,
+                corrupt,
+            },
+        );
     }
 
     fn finish_dma(&mut self, ctx: &mut Ctx<'_>, done: DmaDone) {
-        let DmaDone { req, status, corrupt } = done;
-        let DmaRequest { id, src, dst, len, reply_to, .. } = req;
+        let DmaDone {
+            req,
+            status,
+            corrupt,
+        } = done;
+        let DmaRequest {
+            id,
+            src,
+            dst,
+            len,
+            reply_to,
+            ..
+        } = req;
         if status != DmaStatus::Timeout {
-            ctx.world()
-                .expect_mut::<PhysMemory>()
-                .copy(src, dst, len);
+            ctx.world().expect_mut::<PhysMemory>().copy(src, dst, len);
             if let Some(entropy) = corrupt {
                 // Poison follows the data: the corrupted TLP's payload is
                 // what landed, so flip one entropy-chosen bit in place.
@@ -346,7 +394,11 @@ impl PcieFabric {
             obs.span("pcie", "msi", msi.vector as u64, now, end);
             obs.count("pcie", "msi.delivered", 1);
         }
-        ctx.send_in(self.config.msi_ns, owner, MsiDelivery { vector: msi.vector });
+        ctx.send_in(
+            self.config.msi_ns,
+            owner,
+            MsiDelivery { vector: msi.vector },
+        );
     }
 
     /// Busy time accumulated on a port's egress (`dir = 0`) or ingress
@@ -404,7 +456,12 @@ mod tests {
     }
     impl Sink {
         fn new() -> Self {
-            Sink { completions: vec![], statuses: vec![], mmio: vec![], msi: vec![] }
+            Sink {
+                completions: vec![],
+                statuses: vec![],
+                mmio: vec![],
+                msi: vec![],
+            }
         }
     }
 
@@ -440,7 +497,13 @@ mod tests {
         }
     }
 
-    fn setup() -> (Simulator, ComponentId, ComponentId, crate::AddrRange, crate::AddrRange) {
+    fn setup() -> (
+        Simulator,
+        ComponentId,
+        ComponentId,
+        crate::AddrRange,
+        crate::AddrRange,
+    ) {
         let mut sim = Simulator::new(0);
         let mut mem = PhysMemory::new();
         let dram = mem.alloc_region("dram", 1 << 24, PortId::ROOT);
@@ -504,7 +567,11 @@ mod tests {
         // Second transfer must wait for the first on the flash egress link:
         // total ≈ 2 * serialization + hops.
         let total = sim.now().as_nanos();
-        assert!(total >= 2 * one, "total {total} vs 2x serialization {}", 2 * one);
+        assert!(
+            total >= 2 * one,
+            "total {total} vs 2x serialization {}",
+            2 * one
+        );
         assert!(total < 2 * one + 10_000, "{total}");
     }
 
@@ -539,7 +606,11 @@ mod tests {
         let expected_floor = one_link.max(both_xbar);
         let total = sim.now().as_nanos();
         assert!(total >= expected_floor, "{total} vs {expected_floor}");
-        assert!(total < 2 * one_link, "transfers must overlap: {total} vs {}", 2 * one_link);
+        assert!(
+            total < 2 * one_link,
+            "transfers must overlap: {total} vs {}",
+            2 * one_link
+        );
     }
 
     #[test]
@@ -547,7 +618,13 @@ mod tests {
         let (mut sim, fabric, sink, _dram, _flash) = setup();
         let reg = crate::AddrRange::new(PhysAddr(0xF000_0000), 0x1000);
         sim.world_mut().expect_mut::<MmioRouting>().claim(reg, sink);
-        sim.kickoff(fabric, MmioWrite { addr: reg.start + 8, data: vec![1, 2, 3, 4] });
+        sim.kickoff(
+            fabric,
+            MmioWrite {
+                addr: reg.start + 8,
+                data: vec![1, 2, 3, 4],
+            },
+        );
         sim.run();
         assert_eq!(sim.world().stats.counter_value("sink.mmio"), 1);
         assert_eq!(sim.world().stats.counter_value("pcie.mmio_writes"), 1);
@@ -559,7 +636,13 @@ mod tests {
     #[should_panic(expected = "unclaimed address")]
     fn mmio_to_unclaimed_address_panics() {
         let (mut sim, fabric, _sink, _dram, _flash) = setup();
-        sim.kickoff(fabric, MmioWrite { addr: PhysAddr(0xdead_0000), data: vec![0] });
+        sim.kickoff(
+            fabric,
+            MmioWrite {
+                addr: PhysAddr(0xdead_0000),
+                data: vec![0],
+            },
+        );
         sim.run();
     }
 
@@ -567,8 +650,16 @@ mod tests {
     fn msi_delivers_vector_to_owner() {
         let (mut sim, fabric, sink, _dram, _flash) = setup();
         let msi_range = crate::AddrRange::new(PhysAddr(0xFEE0_0000), 0x1000);
-        sim.world_mut().expect_mut::<MmioRouting>().claim(msi_range, sink);
-        sim.kickoff(fabric, Msi { addr: msi_range.start, vector: 42 });
+        sim.world_mut()
+            .expect_mut::<MmioRouting>()
+            .claim(msi_range, sink);
+        sim.kickoff(
+            fabric,
+            Msi {
+                addr: msi_range.start,
+                vector: 42,
+            },
+        );
         sim.run();
         assert_eq!(sim.world().stats.counter_value("sink.msi"), 1);
         assert_eq!(sim.now().as_nanos(), PcieConfig::default().msi_ns);
@@ -610,8 +701,15 @@ mod tests {
     #[test]
     fn ecrc_replay_recovers_payload_corruption() {
         let (mut sim, fabric, sink, dram, flash) = setup();
-        install_plan(&mut sim, dcs_sim::fault::DMA_CORRUPT, vec![0], RecoveryConfig::default());
-        sim.world_mut().expect_mut::<PhysMemory>().write(dram.start, b"payload!");
+        install_plan(
+            &mut sim,
+            dcs_sim::fault::DMA_CORRUPT,
+            vec![0],
+            RecoveryConfig::default(),
+        );
+        sim.world_mut()
+            .expect_mut::<PhysMemory>()
+            .write(dram.start, b"payload!");
         sim.kickoff(
             fabric,
             DmaRequest {
@@ -624,7 +722,10 @@ mod tests {
             },
         );
         sim.run();
-        assert_eq!(sim.world().expect::<PhysMemory>().read(flash.start, 8), b"payload!");
+        assert_eq!(
+            sim.world().expect::<PhysMemory>().read(flash.start, 8),
+            b"payload!"
+        );
         assert_eq!(sim.world().stats.counter_value("sink.dma_ok"), 1);
         assert_eq!(sim.world().stats.counter_value("fault.injected"), 1);
         assert_eq!(sim.world().stats.counter_value("fault.recovered"), 1);
@@ -643,7 +744,9 @@ mod tests {
             vec![0, 1, 2],
             RecoveryConfig::default(),
         );
-        sim.world_mut().expect_mut::<PhysMemory>().write(dram.start, b"payload!");
+        sim.world_mut()
+            .expect_mut::<PhysMemory>()
+            .write(dram.start, b"payload!");
         sim.kickoff(
             fabric,
             DmaRequest {
@@ -657,9 +760,17 @@ mod tests {
         );
         sim.run();
         let landed = sim.world().expect::<PhysMemory>().read(flash.start, 8);
-        assert_eq!(bit_diff(&landed, b"payload!"), 1, "poison is a single flipped bit");
+        assert_eq!(
+            bit_diff(&landed, b"payload!"),
+            1,
+            "poison is a single flipped bit"
+        );
         assert_eq!(sim.world().stats.counter_value("sink.dma"), 1);
-        assert_eq!(sim.world().stats.counter_value("sink.dma_ok"), 0, "poison is not success");
+        assert_eq!(
+            sim.world().stats.counter_value("sink.dma_ok"),
+            0,
+            "poison is not success"
+        );
         assert_eq!(sim.world().stats.counter_value("fault.injected"), 3);
         assert_eq!(sim.world().stats.counter_value("fault.recovered"), 2);
         assert_eq!(sim.world().stats.counter_value("fault.exhausted"), 1);
@@ -677,11 +788,21 @@ mod tests {
         sim.world_mut().insert(MmioRouting::new());
         let fabric = sim.add(
             "pcie",
-            PcieFabric::new(PcieConfig { ecrc: false, ..PcieConfig::default() }),
+            PcieFabric::new(PcieConfig {
+                ecrc: false,
+                ..PcieConfig::default()
+            }),
         );
         let sink = sim.add("sink", Sink::new());
-        install_plan(&mut sim, dcs_sim::fault::DMA_CORRUPT, vec![0], RecoveryConfig::default());
-        sim.world_mut().expect_mut::<PhysMemory>().write(dram.start, b"payload!");
+        install_plan(
+            &mut sim,
+            dcs_sim::fault::DMA_CORRUPT,
+            vec![0],
+            RecoveryConfig::default(),
+        );
+        sim.world_mut()
+            .expect_mut::<PhysMemory>()
+            .write(dram.start, b"payload!");
         sim.kickoff(
             fabric,
             DmaRequest {
@@ -709,8 +830,15 @@ mod tests {
     #[test]
     fn header_corruption_without_budget_is_a_completion_timeout() {
         let (mut sim, fabric, sink, dram, flash) = setup();
-        install_plan(&mut sim, dcs_sim::fault::TLP_HEADER, vec![0], RecoveryConfig::no_retries());
-        sim.world_mut().expect_mut::<PhysMemory>().write(dram.start, b"payload!");
+        install_plan(
+            &mut sim,
+            dcs_sim::fault::TLP_HEADER,
+            vec![0],
+            RecoveryConfig::no_retries(),
+        );
+        sim.world_mut()
+            .expect_mut::<PhysMemory>()
+            .write(dram.start, b"payload!");
         sim.kickoff(
             fabric,
             DmaRequest {
@@ -728,7 +856,11 @@ mod tests {
             vec![0u8; 8],
             "nothing may land on a timeout"
         );
-        assert_eq!(sim.world().stats.counter_value("sink.dma"), 1, "requester is notified");
+        assert_eq!(
+            sim.world().stats.counter_value("sink.dma"),
+            1,
+            "requester is notified"
+        );
         assert_eq!(sim.world().stats.counter_value("sink.dma_ok"), 0);
         assert_eq!(sim.world().stats.counter_value("aer.cpl_timeout"), 1);
         assert!(
@@ -741,8 +873,15 @@ mod tests {
     #[test]
     fn header_corruption_with_budget_replays_transparently() {
         let (mut sim, fabric, sink, dram, flash) = setup();
-        install_plan(&mut sim, dcs_sim::fault::TLP_HEADER, vec![0], RecoveryConfig::default());
-        sim.world_mut().expect_mut::<PhysMemory>().write(dram.start, b"payload!");
+        install_plan(
+            &mut sim,
+            dcs_sim::fault::TLP_HEADER,
+            vec![0],
+            RecoveryConfig::default(),
+        );
+        sim.world_mut()
+            .expect_mut::<PhysMemory>()
+            .write(dram.start, b"payload!");
         sim.kickoff(
             fabric,
             DmaRequest {
@@ -755,7 +894,10 @@ mod tests {
             },
         );
         sim.run();
-        assert_eq!(sim.world().expect::<PhysMemory>().read(flash.start, 8), b"payload!");
+        assert_eq!(
+            sim.world().expect::<PhysMemory>().read(flash.start, 8),
+            b"payload!"
+        );
         assert_eq!(sim.world().stats.counter_value("sink.dma_ok"), 1);
         assert_eq!(sim.world().stats.counter_value("fault.recovered"), 1);
     }
@@ -770,7 +912,9 @@ mod tests {
         plan.enable(dcs_sim::fault::DMA_CORRUPT, FaultSpec::Nth(vec![0]));
         plan.enable(dcs_sim::fault::CPL_CORRUPT, FaultSpec::Nth(vec![0]));
         sim.world_mut().insert(plan);
-        sim.world_mut().expect_mut::<PhysMemory>().write(dram.start, b"cqeentry");
+        sim.world_mut()
+            .expect_mut::<PhysMemory>()
+            .write(dram.start, b"cqeentry");
         sim.kickoff(
             fabric,
             DmaRequest {
@@ -786,9 +930,19 @@ mod tests {
         let tallies: std::collections::BTreeMap<_, _> =
             sim.world().expect::<FaultPlan>().tallies().collect();
         assert_eq!(tallies[dcs_sim::fault::CPL_CORRUPT].injected, 1);
-        assert!(!tallies.contains_key(dcs_sim::fault::DMA_CORRUPT), "data site never drawn");
-        assert_eq!(sim.world().expect::<PhysMemory>().read(flash.start, 8), b"cqeentry");
-        assert_eq!(sim.world().stats.counter_value("fault.recovered"), 1, "replay cured it");
+        assert!(
+            !tallies.contains_key(dcs_sim::fault::DMA_CORRUPT),
+            "data site never drawn"
+        );
+        assert_eq!(
+            sim.world().expect::<PhysMemory>().read(flash.start, 8),
+            b"cqeentry"
+        );
+        assert_eq!(
+            sim.world().stats.counter_value("fault.recovered"),
+            1,
+            "replay cured it"
+        );
     }
 
     #[test]
@@ -812,7 +966,10 @@ mod tests {
         );
         sim.run();
         let cfg = PcieConfig::default();
-        assert_eq!(sim.now().as_nanos(), cfg.link_time(len) + cfg.hop_latency_ns);
+        assert_eq!(
+            sim.now().as_nanos(),
+            cfg.link_time(len) + cfg.hop_latency_ns
+        );
     }
 
     #[test]
@@ -833,7 +990,10 @@ mod tests {
         sim.run();
         let cfg = PcieConfig::default();
         // One serialization + one hop, no crossbar time.
-        assert_eq!(sim.now().as_nanos(), cfg.link_time(len) + cfg.hop_latency_ns);
+        assert_eq!(
+            sim.now().as_nanos(),
+            cfg.link_time(len) + cfg.hop_latency_ns
+        );
         assert_eq!(sim.world().stats.counter_value("pcie.dma_ops"), 1);
     }
 }

@@ -109,7 +109,10 @@ const REGION_ALIGN: u64 = 1 << 32;
 impl PhysMemory {
     /// An empty memory map.
     pub fn new() -> Self {
-        PhysMemory { regions: Vec::new(), next_free: REGION_ALIGN }
+        PhysMemory {
+            regions: Vec::new(),
+            next_free: REGION_ALIGN,
+        }
     }
 
     /// Allocates a fresh region of `len` bytes behind `port`, placed at the
@@ -124,7 +127,11 @@ impl PhysMemory {
         let range = AddrRange::new(start, len);
         self.next_free = (start.0 + len).div_ceil(REGION_ALIGN) * REGION_ALIGN;
         self.regions.push(Region {
-            info: RegionInfo { name: name.to_string(), range, port },
+            info: RegionInfo {
+                name: name.to_string(),
+                range,
+                port,
+            },
             bytes: SparseBytes::default(),
         });
         range
@@ -145,9 +152,15 @@ impl PhysMemory {
                 r.info.range
             );
         }
-        self.next_free = self.next_free.max((range.end().as_u64()).div_ceil(REGION_ALIGN) * REGION_ALIGN);
+        self.next_free = self
+            .next_free
+            .max((range.end().as_u64()).div_ceil(REGION_ALIGN) * REGION_ALIGN);
         self.regions.push(Region {
-            info: RegionInfo { name: name.to_string(), range, port },
+            info: RegionInfo {
+                name: name.to_string(),
+                range,
+                port,
+            },
             bytes: SparseBytes::default(),
         });
     }
@@ -157,8 +170,13 @@ impl PhysMemory {
             .iter()
             .position(|r| r.info.range.contains_span(addr, len))
             .unwrap_or_else(|| {
-                panic!("access [{addr} +{len}) hits no single region; registered: {:?}",
-                    self.regions.iter().map(|r| (&r.info.name, r.info.range)).collect::<Vec<_>>())
+                panic!(
+                    "access [{addr} +{len}) hits no single region; registered: {:?}",
+                    self.regions
+                        .iter()
+                        .map(|r| (&r.info.name, r.info.range))
+                        .collect::<Vec<_>>()
+                )
             })
     }
 
@@ -173,7 +191,10 @@ impl PhysMemory {
 
     /// Looks up a region by name.
     pub fn region_named(&self, name: &str) -> Option<&RegionInfo> {
-        self.regions.iter().map(|r| &r.info).find(|i| i.name == name)
+        self.regions
+            .iter()
+            .map(|r| &r.info)
+            .find(|i| i.name == name)
     }
 
     /// Reads `len` bytes starting at `addr`. Untouched memory reads as zero.
@@ -234,7 +255,10 @@ impl PhysMemory {
 impl fmt::Debug for PhysMemory {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("PhysMemory")
-            .field("regions", &self.regions.iter().map(|r| &r.info).collect::<Vec<_>>())
+            .field(
+                "regions",
+                &self.regions.iter().map(|r| &r.info).collect::<Vec<_>>(),
+            )
             .field("resident_bytes", &self.resident_bytes())
             .finish()
     }

@@ -65,7 +65,10 @@ mod tests {
 
     #[test]
     fn invalid_id_is_distinct_and_debuggable() {
-        assert_eq!(format!("{:?}", ComponentId::INVALID), "ComponentId(INVALID)");
+        assert_eq!(
+            format!("{:?}", ComponentId::INVALID),
+            "ComponentId(INVALID)"
+        );
         assert_eq!(format!("{:?}", ComponentId(3)), "ComponentId(3)");
         assert_ne!(ComponentId(0), ComponentId::INVALID);
         assert_eq!(ComponentId(5).index(), 5);

@@ -42,7 +42,10 @@ pub struct DetMap<K, V> {
 
 impl<K, V> Default for DetMap<K, V> {
     fn default() -> Self {
-        DetMap { index: HashMap::new(), entries: Vec::new() }
+        DetMap {
+            index: HashMap::new(),
+            entries: Vec::new(),
+        }
     }
 }
 
@@ -54,7 +57,10 @@ impl<K: Eq + Hash + Clone, V> DetMap<K, V> {
 
     /// Creates an empty map with room for `cap` entries.
     pub fn with_capacity(cap: usize) -> Self {
-        DetMap { index: HashMap::with_capacity(cap), entries: Vec::with_capacity(cap) }
+        DetMap {
+            index: HashMap::with_capacity(cap),
+            entries: Vec::with_capacity(cap),
+        }
     }
 
     /// Number of live entries.
@@ -127,7 +133,8 @@ impl<K: Eq + Hash + Clone, V> DetMap<K, V> {
         let (_, value) = self.entries.remove(i);
         // Positions after the hole shift left by one. Order-independent
         // fix-up, so scanning the hash index here is benign.
-        for pos in self.index.values_mut() { // dcs-lint: allow(hash-iter) — order-independent position fix-up
+        // dcs-lint: allow(hash-iter) — order-independent position fix-up
+        for pos in self.index.values_mut() {
             if *pos > i {
                 *pos -= 1;
             }
@@ -142,7 +149,8 @@ impl<K: Eq + Hash + Clone, V> DetMap<K, V> {
         }
         let (key, value) = self.entries.remove(0);
         self.index.remove(&key);
-        for pos in self.index.values_mut() { // dcs-lint: allow(hash-iter) — order-independent position fix-up
+        // dcs-lint: allow(hash-iter) — order-independent position fix-up
+        for pos in self.index.values_mut() {
             *pos -= 1;
         }
         Some((key, value))
@@ -243,7 +251,9 @@ impl<K: Eq + Hash + Clone, V: PartialEq> PartialEq for DetMap<K, V> {
     /// participate.
     fn eq(&self, other: &Self) -> bool {
         self.len() == other.len()
-            && self.iter().all(|(k, v)| other.get(k).is_some_and(|ov| ov == v))
+            && self
+                .iter()
+                .all(|(k, v)| other.get(k).is_some_and(|ov| ov == v))
     }
 }
 
@@ -251,7 +261,9 @@ impl<K: Eq + Hash + Clone, V: Eq> Eq for DetMap<K, V> {}
 
 impl<K: fmt::Debug, V: fmt::Debug> fmt::Debug for DetMap<K, V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_map().entries(self.entries.iter().map(|(k, v)| (k, v))).finish()
+        f.debug_map()
+            .entries(self.entries.iter().map(|(k, v)| (k, v)))
+            .finish()
     }
 }
 
@@ -390,7 +402,9 @@ impl<T: Eq + Hash + Clone + PartialEq> PartialEq for DetSet<T> {
 
 impl<T: fmt::Debug> fmt::Debug for DetSet<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_set().entries(self.map.entries.iter().map(|(k, _)| k)).finish()
+        f.debug_set()
+            .entries(self.map.entries.iter().map(|(k, _)| k))
+            .finish()
     }
 }
 

@@ -111,7 +111,12 @@ impl Simulator {
     /// Panics if the slot is already occupied.
     pub fn install<C: Component + 'static>(&mut self, id: ComponentId, component: C) {
         let slot = &mut self.components[id.index()];
-        assert!(slot.is_none(), "component slot {} ({}) already installed", id, self.names[id.index()]);
+        assert!(
+            slot.is_none(),
+            "component slot {} ({}) already installed",
+            id,
+            self.names[id.index()]
+        );
         *slot = Some(Box::new(component));
     }
 
@@ -185,7 +190,12 @@ impl Simulator {
         for (time, dst, msg) in out {
             let seq = self.seq;
             self.seq += 1;
-            self.calendar.push(Reverse(Scheduled { time, seq, dst, msg }));
+            self.calendar.push(Reverse(Scheduled {
+                time,
+                seq,
+                dst,
+                msg,
+            }));
         }
         true
     }
@@ -326,7 +336,9 @@ mod tests {
     }
     impl Component for Recorder {
         fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
-            let t = msg.downcast::<Tick>().expect("recorder only receives ticks");
+            let t = msg
+                .downcast::<Tick>()
+                .expect("recorder only receives ticks");
             self.seen.push(t.0);
             ctx.world().stats.counter("ticks").add(1);
             // also prove send_now works without recursion issues
@@ -352,7 +364,13 @@ mod tests {
     fn same_time_events_deliver_in_schedule_order() {
         let mut sim = Simulator::new(0);
         let rec = sim.reserve("rec");
-        sim.install(rec, Recorder { seen: vec![], log_id: rec });
+        sim.install(
+            rec,
+            Recorder {
+                seen: vec![],
+                log_id: rec,
+            },
+        );
         for i in 0..5 {
             sim.schedule_at(SimTime::from_us(1), rec, Tick(i));
         }
@@ -366,8 +384,20 @@ mod tests {
     fn relay_chain_advances_clock() {
         let mut sim = Simulator::new(0);
         let rec_id = sim.reserve("rec");
-        let relay = sim.add("relay", Relay { peer: rec_id, delay: us(5) });
-        sim.install(rec_id, Recorder { seen: vec![], log_id: rec_id });
+        let relay = sim.add(
+            "relay",
+            Relay {
+                peer: rec_id,
+                delay: us(5),
+            },
+        );
+        sim.install(
+            rec_id,
+            Recorder {
+                seen: vec![],
+                log_id: rec_id,
+            },
+        );
         sim.kickoff(relay, Tick(1));
         sim.run();
         assert_eq!(sim.now(), SimTime::from_us(5));
@@ -378,7 +408,13 @@ mod tests {
     fn run_until_stops_at_deadline_and_advances_clock() {
         let mut sim = Simulator::new(0);
         let rec = sim.reserve("rec");
-        sim.install(rec, Recorder { seen: vec![], log_id: rec });
+        sim.install(
+            rec,
+            Recorder {
+                seen: vec![],
+                log_id: rec,
+            },
+        );
         sim.schedule_at(SimTime::from_us(10), rec, Tick(0));
         sim.schedule_at(SimTime::from_us(30), rec, Tick(1));
         let n = sim.run_until(SimTime::from_us(20));
@@ -410,8 +446,20 @@ mod tests {
         fn run_once() -> (u64, u64) {
             let mut sim = Simulator::new(7);
             let rec_id = sim.reserve("rec");
-            let relay = sim.add("relay", Relay { peer: rec_id, delay: 17 });
-            sim.install(rec_id, Recorder { seen: vec![], log_id: rec_id });
+            let relay = sim.add(
+                "relay",
+                Relay {
+                    peer: rec_id,
+                    delay: 17,
+                },
+            );
+            sim.install(
+                rec_id,
+                Recorder {
+                    seen: vec![],
+                    log_id: rec_id,
+                },
+            );
             for i in 0..100 {
                 let jitter = sim.world_mut().rng.gen_range(0..1000);
                 sim.schedule_at(SimTime::from_nanos(jitter), relay, Tick(i));

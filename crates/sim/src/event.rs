@@ -45,7 +45,10 @@ pub struct Msg {
 impl Msg {
     /// Wraps a concrete payload into a message from `src`.
     pub fn new<P: Payload>(src: ComponentId, payload: P) -> Self {
-        Msg { src, payload: Box::new(payload) }
+        Msg {
+            src,
+            payload: Box::new(payload),
+        }
     }
 
     /// Whether the payload is a `P`.

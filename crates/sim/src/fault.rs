@@ -281,7 +281,10 @@ impl FaultPlan {
     /// as [`FaultSpec::Nth`] schedules under the same seed reproduces
     /// the exact fault sequence — the fuzzer's shrinking substrate.
     pub fn fired_log(&self) -> Vec<(&'static str, Vec<u64>)> {
-        self.sites.iter().map(|(k, s)| (*k, s.fired.clone())).collect()
+        self.sites
+            .iter()
+            .map(|(k, s)| (*k, s.fired.clone()))
+            .collect()
     }
 }
 
@@ -381,7 +384,10 @@ mod tests {
         let ta: Vec<_> = a.tallies().collect();
         let tb: Vec<_> = b.tallies().collect();
         assert_eq!(ta, tb);
-        assert!(ta.iter().any(|(_, s)| s.injected > 0), "5% over 2000 draws must fire");
+        assert!(
+            ta.iter().any(|(_, s)| s.injected > 0),
+            "5% over 2000 draws must fire"
+        );
     }
 
     #[test]
@@ -420,8 +426,10 @@ mod tests {
     fn nth_fires_exactly_at_indices() {
         let mut plan = FaultPlan::new(Rng::new(1));
         plan.enable(NVME_MEDIA, FaultSpec::Nth(vec![0, 3]));
-        let hits: Vec<bool> =
-            drain(&mut plan, NVME_MEDIA, 6).into_iter().map(|h| h.is_some()).collect();
+        let hits: Vec<bool> = drain(&mut plan, NVME_MEDIA, 6)
+            .into_iter()
+            .map(|h| h.is_some())
+            .collect();
         assert_eq!(hits, vec![true, false, false, true, false, false]);
         // Un-enabled sites never fire.
         assert!(drain(&mut plan, WIRE_DROP, 100).iter().all(|h| h.is_none()));
@@ -430,7 +438,10 @@ mod tests {
     #[test]
     fn world_helpers_count() {
         let mut world = World::new(9);
-        assert!(inject(&mut world, WIRE_DROP).is_none(), "no plan, no faults");
+        assert!(
+            inject(&mut world, WIRE_DROP).is_none(),
+            "no plan, no faults"
+        );
         assert!(!active(&world));
         let rng = world.rng.fork();
         world.insert(FaultPlan::uniform(1.0, rng));
@@ -462,9 +473,14 @@ mod tests {
             assert!(err.contains("wire.drop"), "error names the site: {err}");
             assert!(err.contains("[0.0, 1.0]"), "error states the range: {err}");
         }
-        assert!(drain(&mut plan, WIRE_DROP, 50).iter().all(|h| h.is_none()), "site not enabled");
-        plan.try_enable(WIRE_DROP, FaultSpec::Probability(0.0)).expect("0.0 is valid");
-        plan.try_enable(WIRE_DROP, FaultSpec::Probability(1.0)).expect("1.0 is valid");
+        assert!(
+            drain(&mut plan, WIRE_DROP, 50).iter().all(|h| h.is_none()),
+            "site not enabled"
+        );
+        plan.try_enable(WIRE_DROP, FaultSpec::Probability(0.0))
+            .expect("0.0 is valid");
+        plan.try_enable(WIRE_DROP, FaultSpec::Probability(1.0))
+            .expect("1.0 is valid");
     }
 
     #[test]

@@ -115,7 +115,9 @@ impl Counterexample {
         for (site, spec) in &self.case.sites {
             if let FaultSpec::Nth(idxs) = spec {
                 if !idxs.is_empty() {
-                    out.push_str(&format!("  plan.enable({site:?}, FaultSpec::Nth(vec!{idxs:?}));\n"));
+                    out.push_str(&format!(
+                        "  plan.enable({site:?}, FaultSpec::Nth(vec!{idxs:?}));\n"
+                    ));
                 }
             }
         }
@@ -162,39 +164,60 @@ pub fn fuzz(cfg: &FuzzConfig, mut run: impl FnMut(&FuzzCase) -> RunOutcome) -> F
             first.violation.clone()
         };
         let Some(violation) = violation else { continue };
-        let counterexample = shrink(&cfg.sites, seed, &first.fired, violation, {
-            let budget = cfg.max_shrink_runs;
-            let runs = &mut runs;
-            move |c: &FuzzCase, run: &mut dyn FnMut(&FuzzCase) -> RunOutcome| {
-                if *runs >= budget {
-                    return None;
+        let counterexample = shrink(
+            &cfg.sites,
+            seed,
+            &first.fired,
+            violation,
+            {
+                let budget = cfg.max_shrink_runs;
+                let runs = &mut runs;
+                move |c: &FuzzCase, run: &mut dyn FnMut(&FuzzCase) -> RunOutcome| {
+                    if *runs >= budget {
+                        return None;
+                    }
+                    let a = run(c);
+                    let b = run(c);
+                    *runs += 2;
+                    if a.fingerprint != b.fingerprint {
+                        Some(Violation::NonDeterministic)
+                    } else {
+                        a.violation
+                    }
                 }
-                let a = run(c);
-                let b = run(c);
-                *runs += 2;
-                if a.fingerprint != b.fingerprint {
-                    Some(Violation::NonDeterministic)
-                } else {
-                    a.violation
-                }
-            }
-        }, &mut run);
-        return FuzzReport { cases_run: case_idx + 1, runs, counterexample: Some(counterexample) };
+            },
+            &mut run,
+        );
+        return FuzzReport {
+            cases_run: case_idx + 1,
+            runs,
+            counterexample: Some(counterexample),
+        };
     }
-    FuzzReport { cases_run: cfg.cases, runs, counterexample: None }
+    FuzzReport {
+        cases_run: cfg.cases,
+        runs,
+        counterexample: None,
+    }
 }
 
 /// Rebuilds a pinned case from a flat `(site, index)` event list.
 fn rebuild(sites: &[&'static str], seed: u64, events: &[(&'static str, u64)]) -> FuzzCase {
     let site_events = |site: &str| {
-        let mut idxs: Vec<u64> =
-            events.iter().filter(|(s, _)| *s == site).map(|(_, i)| *i).collect();
+        let mut idxs: Vec<u64> = events
+            .iter()
+            .filter(|(s, _)| *s == site)
+            .map(|(_, i)| *i)
+            .collect();
         idxs.sort_unstable();
         idxs
     };
     FuzzCase {
         seed,
-        sites: sites.iter().map(|s| (*s, FaultSpec::Nth(site_events(s)))).collect(),
+        sites: sites
+            .iter()
+            .map(|s| (*s, FaultSpec::Nth(site_events(s))))
+            .collect(),
     }
 }
 
@@ -266,7 +289,12 @@ fn shrink(
     }
 
     let shrunk_to = events.len();
-    Counterexample { case: rebuild(sites, seed, &events), violation, shrunk_from, shrunk_to }
+    Counterexample {
+        case: rebuild(sites, seed, &events),
+        violation,
+        shrunk_from,
+        shrunk_to,
+    }
 }
 
 #[cfg(test)]
@@ -298,11 +326,18 @@ mod tests {
             .find(|(s, _)| *s == "a")
             .map(|(_, i)| i.iter().any(|&x| x >= 2))
             .unwrap_or(false);
-        let b_any = fired.iter().find(|(s, _)| *s == "b").map(|(_, i)| !i.is_empty());
-        let violation = (a_late && b_any.unwrap_or(false))
-            .then_some(Violation::WrongPayload { job: 1 });
+        let b_any = fired
+            .iter()
+            .find(|(s, _)| *s == "b")
+            .map(|(_, i)| !i.is_empty());
+        let violation =
+            (a_late && b_any.unwrap_or(false)).then_some(Violation::WrongPayload { job: 1 });
         let bytes: Vec<u8> = fp.iter().flat_map(|v| v.to_le_bytes()).collect();
-        RunOutcome { fingerprint: fnv1a64(&bytes), fired, violation }
+        RunOutcome {
+            fingerprint: fnv1a64(&bytes),
+            fired,
+            violation,
+        }
     }
 
     fn toy_config() -> FuzzConfig {
@@ -317,9 +352,14 @@ mod tests {
 
     #[test]
     fn finds_and_shrinks_to_minimal_schedule() {
-        let cfg = FuzzConfig { base_seed: 0xF00D, ..toy_config() };
+        let cfg = FuzzConfig {
+            base_seed: 0xF00D,
+            ..toy_config()
+        };
         let report = fuzz(&cfg, toy_target);
-        let cx = report.counterexample.expect("25% storms must trip the toy invariant");
+        let cx = report
+            .counterexample
+            .expect("25% storms must trip the toy invariant");
         assert_eq!(cx.violation, Violation::WrongPayload { job: 1 });
         // Minimal schedule: exactly one late `a` event and one `b` event.
         assert_eq!(cx.shrunk_to, 2, "repro:\n{}", cx.repro());
@@ -334,7 +374,10 @@ mod tests {
 
     #[test]
     fn fuzzer_is_deterministic() {
-        let cfg = FuzzConfig { base_seed: 0xBEEF, ..toy_config() };
+        let cfg = FuzzConfig {
+            base_seed: 0xBEEF,
+            ..toy_config()
+        };
         let a = fuzz(&cfg, toy_target);
         let b = fuzz(&cfg, toy_target);
         assert_eq!(a.runs, b.runs);
@@ -349,7 +392,11 @@ mod tests {
 
     #[test]
     fn clean_target_reports_no_counterexample() {
-        let cfg = FuzzConfig { base_seed: 7, cases: 5, ..toy_config() };
+        let cfg = FuzzConfig {
+            base_seed: 7,
+            cases: 5,
+            ..toy_config()
+        };
         let report = fuzz(&cfg, |case| {
             let mut out = toy_target(case);
             out.violation = None; // target never violates
@@ -363,14 +410,21 @@ mod tests {
     #[test]
     fn nondeterminism_is_detected() {
         let mut flip = 0u64;
-        let cfg = FuzzConfig { base_seed: 9, cases: 3, max_shrink_runs: 0, ..toy_config() };
+        let cfg = FuzzConfig {
+            base_seed: 9,
+            cases: 3,
+            max_shrink_runs: 0,
+            ..toy_config()
+        };
         let report = fuzz(&cfg, |case| {
             let mut out = toy_target(case);
             flip += 1;
             out.fingerprint ^= flip; // every run fingerprints differently
             out
         });
-        let cx = report.counterexample.expect("differing fingerprints are a violation");
+        let cx = report
+            .counterexample
+            .expect("differing fingerprints are a violation");
         assert_eq!(cx.violation, Violation::NonDeterministic);
     }
 }

@@ -55,7 +55,10 @@ impl IntegrityAudit {
     /// `expected` — the containment escapes. Must be empty whenever
     /// ECRC is on, no matter the corruption rate.
     pub fn escapes(&self, expected: u64) -> Vec<u64> {
-        self.successes().filter(|e| e.digest != expected).map(|e| e.id).collect()
+        self.successes()
+            .filter(|e| e.digest != expected)
+            .map(|e| e.id)
+            .collect()
     }
 }
 
@@ -63,7 +66,12 @@ impl IntegrityAudit {
 /// (no-op — one resource lookup — otherwise).
 pub fn audit(world: &mut World, id: u64, ok: bool, payload: &[u8]) {
     if world.get::<IntegrityAudit>().is_some() {
-        let entry = AuditEntry { id, ok, digest: fnv1a64(payload), len: payload.len() };
+        let entry = AuditEntry {
+            id,
+            ok,
+            digest: fnv1a64(payload),
+            len: payload.len(),
+        };
         world.expect_mut::<IntegrityAudit>().entries.push(entry);
     }
 }

@@ -106,7 +106,11 @@ pub struct MetricsRegistry {
 impl MetricsRegistry {
     /// Adds `n` to the counter `component/name`, creating it at zero.
     pub fn count(&mut self, component: &'static str, name: &'static str, n: u64) {
-        match self.slots.entry((component, name)).or_insert(Slot::Counter(0)) {
+        match self
+            .slots
+            .entry((component, name))
+            .or_insert(Slot::Counter(0))
+        {
             Slot::Counter(v) => *v += n,
             other => *other = Slot::Counter(n),
         }
@@ -230,10 +234,9 @@ impl MetricsReport {
             .iter()
             .map(|e| {
                 let value = match &e.value {
-                    MetricValue::Counter(v) => Json::Obj(vec![(
-                        "counter".to_string(),
-                        Json::Int(*v as i128),
-                    )]),
+                    MetricValue::Counter(v) => {
+                        Json::Obj(vec![("counter".to_string(), Json::Int(*v as i128))])
+                    }
                     MetricValue::Gauge(v) => {
                         Json::Obj(vec![("gauge".to_string(), Json::Int(*v as i128))])
                     }
@@ -302,7 +305,11 @@ impl MetricsReport {
                         .ok_or_else(|| format!("histogram missing \"{k}\""))
                 };
                 let mut buckets = Vec::new();
-                for pair in h.get("buckets").and_then(Json::as_arr).ok_or("histogram missing \"buckets\"")? {
+                for pair in h
+                    .get("buckets")
+                    .and_then(Json::as_arr)
+                    .ok_or("histogram missing \"buckets\"")?
+                {
                     match pair.as_arr() {
                         Some([Json::Int(i), Json::Int(n)]) => {
                             buckets.push((*i as usize, *n as u64));
@@ -320,7 +327,11 @@ impl MetricsReport {
             } else {
                 return Err("unknown metric value kind".to_string());
             };
-            entries.push(MetricEntry { component, name, value });
+            entries.push(MetricEntry {
+                component,
+                name,
+                value,
+            });
         }
         Ok(MetricsReport { entries })
     }
@@ -414,7 +425,13 @@ impl Recorder {
             return;
         }
         if let Some(start_ns) = self.open.remove(&(cat, name, req)) {
-            self.spans.push(Span { cat, name, req, start_ns, end_ns: now.as_nanos() });
+            self.spans.push(Span {
+                cat,
+                name,
+                req,
+                start_ns,
+                end_ns: now.as_nanos(),
+            });
         }
     }
 
@@ -425,8 +442,15 @@ impl Recorder {
             return;
         }
         let ns = now.as_nanos();
-        self.requests
-            .insert(req, Anatomy { begin_ns: ns, segments: Vec::new(), end_ns: None, last_ns: ns });
+        self.requests.insert(
+            req,
+            Anatomy {
+                begin_ns: ns,
+                segments: Vec::new(),
+                end_ns: None,
+                last_ns: ns,
+            },
+        );
     }
 
     /// Closes the segment `[previous mark, now]` under `label`. Ignored
@@ -513,10 +537,18 @@ impl Recorder {
         let total = a.total_ns()?;
         let mut out = format!("request {req} — latency anatomy ({total} ns end-to-end)\n");
         for (label, ns) in &a.segments {
-            let pct = if total == 0 { 0.0 } else { *ns as f64 * 100.0 / total as f64 };
+            let pct = if total == 0 {
+                0.0
+            } else {
+                *ns as f64 * 100.0 / total as f64
+            };
             out.push_str(&format!("  {label:<28} {ns:>12} ns  {pct:>5.1}%\n"));
         }
-        out.push_str(&format!("  {:<28} {:>12} ns  100.0%\n", "total", a.segment_sum_ns()));
+        out.push_str(&format!(
+            "  {:<28} {:>12} ns  100.0%\n",
+            "total",
+            a.segment_sum_ns()
+        ));
         Some(out)
     }
 }
@@ -690,8 +722,20 @@ mod tests {
         assert_eq!(
             r.spans(),
             &[
-                Span { cat: "nic", name: "wire", req: 4, start_ns: 12, end_ns: 20 },
-                Span { cat: "nic", name: "wire", req: 3, start_ns: 10, end_ns: 25 },
+                Span {
+                    cat: "nic",
+                    name: "wire",
+                    req: 4,
+                    start_ns: 12,
+                    end_ns: 20
+                },
+                Span {
+                    cat: "nic",
+                    name: "wire",
+                    req: 3,
+                    start_ns: 10,
+                    end_ns: 25
+                },
             ]
         );
     }
@@ -724,7 +768,10 @@ mod tests {
         r.req_end(1, "all", t(2500));
         let text = chrome_trace(&r);
         let root = Json::parse(&text).expect("valid JSON");
-        let events = root.get("traceEvents").and_then(Json::as_arr).expect("traceEvents");
+        let events = root
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents");
         // 2 process_name metadata + 1 span + 1 anatomy segment.
         assert_eq!(events.len(), 4, "{text}");
         let reqs = root

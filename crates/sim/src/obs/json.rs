@@ -226,7 +226,10 @@ fn parse_value(text: &str, bytes: &[u8], pos: &mut usize) -> Result<Json, String
             }
         }
         b'-' | b'0'..=b'9' => parse_number(text, bytes, pos),
-        other => Err(format!("unexpected character '{}' at byte {}", other as char, *pos)),
+        other => Err(format!(
+            "unexpected character '{}' at byte {}",
+            other as char, *pos
+        )),
     }
 }
 
@@ -257,9 +260,13 @@ fn parse_number(text: &str, bytes: &[u8], pos: &mut usize) -> Result<Json, Strin
     }
     let lit = &text[start..*pos];
     if float {
-        lit.parse::<f64>().map(Json::Float).map_err(|e| format!("bad number {lit:?}: {e}"))
+        lit.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|e| format!("bad number {lit:?}: {e}"))
     } else {
-        lit.parse::<i128>().map(Json::Int).map_err(|e| format!("bad number {lit:?}: {e}"))
+        lit.parse::<i128>()
+            .map(Json::Int)
+            .map_err(|e| format!("bad number {lit:?}: {e}"))
     }
 }
 
@@ -319,7 +326,10 @@ mod tests {
             ("a".to_string(), Json::Int(-42)),
             ("big".to_string(), Json::Int(u64::MAX as i128 * 1000)),
             ("f".to_string(), Json::Float(1.5)),
-            ("s".to_string(), Json::Str("he said \"hi\"\n\tπ".to_string())),
+            (
+                "s".to_string(),
+                Json::Str("he said \"hi\"\n\tπ".to_string()),
+            ),
             (
                 "arr".to_string(),
                 Json::Arr(vec![Json::Null, Json::Bool(true), Json::Obj(vec![])]),
@@ -341,7 +351,16 @@ mod tests {
 
     #[test]
     fn rejects_malformed_input() {
-        for bad in ["", "{", "[1,", "{\"a\":}", "tru", "1 2", "\"unterminated", "{\"a\" 1}"] {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "1 2",
+            "\"unterminated",
+            "{\"a\" 1}",
+        ] {
             assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
         }
     }

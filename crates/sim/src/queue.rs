@@ -104,7 +104,9 @@ impl ServerBank {
     /// Panics if `n` is zero.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "a server bank needs at least one server");
-        ServerBank { servers: vec![FifoServer::new(); n] }
+        ServerBank {
+            servers: vec![FifoServer::new(); n],
+        }
     }
 
     /// Number of servers in the bank.
@@ -151,7 +153,10 @@ mod tests {
         // Offered "in the past" relative to busy_until: queues behind.
         assert_eq!(s.offer(SimTime::from_nanos(12), 5), SimTime::from_nanos(20));
         // Offered after an idle gap: starts immediately.
-        assert_eq!(s.offer(SimTime::from_nanos(100), 5), SimTime::from_nanos(105));
+        assert_eq!(
+            s.offer(SimTime::from_nanos(100), 5),
+            SimTime::from_nanos(105)
+        );
         assert_eq!(s.busy_time(), 15);
         assert_eq!(s.completed(), 3);
     }
@@ -179,8 +184,9 @@ mod tests {
     fn bank_spreads_load_across_servers() {
         let mut bank = ServerBank::new(2);
         // Four 10ns jobs at t=0 on 2 servers -> completions 10,10,20,20.
-        let mut completions: Vec<u64> =
-            (0..4).map(|_| bank.offer(SimTime::ZERO, 10).as_nanos()).collect();
+        let mut completions: Vec<u64> = (0..4)
+            .map(|_| bank.offer(SimTime::ZERO, 10).as_nanos())
+            .collect();
         completions.sort_unstable();
         assert_eq!(completions, vec![10, 10, 20, 20]);
         assert_eq!(bank.busy_time(), 40);

@@ -7,7 +7,6 @@
 
 use std::collections::BTreeMap;
 
-
 /// A monotonically increasing named counter.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Counter {
@@ -207,7 +206,13 @@ fn bucket_bound(idx: usize) -> u64 {
 impl Histogram {
     /// An empty histogram.
     pub fn new() -> Self {
-        Histogram { count: 0, sum: 0, min: u64::MAX, max: 0, buckets: vec![0; BUCKETS] }
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: vec![0; BUCKETS],
+        }
     }
 
     /// Records one sample (e.g. a request latency in nanoseconds).
@@ -307,7 +312,11 @@ impl Histogram {
     /// order — the sparse form used by serialized snapshots
     /// ([`crate::obs::HistogramSnapshot`]).
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
-        self.buckets.iter().enumerate().filter(|(_, &n)| n > 0).map(|(i, &n)| (i, n))
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (i, n))
     }
 
     /// Merges another histogram into this one (aggregating per-node tail
@@ -459,13 +468,29 @@ mod tests {
     fn bucket_bounds_invert_bucket_index() {
         // Every bucket's upper bound must land back in that bucket, and the
         // next value must not.
-        for v in [0u64, 1, 31, 32, 33, 63, 64, 100, 1023, 1024, 1 << 20, u64::MAX >> 1] {
+        for v in [
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            63,
+            64,
+            100,
+            1023,
+            1024,
+            1 << 20,
+            u64::MAX >> 1,
+        ] {
             let idx = bucket_index(v);
             let ub = bucket_bound(idx);
             assert!(ub >= v, "bound {ub} below member {v}");
             assert_eq!(bucket_index(ub), idx, "bound {ub} left bucket of {v}");
             if ub < u64::MAX {
-                assert!(bucket_index(ub + 1) > idx, "bucket of {v} unbounded at {ub}");
+                assert!(
+                    bucket_index(ub + 1) > idx,
+                    "bucket of {v} unbounded at {ub}"
+                );
             }
         }
     }
@@ -480,20 +505,24 @@ mod tests {
         let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
         let mut samples = Vec::new();
         for _ in 0..10_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = (x >> 33) % 5_000_000;
             samples.push(v);
             h.record(v);
         }
         samples.sort_unstable();
         for p in [0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
-            let rank = ((samples.len() as f64 * p / 100.0).ceil() as usize)
-                .clamp(1, samples.len());
+            let rank = ((samples.len() as f64 * p / 100.0).ceil() as usize).clamp(1, samples.len());
             let exact = samples[rank - 1];
             let approx = h.percentile(p).unwrap();
             assert!(approx >= exact, "p{p}: {approx} < exact {exact}");
             let limit = exact + exact / 32 + 1;
-            assert!(approx <= limit, "p{p}: {approx} > bound {limit} (exact {exact})");
+            assert!(
+                approx <= limit,
+                "p{p}: {approx} > bound {limit} (exact {exact})"
+            );
         }
     }
 
@@ -503,12 +532,25 @@ mod tests {
         for v in 1..=1000u64 {
             h.record(v * 1000);
         }
-        let (p50, p90, p99, p999) =
-            (h.p50().unwrap(), h.p90().unwrap(), h.p99().unwrap(), h.p999().unwrap());
-        assert!(p50 <= p90 && p90 <= p99 && p99 <= p999, "{p50} {p90} {p99} {p999}");
+        let (p50, p90, p99, p999) = (
+            h.p50().unwrap(),
+            h.p90().unwrap(),
+            h.p99().unwrap(),
+            h.p999().unwrap(),
+        );
+        assert!(
+            p50 <= p90 && p90 <= p99 && p99 <= p999,
+            "{p50} {p90} {p99} {p999}"
+        );
         // Within the 1/32 bound of the exact ranks.
-        assert!((500_000..=500_000 + 500_000 / 32 + 1).contains(&p50), "{p50}");
-        assert!((1_000_000..=1_000_000 + 1_000_000 / 32 + 1).contains(&p999), "{p999}");
+        assert!(
+            (500_000..=500_000 + 500_000 / 32 + 1).contains(&p50),
+            "{p50}"
+        );
+        assert!(
+            (1_000_000..=1_000_000 + 1_000_000 / 32 + 1).contains(&p999),
+            "{p999}"
+        );
         assert_eq!(h.percentile(100.0), Some(1_000_000));
     }
 

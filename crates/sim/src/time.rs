@@ -185,21 +185,27 @@ impl Bandwidth {
     #[inline]
     pub fn gbps(g: f64) -> Self {
         assert!(g > 0.0, "bandwidth must be positive");
-        Bandwidth { bits_per_sec: g * 1e9 }
+        Bandwidth {
+            bits_per_sec: g * 1e9,
+        }
     }
 
     /// A rate in megabits per second.
     #[inline]
     pub fn mbps(m: f64) -> Self {
         assert!(m > 0.0, "bandwidth must be positive");
-        Bandwidth { bits_per_sec: m * 1e6 }
+        Bandwidth {
+            bits_per_sec: m * 1e6,
+        }
     }
 
     /// A rate in bytes per second.
     #[inline]
     pub fn bytes_per_sec(b: f64) -> Self {
         assert!(b > 0.0, "bandwidth must be positive");
-        Bandwidth { bits_per_sec: b * 8.0 }
+        Bandwidth {
+            bits_per_sec: b * 8.0,
+        }
     }
 
     /// The rate in gigabits per second.
@@ -230,7 +236,9 @@ impl Bandwidth {
     #[inline]
     pub fn scaled(self, factor: f64) -> Self {
         assert!(factor > 0.0, "scale factor must be positive");
-        Bandwidth { bits_per_sec: self.bits_per_sec * factor }
+        Bandwidth {
+            bits_per_sec: self.bits_per_sec * factor,
+        }
     }
 }
 

@@ -156,7 +156,9 @@ impl Breakdown {
             return sum;
         }
         let n = items.len() as u64;
-        Breakdown { spans: sum.spans.into_iter().map(|(c, v)| (c, v / n)).collect() }
+        Breakdown {
+            spans: sum.spans.into_iter().map(|(c, v)| (c, v / n)).collect(),
+        }
     }
 
     /// The portion of the breakdown attributable to *software* (everything
@@ -201,9 +203,20 @@ impl PhaseTrace {
     /// # Panics
     ///
     /// Panics if `end < start`.
-    pub fn push(&mut self, category: Category, label: impl Into<String>, start: SimTime, end: SimTime) {
+    pub fn push(
+        &mut self,
+        category: Category,
+        label: impl Into<String>,
+        start: SimTime,
+        end: SimTime,
+    ) {
         assert!(end >= start, "phase ends before it starts");
-        self.phases.push(Phase { category, label: label.into(), start, end });
+        self.phases.push(Phase {
+            category,
+            label: label.into(),
+            start,
+            end,
+        });
     }
 
     /// The recorded phases in insertion order.
@@ -247,7 +260,10 @@ mod tests {
         b.add(Category::FileSystem, 5);
         b.add(Category::Scoreboard, 10);
         let entries = b.entries();
-        assert_eq!(entries, vec![(Category::FileSystem, 5), (Category::Scoreboard, 20)]);
+        assert_eq!(
+            entries,
+            vec![(Category::FileSystem, 5), (Category::Scoreboard, 20)]
+        );
         assert_eq!(b.total(), 25);
     }
 
@@ -277,8 +293,18 @@ mod tests {
     #[test]
     fn phase_trace_roundtrips_to_breakdown() {
         let mut t = PhaseTrace::new();
-        t.push(Category::Read, "flash", SimTime::from_us(1), SimTime::from_us(21));
-        t.push(Category::DeviceControl, "doorbell", SimTime::from_us(21), SimTime::from_us(22));
+        t.push(
+            Category::Read,
+            "flash",
+            SimTime::from_us(1),
+            SimTime::from_us(21),
+        );
+        t.push(
+            Category::DeviceControl,
+            "doorbell",
+            SimTime::from_us(21),
+            SimTime::from_us(22),
+        );
         let b = t.to_breakdown();
         assert_eq!(b.get(Category::Read), 20_000);
         assert_eq!(b.get(Category::DeviceControl), 1_000);
@@ -291,7 +317,12 @@ mod tests {
     #[should_panic(expected = "ends before")]
     fn phase_rejects_negative_interval() {
         let mut t = PhaseTrace::new();
-        t.push(Category::Read, "bad", SimTime::from_us(2), SimTime::from_us(1));
+        t.push(
+            Category::Read,
+            "bad",
+            SimTime::from_us(2),
+            SimTime::from_us(1),
+        );
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //! handled inside the switch can deposit bytes into SSD/NIC/HDC memory
 //! without components holding references to each other.
 
-use std::any::{Any, TypeId};
 use crate::detmap::DetMap;
+use std::any::{Any, TypeId};
 
 use crate::obs::Recorder;
 use crate::rng::Rng;
@@ -48,16 +48,16 @@ impl World {
 
     /// Borrows the singleton of type `T`, if registered.
     pub fn get<T: Any>(&self) -> Option<&T> {
-        self.resources.get(&TypeId::of::<T>()).map(|b| {
-            b.downcast_ref::<T>().expect("keyed by TypeId")
-        })
+        self.resources
+            .get(&TypeId::of::<T>())
+            .map(|b| b.downcast_ref::<T>().expect("keyed by TypeId"))
     }
 
     /// Mutably borrows the singleton of type `T`, if registered.
     pub fn get_mut<T: Any>(&mut self) -> Option<&mut T> {
-        self.resources.get_mut(&TypeId::of::<T>()).map(|b| {
-            b.downcast_mut::<T>().expect("keyed by TypeId")
-        })
+        self.resources
+            .get_mut(&TypeId::of::<T>())
+            .map(|b| b.downcast_mut::<T>().expect("keyed by TypeId"))
     }
 
     /// Borrows the singleton of type `T`.
@@ -68,7 +68,10 @@ impl World {
     /// a legitimate state.
     pub fn expect<T: Any>(&self) -> &T {
         self.get::<T>().unwrap_or_else(|| {
-            panic!("world resource not registered: {}", std::any::type_name::<T>())
+            panic!(
+                "world resource not registered: {}",
+                std::any::type_name::<T>()
+            )
         })
     }
 
@@ -79,7 +82,10 @@ impl World {
     /// Panics if no `T` was registered.
     pub fn expect_mut<T: Any>(&mut self) -> &mut T {
         self.get_mut::<T>().unwrap_or_else(|| {
-            panic!("world resource not registered: {}", std::any::type_name::<T>())
+            panic!(
+                "world resource not registered: {}",
+                std::any::type_name::<T>()
+            )
         })
     }
 

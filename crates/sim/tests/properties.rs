@@ -2,7 +2,9 @@
 //! driven by the deterministic in-repo [`Rng`] (the container builds
 //! offline, so no external property-testing framework is available).
 
-use dcs_sim::{time, Breakdown, Category, Component, Ctx, FifoServer, Msg, Rng, SimTime, Simulator};
+use dcs_sim::{
+    time, Breakdown, Category, Component, Ctx, FifoServer, Msg, Rng, SimTime, Simulator,
+};
 
 /// FIFO servers never travel back in time, conserve total service, and
 /// serve work-conservingly.
@@ -98,12 +100,20 @@ fn event_ordering() {
         let n = rng.gen_range(1..100) as usize;
         let delays: Vec<u64> = (0..n).map(|_| rng.gen_range(0..10_000)).collect();
         let mut sim = Simulator::new(1);
-        let w = sim.add("w", Watcher { last: SimTime::ZERO });
+        let w = sim.add(
+            "w",
+            Watcher {
+                last: SimTime::ZERO,
+            },
+        );
         for d in &delays {
             sim.schedule_at(SimTime::from_nanos(*d), w, Tick);
         }
         sim.run();
-        assert_eq!(sim.world().stats.counter_value("ticks"), delays.len() as u64);
+        assert_eq!(
+            sim.world().stats.counter_value("ticks"),
+            delays.len() as u64
+        );
         let max = delays.iter().max().copied().unwrap_or(0);
         assert_eq!(sim.now(), SimTime::ZERO + time::ns(max));
     }

@@ -1,0 +1,343 @@
+//! The per-node read cache: bounded bytes, deterministic LRU, and a
+//! scan-resistant admission policy.
+//!
+//! Each node of the store keeps a front-end-owned cache of recently
+//! served values. A hit short-circuits the NVMe path entirely — the GET
+//! runs as a `MemRead → NicSend` pipeline instead of
+//! `SsdRead → MD5 → NicSend` — so a skewed read mix serves its hot head
+//! at DRAM speed while the flash stays free for the cold tail.
+//!
+//! Two properties matter more than raw hit rate:
+//!
+//! * **Determinism.** Recency is a monotonic stamp per entry over a
+//!   [`DetMap`], and eviction scans for the minimum stamp (ties broken by
+//!   insertion order). No wall clock, no hash-order iteration — the same
+//!   request stream always produces the same evictions.
+//! * **Scan resistance.** A YCSB-E scan touches a long run of keys
+//!   exactly once; admitting them would flush the hot head for bytes that
+//!   will never be re-read. Under [`Admission::ScanResistant`], scan
+//!   traffic is never admitted and point reads must prove themselves on a
+//!   small *ghost list* (key-only, no bytes) before their second touch
+//!   earns residency. [`Admission::AdmitAll`] is the ablation arm that
+//!   shows the pollution.
+//!
+//! Versions are the *caller's* concern: the cache stores the version each
+//! value was admitted at, [`ReadCache::lookup`] returns it, and the store
+//! driver compares it against the committed version before serving — the
+//! `stale_served` tripwire in the cluster report counts any mismatch that
+//! would have been served.
+
+use dcs_sim::DetMap;
+
+/// What gets admitted into the cache on a successful flash read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Admission {
+    /// Admit every read, scans included (the pollution ablation).
+    AdmitAll,
+    /// Never admit scan traffic; point reads are admitted on their second
+    /// touch (first touch only records the key on the ghost list).
+    #[default]
+    ScanResistant,
+}
+
+/// Cache provisioning for every node of the store.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfig {
+    /// Value-byte budget per node; 0 disables the cache entirely.
+    pub capacity_bytes: u64,
+    /// Admission policy.
+    pub admission: Admission,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            capacity_bytes: 0,
+            admission: Admission::ScanResistant,
+        }
+    }
+}
+
+/// A resident value (metadata only — the simulation never stores the
+/// actual bytes, the node's flash model owns them).
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    len: u64,
+    version: u64,
+    stamp: u64,
+}
+
+/// One node's read cache. See the module docs for the policy.
+#[derive(Debug)]
+pub struct ReadCache {
+    capacity: u64,
+    admission: Admission,
+    bytes: u64,
+    clock: u64,
+    entries: DetMap<u64, Entry>,
+    /// Keys seen exactly once (no bytes held), stamped for LRU trimming.
+    ghost: DetMap<u64, u64>,
+    ghost_cap: usize,
+    /// Entries dropped because their version no longer matched.
+    pub stale_evicted: u64,
+    /// Admissions refused because the read came from a scan.
+    pub scan_rejected: u64,
+}
+
+impl ReadCache {
+    /// Creates an empty cache with `cfg`'s budget and policy.
+    pub fn new(cfg: &CacheConfig) -> ReadCache {
+        // The ghost list holds keys, not bytes; give it room proportional
+        // to the cache (as if entries were 4 KiB) so a hot set larger than
+        // one touch can still prove itself, but bounded.
+        let ghost_cap = (cfg.capacity_bytes / 4096).clamp(64, 4096) as usize;
+        ReadCache {
+            capacity: cfg.capacity_bytes,
+            admission: cfg.admission,
+            bytes: 0,
+            clock: 0,
+            entries: DetMap::new(),
+            ghost: DetMap::new(),
+            ghost_cap,
+            stale_evicted: 0,
+            scan_rejected: 0,
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Looks `key` up, bumping its recency. Returns the version the value
+    /// was admitted at; the caller decides whether that version is still
+    /// servable.
+    pub fn lookup(&mut self, key: u64) -> Option<u64> {
+        let stamp = self.tick();
+        let e = self.entries.get_mut(&key)?;
+        e.stamp = stamp;
+        Some(e.version)
+    }
+
+    /// Non-mutating probe (no recency bump): the version `key` is cached
+    /// at, if resident. Used for cache-affinity routing.
+    pub fn peek(&self, key: u64) -> Option<u64> {
+        self.entries.get(&key).map(|e| e.version)
+    }
+
+    /// Offers a successfully read value for residency. `from_scan` marks
+    /// bytes produced by a range scan.
+    pub fn admit(&mut self, key: u64, len: u64, version: u64, from_scan: bool) {
+        if self.capacity == 0 || len == 0 || len > self.capacity {
+            return;
+        }
+        let stamp = self.tick();
+        if let Some(e) = self.entries.get_mut(&key) {
+            // Already resident: refresh version and recency in place.
+            let old = e.len;
+            e.len = len;
+            e.version = version;
+            e.stamp = stamp;
+            self.bytes = self.bytes - old + len;
+            self.evict_to_fit(0);
+            return;
+        }
+        if self.admission == Admission::ScanResistant {
+            if from_scan {
+                self.scan_rejected += 1;
+                return;
+            }
+            if self.ghost.remove(&key).is_none() {
+                // First touch: remember the key, hold no bytes.
+                let stamp = self.tick();
+                self.ghost.insert(key, stamp);
+                self.trim_ghost();
+                return;
+            }
+            // Second touch: fall through and admit.
+        }
+        self.evict_to_fit(len);
+        let stamp = self.tick();
+        self.entries.insert(
+            key,
+            Entry {
+                len,
+                version,
+                stamp,
+            },
+        );
+        self.bytes += len;
+    }
+
+    /// Drops `key` if resident (a write committed a newer version).
+    /// Returns whether anything was dropped.
+    pub fn invalidate(&mut self, key: u64) -> bool {
+        self.ghost.remove(&key);
+        match self.entries.remove(&key) {
+            Some(e) => {
+                self.bytes -= e.len;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops a value whose cached version went stale at lookup time.
+    pub fn evict_stale(&mut self, key: u64) {
+        if self.invalidate(key) {
+            self.stale_evicted += 1;
+        }
+    }
+
+    /// Empties the cache (the node crashed or was drained).
+    pub fn clear(&mut self) {
+        self.entries = DetMap::new();
+        self.ghost = DetMap::new();
+        self.bytes = 0;
+    }
+
+    /// Evicts least-recently-used entries until `incoming` more bytes fit.
+    fn evict_to_fit(&mut self, incoming: u64) {
+        while self.bytes + incoming > self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(&k, _)| k)
+                .expect("over budget implies a resident entry");
+            let e = self.entries.remove(&victim).expect("victim resident");
+            self.bytes -= e.len;
+        }
+    }
+
+    fn trim_ghost(&mut self) {
+        while self.ghost.len() > self.ghost_cap {
+            let victim = self
+                .ghost
+                .iter()
+                .min_by_key(|(_, &stamp)| stamp)
+                .map(|(&k, _)| k)
+                .expect("non-empty ghost");
+            self.ghost.remove(&victim);
+        }
+    }
+
+    /// Resident value bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(capacity: u64, admission: Admission) -> ReadCache {
+        ReadCache::new(&CacheConfig {
+            capacity_bytes: capacity,
+            admission,
+        })
+    }
+
+    /// Admit under AdmitAll (single touch suffices).
+    fn put(c: &mut ReadCache, key: u64, len: u64) {
+        c.admit(key, len, 1, false);
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_deterministically() {
+        let mut c = cache(10_000, Admission::AdmitAll);
+        put(&mut c, 1, 4000);
+        put(&mut c, 2, 4000);
+        assert_eq!(c.lookup(1), Some(1), "touch key 1 so key 2 is the LRU");
+        put(&mut c, 3, 4000); // must evict key 2
+        assert_eq!(c.lookup(2), None);
+        assert_eq!(c.lookup(1), Some(1));
+        assert_eq!(c.lookup(3), Some(1));
+        assert!(c.bytes() <= 10_000);
+    }
+
+    #[test]
+    fn scan_resistant_needs_two_touches_and_never_admits_scans() {
+        let mut c = cache(1 << 20, Admission::ScanResistant);
+        c.admit(7, 4096, 1, false);
+        assert_eq!(c.lookup(7), None, "first touch only ghosts the key");
+        c.admit(7, 4096, 1, false);
+        assert_eq!(c.lookup(7), Some(1), "second touch earns residency");
+        for k in 100..200 {
+            c.admit(k, 4096, 1, true);
+            c.admit(k, 4096, 1, true);
+        }
+        assert_eq!(c.len(), 1, "scan bytes never enter, even on re-touch");
+        assert_eq!(c.scan_rejected, 200);
+        // AdmitAll is the pollution arm: the same scan floods it.
+        let mut all = cache(1 << 20, Admission::AdmitAll);
+        for k in 100..200 {
+            all.admit(k, 4096, 1, true);
+        }
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn invalidate_and_clear_release_bytes() {
+        let mut c = cache(1 << 20, Admission::AdmitAll);
+        put(&mut c, 1, 1000);
+        put(&mut c, 2, 2000);
+        assert!(c.invalidate(1));
+        assert!(!c.invalidate(1), "second invalidate is a no-op");
+        assert_eq!(c.bytes(), 2000);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.bytes(), 0);
+        assert_eq!(c.lookup(2), None);
+    }
+
+    #[test]
+    fn versions_round_trip_and_stale_eviction_counts() {
+        let mut c = cache(1 << 20, Admission::AdmitAll);
+        c.admit(9, 512, 3, false);
+        assert_eq!(c.lookup(9), Some(3));
+        assert_eq!(c.peek(9), Some(3));
+        c.evict_stale(9);
+        assert_eq!(c.stale_evicted, 1);
+        assert_eq!(c.lookup(9), None);
+    }
+
+    #[test]
+    fn zero_capacity_disables_everything() {
+        let mut c = cache(0, Admission::AdmitAll);
+        put(&mut c, 1, 1);
+        assert_eq!(c.lookup(1), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn oversized_values_are_refused_not_thrashed() {
+        let mut c = cache(4096, Admission::AdmitAll);
+        put(&mut c, 1, 4096);
+        put(&mut c, 2, 8192); // bigger than the whole cache
+        assert_eq!(c.lookup(1), Some(1), "resident set untouched");
+        assert_eq!(c.lookup(2), None);
+    }
+
+    #[test]
+    fn ghost_list_is_bounded() {
+        let mut c = cache(1 << 20, Admission::ScanResistant);
+        // Far more one-touch keys than the ghost can hold.
+        for k in 0..100_000u64 {
+            c.admit(k, 4096, 1, false);
+        }
+        assert!(c.ghost.len() <= c.ghost_cap);
+        assert!(c.is_empty());
+    }
+}

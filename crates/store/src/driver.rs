@@ -1,0 +1,969 @@
+//! The store front end: per-tenant YCSB traffic, cache-aware routing,
+//! QoS admission, and per-tenant SLO measurement.
+//!
+//! One [`StoreDriver`] component plays the serving tier in front of the
+//! rack. Per tenant, it draws open-loop Poisson arrivals at the tenant's
+//! offered load and walks the tenant's YCSB op stream
+//! ([`YcsbGenerator`]); each op resolves through the cluster's
+//! consistent-hash ring and runs as real simulated [`D2dJob`]s on the
+//! chosen node's devices:
+//!
+//! * **GET, cache miss / SCAN** — `SsdRead → MD5 → NicSend` on the
+//!   server (the Swift GET shape), received at the rack-side access node.
+//! * **GET, cache hit** — `MemRead → NicSend`: the value comes from the
+//!   node's DRAM read cache ([`ReadCache`]) and the NVMe path is skipped
+//!   entirely. The front end owns the caches, so it routes a GET to a
+//!   replica that holds the key (cache-affinity) before consulting the
+//!   load balancer.
+//! * **PUT / INSERT / RMW / DELETE** — `NicRecv → MD5 → SsdWrite` on the
+//!   server while the access node streams the body (the Swift PUT shape).
+//!   On completion the write *commits*: the object's version is bumped
+//!   and every node cache invalidates its copy — before the ack is even
+//!   on the wire, so no later cache decision can see the old bytes.
+//!
+//! Consistency is enforced by version, not by hope: every cache entry
+//! records the version it was admitted at, a hit is only served when that
+//! version equals the committed version, and any mismatch at decision
+//! time counts into the report's `stale_served` tripwire (asserted zero
+//! by the failover suite — including across a node crash with writes in
+//! flight).
+//!
+//! Overload is shaped per tenant: each node serves `max_outstanding`
+//! requests; beyond that, requests park in the node's [`QosQueue`] —
+//! weighted-fair (SFQ, per-tenant bounds) or FIFO (shared bound, the
+//! ablation arm) — and shed when their bound fills. Tenants may also ride
+//! the ToR's strict-priority lane ([`Lane::Priority`]), the same
+//! machinery the health layer's probes use.
+
+use std::collections::BTreeMap;
+
+use dcs_cluster::{ClusterNode, ClusterReport, HashRing, Lane, NodePerf, TenantPerf, TorSwitch};
+use dcs_host::cpu::{CpuJob, CpuJobDone, CpuStats};
+use dcs_host::job::{D2dDone, D2dJob, D2dOp};
+use dcs_ndp::NdpFunction;
+use dcs_nic::TcpFlow;
+use dcs_sim::{Component, Ctx, DetMap, Histogram, Msg, Rng, SimTime};
+use dcs_workloads::ycsb::{StoreOp, StoreOpKind, YcsbGenerator};
+
+use crate::api::{object_id, StoreConfig};
+use crate::cache::ReadCache;
+use crate::qos::QosQueue;
+
+/// Bytes of a read request on the wire (headers only).
+const READ_REQ_BYTES: usize = 512;
+/// Header overhead on a write request (the payload rides along).
+const WRITE_REQ_OVERHEAD: usize = 512;
+/// Response overhead on a read (headers + integrity digest).
+const READ_RESP_OVERHEAD: usize = 256;
+/// Bytes of a write acknowledgement.
+const WRITE_ACK_BYTES: usize = 128;
+/// Payload bytes of a DELETE (a tombstone record).
+const TOMBSTONE_BYTES: usize = 512;
+
+/// The finished report, left in the world when the window closes.
+#[derive(Debug)]
+pub struct StoreOutcome(pub ClusterReport);
+
+/// Kickoff event for the front end (sent once by
+/// [`build_store`](crate::build_store)).
+#[derive(Debug)]
+pub struct Start;
+#[derive(Debug)]
+struct Arrival {
+    tenant: usize,
+}
+#[derive(Debug)]
+struct WarmupOver;
+#[derive(Debug)]
+struct WindowOver;
+#[derive(Debug)]
+struct CrashNow;
+/// The request's bytes finished arriving at the node port: submit its jobs.
+#[derive(Debug)]
+struct Delivered {
+    req: u64,
+}
+/// The response's bytes finished arriving back at the front end.
+#[derive(Debug)]
+struct Response {
+    req: u64,
+}
+
+/// A generated op not yet dispatched (parked at admission).
+#[derive(Debug)]
+struct Pending {
+    tenant: usize,
+    op: StoreOp,
+    len: usize,
+    arrival: SimTime,
+    retries_left: u32,
+}
+
+/// A dispatched request.
+#[derive(Debug)]
+struct InFlight {
+    tenant: usize,
+    node: usize,
+    slot: usize,
+    op: StoreOp,
+    len: usize,
+    arrival: SimTime,
+    pending_jobs: usize,
+    failed: bool,
+    /// Served from the node's read cache (NVMe path skipped).
+    cache_hit: bool,
+    /// Committed version of the object at the cache decision.
+    decision_version: u64,
+    retries_left: u32,
+}
+
+/// The store front-end component.
+pub struct StoreDriver {
+    cfg: StoreConfig,
+    nodes: Vec<ClusterNode>,
+    switch: TorSwitch,
+    ring: HashRing,
+    gens: Vec<YcsbGenerator>,
+    tenant_rngs: Vec<Rng>,
+    mean_gap_ns: Vec<f64>,
+    // Admission state, indexed by node.
+    outstanding: Vec<usize>,
+    free_slots: Vec<Vec<usize>>,
+    queues: Vec<QosQueue<Pending>>,
+    rr_cursor: usize,
+    // Caching and consistency.
+    caches: Vec<ReadCache>,
+    /// Committed version per global object id (absent = 0, never written).
+    committed: DetMap<u64, u64>,
+    // Request tracking.
+    inflight: BTreeMap<u64, InFlight>,
+    job_to_req: BTreeMap<u64, u64>,
+    next_req: u64,
+    next_job_id: u64,
+    crashed: Vec<bool>,
+    // Measurement.
+    measuring: bool,
+    window_closed: bool,
+    measure_start: SimTime,
+    latency: Histogram,
+    requests: u64,
+    bytes: u64,
+    rejected: u64,
+    failures: u64,
+    get_ok: u64,
+    get_denied: u64,
+    put_ok: u64,
+    put_denied: u64,
+    retried: u64,
+    lost: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    stale_served: u64,
+    per_node: Vec<NodePerf>,
+    tenants: Vec<TenantPerf>,
+}
+
+impl StoreDriver {
+    /// Creates the front end over `nodes` (one entry per store node).
+    pub fn new(cfg: StoreConfig, nodes: Vec<ClusterNode>, mut rng: Rng) -> StoreDriver {
+        assert_eq!(cfg.nodes, nodes.len(), "node list must match config");
+        assert!(!cfg.tenants.is_empty(), "a store needs at least one tenant");
+        assert!(cfg.tenants.len() < 1 << 16, "tenant id must fit 16 bits");
+        assert!(cfg.max_outstanding > 0, "admission needs at least one slot");
+        assert!(
+            cfg.tenants.iter().all(|t| t.value_bytes > 0),
+            "tenant values must be non-empty"
+        );
+        let n = nodes.len();
+        let switch = TorSwitch::new(n, cfg.switch.clone());
+        let ring = HashRing::new(n, cfg.vnodes_per_node, cfg.replication);
+        let gens: Vec<YcsbGenerator> = cfg
+            .tenants
+            .iter()
+            .map(|t| YcsbGenerator::new(t.workload, t.keys, t.theta))
+            .collect();
+        let tenant_rngs: Vec<Rng> = cfg.tenants.iter().map(|_| rng.fork()).collect();
+        let mean_gap_ns: Vec<f64> = cfg
+            .tenants
+            .iter()
+            .map(|t| {
+                // Scans move (1 + max)/2 values per op on average; fold
+                // that into the per-op payload so `offered_gbps` is the
+                // tenant's *byte* rate, not its op rate.
+                let scan_factor = (1.0 + YcsbGenerator::DEFAULT_MAX_SCAN as f64) / 2.0 - 1.0;
+                let mean_bytes = t.value_bytes as f64 * (1.0 + t.workload.mix().scan * scan_factor);
+                mean_bytes * 8.0 / t.offered_gbps
+            })
+            .collect();
+        let weights: Vec<f64> = cfg.tenants.iter().map(|t| t.weight).collect();
+        let tenants = cfg
+            .tenants
+            .iter()
+            .map(|t| TenantPerf {
+                name: t.name.clone(),
+                slo_ns: t.slo_ns,
+                ..Default::default()
+            })
+            .collect();
+        StoreDriver {
+            switch,
+            ring,
+            gens,
+            tenant_rngs,
+            mean_gap_ns,
+            outstanding: vec![0; n],
+            free_slots: (0..n)
+                .map(|_| (0..cfg.max_outstanding).rev().collect())
+                .collect(),
+            queues: (0..n)
+                .map(|_| QosQueue::new(cfg.qos, &weights, cfg.queue_cap))
+                .collect(),
+            rr_cursor: 0,
+            caches: (0..n).map(|_| ReadCache::new(&cfg.cache)).collect(),
+            committed: DetMap::new(),
+            inflight: BTreeMap::new(),
+            job_to_req: BTreeMap::new(),
+            next_req: 1,
+            next_job_id: 1,
+            crashed: vec![false; n],
+            measuring: false,
+            window_closed: false,
+            measure_start: SimTime::ZERO,
+            latency: Histogram::new(),
+            requests: 0,
+            bytes: 0,
+            rejected: 0,
+            failures: 0,
+            get_ok: 0,
+            get_denied: 0,
+            put_ok: 0,
+            put_denied: 0,
+            retried: 0,
+            lost: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            stale_served: 0,
+            per_node: vec![NodePerf::default(); n],
+            tenants,
+            cfg,
+            nodes,
+        }
+    }
+
+    /// Committed version of a global object (0 = never written).
+    fn committed(&self, object: u64) -> u64 {
+        self.committed.get(&object).copied().unwrap_or(0)
+    }
+
+    /// Maps a global object to its LBA inside a node's flash window, in
+    /// the cluster's disjoint GET/PUT window layout. Slot size comes from
+    /// the *largest* tenant value so every tenant shares one layout.
+    fn lba_for(&self, object: u64, is_read: bool) -> u64 {
+        let max_value = self
+            .cfg
+            .tenants
+            .iter()
+            .map(|t| t.value_bytes)
+            .max()
+            .expect("tenants checked non-empty");
+        let blocks_per_object = (max_value.div_ceil(4096)) as u64;
+        let window_blocks = (4u64 << 30) / 4096;
+        let slots = (window_blocks / blocks_per_object).max(1);
+        let base = if is_read { 0 } else { window_blocks };
+        base + (object % slots) * blocks_per_object
+    }
+
+    /// Largest flash read that fits the GET window starting at `object`'s
+    /// LBA (a long scan must not run off the window's edge).
+    fn clamp_read_len(&self, object: u64, len: usize) -> usize {
+        let lba = self.lba_for(object, true);
+        let window_blocks = (4u64 << 30) / 4096;
+        let room = (window_blocks - lba) * 4096;
+        len.min(room as usize)
+    }
+
+    fn loads(&self) -> Vec<dcs_cluster::NodeLoad> {
+        self.outstanding
+            .iter()
+            .zip(&self.queues)
+            .map(|(&o, q)| dcs_cluster::NodeLoad {
+                outstanding: o,
+                queued: q.len(),
+            })
+            .collect()
+    }
+
+    fn tally_active(&self) -> bool {
+        self.measuring && !self.window_closed
+    }
+
+    fn lane_for(&self, tenant: usize) -> Lane {
+        if self.cfg.tenants[tenant].priority {
+            Lane::Priority
+        } else {
+            Lane::Bulk
+        }
+    }
+
+    /// A request resolved without being served: shed/unroutable (`lost ==
+    /// false`) or gone down with the crashed node (`lost == true`).
+    fn note_denied(&mut self, tenant: usize, is_write: bool, node: Option<usize>, lost: bool) {
+        if !self.tally_active() {
+            return;
+        }
+        if is_write {
+            self.put_denied += 1;
+        } else {
+            self.get_denied += 1;
+        }
+        self.tenants[tenant].denied += 1;
+        if lost {
+            self.lost += 1;
+            if let Some(n) = node {
+                self.per_node[n].lost += 1;
+            }
+        } else {
+            self.rejected += 1;
+            if let Some(n) = node {
+                self.per_node[n].rejected += 1;
+            }
+        }
+    }
+
+    /// One open-loop arrival for `tenant`: draw the op and route it.
+    fn on_arrival(&mut self, ctx: &mut Ctx<'_>, tenant: usize) {
+        let op = self.gens[tenant].next_op(&mut self.tenant_rngs[tenant]);
+        let value = self.cfg.tenants[tenant].value_bytes;
+        let len = match op.kind {
+            StoreOpKind::Scan { keys } => {
+                self.clamp_read_len(object_id(tenant, op.key), keys as usize * value)
+            }
+            StoreOpKind::Delete => TOMBSTONE_BYTES.min(value),
+            _ => value,
+        };
+        let pend = Pending {
+            tenant,
+            op,
+            len,
+            arrival: ctx.now(),
+            retries_left: 1,
+        };
+        self.route_and_admit(ctx, pend);
+    }
+
+    /// Picks a node for `pend` (cache affinity for point reads, the LB
+    /// policy otherwise, primary-pinned writes), then admits, queues, or
+    /// sheds it.
+    fn route_and_admit(&mut self, ctx: &mut Ctx<'_>, pend: Pending) {
+        let object = object_id(pend.tenant, pend.op.key);
+        let is_write = pend.op.kind.is_write();
+        let node = if is_write {
+            // Writes pin to the primary; with the primary crashed they
+            // fall back to the next surviving replica in ring order.
+            let replicas = self.ring.replicas(object);
+            let Some(&node) = replicas.iter().find(|&&n| !self.crashed[n]) else {
+                ctx.world().stats.counter("store.unroutable").add(1);
+                self.note_denied(pend.tenant, true, None, false);
+                return;
+            };
+            node
+        } else {
+            let candidates = self.ring.replicas_excluding(object, &self.crashed);
+            if candidates.is_empty() {
+                ctx.world().stats.counter("store.unroutable").add(1);
+                self.note_denied(pend.tenant, false, None, false);
+                return;
+            }
+            // Cache affinity: a point read goes to a replica already
+            // holding the current version, if any.
+            let cur = self.committed(object);
+            let affine = matches!(pend.op.kind, StoreOpKind::Get)
+                .then(|| {
+                    candidates
+                        .iter()
+                        .copied()
+                        .find(|&n| self.caches[n].peek(object) == Some(cur))
+                })
+                .flatten();
+            match affine {
+                Some(n) => n,
+                None => {
+                    let loads = self.loads();
+                    self.cfg
+                        .policy
+                        .choose(&candidates, &loads, &mut self.rr_cursor)
+                }
+            }
+        };
+        if self.outstanding[node] < self.cfg.max_outstanding {
+            self.dispatch(ctx, node, pend);
+        } else {
+            let tenant = pend.tenant;
+            let cost = pend.len as f64;
+            match self.queues[node].try_push(tenant, cost, pend) {
+                Ok(()) => ctx.world().obs.count("store", "queued", 1),
+                Err(shed) => {
+                    // The tenant's queue bound is full: shed at the front
+                    // end, graceful overload.
+                    ctx.world().stats.counter("store.shed").add(1);
+                    ctx.world().obs.count("store", "shed", 1);
+                    self.note_denied(shed.tenant, is_write, Some(node), false);
+                }
+            }
+        }
+    }
+
+    /// Takes the cache decision for `pend` on `node` and sends the
+    /// request's bytes through the switch; its jobs are submitted when
+    /// the transfer completes.
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>, node: usize, pend: Pending) {
+        let slot = self.free_slots[node]
+            .pop()
+            .expect("outstanding < max implies a free slot");
+        self.outstanding[node] += 1;
+        let req = self.next_req;
+        self.next_req += 1;
+        let object = object_id(pend.tenant, pend.op.key);
+        let cur = self.committed(object);
+        // The cache decision: only point reads are eligible, and only a
+        // version-current entry may be served. A version mismatch here is
+        // the `stale_served` tripwire — it means an invalidation was
+        // missed and the old bytes *would* have been served.
+        let mut cache_hit = false;
+        if matches!(pend.op.kind, StoreOpKind::Get) {
+            if let Some(v) = self.caches[node].lookup(object) {
+                if v == cur {
+                    cache_hit = true;
+                } else {
+                    self.stale_served += 1;
+                    self.caches[node].evict_stale(object);
+                    ctx.world().stats.counter("store.stale_lookup").add(1);
+                }
+            }
+        }
+        {
+            let obs = &mut ctx.world().obs;
+            if matches!(pend.op.kind, StoreOpKind::Get) {
+                if cache_hit {
+                    obs.count("store", "cache.hit", 1);
+                } else {
+                    obs.count("store", "cache.miss", 1);
+                }
+            }
+        }
+        let is_write = pend.op.kind.is_write();
+        self.inflight.insert(
+            req,
+            InFlight {
+                tenant: pend.tenant,
+                node,
+                slot,
+                op: pend.op,
+                len: pend.len,
+                arrival: pend.arrival,
+                pending_jobs: 0,
+                failed: false,
+                cache_hit,
+                decision_version: cur,
+                retries_left: pend.retries_left,
+            },
+        );
+        let wire_bytes = if is_write {
+            pend.len + WRITE_REQ_OVERHEAD
+        } else {
+            READ_REQ_BYTES
+        };
+        let lane = self.lane_for(pend.tenant);
+        let deliver = self.switch.to_node_lane(ctx.now(), node, wire_bytes, lane);
+        {
+            let now = ctx.now();
+            let obs = &mut ctx.world().obs;
+            obs.span("store", "uplink", req, now, deliver);
+            obs.count("store", "dispatched", 1);
+        }
+        ctx.send_at(deliver, ctx.self_id(), Delivered { req });
+    }
+
+    /// The request reached the node port: run it as real device jobs
+    /// (unless the node crashed while the bytes were in flight).
+    fn on_delivered(&mut self, ctx: &mut Ctx<'_>, req: u64) {
+        let Some(r) = self.inflight.get(&req) else {
+            // Swept by the crash handler while the bytes were in flight.
+            assert!(self.cfg.crash.is_some(), "delivered request is in flight");
+            return;
+        };
+        if self.crashed[r.node] {
+            return;
+        }
+        self.submit_jobs(ctx, req);
+    }
+
+    /// Runs the request as real device jobs on its node.
+    fn submit_jobs(&mut self, ctx: &mut Ctx<'_>, req: u64) {
+        let (node, slot, len, op, tenant, cache_hit) = {
+            let r = self
+                .inflight
+                .get(&req)
+                .expect("submitted request is in flight");
+            (r.node, r.slot, r.len, r.op, r.tenant, r.cache_hit)
+        };
+        let object = object_id(tenant, op.key);
+        let is_write = op.kind.is_write();
+        let lba = self.lba_for(object, !is_write);
+        let server = &self.nodes[node].server;
+        let access = &self.nodes[node].access;
+        let reply_to = ctx.self_id();
+        let mut id = || {
+            let i = self.next_job_id;
+            self.next_job_id += 1;
+            i
+        };
+        let slot16 = u16::try_from(slot).expect("slot fits a port");
+        let jobs: Vec<(dcs_sim::ComponentId, D2dJob)> = if is_write {
+            // Access streams the body down the node link; server receives,
+            // verifies, persists.
+            let flow = TcpFlow::example(2, 1, 30_000 + slot16, 8_100 + slot16);
+            vec![
+                (
+                    server.submit_to,
+                    D2dJob {
+                        id: id(),
+                        ops: vec![
+                            D2dOp::NicRecv {
+                                flow: flow.reversed(),
+                                len,
+                            },
+                            D2dOp::Process {
+                                function: NdpFunction::Md5,
+                                aux: vec![],
+                            },
+                            D2dOp::SsdWrite { ssd: 0, lba },
+                        ],
+                        reply_to,
+                        tag: "store-write",
+                    },
+                ),
+                (
+                    access.submit_to,
+                    D2dJob {
+                        id: id(),
+                        ops: vec![
+                            D2dOp::SsdRead { ssd: 0, lba, len },
+                            D2dOp::NicSend { flow, seq: 0 },
+                        ],
+                        reply_to,
+                        tag: "access",
+                    },
+                ),
+            ]
+        } else {
+            let flow = TcpFlow::example(1, 2, 20_000 + slot16, 8_000 + slot16);
+            let server_ops = if cache_hit {
+                // Cache hit: the value comes straight from host DRAM;
+                // flash and the integrity hash are skipped (hashed at
+                // admission).
+                vec![D2dOp::MemRead { len }, D2dOp::NicSend { flow, seq: 0 }]
+            } else {
+                vec![
+                    D2dOp::SsdRead { ssd: 0, lba, len },
+                    D2dOp::Process {
+                        function: NdpFunction::Md5,
+                        aux: vec![],
+                    },
+                    D2dOp::NicSend { flow, seq: 0 },
+                ]
+            };
+            vec![
+                (
+                    access.submit_to,
+                    D2dJob {
+                        id: id(),
+                        ops: vec![D2dOp::NicRecv {
+                            flow: flow.reversed(),
+                            len,
+                        }],
+                        reply_to,
+                        tag: "access",
+                    },
+                ),
+                (
+                    server.submit_to,
+                    D2dJob {
+                        id: id(),
+                        ops: server_ops,
+                        reply_to,
+                        tag: if cache_hit {
+                            "store-read-hit"
+                        } else {
+                            "store-read"
+                        },
+                    },
+                ),
+            ]
+        };
+        // Front-end/application CPU work on the server (request parsing,
+        // HTTP), identical across designs.
+        ctx.send_now(
+            server.cpu,
+            CpuJob {
+                token: u64::MAX - req,
+                cost_ns: 80_000 + (len / 10) as u64,
+                tag: if is_write {
+                    "store-app-write"
+                } else {
+                    "store-app-read"
+                },
+                reply_to,
+            },
+        );
+        let r = self.inflight.get_mut(&req).expect("still in flight");
+        r.pending_jobs = jobs.len();
+        {
+            let now = ctx.now();
+            ctx.world().obs.span_begin("store", "node-serve", req, now);
+        }
+        for (target, job) in jobs {
+            self.job_to_req.insert(job.id, req);
+            ctx.send_now(target, job);
+        }
+    }
+
+    fn on_job_done(&mut self, ctx: &mut Ctx<'_>, done: D2dDone) {
+        let Some(req) = self.job_to_req.remove(&done.id) else {
+            // Jobs of a failed-over request: swept at the crash already.
+            assert!(
+                self.cfg.crash.is_some(),
+                "completion for unknown job {}",
+                done.id
+            );
+            return;
+        };
+        let finished = {
+            let r = self.inflight.get_mut(&req).expect("live request");
+            r.pending_jobs -= 1;
+            r.failed |= !done.ok;
+            r.pending_jobs == 0
+        };
+        if !finished {
+            return;
+        }
+        if self.crashed[self.inflight[&req].node] {
+            // The response dies with the node.
+            return;
+        }
+        self.ship_response(ctx, req);
+    }
+
+    /// All jobs done: ship the response back up through the switch.
+    fn ship_response(&mut self, ctx: &mut Ctx<'_>, req: u64) {
+        let (node, len, is_write, tenant) = {
+            let r = &self.inflight[&req];
+            (r.node, r.len, r.op.kind.is_write(), r.tenant)
+        };
+        let resp_bytes = if is_write {
+            WRITE_ACK_BYTES
+        } else {
+            len + READ_RESP_OVERHEAD
+        };
+        let lane = self.lane_for(tenant);
+        let arrive = self
+            .switch
+            .to_frontend_lane(ctx.now(), node, resp_bytes, lane);
+        {
+            let now = ctx.now();
+            let obs = &mut ctx.world().obs;
+            obs.span_end("store", "node-serve", req, now);
+            obs.span("store", "downlink", req, now, arrive);
+        }
+        ctx.send_at(arrive, ctx.self_id(), Response { req });
+    }
+
+    fn on_response(&mut self, ctx: &mut Ctx<'_>, req: u64) {
+        let Some(r) = self.inflight.remove(&req) else {
+            // Swept by the crash handler between completion and arrival.
+            assert!(self.cfg.crash.is_some(), "responding request is in flight");
+            return;
+        };
+        self.outstanding[r.node] -= 1;
+        self.free_slots[r.node].push(r.slot);
+        {
+            let now = ctx.now();
+            let e2e = now - r.arrival;
+            let obs = &mut ctx.world().obs;
+            obs.count("store", "responses", 1);
+            obs.observe("store", "req.e2e_ns", e2e);
+        }
+        // The freed slot admits the QoS queue's next pick.
+        if !self.window_closed {
+            if let Some((_, pend)) = self.queues[r.node].pop() {
+                let now = ctx.now();
+                let waited = now - pend.arrival;
+                ctx.world()
+                    .obs
+                    .observe("store", "qos.queue_wait_ns", waited);
+                self.dispatch(ctx, r.node, pend);
+            }
+        }
+        if !r.failed {
+            self.commit_effects(ctx, &r);
+        }
+        if self.tally_active() {
+            let perf = &mut self.per_node[r.node];
+            let is_write = r.op.kind.is_write();
+            if r.failed {
+                self.failures += 1;
+                perf.failures += 1;
+                if is_write {
+                    self.put_denied += 1;
+                } else {
+                    self.get_denied += 1;
+                }
+                self.tenants[r.tenant].denied += 1;
+            } else {
+                self.requests += 1;
+                self.bytes += r.len as u64;
+                perf.requests += 1;
+                perf.bytes += r.len as u64;
+                let lat = ctx.now() - r.arrival;
+                self.latency.record(lat);
+                if is_write {
+                    self.put_ok += 1;
+                } else {
+                    self.get_ok += 1;
+                }
+                let spec_slo = self.cfg.tenants[r.tenant].slo_ns;
+                let t = &mut self.tenants[r.tenant];
+                t.ok += 1;
+                t.bytes += r.len as u64;
+                t.latency.record(lat);
+                if spec_slo == 0 || lat <= spec_slo {
+                    t.slo_met += 1;
+                }
+                if matches!(r.op.kind, StoreOpKind::Get) {
+                    if r.cache_hit {
+                        self.cache_hits += 1;
+                        t.cache_hits += 1;
+                    } else {
+                        self.cache_misses += 1;
+                        t.cache_misses += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// State effects of a *successful* response: writes commit (version
+    /// bump + cache invalidation everywhere), reads feed the serving
+    /// node's cache. Runs regardless of the measurement window — cache
+    /// and version state must never depend on when we happen to measure.
+    fn commit_effects(&mut self, ctx: &mut Ctx<'_>, r: &InFlight) {
+        let object = object_id(r.tenant, r.op.key);
+        match r.op.kind {
+            StoreOpKind::Put
+            | StoreOpKind::Insert
+            | StoreOpKind::ReadModifyWrite
+            | StoreOpKind::Delete => {
+                let v = self.committed(object) + 1;
+                self.committed.insert(object, v);
+                let mut dropped = 0u64;
+                for cache in &mut self.caches {
+                    if cache.invalidate(object) {
+                        dropped += 1;
+                    }
+                }
+                if dropped > 0 {
+                    ctx.world().obs.count("store", "cache.invalidated", dropped);
+                }
+            }
+            StoreOpKind::Get => {
+                if !r.cache_hit && self.committed(object) == r.decision_version {
+                    // The flash bytes are still current: offer them.
+                    self.caches[r.node].admit(object, r.len as u64, r.decision_version, false);
+                }
+            }
+            StoreOpKind::Scan { keys } => {
+                // Scan traffic is offered too — AdmitAll lets it flush
+                // the hot set (the pollution ablation), ScanResistant
+                // refuses it wholesale.
+                let value = self.cfg.tenants[r.tenant].value_bytes as u64;
+                for i in 0..keys {
+                    let Some(key) = r.op.key.checked_add(i) else {
+                        break;
+                    };
+                    if key >= 1 << crate::api::KEY_BITS {
+                        break;
+                    }
+                    let obj = object_id(r.tenant, key);
+                    let cur = self.committed(obj);
+                    self.caches[r.node].admit(obj, value, cur, true);
+                }
+            }
+        }
+    }
+
+    /// The configured fail-stop crash: the node stops dead. In-flight
+    /// requests there fail over (one retry each), its parked queue
+    /// re-routes, and its read cache is gone.
+    fn on_crash(&mut self, ctx: &mut Ctx<'_>) {
+        let node = self
+            .cfg
+            .crash
+            .expect("CrashNow only fires when configured")
+            .node;
+        assert!(node < self.nodes.len(), "crashed node out of range");
+        self.crashed[node] = true;
+        self.caches[node].clear();
+        ctx.world().stats.counter("store.node_crashed").add(1);
+        let swept: Vec<u64> = self
+            .inflight
+            .iter()
+            .filter(|(_, r)| r.node == node)
+            .map(|(&k, _)| k)
+            .collect();
+        for req in swept {
+            let r = self
+                .inflight
+                .remove(&req)
+                .expect("swept request is in flight");
+            self.outstanding[r.node] -= 1;
+            self.free_slots[r.node].push(r.slot);
+            self.job_to_req.retain(|_, v| *v != req);
+            if r.retries_left > 0 {
+                if self.tally_active() {
+                    self.retried += 1;
+                }
+                ctx.world().stats.counter("store.retried").add(1);
+                let pend = Pending {
+                    tenant: r.tenant,
+                    op: r.op,
+                    len: r.len,
+                    arrival: r.arrival,
+                    retries_left: r.retries_left - 1,
+                };
+                self.route_and_admit(ctx, pend);
+            } else {
+                self.note_denied(r.tenant, r.op.kind.is_write(), Some(node), true);
+            }
+        }
+        // Parked work re-routes to survivors.
+        for (_, pend) in self.queues[node].drain() {
+            self.route_and_admit(ctx, pend);
+        }
+    }
+
+    fn close_window(&mut self, ctx: &mut Ctx<'_>) {
+        self.window_closed = true;
+        // Parked requests are abandoned: nothing was submitted for them.
+        for q in &mut self.queues {
+            q.drain();
+        }
+        let span = ctx.now() - self.measure_start;
+        let stats = ctx.world_ref().get::<CpuStats>();
+        for (i, node) in self.nodes.iter().enumerate() {
+            self.per_node[i].cpu_utilization = stats
+                .map(|s| s.utilization(&node.server.cpu_key, span))
+                .unwrap_or(0.0);
+        }
+        let report = ClusterReport {
+            span_ns: span,
+            requests: self.requests,
+            bytes: self.bytes,
+            rejected: self.rejected,
+            failures: self.failures,
+            get_ok: self.get_ok,
+            get_denied: self.get_denied,
+            put_ok: self.put_ok,
+            put_denied: self.put_denied,
+            retried: self.retried,
+            lost: self.lost,
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            stale_served: self.stale_served,
+            latency: self.latency.clone(),
+            per_node: self.per_node.clone(),
+            per_tenant: self.tenants.clone(),
+            ..ClusterReport::default()
+        };
+        ctx.world().insert(StoreOutcome(report));
+    }
+}
+
+impl Component for StoreDriver {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        let msg = match msg.downcast::<Start>() {
+            Ok(Start) => {
+                for t in 0..self.cfg.tenants.len() {
+                    let gap = (self.tenant_rngs[t].gen_exp(self.mean_gap_ns[t]) as u64).max(1);
+                    ctx.send_self_in(gap, Arrival { tenant: t });
+                }
+                ctx.send_self_in(self.cfg.warmup_ns, WarmupOver);
+                ctx.send_self_in(self.cfg.duration_ns, WindowOver);
+                if let Some(c) = self.cfg.crash {
+                    assert!(c.node < self.nodes.len(), "crashed node out of range");
+                    ctx.send_self_in(c.at_ns, CrashNow);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<Arrival>() {
+            Ok(Arrival { tenant }) => {
+                if !self.window_closed {
+                    self.on_arrival(ctx, tenant);
+                    let gap =
+                        (self.tenant_rngs[tenant].gen_exp(self.mean_gap_ns[tenant]) as u64).max(1);
+                    ctx.send_self_in(gap, Arrival { tenant });
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<WarmupOver>() {
+            Ok(WarmupOver) => {
+                self.measuring = true;
+                self.measure_start = ctx.now();
+                if let Some(stats) = ctx.world().get_mut::<CpuStats>() {
+                    stats.reset();
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<WindowOver>() {
+            Ok(WindowOver) => {
+                self.close_window(ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<CrashNow>() {
+            Ok(CrashNow) => {
+                self.on_crash(ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<Delivered>() {
+            Ok(Delivered { req }) => {
+                self.on_delivered(ctx, req);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<Response>() {
+            Ok(Response { req }) => {
+                self.on_response(ctx, req);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<CpuJobDone>() {
+            Ok(_) => return, // application-charge completion: nothing to do
+            Err(m) => m,
+        };
+        match msg.downcast::<D2dDone>() {
+            Ok(done) => self.on_job_done(ctx, done),
+            Err(other) => panic!("StoreDriver received unexpected message: {other:?}"),
+        }
+    }
+}

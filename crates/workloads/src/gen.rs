@@ -22,8 +22,14 @@ impl PoissonArrivals {
     ///
     /// Panics if `mean_interarrival_ns` is not positive.
     pub fn new(mean_interarrival_ns: f64, rng: Rng) -> Self {
-        assert!(mean_interarrival_ns > 0.0, "inter-arrival time must be positive");
-        PoissonArrivals { mean_interarrival_ns, rng }
+        assert!(
+            mean_interarrival_ns > 0.0,
+            "inter-arrival time must be positive"
+        );
+        PoissonArrivals {
+            mean_interarrival_ns,
+            rng,
+        }
     }
 
     /// Arrivals tuned to offer `target_gbps` of load at `mean_size` bytes
@@ -67,7 +73,12 @@ pub struct SizeDistribution {
 impl Default for SizeDistribution {
     fn default() -> Self {
         // Median ≈ e^11.8 ≈ 130 KiB; tail to 1 MiB (clamped).
-        SizeDistribution { mu: 11.8, sigma: 1.1, min: 4096, max: 1 << 20 }
+        SizeDistribution {
+            mu: 11.8,
+            sigma: 1.1,
+            min: 4096,
+            max: 1 << 20,
+        }
     }
 }
 
@@ -85,6 +96,86 @@ impl SizeDistribution {
         let mut rng = Rng::new(0xD15C);
         let n = 20_000;
         (0..n).map(|_| self.sample(&mut rng)).sum::<usize>() as f64 / n as f64
+    }
+}
+
+/// Zipfian key-popularity generator (the YCSB / Gray et al. algorithm).
+///
+/// Draws *ranks* in `0..items` where rank 0 is the hottest key and
+/// popularity falls off as `1 / (rank+1)^theta`. `theta` parameterizes the
+/// skew: YCSB's default is 0.99 (a few keys absorb most traffic);
+/// `theta → 0` approaches uniform. Construction precomputes the
+/// cumulative mass function once (O(n)); each draw then inverts it with
+/// a binary search (O(log n)), so sampling is *exact* — unlike the
+/// usual YCSB continuous approximation, whose tail error a
+/// goodness-of-fit test over a few thousand ranks can detect — and,
+/// driven by the deterministic [`Rng`], fully reproducible.
+///
+/// Callers that need the hot keys scattered across the keyspace (so
+/// neighboring ranks do not shard together) should mix the returned rank
+/// through a hash; the store layer does exactly that.
+#[derive(Clone, Debug)]
+pub struct Zipfian {
+    items: u64,
+    theta: f64,
+    zetan: f64,
+    /// `cdf[r]` = P(rank <= r); last entry is forced to exactly 1.
+    cdf: Vec<f64>,
+}
+
+impl Zipfian {
+    /// A generator over `items` ranks with skew `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is zero or `theta` is not in `[0, 1)`.
+    pub fn new(items: u64, theta: f64) -> Zipfian {
+        assert!(items > 0, "a zipfian needs at least one item");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
+        let zetan = Self::zeta(items, theta);
+        let mut cdf = Vec::with_capacity(items as usize);
+        let mut acc = 0.0;
+        for rank in 0..items {
+            acc += 1.0 / ((rank + 1) as f64).powf(theta) / zetan;
+            cdf.push(acc);
+        }
+        // Float rounding can leave the last entry a hair under 1; pin it
+        // so every u in [0, 1) lands on a valid rank.
+        *cdf.last_mut().unwrap() = 1.0;
+        Zipfian {
+            items,
+            theta,
+            zetan,
+            cdf,
+        }
+    }
+
+    /// The harmonic-like normalizer `sum_{i=1..n} 1/i^theta`.
+    fn zeta(n: u64, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Number of ranks.
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// The configured skew.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Probability of drawing rank `r` (for goodness-of-fit checks).
+    pub fn probability(&self, rank: u64) -> f64 {
+        assert!(rank < self.items, "rank out of range");
+        1.0 / ((rank + 1) as f64).powf(self.theta) / self.zetan
+    }
+
+    /// Draws a rank in `0..items`; rank 0 is the most popular.
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        let u = rng.gen_f64();
+        // First rank whose cumulative mass strictly exceeds u.
+        self.cdf.partition_point(|&c| c <= u) as u64
     }
 }
 
@@ -141,7 +232,10 @@ mod tests {
         assert!((cv - 1.0).abs() < 0.03, "coefficient of variation {cv}");
         let below = gaps.iter().filter(|&&g| g < mean).count() as f64 / n as f64;
         let expect = 1.0 - (-1.0f64).exp();
-        assert!((below - expect).abs() < 0.01, "P(gap<mean) {below} vs {expect}");
+        assert!(
+            (below - expect).abs() < 0.01,
+            "P(gap<mean) {below} vs {expect}"
+        );
     }
 
     #[test]
@@ -154,8 +248,7 @@ mod tests {
         let unclamped_mean = (d.mu + d.sigma * d.sigma / 2.0).exp();
         let n = 40_000;
         let mut rng = Rng::new(12);
-        let mean =
-            (0..n).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        let mean = (0..n).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / n as f64;
         // The max clamp only cuts the mean; block alignment adds < 4 KiB.
         assert!(
             mean < unclamped_mean + 4096.0,
@@ -163,17 +256,95 @@ mod tests {
         );
         // The clamp cannot cut the Dropbox-like mix below half its
         // analytic mean (most mass is far from the 1 MiB cap).
-        assert!(mean > unclamped_mean / 2.0, "sampled {mean} vs {unclamped_mean}");
+        assert!(
+            mean > unclamped_mean / 2.0,
+            "sampled {mean} vs {unclamped_mean}"
+        );
         let mut rng2 = Rng::new(12);
-        let mean2 =
-            (0..n).map(|_| d.sample(&mut rng2) as f64).sum::<f64>() / n as f64;
+        let mean2 = (0..n).map(|_| d.sample(&mut rng2) as f64).sum::<f64>() / n as f64;
         assert_eq!(mean, mean2, "same seed, same mean");
     }
 
     #[test]
+    fn zipfian_chi_square_goodness_of_fit() {
+        // 64 ranks at YCSB's default skew; compare observed counts against
+        // the analytic cell probabilities. With dof = 63 the 99.9th
+        // percentile of chi-square is ~104, so 150 gives a generous margin
+        // while still catching a generator with the wrong shape (uniform
+        // draws score in the tens of thousands here).
+        let z = Zipfian::new(64, 0.99);
+        let n = 200_000u64;
+        let mut rng = Rng::new(0x21BF);
+        let mut counts = vec![0u64; 64];
+        for _ in 0..n {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let chi2: f64 = (0..64)
+            .map(|r| {
+                let expect = z.probability(r as u64) * n as f64;
+                let diff = counts[r] as f64 - expect;
+                diff * diff / expect
+            })
+            .sum();
+        assert!(chi2 < 150.0, "chi-square {chi2} rejects the zipfian fit");
+        // Sanity on the same draw set: probabilities sum to 1 and the head
+        // dominates the way 1/i^0.99 says it should.
+        let total_p: f64 = (0..64).map(|r| z.probability(r)).sum();
+        assert!((total_p - 1.0).abs() < 1e-9, "{total_p}");
+        assert!(
+            counts[0] > counts[10] && counts[10] > counts[63],
+            "{counts:?}"
+        );
+    }
+
+    #[test]
+    fn zipfian_is_deterministic_and_in_range() {
+        let z = Zipfian::new(1000, 0.99);
+        let draw = |seed| {
+            let mut rng = Rng::new(seed);
+            (0..5_000).map(|_| z.sample(&mut rng)).collect::<Vec<u64>>()
+        };
+        let a = draw(7);
+        assert_eq!(a, draw(7), "same seed, same ranks");
+        assert_ne!(a, draw(8), "different seed, different ranks");
+        assert!(a.iter().all(|&r| r < 1000));
+    }
+
+    #[test]
+    fn zipfian_skew_concentrates_the_head() {
+        // The hot-10% share of traffic must grow with theta, and theta→0
+        // must approach uniform (10% of ranks ≈ 10% of draws).
+        let head_share = |theta: f64| {
+            let z = Zipfian::new(100, theta);
+            let mut rng = Rng::new(99);
+            let n = 50_000;
+            let hot = (0..n).filter(|_| z.sample(&mut rng) < 10).count();
+            hot as f64 / n as f64
+        };
+        let flat = head_share(0.01);
+        let ycsb = head_share(0.99);
+        assert!((flat - 0.10).abs() < 0.02, "theta~0 head share {flat}");
+        assert!(ycsb > 0.5, "theta=0.99 head share {ycsb}");
+        assert!(ycsb > flat + 0.3);
+    }
+
+    #[test]
+    fn zipfian_single_item_always_rank_zero() {
+        let z = Zipfian::new(1, 0.5);
+        let mut rng = Rng::new(3);
+        assert!((0..100).all(|_| z.sample(&mut rng) == 0));
+    }
+
+    #[test]
     fn wider_sigma_fattens_the_tail() {
-        let narrow = SizeDistribution { sigma: 0.4, ..SizeDistribution::default() };
-        let wide = SizeDistribution { sigma: 1.4, ..SizeDistribution::default() };
+        let narrow = SizeDistribution {
+            sigma: 0.4,
+            ..SizeDistribution::default()
+        };
+        let wide = SizeDistribution {
+            sigma: 1.4,
+            ..SizeDistribution::default()
+        };
         let count_max = |d: &SizeDistribution, seed| {
             let mut rng = Rng::new(seed);
             (0..20_000).filter(|_| d.sample(&mut rng) >= d.max).count()

@@ -82,7 +82,11 @@ pub fn run_hdfs(design: DesignUnderTest, cfg: &HdfsConfig) -> (WorkloadReport, W
             let send_job = D2dJob {
                 id: id(),
                 ops: vec![
-                    D2dOp::SsdRead { ssd: 0, lba, len: block },
+                    D2dOp::SsdRead {
+                        ssd: 0,
+                        lba,
+                        len: block,
+                    },
                     D2dOp::NicSend { flow, seq: 0 },
                 ],
                 reply_to,
@@ -92,18 +96,21 @@ pub fn run_hdfs(design: DesignUnderTest, cfg: &HdfsConfig) -> (WorkloadReport, W
             let recv_job = D2dJob {
                 id: id(),
                 ops: vec![
-                    D2dOp::NicRecv { flow: flow.reversed(), len: block },
-                    D2dOp::Process { function: NdpFunction::Crc32, aux: vec![] },
+                    D2dOp::NicRecv {
+                        flow: flow.reversed(),
+                        len: block,
+                    },
+                    D2dOp::Process {
+                        function: NdpFunction::Crc32,
+                        aux: vec![],
+                    },
                     D2dOp::SsdWrite { ssd: 0, lba: to },
                 ],
                 reply_to,
                 tag: "kernel-recv",
             };
             Request {
-                jobs: vec![
-                    (receiver.submit_to, recv_job),
-                    (sender.submit_to, send_job),
-                ],
+                jobs: vec![(receiver.submit_to, recv_job), (sender.submit_to, send_job)],
                 bytes: block,
                 app_cost_ns: 30_000 + (block / 40) as u64,
                 app_tag: "app",
@@ -131,7 +138,10 @@ pub fn run_hdfs(design: DesignUnderTest, cfg: &HdfsConfig) -> (WorkloadReport, W
     );
     tb.sim.run();
     let outcome = tb.sim.world().expect::<ScenarioOutcome>();
-    (outcome.reports[&sender_key].clone(), outcome.reports[&receiver_key].clone())
+    (
+        outcome.reports[&sender_key].clone(),
+        outcome.reports[&receiver_key].clone(),
+    )
 }
 
 #[cfg(test)]
@@ -157,7 +167,10 @@ mod tests {
         assert!(snd.throughput_gbps() > 0.5);
         // The receiver pays the gather + CRC costs; its CPU exceeds the
         // sender's.
-        assert!(rcv.cpu_utilization() > snd.cpu_utilization(), "{rcv:?} vs {snd:?}");
+        assert!(
+            rcv.cpu_utilization() > snd.cpu_utilization(),
+            "{rcv:?} vs {snd:?}"
+        );
     }
 
     #[test]

@@ -21,10 +21,12 @@ pub mod projection;
 pub mod report;
 pub mod scenario;
 pub mod swift;
+pub mod ycsb;
 
-pub use gen::{PoissonArrivals, SizeDistribution};
+pub use gen::{PoissonArrivals, SizeDistribution, Zipfian};
 pub use hdfs::{run_hdfs, HdfsConfig};
 pub use projection::{project, ProjectionInput, ProjectionPoint, ProjectionResult};
 pub use report::WorkloadReport;
 pub use scenario::{build_testbed_nodes, DesignUnderTest, NodeRef, Testbed, TestbedConfig};
 pub use swift::{run_swift, SwiftConfig};
+pub use ycsb::{OpMix, StoreOp, StoreOpKind, YcsbGenerator, YcsbWorkload};

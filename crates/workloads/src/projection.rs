@@ -47,20 +47,33 @@ pub struct ProjectionResult {
 ///
 /// Panics if the measured throughput or utilization is not positive.
 pub fn project(input: ProjectionInput, target_gbps: f64, core_budget: f64) -> ProjectionResult {
-    assert!(input.measured_gbps > 0.0, "measured throughput must be positive");
-    assert!(input.measured_util > 0.0, "measured utilization must be positive");
+    assert!(
+        input.measured_gbps > 0.0,
+        "measured throughput must be positive"
+    );
+    assert!(
+        input.measured_util > 0.0,
+        "measured utilization must be positive"
+    );
     // Cores of work per Gbps is the design's fingerprint.
     let cores_per_gbps = input.measured_util * input.cores as f64 / input.measured_gbps;
     let steps = 16;
     let curve = (1..=steps)
         .map(|i| {
             let gbps = target_gbps * i as f64 / steps as f64;
-            ProjectionPoint { gbps, cores_required: cores_per_gbps * gbps }
+            ProjectionPoint {
+                gbps,
+                cores_required: cores_per_gbps * gbps,
+            }
         })
         .collect();
     let cores_at_target = cores_per_gbps * target_gbps;
     let max_gbps_within_budget = (core_budget / cores_per_gbps).min(target_gbps);
-    ProjectionResult { curve, cores_at_target, max_gbps_within_budget }
+    ProjectionResult {
+        curve,
+        cores_at_target,
+        max_gbps_within_budget,
+    }
 }
 
 #[cfg(test)]
@@ -70,7 +83,11 @@ mod tests {
     #[test]
     fn linear_projection_and_cap() {
         // 50% of 6 cores at 9 Gbps → 3 cores per 9 Gbps → 13.3 at 40.
-        let input = ProjectionInput { measured_gbps: 9.0, measured_util: 0.5, cores: 6 };
+        let input = ProjectionInput {
+            measured_gbps: 9.0,
+            measured_util: 0.5,
+            cores: 6,
+        };
         let r = project(input, 40.0, 6.0);
         assert!((r.cores_at_target - 40.0 / 3.0).abs() < 1e-9);
         // Budget-capped: 6 cores / (1/3 core per Gbps) = 18 Gbps.
@@ -82,22 +99,37 @@ mod tests {
     #[test]
     fn cheap_design_reaches_the_target() {
         // 10% of 6 cores at 9 Gbps → 0.6/9 cores per Gbps → 2.67 at 40.
-        let input = ProjectionInput { measured_gbps: 9.0, measured_util: 0.1, cores: 6 };
+        let input = ProjectionInput {
+            measured_gbps: 9.0,
+            measured_util: 0.1,
+            cores: 6,
+        };
         let r = project(input, 40.0, 6.0);
         assert!(r.cores_at_target < 3.0);
-        assert!((r.max_gbps_within_budget - 40.0).abs() < 1e-9, "hits the NIC limit");
+        assert!(
+            (r.max_gbps_within_budget - 40.0).abs() < 1e-9,
+            "hits the NIC limit"
+        );
     }
 
     #[test]
     fn throughput_ratio_between_designs() {
         // The paper's 1.95x style comparison: capped throughputs ratio.
         let sw = project(
-            ProjectionInput { measured_gbps: 9.0, measured_util: 0.55, cores: 6 },
+            ProjectionInput {
+                measured_gbps: 9.0,
+                measured_util: 0.55,
+                cores: 6,
+            },
             40.0,
             6.0,
         );
         let dcs = project(
-            ProjectionInput { measured_gbps: 9.0, measured_util: 0.22, cores: 6 },
+            ProjectionInput {
+                measured_gbps: 9.0,
+                measured_util: 0.22,
+                cores: 6,
+            },
             40.0,
             6.0,
         );
@@ -108,6 +140,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive")]
     fn zero_measurement_rejected() {
-        project(ProjectionInput { measured_gbps: 0.0, measured_util: 0.5, cores: 6 }, 40.0, 6.0);
+        project(
+            ProjectionInput {
+                measured_gbps: 0.0,
+                measured_util: 0.5,
+                cores: 6,
+            },
+            40.0,
+            6.0,
+        );
     }
 }

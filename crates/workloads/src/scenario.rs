@@ -42,8 +42,11 @@ impl DesignUnderTest {
     }
 
     /// The designs Figure 12/13 compare.
-    pub const FIG12: [DesignUnderTest; 3] =
-        [DesignUnderTest::SwOpt, DesignUnderTest::SwP2p, DesignUnderTest::DcsCtrl];
+    pub const FIG12: [DesignUnderTest; 3] = [
+        DesignUnderTest::SwOpt,
+        DesignUnderTest::SwP2p,
+        DesignUnderTest::DcsCtrl,
+    ];
 }
 
 impl std::fmt::Display for DesignUnderTest {
@@ -126,7 +129,11 @@ pub struct TestbedConfig {
 
 impl Default for TestbedConfig {
     fn default() -> Self {
-        TestbedConfig { ssds_per_node: 1, wire: WireConfig::default(), seed: 7 }
+        TestbedConfig {
+            ssds_per_node: 1,
+            wire: WireConfig::default(),
+            seed: 7,
+        }
     }
 }
 
@@ -202,7 +209,14 @@ impl Testbed {
     pub fn new(design: DesignUnderTest, cfg: &TestbedConfig) -> Testbed {
         let mut sim = Simulator::new(cfg.seed);
         let (server, client) = build_testbed_nodes(&mut sim, design, cfg, "server", "client");
-        Testbed { sim, server, client, design, harness: None, next_job_id: 1 }
+        Testbed {
+            sim,
+            server,
+            client,
+            design,
+            harness: None,
+            next_job_id: 1,
+        }
     }
 
     /// Installs a [`FaultPlan`] built from an RNG forked off the world's
@@ -254,7 +268,12 @@ impl Testbed {
             let id = self.next_job_id;
             self.next_job_id += 1;
             ids.push(id);
-            let job = D2dJob { id, ops, reply_to: app, tag };
+            let job = D2dJob {
+                id,
+                ops,
+                reply_to: app,
+                tag,
+            };
             self.sim.kickoff(app, SubmitJob { to, job });
         }
         self.sim.run();
@@ -269,7 +288,12 @@ impl Testbed {
                 self.design
             );
         }
-        assert_eq!(done.len(), ids.len(), "{}: no stray completions", self.design);
+        assert_eq!(
+            done.len(),
+            ids.len(),
+            "{}: no stray completions",
+            self.design
+        );
         done
     }
 }
@@ -290,8 +314,7 @@ pub struct Request {
 
 /// Builds a request for connection slot `slot`; draws ids from
 /// `next_job_id`.
-pub type MakeRequest =
-    Box<dyn FnMut(&mut Rng, usize, ComponentId, &mut u64) -> Request>;
+pub type MakeRequest = Box<dyn FnMut(&mut Rng, usize, ComponentId, &mut u64) -> Request>;
 
 /// Scenario timing parameters.
 #[derive(Clone, Debug)]
@@ -400,7 +423,12 @@ impl ScenarioDriver {
             let token = u64::MAX - key;
             ctx.send_now(
                 cpu,
-                CpuJob { token, cost_ns: req.app_cost_ns, tag: req.app_tag, reply_to: ctx.self_id() },
+                CpuJob {
+                    token,
+                    cost_ns: req.app_cost_ns,
+                    tag: req.app_tag,
+                    reply_to: ctx.self_id(),
+                },
             );
         }
         let pending = req.jobs.len();
@@ -410,7 +438,12 @@ impl ScenarioDriver {
         }
         self.inflight.insert(
             key,
-            InFlight { slot, pending_jobs: pending, bytes: req.bytes, failed: false },
+            InFlight {
+                slot,
+                pending_jobs: pending,
+                bytes: req.bytes,
+                failed: false,
+            },
         );
     }
 
@@ -541,7 +574,10 @@ pub fn start_scenario_with_app(
     app_cpu: Option<ComponentId>,
 ) -> ComponentId {
     let rng = sim.world_mut().rng.fork();
-    let driver = sim.add("scenario", ScenarioDriver::new(cfg, make, nodes, app_cpu, rng));
+    let driver = sim.add(
+        "scenario",
+        ScenarioDriver::new(cfg, make, nodes, app_cpu, rng),
+    );
     sim.kickoff(driver, Start);
     driver
 }

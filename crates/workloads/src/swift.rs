@@ -93,7 +93,10 @@ pub fn run_swift(design: DesignUnderTest, cfg: &SwiftConfig) -> WorkloadReport {
                     id: id(),
                     ops: vec![
                         D2dOp::SsdRead { ssd: 0, lba, len },
-                        D2dOp::Process { function: NdpFunction::Md5, aux: vec![] },
+                        D2dOp::Process {
+                            function: NdpFunction::Md5,
+                            aux: vec![],
+                        },
                         D2dOp::NicSend { flow, seq: 0 },
                     ],
                     reply_to,
@@ -103,7 +106,10 @@ pub fn run_swift(design: DesignUnderTest, cfg: &SwiftConfig) -> WorkloadReport {
                 // is optional in Swift and would double-count MD5 time.
                 let client_job = D2dJob {
                     id: id(),
-                    ops: vec![D2dOp::NicRecv { flow: flow.reversed(), len }],
+                    ops: vec![D2dOp::NicRecv {
+                        flow: flow.reversed(),
+                        len,
+                    }],
                     reply_to,
                     tag: "client",
                 };
@@ -125,7 +131,11 @@ pub fn run_swift(design: DesignUnderTest, cfg: &SwiftConfig) -> WorkloadReport {
                 let client_job = D2dJob {
                     id: id(),
                     ops: vec![
-                        D2dOp::SsdRead { ssd: 0, lba: lba % lba_window, len },
+                        D2dOp::SsdRead {
+                            ssd: 0,
+                            lba: lba % lba_window,
+                            len,
+                        },
                         D2dOp::NicSend { flow, seq: 0 },
                     ],
                     reply_to,
@@ -134,8 +144,14 @@ pub fn run_swift(design: DesignUnderTest, cfg: &SwiftConfig) -> WorkloadReport {
                 let server_job = D2dJob {
                     id: id(),
                     ops: vec![
-                        D2dOp::NicRecv { flow: flow.reversed(), len },
-                        D2dOp::Process { function: NdpFunction::Md5, aux: vec![] },
+                        D2dOp::NicRecv {
+                            flow: flow.reversed(),
+                            len,
+                        },
+                        D2dOp::Process {
+                            function: NdpFunction::Md5,
+                            aux: vec![],
+                        },
                         D2dOp::SsdWrite { ssd: 0, lba },
                     ],
                     reply_to,
@@ -168,10 +184,7 @@ pub fn run_swift(design: DesignUnderTest, cfg: &SwiftConfig) -> WorkloadReport {
         Some(server.cpu),
     );
     tb.sim.run();
-    let outcome = tb
-        .sim
-        .world()
-        .expect::<ScenarioOutcome>();
+    let outcome = tb.sim.world().expect::<ScenarioOutcome>();
     outcome.reports[&server.cpu_key].clone()
 }
 
@@ -185,7 +198,10 @@ mod tests {
             warmup_ns: time::ms(2),
             offered_gbps: 4.0,
             slots: 12,
-            sizes: SizeDistribution { max: 256 * 1024, ..SizeDistribution::default() },
+            sizes: SizeDistribution {
+                max: 256 * 1024,
+                ..SizeDistribution::default()
+            },
             ..SwiftConfig::default()
         }
     }

@@ -26,7 +26,10 @@ fn main() {
     for design in [DesignUnderTest::SwOpt, DesignUnderTest::DcsCtrl] {
         let (sender, receiver) = run_hdfs(design, &cfg);
         print!("{}", sender.render(&format!("{} sender  ", design.label())));
-        print!("{}", receiver.render(&format!("{} receiver", design.label())));
+        print!(
+            "{}",
+            receiver.render(&format!("{} receiver", design.label()))
+        );
         println!();
     }
 
@@ -54,7 +57,10 @@ fn main() {
             };
             let done = msg.downcast::<D2dDone>().expect("completions");
             if let Some(d) = &done.digest {
-                println!("  receiver CRC32 of the block: {}", dcs_ctrl::ndp::to_hex(d));
+                println!(
+                    "  receiver CRC32 of the block: {}",
+                    dcs_ctrl::ndp::to_hex(d)
+                );
             }
         }
     }
@@ -69,7 +75,9 @@ fn main() {
     let app = sim.add("app", App);
     sim.run();
     let block: Vec<u8> = (0..512 * 1024).map(|i| (i * 131 % 251) as u8).collect();
-    sim.world_mut().expect_mut::<PhysMemory>().write(a.ssds[0].lba_addr(0), &block);
+    sim.world_mut()
+        .expect_mut::<PhysMemory>()
+        .write(a.ssds[0].lba_addr(0), &block);
     println!(
         "verification block: 512 KiB, crc32 {:08x}",
         dcs_ctrl::ndp::crc32::crc32(&block)
@@ -82,8 +90,14 @@ fn main() {
             job: D2dJob {
                 id: 2,
                 ops: vec![
-                    D2dOp::NicRecv { flow: flow.reversed(), len: block.len() },
-                    D2dOp::Process { function: NdpFunction::Crc32, aux: vec![] },
+                    D2dOp::NicRecv {
+                        flow: flow.reversed(),
+                        len: block.len(),
+                    },
+                    D2dOp::Process {
+                        function: NdpFunction::Crc32,
+                        aux: vec![],
+                    },
                     D2dOp::SsdWrite { ssd: 0, lba: 4000 },
                 ],
                 reply_to: app,
@@ -98,7 +112,11 @@ fn main() {
             job: D2dJob {
                 id: 1,
                 ops: vec![
-                    D2dOp::SsdRead { ssd: 0, lba: 0, len: block.len() },
+                    D2dOp::SsdRead {
+                        ssd: 0,
+                        lba: 0,
+                        len: block.len(),
+                    },
                     D2dOp::NicSend { flow, seq: 0 },
                 ],
                 reply_to: app,
@@ -107,7 +125,13 @@ fn main() {
         },
     );
     sim.run();
-    let landed = sim.world().expect::<PhysMemory>().read(b.ssds[0].lba_addr(4000), block.len());
-    assert_eq!(landed, block, "block must land intact on the receiver's flash");
+    let landed = sim
+        .world()
+        .expect::<PhysMemory>()
+        .read(b.ssds[0].lba_addr(4000), block.len());
+    assert_eq!(
+        landed, block,
+        "block must land intact on the receiver's flash"
+    );
     println!("  block landed intact on the receiver's SSD ✓");
 }

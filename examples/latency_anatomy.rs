@@ -27,11 +27,24 @@ const ORDER: [Category; 10] = [
 
 fn main() {
     let len = 4096;
-    println!("Anatomy of one SSD -> MD5 -> NIC operation ({} KiB)\n", len / 1024);
-    for design in [DesignUnderTest::Linux, DesignUnderTest::SwOpt, DesignUnderTest::SwP2p, DesignUnderTest::DcsCtrl] {
+    println!(
+        "Anatomy of one SSD -> MD5 -> NIC operation ({} KiB)\n",
+        len / 1024
+    );
+    for design in [
+        DesignUnderTest::Linux,
+        DesignUnderTest::SwOpt,
+        DesignUnderTest::SwP2p,
+        DesignUnderTest::DcsCtrl,
+    ] {
         let b = measure(design, len, true);
         let total = b.total() as f64 / 1000.0;
-        println!("{} — total {:.1} us, software {:.1} us", design.label(), total, software_latency(&b) as f64 / 1000.0);
+        println!(
+            "{} — total {:.1} us, software {:.1} us",
+            design.label(),
+            total,
+            software_latency(&b) as f64 / 1000.0
+        );
         let mut t = 0.0;
         for cat in ORDER {
             let dur = b.get(cat) as f64 / 1000.0;

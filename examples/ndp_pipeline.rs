@@ -66,7 +66,9 @@ fn main() {
     // A compressible "log file".
     let line = b"2026-07-06T12:00:00Z INFO object-server: GET /v1/acct/cont/obj 200 -\n";
     let log: Vec<u8> = line.iter().cycle().take(256 * 1024).copied().collect();
-    sim.world_mut().expect_mut::<PhysMemory>().write(a.ssds[0].lba_addr(0), &log);
+    sim.world_mut()
+        .expect_mut::<PhysMemory>()
+        .write(a.ssds[0].lba_addr(0), &log);
     println!("log file: {} bytes (highly compressible)", log.len());
 
     let flow = TcpFlow::example(1, 2, 50_500, 9_500);
@@ -76,9 +78,19 @@ fn main() {
     let send = D2dJob {
         id: 1,
         ops: vec![
-            D2dOp::SsdRead { ssd: 0, lba: 0, len: log.len() },
-            D2dOp::Process { function: NdpFunction::GzipCompress, aux: vec![] },
-            D2dOp::Process { function: NdpFunction::Aes256Encrypt, aux: aes_aux() },
+            D2dOp::SsdRead {
+                ssd: 0,
+                lba: 0,
+                len: log.len(),
+            },
+            D2dOp::Process {
+                function: NdpFunction::GzipCompress,
+                aux: vec![],
+            },
+            D2dOp::Process {
+                function: NdpFunction::Aes256Encrypt,
+                aux: aes_aux(),
+            },
             D2dOp::NicSend { flow, seq: 0 },
         ],
         reply_to: app,
@@ -91,19 +103,43 @@ fn main() {
     let recv = D2dJob {
         id: 2,
         ops: vec![
-            D2dOp::NicRecv { flow: flow.reversed(), len: compressed_len },
-            D2dOp::Process { function: NdpFunction::Aes256Decrypt, aux: aes_aux() },
-            D2dOp::Process { function: NdpFunction::GzipDecompress, aux: vec![] },
+            D2dOp::NicRecv {
+                flow: flow.reversed(),
+                len: compressed_len,
+            },
+            D2dOp::Process {
+                function: NdpFunction::Aes256Decrypt,
+                aux: aes_aux(),
+            },
+            D2dOp::Process {
+                function: NdpFunction::GzipDecompress,
+                aux: vec![],
+            },
             D2dOp::SsdWrite { ssd: 0, lba: 9000 },
         ],
         reply_to: app,
         tag: "pipeline",
     };
-    sim.kickoff(app, Submit { to: b.driver, job: recv });
-    sim.kickoff(app, Submit { to: a.driver, job: send });
+    sim.kickoff(
+        app,
+        Submit {
+            to: b.driver,
+            job: recv,
+        },
+    );
+    sim.kickoff(
+        app,
+        Submit {
+            to: a.driver,
+            job: send,
+        },
+    );
     sim.run();
 
-    let landed = sim.world().expect::<PhysMemory>().read(b.ssds[0].lba_addr(9000), log.len());
+    let landed = sim
+        .world()
+        .expect::<PhysMemory>()
+        .read(b.ssds[0].lba_addr(9000), log.len());
     assert_eq!(landed, log, "round trip must reproduce the log");
     println!("\nround trip verified: decrypt(gunzip(...)) on beta == the log on alpha ✓");
     println!(

@@ -47,7 +47,10 @@ impl Component for App {
             println!("      {:<18} {:>9.2} us", cat.label(), ns as f64 / 1000.0);
         }
         if let Some(d) = &done.digest {
-            println!("      digest (from the completion record): {}", dcs_ctrl::ndp::to_hex(d));
+            println!(
+                "      digest (from the completion record): {}",
+                dcs_ctrl::ndp::to_hex(d)
+            );
         }
     }
 }
@@ -69,14 +72,28 @@ fn main() {
 
     // 2. Put a file on alpha's flash.
     let content: Vec<u8> = (0..64 * 1024).map(|i| (i % 251) as u8).collect();
-    sim.world_mut().expect_mut::<PhysMemory>().write(a.ssds[0].lba_addr(100), &content);
-    println!("file on alpha's SSD: 64 KiB, md5 {}\n", dcs_ctrl::ndp::to_hex(&md5(&content)));
+    sim.world_mut()
+        .expect_mut::<PhysMemory>()
+        .write(a.ssds[0].lba_addr(100), &content);
+    println!(
+        "file on alpha's SSD: 64 KiB, md5 {}\n",
+        dcs_ctrl::ndp::to_hex(&md5(&content))
+    );
 
     // 3. hdc_sendfile on alpha; a receive job on beta.
     let mut lib = HdcLibrary::new();
     let flow = TcpFlow::example(1, 2, 40_000, 9_000);
-    let file = FileDesc { ssd: 0, base_lba: 100, len: content.len() as u64, perms: Permissions::RO };
-    let socket = SocketDesc { flow, seq: 0, perms: Permissions::RW };
+    let file = FileDesc {
+        ssd: 0,
+        base_lba: 100,
+        len: content.len() as u64,
+        perms: Permissions::RO,
+    };
+    let socket = SocketDesc {
+        flow,
+        seq: 0,
+        perms: Permissions::RW,
+    };
     let send = lib
         .sendfile_processed(
             &file,
@@ -91,14 +108,32 @@ fn main() {
     let recv = D2dJob {
         id: 999,
         ops: vec![
-            D2dOp::NicRecv { flow: flow.reversed(), len: content.len() },
-            D2dOp::Process { function: dcs_ctrl::ndp::NdpFunction::Md5, aux: vec![] },
+            D2dOp::NicRecv {
+                flow: flow.reversed(),
+                len: content.len(),
+            },
+            D2dOp::Process {
+                function: dcs_ctrl::ndp::NdpFunction::Md5,
+                aux: vec![],
+            },
         ],
         reply_to: app,
         tag: "quickstart",
     };
-    sim.kickoff(app, Submit { to: b.driver, job: recv });
-    sim.kickoff(app, Submit { to: a.driver, job: send });
+    sim.kickoff(
+        app,
+        Submit {
+            to: b.driver,
+            job: recv,
+        },
+    );
+    sim.kickoff(
+        app,
+        Submit {
+            to: a.driver,
+            job: send,
+        },
+    );
 
     // 4. Run to completion.
     sim.run();

@@ -30,51 +30,75 @@ fn run(design: DesignUnderTest) {
     tb.sim.run();
     let server = tb.server.clone();
     let client = tb.client.clone();
-    let sizes = SizeDistribution { max: 512 * 1024, ..SizeDistribution::default() };
+    let sizes = SizeDistribution {
+        max: 512 * 1024,
+        ..SizeDistribution::default()
+    };
     let mean = sizes.mean_estimate();
 
     let mut lba = 0u64;
     let window = (4u64 << 30) / 4096;
-    let make = Box::new(move |rng: &mut dcs_ctrl::sim::Rng, slot: usize, reply_to, next_id: &mut u64| {
-        let len = sizes.sample(rng);
-        let blocks = (len / 4096) as u64;
-        let this_lba = lba;
-        lba = (lba + blocks) % window;
-        let mut id = || {
-            let i = *next_id;
-            *next_id += 1;
-            i
-        };
-        // Secure GET: read -> MD5 -> AES encrypt -> send. (Four ops is the
-        // D2D command limit; the decrypt+verify runs on the client.)
-        let flow = TcpFlow::example(1, 2, 21_000 + slot as u16, 8_200 + slot as u16);
-        let server_job = D2dJob {
-            id: id(),
-            ops: vec![
-                D2dOp::SsdRead { ssd: 0, lba: this_lba, len },
-                D2dOp::Process { function: NdpFunction::Md5, aux: vec![] },
-                D2dOp::Process { function: NdpFunction::Aes256Encrypt, aux: aes_aux() },
-                D2dOp::NicSend { flow, seq: 0 },
-            ],
-            reply_to,
-            tag: "kernel-get",
-        };
-        let client_job = D2dJob {
-            id: id(),
-            ops: vec![
-                D2dOp::NicRecv { flow: flow.reversed(), len },
-                D2dOp::Process { function: NdpFunction::Aes256Decrypt, aux: aes_aux() },
-            ],
-            reply_to,
-            tag: "client",
-        };
-        Request {
-            jobs: vec![(client.submit_to, client_job), (server.submit_to, server_job)],
-            bytes: len,
-            app_cost_ns: 80_000 + (len / 10) as u64,
-            app_tag: "app",
-        }
-    });
+    let make = Box::new(
+        move |rng: &mut dcs_ctrl::sim::Rng, slot: usize, reply_to, next_id: &mut u64| {
+            let len = sizes.sample(rng);
+            let blocks = (len / 4096) as u64;
+            let this_lba = lba;
+            lba = (lba + blocks) % window;
+            let mut id = || {
+                let i = *next_id;
+                *next_id += 1;
+                i
+            };
+            // Secure GET: read -> MD5 -> AES encrypt -> send. (Four ops is the
+            // D2D command limit; the decrypt+verify runs on the client.)
+            let flow = TcpFlow::example(1, 2, 21_000 + slot as u16, 8_200 + slot as u16);
+            let server_job = D2dJob {
+                id: id(),
+                ops: vec![
+                    D2dOp::SsdRead {
+                        ssd: 0,
+                        lba: this_lba,
+                        len,
+                    },
+                    D2dOp::Process {
+                        function: NdpFunction::Md5,
+                        aux: vec![],
+                    },
+                    D2dOp::Process {
+                        function: NdpFunction::Aes256Encrypt,
+                        aux: aes_aux(),
+                    },
+                    D2dOp::NicSend { flow, seq: 0 },
+                ],
+                reply_to,
+                tag: "kernel-get",
+            };
+            let client_job = D2dJob {
+                id: id(),
+                ops: vec![
+                    D2dOp::NicRecv {
+                        flow: flow.reversed(),
+                        len,
+                    },
+                    D2dOp::Process {
+                        function: NdpFunction::Aes256Decrypt,
+                        aux: aes_aux(),
+                    },
+                ],
+                reply_to,
+                tag: "client",
+            };
+            Request {
+                jobs: vec![
+                    (client.submit_to, client_job),
+                    (server.submit_to, server_job),
+                ],
+                bytes: len,
+                app_cost_ns: 80_000 + (len / 10) as u64,
+                app_tag: "app",
+            }
+        },
+    );
 
     let scenario = ScenarioConfig {
         duration_ns: time::ms(40),

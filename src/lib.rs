@@ -23,6 +23,8 @@
 //! * [`workloads`] — Swift-like object store and HDFS-balancer workloads.
 //! * [`cluster`] — multi-node DCS serving behind a modeled top-of-rack
 //!   switch: load balancing, consistent-hash sharding, admission control.
+//! * [`store`] — multi-tenant object-store service layer over the rack:
+//!   YCSB tenants, per-node read caching, weighted-fair QoS, SLO rows.
 //! * [`bench`](mod@bench) — the experiment harness behind the `repro`
 //!   binary, including the latency-anatomy trace capture (`--trace-out`).
 //!
@@ -39,4 +41,5 @@ pub use dcs_nic as nic;
 pub use dcs_nvme as nvme;
 pub use dcs_pcie as pcie;
 pub use dcs_sim as sim;
+pub use dcs_store as store;
 pub use dcs_workloads as workloads;

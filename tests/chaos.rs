@@ -13,22 +13,36 @@ use dcs_ctrl::pcie::PhysMemory;
 use dcs_ctrl::sim::{FaultPlan, RecoveryConfig, SimTime};
 use dcs_ctrl::workloads::scenario::{DesignUnderTest, Testbed, TestbedConfig};
 
-const DESIGNS: [DesignUnderTest; 3] =
-    [DesignUnderTest::SwOpt, DesignUnderTest::SwP2p, DesignUnderTest::DcsCtrl];
+const DESIGNS: [DesignUnderTest; 3] = [
+    DesignUnderTest::SwOpt,
+    DesignUnderTest::SwP2p,
+    DesignUnderTest::DcsCtrl,
+];
 
 /// Small enough that a 1 %/frame drop rate leaves each attempt a good
 /// chance of landing clean (go-back-N retransmits whole sends).
 const LEN: usize = 16 * 1024;
 
 fn pattern() -> Vec<u8> {
-    (0..LEN).map(|i| (i.wrapping_mul(2654435761) >> 7) as u8).collect()
+    (0..LEN)
+        .map(|i| (i.wrapping_mul(2654435761) >> 7) as u8)
+        .collect()
 }
 
 fn storm_testbed(design: DesignUnderTest, seed: u64, pat: &[u8]) -> Testbed {
-    let mut tb = Testbed::new(design, &TestbedConfig { seed, ..Default::default() });
+    let mut tb = Testbed::new(
+        design,
+        &TestbedConfig {
+            seed,
+            ..Default::default()
+        },
+    );
     tb.sim.run(); // settle bring-up before touching flash
     let addr = tb.server.ssds[0].lba_addr(0);
-    tb.sim.world_mut().expect_mut::<PhysMemory>().write(addr, pat);
+    tb.sim
+        .world_mut()
+        .expect_mut::<PhysMemory>()
+        .write(addr, pat);
     tb
 }
 
@@ -42,14 +56,27 @@ fn transfer_round(tb: &mut Testbed, round: u16) -> (D2dDone, D2dDone) {
     let mut done = tb.run_job_batch(vec![
         (
             server,
-            vec![D2dOp::SsdRead { ssd: 0, lba: 0, len: LEN }, D2dOp::NicSend { flow, seq: 0 }],
+            vec![
+                D2dOp::SsdRead {
+                    ssd: 0,
+                    lba: 0,
+                    len: LEN,
+                },
+                D2dOp::NicSend { flow, seq: 0 },
+            ],
             "chaos-send",
         ),
         (
             client,
             vec![
-                D2dOp::NicRecv { flow: flow.reversed(), len: LEN },
-                D2dOp::Process { function: NdpFunction::Md5, aux: vec![] },
+                D2dOp::NicRecv {
+                    flow: flow.reversed(),
+                    len: LEN,
+                },
+                D2dOp::Process {
+                    function: NdpFunction::Md5,
+                    aux: vec![],
+                },
             ],
             "chaos-recv",
         ),
@@ -126,8 +153,15 @@ fn chaos_does_not_leak_engine_buffers() {
     // Every chunk must have come back to the allocator: a command that
     // needs a large slice of the pool still succeeds.
     let done = tb.run_one_job(vec![
-        D2dOp::SsdRead { ssd: 0, lba: 0, len: 4 << 20 },
-        D2dOp::Process { function: NdpFunction::Crc32, aux: vec![] },
+        D2dOp::SsdRead {
+            ssd: 0,
+            lba: 0,
+            len: 4 << 20,
+        },
+        D2dOp::Process {
+            function: NdpFunction::Crc32,
+            aux: vec![],
+        },
     ]);
     assert!(done.ok, "chunks leaked under the storm");
 }
@@ -144,10 +178,15 @@ fn storm_trace(seed: u64) -> (Vec<(u64, bool)>, Vec<u64>, u64) {
         seq.push((s.id, s.ok));
         seq.push((c.id, c.ok));
     }
-    let tallies = ["fault.injected", "fault.recovered", "fault.exhausted", "retry.count"]
-        .iter()
-        .map(|k| tb.sim.world().stats.counter_value(k))
-        .collect();
+    let tallies = [
+        "fault.injected",
+        "fault.recovered",
+        "fault.exhausted",
+        "retry.count",
+    ]
+    .iter()
+    .map(|k| tb.sim.world().stats.counter_value(k))
+    .collect();
     (seq, tallies, tb.sim.now() - SimTime::ZERO)
 }
 
@@ -155,7 +194,13 @@ fn storm_trace(seed: u64) -> (Vec<(u64, bool)>, Vec<u64>, u64) {
 fn fault_storms_are_seed_reproducible() {
     let a = storm_trace(42);
     let b = storm_trace(42);
-    assert_eq!(a, b, "same seed + plan must reproduce the identical outcome");
+    assert_eq!(
+        a, b,
+        "same seed + plan must reproduce the identical outcome"
+    );
     let c = storm_trace(43);
-    assert_ne!(a, c, "a different seed must draw a different fault sequence");
+    assert_ne!(
+        a, c,
+        "a different seed must draw a different fault sequence"
+    );
 }

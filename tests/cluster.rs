@@ -7,9 +7,7 @@
 //! queue-aware policy beating oblivious round-robin when a node degrades,
 //! and composition with the PR 1 fault plan.
 
-use dcs_ctrl::cluster::{
-    build_cluster, run_cluster, ClusterConfig, Degrade, LbPolicy,
-};
+use dcs_ctrl::cluster::{build_cluster, run_cluster, ClusterConfig, Degrade, LbPolicy};
 use dcs_ctrl::sim::{time, FaultPlan};
 use dcs_ctrl::workloads::gen::SizeDistribution;
 
@@ -18,7 +16,10 @@ use dcs_ctrl::workloads::gen::SizeDistribution;
 fn small_cfg() -> ClusterConfig {
     ClusterConfig {
         nodes: 3,
-        sizes: SizeDistribution { max: 256 * 1024, ..SizeDistribution::default() },
+        sizes: SizeDistribution {
+            max: 256 * 1024,
+            ..SizeDistribution::default()
+        },
         offered_gbps_per_node: 5.0,
         duration_ns: time::ms(16),
         warmup_ns: time::ms(3),
@@ -33,7 +34,11 @@ fn same_seed_reruns_are_bit_identical() {
     // GET/PUT mix, fault injection, and a mid-run port degradation.
     let cfg = ClusterConfig {
         fault_rate: 0.001,
-        degrade: Some(Degrade { node: 1, at_ns: time::ms(5), factor: 0.25 }),
+        degrade: Some(Degrade {
+            node: 1,
+            at_ns: time::ms(5),
+            factor: 0.25,
+        }),
         ..small_cfg()
     };
     let a = run_cluster(&cfg);
@@ -44,8 +49,15 @@ fn same_seed_reruns_are_bit_identical() {
     assert!(a.requests > 10, "the run must do real work: {}", a.requests);
 
     // And a different seed genuinely changes the trace.
-    let c = run_cluster(&ClusterConfig { seed: 0xBEEF, ..cfg });
-    assert_ne!(a.render("run"), c.render("run"), "different seed, different run");
+    let c = run_cluster(&ClusterConfig {
+        seed: 0xBEEF,
+        ..cfg
+    });
+    assert_ne!(
+        a.render("run"),
+        c.render("run"),
+        "different seed, different run"
+    );
 }
 
 #[test]
@@ -87,7 +99,11 @@ fn jsq_reroutes_around_a_degraded_node_where_round_robin_cannot() {
             offered_gbps_per_node: 6.0,
             duration_ns: time::ms(30),
             warmup_ns: time::ms(5),
-            degrade: Some(Degrade { node: 0, at_ns: time::ms(5), factor: 0.1 }),
+            degrade: Some(Degrade {
+                node: 0,
+                at_ns: time::ms(5),
+                factor: 0.1,
+            }),
             ..ClusterConfig::default()
         })
     };
@@ -163,7 +179,10 @@ fn fault_injection_composes_with_the_cluster() {
     // ECRC draws per TLP, so object-sized transfers see hundreds of
     // corruption events each; 4e-4 keeps the storm busy without drowning
     // every request in exhausted retries.
-    let cfg = ClusterConfig { fault_rate: 0.0004, ..small_cfg() };
+    let cfg = ClusterConfig {
+        fault_rate: 0.0004,
+        ..small_cfg()
+    };
     let mut cluster = build_cluster(&cfg);
     cluster.sim.run();
     assert!(cluster.sim.is_idle(), "faulty cluster must still drain");

@@ -51,19 +51,38 @@ fn run_once(design: DesignUnderTest, payload: &[u8]) -> (D2dDone, u64) {
     let app = tb.sim.add("app", App);
     tb.sim.run();
     let addr = tb.server.ssds[0].lba_addr(0);
-    tb.sim.world_mut().expect_mut::<PhysMemory>().write(addr, payload);
+    tb.sim
+        .world_mut()
+        .expect_mut::<PhysMemory>()
+        .write(addr, payload);
     let t0 = tb.sim.now();
     let job = D2dJob {
         id: 1,
         ops: vec![
-            D2dOp::SsdRead { ssd: 0, lba: 0, len: payload.len() },
-            D2dOp::Process { function: NdpFunction::Md5, aux: vec![] },
-            D2dOp::NicSend { flow: TcpFlow::example(1, 2, 40_000, 9_000), seq: 0 },
+            D2dOp::SsdRead {
+                ssd: 0,
+                lba: 0,
+                len: payload.len(),
+            },
+            D2dOp::Process {
+                function: NdpFunction::Md5,
+                aux: vec![],
+            },
+            D2dOp::NicSend {
+                flow: TcpFlow::example(1, 2, 40_000, 9_000),
+                seq: 0,
+            },
         ],
         reply_to: app,
         tag: "cross",
     };
-    tb.sim.kickoff(app, Submit { to: tb.server.submit_to, job });
+    tb.sim.kickoff(
+        app,
+        Submit {
+            to: tb.server.submit_to,
+            job,
+        },
+    );
     tb.sim.run();
     let done = tb.sim.world().expect::<Inbox>().0[0].clone();
     (done, tb.sim.now() - t0)
@@ -93,9 +112,61 @@ fn latency_ordering_matches_table1() {
         totals.push((design, elapsed));
     }
     let of = |d: DesignUnderTest| totals.iter().find(|(x, _)| *x == d).unwrap().1;
-    assert!(of(DesignUnderTest::DcsCtrl) < of(DesignUnderTest::SwP2p), "{totals:?}");
-    assert!(of(DesignUnderTest::SwP2p) <= of(DesignUnderTest::SwOpt), "{totals:?}");
-    assert!(of(DesignUnderTest::SwOpt) < of(DesignUnderTest::Linux), "{totals:?}");
+    assert!(
+        of(DesignUnderTest::DcsCtrl) < of(DesignUnderTest::SwP2p),
+        "{totals:?}"
+    );
+    assert!(
+        of(DesignUnderTest::SwP2p) <= of(DesignUnderTest::SwOpt),
+        "{totals:?}"
+    );
+    assert!(
+        of(DesignUnderTest::SwOpt) < of(DesignUnderTest::Linux),
+        "{totals:?}"
+    );
+}
+
+#[test]
+fn cache_hit_fast_path_completes_and_beats_flash_everywhere() {
+    // A cache-hit GET is a `MemRead -> NicSend` pipeline: the payload
+    // comes from host DRAM and the flash path is skipped entirely. On
+    // every design it must complete ok with the full payload length and
+    // be at least as fast as the equivalent flash read.
+    let len = 64 * 1024;
+    for design in ALL {
+        let mut tb = Testbed::new(design, &TestbedConfig::default());
+        let t0 = tb.sim.now();
+        let hit = tb.run_one_job(vec![
+            D2dOp::MemRead { len },
+            D2dOp::NicSend {
+                flow: TcpFlow::example(1, 2, 40_000, 9_000),
+                seq: 0,
+            },
+        ]);
+        let hit_ns = tb.sim.now() - t0;
+        assert!(hit.ok, "{design} cache hit must complete");
+        assert_eq!(hit.payload_len, len, "{design} payload length");
+
+        let mut tb = Testbed::new(design, &TestbedConfig::default());
+        let t0 = tb.sim.now();
+        let miss = tb.run_one_job(vec![
+            D2dOp::SsdRead {
+                ssd: 0,
+                lba: 0,
+                len,
+            },
+            D2dOp::NicSend {
+                flow: TcpFlow::example(1, 2, 40_000, 9_000),
+                seq: 0,
+            },
+        ]);
+        let miss_ns = tb.sim.now() - t0;
+        assert!(miss.ok, "{design} flash read must complete");
+        assert!(
+            hit_ns < miss_ns,
+            "{design}: cache hit {hit_ns} ns must beat flash {miss_ns} ns"
+        );
+    }
 }
 
 #[test]

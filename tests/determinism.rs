@@ -20,7 +20,9 @@ use dcs_ctrl::workloads::scenario::{DesignUnderTest, Testbed, TestbedConfig};
 const LEN: usize = 16 * 1024;
 
 fn pattern() -> Vec<u8> {
-    (0..LEN).map(|i| (i.wrapping_mul(2654435761) >> 7) as u8).collect()
+    (0..LEN)
+        .map(|i| (i.wrapping_mul(2654435761) >> 7) as u8)
+        .collect()
 }
 
 /// Runs one server→client transfer (SSD read → NIC send | NIC recv →
@@ -34,13 +36,22 @@ fn run_traced(design: DesignUnderTest, seed: u64, with_faults: bool) -> String {
 /// enabled — which must change *nothing* about the serialized trace.
 fn run_traced_obs(design: DesignUnderTest, seed: u64, with_faults: bool, obs: bool) -> String {
     let pat = pattern();
-    let mut tb = Testbed::new(design, &TestbedConfig { seed, ..Default::default() });
+    let mut tb = Testbed::new(
+        design,
+        &TestbedConfig {
+            seed,
+            ..Default::default()
+        },
+    );
     tb.sim.run(); // settle bring-up before touching flash
     if obs {
         tb.sim.world_mut().obs.enable();
     }
     let addr = tb.server.ssds[0].lba_addr(0);
-    tb.sim.world_mut().expect_mut::<PhysMemory>().write(addr, &pat);
+    tb.sim
+        .world_mut()
+        .expect_mut::<PhysMemory>()
+        .write(addr, &pat);
     if with_faults {
         tb.install_faults(|rng| FaultPlan::uniform(0.01, rng));
     }
@@ -51,14 +62,27 @@ fn run_traced_obs(design: DesignUnderTest, seed: u64, with_faults: bool, obs: bo
     let done = tb.run_job_batch(vec![
         (
             server,
-            vec![D2dOp::SsdRead { ssd: 0, lba: 0, len: LEN }, D2dOp::NicSend { flow, seq: 0 }],
+            vec![
+                D2dOp::SsdRead {
+                    ssd: 0,
+                    lba: 0,
+                    len: LEN,
+                },
+                D2dOp::NicSend { flow, seq: 0 },
+            ],
             "det-send",
         ),
         (
             client,
             vec![
-                D2dOp::NicRecv { flow: flow.reversed(), len: LEN },
-                D2dOp::Process { function: NdpFunction::Md5, aux: vec![] },
+                D2dOp::NicRecv {
+                    flow: flow.reversed(),
+                    len: LEN,
+                },
+                D2dOp::Process {
+                    function: NdpFunction::Md5,
+                    aux: vec![],
+                },
             ],
             "det-recv",
         ),
@@ -93,12 +117,17 @@ fn serialize_trace(tb: &Testbed, done: &[D2dDone]) -> String {
 
 #[test]
 fn same_seed_twice_is_byte_identical_on_every_design() {
-    for design in
-        [DesignUnderTest::SwOpt, DesignUnderTest::SwP2p, DesignUnderTest::DcsCtrl]
-    {
+    for design in [
+        DesignUnderTest::SwOpt,
+        DesignUnderTest::SwP2p,
+        DesignUnderTest::DcsCtrl,
+    ] {
         let a = run_traced(design, 0xD5EED, false);
         let b = run_traced(design, 0xD5EED, false);
-        assert!(!a.is_empty() && a.contains("ok=true"), "{design}: job must succeed\n{a}");
+        assert!(
+            !a.is_empty() && a.contains("ok=true"),
+            "{design}: job must succeed\n{a}"
+        );
         assert_eq!(a, b, "{design}: same-seed trace diverged");
     }
 }
@@ -135,24 +164,42 @@ fn chrome_traces_are_themselves_deterministic() {
     // span order, pid assignment, and anatomy all derive from sim state.
     let export = || {
         let pat = pattern();
-        let mut tb =
-            Testbed::new(DesignUnderTest::DcsCtrl, &TestbedConfig { seed: 7, ..Default::default() });
+        let mut tb = Testbed::new(
+            DesignUnderTest::DcsCtrl,
+            &TestbedConfig {
+                seed: 7,
+                ..Default::default()
+            },
+        );
         tb.sim.run();
         tb.sim.world_mut().obs.enable();
         let addr = tb.server.ssds[0].lba_addr(0);
-        tb.sim.world_mut().expect_mut::<PhysMemory>().write(addr, &pat);
+        tb.sim
+            .world_mut()
+            .expect_mut::<PhysMemory>()
+            .write(addr, &pat);
         let flow = TcpFlow::example(1, 2, 41_500, 9_050);
         let server = tb.server.submit_to;
         let client = tb.client.submit_to;
         tb.run_job_batch(vec![
             (
                 server,
-                vec![D2dOp::SsdRead { ssd: 0, lba: 0, len: LEN }, D2dOp::NicSend { flow, seq: 0 }],
+                vec![
+                    D2dOp::SsdRead {
+                        ssd: 0,
+                        lba: 0,
+                        len: LEN,
+                    },
+                    D2dOp::NicSend { flow, seq: 0 },
+                ],
                 "det-send",
             ),
             (
                 client,
-                vec![D2dOp::NicRecv { flow: flow.reversed(), len: LEN }],
+                vec![D2dOp::NicRecv {
+                    flow: flow.reversed(),
+                    len: LEN,
+                }],
                 "det-recv",
             ),
         ]);

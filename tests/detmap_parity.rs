@@ -83,7 +83,11 @@ fn detmap_matches_hashmap_under_randomized_ops() {
             }
             m.iter().map(|(k, v)| (*k, *v)).collect()
         };
-        assert_eq!(replay(seed), replay(seed), "seed {seed}: iteration order unstable");
+        assert_eq!(
+            replay(seed),
+            replay(seed),
+            "seed {seed}: iteration order unstable"
+        );
         assert_eq!(
             replay(seed),
             det.iter().map(|(k, v)| (*k, *v)).collect::<Vec<_>>(),
@@ -119,6 +123,10 @@ fn detset_matches_hashset_under_randomized_ops() {
         let mut sorted = order.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(sorted.len(), order.len(), "seed {seed}: duplicate in set iteration");
+        assert_eq!(
+            sorted.len(),
+            order.len(),
+            "seed {seed}: duplicate in set iteration"
+        );
     }
 }

@@ -1,6 +1,9 @@
 //! Node-failure tolerance, end to end: whole-node crashes and hangs
 //! against the health layer (probe detection, circuit breaker, replica
-//! failover, hedged GETs, PUT fallback, and re-replication).
+//! failover, hedged GETs, PUT fallback, and re-replication), plus the
+//! store layer's correctness-under-crash acceptance: cached reads must
+//! never serve stale bytes across writes, crash or no crash, and the
+//! full YCSB sweep must be byte-identical across double runs.
 //!
 //! Asserts the acceptance properties of the `repro cluster-failover`
 //! sweep: detection within the suspicion-timeout bound, high availability
@@ -9,24 +12,32 @@
 //! handling from the seed, and detection/repair figures that are
 //! invariant across load-balancing policies.
 
-use dcs_ctrl::cluster::{
-    run_cluster, ClusterConfig, HealthConfig, LbPolicy, NodeFault,
-};
+use dcs_ctrl::cluster::{run_cluster, ClusterConfig, HealthConfig, LbPolicy, NodeFault};
 use dcs_ctrl::sim::time;
+use dcs_ctrl::store::cache::{Admission, CacheConfig};
+use dcs_ctrl::store::qos::QosPolicy;
+use dcs_ctrl::store::{run_store, Crash, StoreConfig, TenantSpec};
 use dcs_ctrl::workloads::gen::SizeDistribution;
+use dcs_ctrl::workloads::ycsb::YcsbWorkload;
 
 /// N-1-survivable provisioning: 5 Gbps/node over 4 nodes leaves the three
 /// survivors enough headroom to absorb a dead peer's share.
 fn failover_cfg() -> ClusterConfig {
     ClusterConfig {
         nodes: 4,
-        sizes: SizeDistribution { max: 256 * 1024, ..SizeDistribution::default() },
+        sizes: SizeDistribution {
+            max: 256 * 1024,
+            ..SizeDistribution::default()
+        },
         objects: 1024,
         offered_gbps_per_node: 5.0,
         duration_ns: time::ms(28),
         warmup_ns: time::ms(5),
         seed: 0xFA11,
-        node_faults: vec![NodeFault::Crash { node: 1, at_ns: time::ms(9) }],
+        node_faults: vec![NodeFault::Crash {
+            node: 1,
+            at_ns: time::ms(9),
+        }],
         ..ClusterConfig::default()
     }
 }
@@ -58,7 +69,10 @@ fn crash_is_detected_failed_over_and_repaired() {
         r.availability()
     );
     // Re-replication ran and finished (possibly after the window).
-    assert!(r.repair_bytes > 0, "the dead node's shards must be re-replicated");
+    assert!(
+        r.repair_bytes > 0,
+        "the dead node's shards must be re-replicated"
+    );
     assert!(r.repair_ns.is_some(), "repair must complete");
     // Phase split: healthy before, recovered after.
     let phases = r.phases.expect("node-fault runs report phases");
@@ -72,7 +86,10 @@ fn failure_handling_is_deterministic_and_detection_is_policy_invariant() {
     let mut detections = Vec::new();
     let mut repair_bytes = Vec::new();
     for policy in LbPolicy::ALL {
-        let cfg = ClusterConfig { policy, ..failover_cfg() };
+        let cfg = ClusterConfig {
+            policy,
+            ..failover_cfg()
+        };
         let a = run_cluster(&cfg);
         let b = run_cluster(&cfg);
         // Same seed ⇒ bit-identical failure handling, counters included.
@@ -173,5 +190,108 @@ fn hang_is_detected_hedged_around_and_survived() {
     assert!(
         r.per_node[2].requests > 0,
         "the revived node must serve requests again"
+    );
+}
+
+/// An update-heavy cached store with a mid-run node crash. Every PUT
+/// commit bumps the object's version and invalidates every node's cache
+/// entry; a crash additionally discards the dead node's cache wholesale
+/// and fails its in-flight requests over to surviving replicas.
+fn crashed_store_cfg() -> StoreConfig {
+    let mut t = TenantSpec::new("ab", YcsbWorkload::A);
+    t.keys = 256;
+    t.offered_gbps = 8.0;
+    StoreConfig {
+        nodes: 4,
+        tenants: vec![t],
+        cache: CacheConfig {
+            capacity_bytes: 64 << 20,
+            admission: Admission::AdmitAll,
+        },
+        duration_ns: time::ms(12),
+        warmup_ns: time::ms(2),
+        crash: Some(Crash {
+            node: 1,
+            at_ns: time::ms(5),
+        }),
+        ..StoreConfig::default()
+    }
+}
+
+#[test]
+fn cached_store_never_serves_stale_bytes_through_a_crash() {
+    let r = run_store(&crashed_store_cfg());
+    // The run exercised the interesting paths: writes committed, cached
+    // reads hit, and the crash actually disturbed in-flight traffic.
+    assert!(r.requests > 0, "{}", r.render("crash"));
+    assert!(r.put_ok > 0, "workload A writes must land");
+    assert!(r.cache_hits > 0, "cached reads must hit between writes");
+    assert!(
+        r.retried + r.lost > 0,
+        "the crash must strand some in-flight requests (retried {} lost {})",
+        r.retried,
+        r.lost
+    );
+    // The acceptance property: version-checked lookups plus invalidation
+    // at commit mean a cached GET can never return bytes older than the
+    // last committed PUT — the tripwire counts any would-be violation,
+    // including reads that raced the crash.
+    assert_eq!(
+        r.stale_served,
+        0,
+        "stale cache bytes served: {}",
+        r.render("crash")
+    );
+}
+
+#[test]
+fn ycsb_sweep_is_byte_identical_across_double_runs() {
+    // The acceptance determinism check for `repro store`: every YCSB
+    // letter, run twice from the same seed, must render byte-identically
+    // (latency histograms, cache counters, and per-tenant rows included).
+    for w in YcsbWorkload::ALL {
+        let a = dcs_bench::store::run_ycsb(w, true);
+        let b = dcs_bench::store::run_ycsb(w, true);
+        assert_eq!(
+            a.render(w.label()),
+            b.render(w.label()),
+            "YCSB {} must replay byte-identically",
+            w.letter()
+        );
+        assert_eq!(
+            a.per_tenant[0].latency_us(99.9),
+            b.per_tenant[0].latency_us(99.9)
+        );
+    }
+}
+
+#[test]
+fn wfq_holds_the_compliant_tenant_slo_where_fifo_degrades_it() {
+    // The noisy-neighbor acceptance: a compliant tenant's SLO attainment
+    // under WFQ with a flooding neighbor must stay within 1% of its
+    // no-noisy baseline, while the FIFO ablation visibly degrades it.
+    let base = dcs_bench::store::run_noisy(false, QosPolicy::Wfq, true);
+    let wfq = dcs_bench::store::run_noisy(true, QosPolicy::Wfq, true);
+    let fifo = dcs_bench::store::run_noisy(true, QosPolicy::Fifo, true);
+    let base_slo = base.per_tenant[0].slo_attainment();
+    let wfq_slo = wfq.per_tenant[0].slo_attainment();
+    let fifo_slo = fifo.per_tenant[0].slo_attainment();
+    assert!(base_slo > 0.99, "baseline must be healthy: {base_slo:.4}");
+    assert!(
+        wfq_slo >= base_slo - 0.01,
+        "WFQ must hold the compliant tenant at its baseline: {wfq_slo:.4} vs {base_slo:.4}"
+    );
+    assert!(
+        fifo_slo < wfq_slo - 0.05,
+        "FIFO must visibly degrade the compliant tenant: {fifo_slo:.4} vs WFQ {wfq_slo:.4}"
+    );
+    // The flood pays for fairness, not the compliant tenant.
+    assert!(
+        wfq.per_tenant[1].denied > 0,
+        "WFQ must shed the flood, not the tenant"
+    );
+    assert_eq!(
+        wfq.per_tenant[0].denied, 0,
+        "the compliant tenant keeps its queue slots"
     );
 }

@@ -11,11 +11,22 @@ use dcs_ctrl::workloads::scenario::{DesignUnderTest, Testbed, TestbedConfig};
 
 #[test]
 fn out_of_range_lba_fails_cleanly_everywhere() {
-    for design in [DesignUnderTest::SwOpt, DesignUnderTest::SwP2p, DesignUnderTest::DcsCtrl] {
+    for design in [
+        DesignUnderTest::SwOpt,
+        DesignUnderTest::SwP2p,
+        DesignUnderTest::DcsCtrl,
+    ] {
         let mut tb = Testbed::new(design, &TestbedConfig::default());
         let done = tb.run_one_job(vec![
-            D2dOp::SsdRead { ssd: 0, lba: u64::MAX / 8192, len: 4096 },
-            D2dOp::NicSend { flow: TcpFlow::example(1, 2, 3, 4), seq: 0 },
+            D2dOp::SsdRead {
+                ssd: 0,
+                lba: u64::MAX / 8192,
+                len: 4096,
+            },
+            D2dOp::NicSend {
+                flow: TcpFlow::example(1, 2, 3, 4),
+                seq: 0,
+            },
         ]);
         assert!(!done.ok, "{design} must report the failure");
     }
@@ -26,9 +37,16 @@ fn malformed_aes_key_fails_cleanly_everywhere() {
     for design in [DesignUnderTest::SwOpt, DesignUnderTest::DcsCtrl] {
         let mut tb = Testbed::new(design, &TestbedConfig::default());
         let done = tb.run_one_job(vec![
-            D2dOp::SsdRead { ssd: 0, lba: 0, len: 4096 },
+            D2dOp::SsdRead {
+                ssd: 0,
+                lba: 0,
+                len: 4096,
+            },
             // 10 bytes instead of key‖nonce (48).
-            D2dOp::Process { function: NdpFunction::Aes256Encrypt, aux: vec![9; 10] },
+            D2dOp::Process {
+                function: NdpFunction::Aes256Encrypt,
+                aux: vec![9; 10],
+            },
         ]);
         assert!(!done.ok, "{design} must reject the malformed key");
     }
@@ -40,8 +58,15 @@ fn undecodable_gzip_stream_fails_cleanly() {
         let mut tb = Testbed::new(design, &TestbedConfig::default());
         let done = tb.run_one_job(vec![
             // Flash reads as zeros here: not a gzip stream.
-            D2dOp::SsdRead { ssd: 0, lba: 0, len: 4096 },
-            D2dOp::Process { function: NdpFunction::GzipDecompress, aux: vec![] },
+            D2dOp::SsdRead {
+                ssd: 0,
+                lba: 0,
+                len: 4096,
+            },
+            D2dOp::Process {
+                function: NdpFunction::GzipDecompress,
+                aux: vec![],
+            },
         ]);
         assert!(!done.ok, "{design} must surface the inflate error");
     }
@@ -54,9 +79,19 @@ fn pipeline_poisoning_skips_downstream_ops() {
     tb.sim.run(); // settle bring-up before sampling the frame counter
     let frames_before = tb.sim.world().stats.counter_value("wire.frames");
     let done = tb.run_one_job(vec![
-        D2dOp::SsdRead { ssd: 0, lba: u64::MAX / 8192, len: 4096 },
-        D2dOp::Process { function: NdpFunction::Md5, aux: vec![] },
-        D2dOp::NicSend { flow: TcpFlow::example(1, 2, 3, 4), seq: 0 },
+        D2dOp::SsdRead {
+            ssd: 0,
+            lba: u64::MAX / 8192,
+            len: 4096,
+        },
+        D2dOp::Process {
+            function: NdpFunction::Md5,
+            aux: vec![],
+        },
+        D2dOp::NicSend {
+            flow: TcpFlow::example(1, 2, 3, 4),
+            seq: 0,
+        },
     ]);
     assert!(!done.ok);
     assert_eq!(
@@ -74,7 +109,15 @@ fn failures_do_not_leak_engine_buffers() {
     let to = tb.server.submit_to;
     let batch: Vec<_> = (0..80)
         .map(|_| {
-            (to, vec![D2dOp::SsdRead { ssd: 0, lba: u64::MAX / 8192, len: 1 << 20 }], "leak")
+            (
+                to,
+                vec![D2dOp::SsdRead {
+                    ssd: 0,
+                    lba: u64::MAX / 8192,
+                    len: 1 << 20,
+                }],
+                "leak",
+            )
         })
         .collect();
     for done in tb.run_job_batch(batch) {
@@ -82,8 +125,15 @@ fn failures_do_not_leak_engine_buffers() {
     }
     // Now a large legitimate command must still find buffer space.
     let done = tb.run_one_job(vec![
-        D2dOp::SsdRead { ssd: 0, lba: 0, len: 4 << 20 },
-        D2dOp::Process { function: NdpFunction::Crc32, aux: vec![] },
+        D2dOp::SsdRead {
+            ssd: 0,
+            lba: 0,
+            len: 4 << 20,
+        },
+        D2dOp::Process {
+            function: NdpFunction::Crc32,
+            aux: vec![],
+        },
     ]);
     assert!(done.ok, "buffers must have been reclaimed");
 }

@@ -17,21 +17,35 @@ use dcs_ctrl::sim::fault::{self, FaultPlan};
 use dcs_ctrl::sim::{fnv1a64, fuzz, FaultSpec, IntegrityAudit, RecoveryConfig};
 use dcs_ctrl::workloads::scenario::{DesignUnderTest, Testbed, TestbedConfig};
 
-const DESIGNS: [DesignUnderTest; 3] =
-    [DesignUnderTest::SwOpt, DesignUnderTest::SwP2p, DesignUnderTest::DcsCtrl];
+const DESIGNS: [DesignUnderTest; 3] = [
+    DesignUnderTest::SwOpt,
+    DesignUnderTest::SwP2p,
+    DesignUnderTest::DcsCtrl,
+];
 
 const LEN: usize = 16 * 1024;
 
 fn pattern() -> Vec<u8> {
-    (0..LEN).map(|i| (i.wrapping_mul(2654435761) >> 7) as u8).collect()
+    (0..LEN)
+        .map(|i| (i.wrapping_mul(2654435761) >> 7) as u8)
+        .collect()
 }
 
 /// Settled testbed with the pattern on flash and the audit installed.
 fn audit_testbed(design: DesignUnderTest, seed: u64, pat: &[u8]) -> Testbed {
-    let mut tb = Testbed::new(design, &TestbedConfig { seed, ..Default::default() });
+    let mut tb = Testbed::new(
+        design,
+        &TestbedConfig {
+            seed,
+            ..Default::default()
+        },
+    );
     tb.sim.run();
     let addr = tb.server.ssds[0].lba_addr(0);
-    tb.sim.world_mut().expect_mut::<PhysMemory>().write(addr, pat);
+    tb.sim
+        .world_mut()
+        .expect_mut::<PhysMemory>()
+        .write(addr, pat);
     tb.sim.world_mut().insert(IntegrityAudit::default());
     tb
 }
@@ -55,14 +69,27 @@ fn transfer_round(tb: &mut Testbed, round: u16) -> Vec<D2dDone> {
     tb.run_job_batch(vec![
         (
             server,
-            vec![D2dOp::SsdRead { ssd: 0, lba: 0, len: LEN }, D2dOp::NicSend { flow, seq: 0 }],
+            vec![
+                D2dOp::SsdRead {
+                    ssd: 0,
+                    lba: 0,
+                    len: LEN,
+                },
+                D2dOp::NicSend { flow, seq: 0 },
+            ],
             "integrity-send",
         ),
         (
             client,
             vec![
-                D2dOp::NicRecv { flow: flow.reversed(), len: LEN },
-                D2dOp::Process { function: NdpFunction::Md5, aux: vec![] },
+                D2dOp::NicRecv {
+                    flow: flow.reversed(),
+                    len: LEN,
+                },
+                D2dOp::Process {
+                    function: NdpFunction::Md5,
+                    aux: vec![],
+                },
             ],
             "integrity-recv",
         ),
@@ -101,9 +128,15 @@ fn corruption_storm_never_delivers_wrong_bytes_as_success() {
             .tallies()
             .map(|(_, s)| s.injected)
             .sum();
-        assert!(injected > 0, "{design}: a 1e-3 per-TLP storm over 10 rounds must fire");
+        assert!(
+            injected > 0,
+            "{design}: a 1e-3 per-TLP storm over 10 rounds must fire"
+        );
         let escapes = world.expect::<IntegrityAudit>().escapes(expected_fnv);
-        assert!(escapes.is_empty(), "{design}: wrong-payload successes: {escapes:?}");
+        assert!(
+            escapes.is_empty(),
+            "{design}: wrong-payload successes: {escapes:?}"
+        );
     }
 }
 
@@ -143,7 +176,11 @@ fn every_injected_corruption_is_accounted() {
         total_injected,
         "every corruption must land in the AER log exactly once"
     );
-    assert_eq!(world.stats.counter_value("aer.escape"), 0, "ECRC on: no silent escapes");
+    assert_eq!(
+        world.stats.counter_value("aer.escape"),
+        0,
+        "ECRC on: no silent escapes"
+    );
     let log = world.expect::<AerLog>();
     assert!(!log.entries().is_empty(), "AER entries must be retained");
     assert!(
@@ -171,16 +208,22 @@ fn forced_poison_fails_the_request_cleanly() {
     for d in &done {
         if d.ok {
             if let Some(digest) = d.digest.as_deref() {
-                assert_eq!(digest, expected_md5.as_slice(), "poison escaped into a success");
+                assert_eq!(
+                    digest,
+                    expected_md5.as_slice(),
+                    "poison escaped into a success"
+                );
             }
         }
     }
     let world = tb.sim.world();
-    let tallies: std::collections::BTreeMap<_, _> =
-        world.expect::<FaultPlan>().tallies().collect();
+    let tallies: std::collections::BTreeMap<_, _> = world.expect::<FaultPlan>().tallies().collect();
     let t = tallies[fault::DMA_CORRUPT];
     assert_eq!(t.injected, 1, "the pinned corruption must fire");
-    assert_eq!(t.exhausted, 1, "no budget: the corruption is delivered poisoned");
+    assert_eq!(
+        t.exhausted, 1,
+        "no budget: the corruption is delivered poisoned"
+    );
     assert!(
         world.stats.counter_value("aer.poisoned") >= 1,
         "the poisoned TLP must be logged"

@@ -30,7 +30,10 @@ fn trace_export_covers_at_least_four_component_categories() {
     let mut cats = BTreeSet::new();
     for ev in events {
         if ev.get("ph").and_then(|p| p.as_str()) == Some("M") {
-            if let Some(name) = ev.get("args").and_then(|a| a.get("name")).and_then(|n| n.as_str())
+            if let Some(name) = ev
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(|n| n.as_str())
             {
                 cats.insert(name.to_string());
             }
@@ -47,8 +50,14 @@ fn trace_export_covers_at_least_four_component_categories() {
     for ev in events {
         if ev.get("ph").and_then(|p| p.as_str()) == Some("X") {
             let args = ev.get("args").expect("X events carry args");
-            let start = args.get("start_ns").and_then(|v| v.as_i128()).expect("exact start");
-            let ns = args.get("ns").and_then(|v| v.as_i128()).expect("exact duration");
+            let start = args
+                .get("start_ns")
+                .and_then(|v| v.as_i128())
+                .expect("exact start");
+            let ns = args
+                .get("ns")
+                .and_then(|v| v.as_i128())
+                .expect("exact duration");
             assert!(start >= 0 && ns >= 0);
         }
     }
@@ -90,12 +99,17 @@ fn bench_fig8_json_parses_and_contains_expected_keys() {
     assert!(json.get("unit").and_then(|u| u.as_str()).is_some());
     let designs = json.get("designs").expect("designs key");
     for label in ["Linux", "SW opt", "DCS-ctrl"] {
-        let d = designs.get(label).unwrap_or_else(|| panic!("missing design {label}"));
+        let d = designs
+            .get(label)
+            .unwrap_or_else(|| panic!("missing design {label}"));
         let total = d
             .get("total_fraction_of_cores")
             .and_then(|t| t.as_f64())
             .expect("total is a number");
         assert!(total.is_finite() && total >= 0.0);
-        assert!(d.get("breakdown").is_some(), "per-category breakdown present");
+        assert!(
+            d.get("breakdown").is_some(),
+            "per-category breakdown present"
+        );
     }
 }

@@ -42,7 +42,10 @@ impl Component for App {
 
 #[test]
 fn six_ssd_node_reads_from_every_drive() {
-    let cfg = TestbedConfig { ssds_per_node: 6, ..TestbedConfig::default() };
+    let cfg = TestbedConfig {
+        ssds_per_node: 6,
+        ..TestbedConfig::default()
+    };
     for design in [DesignUnderTest::SwOpt, DesignUnderTest::DcsCtrl] {
         let mut tb = Testbed::new(design, &cfg);
         let app = tb.sim.add("app", App);
@@ -59,13 +62,26 @@ fn six_ssd_node_reads_from_every_drive() {
             let job = D2dJob {
                 id: i,
                 ops: vec![
-                    D2dOp::SsdRead { ssd: i as usize, lba: 0, len: 8192 },
-                    D2dOp::Process { function: NdpFunction::Md5, aux: vec![] },
+                    D2dOp::SsdRead {
+                        ssd: i as usize,
+                        lba: 0,
+                        len: 8192,
+                    },
+                    D2dOp::Process {
+                        function: NdpFunction::Md5,
+                        aux: vec![],
+                    },
                 ],
                 reply_to: app,
                 tag: "six-ssd",
             };
-            tb.sim.kickoff(app, Submit { to: tb.server.submit_to, job });
+            tb.sim.kickoff(
+                app,
+                Submit {
+                    to: tb.server.submit_to,
+                    job,
+                },
+            );
         }
         tb.sim.run();
         assert_eq!(tb.sim.world().stats.counter_value("app.ok"), 6, "{design}");
@@ -89,13 +105,26 @@ fn sustained_stream_keeps_resident_memory_bounded() {
         let job = D2dJob {
             id: i,
             ops: vec![
-                D2dOp::SsdRead { ssd: 0, lba: i * 16, len: 64 * 1024 },
-                D2dOp::NicSend { flow, seq: (i * 65536) as u32 },
+                D2dOp::SsdRead {
+                    ssd: 0,
+                    lba: i * 16,
+                    len: 64 * 1024,
+                },
+                D2dOp::NicSend {
+                    flow,
+                    seq: (i * 65536) as u32,
+                },
             ],
             reply_to: app,
             tag: "stream",
         };
-        tb.sim.kickoff(app, Submit { to: tb.server.submit_to, job });
+        tb.sim.kickoff(
+            app,
+            Submit {
+                to: tb.server.submit_to,
+                job,
+            },
+        );
     }
     tb.sim.run();
     assert_eq!(tb.sim.world().stats.counter_value("app.ok"), 200);
@@ -120,16 +149,32 @@ fn wire_is_the_bottleneck_for_bulk_dcs_transfers() {
         let job = D2dJob {
             id: i,
             ops: vec![
-                D2dOp::SsdRead { ssd: 0, lba: i * 256, len: per },
-                D2dOp::NicSend { flow, seq: (i as u32).wrapping_mul(per as u32) },
+                D2dOp::SsdRead {
+                    ssd: 0,
+                    lba: i * 256,
+                    len: per,
+                },
+                D2dOp::NicSend {
+                    flow,
+                    seq: (i as u32).wrapping_mul(per as u32),
+                },
             ],
             reply_to: app,
             tag: "bulk",
         };
-        tb.sim.kickoff(app, Submit { to: tb.server.submit_to, job });
+        tb.sim.kickoff(
+            app,
+            Submit {
+                to: tb.server.submit_to,
+                job,
+            },
+        );
     }
     tb.sim.run();
-    assert_eq!(tb.sim.world().stats.counter_value("app.ok"), (total / per) as u64);
+    assert_eq!(
+        tb.sim.world().stats.counter_value("app.ok"),
+        (total / per) as u64
+    );
     let elapsed = tb.sim.now() - t0;
     let wire_floor = dcs_ctrl::sim::Bandwidth::gbps(10.0).transfer_time(total);
     assert!(elapsed >= wire_floor, "{elapsed} >= {wire_floor}");

@@ -18,15 +18,30 @@ fn single_job_invariants_hold_across_seeds() {
     let pat: Vec<u8> = (0..4096u32).map(|i| (i * 37 % 251) as u8).collect();
     let mut digests = Vec::new();
     for seed in SEEDS {
-        let mut tb =
-            Testbed::new(DesignUnderTest::DcsCtrl, &TestbedConfig { seed, ..Default::default() });
+        let mut tb = Testbed::new(
+            DesignUnderTest::DcsCtrl,
+            &TestbedConfig {
+                seed,
+                ..Default::default()
+            },
+        );
         tb.sim.run();
         tb.sim.world_mut().obs.enable();
         let addr = tb.server.ssds[0].lba_addr(8);
-        tb.sim.world_mut().expect_mut::<PhysMemory>().write(addr, &pat);
+        tb.sim
+            .world_mut()
+            .expect_mut::<PhysMemory>()
+            .write(addr, &pat);
         let done = tb.run_one_job(vec![
-            D2dOp::SsdRead { ssd: 0, lba: 8, len: pat.len() },
-            D2dOp::Process { function: NdpFunction::Md5, aux: vec![] },
+            D2dOp::SsdRead {
+                ssd: 0,
+                lba: 8,
+                len: pat.len(),
+            },
+            D2dOp::Process {
+                function: NdpFunction::Md5,
+                aux: vec![],
+            },
         ]);
         assert!(done.ok, "seed {seed}: job must succeed");
         assert_eq!(done.payload_len, pat.len(), "seed {seed}: full payload");
@@ -56,21 +71,33 @@ fn small_cluster_invariants_hold_across_seeds() {
         let report = run_cluster(&ClusterConfig {
             nodes: 2,
             policy: LbPolicy::JoinShortestQueue,
-            sizes: SizeDistribution { max: 256 * 1024, ..SizeDistribution::default() },
+            sizes: SizeDistribution {
+                max: 256 * 1024,
+                ..SizeDistribution::default()
+            },
             offered_gbps_per_node: 5.0,
             duration_ns: time::ms(8),
             warmup_ns: time::ms(2),
             seed,
             ..ClusterConfig::default()
         });
-        assert!(report.requests > 0, "seed {seed}: cluster must serve traffic");
+        assert!(
+            report.requests > 0,
+            "seed {seed}: cluster must serve traffic"
+        );
         assert_eq!(report.lost, 0, "seed {seed}: no request may vanish");
-        assert_eq!(report.failures, 0, "seed {seed}: fault-free run has no failures");
+        assert_eq!(
+            report.failures, 0,
+            "seed {seed}: fault-free run has no failures"
+        );
         let avail = report.availability();
         assert!(
             (0.99..=1.0).contains(&avail),
             "seed {seed}: availability {avail} out of bounds"
         );
-        assert!(report.latency_us(50.0) > 0.0, "seed {seed}: latency histogram populated");
+        assert!(
+            report.latency_us(50.0) > 0.0,
+            "seed {seed}: latency histogram populated"
+        );
     }
 }
