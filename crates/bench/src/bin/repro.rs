@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--quick] [--list] [--trace-out FILE] [--json-out DIR]
-//!       [all|fig2|fig3|fig8|fig11|fig12|fig13|table3|table4|ablation|faults|integrity|cluster|cluster-failover|anatomy|store]...
+//!       [all|fig2|fig3|fig8|fig11|fig12|fig13|table3|table4|ablation|faults|integrity|cluster|cluster-failover|cluster-gray|anatomy|store]...
 //! ```
 //!
 //! With no experiment arguments, runs everything. `--quick` shortens the
@@ -20,7 +20,7 @@ use std::fs;
 use std::process::exit;
 
 /// Every experiment, in presentation order.
-const EXPERIMENTS: [&str; 15] = [
+const EXPERIMENTS: [&str; 16] = [
     "table3",
     "table4",
     "fig2",
@@ -34,6 +34,7 @@ const EXPERIMENTS: [&str; 15] = [
     "integrity",
     "cluster",
     "cluster-failover",
+    "cluster-gray",
     "anatomy",
     "store",
 ];
@@ -129,6 +130,7 @@ fn main() {
             }
             "cluster" => dcs_bench::cluster::render(quick),
             "cluster-failover" => dcs_bench::cluster::render_failover(quick),
+            "cluster-gray" => dcs_bench::cluster::render_gray(quick),
             "anatomy" => dcs_bench::anatomy::render(),
             "store" => dcs_bench::store::render(quick),
             other => unreachable!("validated above: {other}"),

@@ -19,8 +19,14 @@
 //! policy (detection time, availability through the failure, failover
 //! retries, hedges, re-replication), the ablation with the health layer
 //! disabled, and a hang long enough to be declared dead and revived.
+//!
+//! A third sweep, `cluster-gray` ([`render_gray`]), measures the
+//! gray-failure layer: fail-slow nodes that keep acking probes (factor
+//! sweep × differential-detection ablation), a degraded ToR link, and the
+//! crash-restart-rejoin lifecycle with bandwidth-capped anti-entropy.
 
 use dcs_cluster::{ClusterConfig, ClusterReport, Degrade, HealthConfig, LbPolicy, NodeFault};
+use dcs_workloads::gen::SizeDistribution;
 
 /// Offered load per node for the scaling and degrade panels, Gbps.
 const BASE_GBPS: f64 = 6.0;
@@ -92,6 +98,7 @@ pub fn run_failover(policy: LbPolicy, health: HealthConfig, quick: bool) -> Clus
         node_faults: vec![NodeFault::Crash {
             node: 1,
             at_ns: crash_at,
+            restart_at_ns: None,
         }],
         health,
         ..cfg
@@ -125,6 +132,159 @@ pub fn run_hang(quick: bool) -> ClusterReport {
         health,
         ..cfg
     })
+}
+
+/// Shared shape of the gray-failure runs: small objects at a high
+/// request rate, because differential detection is statistics — the
+/// per-node latency EWMA needs a steady sample stream to converge
+/// between probe ticks, and sub-millisecond per-request holds must
+/// resolve inside the window so the tally sees them.
+fn gray_cfg(quick: bool) -> ClusterConfig {
+    ClusterConfig {
+        nodes: 4,
+        policy: LbPolicy::JoinShortestQueue,
+        objects: 256,
+        sizes: SizeDistribution {
+            mu: 9.2,
+            sigma: 0.6,
+            min: 4096,
+            max: 64 * 1024,
+        },
+        ..base_cfg(quick)
+    }
+}
+
+/// One fail-slow run: node 1 serves `factor`× slower from the end of
+/// warm-up through half of the measured window, while acking every probe
+/// on time — the timeout detector is blind to it by construction; only
+/// `health`'s differential arm can see it. Half a window of fault leaves
+/// the other half for the readmission walk once the node runs fast again.
+pub fn run_fail_slow(factor: u64, health: HealthConfig, quick: bool) -> ClusterReport {
+    let cfg = gray_cfg(quick);
+    let at = cfg.warmup_ns;
+    let for_ns = (cfg.duration_ns - cfg.warmup_ns) / 2;
+    dcs_cluster::run_cluster(&ClusterConfig {
+        offered_gbps_per_node: 2.0,
+        node_faults: vec![NodeFault::FailSlow {
+            node: 1,
+            at_ns: at,
+            for_ns,
+            factor,
+        }],
+        health,
+        ..cfg
+    })
+}
+
+/// One link-degrade run: node 2's ToR port drops to `speed_pct`% of line
+/// rate mid-window. Probe acks still make their (generous) deadline, so
+/// again only the differential arm notices. The load is set so the
+/// *degraded* port is the bottleneck while the healthy cluster keeps
+/// ample headroom — if survivors saturate too, the median rises with the
+/// victim and no detector relative to the cluster can see an outlier.
+pub fn run_link_degrade(speed_pct: u64, health: HealthConfig, quick: bool) -> ClusterReport {
+    let cfg = gray_cfg(quick);
+    let at = cfg.warmup_ns;
+    let for_ns = (cfg.duration_ns - cfg.warmup_ns) / 2;
+    dcs_cluster::run_cluster(&ClusterConfig {
+        offered_gbps_per_node: 1.5,
+        node_faults: vec![NodeFault::LinkDegrade {
+            node: 2,
+            at_ns: at,
+            for_ns,
+            speed_pct,
+        }],
+        health,
+        ..cfg
+    })
+}
+
+/// One rejoin run: node 1 crashes early in the measured window and
+/// restarts only after the probe detector has had time to declare it
+/// Dead (so failover and re-replication genuinely run first); it comes
+/// back empty, streams its shards back from survivors (bandwidth-capped
+/// anti-entropy), and only then takes traffic again. Small objects and a
+/// raised rejoin rate keep the stream short enough to resolve inside the
+/// window.
+pub fn run_rejoin(quick: bool) -> ClusterReport {
+    let cfg = gray_cfg(quick);
+    let eighth = (cfg.duration_ns - cfg.warmup_ns) / 8;
+    let crash_at = cfg.warmup_ns + eighth;
+    let health = HealthConfig {
+        rejoin_gbps: 8.0,
+        ..HealthConfig::default()
+    };
+    let restart_at = crash_at + health.detection_bound_ns() + dcs_sim::time::ms(1);
+    // Small objects make the nodes CPU-bound (~7 Gbps/node), so N-1
+    // survivability needs a lower per-node offered load than the
+    // network-bound failover panel uses — with headroom for the ring's
+    // imbalance, which concentrates the dead node's share on its
+    // successor.
+    dcs_cluster::run_cluster(&ClusterConfig {
+        offered_gbps_per_node: 3.5,
+        node_faults: vec![NodeFault::Crash {
+            node: 1,
+            at_ns: crash_at,
+            restart_at_ns: Some(restart_at),
+        }],
+        health,
+        ..cfg
+    })
+}
+
+/// Renders the `cluster-gray` sweep.
+pub fn render_gray(quick: bool) -> String {
+    let mut out = String::from(
+        "Cluster gray-failure tolerance — fail-slow, degraded link, crash + rejoin\n\n",
+    );
+
+    out.push_str(
+        "  Node 1 serves slow mid-window, probes still ack (factor × detection ablation):\n",
+    );
+    for factor in [4u64, 10] {
+        let arms = [
+            ("differential", HealthConfig::default()),
+            ("blind       ", HealthConfig::blind()),
+        ];
+        for (name, health) in arms {
+            let r = run_fail_slow(factor, health, quick);
+            // Whole-window p99, not the per-phase one: the "during" phase
+            // ends at detection, so slicing by phase would compare
+            // different time windows across the two arms.
+            out.push_str(&format!(
+                "    {factor:>2}x {name}  detect {:>6.0} us  evicted {:>2} readmitted {:>2}  p99 {:>8.0} us  avail {:>6.2}%\n",
+                r.slow_detection_ns
+                    .map(|d| d as f64 / 1000.0)
+                    .unwrap_or(f64::NAN),
+                r.slow_evictions,
+                r.slow_readmissions,
+                r.latency_us(99.0),
+                r.availability() * 100.0,
+            ));
+        }
+    }
+
+    out.push_str("\n  Node 2's ToR port at 5% of line rate mid-window:\n");
+    let arms = [
+        ("differential", HealthConfig::default()),
+        ("blind       ", HealthConfig::blind()),
+    ];
+    for (name, health) in arms {
+        let r = run_link_degrade(5, health, quick);
+        out.push_str(&format!(
+            "    {name}  detect {:>6.0} us  evicted {:>2} readmitted {:>2}  p99 {:>8.0} us\n",
+            r.slow_detection_ns
+                .map(|d| d as f64 / 1000.0)
+                .unwrap_or(f64::NAN),
+            r.slow_evictions,
+            r.slow_readmissions,
+            r.latency_us(99.0),
+        ));
+    }
+
+    out.push_str("\n  Node 1 crashes, restarts empty, and rejoins via anti-entropy:\n");
+    out.push_str(&run_rejoin(quick).render("    jsq"));
+    out
 }
 
 /// Renders the `cluster-failover` sweep.

@@ -15,7 +15,14 @@ fn list_enumerates_every_experiment_one_per_line() {
     let names: Vec<&str> = text.lines().collect();
     // Spot-check the anchors: first, the paper tables, and the extensions.
     assert_eq!(names.first(), Some(&"table3"), "{text}");
-    for must in ["fig8", "cluster", "cluster-failover", "anatomy", "store"] {
+    for must in [
+        "fig8",
+        "cluster",
+        "cluster-failover",
+        "cluster-gray",
+        "anatomy",
+        "store",
+    ] {
         assert!(names.contains(&must), "--list must include {must}: {text}");
     }
     // One bare name per line — no prose, no duplicates.

@@ -48,7 +48,7 @@ use dcs_sim::{Bandwidth, Component, Ctx, Histogram, Msg, Rng, SimTime};
 use dcs_workloads::gen::SizeDistribution;
 use dcs_workloads::scenario::NodeRef;
 
-use crate::health::{HealthConfig, HealthMonitor, NodeState, Transition};
+use crate::health::{HealthConfig, HealthMonitor, NodeState, SlowTransition, Transition};
 use crate::policy::{LbPolicy, NodeLoad};
 use crate::report::{ClusterReport, NodePerf, PhasePerf};
 use crate::shard::HashRing;
@@ -73,6 +73,7 @@ pub struct Degrade {
     /// When to degrade it (absolute simulation time, ns).
     pub at_ns: u64,
     /// Remaining fraction of port speed (e.g. 0.1).
+    // dcs-lint: allow(float-in-sim-state) — an input knob set before the run and never mutated
     pub factor: f64,
 }
 
@@ -84,11 +85,17 @@ pub struct Degrade {
 pub enum NodeFault {
     /// At `at_ns` (after traffic start) the node stops dead: requests in
     /// flight there are lost, nothing is accepted or completed afterwards.
+    /// With `restart_at_ns` set the node comes back *empty* at that time
+    /// and runs the rejoin lifecycle: `Joining` (unroutable, acks probes)
+    /// → anti-entropy shard repair from surviving replicas → routable.
     Crash {
         /// Node to crash.
         node: usize,
         /// When to crash it, ns after traffic start.
         at_ns: u64,
+        /// When (ns after traffic start, must be after `at_ns`) the node
+        /// restarts and begins rejoining; `None` = it stays down.
+        restart_at_ns: Option<u64>,
     },
     /// At `at_ns` the node freezes for `for_ns`: it keeps accepting bytes
     /// but completes nothing — and acks no probes — until the hang ends,
@@ -101,20 +108,67 @@ pub enum NodeFault {
         /// Hang duration, ns.
         for_ns: u64,
     },
+    /// A *gray* failure: from `at_ns` for `for_ns` the node serves every
+    /// request `factor`× slower (a dying SSD, thermal throttling, a
+    /// runaway background job) while still acking every probe on time —
+    /// the timeout detector is provably blind to it; only the
+    /// differential (median-relative EWMA) detector sees it.
+    FailSlow {
+        /// Node to slow.
+        node: usize,
+        /// When the slowdown starts, ns after traffic start.
+        at_ns: u64,
+        /// Slowdown duration, ns.
+        for_ns: u64,
+        /// Service-latency multiplier (e.g. 10 = everything takes 10×).
+        factor: u64,
+    },
+    /// A degraded ToR port: from `at_ns` for `for_ns` the node's switch
+    /// port runs at `speed_pct`% of line rate (a flapping transceiver).
+    /// Mild enough that probe acks still make their deadlines — another
+    /// gray failure only the differential detector catches.
+    LinkDegrade {
+        /// Node whose port degrades.
+        node: usize,
+        /// When the degradation starts, ns after traffic start.
+        at_ns: u64,
+        /// Degradation duration, ns.
+        for_ns: u64,
+        /// Remaining port speed, percent of line rate (1..=100).
+        speed_pct: u64,
+    },
 }
 
 impl NodeFault {
     /// The faulted node.
     pub fn node(&self) -> usize {
         match *self {
-            NodeFault::Crash { node, .. } | NodeFault::Hang { node, .. } => node,
+            NodeFault::Crash { node, .. }
+            | NodeFault::Hang { node, .. }
+            | NodeFault::FailSlow { node, .. }
+            | NodeFault::LinkDegrade { node, .. } => node,
         }
     }
 
     /// When the fault fires, ns after traffic start.
     pub fn at_ns(&self) -> u64 {
         match *self {
-            NodeFault::Crash { at_ns, .. } | NodeFault::Hang { at_ns, .. } => at_ns,
+            NodeFault::Crash { at_ns, .. }
+            | NodeFault::Hang { at_ns, .. }
+            | NodeFault::FailSlow { at_ns, .. }
+            | NodeFault::LinkDegrade { at_ns, .. } => at_ns,
+        }
+    }
+
+    /// When the fault clears (ns after traffic start), for faults with a
+    /// bounded window. `None` for a crash (a restart is a new lifecycle
+    /// phase, not the fault clearing on its own).
+    pub fn end_ns(&self) -> Option<u64> {
+        match *self {
+            NodeFault::Crash { .. } => None,
+            NodeFault::Hang { at_ns, for_ns, .. }
+            | NodeFault::FailSlow { at_ns, for_ns, .. }
+            | NodeFault::LinkDegrade { at_ns, for_ns, .. } => Some(at_ns + for_ns),
         }
     }
 }
@@ -267,6 +321,28 @@ struct NodeFaultAt {
 struct HangOver {
     node: usize,
 }
+/// A [`NodeFault::FailSlow`] window elapsed: service latency normalizes.
+#[derive(Debug)]
+struct FailSlowOver {
+    node: usize,
+}
+/// A [`NodeFault::LinkDegrade`] window elapsed: the port recovers line
+/// rate.
+#[derive(Debug)]
+struct LinkRestore {
+    node: usize,
+}
+/// A crashed node's configured restart time: begin the rejoin lifecycle.
+#[derive(Debug)]
+struct RestartAt {
+    node: usize,
+}
+/// Pacing tick of the rejoin anti-entropy stream: ship the next chunk.
+#[derive(Debug)]
+struct RejoinChunk;
+/// The last rejoin chunk was delivered: the node becomes routable.
+#[derive(Debug)]
+struct RejoinDone;
 /// The hedge delay for `req` elapsed: issue the second GET if the first
 /// has not resolved.
 #[derive(Debug)]
@@ -300,6 +376,15 @@ struct InFlight {
     is_get: bool,
     arrival: SimTime,
     object: u64,
+    /// When this leg left the front end for its node. Per-leg latency is
+    /// measured from here, not from `arrival`: a hedge leg fired after a
+    /// long hedge delay must not charge that wait to the healthy node
+    /// serving it, or every node's EWMA rises with the victim's and the
+    /// differential detector loses its outlier.
+    dispatched_at: SimTime,
+    /// When the node actually started serving (jobs submitted); the
+    /// fail-slow hold scales the span between this and job completion.
+    served_at: SimTime,
     pending_jobs: usize,
     failed: bool,
     /// This leg is the hedged second copy.
@@ -310,6 +395,18 @@ struct InFlight {
     /// The other leg already resolved the request: on completion just
     /// release resources, tally nothing.
     orphaned: bool,
+}
+
+/// Why a node is coming back: the distinction only matters for the
+/// counters (`cluster.node_revived` vs `cluster.node_rejoined`); the
+/// resume mechanics are one shared path (`ClusterDriver::resume_node`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ResumeKind {
+    /// A hang elapsed: the node resumes where it froze.
+    Revived,
+    /// A crash-restart finished its rejoin lifecycle (anti-entropy repair
+    /// complete): the node is routable again.
+    Rejoined,
 }
 
 /// One resolved request, kept (only when node faults are configured) for
@@ -329,6 +426,7 @@ pub struct ClusterDriver {
     switch: TorSwitch,
     ring: HashRing,
     rng: Rng,
+    // dcs-lint: allow(float-in-sim-state) — derived once from the offered load at build; read-only thereafter
     mean_interarrival_ns: f64,
     // Admission state, indexed by node.
     outstanding: Vec<usize>,
@@ -364,7 +462,16 @@ pub struct ClusterDriver {
     fault_at_abs: u64,
     fault_node: usize,
     detected_at: Option<SimTime>,
-    hang_end_abs: Option<u64>,
+    /// When the first fault's window clears (hang / fail-slow / link
+    /// degrade), for the phase split.
+    fault_end_abs: Option<u64>,
+    /// Active fail-slow multiplier per node.
+    fail_slow: Vec<Option<u64>>,
+    /// When the first fault's node was marked Slow by the differential
+    /// detector (gray-failure detection latency).
+    slow_detected_at: Option<SimTime>,
+    slow_evictions: u64,
+    slow_readmissions: u64,
     // Re-replication state.
     repair_started: Vec<bool>,
     repair_queue: VecDeque<(usize, usize, u64)>,
@@ -373,6 +480,17 @@ pub struct ClusterDriver {
     repair_start_at: Option<SimTime>,
     repair_done_at: Option<SimTime>,
     repair_active: bool,
+    // Rejoin anti-entropy state (the reverse stream: survivors → the
+    // restarted node).
+    rejoin_queue: VecDeque<(usize, usize, u64)>,
+    rejoin_bytes_sent: u64,
+    rejoin_last_delivery: SimTime,
+    rejoin_start_at: Option<SimTime>,
+    rejoin_done_at: Option<SimTime>,
+    rejoin_active: bool,
+    /// The node currently rejoining (at most one crash-restart per run is
+    /// scheduled by the sweeps, but the queue tags (src, dst) anyway).
+    rejoin_node: Option<usize>,
     /// Report built at window close while repair was still streaming.
     report_pending: Option<ClusterReport>,
     // Measurement.
@@ -444,7 +562,11 @@ impl ClusterDriver {
             fault_at_abs: u64::MAX,
             fault_node: usize::MAX,
             detected_at: None,
-            hang_end_abs: None,
+            fault_end_abs: None,
+            fail_slow: vec![None; n],
+            slow_detected_at: None,
+            slow_evictions: 0,
+            slow_readmissions: 0,
             repair_started: vec![false; n],
             repair_queue: VecDeque::new(),
             repair_bytes_sent: 0,
@@ -452,6 +574,13 @@ impl ClusterDriver {
             repair_start_at: None,
             repair_done_at: None,
             repair_active: false,
+            rejoin_queue: VecDeque::new(),
+            rejoin_bytes_sent: 0,
+            rejoin_last_delivery: SimTime::ZERO,
+            rejoin_start_at: None,
+            rejoin_done_at: None,
+            rejoin_active: false,
+            rejoin_node: None,
             report_pending: None,
             measuring: false,
             window_closed: false,
@@ -492,9 +621,18 @@ impl ClusterDriver {
         self.outstanding
             .iter()
             .zip(&self.queues)
-            .map(|(&o, q)| NodeLoad {
+            .enumerate()
+            .map(|(n, (&o, q))| NodeLoad {
                 outstanding: o,
                 queued: q.len(),
+                // A Slow node stays routable but queue-aware policies see
+                // it carrying phantom load, steering new work to faster
+                // replicas first.
+                penalty: if self.cfg.health.enabled && self.health.state(n) == NodeState::Slow {
+                    self.cfg.health.slow_load_penalty
+                } else {
+                    0
+                },
             })
             .collect()
     }
@@ -580,9 +718,16 @@ impl ClusterDriver {
                 .choose(&candidates, &loads, &mut self.rr_cursor)
         } else {
             // PUTs pin to the primary; with the primary unroutable they
-            // fall back to the next surviving replica in ring order.
+            // fall back to the next surviving replica in ring order. A
+            // Slow primary keeps its in-flight work but takes no *new*
+            // PUT leadership while a faster replica survives.
             let replicas = self.ring.replicas(pend.object);
-            let Some(&node) = replicas.iter().find(|&&n| !mask[n]) else {
+            let not_slow = |n: usize| self.health.state(n) != NodeState::Slow;
+            let Some(&node) = replicas
+                .iter()
+                .find(|&&n| !mask[n] && not_slow(n))
+                .or_else(|| replicas.iter().find(|&&n| !mask[n]))
+            else {
                 ctx.world().stats.counter("cluster.unroutable").add(1);
                 self.note_denied(false, None, pend.arrival, false);
                 return;
@@ -632,6 +777,8 @@ impl ClusterDriver {
                 is_get: pend.is_get,
                 arrival: pend.arrival,
                 object: pend.object,
+                dispatched_at: ctx.now(),
+                served_at: pend.arrival,
                 pending_jobs: 0,
                 failed: false,
                 is_hedge: hedge_of.is_some(),
@@ -662,14 +809,14 @@ impl ClusterDriver {
     }
 
     /// How long to wait before hedging a GET on `node`: the minimum
-    /// against a Suspect or Degraded node, else the measured p99
+    /// against a Suspect, Degraded, or Slow node, else the measured p99
     /// (clamped) once the histogram has signal, else the configured
     /// default.
     fn hedge_delay(&self, node: usize) -> u64 {
         let h = &self.cfg.health;
         if matches!(
             self.health.state(node),
-            NodeState::Suspect | NodeState::Degraded
+            NodeState::Suspect | NodeState::Degraded | NodeState::Slow
         ) {
             return h.hedge_min_ns;
         }
@@ -849,6 +996,7 @@ impl ClusterDriver {
         );
         let r = self.inflight.get_mut(&req).expect("still in flight");
         r.pending_jobs = jobs.len();
+        r.served_at = ctx.now();
         {
             let now = ctx.now();
             ctx.world()
@@ -892,11 +1040,14 @@ impl ClusterDriver {
         self.ship_response(ctx, req);
     }
 
-    /// All jobs done: ship the response back up through the switch.
+    /// All jobs done: ship the response back up through the switch. On a
+    /// fail-slow node the response is *held* first: the node's whole
+    /// service span is stretched by the configured factor (while its
+    /// probe acks, which never touch the data path, stay on time).
     fn ship_response(&mut self, ctx: &mut Ctx<'_>, req: u64) {
-        let (node, len, is_get) = {
+        let (node, len, is_get, served_at) = {
             let r = &self.inflight[&req];
-            (r.node, r.len, r.is_get)
+            (r.node, r.len, r.is_get, r.served_at)
         };
         let resp_bytes = if is_get {
             len + GET_RESP_OVERHEAD
@@ -904,6 +1055,13 @@ impl ClusterDriver {
             PUT_ACK_BYTES
         };
         let arrive = self.switch.to_frontend(ctx.now(), node, resp_bytes);
+        let arrive = match self.fail_slow[node] {
+            // factor × span: the span already elapsed once, so the hold
+            // adds the remaining (factor - 1) multiples. Pure integer
+            // arithmetic keeps the schedule bit-identical across runs.
+            Some(factor) => arrive + ctx.now().saturating_since(served_at) * (factor - 1),
+            None => arrive,
+        };
         {
             let now = ctx.now();
             let obs = &mut ctx.world().obs;
@@ -936,6 +1094,16 @@ impl ClusterDriver {
             if let Some(pend) = self.queues[r.node].pop_front() {
                 self.dispatch(ctx, r.node, pend, None);
             }
+        }
+        // Every completed leg — orphaned hedges included — is a genuine
+        // observation of its node's service speed; a fail-slow node's
+        // legs mostly lose their hedges, so skipping orphans would starve
+        // exactly the EWMA that needs the signal. Measured per leg (from
+        // dispatch, not request arrival) so a slow node's waits are
+        // charged only to it — see `InFlight::dispatched_at`.
+        if self.cfg.health.enabled && !r.failed {
+            self.health
+                .record_latency(r.node, ctx.now().saturating_since(r.dispatched_at));
         }
         if r.orphaned {
             // The other leg already resolved the request.
@@ -1026,6 +1194,23 @@ impl ClusterDriver {
         }
         self.last_contained = contained;
         self.node_serve_marks.iter_mut().for_each(|m| *m = false);
+        // Differential gray-failure detection: one median-relative EWMA
+        // evaluation per tick, with hysteresis inside the monitor.
+        for t in self.health.evaluate_slow() {
+            match t {
+                SlowTransition::Slowed(node) => {
+                    ctx.world().stats.counter("cluster.node_slow").add(1);
+                    self.slow_evictions += 1;
+                    if self.slow_detected_at.is_none() && node == self.fault_node {
+                        self.slow_detected_at = Some(ctx.now());
+                    }
+                }
+                SlowTransition::Readmitted(_) => {
+                    ctx.world().stats.counter("cluster.node_readmitted").add(1);
+                    self.slow_readmissions += 1;
+                }
+            }
+        }
         for node in 0..self.nodes.len() {
             self.probe_seq += 1;
             let seq = self.probe_seq;
@@ -1059,9 +1244,11 @@ impl ClusterDriver {
         if seq > self.last_ack[node] {
             self.last_ack[node] = seq;
         }
-        if self.health.on_probe_ack(node, ctx.now()) == Some(Transition::Revived) {
-            ctx.world().stats.counter("cluster.node_revived").add(1);
-        }
+        // The Revived transition flips the routing state by itself; the
+        // resume counters live in `resume_node`, the single code path
+        // through which every node comes back (hang wake-up or crash
+        // rejoin).
+        let _: Option<Transition> = self.health.on_probe_ack(node, ctx.now());
     }
 
     fn on_probe_deadline(&mut self, ctx: &mut Ctx<'_>, node: usize, seq: u64) {
@@ -1149,13 +1336,35 @@ impl ClusterDriver {
                 ctx.send_self_in(for_ns, HangOver { node });
                 ctx.world().stats.counter("cluster.node_hang").add(1);
             }
+            NodeFault::FailSlow {
+                node,
+                for_ns,
+                factor,
+                ..
+            } => {
+                self.fail_slow[node] = Some(factor);
+                ctx.send_self_in(for_ns, FailSlowOver { node });
+                ctx.world().stats.counter("cluster.node_fail_slow").add(1);
+            }
+            NodeFault::LinkDegrade {
+                node,
+                for_ns,
+                speed_pct,
+                ..
+            } => {
+                self.switch
+                    .set_node_speed_factor(node, speed_pct as f64 / 100.0);
+                ctx.send_self_in(for_ns, LinkRestore { node });
+                ctx.world().stats.counter("cluster.link_degraded").add(1);
+            }
         }
     }
 
-    /// The hang elapsed: everything the node swallowed resumes — parked
-    /// requests run, finished responses ship, swallowed probes ack (which
-    /// revives a node already declared Dead).
-    fn on_hang_over(&mut self, ctx: &mut Ctx<'_>, node: usize) {
+    /// The single path through which an unavailable node comes back:
+    /// everything it swallowed resumes — parked requests run, finished
+    /// responses ship, swallowed probes ack (which revives a node already
+    /// declared Dead) — and the matching lifecycle counter fires.
+    fn resume_node(&mut self, ctx: &mut Ctx<'_>, node: usize, kind: ResumeKind) {
         self.hung_until[node] = None;
         let held = std::mem::take(&mut self.held_jobs[node]);
         for req in held {
@@ -1176,6 +1385,11 @@ impl ClusterDriver {
         for seq in probes {
             ctx.send_self_in(oneway, ProbeAck { node, seq });
         }
+        let counter = match kind {
+            ResumeKind::Revived => "cluster.node_revived",
+            ResumeKind::Rejoined => "cluster.node_rejoined",
+        };
+        ctx.world().stats.counter(counter).add(1);
     }
 
     // ------------------------------------------------------------------
@@ -1269,16 +1483,125 @@ impl ClusterDriver {
             (Some(s), Some(d)) => Some(d - s),
             _ => None,
         };
+        report.rejoin_bytes = self.rejoin_bytes_sent;
+        report.rejoin_ns = match (self.rejoin_start_at, self.rejoin_done_at) {
+            (Some(s), Some(d)) => Some(d - s),
+            _ => None,
+        };
     }
 
     fn maybe_emit_report(&mut self, ctx: &mut Ctx<'_>) {
-        if self.repair_active {
+        if self.repair_active || self.rejoin_active {
             return;
         }
         if let Some(mut report) = self.report_pending.take() {
             self.stamp_repair(&mut report);
             ctx.world().insert(ClusterOutcome(report));
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Rejoin: a restarted node's anti-entropy repair, the re-replication
+    // path run in reverse (survivors stream the node's shards back).
+    // ------------------------------------------------------------------
+
+    /// The crashed node's configured restart time arrived: it comes back
+    /// *empty*. With the health layer on it enters `Joining` (alive to
+    /// probes, unroutable) and anti-entropy repair begins; with the layer
+    /// off — the ablation — it simply starts serving again, lifecycle
+    /// unmanaged.
+    fn on_restart(&mut self, ctx: &mut Ctx<'_>, node: usize) {
+        assert!(self.crashed[node], "restart of a node that never crashed");
+        self.crashed[node] = false;
+        // A later crash of the same node must be able to re-replicate
+        // again from scratch.
+        self.repair_started[node] = false;
+        ctx.world().stats.counter("cluster.node_restart").add(1);
+        if !self.cfg.health.enabled {
+            return;
+        }
+        self.health.begin_join(node);
+        self.start_rejoin(ctx, node);
+    }
+
+    /// Plans the rejoin stream: for every object replicated on `node`, a
+    /// surviving replica streams the shard back. Transfers aggregate per
+    /// source and drain as a bandwidth-capped chunk stream, exactly like
+    /// re-replication but pointed at the rejoining node.
+    fn start_rejoin(&mut self, ctx: &mut Ctx<'_>, node: usize) {
+        let object_bytes = self.cfg.sizes.mean_estimate().ceil() as u64;
+        let mut transfers: BTreeMap<usize, u64> = BTreeMap::new();
+        for object in 0..self.cfg.objects {
+            let replicas = self.ring.replicas(object);
+            if !replicas.contains(&node) {
+                continue;
+            }
+            let alive =
+                |n: usize| self.health.state(n) != NodeState::Dead && !self.crashed[n] && n != node;
+            let Some(&src) = replicas.iter().find(|&&n| alive(n)) else {
+                continue; // no surviving replica holds this shard
+            };
+            *transfers.entry(src).or_insert(0) += object_bytes;
+        }
+        self.rejoin_node = Some(node);
+        self.rejoin_start_at = Some(ctx.now());
+        if transfers.is_empty() {
+            // Nothing to copy (degenerate ring): the node joins at once.
+            self.finish_rejoin(ctx);
+            return;
+        }
+        let was_active = self.rejoin_active;
+        for (src, bytes) in transfers {
+            self.rejoin_queue.push_back((src, node, bytes));
+        }
+        self.rejoin_active = true;
+        if !was_active {
+            ctx.send_now(ctx.self_id(), RejoinChunk);
+        }
+    }
+
+    fn on_rejoin_chunk(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(&(src, dst, remaining)) = self.rejoin_queue.front() else {
+            return;
+        };
+        let chunk = remaining.min(self.cfg.health.repair_chunk_bytes as u64);
+        let delivered = self
+            .switch
+            .node_to_node(ctx.now(), src, dst, chunk as usize);
+        self.rejoin_last_delivery = self.rejoin_last_delivery.max(delivered);
+        self.rejoin_bytes_sent += chunk;
+        if remaining > chunk {
+            self.rejoin_queue.front_mut().expect("front still queued").2 = remaining - chunk;
+        } else {
+            self.rejoin_queue.pop_front();
+        }
+        if self.rejoin_queue.is_empty() {
+            ctx.send_at(self.rejoin_last_delivery, ctx.self_id(), RejoinDone);
+        } else {
+            let pace = Bandwidth::gbps(self.cfg.health.rejoin_gbps)
+                .transfer_time(chunk as usize)
+                .max(1);
+            ctx.send_self_in(pace, RejoinChunk);
+        }
+    }
+
+    fn on_rejoin_done(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.rejoin_queue.is_empty() {
+            self.on_rejoin_chunk(ctx);
+            return;
+        }
+        self.finish_rejoin(ctx);
+    }
+
+    /// Anti-entropy complete: the node leaves `Joining` through the
+    /// unified resume path and becomes routable again.
+    fn finish_rejoin(&mut self, ctx: &mut Ctx<'_>) {
+        let node = self.rejoin_node.take().expect("a rejoin was running");
+        self.rejoin_active = false;
+        self.rejoin_done_at = Some(ctx.now());
+        self.health.complete_join(node);
+        self.resume_node(ctx, node, ResumeKind::Rejoined);
+        self.maybe_emit_report(ctx);
     }
 
     // ------------------------------------------------------------------
@@ -1291,13 +1614,15 @@ impl ClusterDriver {
     }
 
     /// Availability split into before / during / after the failure, with
-    /// "during" ending at detection (crash) or at the hang's end.
+    /// "during" ending at detection (crash, fail-slow) or at the fault's
+    /// scheduled end (hang, link degrade, undetected slow window).
     fn phases(&self, end_ns: u64) -> [PhasePerf; 3] {
         let fault_at = self.fault_at_abs;
         let recovery = self
             .detected_at
             .map(|t| t.as_nanos())
-            .or(self.hang_end_abs)
+            .or(self.slow_detected_at.map(|t| t.as_nanos()))
+            .or(self.fault_end_abs)
             .unwrap_or(end_ns)
             .max(fault_at);
         let mut phases = [PhasePerf::default(); 3];
@@ -1400,6 +1725,11 @@ impl ClusterDriver {
             detection_ns: self
                 .detected_at
                 .map(|t| t.as_nanos().saturating_sub(self.fault_at_abs)),
+            slow_detection_ns: self
+                .slow_detected_at
+                .map(|t| t.as_nanos().saturating_sub(self.fault_at_abs)),
+            slow_evictions: self.slow_evictions,
+            slow_readmissions: self.slow_readmissions,
             latency: self.latency.clone(),
             per_node: self.per_node.clone(),
             ..ClusterReport::default()
@@ -1407,9 +1737,9 @@ impl ClusterDriver {
         if !self.cfg.node_faults.is_empty() {
             report.phases = Some(self.phases(ctx.now().as_nanos()));
         }
-        if self.repair_active {
-            // Repair outlives the window: emit once the stream drains so
-            // the report can carry the true time-to-repair.
+        if self.repair_active || self.rejoin_active {
+            // Repair or rejoin outlives the window: emit once the stream
+            // drains so the report can carry the true time-to-repair.
             self.report_pending = Some(report);
         } else {
             self.stamp_repair(&mut report);
@@ -1432,6 +1762,26 @@ impl Component for ClusterDriver {
                 }
                 for (idx, f) in self.cfg.node_faults.iter().enumerate() {
                     assert!(f.node() < self.nodes.len(), "faulted node out of range");
+                    match *f {
+                        NodeFault::Crash {
+                            node,
+                            at_ns,
+                            restart_at_ns: Some(restart),
+                        } => {
+                            assert!(restart > at_ns, "restart must follow the crash");
+                            ctx.send_self_in(restart, RestartAt { node });
+                        }
+                        NodeFault::FailSlow { factor, .. } => {
+                            assert!(factor >= 1, "fail-slow factor must be >= 1");
+                        }
+                        NodeFault::LinkDegrade { speed_pct, .. } => {
+                            assert!(
+                                (1..=100).contains(&speed_pct),
+                                "link speed_pct must be in 1..=100"
+                            );
+                        }
+                        _ => {}
+                    }
                     ctx.send_self_in(f.at_ns(), NodeFaultAt { idx });
                 }
                 if let Some(first) = self
@@ -1443,9 +1793,7 @@ impl Component for ClusterDriver {
                 {
                     self.fault_at_abs = ctx.now().as_nanos() + first.at_ns();
                     self.fault_node = first.node();
-                    if let NodeFault::Hang { at_ns, for_ns, .. } = first {
-                        self.hang_end_abs = Some(ctx.now().as_nanos() + at_ns + for_ns);
-                    }
+                    self.fault_end_abs = first.end_ns().map(|e| ctx.now().as_nanos() + e);
                 }
                 if self.cfg.health.enabled {
                     ctx.send_self_in(self.cfg.health.probe_period_ns, ProbeTick);
@@ -1546,7 +1894,42 @@ impl Component for ClusterDriver {
         };
         let msg = match msg.downcast::<HangOver>() {
             Ok(HangOver { node }) => {
-                self.on_hang_over(ctx, node);
+                self.resume_node(ctx, node, ResumeKind::Revived);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<FailSlowOver>() {
+            Ok(FailSlowOver { node }) => {
+                self.fail_slow[node] = None;
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<LinkRestore>() {
+            Ok(LinkRestore { node }) => {
+                self.switch.set_node_speed_factor(node, 1.0);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<RestartAt>() {
+            Ok(RestartAt { node }) => {
+                self.on_restart(ctx, node);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<RejoinChunk>() {
+            Ok(RejoinChunk) => {
+                self.on_rejoin_chunk(ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<RejoinDone>() {
+            Ok(RejoinDone) => {
+                self.on_rejoin_done(ctx);
                 return;
             }
             Err(m) => m,

@@ -17,8 +17,23 @@
 //!
 //! Both signals are consumed by the routing mask:
 //! [`HealthMonitor::unroutable_mask`] marks a node unroutable while it is
-//! `Dead` or its breaker is open, which is what
+//! `Dead`, `Joining`, or its breaker is open, which is what
 //! [`HashRing::replicas_excluding`] consumes.
+//!
+//! **Differential slow-node detection.** Timeout-based probing is blind
+//! to *gray* failures: a node that acks every probe while serving data
+//! 10× slower never misses a deadline. The monitor therefore keeps a
+//! per-node fixed-point EWMA of observed data-path service latency
+//! (pure `u64` shift arithmetic — bit-identical across runs, which the
+//! `float-in-sim-state` lint rule enforces) and, on every probe tick,
+//! compares each node's EWMA against the cluster median. A node whose
+//! EWMA exceeds `median × slow_threshold_pct / 100` for `slow_after`
+//! consecutive evaluations is marked [`NodeState::Slow`]: still
+//! routable, but deprioritized (load penalty under JSQ/LO, hedges at
+//! the minimum delay, no new PUT leadership). `readmit_after`
+//! consecutive below-threshold evaluations readmit it — deterministic
+//! hysteresis in both directions. `differential: false` ablates the
+//! detector so the blind baseline stays measurable.
 //!
 //! Everything here is plain deterministic state driven by simulator
 //! events; the module owns no RNG, so detection times are reproducible
@@ -45,6 +60,17 @@ pub enum NodeState {
     /// hedges at the minimum delay until two consecutive clean probe acks
     /// clear it.
     Degraded,
+    /// Gray failure: the node acks every probe on time but its data-path
+    /// latency EWMA sits above the cluster median by the configured
+    /// ratio. Still routable, but deprioritized — JSQ/LO see a load
+    /// penalty, hedges fire at the minimum delay, and PUTs skip it as
+    /// primary when a faster replica survives. Readmitted to Healthy
+    /// after `readmit_after` consecutive below-threshold evaluations.
+    Slow,
+    /// A restarted node running its rejoin lifecycle: it acks probes
+    /// (alive) but is not yet routable — anti-entropy shard repair and
+    /// cache warm-up must complete first.
+    Joining,
     /// Missed `dead_after` consecutive probe deadlines: unroutable,
     /// in-flight requests are failed over, re-replication starts.
     Dead,
@@ -116,6 +142,27 @@ pub struct HealthConfig {
     /// Degraded instead of Suspect: the node is alive and correct, just
     /// riding a fault storm.
     pub contained_burst: u64,
+    /// Differential (median-relative) slow-node detection. `false` is
+    /// the gray-failure ablation arm: probes alone, provably blind to a
+    /// fail-slow node that keeps acking them.
+    pub differential: bool,
+    /// A node is slow when its latency EWMA exceeds
+    /// `cluster median × slow_threshold_pct / 100`.
+    pub slow_threshold_pct: u64,
+    /// Consecutive above-threshold evaluations (one per probe tick)
+    /// before `Healthy → Slow`.
+    pub slow_after: u32,
+    /// Consecutive below-threshold evaluations before `Slow → Healthy`.
+    pub readmit_after: u32,
+    /// Fixed-point EWMA smoothing: `ewma += (sample - ewma) >> shift`.
+    pub ewma_shift: u32,
+    /// Outstanding-request penalty JSQ/LO charge a Slow node, steering
+    /// new work toward faster replicas without unrouting it.
+    pub slow_load_penalty: usize,
+    /// Pacing rate of the rejoin anti-entropy stream, Gbps (the reverse
+    /// of re-replication: survivors stream the rejoining node's shards
+    /// back to it).
+    pub rejoin_gbps: f64,
 }
 
 impl Default for HealthConfig {
@@ -138,6 +185,13 @@ impl Default for HealthConfig {
             repair_chunk_bytes: 256 * 1024,
             exhausted_burst: 3,
             contained_burst: 8,
+            differential: true,
+            slow_threshold_pct: 250,
+            slow_after: 3,
+            readmit_after: 6,
+            ewma_shift: 3,
+            slow_load_penalty: 32,
+            rejoin_gbps: 2.0,
         }
     }
 }
@@ -152,12 +206,33 @@ impl HealthConfig {
         }
     }
 
+    /// Probes on, differential detection off: the gray-failure ablation
+    /// arm. Crashes and hangs are still caught (they miss deadlines);
+    /// fail-slow and degraded-link grays are not.
+    pub fn blind() -> HealthConfig {
+        HealthConfig {
+            differential: false,
+            ..HealthConfig::default()
+        }
+    }
+
     /// Upper bound on crash-to-`Dead` detection latency: the first probe
     /// after the crash is at most one period away, `dead_after - 1` more
     /// periods accumulate the misses, and the last probe's deadline pays
     /// the timeout.
     pub fn detection_bound_ns(&self) -> u64 {
         self.dead_after as u64 * self.probe_period_ns + self.probe_timeout_ns
+    }
+
+    /// Upper bound on fail-slow detection latency: the EWMA needs at most
+    /// `slow_after` evaluations past the point where enough slow samples
+    /// accumulated; evaluations run once per probe period. The constant
+    /// in front budgets EWMA convergence (`2^ewma_shift` samples) on top
+    /// of the hysteresis walk — generous but still tight enough to make
+    /// "bounded, seed-reproducible detection" a real assertion.
+    pub fn slow_detection_bound_ns(&self) -> u64 {
+        let convergence = 1u64 << self.ewma_shift;
+        (convergence + self.slow_after as u64 + 1) * self.probe_period_ns + self.probe_timeout_ns
     }
 }
 
@@ -173,6 +248,18 @@ pub enum Transition {
     Revived,
 }
 
+/// What a differential evaluation changed (one entry per node that
+/// crossed the hysteresis threshold this probe tick).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SlowTransition {
+    /// `Healthy → Slow`: the node's EWMA sat above the median threshold
+    /// for `slow_after` consecutive evaluations.
+    Slowed(usize),
+    /// `Slow → Healthy`: below threshold for `readmit_after` consecutive
+    /// evaluations.
+    Readmitted(usize),
+}
+
 #[derive(Clone, Debug)]
 struct NodeHealth {
     state: NodeState,
@@ -185,6 +272,14 @@ struct NodeHealth {
     trial_inflight: bool,
     /// Consecutive clean probe acks while Degraded (two clear the state).
     clean_acks: u32,
+    /// Fixed-point EWMA of observed data-path service latency, ns
+    /// (0 = no samples yet). Plain `u64` shift arithmetic on purpose:
+    /// accumulated simulation state must be bit-identical across runs.
+    ewma_ns: u64,
+    /// Consecutive above-threshold differential evaluations.
+    slow_marks: u32,
+    /// Consecutive below-threshold evaluations while Slow.
+    fast_marks: u32,
 }
 
 impl NodeHealth {
@@ -197,6 +292,9 @@ impl NodeHealth {
             consecutive_failures: 0,
             trial_inflight: false,
             clean_acks: 0,
+            ewma_ns: 0,
+            slow_marks: 0,
+            fast_marks: 0,
         }
     }
 }
@@ -241,14 +339,22 @@ impl HealthMonitor {
         let n = &mut self.nodes[node];
         n.misses = n.misses.saturating_add(1);
         n.clean_acks = 0;
+        if n.state == NodeState::Joining {
+            // A rejoining node is already unroutable and being repaired;
+            // misses are noted but drive no further transition.
+            return None;
+        }
         if n.misses >= self.cfg.dead_after && n.state != NodeState::Dead {
             n.state = NodeState::Dead;
             return Some(Transition::Died);
         }
         if n.misses >= self.cfg.suspect_after
-            && matches!(n.state, NodeState::Healthy | NodeState::Degraded)
+            && matches!(
+                n.state,
+                NodeState::Healthy | NodeState::Degraded | NodeState::Slow
+            )
         {
-            // Liveness doubt outranks a contained-error downgrade.
+            // Liveness doubt outranks a contained-error or slow downgrade.
             n.state = NodeState::Suspect;
         }
         None
@@ -286,8 +392,123 @@ impl HealthMonitor {
                 }
                 None
             }
+            // An on-time ack says nothing about data-path speed: only the
+            // differential evaluation readmits a Slow node.
+            NodeState::Slow => None,
+            // A rejoining node acks probes by definition; it becomes
+            // routable when its repair completes, not here.
+            NodeState::Joining => None,
             NodeState::Healthy => None,
         }
+    }
+
+    /// Feed one observed data-path service latency for `node` into its
+    /// fixed-point EWMA. Dead and Joining nodes are skipped (their
+    /// "latencies" are failover artifacts, not service observations).
+    pub fn record_latency(&mut self, node: usize, sample_ns: u64) {
+        let shift = self.cfg.ewma_shift;
+        let n = &mut self.nodes[node];
+        if matches!(n.state, NodeState::Dead | NodeState::Joining) {
+            return;
+        }
+        if n.ewma_ns == 0 {
+            n.ewma_ns = sample_ns;
+        } else if sample_ns >= n.ewma_ns {
+            n.ewma_ns += (sample_ns - n.ewma_ns) >> shift;
+        } else {
+            n.ewma_ns -= (n.ewma_ns - sample_ns) >> shift;
+        }
+    }
+
+    /// Current latency EWMA of `node` (0 = no samples yet).
+    pub fn ewma_ns(&self, node: usize) -> u64 {
+        self.nodes[node].ewma_ns
+    }
+
+    /// One differential evaluation (run per probe tick): compare every
+    /// node's EWMA against the cluster median and walk the slow/readmit
+    /// hysteresis. Returns the transitions that fired, in node order.
+    pub fn evaluate_slow(&mut self) -> Vec<SlowTransition> {
+        if !self.cfg.differential {
+            return Vec::new();
+        }
+        // The median is taken over nodes with at least one sample that
+        // are participating in service (not Dead, not Joining).
+        let mut samples: Vec<u64> = self
+            .nodes
+            .iter()
+            .filter(|n| n.ewma_ns > 0 && !matches!(n.state, NodeState::Dead | NodeState::Joining))
+            .map(|n| n.ewma_ns)
+            .collect();
+        if samples.len() < 2 {
+            return Vec::new(); // one opinion is not a differential
+        }
+        samples.sort_unstable();
+        let mid = samples.len() / 2;
+        let median = if samples.len().is_multiple_of(2) {
+            (samples[mid - 1] + samples[mid]) / 2
+        } else {
+            samples[mid]
+        };
+        let threshold = median.saturating_mul(self.cfg.slow_threshold_pct) / 100;
+        let mut out = Vec::new();
+        for (i, n) in self.nodes.iter_mut().enumerate() {
+            if n.ewma_ns == 0 {
+                continue;
+            }
+            match n.state {
+                NodeState::Healthy if n.ewma_ns > threshold => {
+                    n.slow_marks += 1;
+                    n.fast_marks = 0;
+                    if n.slow_marks >= self.cfg.slow_after {
+                        n.state = NodeState::Slow;
+                        n.slow_marks = 0;
+                        out.push(SlowTransition::Slowed(i));
+                    }
+                }
+                NodeState::Healthy => {
+                    n.slow_marks = 0;
+                }
+                NodeState::Slow if n.ewma_ns <= threshold => {
+                    n.fast_marks += 1;
+                    if n.fast_marks >= self.cfg.readmit_after {
+                        n.state = NodeState::Healthy;
+                        n.fast_marks = 0;
+                        n.slow_marks = 0;
+                        out.push(SlowTransition::Readmitted(i));
+                    }
+                }
+                NodeState::Slow => {
+                    n.fast_marks = 0;
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// A crashed node restarted: it comes back *empty* in `Joining` —
+    /// alive to probes but unroutable until anti-entropy repair and cache
+    /// warm-up complete ([`complete_join`](Self::complete_join)). Its
+    /// EWMA and hysteresis restart from scratch.
+    pub fn begin_join(&mut self, node: usize) {
+        let n = &mut self.nodes[node];
+        n.state = NodeState::Joining;
+        n.misses = 0;
+        n.breaker = BreakerState::Closed;
+        n.consecutive_failures = 0;
+        n.trial_inflight = false;
+        n.clean_acks = 0;
+        n.ewma_ns = 0;
+        n.slow_marks = 0;
+        n.fast_marks = 0;
+    }
+
+    /// The rejoin lifecycle finished: the node is routable again.
+    pub fn complete_join(&mut self, node: usize) {
+        let n = &mut self.nodes[node];
+        assert_eq!(n.state, NodeState::Joining, "complete_join without join");
+        n.state = NodeState::Healthy;
     }
 
     /// A request to `node` completed successfully.
@@ -346,14 +567,15 @@ impl HealthMonitor {
         }
     }
 
-    /// May traffic be routed to `node` right now? False while Dead or
-    /// breaker-open; a half-open breaker admits exactly one trial (the
-    /// driver reports the dispatch via [`on_dispatch`](Self::on_dispatch)).
-    /// Promotes Open → HalfOpen lazily once the open window elapses.
+    /// May traffic be routed to `node` right now? False while Dead,
+    /// Joining, or breaker-open; a half-open breaker admits exactly one
+    /// trial (the driver reports the dispatch via
+    /// [`on_dispatch`](Self::on_dispatch)). Promotes Open → HalfOpen
+    /// lazily once the open window elapses.
     pub fn routable(&mut self, node: usize, now: SimTime) -> bool {
         let open_ns = self.cfg.breaker_open_ns;
         let n = &mut self.nodes[node];
-        if n.state == NodeState::Dead {
+        if matches!(n.state, NodeState::Dead | NodeState::Joining) {
             return false;
         }
         match n.breaker {
@@ -403,6 +625,14 @@ impl HealthMonitor {
         self.nodes
             .iter()
             .filter(|n| n.state == NodeState::Degraded)
+            .count()
+    }
+
+    /// Count of nodes currently marked Slow (gray-failure detection).
+    pub fn slow_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.state == NodeState::Slow)
             .count()
     }
 }
@@ -535,6 +765,93 @@ mod tests {
         assert_eq!(m.state(0), NodeState::Degraded, "miss reset the streak");
         m.on_probe_ack(0, t(10));
         assert_eq!(m.state(0), NodeState::Healthy);
+    }
+
+    #[test]
+    fn slow_detection_walks_hysteresis_both_ways() {
+        let mut m = HealthMonitor::new(&HealthConfig::default(), 4);
+        // Nodes 0-2 serve at ~1 ms; node 3 at ~10 ms.
+        for _ in 0..16 {
+            for n in 0..3 {
+                m.record_latency(n, 1_000_000);
+            }
+            m.record_latency(3, 10_000_000);
+        }
+        assert!(m.ewma_ns(3) > 5_000_000, "EWMA converges toward samples");
+        // slow_after = 3 evaluations before the transition fires.
+        assert_eq!(m.evaluate_slow(), vec![]);
+        assert_eq!(m.evaluate_slow(), vec![]);
+        assert_eq!(m.evaluate_slow(), vec![SlowTransition::Slowed(3)]);
+        assert_eq!(m.state(3), NodeState::Slow);
+        assert_eq!(m.slow_count(), 1);
+        // Slow stays routable — that is the whole point.
+        assert!(m.routable(3, t(1)));
+        // The fault ends; fast samples drag the EWMA back down.
+        for _ in 0..64 {
+            m.record_latency(3, 1_000_000);
+        }
+        // readmit_after = 6 below-threshold evaluations readmit it.
+        for _ in 0..5 {
+            assert_eq!(m.evaluate_slow(), vec![]);
+        }
+        assert_eq!(m.evaluate_slow(), vec![SlowTransition::Readmitted(3)]);
+        assert_eq!(m.state(3), NodeState::Healthy);
+    }
+
+    #[test]
+    fn blind_config_never_marks_slow() {
+        let mut m = HealthMonitor::new(&HealthConfig::blind(), 2);
+        for _ in 0..32 {
+            m.record_latency(0, 1_000_000);
+            m.record_latency(1, 50_000_000);
+        }
+        for _ in 0..10 {
+            assert_eq!(m.evaluate_slow(), vec![]);
+        }
+        assert_eq!(m.state(1), NodeState::Healthy);
+    }
+
+    #[test]
+    fn probe_misses_outrank_slow() {
+        let mut m = HealthMonitor::new(&HealthConfig::default(), 4);
+        for _ in 0..16 {
+            for n in 0..3 {
+                m.record_latency(n, 1_000_000);
+            }
+            m.record_latency(3, 20_000_000);
+        }
+        for _ in 0..3 {
+            m.evaluate_slow();
+        }
+        assert_eq!(m.state(3), NodeState::Slow);
+        m.on_probe_miss(3, t(1));
+        m.on_probe_miss(3, t(2));
+        assert_eq!(m.state(3), NodeState::Suspect, "liveness doubt wins");
+        for i in 0..2 {
+            m.on_probe_miss(3, t(3 + i));
+        }
+        assert_eq!(m.state(3), NodeState::Dead);
+    }
+
+    #[test]
+    fn joining_is_unroutable_until_completed_and_acks_do_not_promote() {
+        let mut m = monitor();
+        for _ in 0..4 {
+            m.on_probe_miss(0, t(1));
+        }
+        assert_eq!(m.state(0), NodeState::Dead);
+        m.begin_join(0);
+        assert_eq!(m.state(0), NodeState::Joining);
+        assert!(!m.routable(0, t(2)), "joining nodes take no traffic");
+        // Probe acks keep it alive but do not make it routable.
+        assert_eq!(m.on_probe_ack(0, t(3)), None);
+        assert_eq!(m.state(0), NodeState::Joining);
+        // Misses during the join drive no transition either.
+        assert_eq!(m.on_probe_miss(0, t(4)), None);
+        assert_eq!(m.state(0), NodeState::Joining);
+        m.complete_join(0);
+        assert_eq!(m.state(0), NodeState::Healthy);
+        assert!(m.routable(0, t(5)));
     }
 
     #[test]

@@ -53,7 +53,9 @@ pub mod shard;
 pub mod switch;
 
 pub use driver::{ClusterConfig, ClusterDriver, ClusterNode, ClusterOutcome, Degrade, NodeFault};
-pub use health::{BreakerState, HealthConfig, HealthMonitor, NodeState, Transition};
+pub use health::{
+    BreakerState, HealthConfig, HealthMonitor, NodeState, SlowTransition, Transition,
+};
 pub use policy::{LbPolicy, NodeLoad};
 pub use report::{ClusterReport, NodePerf, PhasePerf, TenantPerf};
 pub use shard::HashRing;

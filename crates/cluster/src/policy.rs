@@ -15,6 +15,12 @@ pub struct NodeLoad {
     pub outstanding: usize,
     /// Requests waiting in the node's admission queue at the front end.
     pub queued: usize,
+    /// Extra load charged by the health layer: a node marked `Slow` by
+    /// differential detection carries a fixed handicap so the queue-aware
+    /// policies steer around it while it still receives a trickle of
+    /// traffic (the samples that can readmit it). Round-robin ignores the
+    /// penalty — it is load-oblivious by design.
+    pub penalty: usize,
 }
 
 /// The policies the cluster sweep compares.
@@ -67,11 +73,11 @@ impl LbPolicy {
             }
             LbPolicy::LeastOutstanding => *candidates
                 .iter()
-                .min_by_key(|&&n| loads[n].outstanding)
+                .min_by_key(|&&n| loads[n].outstanding + loads[n].penalty)
                 .expect("non-empty"),
             LbPolicy::JoinShortestQueue => *candidates
                 .iter()
-                .min_by_key(|&&n| loads[n].outstanding + loads[n].queued)
+                .min_by_key(|&&n| loads[n].outstanding + loads[n].queued + loads[n].penalty)
                 .expect("non-empty"),
         }
     }
@@ -94,6 +100,7 @@ mod tests {
             .map(|(&o, &q)| NodeLoad {
                 outstanding: o,
                 queued: q,
+                penalty: 0,
             })
             .collect()
     }
@@ -127,6 +134,25 @@ mod tests {
             LbPolicy::JoinShortestQueue.choose(&[0, 1], &l, &mut cursor),
             1
         );
+    }
+
+    #[test]
+    fn slow_penalty_steers_queue_aware_policies() {
+        let mut l = loads(&[1, 4], &[0, 0]);
+        l[0].penalty = 32;
+        let mut cursor = 0;
+        // Both queue-aware policies avoid the penalized node...
+        assert_eq!(
+            LbPolicy::LeastOutstanding.choose(&[0, 1], &l, &mut cursor),
+            1
+        );
+        assert_eq!(
+            LbPolicy::JoinShortestQueue.choose(&[0, 1], &l, &mut cursor),
+            1
+        );
+        // ...while round-robin stays oblivious.
+        let mut cursor = 0;
+        assert_eq!(LbPolicy::RoundRobin.choose(&[0, 1], &l, &mut cursor), 0);
     }
 
     #[test]

@@ -131,10 +131,24 @@ pub struct ClusterReport {
     /// Crash-to-`Dead` detection latency, when a node fault was injected
     /// and detected.
     pub detection_ns: Option<u64>,
+    /// Fault-to-`Slow` differential-detection latency, when a gray fault
+    /// was injected on a node and the EWMA comparison caught it.
+    pub slow_detection_ns: Option<u64>,
+    /// Healthy → Slow evictions by differential detection.
+    pub slow_evictions: u64,
+    /// Slow → Healthy readmissions after the hysteresis cleared.
+    pub slow_readmissions: u64,
     /// Bytes re-replicated off the dead node.
     pub repair_bytes: u64,
     /// Detection-to-repair-complete latency, when repair ran.
     pub repair_ns: Option<u64>,
+    /// Bytes streamed back to a rejoining node by anti-entropy repair.
+    pub rejoin_bytes: u64,
+    /// Restart-to-routable latency of the rejoin lifecycle, when a node
+    /// rejoined.
+    pub rejoin_ns: Option<u64>,
+    /// Bytes of cache warm-up transfer to a rejoining node (store runs).
+    pub warmup_bytes: u64,
     /// Availability before / during / after the failure window, when a
     /// node fault was injected.
     pub phases: Option<[PhasePerf; 3]>,
@@ -174,8 +188,14 @@ impl Default for ClusterReport {
             put_fallbacks: 0,
             degraded_marks: 0,
             detection_ns: None,
+            slow_detection_ns: None,
+            slow_evictions: 0,
+            slow_readmissions: 0,
             repair_bytes: 0,
             repair_ns: None,
+            rejoin_bytes: 0,
+            rejoin_ns: None,
+            warmup_bytes: 0,
             phases: None,
             cache_hits: 0,
             cache_misses: 0,
@@ -290,6 +310,36 @@ impl ClusterReport {
             out.push_str(&format!(
                 "    failure: detected in {:.0} us, {repair}\n",
                 detect as f64 / 1000.0
+            ));
+        }
+        if self.slow_detection_ns.is_some() || self.slow_evictions + self.slow_readmissions > 0 {
+            let detect = match self.slow_detection_ns {
+                Some(ns) => format!("detected in {:.0} us", ns as f64 / 1000.0),
+                None => "not detected on the faulted node".to_string(),
+            };
+            out.push_str(&format!(
+                "    gray: {detect}, slow-evicted {}, readmitted {}\n",
+                self.slow_evictions, self.slow_readmissions,
+            ));
+        }
+        if self.rejoin_ns.is_some() || self.rejoin_bytes + self.warmup_bytes > 0 {
+            let span = match self.rejoin_ns {
+                Some(ns) => format!("in {:.2} ms", ns as f64 / 1e6),
+                None => "still in flight".to_string(),
+            };
+            // Cluster runs have no node cache; only mention warm-up when
+            // a store run actually transferred one.
+            let warm = if self.warmup_bytes > 0 {
+                format!(
+                    " + {:.1} MiB cache warm-up",
+                    self.warmup_bytes as f64 / (1 << 20) as f64
+                )
+            } else {
+                String::new()
+            };
+            out.push_str(&format!(
+                "    rejoin: {:.1} MiB anti-entropy{warm} {span}\n",
+                self.rejoin_bytes as f64 / (1 << 20) as f64,
             ));
         }
         if let Some(phases) = &self.phases {
@@ -462,6 +512,36 @@ mod tests {
         assert!(text.contains("repaired 4.0 MiB"), "{text}");
         assert!(text.contains("phase during"), "{text}");
         assert!(text.contains("90.00%"), "{text}");
+    }
+
+    #[test]
+    fn gray_and_rejoin_lines_render() {
+        let r = ClusterReport {
+            span_ns: 1_000_000,
+            slow_detection_ns: Some(3_000_000),
+            slow_evictions: 1,
+            slow_readmissions: 1,
+            rejoin_bytes: 8 << 20,
+            rejoin_ns: Some(12_000_000),
+            warmup_bytes: 2 << 20,
+            ..ClusterReport::default()
+        };
+        let text = r.render("gray");
+        assert!(text.contains("gray: detected in 3000 us"), "{text}");
+        assert!(text.contains("slow-evicted 1, readmitted 1"), "{text}");
+        assert!(
+            text.contains("rejoin: 8.0 MiB anti-entropy + 2.0 MiB cache warm-up in 12.00 ms"),
+            "{text}"
+        );
+        // The blind ablation still reports its (absent) detection.
+        let blind = ClusterReport {
+            slow_evictions: 0,
+            slow_readmissions: 0,
+            ..ClusterReport::default()
+        };
+        let text = blind.render("blind");
+        assert!(!text.contains("gray:"), "{text}");
+        assert!(!text.contains("rejoin:"), "{text}");
     }
 
     #[test]

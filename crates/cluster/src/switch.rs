@@ -2,11 +2,22 @@
 //!
 //! A store-and-forward switch connecting the cluster front end (traffic
 //! generator + load balancer) to every node's rack port. Each direction of
-//! each port is a [`FifoServer`]: a frame crossing the switch serializes on
+//! each port is a [`LineServer`]: a frame crossing the switch serializes on
 //! the ingress port at that port's line rate, pays a fixed switching
 //! latency, then queues at the *output* port and serializes again at the
 //! output port's rate — classic output queueing, so a congested direction
 //! backs up exactly one queue while the reverse direction stays clean.
+//!
+//! The output ports must be [`LineServer`]s (earliest idle slot at or
+//! after the frame's *arrival*) rather than [`FifoServer`]s (reserve in
+//! call order): when one node's port is degraded, its frames reach a
+//! shared output port minutes of queueing later, and a call-order
+//! reservation would let those not-yet-arrived frames head-of-line block
+//! every healthy node's traffic through the shared port — an artifact,
+//! not a property of real switches. With no degraded port the two models
+//! produce identical schedules.
+//!
+//! [`FifoServer`]: dcs_sim::FifoServer
 //!
 //! The front-end port is typically provisioned much faster than the node
 //! ports (a 100 GbE uplink over 10 GbE downlinks) so response traffic from
@@ -20,7 +31,7 @@
 //! switch model adds the rack-level hops that wire does not cover: the
 //! switching latency and the shared front-end uplink.
 
-use dcs_sim::{Bandwidth, FifoServer, SimTime};
+use dcs_sim::{Bandwidth, LineServer, SimTime};
 
 /// QoS class of a data-plane transfer through the switch.
 ///
@@ -71,9 +82,9 @@ impl Default for SwitchConfig {
 #[derive(Clone, Debug, Default)]
 struct Port {
     /// Traffic entering the switch through this port.
-    ingress: FifoServer,
+    ingress: LineServer,
     /// Traffic leaving the switch through this port.
-    egress: FifoServer,
+    egress: LineServer,
 }
 
 /// The output-queued top-of-rack switch. Deterministic and side-effect
@@ -86,6 +97,7 @@ pub struct TorSwitch {
     uplink: Port,
     /// Service-rate multiplier per node port (1.0 = healthy; smaller is
     /// slower). Models a degraded port/cable.
+    // dcs-lint: allow(float-in-sim-state) — written only at scheduled fault instants, from config-supplied values
     speed_factor: Vec<f64>,
 }
 
@@ -140,9 +152,9 @@ impl TorSwitch {
     /// node port.
     pub fn to_node(&mut self, now: SimTime, node: usize, bytes: usize) -> SimTime {
         let up = self.uplink_tx_time(bytes);
-        let switched = self.uplink.ingress.offer(now, up) + self.cfg.latency_ns;
+        let switched = self.uplink.ingress.offer(now, now, up) + self.cfg.latency_ns;
         let down = self.node_tx_time(node, bytes);
-        self.nodes[node].egress.offer(switched, down)
+        self.nodes[node].egress.offer(now, switched, down)
     }
 
     /// Offers a `bytes`-long transfer from node `node` toward the front
@@ -150,9 +162,9 @@ impl TorSwitch {
     /// front-end port.
     pub fn to_frontend(&mut self, now: SimTime, node: usize, bytes: usize) -> SimTime {
         let up = self.node_tx_time(node, bytes);
-        let switched = self.nodes[node].ingress.offer(now, up) + self.cfg.latency_ns;
+        let switched = self.nodes[node].ingress.offer(now, now, up) + self.cfg.latency_ns;
         let down = self.uplink_tx_time(bytes);
-        self.uplink.egress.offer(switched, down)
+        self.uplink.egress.offer(now, switched, down)
     }
 
     /// Offers a `bytes`-long transfer from node `from` toward node `to`
@@ -168,9 +180,9 @@ impl TorSwitch {
     pub fn node_to_node(&mut self, now: SimTime, from: usize, to: usize, bytes: usize) -> SimTime {
         assert_ne!(from, to, "east-west transfer needs two distinct ports");
         let up = self.node_tx_time(from, bytes);
-        let switched = self.nodes[from].ingress.offer(now, up) + self.cfg.latency_ns;
+        let switched = self.nodes[from].ingress.offer(now, now, up) + self.cfg.latency_ns;
         let down = self.node_tx_time(to, bytes);
-        self.nodes[to].egress.offer(switched, down)
+        self.nodes[to].egress.offer(now, switched, down)
     }
 
     /// Offers a transfer from the front end toward node `node` on the

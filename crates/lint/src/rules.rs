@@ -75,6 +75,11 @@ pub const RULES: &[RuleInfo] = &[
         summary: "thread::spawn — the simulator is single-threaded by contract; OS scheduling is nondeterministic",
     },
     RuleInfo {
+        id: "float-in-sim-state",
+        family: "determinism",
+        summary: "f32/f64 field in a cluster/store simulation-state struct — evolved state must be fixed-point integers; floats belong in *Config inputs and *Perf/*Report outputs",
+    },
+    RuleInfo {
         id: "unwrap-in-event-path",
         family: "invariant",
         summary: "bare .unwrap() inside handle/on_event/completion paths — use expect(\"invariant\") with a message",
@@ -140,6 +145,7 @@ pub fn check_file(file: &str, src: &str) -> Vec<Finding> {
     rule_wall_clock(&ctx, &mut findings);
     rule_ambient_rng(&ctx, &mut findings);
     rule_thread_spawn(&ctx, &mut findings);
+    rule_float_in_sim_state(&ctx, &mut findings);
     rule_unwrap_in_event_path(&ctx, &mut findings);
     rule_unwrap_in_recovery_path(&ctx, &mut findings);
     rule_wildcard_event_arm(&ctx, &mut findings);
@@ -470,6 +476,89 @@ fn rule_thread_spawn(ctx: &FileCtx, findings: &mut Vec<Finding>) {
                     .to_string(),
             );
         }
+    }
+}
+
+/// Crates whose live simulation state `float-in-sim-state` polices:
+/// the layers whose structs evolve during the event loop and feed the
+/// bit-identical same-seed replay that tests/determinism.rs asserts.
+const SIM_STATE_CRATES: &[&str] = &["crates/cluster/", "crates/store/"];
+
+/// Struct-name suffixes exempt from `float-in-sim-state`: `*Config`/
+/// `*Spec` are inputs frozen before the run starts, `*Perf`/`*Report`
+/// are derived outputs rendered after it ends. Neither evolves inside
+/// the event loop, so float rounding there cannot fork a replay.
+const FLOAT_OK_SUFFIXES: &[&str] = &["Config", "Perf", "Report", "Spec"];
+
+/// The field name owning the type token at `k`: the closest preceding
+/// `name :` pair inside the struct body opened at `open`. A path
+/// segment (`std :: vec`) has a second colon, which rules it out.
+fn field_name_before(tokens: &[Token], open: usize, k: usize) -> Option<&str> {
+    (open + 1..k).rev().find_map(|j| {
+        let name = tokens[j].ident()?;
+        let typed = tokens.get(j + 1).is_some_and(|t| t.is_punct(':'))
+            && !tokens.get(j + 2).is_some_and(|t| t.is_punct(':'));
+        let path_segment = j >= 1 && tokens[j - 1].is_punct(':');
+        (typed && !path_segment).then_some(name)
+    })
+}
+
+fn rule_float_in_sim_state(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    let normalized = ctx.file.replace('\\', "/");
+    if !SIM_STATE_CRATES.iter().any(|p| normalized.contains(p)) {
+        return;
+    }
+    let mut i = 0;
+    while i < ctx.tokens.len() {
+        if !ctx.tokens[i].is_ident("struct") || ctx.in_test(i) {
+            i += 1;
+            continue;
+        }
+        let Some(name) = ctx.tokens.get(i + 1).and_then(|t| t.ident()) else {
+            i += 1;
+            continue;
+        };
+        // Locate the field block. Hitting `;` or `(` first means a unit
+        // or tuple struct — those carry config-like scalars (`Bandwidth`),
+        // not evolving state, and stay out of scope.
+        let Some(open_rel) = ctx.tokens[i + 2..]
+            .iter()
+            .position(|t| t.is_punct('{') || t.is_punct('(') || t.is_punct(';'))
+        else {
+            break;
+        };
+        let open = i + 2 + open_rel;
+        if !ctx.tokens[open].is_punct('{') {
+            i = open + 1;
+            continue;
+        }
+        let close = matching_brace(ctx.tokens, open).unwrap_or(ctx.tokens.len());
+        if FLOAT_OK_SUFFIXES.iter().any(|s| name.ends_with(s)) {
+            i = close + 1;
+            continue;
+        }
+        for k in open + 1..close {
+            let Some(ty) = ctx.tokens[k].ident() else {
+                continue;
+            };
+            if ty != "f32" && ty != "f64" {
+                continue;
+            }
+            let field = field_name_before(ctx.tokens, open, k).unwrap_or("<field>");
+            push(
+                findings,
+                "float-in-sim-state",
+                ctx,
+                ctx.tokens[k].line,
+                format!(
+                    "struct `{name}` holds `{ty}` field `{field}`; live simulation state must \
+                     be fixed-point integers (u64 ns, bytes, shifted EWMAs) so same-seed \
+                     replay stays bit-identical — floats belong in `*Config` inputs and \
+                     `*Perf`/`*Report` outputs"
+                ),
+            );
+        }
+        i = close + 1;
     }
 }
 
@@ -847,6 +936,64 @@ mod tests {
             .map(|f| f.line)
             .collect();
         assert_eq!(lines, vec![3, 4], "{f:?}");
+    }
+
+    #[test]
+    fn float_state_flagged_outside_config_and_report_structs() {
+        let src = r#"
+            pub struct HealthConfig { pub repair_gbps: f64 }
+            pub struct NodePerf { pub cpu_utilization: f64 }
+            pub struct ClusterReport { pub goodput: f64 }
+            pub struct TenantSpec { pub weight: f64 }
+            struct Driver { ewma_ns: u64, mean_gap_ns: f64, weights: Vec<f64> }
+        "#;
+        let f = check_file("crates/cluster/src/driver.rs", src);
+        let hits: Vec<_> = f
+            .iter()
+            .filter(|f| f.rule == "float-in-sim-state")
+            .collect();
+        // Only the two `Driver` float fields; the suffix-exempt structs
+        // pass untouched.
+        assert_eq!(hits.len(), 2, "{f:?}");
+        assert!(
+            hits[0].message.contains("`mean_gap_ns`"),
+            "{}",
+            hits[0].message
+        );
+        assert!(hits[1].message.contains("`weights`"), "{}", hits[1].message);
+    }
+
+    #[test]
+    fn float_state_scoped_to_state_crates_and_skips_tuple_structs() {
+        // Out-of-scope crate: the workload generator's lognormal mu/sigma
+        // are fine where they are.
+        let src = "struct SizeState { mu: f64 }";
+        assert!(!rules_hit("crates/workloads/src/gen.rs", src).contains(&"float-in-sim-state"));
+        assert!(rules_hit("crates/store/src/qos.rs", src).contains(&"float-in-sim-state"));
+        // Tuple structs (config-like scalars) are out of scope, and the
+        // scan resynchronizes on the struct that follows.
+        let src = r#"
+            pub struct Gbps(pub f64);
+            struct Next { vtime: f64 }
+        "#;
+        let f = check_file("crates/cluster/src/switch.rs", src);
+        let lines: Vec<u32> = f
+            .iter()
+            .filter(|f| f.rule == "float-in-sim-state")
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(lines, vec![3], "{f:?}");
+    }
+
+    #[test]
+    fn float_state_ignores_test_structs() {
+        let src = r#"
+            #[cfg(test)]
+            mod tests {
+                struct Fixture { jitter: f64 }
+            }
+        "#;
+        assert!(!rules_hit("crates/cluster/src/health.rs", src).contains(&"float-in-sim-state"));
     }
 
     #[test]

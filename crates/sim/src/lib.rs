@@ -70,7 +70,7 @@ pub use obs::{
     chrome_trace, Anatomy, Json, MetricEntry, MetricValue, MetricsRegistry, MetricsReport,
     Recorder, Span,
 };
-pub use queue::{FifoServer, ServerBank};
+pub use queue::{FifoServer, LineServer, ServerBank};
 pub use rng::Rng;
 pub use stats::{BusyTracker, Counter, Histogram};
 pub use time::{Bandwidth, SimTime};

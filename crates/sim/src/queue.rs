@@ -88,6 +88,100 @@ impl FifoServer {
     }
 }
 
+/// A work-conserving line that admits out-of-order *arrivals*: each
+/// offered frame starts at the earliest instant the line is idle at or
+/// after the frame's arrival, filling idle gaps left by frames that
+/// arrive later.
+///
+/// [`FifoServer`] reserves capacity in **call** order: one frame whose
+/// arrival lies far in the future (because it is still crossing a
+/// degraded upstream port) pushes `busy_until` out and head-of-line
+/// blocks every frame offered after it — even frames that arrive long
+/// before it. A real switch port cannot be occupied by a frame that has
+/// not reached it yet. `LineServer` fixes the artifact while staying
+/// byte-identical to `FifoServer` when arrivals are offered in
+/// nondecreasing order (the healthy-cluster case), so it only changes
+/// schedules where the FIFO model was wrong.
+///
+/// `offer` takes both the caller's current time (`now`, nondecreasing
+/// across calls — simulator event order) and the frame's `arrival` at
+/// this line (`>= now`). Busy intervals wholly before `now` can never
+/// interact with a future arrival and are pruned, which keeps the
+/// interval list short.
+///
+/// ```
+/// use dcs_sim::{LineServer, SimTime};
+/// let mut line = LineServer::new();
+/// let t = SimTime::from_nanos;
+/// // A frame still crossing a slow upstream port arrives at t=1000.
+/// assert_eq!(line.offer(t(0), t(1000), 10), t(1010));
+/// // A frame arriving *now* slips into the idle gap in front of it.
+/// assert_eq!(line.offer(t(0), t(0), 10), t(10));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct LineServer {
+    /// Future busy intervals `[start, end)`, sorted, non-overlapping.
+    busy: Vec<(SimTime, SimTime)>,
+    busy_time: u64,
+    completed: u64,
+}
+
+impl LineServer {
+    /// An idle line.
+    pub fn new() -> Self {
+        LineServer::default()
+    }
+
+    /// Offers one frame arriving at `arrival` and needing `service_ns` on
+    /// the line; returns the completion instant. `now` is the caller's
+    /// current simulation time, used to prune dead intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrival < now`.
+    pub fn offer(&mut self, now: SimTime, arrival: SimTime, service_ns: u64) -> SimTime {
+        assert!(arrival >= now, "a frame cannot arrive in the caller's past");
+        self.busy.retain(|&(_, end)| end > now);
+        // Earliest idle span of `service_ns` at or after `arrival`:
+        // walk the (short) interval list front to back.
+        let mut start = arrival;
+        let mut at = 0;
+        for (i, &(s, e)) in self.busy.iter().enumerate() {
+            if start + service_ns <= s {
+                break; // fits in the gap before interval i
+            }
+            if e > start {
+                start = e;
+            }
+            at = i + 1;
+        }
+        let done = start + service_ns;
+        self.busy.insert(at, (start, done));
+        // Coalesce with abutting neighbours so the list stays minimal.
+        if at + 1 < self.busy.len() && self.busy[at].1 == self.busy[at + 1].0 {
+            self.busy[at].1 = self.busy[at + 1].1;
+            self.busy.remove(at + 1);
+        }
+        if at > 0 && self.busy[at - 1].1 == self.busy[at].0 {
+            self.busy[at - 1].1 = self.busy[at].1;
+            self.busy.remove(at);
+        }
+        self.busy_time += service_ns;
+        self.completed += 1;
+        done
+    }
+
+    /// Total accumulated service time, in nanoseconds.
+    pub fn busy_time(&self) -> u64 {
+        self.busy_time
+    }
+
+    /// Number of completed frames.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+}
+
 /// A bank of identical FIFO servers dispatching each offered unit of work to
 /// the server that can finish it earliest (models an n-unit NDP bank or a
 /// multi-lane link).

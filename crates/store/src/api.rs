@@ -122,6 +122,13 @@ pub struct Crash {
     pub node: usize,
     /// When to crash it (ns after traffic start).
     pub at_ns: u64,
+    /// When to restart it (ns after traffic start; must exceed `at_ns`).
+    /// The node comes back with a cold cache and spends a *joining*
+    /// window — excluded from routing — while survivors stream it a
+    /// cache warm-up (their resident entries for objects it replicates,
+    /// at committed versions); only then does it take traffic again.
+    /// `None` leaves the node down for good.
+    pub restart_at_ns: Option<u64>,
 }
 
 impl Default for StoreConfig {

@@ -169,6 +169,45 @@ impl ReadCache {
         self.bytes += len;
     }
 
+    /// Snapshot of the resident set, insertion-ordered: `(key, len,
+    /// version)` per entry. Feeds the warm-up transfer to a rejoining
+    /// node — the caller filters by ring membership and version currency.
+    pub fn warm_set(&self) -> Vec<(u64, u64, u64)> {
+        self.entries
+            .iter()
+            .map(|(&k, e)| (k, e.len, e.version))
+            .collect()
+    }
+
+    /// Admits a warm-up entry directly: no ghost-list probation (the
+    /// value already proved itself hot on the donor node) and no scan
+    /// gate. The byte budget still holds.
+    pub fn admit_warm(&mut self, key: u64, len: u64, version: u64) {
+        if self.capacity == 0 || len == 0 || len > self.capacity {
+            return;
+        }
+        let stamp = self.tick();
+        if let Some(e) = self.entries.get_mut(&key) {
+            let old = e.len;
+            e.len = len;
+            e.version = version;
+            e.stamp = stamp;
+            self.bytes = self.bytes - old + len;
+            self.evict_to_fit(0);
+            return;
+        }
+        self.evict_to_fit(len);
+        self.entries.insert(
+            key,
+            Entry {
+                len,
+                version,
+                stamp,
+            },
+        );
+        self.bytes += len;
+    }
+
     /// Drops `key` if resident (a write committed a newer version).
     /// Returns whether anything was dropped.
     pub fn invalidate(&mut self, key: u64) -> bool {
@@ -311,6 +350,23 @@ mod tests {
         c.evict_stale(9);
         assert_eq!(c.stale_evicted, 1);
         assert_eq!(c.lookup(9), None);
+    }
+
+    #[test]
+    fn warm_set_round_trips_without_probation() {
+        let mut donor = cache(1 << 20, Admission::AdmitAll);
+        donor.admit(1, 1000, 3, false);
+        donor.admit(2, 2000, 5, false);
+        let warm = donor.warm_set();
+        assert_eq!(warm, vec![(1, 1000, 3), (2, 2000, 5)]);
+        // A scan-resistant receiver admits warm entries on first touch.
+        let mut joiner = cache(1 << 20, Admission::ScanResistant);
+        for (k, len, v) in warm {
+            joiner.admit_warm(k, len, v);
+        }
+        assert_eq!(joiner.lookup(1), Some(3));
+        assert_eq!(joiner.lookup(2), Some(5));
+        assert_eq!(joiner.bytes(), 3000);
     }
 
     #[test]

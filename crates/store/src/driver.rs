@@ -42,7 +42,7 @@ use dcs_host::cpu::{CpuJob, CpuJobDone, CpuStats};
 use dcs_host::job::{D2dDone, D2dJob, D2dOp};
 use dcs_ndp::NdpFunction;
 use dcs_nic::TcpFlow;
-use dcs_sim::{Component, Ctx, DetMap, Histogram, Msg, Rng, SimTime};
+use dcs_sim::{Bandwidth, Component, Ctx, DetMap, DetSet, Histogram, Msg, Rng, SimTime};
 use dcs_workloads::ycsb::{StoreOp, StoreOpKind, YcsbGenerator};
 
 use crate::api::{object_id, StoreConfig};
@@ -59,6 +59,10 @@ const READ_RESP_OVERHEAD: usize = 256;
 const WRITE_ACK_BYTES: usize = 128;
 /// Payload bytes of a DELETE (a tombstone record).
 const TOMBSTONE_BYTES: usize = 512;
+/// Bandwidth of the cache warm-up stream to a rejoining node, Gbps —
+/// capped like re-replication so the transfer cannot starve foreground
+/// traffic.
+const WARMUP_GBPS: f64 = 2.0;
 
 /// The finished report, left in the world when the window closes.
 #[derive(Debug)]
@@ -78,6 +82,14 @@ struct WarmupOver;
 struct WindowOver;
 #[derive(Debug)]
 struct CrashNow;
+/// The crashed node's configured restart time arrived.
+#[derive(Debug)]
+struct RestartNow;
+/// The cache warm-up transfer to the rejoining node finished streaming.
+#[derive(Debug)]
+struct CacheWarmDone {
+    node: usize,
+}
 /// The request's bytes finished arriving at the node port: submit its jobs.
 #[derive(Debug)]
 struct Delivered {
@@ -125,6 +137,7 @@ pub struct StoreDriver {
     ring: HashRing,
     gens: Vec<YcsbGenerator>,
     tenant_rngs: Vec<Rng>,
+    // dcs-lint: allow(float-in-sim-state) — derived once from per-tenant offered load at build; read-only thereafter
     mean_gap_ns: Vec<f64>,
     // Admission state, indexed by node.
     outstanding: Vec<usize>,
@@ -141,6 +154,12 @@ pub struct StoreDriver {
     next_req: u64,
     next_job_id: u64,
     crashed: Vec<bool>,
+    /// Restarted but not yet routable: the cache warm-up is streaming.
+    joining: Vec<bool>,
+    /// Entries gathered from survivors at restart, admitted when the
+    /// modeled transfer completes: `(object, len, version)`.
+    warm_plan: Vec<(u64, u64, u64)>,
+    warmup_bytes: u64,
     // Measurement.
     measuring: bool,
     window_closed: bool,
@@ -226,6 +245,9 @@ impl StoreDriver {
             next_req: 1,
             next_job_id: 1,
             crashed: vec![false; n],
+            joining: vec![false; n],
+            warm_plan: vec![],
+            warmup_bytes: 0,
             measuring: false,
             window_closed: false,
             measure_start: SimTime::ZERO,
@@ -289,12 +311,23 @@ impl StoreDriver {
             .map(|(&o, q)| dcs_cluster::NodeLoad {
                 outstanding: o,
                 queued: q.len(),
+                penalty: 0,
             })
             .collect()
     }
 
     fn tally_active(&self) -> bool {
         self.measuring && !self.window_closed
+    }
+
+    /// Per-node routing exclusion: crashed nodes and nodes still in their
+    /// joining (warm-up) window take no traffic.
+    fn unroutable(&self) -> Vec<bool> {
+        self.crashed
+            .iter()
+            .zip(&self.joining)
+            .map(|(&c, &j)| c || j)
+            .collect()
     }
 
     fn lane_for(&self, tenant: usize) -> Lane {
@@ -357,18 +390,20 @@ impl StoreDriver {
     fn route_and_admit(&mut self, ctx: &mut Ctx<'_>, pend: Pending) {
         let object = object_id(pend.tenant, pend.op.key);
         let is_write = pend.op.kind.is_write();
+        let excluded = self.unroutable();
         let node = if is_write {
-            // Writes pin to the primary; with the primary crashed they
-            // fall back to the next surviving replica in ring order.
+            // Writes pin to the primary; with the primary crashed (or
+            // still joining) they fall back to the next routable replica
+            // in ring order.
             let replicas = self.ring.replicas(object);
-            let Some(&node) = replicas.iter().find(|&&n| !self.crashed[n]) else {
+            let Some(&node) = replicas.iter().find(|&&n| !excluded[n]) else {
                 ctx.world().stats.counter("store.unroutable").add(1);
                 self.note_denied(pend.tenant, true, None, false);
                 return;
             };
             node
         } else {
-            let candidates = self.ring.replicas_excluding(object, &self.crashed);
+            let candidates = self.ring.replicas_excluding(object, &excluded);
             if candidates.is_empty() {
                 ctx.world().stats.counter("store.unroutable").add(1);
                 self.note_denied(pend.tenant, false, None, false);
@@ -851,6 +886,69 @@ impl StoreDriver {
         }
     }
 
+    /// The restart: the node un-crashes with a cold cache and enters its
+    /// joining window — excluded from routing — while survivors stream
+    /// it a cache warm-up. The warm set is every resident entry a
+    /// survivor holds for an object the node replicates, at the version
+    /// committed *now*; the transfer is modeled at [`WARMUP_GBPS`] and
+    /// the node takes traffic only once it lands.
+    fn on_restart(&mut self, ctx: &mut Ctx<'_>, node: usize) {
+        assert!(self.crashed[node], "restart of a node that never crashed");
+        self.crashed[node] = false;
+        self.joining[node] = true;
+        ctx.world().stats.counter("store.node_restart").add(1);
+        // Gather the warm set in donor order (deterministic: DetMap
+        // insertion order per cache, nodes ascending), deduped by object.
+        let mut seen: DetSet<u64> = DetSet::new();
+        let mut plan: Vec<(u64, u64, u64)> = vec![];
+        let mut bytes = 0u64;
+        for donor in 0..self.nodes.len() {
+            if donor == node || self.crashed[donor] || self.joining[donor] {
+                continue;
+            }
+            for (object, len, version) in self.caches[donor].warm_set() {
+                if !self.ring.replicas(object).contains(&node) {
+                    continue;
+                }
+                if version != self.committed(object) {
+                    continue;
+                }
+                if !seen.insert(object) {
+                    continue;
+                }
+                bytes += len;
+                plan.push((object, len, version));
+            }
+        }
+        self.warm_plan = plan;
+        let delay = if bytes == 0 {
+            1
+        } else {
+            Bandwidth::gbps(WARMUP_GBPS)
+                .transfer_time(bytes as usize)
+                .max(1)
+        };
+        ctx.world().obs.count("store", "warmup.bytes", bytes);
+        ctx.send_self_in(delay, CacheWarmDone { node });
+    }
+
+    /// The warm-up stream landed: admit every entry still at its
+    /// committed version (writes during the stream invalidate by simply
+    /// not being admitted) and open the node for traffic.
+    fn on_cache_warm_done(&mut self, ctx: &mut Ctx<'_>, node: usize) {
+        assert!(self.joining[node], "warm-up completion for a routable node");
+        let plan = std::mem::take(&mut self.warm_plan);
+        for (object, len, version) in plan {
+            if version != self.committed(object) {
+                continue;
+            }
+            self.warmup_bytes += len;
+            self.caches[node].admit_warm(object, len, version);
+        }
+        self.joining[node] = false;
+        ctx.world().stats.counter("store.node_warmed").add(1);
+    }
+
     fn close_window(&mut self, ctx: &mut Ctx<'_>) {
         self.window_closed = true;
         // Parked requests are abandoned: nothing was submitted for them.
@@ -879,6 +977,7 @@ impl StoreDriver {
             cache_hits: self.cache_hits,
             cache_misses: self.cache_misses,
             stale_served: self.stale_served,
+            warmup_bytes: self.warmup_bytes,
             latency: self.latency.clone(),
             per_node: self.per_node.clone(),
             per_tenant: self.tenants.clone(),
@@ -901,6 +1000,10 @@ impl Component for StoreDriver {
                 if let Some(c) = self.cfg.crash {
                     assert!(c.node < self.nodes.len(), "crashed node out of range");
                     ctx.send_self_in(c.at_ns, CrashNow);
+                    if let Some(restart) = c.restart_at_ns {
+                        assert!(restart > c.at_ns, "restart must follow the crash");
+                        ctx.send_self_in(restart, RestartNow);
+                    }
                 }
                 return;
             }
@@ -939,6 +1042,25 @@ impl Component for StoreDriver {
         let msg = match msg.downcast::<CrashNow>() {
             Ok(CrashNow) => {
                 self.on_crash(ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<RestartNow>() {
+            Ok(RestartNow) => {
+                let node = self
+                    .cfg
+                    .crash
+                    .expect("RestartNow only fires when configured")
+                    .node;
+                self.on_restart(ctx, node);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<CacheWarmDone>() {
+            Ok(CacheWarmDone { node }) => {
+                self.on_cache_warm_done(ctx, node);
                 return;
             }
             Err(m) => m,

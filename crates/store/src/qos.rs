@@ -49,10 +49,14 @@ impl QosPolicy {
 /// Start-time fair queue over a fixed tenant set.
 #[derive(Debug)]
 pub struct FairQueue<T> {
+    // dcs-lint: allow(float-in-sim-state) — per-tenant config weights, frozen at construction
     weights: Vec<f64>,
+    // dcs-lint: allow(float-in-sim-state) — WFQ virtual time is fractional by construction; single-threaded IEEE-754 evaluation order makes it seed-stable
     vtime: f64,
+    // dcs-lint: allow(float-in-sim-state) — same virtual-time clock as `vtime`
     last_finish: Vec<f64>,
     /// Per-tenant FIFO of `(start, finish, item)`.
+    // dcs-lint: allow(float-in-sim-state) — virtual-time tags on queued items, same clock as `vtime`
     queues: Vec<VecDeque<(f64, f64, T)>>,
     len: usize,
 }

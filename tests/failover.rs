@@ -37,6 +37,7 @@ fn failover_cfg() -> ClusterConfig {
         node_faults: vec![NodeFault::Crash {
             node: 1,
             at_ns: time::ms(9),
+            restart_at_ns: None,
         }],
         ..ClusterConfig::default()
     }
@@ -193,6 +194,126 @@ fn hang_is_detected_hedged_around_and_survived() {
     );
 }
 
+#[test]
+fn fail_slow_is_detected_within_bound_and_never_declared_dead() {
+    // A 10× fail-slow node acks every probe on time, so the timeout
+    // detector is blind by construction; the differential arm must catch
+    // it from completion latencies alone, within its hysteresis bound.
+    let health = HealthConfig::default();
+    let r = dcs_bench::cluster::run_fail_slow(10, health.clone(), true);
+    let detect = r
+        .slow_detection_ns
+        .expect("a 10x fail-slow must be caught by the differential detector");
+    let bound = health.slow_detection_bound_ns();
+    assert!(detect <= bound, "detected in {detect} ns, bound {bound} ns");
+    assert!(r.slow_evictions > 0, "the slow node must be deprioritized");
+    assert!(
+        r.detection_ns.is_none(),
+        "probes still ack on time: the timeout detector must stay blind"
+    );
+    // Slow is routable-but-deprioritized, never ejected: nothing strands.
+    assert_eq!(r.lost, 0, "fail-slow must lose nothing");
+    assert!(
+        r.get_availability() >= 0.99,
+        "GET availability {:.4} through the slow window",
+        r.get_availability()
+    );
+}
+
+#[test]
+fn recovered_fail_slow_node_is_readmitted() {
+    // The fault ends halfway through the window; once the node runs fast
+    // again its EWMA decays below the hysteresis floor and it earns its
+    // full routing weight back — eviction without readmission would
+    // permanently waste a healthy node on a transient brownout.
+    let r = dcs_bench::cluster::run_fail_slow(4, HealthConfig::default(), true);
+    assert!(r.slow_evictions > 0, "the 4x brownout must be caught");
+    assert!(
+        r.slow_readmissions > 0,
+        "the recovered node must be readmitted ({} evictions)",
+        r.slow_evictions
+    );
+    assert!(
+        r.per_node[1].requests > 0,
+        "the readmitted node must serve requests"
+    );
+}
+
+#[test]
+fn fail_slow_blind_ablation_has_strictly_worse_tail() {
+    // `HealthConfig::blind()` keeps probes, hedging, and failover but
+    // switches the differential detector off — isolating exactly the
+    // mechanism under test. Without it the slow node keeps its full JSQ
+    // share and the tail absorbs every 10×-stretched service time.
+    let with = dcs_bench::cluster::run_fail_slow(10, HealthConfig::default(), true);
+    let blind = dcs_bench::cluster::run_fail_slow(10, HealthConfig::blind(), true);
+    assert!(
+        blind.slow_detection_ns.is_none(),
+        "blind arm must not detect"
+    );
+    assert_eq!(blind.slow_evictions, 0);
+    assert!(
+        with.latency_us(99.0) < blind.latency_us(99.0),
+        "differential p99 {:.0} us must strictly beat blind {:.0} us",
+        with.latency_us(99.0),
+        blind.latency_us(99.0)
+    );
+}
+
+#[test]
+fn link_degrade_is_caught_by_the_differential_detector() {
+    // A ToR port at 5% line rate stretches data transfers but control
+    // frames still make the (generous) probe deadline — the second
+    // timeout-blind gray failure. Same acceptance: differential detection
+    // within bound, and a strictly worse tail without it.
+    let health = HealthConfig::default();
+    let r = dcs_bench::cluster::run_link_degrade(5, health.clone(), true);
+    let detect = r
+        .slow_detection_ns
+        .expect("the degraded link must be caught");
+    assert!(detect <= health.slow_detection_bound_ns());
+    assert!(r.detection_ns.is_none(), "probes must keep acking");
+    let blind = dcs_bench::cluster::run_link_degrade(5, HealthConfig::blind(), true);
+    assert!(
+        r.latency_us(99.0) < blind.latency_us(99.0),
+        "differential p99 {:.0} us must beat blind {:.0} us",
+        r.latency_us(99.0),
+        blind.latency_us(99.0)
+    );
+}
+
+#[test]
+fn crashed_node_rejoins_repairs_and_serves_again() {
+    // The full lifecycle: crash → Dead (probe detection) → failover +
+    // re-replication → restart empty → bandwidth-capped anti-entropy
+    // from survivors → back in the GET rotation.
+    let r = dcs_bench::cluster::run_rejoin(true);
+    let detect = r.detection_ns.expect("the crash must be detected");
+    assert!(detect <= HealthConfig::default().detection_bound_ns());
+    assert!(r.repair_bytes > 0, "survivors must re-replicate first");
+    assert!(r.rejoin_bytes > 0, "the anti-entropy stream must run");
+    assert!(r.rejoin_ns.is_some(), "rejoin must complete in-window");
+    assert!(
+        r.per_node[1].requests > 0,
+        "the rejoined node must serve requests again"
+    );
+    assert!(r.lost <= r.retried, "losses bounded by failover retries");
+    assert!(
+        r.get_availability() >= 0.99,
+        "GET availability {:.4} through crash and rejoin",
+        r.get_availability()
+    );
+    // The post-detection phase spans N-1 operation plus the rejoin
+    // window, where the ring's imbalance concentrates the dead node's
+    // share on its successor — some shedding there is the honest cost.
+    let phases = r.phases.expect("node-fault runs report phases");
+    assert!(
+        phases[2].availability() >= 0.9,
+        "after rejoin: {:?}",
+        phases[2]
+    );
+}
+
 /// An update-heavy cached store with a mid-run node crash. Every PUT
 /// commit bumps the object's version and invalidates every node's cache
 /// entry; a crash additionally discards the dead node's cache wholesale
@@ -213,6 +334,7 @@ fn crashed_store_cfg() -> StoreConfig {
         crash: Some(Crash {
             node: 1,
             at_ns: time::ms(5),
+            restart_at_ns: None,
         }),
         ..StoreConfig::default()
     }
@@ -241,6 +363,37 @@ fn cached_store_never_serves_stale_bytes_through_a_crash() {
         0,
         "stale cache bytes served: {}",
         r.render("crash")
+    );
+}
+
+#[test]
+fn restarted_store_node_rejoins_warm_and_serves_no_stale_bytes() {
+    // Same crash, but the node comes back mid-window: it must re-enter
+    // empty, stream its shards *and* a cache warm-up set from survivors,
+    // and the staleness tripwire must stay at zero through all of it —
+    // a warm-up entry admitted at a stale version would trip it on the
+    // first version-checked GET.
+    // (Shard anti-entropy — `rejoin_bytes` — is the cluster layer's
+    // mechanism, covered above; the store layer's restart contribution
+    // is the versioned cache warm-up.)
+    let r = run_store(&StoreConfig {
+        crash: Some(Crash {
+            node: 1,
+            at_ns: time::ms(5),
+            restart_at_ns: Some(time::ms(8)),
+        }),
+        ..crashed_store_cfg()
+    });
+    assert!(r.warmup_bytes > 0, "the cache warm-up set must stream");
+    assert!(
+        r.per_node[1].requests > 0,
+        "the rejoined node must serve requests again"
+    );
+    assert_eq!(
+        r.stale_served,
+        0,
+        "stale bytes served after rejoin: {}",
+        r.render("rejoin")
     );
 }
 
