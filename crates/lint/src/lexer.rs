@@ -24,8 +24,11 @@ pub enum TokenKind {
     Ident(String),
     /// Single punctuation character (`{`, `:`, `=`, …).
     Punct(char),
-    /// String, byte-string, or char literal (contents discarded).
-    Literal,
+    /// String, byte-string, or char literal. String-like literals carry
+    /// their unquoted content (escapes left as written) so value-keyed
+    /// rules (`rng-stream-collision`) can read them; char/byte-char
+    /// literals carry `None`.
+    Literal(Option<String>),
     /// Numeric literal (contents discarded).
     Number,
 }
@@ -47,6 +50,19 @@ impl Token {
     /// True when this token is the punctuation `c`.
     pub fn is_punct(&self, c: char) -> bool {
         self.kind == TokenKind::Punct(c)
+    }
+
+    /// True for any string/char literal token.
+    pub fn is_literal(&self) -> bool {
+        matches!(self.kind, TokenKind::Literal(_))
+    }
+
+    /// The unquoted content of a string-like literal, if this is one.
+    pub fn str_text(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Literal(Some(s)) => Some(s),
+            _ => None,
+        }
     }
 }
 
@@ -118,20 +134,25 @@ pub fn lex(src: &str) -> Lexed {
             }
             b'"' => {
                 let start = i;
+                let start_line = line;
                 i = skip_string(bytes, i);
                 bump_lines!(start..i.min(bytes.len()));
                 out.tokens.push(Token {
-                    kind: TokenKind::Literal,
-                    line,
+                    kind: TokenKind::Literal(Some(string_content(src, start + 1, i))),
+                    // Multi-line literals are reported at the line they
+                    // open on, where the code (and any pragma) sits.
+                    line: start_line,
                 });
             }
             b'r' | b'b' if starts_raw_or_byte_string(bytes, i) => {
                 let start = i;
-                i = skip_raw_or_byte_string(bytes, i);
+                let start_line = line;
+                let (next, content) = skip_raw_or_byte_string(bytes, i);
+                i = next;
                 bump_lines!(start..i.min(bytes.len()));
                 out.tokens.push(Token {
-                    kind: TokenKind::Literal,
-                    line,
+                    kind: TokenKind::Literal(content.map(|(a, b)| src[a..b].to_string())),
+                    line: start_line,
                 });
             }
             b'r' if bytes.get(i + 1) == Some(&b'#')
@@ -151,10 +172,20 @@ pub fn lex(src: &str) -> Lexed {
                 let after = bytes.get(i + 2).copied();
                 let is_lifetime = next.is_some_and(is_ident_start) && after != Some(b'\'');
                 if is_lifetime {
+                    // Emit the lifetime as an apostrophe-prefixed ident
+                    // (`'static`) — no rule pattern can collide with a
+                    // plain ident, and the parser's type model needs to
+                    // tell `&'static str` (immutable forever, safe to
+                    // hold in world state) from `&'a str`.
+                    let start = i;
                     i += 1;
                     while i < bytes.len() && is_ident_continue(bytes[i]) {
                         i += 1;
                     }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Ident(src[start..i].to_string()),
+                        line,
+                    });
                 } else {
                     // Char literal: 'x', '\n', '\u{1F600}', '\''.
                     i += 1;
@@ -170,7 +201,7 @@ pub fn lex(src: &str) -> Lexed {
                         }
                     }
                     out.tokens.push(Token {
-                        kind: TokenKind::Literal,
+                        kind: TokenKind::Literal(None),
                         line,
                     });
                 }
@@ -249,6 +280,19 @@ fn skip_string(bytes: &[u8], start: usize) -> usize {
     i
 }
 
+/// The content of a plain string whose body starts at `body` and whose
+/// scan ended at `end` (just past the closing quote, or past EOF when
+/// unterminated).
+fn string_content(src: &str, body: usize, end: usize) -> String {
+    let end = end.min(src.len());
+    let close = if end > body && src.as_bytes()[end - 1] == b'"' {
+        end - 1
+    } else {
+        end
+    };
+    src[body..close].to_string()
+}
+
 /// True when position `i` starts `r"`, `r#"`, `b"`, `br"`, `br#"`, or `b'`.
 fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
     match bytes[i] {
@@ -273,7 +317,10 @@ fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
     }
 }
 
-fn skip_raw_or_byte_string(bytes: &[u8], start: usize) -> usize {
+/// Skips a raw/byte string (or byte char) starting at its prefix;
+/// returns the index just past the literal plus the byte range of its
+/// content (`None` for byte chars, whose value no rule reads).
+fn skip_raw_or_byte_string(bytes: &[u8], start: usize) -> (usize, Option<(usize, usize)>) {
     let mut i = start;
     if bytes[i] == b'b' {
         i += 1;
@@ -283,14 +330,20 @@ fn skip_raw_or_byte_string(bytes: &[u8], start: usize) -> usize {
             while i < bytes.len() {
                 match bytes[i] {
                     b'\\' => i += 2,
-                    b'\'' => return i + 1,
+                    b'\'' => return (i + 1, None),
                     _ => i += 1,
                 }
             }
-            return i;
+            return (i, None);
         }
         if bytes.get(i) == Some(&b'"') {
-            return skip_string(bytes, i);
+            let end = skip_string(bytes, i);
+            let close = if end > i + 1 && bytes.get(end - 1) == Some(&b'"') {
+                end - 1
+            } else {
+                end.min(bytes.len())
+            };
+            return (end, Some((i + 1, close)));
         }
     }
     // r or br: count hashes, then scan for `"` + same hashes.
@@ -303,6 +356,7 @@ fn skip_raw_or_byte_string(bytes: &[u8], start: usize) -> usize {
     }
     debug_assert_eq!(bytes.get(i), Some(&b'"'));
     i += 1;
+    let body = i;
     while i < bytes.len() {
         if bytes[i] == b'"' {
             let mut j = i + 1;
@@ -312,12 +366,12 @@ fn skip_raw_or_byte_string(bytes: &[u8], start: usize) -> usize {
                 j += 1;
             }
             if seen == hashes {
-                return j;
+                return (j, Some((body, i)));
             }
         }
         i += 1;
     }
-    i
+    (i, Some((body, i.min(bytes.len()))))
 }
 
 #[cfg(test)]
@@ -358,8 +412,49 @@ mod tests {
     fn lifetimes_are_not_char_literals() {
         let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
         let lexed = lex(src);
-        assert!(!lexed.tokens.iter().any(|t| t.kind == TokenKind::Literal));
+        assert!(!lexed.tokens.iter().any(|t| t.is_literal()));
         assert!(lexed.tokens.iter().any(|t| t.is_ident("str")));
+    }
+
+    #[test]
+    fn string_literals_carry_their_content() {
+        let lexed =
+            lex(r###"let a = "plain"; let b = r#"raw "quoted" body"#; let c = b"bytes";"###);
+        let texts: Vec<&str> = lexed.tokens.iter().filter_map(|t| t.str_text()).collect();
+        assert_eq!(texts, vec!["plain", r#"raw "quoted" body"#, "bytes"]);
+        // Char and byte-char literals are literals without text.
+        let lexed = lex("let c = 'x'; let b = b'y';");
+        assert_eq!(lexed.tokens.iter().filter(|t| t.is_literal()).count(), 2);
+        assert!(lexed.tokens.iter().all(|t| t.str_text().is_none()));
+    }
+
+    #[test]
+    fn multiline_literals_report_their_opening_line() {
+        let src = "let a = \"one\ntwo\n\"; let b = r#\"x\ny\"#;\nlet after = 1;";
+        let lexed = lex(src);
+        let lits: Vec<u32> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.is_literal())
+            .map(|t| t.line)
+            .collect();
+        assert_eq!(lits, vec![1, 3], "literals anchor at their opening line");
+        let after = lexed.tokens.iter().find(|t| t.is_ident("after")).unwrap();
+        assert_eq!(after.line, 5, "line counting resumes past the literal");
+    }
+
+    #[test]
+    fn unterminated_literals_are_tolerated() {
+        // The rest of the file is swallowed, but the lexer must not
+        // panic or mis-slice on any of these torn endings.
+        for src in [
+            "let s = \"open",
+            "let s = r#\"open",
+            "let s = \"esc\\",
+            "let c = '",
+        ] {
+            let _ = lex(src);
+        }
     }
 
     #[test]

@@ -27,12 +27,19 @@
 
 pub mod baseline;
 pub mod lexer;
+pub mod model;
+pub mod parser;
+pub mod resolve;
 pub mod rules;
 
 use std::path::{Path, PathBuf};
 
 use baseline::Baseline;
-use rules::{check_file, rule_exists, Finding, Suppression};
+use model::{certificates_to_json, crate_of, CrateCertificate, Workspace};
+use rules::{
+    check_file, check_workspace, is_workspace_rule, rule_exists, Finding, Suppression,
+    ISOLATION_RULES,
+};
 
 /// A parsed `// dcs-lint: allow(...)` pragma.
 #[derive(Debug)]
@@ -89,16 +96,37 @@ fn parse_pragmas(lexed: &lexer::Lexed) -> Vec<Pragma> {
     pragmas
 }
 
-/// Analyzes one file: runs every rule, then applies pragma
-/// suppression. Baseline suppression is layered on by the caller via
-/// [`Baseline::apply`] (it is stateful across files).
+/// Analyzes one file in isolation: runs the per-file rules, then
+/// applies pragma suppression. Baseline suppression is layered on by
+/// the caller via [`Baseline::apply`] (it is stateful across files).
+/// The workspace pass ([`rules::check_workspace`]) does not run here —
+/// use [`run`] for the full pipeline.
 ///
 /// `rel` is the workspace-relative path — rules use it for crate
 /// scoping, and reports print it verbatim.
 pub fn analyze_source(rel: &str, src: &str) -> Vec<Finding> {
     let lexed = lexer::lex(src);
-    let pragmas = parse_pragmas(&lexed);
     let mut findings = check_file(rel, src);
+    apply_pragmas(rel, &lexed, &mut findings, false);
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+/// Applies this file's pragmas to `findings` (which must already hold
+/// every finding for the file — per-file and, in the full pipeline,
+/// workspace ones), appending the meta findings pragma application
+/// itself produces (`pragma-missing-reason`, `stale-pragma`).
+///
+/// `workspace_pass` says whether `findings` includes the workspace
+/// rules: a pragma for those can only be judged stale when they
+/// actually ran.
+fn apply_pragmas(
+    rel: &str,
+    lexed: &lexer::Lexed,
+    findings: &mut Vec<Finding>,
+    workspace_pass: bool,
+) {
+    let pragmas = parse_pragmas(lexed);
 
     // Lines that carry at least one token: a pragma on a comment-only
     // line targets the next such line.
@@ -111,8 +139,10 @@ pub fn analyze_source(rel: &str, src: &str) -> Vec<Finding> {
     };
 
     for p in &pragmas {
+        let mut all_rules_known = true;
         for rule in &p.rules {
             if !rule_exists(rule) {
+                all_rules_known = false;
                 findings.push(Finding {
                     rule: "pragma-missing-reason",
                     file: rel.to_string(),
@@ -140,6 +170,7 @@ pub fn analyze_source(rel: &str, src: &str) -> Vec<Finding> {
         } else {
             next_code_line(p.comment_line)
         };
+        let mut used = 0usize;
         for f in findings.iter_mut() {
             if f.suppressed.is_some() {
                 continue;
@@ -147,11 +178,27 @@ pub fn analyze_source(rel: &str, src: &str) -> Vec<Finding> {
             let line_matches = target.is_none_or(|t| f.line == t);
             if line_matches && p.rules.iter().any(|r| r == f.rule) {
                 f.suppressed = Some(Suppression::Pragma);
+                used += 1;
             }
         }
+        // A reasoned pragma for known rules that suppressed nothing is
+        // itself a finding: the violation it waived is gone. Judged
+        // only when every rule it names actually ran this pass.
+        let judgeable = workspace_pass || p.rules.iter().all(|r| !is_workspace_rule(r));
+        if used == 0 && all_rules_known && judgeable && !p.rules.is_empty() {
+            findings.push(Finding {
+                rule: "stale-pragma",
+                file: rel.to_string(),
+                line: p.comment_line,
+                message: format!(
+                    "allow pragma for `{}` suppressed nothing — the violation it waived is \
+                     gone; delete the pragma",
+                    p.rules.join(", ")
+                ),
+                suppressed: None,
+            });
+        }
     }
-    findings.sort_by_key(|f| f.line);
-    findings
 }
 
 /// The text of 1-based `line` in `src` ("" when out of range).
@@ -196,6 +243,10 @@ pub struct Report {
     pub stale_baseline: Vec<String>,
     /// Files scanned.
     pub files: usize,
+    /// Per sim-state-crate isolation certificates (world-isolation
+    /// prover coverage + violation counts), in `SIM_STATE_CRATES`
+    /// order. Empty when the workspace pass did not run.
+    pub certificates: Vec<CrateCertificate>,
 }
 
 impl Report {
@@ -217,19 +268,28 @@ impl Report {
     pub fn clean(&self) -> bool {
         self.active().next().is_none() && self.stale_baseline.is_empty()
     }
+
+    /// Renders the isolation-certificate document (see
+    /// [`model::certificates_to_json`]).
+    pub fn certificate_json(&self) -> String {
+        certificates_to_json(&self.certificates)
+    }
 }
 
 /// Lints `files` (absolute or root-relative paths), reporting paths
 /// relative to `root`, with optional baseline suppression.
+///
+/// This is the full two-pass pipeline (DESIGN.md §15): build the
+/// workspace model once, run the per-file rules and the workspace
+/// rules (isolation prover, cross-file semantic rules), merge per
+/// file, apply pragmas exactly once over the merged set, then the
+/// baseline, and finally cut the per-crate isolation certificates.
 pub fn run(
     root: &Path,
     files: &[PathBuf],
     mut baseline: Option<Baseline>,
 ) -> std::io::Result<Report> {
-    let mut report = Report {
-        files: files.len(),
-        ..Default::default()
-    };
+    let mut sources = Vec::with_capacity(files.len());
     for path in files {
         let src = std::fs::read_to_string(path)?;
         let rel = path
@@ -237,15 +297,38 @@ pub fn run(
             .unwrap_or(path)
             .to_string_lossy()
             .replace('\\', "/");
-        let mut findings = analyze_source(&rel, &src);
+        sources.push((rel, src));
+    }
+    let ws = Workspace::build(sources);
+    let analysis = check_workspace(&ws);
+
+    let mut report = Report {
+        files: files.len(),
+        ..Default::default()
+    };
+    let mut ws_findings = analysis.findings;
+    for file in &ws.files {
+        let mut findings = check_file(&file.rel, &file.src);
+        // Claim this file's share of the workspace findings.
+        let mut i = 0;
+        while i < ws_findings.len() {
+            if ws_findings[i].file == file.rel {
+                findings.push(ws_findings.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        apply_pragmas(&file.rel, &file.lexed, &mut findings, true);
+        findings.sort_by_key(|f| f.line);
         if let Some(b) = baseline.as_mut() {
             for f in findings.iter_mut() {
-                let line = source_line(&src, f.line);
+                let line = source_line(&file.src, f.line);
                 b.apply(f, line);
             }
         }
         report.findings.extend(findings);
     }
+    debug_assert!(ws_findings.is_empty(), "workspace findings left unclaimed");
     if let Some(b) = baseline {
         for e in b.stale() {
             report.stale_baseline.push(format!(
@@ -253,6 +336,33 @@ pub fn run(
                 e.decl_line, e.rule, e.file
             ));
         }
+    }
+
+    // Cut the isolation certificates: prover coverage per crate plus
+    // post-suppression violation counts for the parallel family.
+    for (crate_name, roots, structs_checked, opaque_edges) in analysis.per_crate {
+        let of_crate =
+            |f: &&Finding| ISOLATION_RULES.contains(&f.rule) && crate_of(&f.file) == crate_name;
+        let active = report
+            .findings
+            .iter()
+            .filter(of_crate)
+            .filter(|f| f.suppressed.is_none())
+            .count();
+        let waived = report
+            .findings
+            .iter()
+            .filter(of_crate)
+            .filter(|f| f.suppressed.is_some())
+            .count();
+        report.certificates.push(CrateCertificate {
+            crate_name,
+            roots,
+            structs_checked,
+            opaque_edges,
+            active_violations: active,
+            waived,
+        });
     }
     Ok(report)
 }

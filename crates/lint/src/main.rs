@@ -5,6 +5,8 @@
 //! cargo run -p dcs-lint -- --workspace --deny     # exit 1 on any active finding (CI)
 //! cargo run -p dcs-lint -- --list-rules           # rule table
 //! cargo run -p dcs-lint -- path/to/file.rs ...    # lint specific files
+//! cargo run -p dcs-lint -- --workspace --format json          # machine-readable findings
+//! cargo run -p dcs-lint -- --workspace --certificate FILE     # write isolation certificates
 //! ```
 //!
 //! Exit codes: 0 clean (or findings without `--deny`), 1 active
@@ -14,8 +16,20 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use dcs_lint::baseline::Baseline;
+use dcs_lint::model::json_escape;
 use dcs_lint::rules::{Suppression, RULES};
 use dcs_lint::{run, workspace_files, Report};
+
+/// Findings output format.
+#[derive(PartialEq)]
+enum Format {
+    /// `file:line: [rule] message` lines plus a summary — the shape
+    /// the CI problem matcher (.github/problem-matchers/dcs-lint.json)
+    /// parses into PR annotations.
+    Text,
+    /// One JSON document with findings, certificates, and counts.
+    Json,
+}
 
 struct Args {
     workspace: bool,
@@ -25,11 +39,13 @@ struct Args {
     baseline: Option<PathBuf>,
     root: PathBuf,
     paths: Vec<PathBuf>,
+    format: Format,
+    certificate: Option<PathBuf>,
 }
 
 fn usage() -> &'static str {
     "usage: dcs-lint [--workspace] [--deny] [--baseline FILE] [--no-baseline] \
-     [--root DIR] [--list-rules] [PATH...]"
+     [--root DIR] [--format text|json] [--certificate FILE] [--list-rules] [PATH...]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -41,6 +57,8 @@ fn parse_args() -> Result<Args, String> {
         baseline: None,
         root: PathBuf::from("."),
         paths: Vec::new(),
+        format: Format::Text,
+        certificate: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -53,6 +71,23 @@ fn parse_args() -> Result<Args, String> {
                 args.baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a path")?));
             }
             "--root" => args.root = PathBuf::from(it.next().ok_or("--root needs a path")?),
+            "--format" => {
+                args.format = match it.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    other => {
+                        return Err(format!(
+                            "--format needs `text` or `json`, got `{}`",
+                            other.unwrap_or("")
+                        ))
+                    }
+                };
+            }
+            "--certificate" => {
+                args.certificate = Some(PathBuf::from(
+                    it.next().ok_or("--certificate needs a path")?,
+                ));
+            }
             "--help" | "-h" => return Err(usage().to_string()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag `{other}`\n{}", usage()));
@@ -143,7 +178,17 @@ fn main() -> ExitCode {
         }
     };
 
-    print_report(&report);
+    if let Some(path) = &args.certificate {
+        if let Err(e) = std::fs::write(path, report.certificate_json()) {
+            eprintln!("dcs-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    match args.format {
+        Format::Text => print_report(&report),
+        Format::Json => print_json(&report),
+    }
 
     if args.deny && !report.clean() {
         return ExitCode::FAILURE;
@@ -158,6 +203,14 @@ fn print_report(report: &Report) {
     for s in &report.stale_baseline {
         println!("{s}");
     }
+    for c in &report.certificates {
+        if !c.isolated() {
+            println!(
+                "isolation: crate `{}` NOT isolated — {} active violation(s)",
+                c.crate_name, c.active_violations
+            );
+        }
+    }
     let active = report.active().count();
     let pragma = report.suppressed_count(Suppression::Pragma);
     let grandfathered = report.suppressed_count(Suppression::Baseline);
@@ -169,4 +222,50 @@ fn print_report(report: &Report) {
         grandfathered,
         report.stale_baseline.len()
     );
+}
+
+/// One JSON document on stdout: active findings (file/line/rule/
+/// message), suppression counts, and the isolation certificates.
+/// Hand-rolled — the crate is deliberately dependency-free.
+fn print_json(report: &Report) {
+    let findings = report
+        .active()
+        .map(|f| {
+            format!(
+                "    {{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+                json_escape(&f.file),
+                f.line,
+                f.rule,
+                json_escape(&f.message)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let stale = report
+        .stale_baseline
+        .iter()
+        .map(|s| format!("\"{}\"", json_escape(s)))
+        .collect::<Vec<_>>()
+        .join(",");
+    let certs = report
+        .certificates
+        .iter()
+        .map(|c| format!("    {}", c.to_json()))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    println!("{{");
+    println!("  \"files\": {},", report.files);
+    println!("  \"active\": {},", report.active().count());
+    println!(
+        "  \"pragma_allowed\": {},",
+        report.suppressed_count(Suppression::Pragma)
+    );
+    println!(
+        "  \"baselined\": {},",
+        report.suppressed_count(Suppression::Baseline)
+    );
+    println!("  \"stale_baseline\": [{stale}],");
+    println!("  \"findings\": [\n{findings}\n  ],");
+    println!("  \"certificates\": [\n{certs}\n  ]");
+    println!("}}");
 }

@@ -1,0 +1,249 @@
+//! The workspace model: every file lexed and item-parsed once, with
+//! crate attribution, so the semantic rule families and the
+//! world-isolation prover ([`crate::resolve`]) can reason across files.
+
+use crate::lexer::{lex, Lexed};
+use crate::parser::{parse, Item, ItemKind, ParsedFile};
+
+/// One source file: its text, token stream, and parsed item table.
+pub struct FileModel {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// Short crate name (`sim`, `cluster`, `tests`, `examples`, …).
+    pub crate_name: String,
+    pub src: String,
+    pub lexed: Lexed,
+    pub parsed: ParsedFile,
+}
+
+/// Every file of one linter invocation, lexed and parsed.
+#[derive(Default)]
+pub struct Workspace {
+    pub files: Vec<FileModel>,
+}
+
+/// Stable reference to an item: (file index, item index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ItemRef {
+    pub file: usize,
+    pub item: usize,
+}
+
+impl Workspace {
+    /// Builds the model from `(rel_path, source)` pairs.
+    pub fn build(sources: Vec<(String, String)>) -> Workspace {
+        let files = sources
+            .into_iter()
+            .map(|(rel, src)| {
+                let lexed = lex(&src);
+                let parsed = parse(&lexed);
+                FileModel {
+                    crate_name: crate_of(&rel),
+                    rel,
+                    src,
+                    lexed,
+                    parsed,
+                }
+            })
+            .collect();
+        Workspace { files }
+    }
+
+    /// The item behind a reference.
+    pub fn item(&self, r: ItemRef) -> &Item {
+        &self.files[r.file].parsed.items[r.item]
+    }
+
+    /// Iterates `(ItemRef, &Item)` over every item of every file.
+    pub fn items(&self) -> impl Iterator<Item = (ItemRef, &Item)> {
+        self.files.iter().enumerate().flat_map(|(fi, f)| {
+            f.parsed
+                .items
+                .iter()
+                .enumerate()
+                .map(move |(ii, item)| (ItemRef { file: fi, item: ii }, item))
+        })
+    }
+
+    /// The struct/enum items named `name` (workspace-wide, test items
+    /// excluded — fixtures and test doubles are not simulation state).
+    pub fn types_named(&self, name: &str) -> Vec<ItemRef> {
+        self.items()
+            .filter(|(_, it)| {
+                !it.cfg_test
+                    && it.name == name
+                    && matches!(it.kind, ItemKind::Struct { .. } | ItemKind::Enum { .. })
+            })
+            .map(|(r, _)| r)
+            .collect()
+    }
+}
+
+/// Short crate name for a workspace-relative path: `crates/sim/…` →
+/// `sim`; the root facade, integration tests, and examples get
+/// pseudo-crate names so scoping rules can include or exclude them.
+pub fn crate_of(rel: &str) -> String {
+    let rel = rel.replace('\\', "/");
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        if let Some((name, _)) = rest.split_once('/') {
+            return name.to_string();
+        }
+    }
+    for (prefix, name) in [
+        ("src/", "dcs"),
+        ("tests/", "tests"),
+        ("examples/", "examples"),
+    ] {
+        if rel.starts_with(prefix) {
+            return name.to_string();
+        }
+    }
+    "workspace".to_string()
+}
+
+/// Crates whose live simulation state the world-isolation prover and
+/// the parallel-readiness rules police: each cluster node's `World` and
+/// everything reachable from it must be ownable per-world for the
+/// lock-step parallel runner (ROADMAP items 1–2) to be sound.
+pub const SIM_STATE_CRATES: &[&str] = &[
+    "sim", "pcie", "nvme", "nic", "gpu", "core", "cluster", "store",
+];
+
+/// True when `crate_name` is one of the sim-state crates.
+pub fn is_sim_state_crate(crate_name: &str) -> bool {
+    SIM_STATE_CRATES.contains(&crate_name)
+}
+
+/// Per-crate isolation certificate: the machine-readable summary the
+/// parallel-DES CI gate consumes (DESIGN.md §15). One entry per
+/// sim-state crate, always emitted — a crate with zero roots still
+/// appears, so coverage gaps are visible rather than silent.
+#[derive(Debug, Clone)]
+pub struct CrateCertificate {
+    /// Short crate name (`sim`, `pcie`, …).
+    pub crate_name: String,
+    /// Isolation roots found in this crate (the `World`, `Component`
+    /// impls, registered world resources), sorted.
+    pub roots: Vec<String>,
+    /// Structs/enums defined in this crate visited by the prover.
+    pub structs_checked: usize,
+    /// `dyn Trait` edges in this crate's checked state the prover
+    /// cannot see through (type-erased — isolation is asserted, not
+    /// proven, across these).
+    pub opaque_edges: usize,
+    /// Isolation findings still active after pragmas and baseline.
+    pub active_violations: usize,
+    /// Isolation findings waived by a pragma or baseline entry.
+    pub waived: usize,
+}
+
+impl CrateCertificate {
+    /// The verdict the parallel runner's gate keys on.
+    pub fn isolated(&self) -> bool {
+        self.active_violations == 0
+    }
+
+    /// Renders one JSON object (hand-rolled; the crate is
+    /// dependency-free).
+    pub fn to_json(&self) -> String {
+        let roots = self
+            .roots
+            .iter()
+            .map(|r| format!("\"{}\"", json_escape(r)))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"crate\":\"{}\",\"roots\":[{}],\"structs_checked\":{},\"opaque_edges\":{},\"active_violations\":{},\"waived\":{},\"isolated\":{}}}",
+            json_escape(&self.crate_name),
+            roots,
+            self.structs_checked,
+            self.opaque_edges,
+            self.active_violations,
+            self.waived,
+            self.isolated()
+        )
+    }
+}
+
+/// Renders the full certificate document.
+pub fn certificates_to_json(certs: &[CrateCertificate]) -> String {
+    let body = certs
+        .iter()
+        .map(|c| format!("    {}", c.to_json()))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!("{{\n  \"schema\": \"dcs-lint-isolation-v1\",\n  \"crates\": [\n{body}\n  ]\n}}\n")
+}
+
+/// Minimal JSON string escaping.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_attribution() {
+        assert_eq!(crate_of("crates/sim/src/world.rs"), "sim");
+        assert_eq!(crate_of("crates/lint/src/lib.rs"), "lint");
+        assert_eq!(crate_of("src/lib.rs"), "dcs");
+        assert_eq!(crate_of("tests/cluster.rs"), "tests");
+        assert_eq!(crate_of("examples/quickstart.rs"), "examples");
+        assert!(is_sim_state_crate("store"));
+        assert!(!is_sim_state_crate("workloads"));
+        assert!(!is_sim_state_crate("tests"));
+    }
+
+    #[test]
+    fn workspace_indexes_types_by_name_excluding_tests() {
+        let ws = Workspace::build(vec![
+            (
+                "crates/sim/src/a.rs".into(),
+                "pub struct Frame { x: u8 }".into(),
+            ),
+            (
+                "crates/nic/src/b.rs".into(),
+                "#[cfg(test)] mod t { struct Frame { y: u8 } }\npub enum Frame2 {}".into(),
+            ),
+        ]);
+        assert_eq!(ws.types_named("Frame").len(), 1);
+        assert_eq!(ws.types_named("Frame2").len(), 1);
+        assert!(ws.types_named("Nothing").is_empty());
+    }
+
+    #[test]
+    fn certificate_json_shape() {
+        let cert = CrateCertificate {
+            crate_name: "sim".into(),
+            roots: vec!["World".into()],
+            structs_checked: 3,
+            opaque_edges: 1,
+            active_violations: 0,
+            waived: 2,
+        };
+        let json = cert.to_json();
+        assert!(json.contains("\"crate\":\"sim\""));
+        assert!(json.contains("\"isolated\":true"));
+        let doc = certificates_to_json(&[cert]);
+        assert!(doc.contains("dcs-lint-isolation-v1"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

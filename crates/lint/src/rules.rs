@@ -13,8 +13,22 @@
 //!
 //! Every rule reports `Finding`s; suppression (pragmas, baseline) is
 //! layered on top by [`crate::analyze_source`] and [`crate::baseline`].
+//!
+//! Since lint v2 there are two *passes* (DESIGN.md §15):
+//!
+//! * **Per-file** ([`check_file`]) — token-pattern rules that need one
+//!   file at a time;
+//! * **Workspace** ([`check_workspace`]) — semantic rules over the
+//!   parsed item model ([`crate::model`]): the world-isolation prover's
+//!   parallel-readiness family (`static-mut`, `thread-local-state`,
+//!   `raw-pointer-field`, `shared-mut-state`, `borrowed-state`) and the
+//!   cross-file family (`report-field-never-written`,
+//!   `rng-stream-collision`).
 
 use crate::lexer::{lex, Token, TokenKind};
+use crate::model::{is_sim_state_crate, Workspace};
+use crate::parser::ItemKind;
+use crate::resolve::{is_atomic, prove_isolation, Resolver};
 
 /// One rule violation at a specific source line.
 #[derive(Debug, Clone)]
@@ -100,10 +114,78 @@ pub const RULES: &[RuleInfo] = &[
         summary: "narrowing `as` cast on a time/address-named value can truncate SimTime/PhysAddr quantities",
     },
     RuleInfo {
+        id: "static-mut",
+        family: "parallel",
+        summary: "`static mut` or interior-mutable static in a sim-state crate — process-global state is shared by every World; per-world state must live in the World",
+    },
+    RuleInfo {
+        id: "thread-local-state",
+        family: "parallel",
+        summary: "`thread_local!` in a sim-state crate — state keyed by OS thread breaks world migration across the parallel runner's workers",
+    },
+    RuleInfo {
+        id: "raw-pointer-field",
+        family: "parallel",
+        summary: "raw-pointer field in a sim-state struct — the prover cannot show the pointee is uniquely owned per world",
+    },
+    RuleInfo {
+        id: "shared-mut-state",
+        family: "parallel",
+        summary: "Rc/Arc/RefCell/Cell/Mutex/RwLock/Atomic* reachable from an isolation root (World, Component impl, world resource) — worlds must not alias mutable state",
+    },
+    RuleInfo {
+        id: "borrowed-state",
+        family: "parallel",
+        summary: "reference field in a struct reachable from an isolation root — per-world state must own its data (share *Config/*Report by clone)",
+    },
+    RuleInfo {
+        id: "report-field-never-written",
+        family: "semantic",
+        summary: "a *Report/*Perf field is declared but never written anywhere in the workspace — it renders as a permanent zero",
+    },
+    RuleInfo {
+        id: "rng-stream-collision",
+        family: "semantic",
+        summary: "two fault/RNG stream site constants share one dotted name — `stream_base ^ fnv1a64(site)` collides and the sites silently share an RNG sequence",
+    },
+    RuleInfo {
         id: "pragma-missing-reason",
         family: "meta",
         summary: "a dcs-lint allow pragma must carry a reason after a dash",
     },
+    RuleInfo {
+        id: "stale-pragma",
+        family: "meta",
+        summary: "a reasoned allow pragma that suppressed nothing — the violation is gone; delete the pragma",
+    },
+];
+
+/// Rules produced by the workspace pass ([`check_workspace`]) rather
+/// than the per-file pass — [`crate::analyze_source`] must not treat a
+/// pragma for these as stale, since it never sees their findings.
+pub const WORKSPACE_RULES: &[&str] = &[
+    "static-mut",
+    "thread-local-state",
+    "raw-pointer-field",
+    "shared-mut-state",
+    "borrowed-state",
+    "report-field-never-written",
+    "rng-stream-collision",
+];
+
+/// True if `id` is produced by the workspace pass.
+pub fn is_workspace_rule(id: &str) -> bool {
+    WORKSPACE_RULES.contains(&id)
+}
+
+/// The parallel-readiness rules that feed the per-crate isolation
+/// certificate's violation counts.
+pub const ISOLATION_RULES: &[&str] = &[
+    "static-mut",
+    "thread-local-state",
+    "raw-pointer-field",
+    "shared-mut-state",
+    "borrowed-state",
 ];
 
 /// True if `id` names a known rule.
@@ -758,6 +840,340 @@ fn rule_lossy_cast(ctx: &FileCtx, findings: &mut Vec<Finding>) {
                 format!(
                     "`{src_name} as {target}` can truncate a 64-bit time/address quantity; \
                      use `try_into()` or widen the target"
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workspace pass: semantic rules over the parsed item model.
+// ---------------------------------------------------------------------
+
+/// Output of the workspace pass: cross-file findings plus the prover's
+/// per-crate coverage stats (crate, roots, structs_checked,
+/// opaque_edges) that [`crate::run`] turns into isolation certificates.
+pub struct WorkspaceAnalysis {
+    pub findings: Vec<Finding>,
+    pub per_crate: Vec<(String, Vec<String>, usize, usize)>,
+}
+
+/// Runs every workspace-level rule over the parsed model.
+/// Suppressions are NOT applied here.
+pub fn check_workspace(ws: &Workspace) -> WorkspaceAnalysis {
+    let resolver = Resolver::new(ws);
+    let iso = prove_isolation(ws, &resolver);
+    let mut findings = iso.findings;
+    rule_static_mut(ws, &mut findings);
+    rule_thread_local(ws, &mut findings);
+    rule_raw_pointer_field(ws, &mut findings);
+    rule_report_field_liveness(ws, &mut findings);
+    rule_rng_stream_collision(ws, &mut findings);
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    WorkspaceAnalysis {
+        findings,
+        per_crate: iso.per_crate,
+    }
+}
+
+fn push_ws(
+    findings: &mut Vec<Finding>,
+    rule: &'static str,
+    file: &str,
+    line: u32,
+    message: String,
+) {
+    findings.push(Finding {
+        rule,
+        file: file.to_string(),
+        line,
+        message,
+        suppressed: None,
+    });
+}
+
+/// Type heads that make even a non-`mut` static mutable in place.
+const INTERIOR_MUT_TYPES: &[&str] = &["Cell", "RefCell", "UnsafeCell", "Mutex", "RwLock"];
+
+fn rule_static_mut(ws: &Workspace, findings: &mut Vec<Finding>) {
+    for (r, item) in ws.items() {
+        let file = &ws.files[r.file];
+        if item.cfg_test || !is_sim_state_crate(&file.crate_name) {
+            continue;
+        }
+        let ItemKind::Static { mutable, ty } = &item.kind else {
+            continue;
+        };
+        if *mutable {
+            push_ws(
+                findings,
+                "static-mut",
+                &file.rel,
+                item.line,
+                format!(
+                    "`static mut {}` is process-global mutable state shared by every `World` in \
+                     the process; the parallel runner clones worlds across workers — move this \
+                     into the `World` (a resource or component field)",
+                    item.name
+                ),
+            );
+        } else if ty
+            .idents()
+            .any(|i| INTERIOR_MUT_TYPES.contains(&i) || is_atomic(i))
+        {
+            push_ws(
+                findings,
+                "static-mut",
+                &file.rel,
+                item.line,
+                format!(
+                    "static `{}` holds interior-mutable `{}` — a process-global that every \
+                     `World` can write through; move it into the `World`",
+                    item.name,
+                    ty.display()
+                ),
+            );
+        }
+    }
+}
+
+fn rule_thread_local(ws: &Workspace, findings: &mut Vec<Finding>) {
+    for (r, item) in ws.items() {
+        let file = &ws.files[r.file];
+        if item.cfg_test || !is_sim_state_crate(&file.crate_name) {
+            continue;
+        }
+        if matches!(item.kind, ItemKind::MacroCall) && item.name == "thread_local" {
+            push_ws(
+                findings,
+                "thread-local-state",
+                &file.rel,
+                item.line,
+                "`thread_local!` keys state by OS thread; the parallel runner migrates worlds \
+                 between workers, so thread-local state silently forks a replay — store it in \
+                 the `World` instead"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+fn rule_raw_pointer_field(ws: &Workspace, findings: &mut Vec<Finding>) {
+    for (r, item) in ws.items() {
+        let file = &ws.files[r.file];
+        if item.cfg_test || !is_sim_state_crate(&file.crate_name) {
+            continue;
+        }
+        let fields: Vec<&crate::parser::Field> = match &item.kind {
+            ItemKind::Struct { fields, .. } => fields.iter().collect(),
+            ItemKind::Enum { variants } => variants.iter().flat_map(|v| v.fields.iter()).collect(),
+            _ => continue,
+        };
+        for field in fields {
+            if field.ty.has_raw_pointer() {
+                let shown = if field.name.is_empty() {
+                    "<tuple field>"
+                } else {
+                    field.name.as_str()
+                };
+                push_ws(
+                    findings,
+                    "raw-pointer-field",
+                    &file.rel,
+                    field.line,
+                    format!(
+                        "field `{shown}` of `{}` is a raw pointer (`{}`); the isolation prover \
+                         cannot show the pointee is owned by one world — use an index or a \
+                         handle into world-owned storage",
+                        item.name,
+                        field.ty.display()
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// `report-field-never-written`: a `*Report`/`*Perf` struct field that
+/// no code anywhere in the workspace ever writes renders as a permanent
+/// zero in every table — usually a refactor left the plumbing behind.
+///
+/// Write detection is deliberately generous (any plausible write
+/// position counts), so the rule errs toward silence, never toward a
+/// false positive: `x.f = …`, compound assigns, `f: …` struct-literal
+/// inits outside type declarations, `&mut x.f`, and any method call on
+/// the field (`r.f.push(…)`) all count as writes.
+fn rule_report_field_liveness(ws: &Workspace, findings: &mut Vec<Finding>) {
+    // Candidate fields: named fields of non-test *Report/*Perf structs.
+    struct Candidate {
+        file: usize,
+        struct_name: String,
+        field: String,
+        line: u32,
+    }
+    let mut candidates: Vec<Candidate> = Vec::new();
+    for (r, item) in ws.items() {
+        if item.cfg_test || !(item.name.ends_with("Report") || item.name.ends_with("Perf")) {
+            continue;
+        }
+        let ItemKind::Struct {
+            fields,
+            tuple: false,
+        } = &item.kind
+        else {
+            continue;
+        };
+        for f in fields {
+            if !f.name.is_empty() {
+                candidates.push(Candidate {
+                    file: r.file,
+                    struct_name: item.name.clone(),
+                    field: f.name.clone(),
+                    line: f.line,
+                });
+            }
+        }
+    }
+    if candidates.is_empty() {
+        return;
+    }
+    let mut names: Vec<&str> = candidates.iter().map(|c| c.field.as_str()).collect();
+    names.sort_unstable();
+    names.dedup();
+
+    let mut written: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+    const COMPOUND_OPS: &[char] = &['+', '-', '*', '/', '%', '&', '|', '^', '<', '>'];
+    for file in &ws.files {
+        let toks = &file.lexed.tokens;
+        // Token ranges of struct/enum declarations: `f:` there is a
+        // field declaration, not a struct-literal write.
+        let decl_spans: Vec<(usize, usize)> = file
+            .parsed
+            .items
+            .iter()
+            .filter(|it| matches!(it.kind, ItemKind::Struct { .. } | ItemKind::Enum { .. }))
+            .map(|it| it.span)
+            .collect();
+        let in_decl = |i: usize| decl_spans.iter().any(|&(a, b)| i >= a && i < b);
+        for (i, t) in toks.iter().enumerate() {
+            let Some(name) = t.ident() else { continue };
+            if names.binary_search(&name).is_err() || written.contains(name) {
+                continue;
+            }
+            let prev_dot = i >= 1 && toks[i - 1].is_punct('.');
+            let prev_colon = i >= 1 && toks[i - 1].is_punct(':');
+            let next = |k: usize| toks.get(i + k);
+            let is_write =
+                // `x.f = v` (not `==`), `x.f += v` and friends.
+                (prev_dot
+                    && ((next(1).is_some_and(|t| t.is_punct('='))
+                        && !next(2).is_some_and(|t| t.is_punct('=')))
+                        || (next(1).is_some_and(|t| COMPOUND_OPS.iter().any(|&c| t.is_punct(c)))
+                            && (next(2).is_some_and(|t| t.is_punct('='))
+                                || next(3).is_some_and(|t| t.is_punct('='))))))
+                // `x.f.method(…)` — the method may mutate.
+                || (prev_dot
+                    && next(1).is_some_and(|t| t.is_punct('.'))
+                    && next(2).is_some_and(|t| t.ident().is_some())
+                    && next(3).is_some_and(|t| t.is_punct('(')))
+                // `f: v` outside a type declaration — struct-literal init.
+                || (!in_decl(i)
+                    && !prev_colon
+                    && next(1).is_some_and(|t| t.is_punct(':'))
+                    && !next(2).is_some_and(|t| t.is_punct(':')))
+                // `&mut x.y.f` — mutable borrow of the field.
+                || (prev_dot && {
+                    let mut k = i - 1; // at the `.`
+                    while k >= 2
+                        && toks[k].is_punct('.')
+                        && toks[k - 1].ident().is_some()
+                    {
+                        k -= 2;
+                        if !(k >= 1 && toks[k].is_punct('.')) {
+                            break;
+                        }
+                    }
+                    k >= 1 && toks[k].is_ident("mut") && toks[k - 1].is_punct('&')
+                });
+            if is_write {
+                written.insert(name);
+            }
+        }
+    }
+
+    for c in &candidates {
+        if !written.contains(c.field.as_str()) {
+            push_ws(
+                findings,
+                "report-field-never-written",
+                &ws.files[c.file].rel,
+                c.line,
+                format!(
+                    "field `{}` of `{}` is never written anywhere in the workspace — it renders \
+                     as a permanent default; wire it up or delete it",
+                    c.field, c.struct_name
+                ),
+            );
+        }
+    }
+}
+
+/// A fault/RNG stream site name: lowercase dotted words
+/// (`"wire.drop"`). The shape the `Rng::new(stream_base ^
+/// fnv1a64(site))` derivation in `crates/sim/src/fault.rs` keys on.
+fn is_stream_site(s: &str) -> bool {
+    s.contains('.')
+        && s.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+        && s.chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_')
+        && s.split('.').all(|seg| !seg.is_empty())
+}
+
+fn rule_rng_stream_collision(ws: &Workspace, findings: &mut Vec<Finding>) {
+    // site value -> declaration sites (file rel, line, const name).
+    let mut sites: std::collections::BTreeMap<&str, Vec<(&str, u32, &str)>> =
+        std::collections::BTreeMap::new();
+    for (r, item) in ws.items() {
+        let file = &ws.files[r.file];
+        if item.cfg_test
+            || !is_sim_state_crate(&file.crate_name)
+            || !matches!(item.kind, ItemKind::Const)
+        {
+            continue;
+        }
+        let toks = &file.lexed.tokens;
+        let span = &toks[item.span.0..item.span.1.min(toks.len())];
+        // Only string-typed consts can declare stream sites.
+        if !span.iter().any(|t| t.is_ident("str")) {
+            continue;
+        }
+        for t in span {
+            if let Some(s) = t.str_text() {
+                if is_stream_site(s) {
+                    sites.entry(s).or_default().push((
+                        file.rel.as_str(),
+                        t.line,
+                        item.name.as_str(),
+                    ));
+                }
+            }
+        }
+    }
+    for (value, decls) in &sites {
+        if decls.len() < 2 {
+            continue;
+        }
+        let (f0, l0, n0) = decls[0];
+        for &(file, line, name) in &decls[1..] {
+            push_ws(
+                findings,
+                "rng-stream-collision",
+                file,
+                line,
+                format!(
+                    "stream site `{value}` (const `{name}`) is already declared as `{n0}` at \
+                     {f0}:{l0}; `stream_base ^ fnv1a64(site)` collides, so the two sites \
+                     silently draw from one RNG sequence — pick a unique dotted name"
                 ),
             );
         }

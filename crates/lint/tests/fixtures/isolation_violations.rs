@@ -1,0 +1,46 @@
+//! Seeded parallel-readiness violations for the semantic-rule
+//! integration tests (crates/lint/tests/semantic_rules.rs). Fed to the
+//! analyzer under a sim-state crate path; every construct below must
+//! be caught. NOT compiled into the workspace — the `fixtures`
+//! directory is excluded from the lint walk and from cargo.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+
+/// Process-global mutable counter: `static-mut`.
+static mut EVENT_COUNTER: u64 = 0;
+
+/// Interior-mutable static — also `static-mut` (no `mut` keyword, same
+/// hazard).
+static SHARED_TALLY: Mutex<u64> = Mutex::new(0);
+
+thread_local! {
+    /// Thread-keyed scratch space: `thread-local-state`.
+    static SCRATCH: RefCell<Vec<u8>> = RefCell::new(Vec::new());
+}
+
+/// Reached from `FakeNic` below; both fields are `shared-mut-state`.
+pub struct PeerLink {
+    /// `Rc` + `RefCell`: two shared-mut hits on one field.
+    pub peer: Rc<RefCell<u64>>,
+    /// `Arc` + `Mutex`: two more.
+    pub stats: Arc<Mutex<u64>>,
+}
+
+/// A fake component whose state seeds one of each violation kind.
+pub struct FakeNic {
+    link: PeerLink,
+    /// `raw-pointer-field`.
+    dma_window: *mut u8,
+    /// Exempt: `&'static str` is immutable forever.
+    label: &'static str,
+    /// NOT exempt: `&'static mut` aliases mutable data across worlds.
+    scratch: &'static mut [u8; 64],
+}
+
+impl Component for FakeNic {
+    fn handle(&mut self) {
+        self.label = "fake";
+    }
+}

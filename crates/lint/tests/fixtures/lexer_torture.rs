@@ -1,0 +1,18 @@
+//! Lexer regression fixture: every literal/comment syntax that has
+//! bitten a token-pattern linter. None of the rule-trigger words in
+//! here (HashMap, Instant, thread_rng, SystemTime) are code — a lexer
+//! that leaks them out of strings or comments fails the regression
+//! tests in crates/lint/tests/lexer_regressions.rs.
+
+pub const RAW: &str = r#"contains "quotes" and HashMap tokens"#;
+pub const RAW_NESTED: &str = r##"outer r#"Instant::now()"# still one literal"##;
+/* nested /* block */ comments hide thread_rng() entirely */
+pub const MULTI: &str = "line one
+line two mentions SystemTime::now()
+line three";
+pub fn life<'a>(x: &'a str) -> &'a str {
+    x
+}
+pub const ESCAPED_QUOTE: char = '\'';
+pub const BYTES: &[u8] = b"HashMap in a byte string";
+pub const SITE: &'static str = "wire.drop";

@@ -1,0 +1,22 @@
+//! Report-field-liveness fixture, declaration side: two output structs
+//! whose fields are written (or not) by report_liveness_writer.rs in a
+//! DIFFERENT file — the rule must join across the workspace model.
+
+/// Sweep outcome; `dead_metric` is never written anywhere.
+pub struct SweepReport {
+    pub completed_ops: u64,
+    pub dead_metric: u64,
+    pub notes: Vec<String>,
+}
+
+/// Latency digest; `orphan_ns` is never written anywhere.
+pub struct LatencyPerf {
+    pub p50_ns: u64,
+    pub orphan_ns: u64,
+}
+
+/// Not a report/perf struct: out of the rule's scope even though
+/// nothing writes it.
+pub struct ScratchState {
+    pub untouched: u64,
+}

@@ -1,0 +1,16 @@
+//! Report-field-liveness fixture, writer side: exercises every write
+//! shape the rule recognizes — plain assign, mutator method call, and
+//! struct-literal init. `dead_metric` and `orphan_ns` are deliberately
+//! never written.
+
+pub fn render(r: &mut SweepReport) {
+    r.completed_ops = 1;
+    r.notes.push(String::from("phase done"));
+}
+
+pub fn build() -> LatencyPerf {
+    LatencyPerf {
+        p50_ns: 42,
+        ..Default::default()
+    }
+}

@@ -1,0 +1,12 @@
+//! RNG-stream-collision fixture: two const declarations share the
+//! dotted site name `wire.drop`, so `stream_base ^ fnv1a64(site)`
+//! derives the SAME stream for both — the exact silent-sharing bug the
+//! rule exists to catch. `nvme.media` is unique and must not fire.
+
+pub const WIRE_DROP: &str = "wire.drop";
+pub const LINK_DROP: &str = "wire.drop";
+pub const NVME_MEDIA: &str = "nvme.media";
+
+/// Not a site name (uppercase / no dot): ignored by the rule.
+pub const LABEL: &str = "WireDrop";
+pub const PLAIN: &str = "wiredrop";

@@ -116,6 +116,96 @@ fn baseline_does_not_cover_other_files_or_rules() {
     );
 }
 
+#[test]
+fn allow_file_pragma_below_first_item_still_covers_whole_file() {
+    // An allow-file pragma is position-independent: sitting at the
+    // bottom of the file (below every item) it still waives the rule
+    // everywhere above it.
+    let src = "\
+use std::collections::HashMap;
+struct A { x: HashMap<u8, u8> }
+// dcs-lint: allow-file(hash-collection) — interior index, never iterated
+";
+    let f = analyze_source("crates/x/src/lib.rs", src);
+    let hash: Vec<_> = f.iter().filter(|f| f.rule == "hash-collection").collect();
+    assert!(hash.len() >= 2, "{f:#?}");
+    assert!(
+        hash.iter()
+            .all(|f| f.suppressed == Some(Suppression::Pragma)),
+        "bottom-of-file allow-file must suppress lines above it: {f:#?}"
+    );
+}
+
+#[test]
+fn reasonless_pragma_is_rejected_even_for_allow_file() {
+    let src = "\
+// dcs-lint: allow-file(hash-collection)
+use std::collections::HashMap;
+";
+    let f = analyze_source("crates/x/src/lib.rs", src);
+    assert!(!active(&f, "hash-collection").is_empty(), "{f:#?}");
+    assert!(!active(&f, "pragma-missing-reason").is_empty(), "{f:#?}");
+}
+
+#[test]
+fn stale_pragma_is_flagged_once_the_violation_is_gone() {
+    // The pragma once waived a HashMap on this line; the HashMap was
+    // fixed but the pragma stayed behind.
+    let src = "use dcs_sim::DetMap; // dcs-lint: allow(hash-collection) — index only\n";
+    let f = analyze_source("crates/x/src/lib.rs", src);
+    let stale = active(&f, "stale-pragma");
+    assert_eq!(stale.len(), 1, "{f:#?}");
+    assert!(stale[0].message.contains("hash-collection"));
+
+    // A pragma that still suppresses something is NOT stale.
+    let live = "use std::collections::HashMap; // dcs-lint: allow(hash-collection) — index only\n";
+    let f = analyze_source("crates/x/src/lib.rs", live);
+    assert!(active(&f, "stale-pragma").is_empty(), "{f:#?}");
+}
+
+#[test]
+fn workspace_rule_pragmas_are_not_judged_stale_per_file() {
+    // analyze_source never runs the workspace pass, so it cannot know
+    // whether a shared-mut-state pragma is stale — it must stay silent
+    // rather than cry wolf.
+    let src = "struct S { x: u8 } // dcs-lint: allow(shared-mut-state) — judged by full run\n";
+    let f = analyze_source("crates/nic/src/s.rs", src);
+    assert!(active(&f, "stale-pragma").is_empty(), "{f:#?}");
+}
+
+/// The lint gate's coverage: the walk must include the root `tests/`
+/// and `examples/` trees and every crate (crates/bench included) — a
+/// determinism hazard in a benchmark harness or example skews the
+/// paper tables just as surely as one in the library.
+#[test]
+fn workspace_walk_covers_tests_examples_and_bench() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let root = root.canonicalize().expect("workspace root");
+    let files = workspace_files(&root).expect("walk workspace");
+    let rels: Vec<String> = files
+        .iter()
+        .map(|p| {
+            p.strip_prefix(&root)
+                .unwrap()
+                .to_string_lossy()
+                .replace('\\', "/")
+        })
+        .collect();
+    for required in ["tests/", "examples/", "crates/bench/", "src/"] {
+        assert!(
+            rels.iter().any(|r| r.starts_with(required)),
+            "lint walk must cover `{required}`: {rels:?}"
+        );
+    }
+    // And the exclusions hold: no build output, no rule fixtures
+    // (which are violations on purpose).
+    assert!(
+        rels.iter()
+            .all(|r| !r.contains("target/") && !r.contains("fixtures/")),
+        "{rels:?}"
+    );
+}
+
 /// The real workspace must be clean modulo the checked-in baseline.
 /// This is the same gate CI runs (`--workspace --deny`), enforced from
 /// `cargo test` so a stray HashMap or Instant::now cannot land even
