@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--quick] [--list] [--trace-out FILE] [--json-out DIR]
-//!       [all|fig2|fig3|fig8|fig11|fig12|fig13|table3|table4|ablation|faults|integrity|cluster|cluster-failover|cluster-gray|anatomy|store]...
+//!       [all|engine|fig2|fig3|fig8|fig11|fig12|fig13|table3|table4|ablation|faults|integrity|cluster|cluster-failover|cluster-gray|anatomy|store]...
 //! ```
 //!
 //! With no experiment arguments, runs everything. `--quick` shortens the
@@ -20,7 +20,8 @@ use std::fs;
 use std::process::exit;
 
 /// Every experiment, in presentation order.
-const EXPERIMENTS: [&str; 16] = [
+const EXPERIMENTS: [&str; 17] = [
+    "engine",
     "table3",
     "table4",
     "fig2",
@@ -104,6 +105,7 @@ fn main() {
     println!("==============================================\n");
     for w in &wanted {
         let out = match *w {
+            "engine" => dcs_bench::engine::render(quick),
             "fig2" => dcs_bench::fig2::render(4096),
             "fig3" => dcs_bench::fig3::render(16 * 1024, quick),
             "fig8" => dcs_bench::fig8::render(quick),
@@ -143,6 +145,16 @@ fn main() {
         if let Err(e) = fs::create_dir_all(dir) {
             eprintln!("cannot create {dir}: {e}");
             exit(1);
+        }
+        if wanted.contains(&"engine") {
+            let rows = dcs_bench::engine::collect(quick);
+            let path = format!("{dir}/BENCH_engine.json");
+            let body = dcs_bench::engine::json_report(&rows, quick).render();
+            if let Err(e) = fs::write(&path, body) {
+                eprintln!("cannot write {path}: {e}");
+                exit(1);
+            }
+            println!("wrote {path}");
         }
         if wanted.contains(&"fig8") {
             let rows = dcs_bench::fig8::collect(quick);

@@ -26,6 +26,7 @@
 pub mod ablation;
 pub mod anatomy;
 pub mod cluster;
+pub mod engine;
 pub mod faults;
 pub mod fig11;
 pub mod fig12;

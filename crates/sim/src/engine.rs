@@ -1,40 +1,19 @@
 //! The simulator: an event calendar, a component registry, and the
 //! dispatch loop that drives them.
+//!
+//! The calendar is the hierarchical timing wheel in `calendar.rs`
+//! (DESIGN.md §16): near-future events live in ring slots with O(1)
+//! insert, far-future timers overflow to a small heap, and the dispatch
+//! loop batches consecutive same-time/same-`dst` deliveries into one
+//! component borrow. The old `BinaryHeap` calendar survives as a
+//! reference model behind [`Simulator::set_reference_heap`] so the
+//! equivalence suites can prove the wheel observationally identical.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
+use crate::calendar::{Calendar, HeapCalendar, Scheduled, TimingWheel};
 use crate::component::{Component, ComponentId};
 use crate::event::{Msg, Payload};
 use crate::time::SimTime;
 use crate::world::World;
-
-/// A message waiting on the calendar.
-struct Scheduled {
-    time: SimTime,
-    seq: u64,
-    dst: ComponentId,
-    msg: Msg,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // (time, seq) — seq breaks ties so same-time events keep their
-        // scheduling order, which is what makes the simulation deterministic.
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
 
 /// The deterministic discrete-event simulator.
 ///
@@ -42,11 +21,16 @@ impl Ord for Scheduled {
 pub struct Simulator {
     now: SimTime,
     seq: u64,
-    calendar: BinaryHeap<Reverse<Scheduled>>,
+    calendar: Calendar,
     components: Vec<Option<Box<dyn Component>>>,
     names: Vec<String>,
     world: World,
     delivered: u64,
+    batched: u64,
+    /// Pooled per-dispatch output buffer: taken by [`Ctx`] during
+    /// `handle`, drained into the calendar, and kept (capacity intact)
+    /// for the next step instead of allocating a fresh `Vec`.
+    scratch_out: Vec<(SimTime, ComponentId, Msg)>,
 }
 
 impl Simulator {
@@ -55,12 +39,34 @@ impl Simulator {
         Simulator {
             now: SimTime::ZERO,
             seq: 0,
-            calendar: BinaryHeap::new(),
+            calendar: Calendar::Wheel(TimingWheel::new()),
             components: Vec::new(),
             names: Vec::new(),
             world: World::new(seed),
             delivered: 0,
+            batched: 0,
+            scratch_out: Vec::new(),
         }
+    }
+
+    /// Swaps the calendar for the `BinaryHeap` reference model,
+    /// migrating any pending events. Test-only: the scheduler
+    /// equivalence and determinism suites run full workloads on both
+    /// calendars and assert byte-identical traces. Never use this on a
+    /// hot path — the wheel exists because the heap was the bottleneck.
+    #[doc(hidden)]
+    pub fn set_reference_heap(&mut self) {
+        let mut heap = HeapCalendar::default();
+        while let Some(ev) = self.calendar.pop() {
+            heap.push(ev);
+        }
+        self.calendar = Calendar::Heap(heap);
+    }
+
+    /// Which calendar implementation is driving this simulator
+    /// (`"timing-wheel"` or `"reference-heap"`).
+    pub fn scheduler_name(&self) -> &'static str {
+        self.calendar.name()
     }
 
     /// Current simulation time.
@@ -73,6 +79,24 @@ impl Simulator {
     #[inline]
     pub fn delivered_events(&self) -> u64 {
         self.delivered
+    }
+
+    /// Of the delivered messages, how many rode a same-time/same-`dst`
+    /// batch (delivered without re-borrowing the component). Purely
+    /// informational — the engine benchmark reports it.
+    #[inline]
+    pub fn batched_events(&self) -> u64 {
+        self.batched
+    }
+
+    /// The time of the next pending event without delivering it, or
+    /// `None` when the calendar is empty. [`Simulator::run_until`] is
+    /// built on this: the event delivered by the following
+    /// [`Simulator::step`] is exactly the one peeked (no pop can
+    /// observe a different head than the peek did).
+    #[inline]
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.calendar.peek_time()
     }
 
     /// Shared world state (memories, stats, RNG).
@@ -141,12 +165,12 @@ impl Simulator {
         assert!(at >= self.now, "cannot schedule into the past");
         let seq = self.seq;
         self.seq += 1;
-        self.calendar.push(Reverse(Scheduled {
+        self.calendar.push(Scheduled {
             time: at,
             seq,
             dst,
             msg: Msg::new(ComponentId::INVALID, payload),
-        }));
+        });
     }
 
     /// Schedules `payload` for immediate delivery to `dst` (at the current
@@ -155,10 +179,19 @@ impl Simulator {
         self.schedule_at(self.now, dst, payload);
     }
 
-    /// Delivers the single next message, if any. Returns `false` when the
+    /// Delivers the next message — plus, in the same component borrow,
+    /// any immediately following messages with the same timestamp and
+    /// destination (batched dispatch: a fan-in burst costs one
+    /// take/restore, not one per message). Returns `false` when the
     /// calendar is empty.
+    ///
+    /// Batching preserves the exact unbatched delivery order: the
+    /// batched messages are precisely the next heads of the calendar,
+    /// and anything a handler schedules carries a later sequence number
+    /// than every already-pending same-time event, so it sorts after
+    /// the whole batch either way.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(ev)) = self.calendar.pop() else {
+        let Some(ev) = self.calendar.pop() else {
             return false;
         };
         debug_assert!(ev.time >= self.now, "calendar produced a past event");
@@ -175,7 +208,7 @@ impl Simulator {
             )
         });
 
-        let mut out = Vec::new();
+        let mut out = std::mem::take(&mut self.scratch_out);
         {
             let mut ctx = Ctx {
                 now: self.now,
@@ -184,19 +217,25 @@ impl Simulator {
                 world: &mut self.world,
             };
             component.handle(&mut ctx, ev.msg);
+            while let Some(next) = self.calendar.pop_if(ev.time, ev.dst) {
+                self.delivered += 1;
+                self.batched += 1;
+                component.handle(&mut ctx, next.msg);
+            }
         }
         self.components[ev.dst.index()] = Some(component);
 
-        for (time, dst, msg) in out {
+        for (time, dst, msg) in out.drain(..) {
             let seq = self.seq;
             self.seq += 1;
-            self.calendar.push(Reverse(Scheduled {
+            self.calendar.push(Scheduled {
                 time,
                 seq,
                 dst,
                 msg,
-            }));
+            });
         }
+        self.scratch_out = out;
         true
     }
 
@@ -210,11 +249,15 @@ impl Simulator {
     /// of events delivered by this call.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let before = self.delivered;
-        while let Some(Reverse(head)) = self.calendar.peek() {
-            if head.time > deadline {
-                break;
-            }
-            self.step();
+        // The bounded peek answers "is the head at or before the
+        // deadline" without materializing wheel windows beyond it, so a
+        // standing far-future timer population costs this loop nothing.
+        while let Some(head_time) = self.calendar.peek_time_through(deadline) {
+            debug_assert!(head_time <= deadline);
+            // `step` pops exactly the head the peek surfaced — the
+            // calendar cannot reorder between the peek and the pop.
+            let stepped = self.step();
+            debug_assert!(stepped, "peeked head must be deliverable");
         }
         // Advance the clock to the deadline even if we ran dry early, so
         // utilization denominators are well defined.
@@ -430,6 +473,77 @@ mod tests {
         let mut sim = Simulator::new(0);
         sim.run_until(SimTime::from_ms(3));
         assert_eq!(sim.now(), SimTime::from_ms(3));
+    }
+
+    #[test]
+    fn run_until_same_time_events_straddling_deadline() {
+        // Regression for the peek/step double-pop hazard: several
+        // events at exactly the deadline plus events just beyond it.
+        // Every at-deadline event (including ones scheduled *during*
+        // the run at the deadline) must deliver; nothing beyond may.
+        struct Echo;
+        #[derive(Debug)]
+        struct AtDeadline(bool);
+        impl Component for Echo {
+            fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+                let m = msg.downcast::<AtDeadline>().expect("echo payload");
+                ctx.world().stats.counter("echo").add(1);
+                if m.0 {
+                    // Schedule another event at the very same instant;
+                    // run_until must still pick it up.
+                    ctx.send_now(ctx.self_id(), AtDeadline(false));
+                }
+            }
+        }
+        let mut sim = Simulator::new(0);
+        let e = sim.add("echo", Echo);
+        let deadline = SimTime::from_us(10);
+        for _ in 0..3 {
+            sim.schedule_at(deadline, e, AtDeadline(true));
+        }
+        sim.schedule_at(deadline + 1, e, AtDeadline(false));
+        sim.schedule_at(SimTime::from_us(20), e, AtDeadline(false));
+        let n = sim.run_until(deadline);
+        // 3 seeded at the deadline + 3 echoed at the deadline.
+        assert_eq!(n, 6);
+        assert_eq!(sim.now(), deadline);
+        assert_eq!(sim.peek_time(), Some(deadline + 1));
+        sim.run();
+        assert_eq!(sim.world().stats.counter_value("echo"), 8);
+    }
+
+    #[test]
+    fn batched_dispatch_preserves_order_and_counts() {
+        let mut sim = Simulator::new(0);
+        let rec = sim.reserve("rec");
+        sim.install(
+            rec,
+            Recorder {
+                seen: vec![],
+                log_id: rec,
+            },
+        );
+        let other = sim.add(
+            "other",
+            Recorder {
+                seen: vec![],
+                log_id: rec,
+            },
+        );
+        // A same-time burst to `rec` split by one event to `other`.
+        for i in 0..4 {
+            sim.schedule_at(SimTime::from_us(1), rec, Tick(i));
+        }
+        sim.schedule_at(SimTime::from_us(1), other, Tick(90));
+        for i in 4..6 {
+            sim.schedule_at(SimTime::from_us(1), rec, Tick(i));
+        }
+        sim.run();
+        assert_eq!(sim.delivered_events(), 7);
+        // First burst batches 3 behind its head; trailing pair batches 1.
+        assert_eq!(sim.batched_events(), 4);
+        // Both components are Recorders; every delivery ticks the counter.
+        assert_eq!(sim.world().stats.counter_value("ticks"), 7);
     }
 
     #[test]

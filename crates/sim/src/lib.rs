@@ -44,6 +44,7 @@
 //! assert_eq!(sim.now(), SimTime::from_us(2));
 //! ```
 
+pub(crate) mod calendar;
 pub mod component;
 pub mod detmap;
 pub mod engine;

@@ -35,6 +35,19 @@ fn run_traced(design: DesignUnderTest, seed: u64, with_faults: bool) -> String {
 /// Like [`run_traced`], optionally with the observability recorder
 /// enabled — which must change *nothing* about the serialized trace.
 fn run_traced_obs(design: DesignUnderTest, seed: u64, with_faults: bool, obs: bool) -> String {
+    run_traced_full(design, seed, with_faults, obs, false)
+}
+
+/// The full-control variant: `reference_heap` swaps the timing-wheel
+/// calendar for the `BinaryHeap` reference model before bring-up, so the
+/// wheel-vs-heap sweep compares complete event streams.
+fn run_traced_full(
+    design: DesignUnderTest,
+    seed: u64,
+    with_faults: bool,
+    obs: bool,
+    reference_heap: bool,
+) -> String {
     let pat = pattern();
     let mut tb = Testbed::new(
         design,
@@ -43,6 +56,9 @@ fn run_traced_obs(design: DesignUnderTest, seed: u64, with_faults: bool, obs: bo
             ..Default::default()
         },
     );
+    if reference_heap {
+        tb.sim.set_reference_heap();
+    }
     tb.sim.run(); // settle bring-up before touching flash
     if obs {
         tb.sim.world_mut().obs.enable();
@@ -221,6 +237,24 @@ fn different_seeds_produce_different_traces_under_faults() {
 }
 
 #[test]
+fn wheel_and_heap_reference_trace_identically_across_seeds() {
+    // The scheduler-equivalence gate (DESIGN.md §16): before the heap
+    // was demoted to a test-only reference model, the timing wheel had
+    // to produce byte-identical traces on the real device stack — here
+    // under a fault storm, for 8 seeds, including every stats counter.
+    const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 0xFEED, 0xD15EA5E];
+    for seed in SEEDS {
+        let wheel = run_traced_full(DesignUnderTest::DcsCtrl, seed, true, false, false);
+        let heap = run_traced_full(DesignUnderTest::DcsCtrl, seed, true, false, true);
+        assert!(
+            wheel.contains("job id="),
+            "seed {seed:#x}: run must complete jobs\n{wheel}"
+        );
+        assert_eq!(wheel, heap, "seed {seed:#x}: wheel-vs-heap trace diverged");
+    }
+}
+
+#[test]
 fn cluster_gray_fault_schedule_replays_byte_identically() {
     // Every gray-failure site at once: a fail-slow node (stretched
     // service, probes still acking), a degraded ToR port, and a crash
@@ -228,7 +262,9 @@ fn cluster_gray_fault_schedule_replays_byte_identically() {
     // (anti-entropy stream included). Each adds its own event types and
     // timer cancellations to the calendar; the whole tangle must replay
     // byte-identically from the seed — counters, phase rows, and the
-    // rejoin figures included.
+    // rejoin figures included. (Since the timing-wheel rebuild this
+    // composite schedule runs on the wheel calendar — the heaviest
+    // mixed-timer workload the determinism gate covers.)
     use dcs_ctrl::cluster::{run_cluster, ClusterConfig, HealthConfig, LbPolicy, NodeFault};
     use dcs_ctrl::sim::time;
     use dcs_ctrl::workloads::gen::SizeDistribution;

@@ -1,11 +1,15 @@
-//! Scale tests: the Figure 13 hardware configuration (six SSDs per node)
-//! and bounded memory under sustained load.
+//! Scale tests: the Figure 13 hardware configuration (six SSDs per node),
+//! bounded memory under sustained load, and the cluster-64 gate the
+//! timing-wheel scheduler rebuild (DESIGN.md §16) is held to.
 
+use dcs_ctrl::cluster::{build_cluster, ClusterConfig, ClusterOutcome, LbPolicy};
 use dcs_ctrl::host::job::{D2dDone, D2dJob, D2dOp};
 use dcs_ctrl::ndp::NdpFunction;
 use dcs_ctrl::nic::TcpFlow;
 use dcs_ctrl::pcie::PhysMemory;
+use dcs_ctrl::sim::time;
 use dcs_ctrl::sim::{Component, ComponentId, Ctx, Msg};
+use dcs_ctrl::workloads::gen::SizeDistribution;
 use dcs_ctrl::workloads::scenario::{DesignUnderTest, Testbed, TestbedConfig};
 
 #[derive(Default, Debug)]
@@ -181,5 +185,82 @@ fn wire_is_the_bottleneck_for_bulk_dcs_transfers() {
     assert!(
         elapsed < wire_floor * 2,
         "control overhead must not dominate bulk transfers: {elapsed} vs {wire_floor}"
+    );
+}
+
+#[test]
+fn cluster_64_open_loop_completes_inside_ci_time() {
+    // The engine-speed gate: a 64-node rack — 64 full testbeds (PCIe
+    // fabric, SSDs, NIC, HDC Engine each) plus the ToR switch and the
+    // front end — under open-loop load, scaled down in duration so the
+    // gate is CI-cheap. Before the timing wheel this exact shape is what
+    // capped the sweeps at 8 nodes. The gate asserts completion, zero
+    // wrong-payload/lost requests, and a conservative wall-clock floor
+    // on delivered events/sec (the real trajectory numbers live in
+    // BENCH_engine.json; this floor only catches order-of-magnitude
+    // regressions on the slowest CI hardware).
+    let cfg = ClusterConfig {
+        nodes: 64,
+        policy: LbPolicy::JoinShortestQueue,
+        objects: 4096,
+        sizes: SizeDistribution {
+            mu: 9.2,
+            sigma: 0.6,
+            min: 4096,
+            max: 64 * 1024,
+        },
+        offered_gbps_per_node: 2.0,
+        duration_ns: time::ms(4),
+        warmup_ns: time::ms(1),
+        seed: 0x64C1,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = build_cluster(&cfg);
+    let bringup_events = cluster.sim.delivered_events();
+    // dcs-lint: allow(wall-clock) — measures host elapsed time of the gate itself; never feeds simulation state
+    let wall_start = std::time::Instant::now();
+    cluster.sim.run();
+    let wall = wall_start.elapsed();
+    assert!(cluster.sim.is_idle(), "cluster-64 must drain");
+    let report = cluster
+        .sim
+        .world_mut()
+        .remove::<ClusterOutcome>()
+        .expect("cluster-64 run leaves a report")
+        .0;
+    let events = cluster.sim.delivered_events() - bringup_events;
+    let events_per_sec = events as f64 / wall.as_secs_f64().max(1e-9);
+    println!(
+        "cluster-64 gate: {events} events in {:.2}s ({events_per_sec:.0} events/sec, \
+         {} served requests, batched {})",
+        wall.as_secs_f64(),
+        report.requests,
+        cluster.sim.batched_events(),
+    );
+    assert!(
+        report.requests > 1_000,
+        "open-loop window must serve real traffic: {} requests",
+        report.requests
+    );
+    assert_eq!(report.failures, 0, "zero wrong-payload completions");
+    assert_eq!(
+        report.lost, 0,
+        "no fault was configured; nothing may be lost"
+    );
+    assert!(
+        report.latency.percentile(50.0).is_some(),
+        "latency histogram must have signal"
+    );
+    // Floor chosen ~50× under the wheel's measured release-build rate so
+    // debug builds and loaded CI runners pass; a heap-era regression at
+    // this scale shows up as minutes, not seconds.
+    assert!(
+        events_per_sec > 20_000.0,
+        "events/sec floor: {events_per_sec:.0}"
+    );
+    assert!(
+        wall.as_secs() < 120,
+        "cluster-64 gate must stay CI-cheap: {:.1}s",
+        wall.as_secs_f64()
     );
 }
